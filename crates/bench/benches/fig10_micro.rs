@@ -1,0 +1,98 @@
+//! **Figure 10** — read and write latency of Raw (unsafe), Boki,
+//! Halfmoon-read, and Halfmoon-write (§6.1).
+//!
+//! Paper findings: Halfmoon-read ≈ 30 % lower read latency than Boki and
+//! only ~15 % above raw reads (4–5× lower overhead); Halfmoon-write ≈ 30 %
+//! lower write latency than Boki with 2–6× lower overhead above raw writes.
+//!
+//! Setup: synthetic SSF issuing one read and one write per request, 10 K
+//! objects of 8 B keys / 256 B values, measured over (scaled) 10 minutes.
+
+use halfmoon::ProtocolKind;
+use hm_bench::{all_systems, fmt_ms, print_table, run_app, scaled_secs, AppRun};
+use hm_runtime::RuntimeConfig;
+use hm_workloads::synthetic::MicroRw;
+
+fn main() {
+    println!("# Figure 10: latency of read and write per system");
+    let workload = MicroRw::default();
+    let mut read_rows = Vec::new();
+    let mut write_rows = Vec::new();
+    let mut raw = (1.0f64, 1.0f64);
+    let mut results = Vec::new();
+    for kind in all_systems() {
+        let out = run_app(
+            &workload,
+            &AppRun {
+                seed: 0xf1610,
+                kind,
+                rate: 100.0,
+                duration: scaled_secs(120.0),
+                warmup: scaled_secs(5.0),
+                rt_config: RuntimeConfig::default(),
+                gc_interval: Some(scaled_secs(10.0)),
+            },
+        );
+        let r_med = out.op_latencies.read.median_ms().unwrap_or(0.0);
+        let w_med = out.op_latencies.write.median_ms().unwrap_or(0.0);
+        if kind == ProtocolKind::Unsafe {
+            raw = (r_med, w_med);
+        }
+        read_rows.push(vec![
+            kind.label().to_string(),
+            fmt_ms(out.op_latencies.read.median_ms()),
+            fmt_ms(out.op_latencies.read.p99_ms()),
+            format!("{:+.0}%", (r_med / raw.0 - 1.0) * 100.0),
+        ]);
+        write_rows.push(vec![
+            kind.label().to_string(),
+            fmt_ms(out.op_latencies.write.median_ms()),
+            fmt_ms(out.op_latencies.write.p99_ms()),
+            format!("{:+.0}%", (w_med / raw.1 - 1.0) * 100.0),
+        ]);
+        results.push((kind, r_med, w_med));
+    }
+    print_table(
+        "Figure 10a: Read latency",
+        &["system", "median (ms)", "p99 (ms)", "overhead vs raw"],
+        &read_rows,
+    );
+    print_table(
+        "Figure 10b: Write latency",
+        &["system", "median (ms)", "p99 (ms)", "overhead vs raw"],
+        &write_rows,
+    );
+    let boki = results
+        .iter()
+        .find(|(k, ..)| *k == ProtocolKind::Boki)
+        .unwrap();
+    let hmr = results
+        .iter()
+        .find(|(k, ..)| *k == ProtocolKind::HalfmoonRead)
+        .unwrap();
+    let hmw = results
+        .iter()
+        .find(|(k, ..)| *k == ProtocolKind::HalfmoonWrite)
+        .unwrap();
+    println!("Shape checks (paper: ~30% lower; overhead ratios 4-5x reads / 2-6x writes):");
+    println!(
+        "  HM-read read vs Boki read:   {:.2} vs {:.2} ms ({:.0}% lower)",
+        hmr.1,
+        boki.1,
+        (1.0 - hmr.1 / boki.1) * 100.0
+    );
+    println!(
+        "  read overhead ratio Boki/HM-read: {:.1}x",
+        (boki.1 - raw.0) / (hmr.1 - raw.0).max(1e-9)
+    );
+    println!(
+        "  HM-write write vs Boki write: {:.2} vs {:.2} ms ({:.0}% lower)",
+        hmw.2,
+        boki.2,
+        (1.0 - hmw.2 / boki.2) * 100.0
+    );
+    println!(
+        "  write overhead ratio Boki/HM-write: {:.1}x",
+        (boki.2 - raw.1) / (hmw.2 - raw.1).max(1e-9)
+    );
+}

@@ -1,0 +1,121 @@
+//! **Figure 11** — end-to-end latency vs. throughput for the three
+//! application workloads (§6.2).
+//!
+//! Paper findings: with the appropriate protocol, Halfmoon gives 20–40 %
+//! lower median latency than Boki and 1.5–4.0× lower overhead above the
+//! unsafe baseline. Halfmoon-read wins the read-intensive workloads
+//! (travel, retwis); Halfmoon-write wins the write-skewed one (movie).
+//! Boki saturates at roughly the same load as Halfmoon (logging is not its
+//! bottleneck).
+//!
+//! Throughput sweeps follow the paper: travel 100–900 req/s, movie
+//! 50–450 req/s, retwis 100–900 req/s. Our simulated cluster reproduces
+//! the paper's knee position with 4 request slots per node (see
+//! EXPERIMENTS.md for the calibration note).
+
+use halfmoon::ProtocolKind;
+use hm_bench::{all_systems, fmt_ms, print_table, run_app, scaled_secs, AppRun};
+use hm_runtime::RuntimeConfig;
+use hm_workloads::movie::Movie;
+use hm_workloads::retwis::Retwis;
+use hm_workloads::travel::Travel;
+use hm_workloads::Workload;
+
+fn sweep(workload: &dyn Workload, rates: &[f64]) {
+    let rt_config = RuntimeConfig {
+        workers_per_node: 4,
+        ..RuntimeConfig::default()
+    };
+    let mut median_rows = Vec::new();
+    let mut p99_rows = Vec::new();
+    for kind in all_systems() {
+        let mut med = vec![kind.label().to_string()];
+        let mut p99 = vec![kind.label().to_string()];
+        for &rate in rates {
+            let out = run_app(
+                workload,
+                &AppRun {
+                    seed: 0xf1611,
+                    kind,
+                    rate,
+                    duration: scaled_secs(30.0),
+                    warmup: scaled_secs(3.0),
+                    rt_config,
+                    gc_interval: Some(scaled_secs(10.0)),
+                },
+            );
+            med.push(fmt_ms(out.report.latency.median_ms()));
+            p99.push(fmt_ms(out.report.latency.p99_ms()));
+        }
+        median_rows.push(med);
+        p99_rows.push(p99);
+    }
+    let mut headers: Vec<String> = vec!["system \\ req/s".to_string()];
+    headers.extend(rates.iter().map(|r| format!("{r:.0}")));
+    let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(
+        &format!("Figure 11 ({}): median latency (ms)", workload.name()),
+        &headers,
+        &median_rows,
+    );
+    print_table(
+        &format!("Figure 11 ({}): p99 latency (ms)", workload.name()),
+        &headers,
+        &p99_rows,
+    );
+    let x: Vec<String> = rates.iter().map(|r| format!("{r:.0}")).collect();
+    let chart: Vec<(&str, Vec<f64>)> = median_rows
+        .iter()
+        .map(|row| {
+            (
+                ["Unsafe", "Boki", "Halfmoon-read", "Halfmoon-write"]
+                    .iter()
+                    .find(|l| **l == row[0])
+                    .copied()
+                    .unwrap_or("?"),
+                row[1..]
+                    .iter()
+                    .map(|v| v.parse().unwrap_or(f64::NAN))
+                    .collect(),
+            )
+        })
+        .collect();
+    hm_bench::print_ascii_chart(
+        &format!("Figure 11 ({})", workload.name()),
+        &x,
+        &chart,
+        "median ms vs req/s",
+    );
+    // Shape summary at a mid-range rate.
+    let mid = rates.len() / 2;
+    let at = |label: &str, rows: &[Vec<String>]| -> f64 {
+        rows.iter()
+            .find(|r| r[0] == label)
+            .and_then(|r| r[mid + 1].parse::<f64>().ok())
+            .unwrap_or(f64::NAN)
+    };
+    let boki = at(ProtocolKind::Boki.label(), &median_rows);
+    let unsafe_ = at(ProtocolKind::Unsafe.label(), &median_rows);
+    let hmr = at(ProtocolKind::HalfmoonRead.label(), &median_rows);
+    let hmw = at(ProtocolKind::HalfmoonWrite.label(), &median_rows);
+    let best = hmr.min(hmw);
+    println!(
+        "{} @ {:.0} req/s: best Halfmoon {:.2}ms vs Boki {:.2}ms ({:.0}% lower); \
+         overhead above unsafe {:.1}x lower",
+        workload.name(),
+        rates[mid],
+        best,
+        boki,
+        (1.0 - best / boki) * 100.0,
+        (boki - unsafe_) / (best - unsafe_).max(1e-9),
+    );
+}
+
+fn main() {
+    println!("# Figure 11: end-to-end performance under application workloads");
+    let travel_rates: Vec<f64> = (1..=9).map(|i| i as f64 * 100.0).collect();
+    let movie_rates: Vec<f64> = (1..=9).map(|i| i as f64 * 50.0).collect();
+    sweep(&Travel::default(), &travel_rates);
+    sweep(&Movie::default(), &movie_rates);
+    sweep(&Retwis::default(), &travel_rates);
+}

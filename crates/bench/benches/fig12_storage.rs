@@ -1,0 +1,105 @@
+//! **Figure 12** — time-averaged storage overhead vs. read ratio under
+//! different object sizes and GC intervals (§6.3).
+//!
+//! Paper findings: the §4.6 analysis predicts the storage boundary at read
+//! ratio 0.5; the measured boundary sits slightly higher because
+//! Halfmoon-read logs twice per write while Halfmoon-write logs once per
+//! read. Larger objects push the boundary toward 0.5 (database storage
+//! dominates). The GC interval shifts absolute usage but not the boundary.
+//! Halfmoon needs 1.2–3.4× less storage than Boki on average.
+//!
+//! Setup: the 10-op synthetic SSF over 10 K objects, read ratio 0.1–0.9,
+//! sizes {256 B, 1 KB} × GC {10 s, 60 s}, 100 req/s.
+
+use halfmoon::ProtocolKind;
+use hm_bench::{fmt_mb, print_table, run_app, scaled_secs, AppRun};
+use hm_runtime::RuntimeConfig;
+use hm_workloads::synthetic::SyntheticOps;
+
+fn main() {
+    println!("# Figure 12: storage overhead vs read ratio");
+    let ratios = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let systems = [
+        ProtocolKind::Boki,
+        ProtocolKind::HalfmoonRead,
+        ProtocolKind::HalfmoonWrite,
+    ];
+    for (size, gc_secs, label) in [
+        (256usize, 10.0f64, "(a) size=256B, GC=10s"),
+        (256, 60.0, "(b) size=256B, GC=60s"),
+        (1024, 10.0, "(c) size=1KB, GC=10s"),
+        (1024, 60.0, "(d) size=1KB, GC=60s"),
+    ] {
+        let mut rows = Vec::new();
+        let mut curves: Vec<(ProtocolKind, Vec<f64>)> = Vec::new();
+        for kind in systems {
+            let mut row = vec![kind.label().to_string()];
+            let mut curve = Vec::new();
+            for &ratio in &ratios {
+                let workload = SyntheticOps {
+                    objects: 10_000,
+                    value_bytes: size,
+                    ops_per_request: 10,
+                    read_ratio: ratio,
+                };
+                // The window must span several GC cycles; warm up past the
+                // first cycle so averages are steady-state.
+                let out = run_app(
+                    &workload,
+                    &AppRun {
+                        seed: 0xf1612,
+                        kind,
+                        rate: 100.0,
+                        duration: scaled_secs((gc_secs * 5.0).max(60.0)),
+                        warmup: scaled_secs(gc_secs.max(10.0)),
+                        rt_config: RuntimeConfig::default(),
+                        gc_interval: Some(std::time::Duration::from_secs_f64(gc_secs)),
+                    },
+                );
+                let total = out.avg_log_bytes + out.avg_store_bytes;
+                row.push(fmt_mb(total));
+                curve.push(total);
+            }
+            rows.push(row);
+            curves.push((kind, curve));
+        }
+        let mut headers: Vec<String> = vec!["system \\ read ratio".to_string()];
+        headers.extend(ratios.iter().map(|r| format!("{r}")));
+        let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table(
+            &format!("Figure 12{label}: avg storage (MB)"),
+            &headers,
+            &rows,
+        );
+        let x: Vec<String> = ratios.iter().map(|r| format!("{r}")).collect();
+        let chart: Vec<(&str, Vec<f64>)> = curves
+            .iter()
+            .map(|(k, c)| (k.label(), c.iter().map(|b| b / 1e6).collect()))
+            .collect();
+        hm_bench::print_ascii_chart(
+            &format!("Figure 12{label}"),
+            &x,
+            &chart,
+            "avg MB vs read ratio",
+        );
+        // Crossover: lowest read ratio at which HM-read uses less storage
+        // than HM-write (paper predicts slightly above 0.5).
+        let hmr = &curves
+            .iter()
+            .find(|(k, _)| *k == ProtocolKind::HalfmoonRead)
+            .unwrap()
+            .1;
+        let hmw = &curves
+            .iter()
+            .find(|(k, _)| *k == ProtocolKind::HalfmoonWrite)
+            .unwrap()
+            .1;
+        let crossover = ratios
+            .iter()
+            .zip(hmr.iter().zip(hmw.iter()))
+            .find(|(_, (r, w))| r < w)
+            .map(|(ratio, _)| format!("{ratio}"))
+            .unwrap_or_else(|| ">0.9".to_string());
+        println!("{label}: HM-read becomes cheaper at read ratio {crossover} (theory: 0.5+)");
+    }
+}

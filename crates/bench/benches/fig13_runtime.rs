@@ -1,0 +1,107 @@
+//! **Figure 13** — median latency vs. read ratio under different request
+//! rates (§6.3).
+//!
+//! Paper findings: the §4.6 analysis predicts the runtime boundary between
+//! the protocols at read ratio 2/3 (`P_r = 2 P_w` with `C_w ≈ 2 C_r`); the
+//! measured boundary is slightly higher because `C_w` exceeds `2 C_r` in
+//! practice. The request rate barely moves the boundary. Both protocols
+//! beat Boki by 1.2–1.5×.
+//!
+//! Setup: the 10-op synthetic SSF, 10 K objects of 256 B, GC 10 s, rates
+//! 100–400 req/s.
+
+use halfmoon::ProtocolKind;
+use hm_bench::{fmt_ms, print_table, run_app, scaled_secs, AppRun};
+use hm_runtime::RuntimeConfig;
+use hm_workloads::synthetic::SyntheticOps;
+
+fn main() {
+    println!("# Figure 13: runtime overhead vs read ratio");
+    let ratios = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let systems = [
+        ProtocolKind::Boki,
+        ProtocolKind::HalfmoonRead,
+        ProtocolKind::HalfmoonWrite,
+    ];
+    for rate in [100.0, 200.0, 300.0, 400.0] {
+        let mut rows = Vec::new();
+        let mut curves: Vec<(ProtocolKind, Vec<f64>)> = Vec::new();
+        for kind in systems {
+            let mut row = vec![kind.label().to_string()];
+            let mut curve = Vec::new();
+            for &ratio in &ratios {
+                let workload = SyntheticOps {
+                    objects: 10_000,
+                    value_bytes: 256,
+                    ops_per_request: 10,
+                    read_ratio: ratio,
+                };
+                let out = run_app(
+                    &workload,
+                    &AppRun {
+                        seed: 0xf1613,
+                        kind,
+                        rate,
+                        duration: scaled_secs(30.0),
+                        warmup: scaled_secs(3.0),
+                        rt_config: RuntimeConfig::default(),
+                        gc_interval: Some(scaled_secs(10.0)),
+                    },
+                );
+                let med = out.report.latency.median_ms().unwrap_or(f64::NAN);
+                row.push(fmt_ms(Some(med)));
+                curve.push(med);
+            }
+            rows.push(row);
+            curves.push((kind, curve));
+        }
+        let mut headers: Vec<String> = vec!["system \\ read ratio".to_string()];
+        headers.extend(ratios.iter().map(|r| format!("{r}")));
+        let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table(
+            &format!("Figure 13: median latency (ms) at {rate:.0} req/s"),
+            &headers,
+            &rows,
+        );
+        let x: Vec<String> = ratios.iter().map(|r| format!("{r}")).collect();
+        let chart: Vec<(&str, Vec<f64>)> =
+            curves.iter().map(|(k, c)| (k.label(), c.clone())).collect();
+        hm_bench::print_ascii_chart(
+            &format!("Figure 13 @ {rate:.0} req/s"),
+            &x,
+            &chart,
+            "median ms vs read ratio",
+        );
+        let hmr = &curves
+            .iter()
+            .find(|(k, _)| *k == ProtocolKind::HalfmoonRead)
+            .unwrap()
+            .1;
+        let hmw = &curves
+            .iter()
+            .find(|(k, _)| *k == ProtocolKind::HalfmoonWrite)
+            .unwrap()
+            .1;
+        let boki = &curves
+            .iter()
+            .find(|(k, _)| *k == ProtocolKind::Boki)
+            .unwrap()
+            .1;
+        let crossover = ratios
+            .iter()
+            .zip(hmr.iter().zip(hmw.iter()))
+            .find(|(_, (r, w))| r < w)
+            .map(|(ratio, _)| format!("{ratio}"))
+            .unwrap_or_else(|| ">0.9".to_string());
+        let best_vs_boki: f64 = boki
+            .iter()
+            .zip(hmr.iter().zip(hmw.iter()))
+            .map(|(b, (r, w))| b / r.min(*w))
+            .sum::<f64>()
+            / ratios.len() as f64;
+        println!(
+            "{rate:.0} req/s: HM-read becomes faster at read ratio {crossover} \
+             (theory: 2/3); best-protocol speedup over Boki averages {best_vs_boki:.2}x"
+        );
+    }
+}

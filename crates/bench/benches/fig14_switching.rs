@@ -1,0 +1,165 @@
+//! **Figure 14** — switching delay between Halfmoon's protocols (§6.4).
+//!
+//! Paper findings: the workload alternates between a write-intensive phase
+//! (read ratio 0.2, Halfmoon-write) and a read-intensive phase (read ratio
+//! 0.8, Halfmoon-read) every five seconds. Under a moderate 300 req/s the
+//! switch completes in under ~100 ms; at 600 req/s switching *away* from
+//! Halfmoon-write takes longer (575 ms in the paper) because the
+//! write-heavy phase's SSFs take longer to drain, and the switch must wait
+//! for every SSF on the old protocol (§4.7).
+//!
+//! Output: per-250 ms median latency timeline plus the measured
+//! BEGIN→END switching delays.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use halfmoon::{Client, ProtocolConfig, ProtocolKind, Switcher};
+use hm_bench::print_table;
+use hm_common::latency::LatencyModel;
+use hm_common::NodeId;
+use hm_runtime::{GcDriver, Runtime, RuntimeConfig};
+use hm_sim::{Sim, SimTime};
+use hm_workloads::synthetic::SyntheticOps;
+use hm_workloads::Workload;
+
+const PHASE: Duration = Duration::from_secs(5);
+
+fn run_at(rate: f64) {
+    let mut sim = Sim::new(0xf1614);
+    let mut config = ProtocolConfig::uniform(ProtocolKind::HalfmoonWrite);
+    config.switching_enabled = true;
+    let client = Client::new(sim.ctx(), LatencyModel::calibrated(), config);
+    // Two request slots per node put 600 req/s close to saturation (the
+    // paper's workload saturates around 800 req/s), which is what makes
+    // draining the write-heavy phase visibly slower there.
+    let rt_config = RuntimeConfig {
+        workers_per_node: 2,
+        ..RuntimeConfig::default()
+    };
+    let runtime = Runtime::new(client.clone(), rt_config);
+    let write_heavy = SyntheticOps {
+        read_ratio: 0.2,
+        ..SyntheticOps::default()
+    };
+    let read_heavy = SyntheticOps {
+        read_ratio: 0.8,
+        ..SyntheticOps::default()
+    };
+    write_heavy.populate(&client);
+    write_heavy.register(&runtime); // same function; ratio lives in inputs
+    let gc = GcDriver::start(client.clone(), NodeId(0), Duration::from_secs(10));
+
+    let samples: Rc<RefCell<Vec<(SimTime, Duration)>>> = Rc::new(RefCell::new(Vec::new()));
+    let ctx = sim.ctx();
+
+    // Open-loop generator: phase decides the factory.
+    {
+        let ctx2 = ctx.clone();
+        let runtime = runtime.clone();
+        let samples = samples.clone();
+        let factories = [write_heavy.factory(), read_heavy.factory()];
+        ctx.spawn(async move {
+            let mut seq = 0u64;
+            let horizon = PHASE * 3;
+            while ctx2.now() < horizon {
+                let gap = ctx2.with_rng(|rng| hm_common::dist::exp_interarrival_secs(rng, rate));
+                ctx2.sleep(Duration::from_secs_f64(gap)).await;
+                let phase = (ctx2.now().as_secs_f64() / PHASE.as_secs_f64()) as usize % 2;
+                let (func, input) = ctx2.with_rng(|rng| (factories[phase])(rng, seq));
+                seq += 1;
+                let runtime = runtime.clone();
+                let samples = samples.clone();
+                let ctx3 = ctx2.clone();
+                ctx2.spawn(async move {
+                    let started = ctx3.now();
+                    if runtime.invoke_request(&func, input).await.is_ok() {
+                        samples.borrow_mut().push((started, ctx3.now() - started));
+                    }
+                });
+            }
+        });
+    }
+
+    // Switch coordinator at the phase boundaries.
+    let delays: Rc<RefCell<Vec<(ProtocolKind, Duration)>>> = Rc::new(RefCell::new(Vec::new()));
+    {
+        let ctx2 = ctx.clone();
+        let client = client.clone();
+        let delays = delays.clone();
+        ctx.spawn(async move {
+            let mut switcher = Switcher::new(client, NodeId(0));
+            // Fine-grained drain polling so the reported delay reflects SSF
+            // lifetimes rather than poll quantization.
+            switcher.set_poll_interval(Duration::from_millis(2));
+            for target in [ProtocolKind::HalfmoonRead, ProtocolKind::HalfmoonWrite] {
+                let boundary = match target {
+                    ProtocolKind::HalfmoonRead => PHASE,
+                    _ => PHASE * 2,
+                };
+                ctx2.sleep_until(boundary).await;
+                match switcher.switch_to(target).await {
+                    Ok(report) => delays.borrow_mut().push((target, report.switching_delay())),
+                    Err(e) => println!("switch to {target} failed: {e}"),
+                }
+            }
+        });
+    }
+
+    sim.run_until(PHASE * 3 + Duration::from_secs(5));
+    gc.stop();
+
+    // Timeline: 250ms buckets of median latency.
+    let bucket = Duration::from_millis(250);
+    let n_buckets = (PHASE.as_millis() * 3 / bucket.as_millis()) as usize;
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); n_buckets];
+    for (at, lat) in samples.borrow().iter() {
+        let idx = (at.as_millis() / bucket.as_millis()) as usize;
+        if idx < n_buckets {
+            buckets[idx].push(lat.as_secs_f64() * 1e3);
+        }
+    }
+    let rows: Vec<Vec<String>> = buckets
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let mut sorted = b.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            let median = sorted.get(sorted.len() / 2).copied();
+            let phase = match i * 250 / 5000 {
+                0 => "HM-W",
+                1 => "HM-R",
+                _ => "HM-W",
+            };
+            vec![
+                format!("{:.2}", i as f64 * 0.25),
+                phase.to_string(),
+                median.map_or("-".into(), |m| format!("{m:.1}")),
+                format!("{}", b.len()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Figure 14 @ {rate:.0} req/s: latency timeline"),
+        &["t (s)", "phase", "median (ms)", "requests"],
+        &rows,
+    );
+    for (target, delay) in delays.borrow().iter() {
+        let from = match target {
+            ProtocolKind::HalfmoonRead => "HM-W -> HM-R",
+            _ => "HM-R -> HM-W",
+        };
+        println!(
+            "switching delay {from}: {:.0} ms",
+            delay.as_secs_f64() * 1e3
+        );
+    }
+    println!("(paper @300: 92 ms and 70 ms; @600: 575 ms and 88 ms)");
+}
+
+fn main() {
+    println!("# Figure 14: switching delay between Halfmoon's protocols");
+    run_at(300.0);
+    run_at(600.0);
+}

@@ -1,0 +1,103 @@
+//! **Table 1** — latency of log, read, and write operations in Boki (§2).
+//!
+//! Paper values (Boki on EC2 + DynamoDB):
+//!
+//! |        | Log     | Read    | Write   |
+//! |--------|---------|---------|---------|
+//! | median | 1.18 ms | 1.88 ms | 2.47 ms |
+//! | 99%ile | 1.91 ms | 4.60 ms | 5.86 ms |
+//!
+//! Reproduction: the 1R1W microbenchmark SSF over 10 K objects (8 B keys,
+//! 256 B values) under the Boki protocol; "Log" is a raw `logAppend`.
+
+use halfmoon::ProtocolKind;
+use hm_bench::{build_env, fmt_ms, print_table, run_app, scaled_secs, AppRun};
+use hm_common::metrics::Histogram;
+use hm_common::{NodeId, StepNum, Tag, Value};
+use hm_runtime::RuntimeConfig;
+use hm_workloads::synthetic::MicroRw;
+
+fn measure_raw_log_appends(samples: u32) -> Histogram {
+    let mut env = build_env(0x7ab1e, ProtocolKind::Boki, RuntimeConfig::default());
+    let client = env.client.clone();
+    env.sim.block_on(async move {
+        let mut hist = Histogram::new();
+        let tag = Tag::named(hm_common::ids::TagKind::StepLog, "bench");
+        for i in 0..samples {
+            let started = client.ctx().now();
+            let record = halfmoon::StepRecord {
+                instance: hm_common::InstanceId(u128::from(i)),
+                step: StepNum(0),
+                op: halfmoon::OpRecord::Sync,
+            };
+            client.log().append(NodeId(i % 8), vec![tag], record).await;
+            hist.record(client.ctx().now() - started);
+        }
+        hist
+    })
+}
+
+fn main() {
+    println!("# Table 1: latency of log, read and write operations in Boki");
+    let log_hist = measure_raw_log_appends(20_000);
+
+    let workload = MicroRw::default();
+    let out = run_app(
+        &workload,
+        &AppRun {
+            seed: 0x7ab1e2,
+            kind: ProtocolKind::Boki,
+            rate: 100.0,
+            duration: scaled_secs(120.0),
+            warmup: scaled_secs(5.0),
+            rt_config: RuntimeConfig::default(),
+            gc_interval: Some(scaled_secs(10.0)),
+        },
+    );
+    let _ = Value::Null;
+    let reads = &out.op_latencies.read;
+    let writes = &out.op_latencies.write;
+
+    print_table(
+        "Table 1 (measured)",
+        &["", "Log", "Read", "Write"],
+        &[
+            vec![
+                "median".into(),
+                format!("{}ms", fmt_ms(log_hist.median_ms())),
+                format!("{}ms", fmt_ms(reads.median_ms())),
+                format!("{}ms", fmt_ms(writes.median_ms())),
+            ],
+            vec![
+                "99%-tile".into(),
+                format!("{}ms", fmt_ms(log_hist.p99_ms())),
+                format!("{}ms", fmt_ms(reads.p99_ms())),
+                format!("{}ms", fmt_ms(writes.p99_ms())),
+            ],
+        ],
+    );
+    print_table(
+        "Table 1 (paper)",
+        &["", "Log", "Read", "Write"],
+        &[
+            vec![
+                "median".into(),
+                "1.18ms".into(),
+                "1.88ms".into(),
+                "2.47ms".into(),
+            ],
+            vec![
+                "99%-tile".into(),
+                "1.91ms".into(),
+                "4.60ms".into(),
+                "5.86ms".into(),
+            ],
+        ],
+    );
+    println!(
+        "samples: log={}, read={}, write={}",
+        log_hist.count(),
+        reads.count(),
+        writes.count()
+    );
+}

@@ -1,0 +1,144 @@
+//! Workload samplers: Zipf key popularity, Poisson arrivals, Bernoulli
+//! crash trials.
+//!
+//! The evaluation populates 10 K objects and targets them with uniform or
+//! skewed popularity; requests arrive open-loop following a Poisson process
+//! (§4.6 assumes Poisson arrivals for the storage analysis). `rand_distr`
+//! is outside the approved dependency set, so the samplers are implemented
+//! here directly.
+
+use rand::{Rng, RngExt};
+
+/// Zipf-distributed sampler over `{0, 1, …, n-1}` with exponent `s`.
+///
+/// Uses the classic inverse-CDF-over-precomputed-weights approach: exact,
+/// O(log n) per sample, deterministic given the RNG. An exponent of 0 makes
+/// it uniform.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative normalized weights, ascending; `cdf[n-1] == 1.0`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf sampler over `n` items with exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += (rank as f64).powf(-s);
+            cdf.push(total);
+        }
+        for w in &mut cdf {
+            *w /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false; a Zipf over zero items cannot be constructed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one item index in `[0, n)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // partition_point returns the first index with cdf[i] >= u.
+        self.cdf.partition_point(|&w| w < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Draws an exponential inter-arrival gap for a Poisson process with the
+/// given rate (events per second). Returns seconds.
+pub fn exp_interarrival_secs<R: Rng + ?Sized>(rng: &mut R, rate_per_sec: f64) -> f64 {
+    assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+    let u: f64 = rng.random();
+    // Map u in [0,1) to (0,1] to avoid ln(0).
+    -(1.0 - u).ln() / rate_per_sec
+}
+
+/// One Bernoulli trial with probability `p`.
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    debug_assert!((0.0..=1.0).contains(&p));
+    p > 0.0 && rng.random::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 40_000.0;
+            assert!((frac - 0.25).abs() < 0.02, "uniform fraction off: {frac}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut head = 0usize;
+        const N: usize = 50_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Under Zipf(1.0) over 100 items, the top-10 mass is ~56%.
+        let frac = head as f64 / N as f64;
+        assert!(frac > 0.5, "expected head-heavy distribution, got {frac}");
+    }
+
+    #[test]
+    fn zipf_single_item() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    fn exponential_gap_mean_matches_rate() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let rate = 200.0;
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| exp_interarrival_secs(&mut rng, rate)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.0005, "mean gap {mean}");
+    }
+
+    #[test]
+    fn bernoulli_edges() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!(!bernoulli(&mut rng, 0.0));
+        assert!(bernoulli(&mut rng, 1.0));
+    }
+}

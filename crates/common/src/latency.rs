@@ -1,0 +1,230 @@
+//! Calibrated latency distributions for the simulated infrastructure.
+//!
+//! The paper's Table 1 reports median and 99th-percentile latencies for
+//! Boki's log, read, and write operations against DynamoDB. We model each
+//! primitive operation as a log-normal random variable fitted to a
+//! (median, p99) pair: if `m` is the median and `q` the p99 then
+//! `mu = ln m` and `sigma = ln(q/m) / z_99` with `z_99 ≈ 2.3263`.
+//! Log-normals are the standard fit for storage-service latency because the
+//! body is tight and the tail is heavy — exactly the shape Table 1 shows.
+//!
+//! The derivation of every constant is in `DESIGN.md` §4.
+
+use std::time::Duration;
+
+use rand::{Rng, RngExt};
+
+/// The z-score of the 99th percentile of the standard normal distribution.
+const Z99: f64 = 2.326_347_874_040_841;
+
+/// A log-normal latency distribution fitted to a (median, p99) pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormalLatency {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormalLatency {
+    /// Fits a log-normal to the given median and 99th percentile, both in
+    /// milliseconds. `p99_ms` must be at least `median_ms`.
+    #[must_use]
+    pub fn fit_ms(median_ms: f64, p99_ms: f64) -> LogNormalLatency {
+        assert!(median_ms > 0.0, "median must be positive");
+        assert!(p99_ms >= median_ms, "p99 must not be below the median");
+        LogNormalLatency {
+            mu: median_ms.ln(),
+            sigma: (p99_ms / median_ms).ln() / Z99,
+        }
+    }
+
+    /// A degenerate (constant) latency, useful in tests.
+    #[must_use]
+    pub fn constant_ms(ms: f64) -> LogNormalLatency {
+        assert!(ms > 0.0);
+        LogNormalLatency {
+            mu: ms.ln(),
+            sigma: 0.0,
+        }
+    }
+
+    /// The distribution's median in milliseconds.
+    #[must_use]
+    pub fn median_ms(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// The distribution's 99th percentile in milliseconds.
+    #[must_use]
+    pub fn p99_ms(&self) -> f64 {
+        (self.mu + Z99 * self.sigma).exp()
+    }
+
+    /// Draws one latency sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        let z = sample_standard_normal(rng);
+        let ms = (self.mu + self.sigma * z).exp();
+        duration_from_ms(ms)
+    }
+
+    /// Scales the whole distribution by a multiplicative factor (both the
+    /// median and the p99 scale together).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> LogNormalLatency {
+        assert!(factor > 0.0);
+        LogNormalLatency {
+            mu: self.mu + factor.ln(),
+            sigma: self.sigma,
+        }
+    }
+}
+
+/// Converts fractional milliseconds to a `Duration` with nanosecond
+/// resolution, clamped to at least 1 ns so simulated operations always take
+/// nonzero virtual time (zero-duration ops could starve the event loop).
+#[must_use]
+pub fn duration_from_ms(ms: f64) -> Duration {
+    let nanos = (ms * 1_000_000.0).max(1.0);
+    Duration::from_nanos(nanos as u64)
+}
+
+/// Draws a standard normal via the Box–Muller transform.
+///
+/// `rand` deliberately ships only uniform primitives; the normal lives in
+/// `rand_distr`, which is outside the approved dependency set, so we
+/// implement the two-line classic ourselves.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::EPSILON {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Latency model for every primitive operation in the simulated testbed.
+///
+/// The benchmark harness composes protocol-level operations (e.g. a Boki
+/// write = two log appends + one conditional DB write) out of these
+/// primitives; see `DESIGN.md` §4 for the calibration table.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyModel {
+    /// Shared-log append acknowledged by a storage quorum (Table 1 "Log").
+    pub log_append: LogNormalLatency,
+    /// `logReadPrev`/`logReadNext` served from the function node's record
+    /// cache (§4.1 quotes 0.12 ms median / 0.72 ms p99 from Boki).
+    pub log_read_cached: LogNormalLatency,
+    /// `logReadPrev`/`logReadNext` that must fetch from a storage node.
+    pub log_read_miss: LogNormalLatency,
+    /// Raw (unconditional) DynamoDB read.
+    pub db_read: LogNormalLatency,
+    /// Multi-version read (composite-key fetch): slightly above a raw read
+    /// because the version pointer adds an index indirection.
+    pub db_version_read: LogNormalLatency,
+    /// Raw (unconditional) DynamoDB write.
+    pub db_write: LogNormalLatency,
+    /// Conditional DynamoDB update (version comparison server-side); the
+    /// paper notes it is more expensive than a direct update (§6.1).
+    pub db_cond_write: LogNormalLatency,
+    /// One gateway/function-node RPC hop (invocation dispatch, response).
+    pub rpc_hop: LogNormalLatency,
+    /// Pure compute time an SSF spends between state operations.
+    pub function_compute: LogNormalLatency,
+}
+
+impl LatencyModel {
+    /// The calibrated model derived from the paper (see `DESIGN.md` §4).
+    #[must_use]
+    pub fn calibrated() -> LatencyModel {
+        LatencyModel {
+            log_append: LogNormalLatency::fit_ms(1.18, 1.91),
+            log_read_cached: LogNormalLatency::fit_ms(0.12, 0.72),
+            log_read_miss: LogNormalLatency::fit_ms(0.35, 1.20),
+            // Table 1 decomposition: a Boki read (1.88 ms) is one raw read
+            // plus one log append (1.18 ms = 63% of it), so the raw read is
+            // 0.70 ms; likewise the raw write is 2.47 - 1.18 = 1.29 ms.
+            db_read: LogNormalLatency::fit_ms(0.70, 2.70),
+            db_version_read: LogNormalLatency::fit_ms(0.80, 3.10),
+            db_write: LogNormalLatency::fit_ms(1.29, 3.95),
+            db_cond_write: LogNormalLatency::fit_ms(1.73, 4.60),
+            rpc_hop: LogNormalLatency::fit_ms(0.25, 1.00),
+            function_compute: LogNormalLatency::fit_ms(0.10, 0.30),
+        }
+    }
+
+    /// A fast constant-latency model for unit tests (keeps virtual time
+    /// deterministic and simple to reason about).
+    #[must_use]
+    pub fn uniform_test_model() -> LatencyModel {
+        LatencyModel {
+            log_append: LogNormalLatency::constant_ms(1.0),
+            log_read_cached: LogNormalLatency::constant_ms(0.1),
+            log_read_miss: LogNormalLatency::constant_ms(0.3),
+            db_read: LogNormalLatency::constant_ms(1.0),
+            db_version_read: LogNormalLatency::constant_ms(1.0),
+            db_write: LogNormalLatency::constant_ms(1.5),
+            db_cond_write: LogNormalLatency::constant_ms(1.7),
+            rpc_hop: LogNormalLatency::constant_ms(0.2),
+            function_compute: LogNormalLatency::constant_ms(0.1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn fit_recovers_median_and_p99() {
+        let d = LogNormalLatency::fit_ms(1.18, 1.91);
+        assert!((d.median_ms() - 1.18).abs() < 1e-9);
+        assert!((d.p99_ms() - 1.91).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_distribution_has_no_spread() {
+        let d = LogNormalLatency::constant_ms(2.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..16 {
+            let s = d.sample(&mut rng);
+            let ms = s.as_secs_f64() * 1e3;
+            assert!((ms - 2.0).abs() < 1e-6, "expected 2ms, got {ms}");
+        }
+    }
+
+    #[test]
+    fn empirical_quantiles_match_fit() {
+        let d = LogNormalLatency::fit_ms(1.0, 3.0);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut samples: Vec<f64> = (0..40_000)
+            .map(|_| d.sample(&mut rng).as_secs_f64() * 1e3)
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let p99 = samples[(samples.len() as f64 * 0.99) as usize];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+        assert!((p99 - 3.0).abs() < 0.25, "p99 {p99}");
+    }
+
+    #[test]
+    fn scaling_moves_both_quantiles() {
+        let d = LogNormalLatency::fit_ms(1.0, 2.0).scaled(3.0);
+        assert!((d.median_ms() - 3.0).abs() < 1e-9);
+        assert!((d.p99_ms() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_from_ms_clamps_to_one_nano() {
+        assert_eq!(duration_from_ms(0.0), Duration::from_nanos(1));
+        assert_eq!(duration_from_ms(1.0), Duration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "p99 must not be below the median")]
+    fn fit_rejects_inverted_quantiles() {
+        let _ = LogNormalLatency::fit_ms(2.0, 1.0);
+    }
+}

@@ -1,0 +1,368 @@
+//! Measurement primitives for the benchmark harness.
+//!
+//! Three instruments cover everything the paper reports:
+//! - [`Histogram`]: latency quantiles (median / p99 bars and curves);
+//! - [`TimeWeightedGauge`]: time-averaged storage usage (Figure 12 reports
+//!   *time-averaged* MB over a 10-minute window);
+//! - [`OpCounters`]: logging-operation counts, used to report "logging
+//!   overhead" in units of abstract log operations (§4.3).
+
+use std::time::Duration;
+
+/// A latency histogram with logarithmic buckets.
+///
+/// Buckets span 1 µs to ~17 minutes with 64 buckets per octave, giving a
+/// worst-case quantile error below ~1.1 % — far finer than the effects the
+/// paper reports. Recording is O(1); quantile queries are O(#buckets).
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+    min_ns: u64,
+}
+
+/// Sub-buckets per power of two. 64 gives ≤ 1.6 % relative bucket width.
+const SUBBUCKETS: u64 = 64;
+/// Lowest representable latency: 1 µs (everything below clamps up).
+const MIN_NS: u64 = 1_000;
+/// Number of octaves covered: 1 µs × 2^30 ≈ 17.9 min.
+const OCTAVES: usize = 30;
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; OCTAVES * SUBBUCKETS as usize],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
+    }
+
+    fn bucket_index(ns: u64) -> usize {
+        let ns = ns.max(MIN_NS);
+        let ratio = ns / MIN_NS;
+        let octave = (63 - ratio.leading_zeros()) as u64; // floor(log2(ratio))
+        let octave = octave.min(OCTAVES as u64 - 1);
+        let base = MIN_NS << octave;
+        // Position within the octave, scaled to SUBBUCKETS slots.
+        let within = ((ns - base).saturating_mul(SUBBUCKETS)) / base;
+        (octave * SUBBUCKETS + within.min(SUBBUCKETS - 1)) as usize
+    }
+
+    fn bucket_value_ns(index: usize) -> u64 {
+        let octave = index as u64 / SUBBUCKETS;
+        let within = index as u64 % SUBBUCKETS;
+        let base = MIN_NS << octave;
+        // Midpoint of the bucket.
+        base + (base * within) / SUBBUCKETS + base / (2 * SUBBUCKETS)
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) in milliseconds, or `None` if the
+    /// histogram is empty.
+    #[must_use]
+    pub fn quantile_ms(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation (1-based ceil, like numpy 'lower').
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::bucket_value_ns(i) as f64 / 1e6);
+            }
+        }
+        Some(self.max_ns as f64 / 1e6)
+    }
+
+    /// Median latency in milliseconds.
+    #[must_use]
+    pub fn median_ms(&self) -> Option<f64> {
+        self.quantile_ms(0.5)
+    }
+
+    /// 99th-percentile latency in milliseconds.
+    #[must_use]
+    pub fn p99_ms(&self) -> Option<f64> {
+        self.quantile_ms(0.99)
+    }
+
+    /// Mean latency in milliseconds.
+    #[must_use]
+    pub fn mean_ms(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum_ns as f64 / self.count as f64 / 1e6)
+        }
+    }
+
+    /// Largest recorded latency in milliseconds.
+    #[must_use]
+    pub fn max_ms(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max_ns as f64 / 1e6)
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Histogram(n={}, p50={:?}ms, p99={:?}ms)",
+            self.count,
+            self.median_ms(),
+            self.p99_ms()
+        )
+    }
+}
+
+/// Integrates a step function of "current usage" over virtual time to report
+/// its time-weighted average — how Figure 12 measures storage.
+///
+/// Call [`TimeWeightedGauge::set`] whenever the usage level changes, passing
+/// the current virtual time; call [`TimeWeightedGauge::average`] at the end
+/// of the measurement window.
+#[derive(Clone, Debug)]
+pub struct TimeWeightedGauge {
+    level: f64,
+    last_change: Duration,
+    weighted_sum: f64,
+    started: Duration,
+}
+
+impl TimeWeightedGauge {
+    /// Creates a gauge at level 0 whose window starts at virtual time `now`.
+    #[must_use]
+    pub fn new(now: Duration) -> TimeWeightedGauge {
+        TimeWeightedGauge {
+            level: 0.0,
+            last_change: now,
+            weighted_sum: 0.0,
+            started: now,
+        }
+    }
+
+    /// Updates the level at virtual time `now`.
+    ///
+    /// # Panics
+    /// Panics if `now` moves backwards (virtual time is monotone).
+    pub fn set(&mut self, now: Duration, level: f64) {
+        assert!(now >= self.last_change, "virtual time went backwards");
+        self.weighted_sum += self.level * (now - self.last_change).as_secs_f64();
+        self.level = level;
+        self.last_change = now;
+    }
+
+    /// Adds a delta to the current level at virtual time `now`.
+    pub fn add(&mut self, now: Duration, delta: f64) {
+        let next = self.level + delta;
+        self.set(now, next);
+    }
+
+    /// The current level.
+    #[must_use]
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Time-weighted average level over `[start, now]`.
+    #[must_use]
+    pub fn average(&self, now: Duration) -> f64 {
+        let window = (now - self.started).as_secs_f64();
+        if window <= 0.0 {
+            return self.level;
+        }
+        let tail = self.level * (now - self.last_change).as_secs_f64();
+        (self.weighted_sum + tail) / window
+    }
+
+    /// Restarts the measurement window at `now`, keeping the current level.
+    pub fn reset_window(&mut self, now: Duration) {
+        self.weighted_sum = 0.0;
+        self.last_change = now;
+        self.started = now;
+    }
+}
+
+/// Counters for the abstract logging operations of §4.3, plus raw store
+/// traffic. "Logging overhead" in the paper is measured in these units.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Log appends (including conditional appends that succeeded).
+    pub log_appends: u64,
+    /// Conditional appends that lost the peer race and were undone.
+    pub cond_append_conflicts: u64,
+    /// Log reads (`read_prev` / `read_next`).
+    pub log_reads: u64,
+    /// Log trims issued by the garbage collector.
+    pub log_trims: u64,
+    /// Raw store reads.
+    pub db_reads: u64,
+    /// Raw store writes (unconditional).
+    pub db_writes: u64,
+    /// Conditional store writes.
+    pub db_cond_writes: u64,
+    /// Store deletes (garbage collection of old versions).
+    pub db_deletes: u64,
+}
+
+impl OpCounters {
+    /// Total abstract log operations on the critical path (appends only;
+    /// §4.3 counts standalone fault-tolerant records, not lookups).
+    #[must_use]
+    pub fn total_log_appends(&self) -> u64 {
+        self.log_appends
+    }
+
+    /// Element-wise difference `self - earlier`, for windowed measurement.
+    #[must_use]
+    pub fn since(&self, earlier: &OpCounters) -> OpCounters {
+        OpCounters {
+            log_appends: self.log_appends - earlier.log_appends,
+            cond_append_conflicts: self.cond_append_conflicts - earlier.cond_append_conflicts,
+            log_reads: self.log_reads - earlier.log_reads,
+            log_trims: self.log_trims - earlier.log_trims,
+            db_reads: self.db_reads - earlier.db_reads,
+            db_writes: self.db_writes - earlier.db_writes,
+            db_cond_writes: self.db_cond_writes - earlier.db_cond_writes,
+            db_deletes: self.db_deletes - earlier.db_deletes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_close() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_micros(i * 10)); // 10µs..10ms uniform
+        }
+        let median = h.median_ms().unwrap();
+        assert!((median - 5.0).abs() < 0.2, "median {median}");
+        let p99 = h.p99_ms().unwrap();
+        assert!((p99 - 9.9).abs() < 0.3, "p99 {p99}");
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn histogram_relative_error_bound() {
+        let mut h = Histogram::new();
+        let v = Duration::from_nanos(1_234_567);
+        h.record(v);
+        let got = h.median_ms().unwrap();
+        let want = 1.234_567;
+        assert!((got - want).abs() / want < 0.02, "got {got}");
+    }
+
+    #[test]
+    fn histogram_empty_returns_none() {
+        let h = Histogram::new();
+        assert!(h.median_ms().is_none());
+        assert!(h.mean_ms().is_none());
+    }
+
+    #[test]
+    fn histogram_merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Duration::from_millis(1));
+        b.record(Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.max_ms().unwrap() > 2.9);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_nanos(1)); // clamps to 1µs bucket
+        h.record(Duration::from_secs(3600)); // clamps into last octave
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_ms(0.0).unwrap() <= 0.002);
+    }
+
+    #[test]
+    fn gauge_time_weighted_average() {
+        let mut g = TimeWeightedGauge::new(Duration::ZERO);
+        g.set(Duration::from_secs(0), 10.0);
+        g.set(Duration::from_secs(5), 20.0); // 10 for 5s
+        let avg = g.average(Duration::from_secs(10)); // 20 for 5s
+        assert!((avg - 15.0).abs() < 1e-9, "avg {avg}");
+    }
+
+    #[test]
+    fn gauge_add_and_reset() {
+        let mut g = TimeWeightedGauge::new(Duration::ZERO);
+        g.add(Duration::ZERO, 4.0);
+        g.add(Duration::from_secs(2), -2.0);
+        assert_eq!(g.level(), 2.0);
+        g.reset_window(Duration::from_secs(2));
+        let avg = g.average(Duration::from_secs(4));
+        assert!((avg - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_windowed_difference() {
+        let a = OpCounters {
+            log_appends: 10,
+            db_reads: 4,
+            ..OpCounters::default()
+        };
+        let b = OpCounters {
+            log_appends: 25,
+            db_reads: 9,
+            ..OpCounters::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.log_appends, 15);
+        assert_eq!(d.db_reads, 5);
+        assert_eq!(d.total_log_appends(), 15);
+    }
+}

@@ -1,0 +1,238 @@
+//! The dynamic payload type exchanged between serverless functions.
+//!
+//! Real FaaS platforms pass JSON between functions; in this in-process
+//! reproduction there is no serialization boundary, so [`Value`] is a plain
+//! enum with the same shape as JSON. The type also knows its approximate
+//! encoded size so that the storage-overhead experiments (§6.3) can account
+//! for bytes the way DynamoDB would.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON-like dynamic value.
+#[derive(Clone, PartialEq, Default)]
+pub enum Value {
+    /// Absent / null.
+    #[default]
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Opaque byte payload of a given length. The bytes themselves are not
+    /// materialized — workloads only care about the *size* of values (the
+    /// storage experiments vary object size between 256 B and 1 KB), so a
+    /// blob carries its length and a small content fingerprint.
+    Blob {
+        /// Logical length in bytes.
+        len: usize,
+        /// Content fingerprint, so distinct writes remain distinguishable.
+        fingerprint: u64,
+    },
+    /// Ordered list.
+    List(Vec<Value>),
+    /// String-keyed map (ordered for deterministic iteration).
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds a blob of `len` bytes whose content is identified by
+    /// `fingerprint`.
+    #[must_use]
+    pub fn blob(len: usize, fingerprint: u64) -> Value {
+        Value::Blob { len, fingerprint }
+    }
+
+    /// Builds a map value from key/value pairs.
+    #[must_use]
+    pub fn map<const N: usize>(entries: [(&str, Value); N]) -> Value {
+        Value::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Approximate encoded size in bytes, used for storage accounting.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Str(s) => s.len(),
+            Value::Blob { len, .. } => *len,
+            Value::List(items) => 2 + items.iter().map(Value::size_bytes).sum::<usize>(),
+            Value::Map(entries) => {
+                2 + entries
+                    .iter()
+                    .map(|(k, v)| k.len() + v.size_bytes())
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the list payload, if this is a `List`.
+    #[must_use]
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the map payload, if this is a `Map`.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up a map field.
+    #[must_use]
+    pub fn get(&self, field: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.get(field))
+    }
+
+    /// True if this is `Null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A stable 64-bit fingerprint of the value, used by the consistency
+    /// checkers to compare read results without cloning whole payloads.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(h: u64, x: u64) -> u64 {
+            (h ^ x).wrapping_mul(0x0000_0100_0000_01b3)
+        }
+        match self {
+            Value::Null => 0x4e55_4c4c,
+            Value::Bool(b) => mix(0xb001, u64::from(*b)),
+            Value::Int(i) => mix(0x1237, *i as u64),
+            Value::Float(f) => mix(0xf10a, f.to_bits()),
+            Value::Str(s) => mix(0x5712, crate::ids::fnv1a(s.as_bytes())),
+            Value::Blob { len, fingerprint } => mix(mix(0xb10b, *len as u64), *fingerprint),
+            Value::List(items) => items
+                .iter()
+                .fold(0x1157_u64, |h, v| mix(h, v.fingerprint())),
+            Value::Map(entries) => entries.iter().fold(0x3a90_u64, |h, (k, v)| {
+                mix(mix(h, crate::ids::fnv1a(k.as_bytes())), v.fingerprint())
+            }),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Blob { len, fingerprint } => write!(f, "blob[{len}B;{fingerprint:x}]"),
+            Value::List(items) => f.debug_list().entries(items).finish(),
+            Value::Map(entries) => f.debug_map().entries(entries).finish(),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::List(items.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_account_for_contents() {
+        assert_eq!(Value::Int(7).size_bytes(), 8);
+        assert_eq!(Value::blob(256, 0).size_bytes(), 256);
+        assert_eq!(Value::str("abcd").size_bytes(), 4);
+        let m = Value::map([("k", Value::blob(100, 1))]);
+        assert_eq!(m.size_bytes(), 2 + 1 + 100);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_contents() {
+        assert_ne!(Value::Int(1).fingerprint(), Value::Int(2).fingerprint());
+        assert_ne!(
+            Value::blob(10, 1).fingerprint(),
+            Value::blob(10, 2).fingerprint()
+        );
+        assert_eq!(
+            Value::map([("a", Value::Int(1))]).fingerprint(),
+            Value::map([("a", Value::Int(1))]).fingerprint()
+        );
+        assert_ne!(Value::Null.fingerprint(), Value::Bool(false).fingerprint());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::map([("n", Value::Int(3)), ("s", Value::str("x"))]);
+        assert_eq!(v.get("n").and_then(Value::as_int), Some(3));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.is_null());
+    }
+}

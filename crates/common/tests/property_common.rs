@@ -1,0 +1,135 @@
+//! Property-based tests of the shared primitives: histogram quantile
+//! accuracy, log-normal fitting, version-tuple ordering, Zipf support, and
+//! value fingerprint stability.
+
+use std::time::Duration;
+
+use hm_common::dist::Zipf;
+use hm_common::latency::LogNormalLatency;
+use hm_common::metrics::{Histogram, TimeWeightedGauge};
+use hm_common::{SeqNum, Value, VersionTuple};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// The histogram's quantiles are within its documented relative error
+    /// of the exact empirical quantiles, for arbitrary samples.
+    #[test]
+    fn histogram_quantiles_bounded_error(
+        mut samples in prop::collection::vec(1_000u64..10_000_000_000, 1..200),
+        q in 0.01f64..0.999,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(Duration::from_nanos(s));
+        }
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let exact = samples[rank - 1] as f64 / 1e6;
+        let got = h.quantile_ms(q).unwrap();
+        let rel = (got - exact).abs() / exact;
+        prop_assert!(rel < 0.03, "q={q} exact={exact} got={got} rel={rel}");
+    }
+
+    /// Merging two histograms equals recording all samples into one.
+    #[test]
+    fn histogram_merge_equivalence(
+        a in prop::collection::vec(1_000u64..1_000_000_000, 0..60),
+        b in prop::collection::vec(1_000u64..1_000_000_000, 0..60),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hall = Histogram::new();
+        for &s in &a {
+            ha.record(Duration::from_nanos(s));
+            hall.record(Duration::from_nanos(s));
+        }
+        for &s in &b {
+            hb.record(Duration::from_nanos(s));
+            hall.record(Duration::from_nanos(s));
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        if ha.count() > 0 {
+            prop_assert_eq!(ha.median_ms(), hall.median_ms());
+            prop_assert_eq!(ha.p99_ms(), hall.p99_ms());
+        }
+    }
+
+    /// Fitting recovers the requested quantiles for any valid pair.
+    #[test]
+    fn lognormal_fit_roundtrip(median in 0.01f64..100.0, ratio in 1.0f64..20.0) {
+        let d = LogNormalLatency::fit_ms(median, median * ratio);
+        prop_assert!((d.median_ms() - median).abs() / median < 1e-9);
+        prop_assert!((d.p99_ms() - median * ratio).abs() / (median * ratio) < 1e-9);
+    }
+
+    /// Samples are always positive and finite.
+    #[test]
+    fn lognormal_samples_positive(median in 0.01f64..50.0, ratio in 1.0f64..10.0, seed in 0u64..1000) {
+        let d = LogNormalLatency::fit_ms(median, median * ratio);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let s = d.sample(&mut rng);
+            prop_assert!(s > Duration::ZERO);
+            prop_assert!(s < Duration::from_secs(3600));
+        }
+    }
+
+    /// Version tuples order lexicographically: cursor first, counter second.
+    #[test]
+    fn version_tuple_lexicographic(a in any::<(u64, u32)>(), b in any::<(u64, u32)>()) {
+        let va = VersionTuple::new(SeqNum(a.0), a.1);
+        let vb = VersionTuple::new(SeqNum(b.0), b.1);
+        let expect = a.cmp(&b);
+        prop_assert_eq!(va.cmp(&vb), expect);
+    }
+
+    /// Zipf sampling always lands in range and is deterministic per seed.
+    #[test]
+    fn zipf_in_range_and_deterministic(n in 1usize..500, s in 0.0f64..2.5, seed in 0u64..1000) {
+        let z = Zipf::new(n, s);
+        let mut r1 = SmallRng::seed_from_u64(seed);
+        let mut r2 = SmallRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let x = z.sample(&mut r1);
+            prop_assert!(x < n);
+            prop_assert_eq!(x, z.sample(&mut r2));
+        }
+    }
+
+    /// Value fingerprints are stable under clone and sensitive to content.
+    #[test]
+    fn value_fingerprint_properties(n in any::<i64>(), s in ".{0,24}") {
+        let v = Value::map([("n", Value::Int(n)), ("s", Value::str(s.clone()))]);
+        prop_assert_eq!(v.fingerprint(), v.clone().fingerprint());
+        let v2 = Value::map([("n", Value::Int(n.wrapping_add(1))), ("s", Value::str(s))]);
+        prop_assert_ne!(v.fingerprint(), v2.fingerprint());
+    }
+
+    /// The time-weighted gauge equals the hand-computed integral for any
+    /// monotone schedule of (time, level) updates.
+    #[test]
+    fn gauge_matches_manual_integral(
+        mut steps in prop::collection::vec((1u64..1000, 0.0f64..100.0), 1..20),
+    ) {
+        // Build a monotone time schedule from positive gaps.
+        let mut g = TimeWeightedGauge::new(Duration::ZERO);
+        let mut now = Duration::ZERO;
+        let mut integral = 0.0;
+        let mut level = 0.0;
+        for (gap_ms, next_level) in steps.drain(..) {
+            let gap = Duration::from_millis(gap_ms);
+            integral += level * gap.as_secs_f64();
+            now += gap;
+            g.set(now, next_level);
+            level = next_level;
+        }
+        let horizon = now + Duration::from_millis(500);
+        integral += level * 0.5;
+        let expect = integral / horizon.as_secs_f64();
+        let got = g.average(horizon);
+        prop_assert!((got - expect).abs() < 1e-6, "got {got} expect {expect}");
+    }
+}

@@ -1,0 +1,518 @@
+//! The Halfmoon client: shared handles to the logging layer, the external
+//! state, the fault injector, and the runtime's invoker.
+//!
+//! One [`Client`] exists per simulated deployment; every SSF execution gets
+//! an [`crate::env::Env`] referencing it. The client also keeps the
+//! bookkeeping the garbage collector and benchmark harness need (the set of
+//! keys ever written, the optional history recorder).
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeSet, HashSet};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use hm_common::latency::LatencyModel;
+use hm_common::metrics::Histogram;
+use hm_common::{HmResult, InstanceId, Key, NodeId, Tag, Value};
+use hm_kvstore::KvStore;
+use hm_sharedlog::{LogConfig, SharedLog};
+use hm_sim::SimCtx;
+
+use crate::history::Recorder;
+use crate::protocol::ProtocolConfig;
+use crate::record::StepRecord;
+
+/// Boxed local future, the return type of [`Invoker::invoke`].
+pub type LocalBoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + 'a>>;
+
+/// Which operation a latency sample belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum OpKind {
+    Read,
+    Write,
+    Invoke,
+}
+
+/// Global sub-stream of init records, scanned by the GC and the switch
+/// coordinator (§4.5, §4.7).
+#[must_use]
+pub fn init_log_tag() -> Tag {
+    Tag::new(hm_common::ids::TagKind::InitLog, 0)
+}
+
+/// Global sub-stream of finish records (§4.5).
+#[must_use]
+pub fn finish_log_tag() -> Tag {
+    Tag::new(hm_common::ids::TagKind::FinishLog, 0)
+}
+
+/// Global transition log for protocol switching (§4.7).
+#[must_use]
+pub fn transition_log_tag() -> Tag {
+    Tag::new(hm_common::ids::TagKind::TransitionLog, 0)
+}
+
+/// How the serverless runtime executes child invocations for
+/// [`crate::env::Env::invoke`].
+///
+/// The protocol library deliberately does not depend on any runtime: Boki is
+/// one possible logging layer and `hm-runtime` is one possible FaaS
+/// substrate (§7 makes the same portability point). The runtime registers
+/// itself via [`Client::set_invoker`].
+pub trait Invoker {
+    /// Runs `func(input)` as instance `callee` to completion — including
+    /// crash detection and re-execution — and returns its result.
+    fn invoke(
+        &self,
+        callee: InstanceId,
+        func: &str,
+        input: Value,
+    ) -> LocalBoxFuture<'static, HmResult<Value>>;
+}
+
+/// Fault-injection policy: decides whether an instance crashes at a given
+/// crash point. Crash points are numbered per execution attempt, placed at
+/// every operation boundary the protocols expose (before/after store writes
+/// and log appends — exactly the windows the §4 anomaly arguments use).
+#[derive(Debug)]
+pub struct FaultPolicy {
+    mode: FaultMode,
+    injected: Cell<u32>,
+    /// Hard cap so randomized tests always terminate.
+    max_crashes: u32,
+}
+
+#[derive(Debug)]
+enum FaultMode {
+    None,
+    /// Crash with this probability at every crash point.
+    Random {
+        prob: f64,
+    },
+    /// Crash exactly at the listed `(instance, point)` pairs, each once.
+    At {
+        points: RefCell<HashSet<(InstanceId, u32)>>,
+    },
+    /// Crash each execution *attempt* with this probability, at a uniformly
+    /// random crash point — the Bernoulli-process model of §7. `max_point`
+    /// bounds the drawn target; executions with fewer crash points simply
+    /// survive that attempt (slightly deflating the effective rate).
+    PerAttempt {
+        prob: f64,
+        max_point: u32,
+        pending: RefCell<std::collections::HashMap<InstanceId, u32>>,
+    },
+}
+
+impl FaultPolicy {
+    /// Never crash.
+    #[must_use]
+    pub fn none() -> FaultPolicy {
+        FaultPolicy {
+            mode: FaultMode::None,
+            injected: Cell::new(0),
+            max_crashes: 0,
+        }
+    }
+
+    /// Crash with probability `prob` at every crash point, at most
+    /// `max_crashes` times in total.
+    #[must_use]
+    pub fn random(prob: f64, max_crashes: u32) -> FaultPolicy {
+        assert!((0.0..=1.0).contains(&prob));
+        FaultPolicy {
+            mode: FaultMode::Random { prob },
+            injected: Cell::new(0),
+            max_crashes,
+        }
+    }
+
+    /// Crash each execution attempt with probability `prob`, at a uniform
+    /// random point among the first `max_point` crash points (§7's
+    /// Bernoulli-process failure model).
+    #[must_use]
+    pub fn per_attempt(prob: f64, max_point: u32, max_crashes: u32) -> FaultPolicy {
+        assert!(
+            (0.0..1.0).contains(&prob),
+            "per-attempt crash probability must be < 1"
+        );
+        assert!(max_point >= 1);
+        FaultPolicy {
+            mode: FaultMode::PerAttempt {
+                prob,
+                max_point,
+                pending: RefCell::new(std::collections::HashMap::new()),
+            },
+            injected: Cell::new(0),
+            max_crashes,
+        }
+    }
+
+    /// Crash exactly once at each listed `(instance, crash point)` pair.
+    #[must_use]
+    pub fn at(points: impl IntoIterator<Item = (InstanceId, u32)>) -> FaultPolicy {
+        let points: HashSet<_> = points.into_iter().collect();
+        let max = points.len() as u32;
+        FaultPolicy {
+            mode: FaultMode::At {
+                points: RefCell::new(points),
+            },
+            injected: Cell::new(0),
+            max_crashes: max,
+        }
+    }
+
+    /// Decides whether `instance` crashes at crash point `point`.
+    pub fn should_crash(&self, instance: InstanceId, point: u32, ctx: &SimCtx) -> bool {
+        if self.injected.get() >= self.max_crashes {
+            return false;
+        }
+        let crash = match &self.mode {
+            FaultMode::None => false,
+            FaultMode::Random { prob } => {
+                ctx.with_rng(|rng| hm_common::dist::bernoulli(rng, *prob))
+            }
+            FaultMode::At { points } => points.borrow_mut().remove(&(instance, point)),
+            FaultMode::PerAttempt {
+                prob,
+                max_point,
+                pending,
+            } => {
+                let mut pending = pending.borrow_mut();
+                if point == 1 {
+                    // New attempt: decide its fate now.
+                    if ctx.with_rng(|rng| hm_common::dist::bernoulli(rng, *prob)) {
+                        let target = ctx.with_rng(|rng| {
+                            use rand::RngExt;
+                            rng.random_range(1..=*max_point)
+                        });
+                        pending.insert(instance, target);
+                    } else {
+                        pending.remove(&instance);
+                    }
+                }
+                match pending.get(&instance) {
+                    Some(target) if *target <= point => {
+                        pending.remove(&instance);
+                        true
+                    }
+                    _ => false,
+                }
+            }
+        };
+        if crash {
+            self.injected.set(self.injected.get() + 1);
+        }
+        crash
+    }
+
+    /// Number of crashes injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u32 {
+        self.injected.get()
+    }
+}
+
+/// Per-operation latency histograms, as the microbenchmarks report them
+/// (Table 1, Figure 10).
+#[derive(Clone, Debug, Default)]
+pub struct OpLatencies {
+    /// End-to-end `Env::read` latency.
+    pub read: Histogram,
+    /// End-to-end `Env::write` latency.
+    pub write: Histogram,
+    /// End-to-end `Env::invoke` latency (including the child).
+    pub invoke: Histogram,
+}
+
+struct ClientInner {
+    ctx: SimCtx,
+    log: SharedLog<StepRecord>,
+    store: KvStore,
+    model: LatencyModel,
+    config: RefCell<ProtocolConfig>,
+    faults: RefCell<Rc<FaultPolicy>>,
+    invoker: RefCell<Option<Rc<dyn Invoker>>>,
+    recorder: RefCell<Option<Rc<Recorder>>>,
+    op_latencies: RefCell<OpLatencies>,
+    /// Opportunistic checkpoints of log-free reads, per function node
+    /// (§7): `(node, instance, pc) → value`. Purely an in-memory recovery
+    /// accelerator — never consulted for correctness, only to skip
+    /// recomputing a deterministic result.
+    checkpoints: RefCell<std::collections::HashMap<(NodeId, InstanceId, u32), Value>>,
+    /// Memoized transaction-commit validity by commit seqnum. In a real
+    /// deployment this is the shared log's per-record auxiliary data (the
+    /// Tango/Boki pattern); validity is a deterministic function of the
+    /// log prefix, so caching it is sound.
+    txn_validity: RefCell<std::collections::HashMap<hm_common::SeqNum, bool>>,
+    /// Keys that have received at least one multi-version write; the GC
+    /// iterates this instead of scanning the whole keyspace.
+    written_keys: RefCell<BTreeSet<Key>>,
+}
+
+/// Shared deployment handle. Cheap to clone.
+#[derive(Clone)]
+pub struct Client {
+    inner: Rc<ClientInner>,
+}
+
+impl Client {
+    /// Builds a deployment: fresh log and store on the given simulation.
+    #[must_use]
+    pub fn new(ctx: SimCtx, model: LatencyModel, config: ProtocolConfig) -> Client {
+        let log = SharedLog::new(ctx.clone(), model, LogConfig::default());
+        let store = KvStore::new(ctx.clone(), model);
+        Client {
+            inner: Rc::new(ClientInner {
+                ctx,
+                log,
+                store,
+                model,
+                config: RefCell::new(config),
+                faults: RefCell::new(Rc::new(FaultPolicy::none())),
+                invoker: RefCell::new(None),
+                recorder: RefCell::new(None),
+                op_latencies: RefCell::new(OpLatencies::default()),
+                checkpoints: RefCell::new(std::collections::HashMap::new()),
+                txn_validity: RefCell::new(std::collections::HashMap::new()),
+                written_keys: RefCell::new(BTreeSet::new()),
+            }),
+        }
+    }
+
+    /// The simulation context.
+    #[must_use]
+    pub fn ctx(&self) -> &SimCtx {
+        &self.inner.ctx
+    }
+
+    /// The shared log.
+    #[must_use]
+    pub fn log(&self) -> &SharedLog<StepRecord> {
+        &self.inner.log
+    }
+
+    /// The external state store.
+    #[must_use]
+    pub fn store(&self) -> &KvStore {
+        &self.inner.store
+    }
+
+    /// The latency model in force.
+    #[must_use]
+    pub fn model(&self) -> LatencyModel {
+        self.inner.model
+    }
+
+    /// Runs `f` with the protocol configuration.
+    pub fn with_config<T>(&self, f: impl FnOnce(&ProtocolConfig) -> T) -> T {
+        f(&self.inner.config.borrow())
+    }
+
+    /// Mutates the protocol configuration (used by tests and the switch
+    /// coordinator's bookkeeping).
+    pub fn update_config(&self, f: impl FnOnce(&mut ProtocolConfig)) {
+        f(&mut self.inner.config.borrow_mut());
+    }
+
+    /// The current fault policy.
+    #[must_use]
+    pub fn faults(&self) -> Rc<FaultPolicy> {
+        self.inner.faults.borrow().clone()
+    }
+
+    /// Replaces the fault policy.
+    pub fn set_faults(&self, policy: FaultPolicy) {
+        *self.inner.faults.borrow_mut() = Rc::new(policy);
+    }
+
+    /// The registered invoker, if any.
+    #[must_use]
+    pub fn invoker(&self) -> Option<Rc<dyn Invoker>> {
+        self.inner.invoker.borrow().clone()
+    }
+
+    /// Registers the runtime's invoker.
+    pub fn set_invoker(&self, invoker: Rc<dyn Invoker>) {
+        *self.inner.invoker.borrow_mut() = Some(invoker);
+    }
+
+    /// The history recorder, if consistency checking is enabled.
+    #[must_use]
+    pub fn recorder(&self) -> Option<Rc<Recorder>> {
+        self.inner.recorder.borrow().clone()
+    }
+
+    /// Enables history recording (tests and checkers).
+    pub fn set_recorder(&self, recorder: Rc<Recorder>) {
+        *self.inner.recorder.borrow_mut() = Some(recorder);
+    }
+
+    /// Notes that `key` received a multi-version write (GC bookkeeping;
+    /// a real deployment would keep this index in the logging layer).
+    pub fn note_written_key(&self, key: &Key) {
+        self.inner.written_keys.borrow_mut().insert(key.clone());
+    }
+
+    /// Snapshot of keys with multi-version writes.
+    #[must_use]
+    pub fn written_keys(&self) -> Vec<Key> {
+        self.inner.written_keys.borrow().iter().cloned().collect()
+    }
+
+    /// Populates base state in the store and tells the recorder about it.
+    pub fn populate(&self, key: Key, value: Value) {
+        if let Some(rec) = self.recorder() {
+            rec.set_base(&key, &value);
+        }
+        self.store().populate(key, value);
+    }
+
+    /// A deterministic fresh instance id for a top-level (gateway-issued)
+    /// invocation, derived from the simulation RNG.
+    #[must_use]
+    pub fn fresh_instance_id(&self) -> InstanceId {
+        let (a, b) = self.ctx().with_rng(|rng| {
+            use rand::RngExt;
+            (rng.random::<u64>(), rng.random::<u64>())
+        });
+        InstanceId((u128::from(a) << 64) | u128::from(b))
+    }
+
+    /// Records an operation latency sample (called by `Env`).
+    pub(crate) fn record_op_latency(&self, op: OpKind, latency: std::time::Duration) {
+        let mut stats = self.inner.op_latencies.borrow_mut();
+        match op {
+            OpKind::Read => stats.read.record(latency),
+            OpKind::Write => stats.write.record(latency),
+            OpKind::Invoke => stats.invoke.record(latency),
+        }
+    }
+
+    /// Snapshot of the per-operation latency histograms.
+    #[must_use]
+    pub fn op_latencies(&self) -> OpLatencies {
+        self.inner.op_latencies.borrow().clone()
+    }
+
+    /// Fetches an opportunistic checkpoint (§7), if one is cached on the
+    /// node.
+    #[must_use]
+    pub fn checkpoint(&self, node: NodeId, instance: InstanceId, pc: u32) -> Option<Value> {
+        self.inner
+            .checkpoints
+            .borrow()
+            .get(&(node, instance, pc))
+            .cloned()
+    }
+
+    /// Stores an opportunistic checkpoint (§7).
+    pub fn set_checkpoint(&self, node: NodeId, instance: InstanceId, pc: u32, value: Value) {
+        self.inner
+            .checkpoints
+            .borrow_mut()
+            .insert((node, instance, pc), value);
+    }
+
+    /// Drops every checkpoint an instance left on any node (called when
+    /// the GC reclaims the instance).
+    pub fn drop_checkpoints(&self, instance: InstanceId) {
+        self.inner
+            .checkpoints
+            .borrow_mut()
+            .retain(|(_, i, _), _| *i != instance);
+    }
+
+    /// Looks up a memoized transaction-commit validity.
+    #[must_use]
+    pub fn txn_validity(&self, commit: hm_common::SeqNum) -> Option<bool> {
+        self.inner.txn_validity.borrow().get(&commit).copied()
+    }
+
+    /// Memoizes a transaction-commit validity.
+    pub fn set_txn_validity(&self, commit: hm_common::SeqNum, valid: bool) {
+        self.inner.txn_validity.borrow_mut().insert(commit, valid);
+    }
+
+    /// Total bytes currently stored across the log and the state store.
+    #[must_use]
+    pub fn total_bytes(&self) -> f64 {
+        self.log().current_bytes() + self.store().current_bytes()
+    }
+
+    /// Convenience: ignore, used to silence `NodeId` lints in doctests.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn default_node(&self) -> NodeId {
+        NodeId(0)
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Client({:?}, {:?})", self.inner.log, self.inner.store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use hm_sim::Sim;
+
+    use crate::protocol::{ProtocolConfig, ProtocolKind};
+
+    use super::*;
+
+    #[test]
+    fn fault_policy_none_never_crashes() {
+        let sim = Sim::new(1);
+        let p = FaultPolicy::none();
+        assert!(!p.should_crash(InstanceId(1), 0, &sim.ctx()));
+        assert_eq!(p.injected(), 0);
+    }
+
+    #[test]
+    fn fault_policy_at_fires_once() {
+        let sim = Sim::new(1);
+        let p = FaultPolicy::at([(InstanceId(1), 3)]);
+        assert!(!p.should_crash(InstanceId(1), 2, &sim.ctx()));
+        assert!(p.should_crash(InstanceId(1), 3, &sim.ctx()));
+        assert!(!p.should_crash(InstanceId(1), 3, &sim.ctx()));
+        assert_eq!(p.injected(), 1);
+    }
+
+    #[test]
+    fn fault_policy_random_respects_budget() {
+        let sim = Sim::new(1);
+        let p = FaultPolicy::random(1.0, 2);
+        assert!(p.should_crash(InstanceId(1), 0, &sim.ctx()));
+        assert!(p.should_crash(InstanceId(1), 1, &sim.ctx()));
+        assert!(
+            !p.should_crash(InstanceId(1), 2, &sim.ctx()),
+            "budget exhausted"
+        );
+    }
+
+    #[test]
+    fn client_bookkeeping() {
+        let sim = Sim::new(1);
+        let client = Client::new(
+            sim.ctx(),
+            LatencyModel::uniform_test_model(),
+            ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
+        );
+        client.note_written_key(&Key::new("b"));
+        client.note_written_key(&Key::new("a"));
+        client.note_written_key(&Key::new("a"));
+        assert_eq!(client.written_keys(), vec![Key::new("a"), Key::new("b")]);
+        let id1 = client.fresh_instance_id();
+        let id2 = client.fresh_instance_id();
+        assert_ne!(id1, id2);
+    }
+
+    #[test]
+    fn global_tags_are_distinct() {
+        assert_ne!(init_log_tag(), finish_log_tag());
+        assert_ne!(init_log_tag(), transition_log_tag());
+    }
+}

@@ -1,0 +1,633 @@
+//! The SSF execution environment: Figure 5's `env`.
+//!
+//! An [`Env`] is created per execution attempt of an SSF instance group. It
+//! carries the paper's per-SSF state — the cursor timestamp, the step
+//! counter, the prefetched step log (`env.stepLogs`), the consecutive-write
+//! counter — plus the replay machinery that makes re-execution and peer
+//! races safe:
+//!
+//! - **Replay**: at init, the whole step-log stream is fetched; each logged
+//!   operation first tries to consume the next prior record (skipping
+//!   completed work), and only appends when it runs past the recorded
+//!   history.
+//! - **Peer conflicts (§5.1)**: all appends are conditional on the record's
+//!   offset in the step log. A losing instance adopts the winner's record —
+//!   value, seqnum and all — so every peer proceeds with identical state.
+//!
+//! The public operations ([`Env::read`], [`Env::write`], [`Env::invoke`],
+//! [`Env::sync`]) dispatch to the protocol resolved for the target object:
+//! statically configured, or looked up in the transition log when switching
+//! is enabled (§4.7).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use hm_common::{HmError, HmResult, InstanceId, Key, NodeId, SeqNum, StepNum, Tag, Value};
+use hm_sharedlog::{CondAppendOutcome, LogRecord};
+
+use crate::client::{finish_log_tag, init_log_tag, transition_log_tag, Client, OpKind};
+use crate::history::{Event, EventKind};
+use crate::protocol::ProtocolKind;
+use crate::record::{OpRecord, StepRecord};
+
+/// The protocol mode resolved for object accesses (§4.7 lifecycle).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ObjectMode {
+    /// Steady state: the given protocol, unmodified.
+    Plain(ProtocolKind),
+    /// Between BEGIN and END: dual reads and dual writes, all logged (§5.2).
+    Transitional {
+        /// The switch target.
+        to: ProtocolKind,
+    },
+    /// Between END and SETTLED: the target protocol, except that reads stay
+    /// logged (dual) because transitional writers may still be live.
+    Draining {
+        /// The switch target.
+        to: ProtocolKind,
+    },
+}
+
+/// Figure 5's `env`: the per-execution-attempt state of one SSF.
+pub struct Env {
+    client: Client,
+    /// The instance group identifier (`env.ID`); shared with peers/retries.
+    pub id: InstanceId,
+    /// The function node executing this attempt.
+    pub node: NodeId,
+    /// Execution attempt number (0 on first execution).
+    pub attempt: u32,
+    /// `cursorTS`: seqnum of the latest logged operation (§4).
+    pub cursor: SeqNum,
+    /// Index of the next logged step (`env.step`).
+    pub step: StepNum,
+    /// Offset of the next record in the step-log stream.
+    pos: usize,
+    /// Step-log records fetched at init (`env.stepLogs`).
+    prior: Vec<Rc<LogRecord<StepRecord>>>,
+    /// Consecutive log-free writes since the last logged op (Figure 7).
+    pub consecutive_w: u32,
+    /// Key of the previous operation if it was a log-free write (used by
+    /// the ordered-write extension).
+    last_write_key: Option<Key>,
+    /// Program counter over *all* state operations (including log-free
+    /// ones); identical across attempts of a deterministic body.
+    pc: u32,
+    /// Crash-point counter within this attempt.
+    crash_point: u32,
+    /// Seqnum of this SSF's init record.
+    pub init_cursor: SeqNum,
+    /// Transition-log resolution, cached after first object access.
+    resolved_mode: Option<ObjectMode>,
+    /// Static per-key resolutions (cheap cache of config lookups).
+    resolved_static: HashMap<Key, ProtocolKind>,
+    /// True when the whole deployment runs the unsafe baseline: no init,
+    /// finish, or operation logging at all.
+    unlogged: bool,
+    /// The invocation input: recovered from the init log record when one
+    /// exists (Figure 5 logs the input precisely so re-executions and peer
+    /// instances agree on it), otherwise the caller-supplied value.
+    input: Value,
+}
+
+impl Env {
+    /// Initializes an execution attempt: fetches the step log and appends
+    /// (or replays) the init record — Figure 5's `Init`.
+    ///
+    /// # Errors
+    /// Propagates injected crashes and substrate errors.
+    pub async fn init(
+        client: &Client,
+        id: InstanceId,
+        node: NodeId,
+        attempt: u32,
+        input: Value,
+    ) -> HmResult<Env> {
+        let unlogged = client.with_config(|c| {
+            c.default == ProtocolKind::Unsafe && c.per_key.is_empty() && !c.switching_enabled
+        });
+        let mut env = Env {
+            client: client.clone(),
+            id,
+            node,
+            attempt,
+            cursor: SeqNum::ZERO,
+            step: StepNum(0),
+            pos: 0,
+            prior: Vec::new(),
+            consecutive_w: 0,
+            last_write_key: None,
+            pc: 0,
+            crash_point: 0,
+            init_cursor: SeqNum::ZERO,
+            resolved_mode: None,
+            resolved_static: HashMap::new(),
+            unlogged,
+            input,
+        };
+        if unlogged {
+            return Ok(env);
+        }
+        env.prior = client.log().read_stream(node, id.step_log_tag()).await;
+        env.maybe_crash()?;
+        match env.peek_prior() {
+            Some(rec) => {
+                debug_assert!(matches!(rec.payload.op, OpRecord::Init { .. }));
+                let rec = env.replay_next().expect("peeked record vanished");
+                if let OpRecord::Init { input } = &rec.payload.op {
+                    env.input = input.clone();
+                }
+                env.init_cursor = rec.seqnum;
+            }
+            None => {
+                let input = env.input.clone();
+                let rec = env
+                    .log_step(vec![init_log_tag()], OpRecord::Init { input })
+                    .await?;
+                if let OpRecord::Init { input } = &rec.payload.op {
+                    // A racing peer's init may have won with its input.
+                    env.input = input.clone();
+                }
+                env.init_cursor = rec.seqnum;
+            }
+        }
+        Ok(env)
+    }
+
+    /// The authoritative invocation input (recovered from the init record
+    /// on re-execution; see Figure 5 lines 7–10).
+    #[must_use]
+    pub fn input(&self) -> &Value {
+        &self.input
+    }
+
+    /// The shared client handle.
+    #[must_use]
+    pub fn client(&self) -> &Client {
+        &self.client
+    }
+
+    // ------------------------------------------------------------------
+    // Replay machinery
+    // ------------------------------------------------------------------
+
+    /// The prior record at the current replay position, if any.
+    pub(crate) fn peek_prior(&self) -> Option<&Rc<LogRecord<StepRecord>>> {
+        self.prior.get(self.pos)
+    }
+
+    /// Consumes the prior record at the current position, advancing the
+    /// step, position, and cursor.
+    pub(crate) fn replay_next(&mut self) -> Option<Rc<LogRecord<StepRecord>>> {
+        let rec = self.prior.get(self.pos)?.clone();
+        self.pos += 1;
+        self.step = self.step.next();
+        self.cursor = rec.seqnum;
+        self.consecutive_w = 0;
+        self.last_write_key = None;
+        Some(rec)
+    }
+
+    /// Appends a step record via conditional append at the current offset;
+    /// on conflict, adopts the winning peer's record (§5.1). Advances step,
+    /// position, and cursor to the (possibly adopted) record.
+    pub(crate) async fn log_step(
+        &mut self,
+        extra_tags: Vec<Tag>,
+        op: OpRecord,
+    ) -> HmResult<Rc<LogRecord<StepRecord>>> {
+        let step_tag = self.id.step_log_tag();
+        let rec = StepRecord {
+            instance: self.id,
+            step: self.step,
+            op,
+        };
+        let mut tags = vec![step_tag];
+        tags.extend(extra_tags);
+        let outcome = self
+            .client
+            .log()
+            .cond_append(self.node, tags, rec, step_tag, self.pos)
+            .await;
+        let record = match outcome {
+            CondAppendOutcome::Appended(sn) => self
+                .client
+                .log()
+                .peek_record(sn)
+                .ok_or_else(|| HmError::config("appended record missing from log"))?,
+            CondAppendOutcome::Conflict(winner) => {
+                // Adopt the peer's record at our expected offset.
+                self.client
+                    .log()
+                    .read_next(self.node, step_tag, winner)
+                    .await
+                    .ok_or_else(|| HmError::config("conflict winner record missing"))?
+            }
+        };
+        debug_assert_eq!(record.payload.instance, self.id);
+        self.pos += 1;
+        self.step = self.step.next();
+        self.cursor = record.seqnum;
+        self.consecutive_w = 0;
+        self.last_write_key = None;
+        Ok(record)
+    }
+
+    /// A structural mismatch between the function body and its own log —
+    /// only possible if the body is non-deterministic, which the protocols
+    /// (and the paper, §2) require it not to be.
+    pub(crate) fn replay_mismatch(&self, expected: &str, got: &StepRecord) -> HmError {
+        HmError::config(format!(
+            "non-deterministic SSF body: expected {expected} at step {:?} of {:?}, found {:?}",
+            self.step, self.id, got.op
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & instrumentation
+    // ------------------------------------------------------------------
+
+    /// One crash point: returns `Err(Crashed)` if the fault policy fires.
+    pub(crate) fn maybe_crash(&mut self) -> HmResult<()> {
+        self.crash_point += 1;
+        if self
+            .client
+            .faults()
+            .should_crash(self.id, self.crash_point, self.client.ctx())
+        {
+            Err(HmError::Crashed {
+                point: self.crash_point,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Records a history event if a recorder is attached.
+    pub(crate) fn record_event(&self, kind: EventKind) {
+        self.record_event_at(kind, self.client.ctx().now());
+    }
+
+    /// Records a history event with an explicit observation instant (used
+    /// by logged reads, whose store observation precedes the log append).
+    pub(crate) fn record_event_at(&self, kind: EventKind, at: hm_sim::SimTime) {
+        if let Some(rec) = self.client.recorder() {
+            rec.record(Event {
+                instance: self.id,
+                attempt: self.attempt,
+                pc: self.pc,
+                at,
+                kind,
+            });
+        }
+    }
+
+    /// Advances the program counter; called at the top of each public op.
+    pub(crate) fn bump_pc(&mut self) {
+        self.pc += 1;
+    }
+
+    /// The current program counter (op index within the body).
+    pub(crate) fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol resolution (§4.6 per-object choice, §4.7 switching)
+    // ------------------------------------------------------------------
+
+    /// Resolves the protocol mode governing accesses to `key`.
+    pub(crate) async fn resolve(&mut self, key: &Key) -> HmResult<ObjectMode> {
+        let switching = self.client.with_config(|c| c.switching_enabled);
+        if switching {
+            if let Some(mode) = self.resolved_mode {
+                return Ok(mode);
+            }
+            // One transition-log lookup per SSF, bounded by the *initial*
+            // cursor so retries resolve identically (§4.7: "both the
+            // cursorTS and the transition log are persistent").
+            let rec = self
+                .client
+                .log()
+                .read_prev(self.node, transition_log_tag(), self.init_cursor)
+                .await;
+            let mode = match rec.as_ref().map(|r| &r.payload.op) {
+                None => ObjectMode::Plain(self.client.with_config(|c| c.static_protocol(key))),
+                Some(OpRecord::TransitionBegin { to, .. }) => ObjectMode::Transitional { to: *to },
+                Some(OpRecord::TransitionEnd { to }) => ObjectMode::Draining { to: *to },
+                Some(OpRecord::TransitionSettled { to }) => ObjectMode::Plain(*to),
+                Some(other) => {
+                    return Err(HmError::config(format!(
+                        "unexpected transition-log record: {other:?}"
+                    )))
+                }
+            };
+            self.resolved_mode = Some(mode);
+            return Ok(mode);
+        }
+        if let Some(kind) = self.resolved_static.get(key) {
+            return Ok(ObjectMode::Plain(*kind));
+        }
+        let kind = self.client.with_config(|c| c.static_protocol(key));
+        self.resolved_static.insert(key.clone(), kind);
+        Ok(ObjectMode::Plain(kind))
+    }
+
+    // ------------------------------------------------------------------
+    // Public SSF API
+    // ------------------------------------------------------------------
+
+    /// Reads `key` under the resolved protocol.
+    ///
+    /// # Errors
+    /// Propagates injected crashes and substrate errors.
+    pub async fn read(&mut self, key: &Key) -> HmResult<Value> {
+        self.bump_pc();
+        let started = self.client.ctx().now();
+        let result = self.read_dispatch(key).await;
+        if result.is_ok() {
+            self.client
+                .record_op_latency(OpKind::Read, self.client.ctx().now() - started);
+        }
+        result
+    }
+
+    async fn read_dispatch(&mut self, key: &Key) -> HmResult<Value> {
+        // §7 program-analysis hint: reads of immutable objects are
+        // inherently idempotent — raw read, no logging, no version lookup,
+        // under every protocol.
+        if self.client.with_config(|c| c.read_only_keys.contains(key)) {
+            self.maybe_crash()?;
+            let value = self.client.store().get(key).await.unwrap_or(Value::Null);
+            self.record_event(EventKind::Read {
+                key: key.clone(),
+                fp: value.fingerprint(),
+                logical: self.cursor,
+                fresh: true,
+            });
+            return Ok(value);
+        }
+        match self.resolve(key).await? {
+            ObjectMode::Plain(ProtocolKind::HalfmoonRead) => self.hmread_read(key).await,
+            ObjectMode::Plain(ProtocolKind::HalfmoonWrite) => self.hmwrite_read(key).await,
+            ObjectMode::Plain(ProtocolKind::Boki) => self.boki_read(key).await,
+            ObjectMode::Plain(ProtocolKind::Unsafe) => self.unsafe_read(key).await,
+            // During the switch, reads are logged dual reads (§5.2) — and
+            // also throughout the draining window: toward Halfmoon-read
+            // because transitional writers may still mutate LATEST rows,
+            // and toward Halfmoon-write because LATEST rows are being
+            // reconciled with the multi-version state in the background.
+            ObjectMode::Transitional { .. }
+            | ObjectMode::Draining {
+                to: ProtocolKind::HalfmoonRead,
+            }
+            | ObjectMode::Draining {
+                to: ProtocolKind::HalfmoonWrite,
+            } => self.dual_read(key).await,
+            ObjectMode::Draining {
+                to: ProtocolKind::Boki,
+            } => self.boki_read(key).await,
+            ObjectMode::Draining {
+                to: ProtocolKind::Unsafe,
+            } => self.unsafe_read(key).await,
+        }
+    }
+
+    /// Writes `value` to `key` under the resolved protocol.
+    ///
+    /// # Errors
+    /// Propagates injected crashes and substrate errors.
+    pub async fn write(&mut self, key: &Key, value: Value) -> HmResult<()> {
+        self.bump_pc();
+        let started = self.client.ctx().now();
+        let result = self.write_dispatch(key, value).await;
+        if result.is_ok() {
+            self.client
+                .record_op_latency(OpKind::Write, self.client.ctx().now() - started);
+        }
+        result
+    }
+
+    async fn write_dispatch(&mut self, key: &Key, value: Value) -> HmResult<()> {
+        if self.client.with_config(|c| c.read_only_keys.contains(key)) {
+            return Err(HmError::config(format!(
+                "attempted write to read-only key {key:?}"
+            )));
+        }
+        match self.resolve(key).await? {
+            ObjectMode::Plain(ProtocolKind::HalfmoonRead) => self.hmread_write(key, value).await,
+            ObjectMode::Plain(ProtocolKind::HalfmoonWrite) => self.hmwrite_write(key, value).await,
+            ObjectMode::Plain(ProtocolKind::Boki) => self.boki_write(key, value).await,
+            ObjectMode::Plain(ProtocolKind::Unsafe) => self.unsafe_write(key, value).await,
+            ObjectMode::Transitional { .. } => self.dual_write(key, value).await,
+            // Draining: old-protocol SSFs are gone, so plain target writes
+            // are safe (HM-read writes never touch LATEST; HM-write writes
+            // are ordered against transitional writers by version tuples).
+            ObjectMode::Draining {
+                to: ProtocolKind::HalfmoonRead,
+            } => self.hmread_write(key, value).await,
+            ObjectMode::Draining {
+                to: ProtocolKind::HalfmoonWrite,
+            } => self.hmwrite_write(key, value).await,
+            ObjectMode::Draining {
+                to: ProtocolKind::Boki,
+            } => self.boki_write(key, value).await,
+            ObjectMode::Draining {
+                to: ProtocolKind::Unsafe,
+            } => self.unsafe_write(key, value).await,
+        }
+    }
+
+    /// Reads several objects as one consistent snapshot where the protocol
+    /// allows it (§4.1 Remark).
+    ///
+    /// Under Halfmoon-read every constituent read resolves against the
+    /// same cursor timestamp, so the result is a true snapshot of the
+    /// "table" at that logical instant, fetched concurrently and entirely
+    /// log-free. Under the logged protocols (Halfmoon-write, Boki) the
+    /// keys are read sequentially — each read is individually idempotent,
+    /// but the collection is not an atomic snapshot (the paper's
+    /// prototypes have the same limitation for mutable tables).
+    ///
+    /// # Errors
+    /// Propagates injected crashes and substrate errors.
+    pub async fn read_snapshot(&mut self, keys: &[Key]) -> HmResult<Vec<Value>> {
+        // A snapshot is only well-defined when every key resolves to the
+        // same mode; mixed static configs fall back to per-key reads.
+        let mut all_hmread = true;
+        for key in keys {
+            if self.resolve(key).await? != ObjectMode::Plain(ProtocolKind::HalfmoonRead) {
+                all_hmread = false;
+                break;
+            }
+        }
+        if all_hmread {
+            return self.hmread_read_snapshot(keys).await;
+        }
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            out.push(self.read(key).await?);
+        }
+        Ok(out)
+    }
+
+    /// Invokes a child function, logging the result for idempotence
+    /// (Figure 5 lines 31–44).
+    ///
+    /// # Errors
+    /// Propagates injected crashes, child failures, and substrate errors.
+    pub async fn invoke(&mut self, func: &str, input: Value) -> HmResult<Value> {
+        self.bump_pc();
+        let started = self.client.ctx().now();
+        let result = self.invoke_dispatch(func, input).await;
+        if result.is_ok() {
+            self.client
+                .record_op_latency(OpKind::Invoke, self.client.ctx().now() - started);
+        }
+        result
+    }
+
+    async fn invoke_dispatch(&mut self, func: &str, input: Value) -> HmResult<Value> {
+        if self.unlogged {
+            // Unsafe baseline: fire and hope. Fresh random callee id per
+            // attempt — duplicated side effects on retry are the point.
+            let callee = self.client.fresh_instance_id();
+            let invoker = self
+                .client
+                .invoker()
+                .ok_or_else(|| HmError::config("no invoker registered"))?;
+            self.maybe_crash()?;
+            let result = invoker.invoke(callee, func, input).await?;
+            self.record_event(EventKind::Invoke {
+                callee,
+                fp: result.fingerprint(),
+            });
+            return Ok(result);
+        }
+        if let Some(rec) = self.peek_prior() {
+            let payload = rec.payload.clone();
+            return match payload.op {
+                OpRecord::Invoke { callee, result } => {
+                    self.replay_next();
+                    self.record_event(EventKind::Invoke {
+                        callee,
+                        fp: result.fingerprint(),
+                    });
+                    Ok(result)
+                }
+                _ => Err(self.replay_mismatch("Invoke", &payload)),
+            };
+        }
+        // Deterministic callee id: a pure function of our id and step
+        // (Figure 5's getUUID; see DESIGN.md on this choice).
+        let callee = self.id.child(self.step);
+        let invoker = self
+            .client
+            .invoker()
+            .ok_or_else(|| HmError::config("no invoker registered"))?;
+        self.maybe_crash()?;
+        let result = invoker.invoke(callee, func, input).await?;
+        self.maybe_crash()?;
+        let rec = self
+            .log_step(Vec::new(), OpRecord::Invoke { callee, result })
+            .await?;
+        let OpRecord::Invoke { callee, result } = rec.payload.op.clone() else {
+            return Err(self.replay_mismatch("Invoke", &rec.payload));
+        };
+        self.record_event(EventKind::Invoke {
+            callee,
+            fp: result.fingerprint(),
+        });
+        Ok(result)
+    }
+
+    /// Appends a sync record, advancing the cursor to the log head — the
+    /// explicit linearizability escape hatch of §4.4.
+    ///
+    /// # Errors
+    /// Propagates injected crashes and substrate errors.
+    pub async fn sync(&mut self) -> HmResult<()> {
+        if self.unlogged {
+            return Ok(());
+        }
+        if let Some(rec) = self.peek_prior() {
+            let payload = rec.payload.clone();
+            return match payload.op {
+                OpRecord::Sync => {
+                    self.replay_next();
+                    Ok(())
+                }
+                _ => Err(self.replay_mismatch("Sync", &payload)),
+            };
+        }
+        self.maybe_crash()?;
+        self.log_step(Vec::new(), OpRecord::Sync).await?;
+        Ok(())
+    }
+
+    /// Completes the SSF: appends (or replays) the finish record carrying
+    /// the result, and returns the authoritative result (a racing peer's,
+    /// if it finished first).
+    ///
+    /// # Errors
+    /// Propagates injected crashes and substrate errors.
+    pub async fn finish(&mut self, result: Value) -> HmResult<Value> {
+        if self.unlogged {
+            return Ok(result);
+        }
+        if let Some(rec) = self.peek_prior() {
+            let payload = rec.payload.clone();
+            return match payload.op {
+                OpRecord::Finish { result, .. } => {
+                    self.replay_next();
+                    Ok(result)
+                }
+                _ => Err(self.replay_mismatch("Finish", &payload)),
+            };
+        }
+        self.maybe_crash()?;
+        let rec = self
+            .log_step(
+                vec![finish_log_tag()],
+                OpRecord::Finish {
+                    init_seqnum: self.init_cursor,
+                    result,
+                },
+            )
+            .await?;
+        match rec.payload.op.clone() {
+            OpRecord::Finish { result, .. } => Ok(result),
+            _ => Err(self.replay_mismatch("Finish", &rec.payload)),
+        }
+    }
+
+    /// Spends a sample of pure compute time (function work between state
+    /// operations).
+    pub async fn compute(&self) {
+        let d = self
+            .client
+            .ctx()
+            .with_rng(|rng| self.client.model().function_compute.sample(rng));
+        self.client.ctx().sleep(d).await;
+    }
+
+    /// Key of the preceding log-free write, for the ordered-write extension.
+    pub(crate) fn last_write_key(&self) -> Option<&Key> {
+        self.last_write_key.as_ref()
+    }
+
+    /// Marks `key` as the most recent log-free write target.
+    pub(crate) fn set_last_write_key(&mut self, key: &Key) {
+        self.last_write_key = Some(key.clone());
+    }
+}
+
+impl std::fmt::Debug for Env {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Env({:?} attempt={} step={:?} cursor={:?} pos={})",
+            self.id, self.attempt, self.step, self.cursor, self.pos
+        )
+    }
+}

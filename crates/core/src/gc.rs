@@ -1,0 +1,190 @@
+//! Garbage collection (§4.5).
+//!
+//! The GC is invoked periodically by the runtime. One collection cycle:
+//!
+//! 1. Scan the global init and finish streams and compute the **watermark**
+//!    `t`: the largest seqnum such that every SSF whose init record
+//!    precedes `t` has finished. This is exactly condition (b): any SSF
+//!    still running (or yet to start) has an initial cursor ≥ `t`.
+//! 2. For every finished SSF below the watermark: reclaim leaked object
+//!    versions (a write intent without a commit means the SSF may have
+//!    installed a version that never became visible), then trim its step
+//!    log. Read-log records (Halfmoon-write) live only in step logs, so
+//!    their lifetime equals the SSF's, as §4.5 states.
+//! 3. For every object write log (Halfmoon-read): mark the latest record
+//!    below the watermark — the earliest version any current or future
+//!    reader can still observe — and delete every older record and its
+//!    version. Keeping the marked record is condition (a).
+//! 4. Trim the global init/finish streams below the watermark.
+
+use std::collections::HashSet;
+
+use hm_common::{Key, NodeId, SeqNum, VersionNum};
+
+use crate::client::{finish_log_tag, init_log_tag, Client};
+use crate::record::OpRecord;
+
+/// Statistics of one collection cycle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// The watermark used for this cycle.
+    pub watermark: SeqNum,
+    /// Step logs trimmed (== finished SSFs reclaimed).
+    pub instances_reclaimed: usize,
+    /// Object versions deleted from the external store.
+    pub versions_deleted: usize,
+    /// Leaked (uncommitted) versions deleted.
+    pub orphans_deleted: usize,
+}
+
+/// The garbage collector function.
+pub struct GarbageCollector {
+    client: Client,
+    node: NodeId,
+}
+
+impl GarbageCollector {
+    /// Creates a collector that issues its operations via `node`.
+    #[must_use]
+    pub fn new(client: Client, node: NodeId) -> GarbageCollector {
+        GarbageCollector { client, node }
+    }
+
+    /// Runs one collection cycle.
+    pub async fn collect(&self) -> GcStats {
+        let mut stats = GcStats::default();
+        // Step 1: watermark from the init/finish scan (two paid reads).
+        let inits = self
+            .client
+            .log()
+            .read_stream(self.node, init_log_tag())
+            .await;
+        let fins = self
+            .client
+            .log()
+            .read_stream(self.node, finish_log_tag())
+            .await;
+        let finished: HashSet<SeqNum> = fins
+            .iter()
+            .filter_map(|r| match r.payload.op {
+                OpRecord::Finish { init_seqnum, .. } => Some(init_seqnum),
+                _ => None,
+            })
+            .collect();
+        let watermark = inits
+            .iter()
+            .map(|r| r.seqnum)
+            .find(|sn| !finished.contains(sn))
+            .unwrap_or_else(|| self.client.log().head_seqnum());
+        stats.watermark = watermark;
+
+        // Step 2: reclaim finished SSFs below the watermark. Trims are
+        // independent, so they run concurrently (a real GC batches them).
+        let mut reclaim_handles = Vec::new();
+        let mut orphan_deletes: Vec<(Key, VersionNum)> = Vec::new();
+        for init in inits.iter().filter(|r| r.seqnum < watermark) {
+            stats.instances_reclaimed += 1;
+            let instance = init.payload.instance;
+            self.client.drop_checkpoints(instance);
+            let step_tag = instance.step_log_tag();
+            // Orphan-version scan: a WriteIntent whose step never reached a
+            // commit record leaked a version into the store.
+            let records: Vec<_> = self
+                .client
+                .log()
+                .peek_stream(step_tag)
+                .into_iter()
+                .filter_map(|sn| self.client.log().peek_record(sn))
+                .collect();
+            for (i, rec) in records.iter().enumerate() {
+                if let OpRecord::WriteIntent { version } = rec.payload.op {
+                    let committed = records
+                        .get(i + 1)
+                        .is_some_and(|next| next.payload.object_version() == Some(version));
+                    if !committed {
+                        // The intent's target key is not in the record (it
+                        // is implied by program position); scan candidates.
+                        for key in self.client.written_keys() {
+                            if self.client.store().peek_version(&key, version).is_some() {
+                                orphan_deletes.push((key, version));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            let client = self.client.clone();
+            let node = self.node;
+            reclaim_handles.push(self.client.ctx().spawn(async move {
+                client.log().trim(node, step_tag, SeqNum::MAX).await;
+            }));
+        }
+        for (key, version) in orphan_deletes {
+            if self.client.store().delete_version(&key, version).await {
+                stats.orphans_deleted += 1;
+            }
+        }
+
+        // Step 3: object write logs — conditions (a) and (b).
+        let mut version_deletes = Vec::new();
+        for key in self.client.written_keys() {
+            let tag = key.object_log_tag();
+            let stream = self.client.log().peek_stream(tag);
+            // Latest *effective* record strictly below the watermark — an
+            // aborted transaction commit is invisible to readers, so it
+            // cannot serve as the retained snapshot (condition (a)).
+            let below = stream.partition_point(|sn| *sn < watermark);
+            let marked_idx = stream[..below].iter().rposition(|sn| {
+                self.client.log().peek_record(*sn).is_some_and(|rec| {
+                    crate::txn::effective_version(&self.client, &rec.payload, *sn, &key).is_some()
+                })
+            });
+            let Some(marked_idx) = marked_idx else {
+                continue;
+            };
+            if marked_idx == 0 {
+                continue; // nothing older than the marked record
+            }
+            // Keep stream[marked_idx]; delete and trim everything before.
+            let marked_prev = stream[marked_idx - 1];
+            for sn in &stream[..marked_idx] {
+                if let Some(rec) = self.client.log().peek_record(*sn) {
+                    if let Some(version) = rec.payload.version_for(&key) {
+                        version_deletes.push((key.clone(), version));
+                    }
+                }
+            }
+            let client = self.client.clone();
+            let node = self.node;
+            reclaim_handles.push(self.client.ctx().spawn(async move {
+                client.log().trim(node, tag, marked_prev).await;
+            }));
+        }
+        for (key, version) in version_deletes {
+            if self.client.store().delete_version(&key, version).await {
+                stats.versions_deleted += 1;
+            }
+        }
+
+        // Step 4: global streams.
+        if watermark > SeqNum(1) {
+            let upto = SeqNum(watermark.0 - 1);
+            let client = self.client.clone();
+            let node = self.node;
+            reclaim_handles.push(self.client.ctx().spawn(async move {
+                client.log().trim(node, init_log_tag(), upto).await;
+                client.log().trim(node, finish_log_tag(), upto).await;
+            }));
+        }
+        for handle in reclaim_handles {
+            handle.await;
+        }
+        stats
+    }
+}
+
+impl std::fmt::Debug for GarbageCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GarbageCollector(node={:?})", self.node)
+    }
+}

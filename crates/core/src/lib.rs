@@ -1,0 +1,78 @@
+//! # Halfmoon: log-optimal fault-tolerant stateful serverless computing
+//!
+//! A from-scratch reproduction of the protocols of *"Halfmoon: Log-Optimal
+//! Fault-Tolerant Stateful Serverless Computing"* (SOSP 2023).
+//!
+//! Stateful serverless functions (SSFs) keep their state in external
+//! storage; naive retry-based fault tolerance can duplicate updates, so
+//! runtimes enforce **exactly-once semantics** by logging state accesses
+//! and replaying the log on re-execution. Existing systems log *every*
+//! read and write (symmetric logging). Halfmoon's insight is that logging
+//! either side suffices (asymmetric logging), and that this is optimal:
+//!
+//! - [`ProtocolKind::HalfmoonRead`] — log-free reads: reads are
+//!   parameterized by the cursor timestamp and resolved against the
+//!   per-object write log over a multi-versioned store (§4.1);
+//! - [`ProtocolKind::HalfmoonWrite`] — log-free writes: writes are
+//!   conditional updates versioned by `(cursorTS, consecutiveW)`; reads log
+//!   the value they observed (§4.2);
+//! - plus the reconstructed symmetric baseline (`Boki`) and the unsafe
+//!   no-logging lower bound, for evaluation.
+//!
+//! The crate also implements the §4.5 garbage collector, the §4.6 protocol
+//! advisor, the §4.7/§5.2 pauseless switching mechanism, the §5.1
+//! conditional-append conflict resolution, and history checkers for the
+//! §4.4 consistency propositions.
+//!
+//! # Quick start
+//!
+//! ```
+//! use halfmoon::{Client, Env, ProtocolConfig, ProtocolKind};
+//! use hm_common::latency::LatencyModel;
+//! use hm_common::{Key, NodeId, Value};
+//! use hm_sim::Sim;
+//!
+//! let mut sim = Sim::new(42);
+//! let client = Client::new(
+//!     sim.ctx(),
+//!     LatencyModel::calibrated(),
+//!     ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
+//! );
+//! client.populate(Key::new("greeting"), Value::str("hello"));
+//! let id = client.fresh_instance_id();
+//! let out = sim.block_on({
+//!     let client = client.clone();
+//!     async move {
+//!         let mut env = Env::init(&client, id, NodeId(0), 0, Value::Null).await?;
+//!         let v = env.read(&Key::new("greeting")).await?;
+//!         env.write(&Key::new("greeting"), Value::str("hello, world")).await?;
+//!         env.finish(v).await
+//!     }
+//! });
+//! assert_eq!(out.unwrap(), Value::str("hello"));
+//! ```
+
+pub mod choice;
+pub mod client;
+pub mod env;
+pub mod gc;
+pub mod history;
+pub mod protocol;
+pub mod record;
+pub mod switching;
+pub mod txn;
+
+mod ops_baseline;
+mod ops_halfmoon;
+mod ops_transitional;
+
+pub use client::{
+    finish_log_tag, init_log_tag, transition_log_tag, Client, FaultPolicy, Invoker, LocalBoxFuture,
+};
+pub use env::{Env, ObjectMode};
+pub use gc::{GarbageCollector, GcStats};
+pub use history::{Event, EventKind, Recorder};
+pub use protocol::{ProtocolConfig, ProtocolKind};
+pub use record::{OpRecord, StepRecord};
+pub use switching::{SwitchReport, Switcher};
+pub use txn::{Transaction, TxnOutcome};

@@ -1,0 +1,120 @@
+//! Baseline protocols: the reconstructed symmetric Boki protocol and the
+//! unsafe no-logging lower bound (§6).
+//!
+//! Boki is not open to us as a dependency, so its fault-tolerance protocol
+//! is reconstructed from the paper's description: *symmetric* logging —
+//! every read logs its observed value, every write logs twice (an intent
+//! that fixes the write's identity, and a commit checkpoint) and applies
+//! via a conditional update (§6.1: "writes [of Boki] are also conditional
+//! and require logging"). Halfmoon-read deliberately aligns its write path
+//! with this so the measured gains come solely from read-side logging
+//! (§4.1).
+
+use hm_common::{HmResult, Key, Value, VersionTuple};
+
+use crate::env::Env;
+use crate::history::EventKind;
+use crate::record::OpRecord;
+
+impl Env {
+    /// Boki read: raw read + one log append carrying the observed value.
+    /// Structurally identical to Halfmoon-write's logged read.
+    pub(crate) async fn boki_read(&mut self, key: &Key) -> HmResult<Value> {
+        // Symmetric protocols log reads exactly like Halfmoon-write does;
+        // reusing the implementation keeps the comparison honest.
+        self.hmwrite_read(key).await
+    }
+
+    /// Boki write: intent log → conditional update → commit log.
+    ///
+    /// The write's version tuple is derived from the intent record's
+    /// seqnum, which makes retries idempotent (same intent record ⇒ same
+    /// tuple ⇒ the conditional update applies at most once) and orders
+    /// writes by their logging order.
+    pub(crate) async fn boki_write(&mut self, key: &Key, value: Value) -> HmResult<()> {
+        self.maybe_crash()?;
+        // Phase 1 — intent.
+        let intent_seqnum = if let Some(rec) = self.peek_prior() {
+            let payload = rec.payload.clone();
+            match payload.op {
+                OpRecord::BokiWriteIntent { .. } => {
+                    let rec = self.replay_next().expect("peeked record vanished");
+                    rec.seqnum
+                }
+                _ => return Err(self.replay_mismatch("BokiWriteIntent", &payload)),
+            }
+        } else {
+            let rec = self
+                .log_step(
+                    Vec::new(),
+                    OpRecord::BokiWriteIntent {
+                        version: VersionTuple::MIN,
+                    },
+                )
+                .await?;
+            rec.seqnum
+        };
+        let version = VersionTuple::new(intent_seqnum, 0);
+        // Phase 2 — committed already?
+        if let Some(rec) = self.peek_prior() {
+            let payload = rec.payload.clone();
+            return match payload.op {
+                OpRecord::BokiWriteCommit => {
+                    self.replay_next();
+                    self.record_event(EventKind::CondWrite {
+                        key: key.clone(),
+                        fp: value.fingerprint(),
+                        version,
+                        // The earlier attempt performed the update; this
+                        // replay has no store effect.
+                        applied: false,
+                    });
+                    Ok(())
+                }
+                _ => Err(self.replay_mismatch("BokiWriteCommit", &payload)),
+            };
+        }
+        self.maybe_crash()?;
+        let applied = self
+            .client()
+            .store()
+            .put_conditional(key, value.clone(), version)
+            .await;
+        self.maybe_crash()?;
+        self.log_step(Vec::new(), OpRecord::BokiWriteCommit).await?;
+        self.record_event(EventKind::CondWrite {
+            key: key.clone(),
+            fp: value.fingerprint(),
+            version,
+            applied,
+        });
+        Ok(())
+    }
+
+    /// Unsafe read: the raw operation, no logging, no idempotence.
+    pub(crate) async fn unsafe_read(&mut self, key: &Key) -> HmResult<Value> {
+        self.maybe_crash()?;
+        let value = self.client().store().get(key).await.unwrap_or(Value::Null);
+        self.record_event(EventKind::Read {
+            key: key.clone(),
+            fp: value.fingerprint(),
+            logical: self.cursor,
+            fresh: true,
+        });
+        Ok(value)
+    }
+
+    /// Unsafe write: the raw operation. A crash retry re-applies it — the
+    /// §1 duplicate-update anomaly, observable via
+    /// [`crate::history::Recorder`] raw-write events.
+    pub(crate) async fn unsafe_write(&mut self, key: &Key, value: Value) -> HmResult<()> {
+        self.maybe_crash()?;
+        self.client().store().put(key, value.clone()).await;
+        self.maybe_crash()?;
+        self.record_event(EventKind::RawWrite {
+            key: key.clone(),
+            fp: value.fingerprint(),
+        });
+        Ok(())
+    }
+}

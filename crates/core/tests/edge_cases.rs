@@ -1,0 +1,358 @@
+//! Edge-case and misuse tests: non-deterministic bodies are detected,
+//! missing keys behave, the unlogged baseline skips all logging, and the
+//! runtime surfaces unrecoverable errors instead of looping.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use halfmoon::{Client, Env, FaultPolicy, ProtocolConfig, ProtocolKind};
+use hm_common::latency::LatencyModel;
+use hm_common::{HmError, Key, NodeId, Value};
+use hm_sim::Sim;
+
+const NODE: NodeId = NodeId(0);
+
+fn setup(kind: ProtocolKind) -> (Sim, Client) {
+    let sim = Sim::new(0xed6e);
+    let client = Client::new(
+        sim.ctx(),
+        LatencyModel::uniform_test_model(),
+        ProtocolConfig::uniform(kind),
+    );
+    (sim, client)
+}
+
+/// A body that performs *different* logged operations on its retry is a
+/// protocol violation (§2 requires deterministic SSFs); the replay
+/// machinery must detect the mismatch rather than corrupt state.
+#[test]
+fn non_deterministic_body_is_detected() {
+    for kind in [ProtocolKind::HalfmoonWrite, ProtocolKind::Boki] {
+        let (mut sim, client) = setup(kind);
+        client.populate(Key::new("X"), Value::Int(0));
+        let id = client.fresh_instance_id();
+        // Crash after the first logged op.
+        client.set_faults(FaultPolicy::at([(id, 5)]));
+        let attempt_counter = Rc::new(Cell::new(0u32));
+        let c2 = client.clone();
+        let ac = attempt_counter.clone();
+        let result = sim.block_on(async move {
+            let mut attempt = 0;
+            loop {
+                let ac = ac.clone();
+                let c3 = c2.clone();
+                let once = async {
+                    let mut env = Env::init(&c3, id, NODE, attempt, Value::Null).await?;
+                    ac.set(ac.get() + 1);
+                    if ac.get() == 1 {
+                        // First attempt: a read.
+                        env.read(&Key::new("X")).await?;
+                        env.read(&Key::new("X")).await?;
+                    } else {
+                        // Retry: an invoke instead — nondeterministic!
+                        env.invoke("nope", Value::Null).await?;
+                    }
+                    env.finish(Value::Null).await
+                };
+                match once.await {
+                    Ok(v) => return Ok(v),
+                    Err(e) if e.is_crash() => attempt += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+        });
+        match result {
+            Err(HmError::Config { what }) => {
+                assert!(what.contains("non-deterministic"), "{kind}: {what}")
+            }
+            other => panic!("{kind}: expected detection, got {other:?}"),
+        }
+    }
+}
+
+/// Reading a key that was never populated or written yields `Null` under
+/// every protocol (not an error).
+#[test]
+fn missing_key_reads_null() {
+    for kind in [
+        ProtocolKind::HalfmoonRead,
+        ProtocolKind::HalfmoonWrite,
+        ProtocolKind::Boki,
+        ProtocolKind::Unsafe,
+    ] {
+        let (mut sim, client) = setup(kind);
+        let id = client.fresh_instance_id();
+        let c2 = client.clone();
+        let v = sim.block_on(async move {
+            let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await?;
+            let v = env.read(&Key::new("ghost")).await?;
+            env.finish(v).await
+        });
+        assert_eq!(v.unwrap(), Value::Null, "{kind}");
+    }
+}
+
+/// Writing a never-populated key creates it; subsequent reads see it.
+#[test]
+fn write_then_read_fresh_key() {
+    for kind in [
+        ProtocolKind::HalfmoonRead,
+        ProtocolKind::HalfmoonWrite,
+        ProtocolKind::Boki,
+    ] {
+        let (mut sim, client) = setup(kind);
+        let id = client.fresh_instance_id();
+        let c2 = client.clone();
+        let v = sim.block_on(async move {
+            let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await?;
+            env.write(&Key::new("fresh"), Value::Int(11)).await?;
+            let v = env.read(&Key::new("fresh")).await?;
+            env.finish(v).await
+        });
+        assert_eq!(v.unwrap(), Value::Int(11), "{kind}");
+    }
+}
+
+/// The unlogged (unsafe) deployment appends nothing to the log at all.
+#[test]
+fn unsafe_mode_never_touches_the_log() {
+    let (mut sim, client) = setup(ProtocolKind::Unsafe);
+    client.populate(Key::new("U"), Value::Int(1));
+    let id = client.fresh_instance_id();
+    let c2 = client.clone();
+    sim.block_on(async move {
+        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await.unwrap();
+        env.read(&Key::new("U")).await.unwrap();
+        env.write(&Key::new("U"), Value::Int(2)).await.unwrap();
+        env.sync().await.unwrap();
+        env.finish(Value::Null).await.unwrap();
+    });
+    assert_eq!(client.log().counters().log_appends, 0);
+    assert_eq!(client.log().counters().log_reads, 0);
+    assert_eq!(client.log().live_records(), 0);
+}
+
+/// Invoking without a registered invoker is a configuration error.
+#[test]
+fn invoke_without_invoker_errors() {
+    let (mut sim, client) = setup(ProtocolKind::HalfmoonRead);
+    let id = client.fresh_instance_id();
+    let c2 = client.clone();
+    let out = sim.block_on(async move {
+        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await?;
+        env.invoke("anything", Value::Null).await
+    });
+    assert!(matches!(out, Err(HmError::Config { .. })), "{out:?}");
+}
+
+/// Per-object static protocol assignment (§4.6): different keys run
+/// different protocols in one deployment, and both behave correctly.
+#[test]
+fn per_key_protocol_mix() {
+    let mut sim = Sim::new(0xed6e);
+    let mut config = ProtocolConfig::uniform(ProtocolKind::HalfmoonRead);
+    config
+        .per_key
+        .insert(Key::new("hot-write"), ProtocolKind::HalfmoonWrite);
+    let client = Client::new(sim.ctx(), LatencyModel::uniform_test_model(), config);
+    client.populate(Key::new("hot-write"), Value::Int(0));
+    client.populate(Key::new("hot-read"), Value::Int(0));
+    let id = client.fresh_instance_id();
+    let c2 = client.clone();
+    sim.block_on(async move {
+        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await.unwrap();
+        env.write(&Key::new("hot-write"), Value::Int(1))
+            .await
+            .unwrap();
+        env.write(&Key::new("hot-read"), Value::Int(2))
+            .await
+            .unwrap();
+        let a = env.read(&Key::new("hot-write")).await.unwrap();
+        let b = env.read(&Key::new("hot-read")).await.unwrap();
+        env.finish(Value::Null).await.unwrap();
+        assert_eq!(a, Value::Int(1));
+        assert_eq!(b, Value::Int(2));
+    });
+    // The HM-write key stayed single-version; the HM-read key is versioned.
+    assert_eq!(
+        client.store().peek(&Key::new("hot-write")),
+        Some(Value::Int(1))
+    );
+    assert_eq!(
+        client.store().version_count(),
+        1,
+        "only the HM-read key made a version"
+    );
+}
+
+/// `Value` inputs round-trip through init-record recovery: a peer launched
+/// with a *wrong* input still runs with the logged one.
+#[test]
+fn peer_recovers_input_from_init_record() {
+    let (mut sim, client) = setup(ProtocolKind::HalfmoonWrite);
+    client.populate(Key::new("I"), Value::Int(0));
+    let id = client.fresh_instance_id();
+    let ctx = sim.ctx();
+    let body = |input_observed: Rc<Cell<i64>>| {
+        move |client: Client, id, input: Value| async move {
+            let mut env = Env::init(&client, id, NODE, 0, input).await?;
+            input_observed.set(env.input().as_int().unwrap_or(-1));
+            let v = env.input().clone();
+            env.write(&Key::new("I"), v).await?;
+            env.finish(Value::Null).await
+        }
+    };
+    let primary_seen = Rc::new(Cell::new(0));
+    let peer_seen = Rc::new(Cell::new(0));
+    let h1 = {
+        let client = client.clone();
+        let b = body(primary_seen.clone());
+        ctx.spawn(async move { b(client, id, Value::Int(42)).await })
+    };
+    let h2 = {
+        let client = client.clone();
+        let ctx2 = ctx.clone();
+        let b = body(peer_seen.clone());
+        ctx.spawn(async move {
+            ctx2.sleep(Duration::from_millis(4)).await;
+            // Peer launched with a junk input: must adopt 42 from the log.
+            b(client, id, Value::Int(-999)).await
+        })
+    };
+    sim.run();
+    h1.try_take().expect("primary done").unwrap();
+    h2.try_take().expect("peer done").unwrap();
+    assert_eq!(primary_seen.get(), 42);
+    assert_eq!(peer_seen.get(), 42, "peer must recover the logged input");
+    assert_eq!(client.store().peek(&Key::new("I")), Some(Value::Int(42)));
+}
+
+/// Deterministic-version Halfmoon-read survives the same crash sweep as
+/// the default double-logging variant.
+#[test]
+fn deterministic_versions_exactly_once_under_crashes() {
+    for point in 1..20u32 {
+        let mut sim = Sim::new(0xed6e);
+        let mut config = ProtocolConfig::uniform(ProtocolKind::HalfmoonRead);
+        config.deterministic_versions = true;
+        let client = Client::new(sim.ctx(), LatencyModel::uniform_test_model(), config);
+        client.populate(Key::new("DV"), Value::Int(3));
+        let id = client.fresh_instance_id();
+        client.set_faults(FaultPolicy::at([(id, point)]));
+        let c2 = client.clone();
+        let out = sim.block_on(async move {
+            let mut attempt = 0;
+            loop {
+                let c3 = c2.clone();
+                let once = async {
+                    let mut env = Env::init(&c3, id, NODE, attempt, Value::Null).await?;
+                    let v = env.read(&Key::new("DV")).await?.as_int().unwrap_or(0);
+                    env.write(&Key::new("DV"), Value::Int(v * 2)).await?;
+                    env.finish(Value::Int(v)).await
+                };
+                match once.await {
+                    Ok(v) => return Ok::<_, HmError>(v),
+                    Err(e) if e.is_crash() => attempt += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+        });
+        assert_eq!(out.unwrap(), Value::Int(3), "point {point}");
+        // Exactly one committed version of the doubled value.
+        let c2 = client.clone();
+        let id2 = client.fresh_instance_id();
+        let v = sim.block_on(async move {
+            let mut env = Env::init(&c2, id2, NODE, 0, Value::Null).await.unwrap();
+            let v = env.read(&Key::new("DV")).await.unwrap();
+            env.finish(Value::Null).await.unwrap();
+            v
+        });
+        assert_eq!(v, Value::Int(6), "point {point}");
+    }
+}
+
+/// §7 opportunistic checkpointing: a retry on the same node serves its
+/// log-free reads from the node-local checkpoint (no log read, no store
+/// read), with identical results.
+#[test]
+fn checkpoints_accelerate_retries_without_changing_results() {
+    let run = |checkpointing: bool| -> (Value, u64) {
+        let mut sim = Sim::new(0xc4ec);
+        let mut config = ProtocolConfig::uniform(ProtocolKind::HalfmoonRead);
+        config.opportunistic_checkpoints = checkpointing;
+        let client = Client::new(sim.ctx(), LatencyModel::uniform_test_model(), config);
+        client.populate(Key::new("cp"), Value::Int(5));
+        let id = client.fresh_instance_id();
+        // Crash late, after several reads, so the retry replays them all.
+        client.set_faults(FaultPolicy::at([(id, 9)]));
+        let c2 = client.clone();
+        let out = sim.block_on(async move {
+            let mut attempt = 0;
+            loop {
+                let c3 = c2.clone();
+                let once = async {
+                    let mut env = Env::init(&c3, id, NODE, attempt, Value::Null).await?;
+                    let mut acc = 0i64;
+                    for _ in 0..4 {
+                        acc += env.read(&Key::new("cp")).await?.as_int().unwrap_or(0);
+                    }
+                    env.write(&Key::new("cp"), Value::Int(acc)).await?;
+                    env.finish(Value::Int(acc)).await
+                };
+                match once.await {
+                    Ok(v) => return Ok::<_, HmError>(v),
+                    Err(e) if e.is_crash() => attempt += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+        });
+        let reads = client.store().counters().db_reads + client.log().counters().log_reads;
+        (out.unwrap(), reads)
+    };
+    let (plain_result, plain_reads) = run(false);
+    let (cp_result, cp_reads) = run(true);
+    assert_eq!(plain_result, cp_result, "checkpoints never change results");
+    assert_eq!(plain_result, Value::Int(20));
+    assert!(
+        cp_reads < plain_reads,
+        "checkpointed retry must issue fewer reads: {cp_reads} vs {plain_reads}"
+    );
+}
+
+/// Checkpoints are node-local: a retry on a different node recomputes.
+#[test]
+fn checkpoints_do_not_leak_across_nodes() {
+    let mut sim = Sim::new(0xc4ed);
+    let mut config = ProtocolConfig::uniform(ProtocolKind::HalfmoonRead);
+    config.opportunistic_checkpoints = true;
+    let client = Client::new(sim.ctx(), LatencyModel::uniform_test_model(), config);
+    client.populate(Key::new("cp"), Value::Int(1));
+    let id = client.fresh_instance_id();
+    client.set_faults(FaultPolicy::at([(id, 5)]));
+    let c2 = client.clone();
+    let out = sim.block_on(async move {
+        let mut attempt = 0;
+        loop {
+            // Retry lands on a different node each attempt.
+            let node = NodeId(attempt);
+            let c3 = c2.clone();
+            let once = async {
+                let mut env = Env::init(&c3, id, node, attempt, Value::Null).await?;
+                let v = env.read(&Key::new("cp")).await?;
+                env.write(&Key::new("cp"), Value::Int(10)).await?;
+                env.finish(v).await
+            };
+            match once.await {
+                Ok(v) => return Ok::<_, HmError>(v),
+                Err(e) if e.is_crash() => attempt += 1,
+                Err(e) => return Err(e),
+            }
+        }
+    });
+    assert_eq!(
+        out.unwrap(),
+        Value::Int(1),
+        "fresh node recomputes identically"
+    );
+}

@@ -1,0 +1,1032 @@
+//! End-to-end protocol tests: exactly-once semantics under systematic crash
+//! injection, peer-instance races, the paper's worked examples (Figures 4
+//! and 6), garbage collection lifetimes, and protocol switching.
+//!
+//! These tests drive the protocols through a minimal retry loop (the same
+//! contract `hm-runtime` implements): on an injected crash the SSF is
+//! re-executed with the same instance id until it completes.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use halfmoon::{
+    Client, Env, FaultPolicy, GarbageCollector, Invoker, LocalBoxFuture, ProtocolConfig,
+    ProtocolKind, Recorder, Switcher,
+};
+use hm_common::latency::LatencyModel;
+use hm_common::{HmResult, InstanceId, Key, NodeId, Value};
+use hm_sim::Sim;
+
+type SsfBody = Rc<dyn for<'a> Fn(&'a mut Env, Value) -> LocalBoxFuture<'a, HmResult<Value>>>;
+
+const NODE: NodeId = NodeId(0);
+
+fn setup(kind: ProtocolKind) -> (Sim, Client, Rc<Recorder>) {
+    let sim = Sim::new(0xda7a);
+    let client = Client::new(
+        sim.ctx(),
+        LatencyModel::uniform_test_model(),
+        ProtocolConfig::uniform(kind),
+    );
+    let recorder = Rc::new(Recorder::new());
+    client.set_recorder(recorder.clone());
+    (sim, client, recorder)
+}
+
+/// Runs one SSF to completion, re-executing on injected crashes — the
+/// retry contract every serverless platform provides (§3).
+async fn run_to_completion(
+    client: Client,
+    id: InstanceId,
+    input: Value,
+    body: SsfBody,
+) -> HmResult<Value> {
+    let mut attempt = 0;
+    loop {
+        let once = async {
+            let mut env = Env::init(&client, id, NODE, attempt, input.clone()).await?;
+            let out = body(&mut env, input.clone()).await?;
+            env.finish(out).await
+        };
+        match once.await {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_crash() => {
+                attempt += 1;
+                assert!(attempt < 200, "unbounded retry loop");
+                client.ctx().sleep(Duration::from_millis(2)).await;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Test invoker: a function registry driving children through the same
+/// retry loop.
+struct TestInvoker {
+    client: std::cell::RefCell<Option<Client>>,
+    funcs: std::cell::RefCell<HashMap<String, SsfBody>>,
+}
+
+impl TestInvoker {
+    fn install(client: &Client) -> Rc<TestInvoker> {
+        let inv = Rc::new(TestInvoker {
+            client: std::cell::RefCell::new(Some(client.clone())),
+            funcs: std::cell::RefCell::new(HashMap::new()),
+        });
+        client.set_invoker(inv.clone());
+        inv
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        body: impl for<'a> Fn(&'a mut Env, Value) -> LocalBoxFuture<'a, HmResult<Value>> + 'static,
+    ) {
+        self.funcs
+            .borrow_mut()
+            .insert(name.to_string(), Rc::new(body));
+    }
+}
+
+impl Invoker for TestInvoker {
+    fn invoke(
+        &self,
+        callee: InstanceId,
+        func: &str,
+        input: Value,
+    ) -> LocalBoxFuture<'static, HmResult<Value>> {
+        let client = self.client.borrow().clone().expect("client installed");
+        let body = self.funcs.borrow().get(func).cloned();
+        Box::pin(async move {
+            let body = body.ok_or(hm_common::HmError::UnknownFunction {
+                name: "unregistered".to_string(),
+            })?;
+            run_to_completion(client, callee, input, body).await
+        })
+    }
+}
+
+/// The canonical body: read X, double it, write X, read Y, write Y+1.
+fn canonical_body() -> SsfBody {
+    Rc::new(|env, _input| {
+        Box::pin(async move {
+            let x = env.read(&Key::new("X")).await?.as_int().unwrap_or(0);
+            env.write(&Key::new("X"), Value::Int(x * 2)).await?;
+            let y = env.read(&Key::new("Y")).await?.as_int().unwrap_or(0);
+            env.write(&Key::new("Y"), Value::Int(y + 1)).await?;
+            Ok(Value::Int(x))
+        })
+    })
+}
+
+fn populate_xy(client: &Client) {
+    client.populate(Key::new("X"), Value::Int(3));
+    client.populate(Key::new("Y"), Value::Int(10));
+}
+
+fn all_protocols() -> [ProtocolKind; 3] {
+    [
+        ProtocolKind::HalfmoonRead,
+        ProtocolKind::HalfmoonWrite,
+        ProtocolKind::Boki,
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Failure-free behaviour
+// ---------------------------------------------------------------------
+
+#[test]
+fn failure_free_execution_all_protocols() {
+    for kind in all_protocols() {
+        let (mut sim, client, recorder) = setup(kind);
+        populate_xy(&client);
+        let id = client.fresh_instance_id();
+        let out = sim
+            .block_on(run_to_completion(
+                client.clone(),
+                id,
+                Value::Null,
+                canonical_body(),
+            ))
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        assert_eq!(out, Value::Int(3), "{kind}");
+        // Effects applied exactly once.
+        let x = read_final(&mut sim, &client, "X");
+        let y = read_final(&mut sim, &client, "Y");
+        assert_eq!(x, Value::Int(6), "{kind}");
+        assert_eq!(y, Value::Int(11), "{kind}");
+        recorder
+            .check_all_generic()
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+    }
+}
+
+/// Reads the final value of a key the way the configured protocol would.
+fn read_final(sim: &mut Sim, client: &Client, key: &str) -> Value {
+    let client2 = client.clone();
+    let key = Key::new(key);
+    sim.block_on(async move {
+        let id = client2.fresh_instance_id();
+        let mut env = Env::init(&client2, id, NODE, 0, Value::Null).await.unwrap();
+        let v = env.read(&key).await.unwrap();
+        env.finish(Value::Null).await.unwrap();
+        v
+    })
+}
+
+// ---------------------------------------------------------------------
+// Systematic crash-point sweep: the core exactly-once test
+// ---------------------------------------------------------------------
+
+/// For every protocol and every crash point in the canonical body, inject
+/// exactly one crash there and verify the final effects are identical to a
+/// failure-free run and all idempotence invariants hold.
+#[test]
+fn exactly_once_under_single_crash_at_every_point() {
+    for kind in all_protocols() {
+        // Generously above the number of crash points in the body.
+        for point in 1..40u32 {
+            let (mut sim, client, recorder) = setup(kind);
+            populate_xy(&client);
+            let id = client.fresh_instance_id();
+            client.set_faults(FaultPolicy::at([(id, point)]));
+            let out = sim
+                .block_on(run_to_completion(
+                    client.clone(),
+                    id,
+                    Value::Null,
+                    canonical_body(),
+                ))
+                .unwrap_or_else(|e| panic!("{kind} point {point}: {e}"));
+            assert_eq!(out, Value::Int(3), "{kind} point {point}: wrong result");
+            let x = read_final(&mut sim, &client, "X");
+            let y = read_final(&mut sim, &client, "Y");
+            assert_eq!(
+                x,
+                Value::Int(6),
+                "{kind} point {point}: X duplicated or lost"
+            );
+            assert_eq!(
+                y,
+                Value::Int(11),
+                "{kind} point {point}: Y duplicated or lost"
+            );
+            recorder
+                .check_all_generic()
+                .unwrap_or_else(|e| panic!("{kind} point {point}: {e}"));
+        }
+    }
+}
+
+/// Double crashes: every pair of consecutive crash points.
+#[test]
+fn exactly_once_under_double_crashes() {
+    for kind in all_protocols() {
+        for first in (1..30u32).step_by(3) {
+            let (mut sim, client, recorder) = setup(kind);
+            populate_xy(&client);
+            let id = client.fresh_instance_id();
+            client.set_faults(FaultPolicy::at([(id, first), (id, first + 1)]));
+            let out = sim
+                .block_on(run_to_completion(
+                    client.clone(),
+                    id,
+                    Value::Null,
+                    canonical_body(),
+                ))
+                .unwrap_or_else(|e| panic!("{kind} points {first},{}: {e}", first + 1));
+            assert_eq!(out, Value::Int(3), "{kind} points {first}..");
+            assert_eq!(
+                read_final(&mut sim, &client, "X"),
+                Value::Int(6),
+                "{kind} {first}"
+            );
+            assert_eq!(
+                read_final(&mut sim, &client, "Y"),
+                Value::Int(11),
+                "{kind} {first}"
+            );
+            recorder
+                .check_all_generic()
+                .unwrap_or_else(|e| panic!("{kind} {first}: {e}"));
+        }
+    }
+}
+
+/// The unsafe baseline demonstrably violates exactly-once: a crash between
+/// the two writes duplicates the first write's effect (the §1 anomaly).
+#[test]
+fn unsafe_baseline_duplicates_effects_under_crash() {
+    let (mut sim, client, _recorder) = setup(ProtocolKind::Unsafe);
+    client.populate(Key::new("C"), Value::Int(0));
+    let id = client.fresh_instance_id();
+    // Read-modify-write counter: crash right after the write once.
+    let body: SsfBody = Rc::new(|env, _| {
+        Box::pin(async move {
+            let c = env.read(&Key::new("C")).await?.as_int().unwrap_or(0);
+            env.write(&Key::new("C"), Value::Int(c + 1)).await?;
+            Ok(Value::Null)
+        })
+    });
+    // Crash point 4 is after the raw write (1: read entry, 2: write entry,
+    // 3: after-put, 4 would be... sweep points to find a duplicating one).
+    let mut duplicated = false;
+    for point in 1..8 {
+        let (mut sim2, client2, _r) = setup(ProtocolKind::Unsafe);
+        client2.populate(Key::new("C"), Value::Int(0));
+        let id2 = client2.fresh_instance_id();
+        client2.set_faults(FaultPolicy::at([(id2, point)]));
+        sim2.block_on(run_to_completion(
+            client2.clone(),
+            id2,
+            Value::Null,
+            body.clone(),
+        ))
+        .unwrap();
+        let c = client2
+            .store()
+            .peek(&Key::new("C"))
+            .unwrap()
+            .as_int()
+            .unwrap();
+        if c > 1 {
+            duplicated = true;
+        }
+    }
+    assert!(
+        duplicated,
+        "expected at least one crash point to duplicate the raw increment"
+    );
+    // Sanity: without crashes the counter is 1.
+    sim.block_on(run_to_completion(client.clone(), id, Value::Null, body))
+        .unwrap();
+    assert_eq!(client.store().peek(&Key::new("C")).unwrap(), Value::Int(1));
+}
+
+// ---------------------------------------------------------------------
+// Peer-instance races (§5.1)
+// ---------------------------------------------------------------------
+
+/// Two live instances of the same SSF run concurrently (a falsely-declared
+/// timeout); conditional appends must let exactly one win each step and
+/// the final effect must be that of a single execution.
+#[test]
+fn peer_instances_resolve_to_single_execution() {
+    for kind in all_protocols() {
+        let (mut sim, client, recorder) = setup(kind);
+        populate_xy(&client);
+        let id = client.fresh_instance_id();
+        let ctx = sim.ctx();
+        let h1 = ctx.spawn(run_to_completion(
+            client.clone(),
+            id,
+            Value::Null,
+            canonical_body(),
+        ));
+        let h2 = {
+            let client = client.clone();
+            let ctx2 = ctx.clone();
+            ctx.spawn(async move {
+                // Peer starts slightly later, mid-flight of the first.
+                ctx2.sleep(Duration::from_micros(1800)).await;
+                run_to_completion(client, id, Value::Null, canonical_body()).await
+            })
+        };
+        sim.run();
+        let r1 = h1.try_take().expect("peer 1 finished").unwrap();
+        let r2 = h2.try_take().expect("peer 2 finished").unwrap();
+        assert_eq!(r1, r2, "{kind}: peers must return identical results");
+        assert_eq!(read_final(&mut sim, &client, "Y"), Value::Int(11), "{kind}");
+        recorder
+            .check_all_generic()
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+    }
+}
+
+/// Peer races combined with crashes: the failed instance's retry races the
+/// live peer.
+#[test]
+fn crashed_instance_retry_races_live_peer() {
+    for kind in all_protocols() {
+        for point in [2u32, 5, 8, 11] {
+            let (mut sim, client, recorder) = setup(kind);
+            populate_xy(&client);
+            let id = client.fresh_instance_id();
+            client.set_faults(FaultPolicy::at([(id, point)]));
+            let ctx = sim.ctx();
+            let h1 = ctx.spawn(run_to_completion(
+                client.clone(),
+                id,
+                Value::Null,
+                canonical_body(),
+            ));
+            let h2 = {
+                let client = client.clone();
+                let ctx2 = ctx.clone();
+                ctx.spawn(async move {
+                    ctx2.sleep(Duration::from_millis(1)).await;
+                    run_to_completion(client, id, Value::Null, canonical_body()).await
+                })
+            };
+            sim.run();
+            let r1 = h1.try_take().expect("peer 1").unwrap();
+            let r2 = h2.try_take().expect("peer 2").unwrap();
+            assert_eq!(r1, r2, "{kind} point {point}");
+            assert_eq!(
+                read_final(&mut sim, &client, "Y"),
+                Value::Int(11),
+                "{kind} point {point}"
+            );
+            recorder
+                .check_all_generic()
+                .unwrap_or_else(|e| panic!("{kind} {point}: {e}"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The paper's worked examples
+// ---------------------------------------------------------------------
+
+/// Figure 4: under Halfmoon-read, a re-executed read seeks backward from
+/// its original cursor and must *not* observe writes that landed after it.
+#[test]
+fn figure4_reads_are_stable_against_later_writes() {
+    let (mut sim, client, recorder) = setup(ProtocolKind::HalfmoonRead);
+    client.populate(Key::new("X"), Value::Int(100)); // F1's write at t0
+    let f2 = client.fresh_instance_id();
+    // F2 reads X, crashes, meanwhile F3 writes X, then F2 re-executes.
+    client.set_faults(FaultPolicy::at([(f2, 3)])); // after the read
+    let body: SsfBody = Rc::new(|env, _| {
+        Box::pin(async move {
+            let x = env.read(&Key::new("X")).await?;
+            Ok(x)
+        })
+    });
+    let ctx = sim.ctx();
+    let h2 = ctx.spawn(run_to_completion(
+        client.clone(),
+        f2,
+        Value::Null,
+        body.clone(),
+    ));
+    // F3 writes X concurrently (while F2 is crashed/retrying).
+    let f3 = client.fresh_instance_id();
+    let writer: SsfBody = Rc::new(|env, _| {
+        Box::pin(async move {
+            env.write(&Key::new("X"), Value::Int(999)).await?;
+            Ok(Value::Null)
+        })
+    });
+    let h3 = {
+        let client = client.clone();
+        let ctx2 = ctx.clone();
+        ctx.spawn(async move {
+            ctx2.sleep(Duration::from_micros(100)).await;
+            run_to_completion(client, f3, Value::Null, writer).await
+        })
+    };
+    sim.run();
+    h3.try_take().expect("F3 finished").unwrap();
+    let seen = h2.try_take().expect("F2 finished").unwrap();
+    // F2's read was parameterized before F3's write: it must see 100 even
+    // though 999 was the latest value during its re-execution.
+    assert_eq!(seen, Value::Int(100));
+    recorder.check_read_stability().unwrap();
+    recorder.check_hm_read_sequential_consistency().unwrap();
+}
+
+/// Figure 6: under Halfmoon-write, a stale write (old cursor) must not
+/// overwrite a fresher write; a post-read write must.
+#[test]
+fn figure6_stale_writes_are_reordered() {
+    let (mut sim, client, _recorder) = setup(ProtocolKind::HalfmoonWrite);
+    client.populate(Key::new("X"), Value::Int(0));
+    client.populate(Key::new("Z"), Value::Int(0));
+    client.populate(Key::new("Y"), Value::Int(7));
+
+    // F2 runs first: writes X with a fresh cursor, reads Y, writes Z.
+    let f2 = client.fresh_instance_id();
+    let body2: SsfBody = Rc::new(|env, _| {
+        Box::pin(async move {
+            env.read(&Key::new("Y")).await?; // advance cursor
+            env.write(&Key::new("X"), Value::str("F2")).await?;
+            env.write(&Key::new("Z"), Value::str("F2")).await?;
+            Ok(Value::Null)
+        })
+    });
+    let out = sim.block_on(run_to_completion(client.clone(), f2, Value::Null, body2));
+    out.unwrap();
+
+    // F1 starts *after* F2 in real time, but performs its write to X
+    // before any read: its version tuple is its init cursor, which is
+    // *larger* than F2's (it initialized later), so it wins X. Then it
+    // reads Y (advancing further) and overwrites Z.
+    let f1 = client.fresh_instance_id();
+    let body1: SsfBody = Rc::new(|env, _| {
+        Box::pin(async move {
+            env.write(&Key::new("X"), Value::str("F1")).await?;
+            env.read(&Key::new("Y")).await?;
+            env.write(&Key::new("Z"), Value::str("F1")).await?;
+            Ok(Value::Null)
+        })
+    });
+    sim.block_on(run_to_completion(client.clone(), f1, Value::Null, body1))
+        .unwrap();
+    assert_eq!(client.store().peek(&Key::new("X")), Some(Value::str("F1")));
+    assert_eq!(client.store().peek(&Key::new("Z")), Some(Value::str("F1")));
+
+    // Now the stale-write scenario: F3 inits early (small cursor), stalls,
+    // and writes X only after F4 (larger cursor) has written it. F3's
+    // conditional update must lose — the virtual interleaving places its
+    // write before F4's (§4.2).
+    let f3 = client.fresh_instance_id();
+    let f4 = client.fresh_instance_id();
+    let ctx = sim.ctx();
+    let slow: SsfBody = Rc::new(|env, _| {
+        Box::pin(async move {
+            env.client().ctx().sleep(Duration::from_millis(50)).await; // stall
+            env.write(&Key::new("X"), Value::str("stale")).await?;
+            Ok(Value::Null)
+        })
+    });
+    let fast: SsfBody = Rc::new(|env, _| {
+        Box::pin(async move {
+            env.write(&Key::new("X"), Value::str("fresh")).await?;
+            Ok(Value::Null)
+        })
+    });
+    let h3 = ctx.spawn(run_to_completion(client.clone(), f3, Value::Null, slow));
+    let h4 = {
+        let client = client.clone();
+        let ctx2 = ctx.clone();
+        ctx.spawn(async move {
+            ctx2.sleep(Duration::from_millis(10)).await; // init after f3
+            run_to_completion(client, f4, Value::Null, fast).await
+        })
+    };
+    sim.run();
+    h3.try_take().unwrap().unwrap();
+    h4.try_take().unwrap().unwrap();
+    assert_eq!(
+        client.store().peek(&Key::new("X")),
+        Some(Value::str("fresh"))
+    );
+}
+
+// ---------------------------------------------------------------------
+// Workflows (Invoke)
+// ---------------------------------------------------------------------
+
+#[test]
+fn workflow_invocation_is_exactly_once_under_crashes() {
+    for kind in all_protocols() {
+        for point in 1..14u32 {
+            let (mut sim, client, recorder) = setup(kind);
+            client.populate(Key::new("counter"), Value::Int(0));
+            let invoker = TestInvoker::install(&client);
+            invoker.register("increment", |env, _input| {
+                Box::pin(async move {
+                    let c = env.read(&Key::new("counter")).await?.as_int().unwrap_or(0);
+                    env.write(&Key::new("counter"), Value::Int(c + 1)).await?;
+                    Ok(Value::Int(c + 1))
+                })
+            });
+            let parent: SsfBody = Rc::new(|env, _| {
+                Box::pin(async move {
+                    let r = env.invoke("increment", Value::Null).await?;
+                    Ok(r)
+                })
+            });
+            let id = client.fresh_instance_id();
+            client.set_faults(FaultPolicy::at([(id, point)]));
+            let out = sim
+                .block_on(run_to_completion(client.clone(), id, Value::Null, parent))
+                .unwrap_or_else(|e| panic!("{kind} point {point}: {e}"));
+            assert_eq!(out, Value::Int(1), "{kind} point {point}");
+            assert_eq!(
+                read_final(&mut sim, &client, "counter"),
+                Value::Int(1),
+                "{kind} point {point}: child effect duplicated"
+            );
+            recorder
+                .check_all_generic()
+                .unwrap_or_else(|e| panic!("{kind} {point}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn nested_workflow_chain() {
+    let (mut sim, client, recorder) = setup(ProtocolKind::HalfmoonRead);
+    client.populate(Key::new("a"), Value::Int(1));
+    let invoker = TestInvoker::install(&client);
+    invoker.register("leaf", |env, input| {
+        Box::pin(async move {
+            let base = env.read(&Key::new("a")).await?.as_int().unwrap_or(0);
+            Ok(Value::Int(base + input.as_int().unwrap_or(0)))
+        })
+    });
+    invoker.register("mid", |env, input| {
+        Box::pin(async move {
+            let r = env.invoke("leaf", input).await?;
+            Ok(Value::Int(r.as_int().unwrap() * 10))
+        })
+    });
+    let root: SsfBody = Rc::new(|env, _| {
+        Box::pin(async move {
+            let r = env.invoke("mid", Value::Int(5)).await?;
+            env.write(&Key::new("a"), r.clone()).await?;
+            Ok(r)
+        })
+    });
+    let id = client.fresh_instance_id();
+    let out = sim
+        .block_on(run_to_completion(client.clone(), id, Value::Null, root))
+        .unwrap();
+    assert_eq!(out, Value::Int(60));
+    recorder.check_all_generic().unwrap();
+    recorder.check_hm_read_sequential_consistency().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Garbage collection
+// ---------------------------------------------------------------------
+
+#[test]
+fn gc_reclaims_finished_ssfs_and_old_versions() {
+    let (mut sim, client, _recorder) = setup(ProtocolKind::HalfmoonRead);
+    client.populate(Key::new("K"), Value::Int(0));
+    // Run several writers sequentially, accumulating versions.
+    for i in 0..5 {
+        let id = client.fresh_instance_id();
+        let body: SsfBody = Rc::new(move |env, _| {
+            Box::pin(async move {
+                env.write(&Key::new("K"), Value::Int(i)).await?;
+                Ok(Value::Null)
+            })
+        });
+        sim.block_on(run_to_completion(client.clone(), id, Value::Null, body))
+            .unwrap();
+    }
+    assert_eq!(client.store().version_count(), 5);
+    let live_before = client.log().live_records();
+    let gc = GarbageCollector::new(client.clone(), NODE);
+    let client2 = client.clone();
+    let stats = sim.block_on(async move {
+        let _ = &client2;
+        gc.collect().await
+    });
+    assert_eq!(stats.instances_reclaimed, 5);
+    assert_eq!(
+        stats.versions_deleted, 4,
+        "all but the latest version freed"
+    );
+    assert_eq!(client.store().version_count(), 1);
+    assert!(client.log().live_records() < live_before);
+    // The surviving version is still readable.
+    assert_eq!(read_final(&mut sim, &client, "K"), Value::Int(4));
+}
+
+#[test]
+fn gc_never_collects_versions_a_live_reader_may_see() {
+    let (mut sim, client, _recorder) = setup(ProtocolKind::HalfmoonRead);
+    client.populate(Key::new("K"), Value::Int(0));
+    let ctx = sim.ctx();
+    // A slow reader initializes, then stalls before reading.
+    let reader = client.fresh_instance_id();
+    let slow_reader: SsfBody = Rc::new(|env, _| {
+        Box::pin(async move {
+            env.client().ctx().sleep(Duration::from_millis(200)).await;
+            let v = env.read(&Key::new("K")).await?;
+            Ok(v)
+        })
+    });
+    let h_reader = ctx.spawn(run_to_completion(
+        client.clone(),
+        reader,
+        Value::Null,
+        slow_reader,
+    ));
+    // Writers update K while the reader stalls; then the GC runs.
+    let h_rest = {
+        let client = client.clone();
+        let ctx2 = ctx.clone();
+        ctx.spawn(async move {
+            ctx2.sleep(Duration::from_millis(10)).await;
+            for i in 0..3 {
+                let id = client.fresh_instance_id();
+                let body: SsfBody = Rc::new(move |env, _| {
+                    Box::pin(async move {
+                        env.write(&Key::new("K"), Value::Int(100 + i)).await?;
+                        Ok(Value::Null)
+                    })
+                });
+                run_to_completion(client.clone(), id, Value::Null, body)
+                    .await
+                    .unwrap();
+            }
+            let gc = GarbageCollector::new(client.clone(), NODE);
+            gc.collect().await
+        })
+    };
+    sim.run();
+    let stats = h_rest.try_take().expect("gc ran");
+    // The reader's init precedes every write, so the watermark is pinned
+    // at the reader's init: no version it could observe was deleted.
+    assert_eq!(
+        stats.versions_deleted, 0,
+        "GC must wait for the live reader"
+    );
+    let seen = h_reader.try_take().expect("reader finished").unwrap();
+    // Reader initialized before all writes: sees the base value.
+    assert_eq!(seen, Value::Int(0));
+    // After everyone finished, GC can reclaim.
+    let gc = GarbageCollector::new(client.clone(), NODE);
+    let stats = sim.block_on(async move { gc.collect().await });
+    assert_eq!(stats.versions_deleted, 2);
+}
+
+// ---------------------------------------------------------------------
+// Protocol switching (§4.7)
+// ---------------------------------------------------------------------
+
+#[test]
+fn switch_under_concurrent_load_preserves_consistency() {
+    for (from, to) in [
+        (ProtocolKind::HalfmoonWrite, ProtocolKind::HalfmoonRead),
+        (ProtocolKind::HalfmoonRead, ProtocolKind::HalfmoonWrite),
+    ] {
+        let mut sim = Sim::new(0x5717c4);
+        let mut config = ProtocolConfig::uniform(from);
+        config.switching_enabled = true;
+        let client = Client::new(sim.ctx(), LatencyModel::uniform_test_model(), config);
+        let recorder = Rc::new(Recorder::new());
+        client.set_recorder(recorder.clone());
+        client.populate(Key::new("S"), Value::Int(0));
+        let ctx = sim.ctx();
+        // Open-loop writers/readers spanning the switch.
+        let mut handles = Vec::new();
+        for i in 0..30u32 {
+            let client = client.clone();
+            let ctx2 = ctx.clone();
+            handles.push(ctx.spawn(async move {
+                ctx2.sleep(Duration::from_millis(u64::from(i) * 3)).await;
+                let id = client.fresh_instance_id();
+                let body: SsfBody = Rc::new(move |env, _| {
+                    Box::pin(async move {
+                        let v = env.read(&Key::new("S")).await?.as_int().unwrap_or(0);
+                        env.write(&Key::new("S"), Value::Int(v + 1)).await?;
+                        Ok(Value::Int(v))
+                    })
+                });
+                run_to_completion(client, id, Value::Null, body).await
+            }));
+        }
+        // Trigger the switch mid-stream.
+        let switch_handle = {
+            let client = client.clone();
+            let ctx2 = ctx.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(Duration::from_millis(40)).await;
+                let switcher = Switcher::new(client, NODE);
+                switcher.switch_to(to).await
+            })
+        };
+        sim.run();
+        let report = switch_handle.try_take().expect("switch completed").unwrap();
+        assert!(report.end_at > report.begin_at, "{from}->{to}");
+        assert!(report.settled_at >= report.end_at, "{from}->{to}");
+        for h in handles {
+            h.try_take().expect("ssf completed").unwrap();
+        }
+        recorder
+            .check_all_generic()
+            .unwrap_or_else(|e| panic!("{from}->{to}: {e}"));
+        // New SSFs resolve to the target protocol and still see the data.
+        let v = read_final(&mut sim, &client, "S");
+        // 30 read-modify-write SSFs overlapped arbitrarily; the counter is
+        // between 1 and 30 (lost updates between *different* SSFs are
+        // allowed — they are not transactions), but must exist.
+        let n = v.as_int().expect("counter present");
+        assert!((1..=30).contains(&n), "{from}->{to}: counter {n}");
+    }
+}
+
+#[test]
+fn switch_is_idempotent_and_rejects_unsafe() {
+    let mut sim = Sim::new(7);
+    let mut config = ProtocolConfig::uniform(ProtocolKind::HalfmoonWrite);
+    config.switching_enabled = true;
+    let client = Client::new(sim.ctx(), LatencyModel::uniform_test_model(), config);
+    let switcher = Switcher::new(client.clone(), NODE);
+    let client2 = client.clone();
+    sim.block_on(async move {
+        let _ = &client2;
+        let r = switcher
+            .switch_to(ProtocolKind::HalfmoonWrite)
+            .await
+            .unwrap();
+        assert_eq!(r.switching_delay(), Duration::ZERO);
+        assert!(switcher.switch_to(ProtocolKind::Unsafe).await.is_err());
+        let r = switcher
+            .switch_to(ProtocolKind::HalfmoonRead)
+            .await
+            .unwrap();
+        assert!(r.end_at >= r.begin_at);
+        assert_eq!(
+            switcher.current_protocol().await.unwrap(),
+            ProtocolKind::HalfmoonRead
+        );
+    });
+}
+
+// ---------------------------------------------------------------------
+// Consistency propositions under randomized load
+// ---------------------------------------------------------------------
+
+#[test]
+fn hm_read_sequential_consistency_under_random_load_and_crashes() {
+    let mut sim = Sim::new(0xc0ffee);
+    let client = Client::new(
+        sim.ctx(),
+        LatencyModel::uniform_test_model(),
+        ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
+    );
+    let recorder = Rc::new(Recorder::new());
+    client.set_recorder(recorder.clone());
+    for k in 0..4 {
+        client.populate(Key::new(format!("k{k}")), Value::Int(0));
+    }
+    client.set_faults(FaultPolicy::random(0.02, 50));
+    let ctx = sim.ctx();
+    let mut handles = Vec::new();
+    for i in 0..40u64 {
+        let client = client.clone();
+        let ctx2 = ctx.clone();
+        handles.push(ctx.spawn(async move {
+            ctx2.sleep(Duration::from_micros(i * 700)).await;
+            let id = client.fresh_instance_id();
+            let body: SsfBody = Rc::new(move |env, _| {
+                Box::pin(async move {
+                    // Pseudo-random but deterministic op mix per SSF.
+                    let k1 = Key::new(format!("k{}", i % 4));
+                    let k2 = Key::new(format!("k{}", (i / 4) % 4));
+                    let v = env.read(&k1).await?.as_int().unwrap_or(0);
+                    env.write(&k2, Value::Int(v + i as i64)).await?;
+                    let w = env.read(&k2).await?;
+                    Ok(w)
+                })
+            });
+            run_to_completion(client, id, Value::Null, body).await
+        }));
+    }
+    sim.run();
+    for h in handles {
+        h.try_take().expect("ssf completed").unwrap();
+    }
+    recorder.check_all_generic().unwrap();
+    recorder.check_hm_read_sequential_consistency().unwrap();
+}
+
+#[test]
+fn hm_write_effective_order_under_random_load_and_crashes() {
+    let mut sim = Sim::new(0xbeef);
+    let client = Client::new(
+        sim.ctx(),
+        LatencyModel::uniform_test_model(),
+        ProtocolConfig::uniform(ProtocolKind::HalfmoonWrite),
+    );
+    let recorder = Rc::new(Recorder::new());
+    client.set_recorder(recorder.clone());
+    for k in 0..4 {
+        client.populate(Key::new(format!("k{k}")), Value::Int(0));
+    }
+    client.set_faults(FaultPolicy::random(0.02, 50));
+    let ctx = sim.ctx();
+    let mut handles = Vec::new();
+    for i in 0..40u64 {
+        let client = client.clone();
+        let ctx2 = ctx.clone();
+        handles.push(ctx.spawn(async move {
+            ctx2.sleep(Duration::from_micros(i * 700)).await;
+            let id = client.fresh_instance_id();
+            let body: SsfBody = Rc::new(move |env, _| {
+                Box::pin(async move {
+                    let k1 = Key::new(format!("k{}", i % 4));
+                    let k2 = Key::new(format!("k{}", (i / 4) % 4));
+                    let v = env.read(&k1).await?.as_int().unwrap_or(0);
+                    env.write(&k2, Value::Int(v + i as i64)).await?;
+                    env.write(&k1, Value::Int(v)).await?;
+                    Ok(Value::Null)
+                })
+            });
+            run_to_completion(client, id, Value::Null, body).await
+        }));
+    }
+    sim.run();
+    for h in handles {
+        h.try_take().expect("ssf completed").unwrap();
+    }
+    recorder.check_all_generic().unwrap();
+    recorder.check_hm_write_order().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Extensions
+// ---------------------------------------------------------------------
+
+/// The ordered-write extension inserts an ordering record between
+/// consecutive log-free writes to different objects.
+#[test]
+fn ordered_write_extension_costs_one_log_between_dependent_writes() {
+    let count_appends = |preserve: bool| {
+        let mut sim = Sim::new(5);
+        let mut config = ProtocolConfig::uniform(ProtocolKind::HalfmoonWrite);
+        config.preserve_write_order = preserve;
+        let client = Client::new(sim.ctx(), LatencyModel::uniform_test_model(), config);
+        client.populate(Key::new("A"), Value::Int(0));
+        client.populate(Key::new("B"), Value::Int(0));
+        let id = client.fresh_instance_id();
+        let body: SsfBody = Rc::new(|env, _| {
+            Box::pin(async move {
+                env.write(&Key::new("A"), Value::Int(1)).await?;
+                env.write(&Key::new("B"), Value::Int(2)).await?; // different key
+                env.write(&Key::new("B"), Value::Int(3)).await?; // same key: free
+                Ok(Value::Null)
+            })
+        });
+        sim.block_on(run_to_completion(client.clone(), id, Value::Null, body))
+            .unwrap();
+        client.log().counters().log_appends
+    };
+    let plain = count_appends(false);
+    let ordered = count_appends(true);
+    assert_eq!(
+        ordered,
+        plain + 1,
+        "exactly one ordering record for the A→B pair"
+    );
+}
+
+/// Explicit sync gives linearizable reads: a fresh SSF that syncs sees the
+/// newest committed write even under Halfmoon-read.
+#[test]
+fn sync_provides_linearizable_reads() {
+    let (mut sim, client, _recorder) = setup(ProtocolKind::HalfmoonRead);
+    client.populate(Key::new("L"), Value::Int(0));
+    // Writer completes.
+    let w = client.fresh_instance_id();
+    let writer: SsfBody = Rc::new(|env, _| {
+        Box::pin(async move {
+            env.write(&Key::new("L"), Value::Int(42)).await?;
+            Ok(Value::Null)
+        })
+    });
+    sim.block_on(run_to_completion(client.clone(), w, Value::Null, writer))
+        .unwrap();
+    // A reader that syncs first must observe it.
+    let r = client.fresh_instance_id();
+    let reader: SsfBody = Rc::new(|env, _| {
+        Box::pin(async move {
+            env.sync().await?;
+            let v = env.read(&Key::new("L")).await?;
+            Ok(v)
+        })
+    });
+    let out = sim
+        .block_on(run_to_completion(client.clone(), r, Value::Null, reader))
+        .unwrap();
+    assert_eq!(out, Value::Int(42));
+}
+
+/// Init advances the cursor to the log head: SSFs started after an
+/// operation completes see its effects (§4.4's boundary property).
+#[test]
+fn real_time_visibility_at_ssf_boundaries() {
+    for kind in all_protocols() {
+        let (mut sim, client, _recorder) = setup(kind);
+        client.populate(Key::new("B"), Value::Int(0));
+        let w = client.fresh_instance_id();
+        let writer: SsfBody = Rc::new(|env, _| {
+            Box::pin(async move {
+                env.write(&Key::new("B"), Value::Int(7)).await?;
+                Ok(Value::Null)
+            })
+        });
+        sim.block_on(run_to_completion(client.clone(), w, Value::Null, writer))
+            .unwrap();
+        assert_eq!(read_final(&mut sim, &client, "B"), Value::Int(7), "{kind}");
+    }
+}
+
+/// Figure 8's commuting scenario, made observable: F1 (stale cursor)
+/// writes Y then X while F2 (fresh cursor) has already written X. Under
+/// default Halfmoon-write, F1's X-write is reordered before F2's — its
+/// program order W(Y) → W(X) effectively inverts and F2's X value
+/// survives. With the ordered-write extension, an ordering record between
+/// the consecutive writes refreshes F1's cursor, so its X-write applies in
+/// real time and program order is preserved.
+#[test]
+fn figure8_ordered_extension_prevents_commuting() {
+    let run = |preserve: bool| -> (Value, Value) {
+        let mut sim = Sim::new(0xf18);
+        let mut config = ProtocolConfig::uniform(ProtocolKind::HalfmoonWrite);
+        config.preserve_write_order = preserve;
+        let client = Client::new(sim.ctx(), LatencyModel::uniform_test_model(), config);
+        client.populate(Key::new("X"), Value::Int(0));
+        client.populate(Key::new("Y"), Value::Int(0));
+        let ctx = sim.ctx();
+        // F1: inits early (stale cursor), stalls, then writes Y and X.
+        let f1 = client.fresh_instance_id();
+        let h1 = {
+            let client = client.clone();
+            ctx.spawn(async move {
+                let mut env = Env::init(&client, f1, NODE, 0, Value::Null).await?;
+                env.client().ctx().sleep(Duration::from_millis(50)).await;
+                env.write(&Key::new("Y"), Value::str("F1")).await?;
+                env.write(&Key::new("X"), Value::str("F1")).await?;
+                env.finish(Value::Null).await
+            })
+        };
+        // F2: inits after F1 (fresher cursor) and writes X immediately.
+        let f2 = client.fresh_instance_id();
+        let h2 = {
+            let client = client.clone();
+            let ctx2 = ctx.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(Duration::from_millis(10)).await;
+                let mut env = Env::init(&client, f2, NODE, 0, Value::Null).await?;
+                env.write(&Key::new("X"), Value::str("F2")).await?;
+                env.finish(Value::Null).await
+            })
+        };
+        sim.run();
+        h1.try_take().expect("F1 done").unwrap();
+        h2.try_take().expect("F2 done").unwrap();
+        (
+            client.store().peek(&Key::new("X")).unwrap(),
+            client.store().peek(&Key::new("Y")).unwrap(),
+        )
+    };
+    // Default: F1's stale X-write commutes behind F2's — F2's value wins
+    // even though F1 wrote X *later* in real time (the §4.4 reordering).
+    let (x, y) = run(false);
+    assert_eq!(
+        x,
+        Value::str("F2"),
+        "stale consecutive write reordered away"
+    );
+    assert_eq!(y, Value::str("F1"));
+    // Extension: the ordering record refreshes F1's cursor between the
+    // consecutive writes, so its X-write wins in real-time order.
+    let (x, y) = run(true);
+    assert_eq!(
+        x,
+        Value::str("F1"),
+        "ordered extension preserves program order"
+    );
+    assert_eq!(y, Value::str("F1"));
+}

@@ -1,0 +1,316 @@
+//! Transaction tests (§4 "Transactions"): atomic visibility,
+//! first-committer-wins isolation, exactly-once commits under crash
+//! retries, and garbage-collection interaction with aborted commits.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use halfmoon::{
+    Client, Env, FaultPolicy, GarbageCollector, ProtocolConfig, ProtocolKind, Recorder, TxnOutcome,
+};
+use hm_common::latency::LatencyModel;
+use hm_common::{HmResult, InstanceId, Key, NodeId, Value};
+use hm_sim::Sim;
+
+const NODE: NodeId = NodeId(0);
+
+fn setup() -> (Sim, Client, Rc<Recorder>) {
+    let sim = Sim::new(0x7a2a);
+    let client = Client::new(
+        sim.ctx(),
+        LatencyModel::uniform_test_model(),
+        ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
+    );
+    let recorder = Rc::new(Recorder::new());
+    client.set_recorder(recorder.clone());
+    client.populate(Key::new("acct:a"), Value::Int(100));
+    client.populate(Key::new("acct:b"), Value::Int(50));
+    (sim, client, recorder)
+}
+
+/// A bank transfer: read both accounts, move `amount`, commit atomically.
+/// Retries the whole transaction on conflict, and the whole SSF on crash.
+async fn transfer(client: Client, id: InstanceId, amount: i64) -> HmResult<bool> {
+    let mut attempt = 0;
+    loop {
+        let once = async {
+            let mut env = Env::init(&client, id, NODE, attempt, Value::Null).await?;
+            let mut committed = false;
+            // OCC retry loop inside one SSF execution.
+            for _ in 0..10 {
+                let mut txn = env.txn_begin()?;
+                let a = env
+                    .txn_read(&mut txn, &Key::new("acct:a"))
+                    .await?
+                    .as_int()
+                    .unwrap();
+                let b = env
+                    .txn_read(&mut txn, &Key::new("acct:b"))
+                    .await?
+                    .as_int()
+                    .unwrap();
+                if a < amount {
+                    break; // insufficient funds: no effect
+                }
+                env.txn_write(&mut txn, &Key::new("acct:a"), Value::Int(a - amount));
+                env.txn_write(&mut txn, &Key::new("acct:b"), Value::Int(b + amount));
+                if env.txn_commit(txn).await?.committed() {
+                    committed = true;
+                    break;
+                }
+                // Conflict: sync to refresh the cursor, then retry.
+                env.sync().await?;
+            }
+            env.finish(Value::Bool(committed)).await
+        };
+        match once.await {
+            Ok(v) => return Ok(v == Value::Bool(true)),
+            Err(e) if e.is_crash() => {
+                attempt += 1;
+                client.ctx().sleep(Duration::from_millis(2)).await;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn balances(sim: &mut Sim, client: &Client) -> (i64, i64) {
+    let client = client.clone();
+    sim.block_on(async move {
+        let id = client.fresh_instance_id();
+        let mut env = Env::init(&client, id, NODE, 0, Value::Null).await.unwrap();
+        let snap = env
+            .read_snapshot(&[Key::new("acct:a"), Key::new("acct:b")])
+            .await
+            .unwrap();
+        env.finish(Value::Null).await.unwrap();
+        (snap[0].as_int().unwrap(), snap[1].as_int().unwrap())
+    })
+}
+
+#[test]
+fn transfer_commits_atomically() {
+    let (mut sim, client, recorder) = setup();
+    let id = client.fresh_instance_id();
+    let ok = sim.block_on(transfer(client.clone(), id, 30)).unwrap();
+    assert!(ok);
+    assert_eq!(balances(&mut sim, &client), (70, 80));
+    recorder.check_all_generic().unwrap();
+    recorder.check_hm_read_sequential_consistency().unwrap();
+}
+
+#[test]
+fn aborted_transaction_has_no_visible_effect() {
+    let (mut sim, client, _r) = setup();
+    // Force a conflict: a plain write to acct:a lands between the
+    // transaction's begin and commit.
+    let id = client.fresh_instance_id();
+    let c2 = client.clone();
+    let outcome = sim.block_on(async move {
+        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await?;
+        let mut txn = env.txn_begin()?;
+        let a = env
+            .txn_read(&mut txn, &Key::new("acct:a"))
+            .await?
+            .as_int()
+            .unwrap();
+        env.txn_write(&mut txn, &Key::new("acct:a"), Value::Int(a - 10));
+        // Interfering writer (a different SSF) commits first.
+        let intruder = c2.fresh_instance_id();
+        let mut env2 = Env::init(&c2, intruder, NODE, 0, Value::Null).await?;
+        env2.write(&Key::new("acct:a"), Value::Int(999)).await?;
+        env2.finish(Value::Null).await?;
+        let outcome = env.txn_commit(txn).await?;
+        env.finish(Value::Null).await?;
+        Ok::<_, hm_common::HmError>(outcome)
+    });
+    assert!(matches!(outcome.unwrap(), TxnOutcome::Aborted(_)));
+    // The intruder's write survives; the aborted buffer is invisible.
+    assert_eq!(balances(&mut sim, &client).0, 999);
+}
+
+#[test]
+fn blind_disjoint_transactions_both_commit() {
+    let (mut sim, client, _r) = setup();
+    let id = client.fresh_instance_id();
+    let c2 = client.clone();
+    let outcomes = sim.block_on(async move {
+        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await?;
+        let mut t1 = env.txn_begin()?;
+        env.txn_write(&mut t1, &Key::new("acct:a"), Value::Int(1));
+        let o1 = env.txn_commit(t1).await?;
+        let mut t2 = env.txn_begin()?;
+        env.txn_write(&mut t2, &Key::new("acct:b"), Value::Int(2));
+        let o2 = env.txn_commit(t2).await?;
+        env.finish(Value::Null).await?;
+        Ok::<_, hm_common::HmError>((o1, o2))
+    });
+    let (o1, o2) = outcomes.unwrap();
+    assert!(o1.committed());
+    assert!(o2.committed(), "disjoint keys must not conflict");
+    assert_eq!(balances(&mut sim, &client), (1, 2));
+}
+
+/// Two racing transfers on the same accounts: first-committer-wins means
+/// both eventually apply (with the internal OCC retry), and no money is
+/// created or destroyed.
+#[test]
+fn concurrent_transfers_preserve_money() {
+    let (mut sim, client, recorder) = setup();
+    let ctx = sim.ctx();
+    let mut handles = Vec::new();
+    for i in 0..6u64 {
+        let client = client.clone();
+        let ctx2 = ctx.clone();
+        handles.push(ctx.spawn(async move {
+            ctx2.sleep(Duration::from_micros(i * 900)).await;
+            let id = client.fresh_instance_id();
+            transfer(client, id, 5).await
+        }));
+    }
+    sim.run();
+    let mut applied = 0;
+    for h in handles {
+        if h.try_take().expect("transfer finished").unwrap() {
+            applied += 1;
+        }
+    }
+    let (a, b) = balances(&mut sim, &client);
+    assert_eq!(a + b, 150, "conservation of money");
+    assert_eq!(a, 100 - 5 * applied);
+    assert!(applied >= 1, "at least one transfer must win");
+    recorder.check_all_generic().unwrap();
+}
+
+/// Crash injection at every point through the transaction: the commit is
+/// exactly-once (never applied twice, never half-applied).
+#[test]
+fn transaction_exactly_once_under_crash_sweep() {
+    for point in 1..25u32 {
+        let (mut sim, client, recorder) = setup();
+        let id = client.fresh_instance_id();
+        client.set_faults(FaultPolicy::at([(id, point)]));
+        let ok = sim
+            .block_on(transfer(client.clone(), id, 30))
+            .unwrap_or_else(|e| panic!("point {point}: {e}"));
+        assert!(ok, "point {point}");
+        assert_eq!(
+            balances(&mut sim, &client),
+            (70, 80),
+            "point {point}: transfer must apply exactly once"
+        );
+        recorder
+            .check_all_generic()
+            .unwrap_or_else(|e| panic!("point {point}: {e}"));
+    }
+}
+
+/// Peer instances racing through the same transactional SSF produce a
+/// single commit.
+#[test]
+fn peer_race_through_transaction() {
+    let (mut sim, client, recorder) = setup();
+    let id = client.fresh_instance_id();
+    let ctx = sim.ctx();
+    let h1 = ctx.spawn(transfer(client.clone(), id, 10));
+    let h2 = {
+        let client = client.clone();
+        let ctx2 = ctx.clone();
+        ctx.spawn(async move {
+            ctx2.sleep(Duration::from_millis(1)).await;
+            transfer(client, id, 10).await
+        })
+    };
+    sim.run();
+    assert!(h1.try_take().expect("p1").unwrap());
+    assert!(h2.try_take().expect("p2").unwrap());
+    assert_eq!(
+        balances(&mut sim, &client),
+        (90, 60),
+        "one logical transfer"
+    );
+    recorder.check_all_generic().unwrap();
+}
+
+/// GC never uses an aborted commit as the retained snapshot, and reclaims
+/// aborted transactions' pre-installed versions.
+#[test]
+fn gc_skips_aborted_commits_and_reclaims_their_versions() {
+    let (mut sim, client, _r) = setup();
+    let c2 = client.clone();
+    sim.block_on(async move {
+        // A committed plain write, then an aborted transaction, then
+        // nothing else: the aborted commit is the newest record in the
+        // object's write log.
+        let id = c2.fresh_instance_id();
+        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await.unwrap();
+        let mut txn = env.txn_begin().unwrap();
+        let a = env.txn_read(&mut txn, &Key::new("acct:a")).await.unwrap();
+        env.txn_write(
+            &mut txn,
+            &Key::new("acct:a"),
+            Value::Int(a.as_int().unwrap() + 1),
+        );
+        // Conflict injection: plain writer lands in the window.
+        let w = c2.fresh_instance_id();
+        let mut env2 = Env::init(&c2, w, NODE, 0, Value::Null).await.unwrap();
+        env2.write(&Key::new("acct:a"), Value::Int(500))
+            .await
+            .unwrap();
+        env2.finish(Value::Null).await.unwrap();
+        let outcome = env.txn_commit(txn).await.unwrap();
+        assert!(!outcome.committed());
+        env.finish(Value::Null).await.unwrap();
+    });
+    // Three versions exist: populate base is in LATEST, plus the plain
+    // write's version and the aborted txn's orphan version.
+    assert_eq!(client.store().version_count(), 2);
+    let gc = GarbageCollector::new(client.clone(), NODE);
+    let stats = sim.block_on(async move { gc.collect().await });
+    // The plain write's version must be retained (it is the marked
+    // effective record); the aborted version sits *after* it in the stream
+    // and is skipped by readers, but cannot be prefix-trimmed yet.
+    assert_eq!(stats.versions_deleted, 0);
+    assert_eq!(
+        balances(&mut sim, &client).0,
+        500,
+        "reads skip the aborted commit"
+    );
+    // A newer committed write lets the GC advance past both.
+    let c2 = client.clone();
+    sim.block_on(async move {
+        let id = c2.fresh_instance_id();
+        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await.unwrap();
+        env.write(&Key::new("acct:a"), Value::Int(600))
+            .await
+            .unwrap();
+        env.finish(Value::Null).await.unwrap();
+    });
+    let gc = GarbageCollector::new(client.clone(), NODE);
+    let stats = sim.block_on(async move { gc.collect().await });
+    assert_eq!(
+        stats.versions_deleted, 2,
+        "old committed + aborted orphan reclaimed"
+    );
+    assert_eq!(balances(&mut sim, &client).0, 600);
+}
+
+/// Transactions on non-Halfmoon-read deployments are rejected cleanly.
+#[test]
+fn transactions_require_halfmoon_read() {
+    let mut sim = Sim::new(1);
+    let client = Client::new(
+        sim.ctx(),
+        LatencyModel::uniform_test_model(),
+        ProtocolConfig::uniform(ProtocolKind::HalfmoonWrite),
+    );
+    let c2 = client.clone();
+    let out = sim.block_on(async move {
+        let id = c2.fresh_instance_id();
+        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await?;
+        let r = env.txn_begin();
+        env.finish(Value::Null).await?;
+        r.map(|_| ())
+    });
+    assert!(matches!(out, Err(hm_common::HmError::Config { .. })));
+}

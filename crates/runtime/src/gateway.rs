@@ -1,0 +1,127 @@
+//! Open-loop load generation and end-to-end latency measurement.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hm_common::metrics::Histogram;
+use hm_common::Value;
+use hm_sim::SimTime;
+use rand::rngs::SmallRng;
+
+use crate::runtime::Runtime;
+
+/// Produces the next request: `(function name, input)`. Receives the
+/// simulation RNG and the request index for key sampling.
+pub type RequestFactory = Rc<dyn Fn(&mut SmallRng, u64) -> (String, Value)>;
+
+/// One load-generation run.
+#[derive(Clone)]
+pub struct LoadSpec {
+    /// Open-loop arrival rate, requests per second.
+    pub rate_per_sec: f64,
+    /// Generation window (after warmup).
+    pub duration: SimTime,
+    /// Requests arriving during warmup are executed but not recorded.
+    pub warmup: SimTime,
+    /// Request generator.
+    pub factory: RequestFactory,
+}
+
+/// Results of one load run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// End-to-end request latency (measured window only).
+    pub latency: Histogram,
+    /// Requests generated in the measured window.
+    pub generated: u64,
+    /// Requests completed successfully in the measured window.
+    pub completed: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Largest observed request queue depth at the admission semaphore.
+    pub peak_queue: usize,
+}
+
+impl LoadReport {
+    /// Completed requests per second over the measured window.
+    #[must_use]
+    pub fn throughput(&self, window: SimTime) -> f64 {
+        self.completed as f64 / window.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The function gateway: generates Poisson arrivals and fans them into the
+/// runtime, recording end-to-end latency.
+pub struct Gateway {
+    runtime: Runtime,
+}
+
+impl Gateway {
+    /// Creates a gateway over a runtime.
+    #[must_use]
+    pub fn new(runtime: Runtime) -> Gateway {
+        Gateway { runtime }
+    }
+
+    /// Runs an open-loop experiment and waits for in-flight requests to
+    /// drain (up to a grace period) before reporting.
+    pub async fn run_open_loop(&self, spec: LoadSpec) -> LoadReport {
+        let ctx = self.runtime.client().ctx().clone();
+        let report = Rc::new(RefCell::new(LoadReport::default()));
+        let in_flight = Rc::new(std::cell::Cell::new(0u64));
+        let deadline = ctx.now() + spec.warmup + spec.duration;
+        let measure_from = ctx.now() + spec.warmup;
+        let mut seq = 0u64;
+        while ctx.now() < deadline {
+            let gap =
+                ctx.with_rng(|rng| hm_common::dist::exp_interarrival_secs(rng, spec.rate_per_sec));
+            ctx.sleep(SimTime::from_secs_f64(gap)).await;
+            if ctx.now() >= deadline {
+                break;
+            }
+            let (func, input) = ctx.with_rng(|rng| (spec.factory)(rng, seq));
+            seq += 1;
+            let measured = ctx.now() >= measure_from;
+            if measured {
+                report.borrow_mut().generated += 1;
+            }
+            let runtime = self.runtime.clone();
+            let report = report.clone();
+            let in_flight = in_flight.clone();
+            let ctx2 = ctx.clone();
+            in_flight.set(in_flight.get() + 1);
+            ctx.spawn(async move {
+                let started = ctx2.now();
+                let queue = runtime.queued_requests();
+                if queue > report.borrow().peak_queue {
+                    report.borrow_mut().peak_queue = queue;
+                }
+                let result = runtime.invoke_request(&func, input).await;
+                if measured {
+                    let mut r = report.borrow_mut();
+                    match result {
+                        Ok(_) => {
+                            r.completed += 1;
+                            r.latency.record(ctx2.now() - started);
+                        }
+                        Err(_) => r.errors += 1,
+                    }
+                }
+                in_flight.set(in_flight.get() - 1);
+            });
+        }
+        // Drain: wait for in-flight requests, bounded by a grace period.
+        let grace = ctx.now() + SimTime::from_secs(30);
+        while in_flight.get() > 0 && ctx.now() < grace {
+            ctx.sleep(SimTime::from_millis(10)).await;
+        }
+        let report = report.borrow().clone();
+        report
+    }
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gateway({:?})", self.runtime)
+    }
+}

@@ -1,0 +1,23 @@
+//! Serverless runtime substrate: the FaaS platform Halfmoon runs on.
+//!
+//! The paper's testbed is eight function nodes behind a gateway (§6 setup).
+//! This crate models that topology on the simulation core:
+//!
+//! - [`Runtime`] — function registry, node pool with bounded worker slots,
+//!   crash detection and re-execution, and optional *peer duplication*
+//!   (launching a concurrent instance of an SSF that appears to have timed
+//!   out — the §5.1 race). It implements [`halfmoon::Invoker`], so child
+//!   invocations inside workflows go through the same machinery.
+//! - [`Gateway`] — an open-loop Poisson load generator with end-to-end
+//!   latency recording; the saturation knees in Figure 11 come from the
+//!   bounded worker pool.
+//! - [`GcDriver`] — periodic garbage collection (§4.5), with a
+//!   configurable interval (Figure 12 sweeps 10 s and 60 s).
+
+mod gateway;
+mod gc_driver;
+mod runtime;
+
+pub use gateway::{Gateway, LoadReport, LoadSpec, RequestFactory};
+pub use gc_driver::GcDriver;
+pub use runtime::{Runtime, RuntimeConfig, SsfBody};

@@ -1,0 +1,288 @@
+//! Function execution: registry, node pool, retries, peer duplication.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use halfmoon::{Client, Env, Invoker, LocalBoxFuture};
+use hm_common::{HmError, HmResult, InstanceId, NodeId, Value};
+use hm_sim::sync::Semaphore;
+use hm_sim::SimTime;
+
+/// A registered function body. Bodies must be deterministic: given the same
+/// `Env` state and input they must issue the same operation sequence (§2).
+pub type SsfBody = Rc<dyn for<'a> Fn(&'a mut Env, Value) -> LocalBoxFuture<'a, HmResult<Value>>>;
+
+/// Runtime topology and failure-handling knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Number of function nodes (the paper uses eight c5d.2xlarge).
+    pub nodes: u32,
+    /// Worker slots per node (8 vCPUs per instance). The product bounds
+    /// concurrently running top-level requests and produces saturation.
+    pub workers_per_node: u32,
+    /// Delay between a crash and the re-execution of the SSF (failure
+    /// detection + scheduling).
+    pub detection_delay: SimTime,
+    /// Maximum execution attempts before the invocation errors out.
+    pub max_attempts: u32,
+    /// Probability that an invocation spawns a duplicate peer instance
+    /// (a falsely-suspected timeout, §4's second race condition).
+    pub duplicate_prob: f64,
+    /// How long after the primary starts the duplicate is launched.
+    pub duplicate_delay: SimTime,
+    /// §4's race condition modeled faithfully: "if an instance times out
+    /// (but is still live) due to a network error, the runtime may assume
+    /// that this instance has crashed and launch another". When set, any
+    /// attempt still running after this long gets a live peer launched
+    /// against it (once per attempt).
+    pub suspect_timeout: Option<SimTime>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        RuntimeConfig {
+            nodes: 8,
+            workers_per_node: 8,
+            detection_delay: SimTime::from_millis(5),
+            max_attempts: 100,
+            duplicate_prob: 0.0,
+            duplicate_delay: SimTime::from_millis(2),
+            suspect_timeout: None,
+        }
+    }
+}
+
+struct RuntimeInner {
+    client: Client,
+    config: RuntimeConfig,
+    registry: RefCell<HashMap<String, SsfBody>>,
+    /// Admission control: bounds concurrently running top-level requests.
+    workers: Semaphore,
+    /// Round-robin node assignment counter.
+    next_node: Cell<u32>,
+    invocations: Cell<u64>,
+    retries: Cell<u64>,
+    duplicates: Cell<u64>,
+}
+
+/// The simulated FaaS runtime. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Rc<RuntimeInner>,
+}
+
+impl Runtime {
+    /// Builds a runtime over a deployment and registers itself as the
+    /// client's invoker.
+    #[must_use]
+    pub fn new(client: Client, config: RuntimeConfig) -> Runtime {
+        let rt = Runtime {
+            inner: Rc::new(RuntimeInner {
+                workers: Semaphore::new((config.nodes * config.workers_per_node) as usize),
+                client,
+                config,
+                registry: RefCell::new(HashMap::new()),
+                next_node: Cell::new(0),
+                invocations: Cell::new(0),
+                retries: Cell::new(0),
+                duplicates: Cell::new(0),
+            }),
+        };
+        rt.inner.client.set_invoker(Rc::new(rt.clone()));
+        rt
+    }
+
+    /// The deployment this runtime executes against.
+    #[must_use]
+    pub fn client(&self) -> &Client {
+        &self.inner.client
+    }
+
+    /// The runtime configuration.
+    #[must_use]
+    pub fn config(&self) -> RuntimeConfig {
+        self.inner.config
+    }
+
+    /// Registers a function body under `name`.
+    pub fn register(
+        &self,
+        name: &str,
+        body: impl for<'a> Fn(&'a mut Env, Value) -> LocalBoxFuture<'a, HmResult<Value>> + 'static,
+    ) {
+        self.inner
+            .registry
+            .borrow_mut()
+            .insert(name.to_string(), Rc::new(body));
+    }
+
+    /// Total function executions started (including retries and peers).
+    #[must_use]
+    pub fn invocations(&self) -> u64 {
+        self.inner.invocations.get()
+    }
+
+    /// Total re-executions after crashes.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.inner.retries.get()
+    }
+
+    /// Total duplicate peer instances launched.
+    #[must_use]
+    pub fn duplicates(&self) -> u64 {
+        self.inner.duplicates.get()
+    }
+
+    /// Currently available worker slots.
+    #[must_use]
+    pub fn available_workers(&self) -> usize {
+        self.inner.workers.available()
+    }
+
+    /// Requests queued for a worker slot.
+    #[must_use]
+    pub fn queued_requests(&self) -> usize {
+        self.inner.workers.queue_len()
+    }
+
+    fn pick_node(&self) -> NodeId {
+        let n = self.inner.next_node.get();
+        self.inner.next_node.set(n.wrapping_add(1));
+        NodeId(n % self.inner.config.nodes)
+    }
+
+    /// Invokes a *top-level* request: waits for a worker slot (admission
+    /// control — this queueing produces the latency knees under load),
+    /// then executes with retries.
+    pub async fn invoke_request(&self, func: &str, input: Value) -> HmResult<Value> {
+        let _slot = self.inner.workers.acquire().await;
+        let id = self.inner.client.fresh_instance_id();
+        self.execute(id, func, input).await
+    }
+
+    /// Executes `func` as instance `id` to completion: dispatch hop,
+    /// optional duplicate peer, crash detection and re-execution.
+    pub async fn execute(&self, id: InstanceId, func: &str, input: Value) -> HmResult<Value> {
+        let body = self
+            .inner
+            .registry
+            .borrow()
+            .get(func)
+            .cloned()
+            .ok_or_else(|| HmError::UnknownFunction {
+                name: func.to_string(),
+            })?;
+        // Maybe launch a racing peer (fire-and-forget; exactly-once
+        // semantics make its effects indistinguishable from the primary's).
+        let duplicate =
+            self.inner.config.duplicate_prob > 0.0
+                && self.inner.client.ctx().with_rng(|rng| {
+                    hm_common::dist::bernoulli(rng, self.inner.config.duplicate_prob)
+                });
+        if duplicate {
+            self.inner.duplicates.set(self.inner.duplicates.get() + 1);
+            let rt = self.clone();
+            let body = body.clone();
+            let input = input.clone();
+            let ctx = self.inner.client.ctx().clone();
+            let delay = self.inner.config.duplicate_delay;
+            self.inner.client.ctx().spawn(async move {
+                ctx.sleep(delay).await;
+                // The peer's result and errors are ignored; the primary's
+                // retry loop guarantees completion. The peer recovers the
+                // authoritative input from the primary's init record.
+                let _ = rt.run_attempts(id, &body, input, 1).await;
+            });
+        }
+        self.run_attempts(id, &body, input, self.inner.config.max_attempts)
+            .await
+    }
+
+    async fn run_attempts(
+        &self,
+        id: InstanceId,
+        body: &SsfBody,
+        input: Value,
+        max_attempts: u32,
+    ) -> HmResult<Value> {
+        let client = &self.inner.client;
+        let mut attempt = 0;
+        loop {
+            self.inner.invocations.set(self.inner.invocations.get() + 1);
+            let node = self.pick_node();
+            // Dispatch hop to the chosen node.
+            let hop = client
+                .ctx()
+                .with_rng(|rng| client.model().rpc_hop.sample(rng));
+            client.ctx().sleep(hop).await;
+            // Timeout suspicion (§4): if this attempt runs past the
+            // suspect timeout, the runtime assumes it crashed and launches
+            // a live peer — even though the original keeps running. The
+            // conditional-append machinery makes the race harmless.
+            let done = std::rc::Rc::new(std::cell::Cell::new(false));
+            if let Some(limit) = self.inner.config.suspect_timeout {
+                if max_attempts > 1 {
+                    let rt = self.clone();
+                    let body = body.clone();
+                    let input = input.clone();
+                    let ctx = client.ctx().clone();
+                    let done = done.clone();
+                    client.ctx().spawn(async move {
+                        ctx.sleep(limit).await;
+                        if !done.get() {
+                            rt.inner.duplicates.set(rt.inner.duplicates.get() + 1);
+                            let _ = rt.run_attempts(id, &body, input, 1).await;
+                        }
+                    });
+                }
+            }
+            let once = async {
+                let mut env = Env::init(client, id, node, attempt, input.clone()).await?;
+                let authoritative = env.input().clone();
+                let out = body(&mut env, authoritative).await?;
+                env.finish(out).await
+            };
+            let result = once.await;
+            done.set(true);
+            match result {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_crash() && attempt + 1 < max_attempts => {
+                    attempt += 1;
+                    self.inner.retries.set(self.inner.retries.get() + 1);
+                    client.ctx().sleep(self.inner.config.detection_delay).await;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Invoker for Runtime {
+    fn invoke(
+        &self,
+        callee: InstanceId,
+        func: &str,
+        input: Value,
+    ) -> LocalBoxFuture<'static, HmResult<Value>> {
+        // Child invocations do not re-enter admission control: the parent
+        // already holds a request slot, and nesting would deadlock a
+        // saturated pool. They still pay dispatch and full retry handling.
+        let rt = self.clone();
+        let func = func.to_string();
+        Box::pin(async move { rt.execute(callee, &func, input).await })
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Runtime(nodes={}, invocations={}, retries={})",
+            self.inner.config.nodes,
+            self.invocations(),
+            self.retries()
+        )
+    }
+}

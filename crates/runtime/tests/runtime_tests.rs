@@ -1,0 +1,347 @@
+//! Runtime substrate tests: registration, workflows, admission control,
+//! crash retries under load, duplicate peers, the gateway's open-loop
+//! generator, and the periodic GC driver.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use halfmoon::{Client, FaultPolicy, ProtocolConfig, ProtocolKind, Recorder};
+use hm_common::latency::LatencyModel;
+use hm_common::{Key, NodeId, Value};
+use hm_runtime::{Gateway, GcDriver, LoadSpec, Runtime, RuntimeConfig};
+use hm_sim::Sim;
+
+fn setup(kind: ProtocolKind, config: RuntimeConfig) -> (Sim, Client, Runtime) {
+    let sim = Sim::new(0x5e7);
+    let client = Client::new(
+        sim.ctx(),
+        LatencyModel::uniform_test_model(),
+        ProtocolConfig::uniform(kind),
+    );
+    let runtime = Runtime::new(client.clone(), config);
+    (sim, client, runtime)
+}
+
+fn register_counter(runtime: &Runtime) {
+    runtime.register("bump", |env, _input| {
+        Box::pin(async move {
+            let c = env.read(&Key::new("C")).await?.as_int().unwrap_or(0);
+            env.compute().await;
+            env.write(&Key::new("C"), Value::Int(c + 1)).await?;
+            Ok(Value::Int(c + 1))
+        })
+    });
+}
+
+#[test]
+fn invoke_request_runs_registered_function() {
+    let (mut sim, client, runtime) = setup(ProtocolKind::HalfmoonWrite, RuntimeConfig::default());
+    client.populate(Key::new("C"), Value::Int(0));
+    register_counter(&runtime);
+    let rt = runtime.clone();
+    let out = sim.block_on(async move { rt.invoke_request("bump", Value::Null).await });
+    assert_eq!(out.unwrap(), Value::Int(1));
+    assert_eq!(client.store().peek(&Key::new("C")), Some(Value::Int(1)));
+    assert_eq!(runtime.invocations(), 1);
+    assert_eq!(runtime.retries(), 0);
+}
+
+#[test]
+fn unknown_function_errors() {
+    let (mut sim, _client, runtime) = setup(ProtocolKind::HalfmoonWrite, RuntimeConfig::default());
+    let rt = runtime.clone();
+    let out = sim.block_on(async move { rt.invoke_request("nope", Value::Null).await });
+    assert!(matches!(
+        out,
+        Err(hm_common::HmError::UnknownFunction { .. })
+    ));
+}
+
+#[test]
+fn workflow_children_are_dispatched_through_runtime() {
+    let (mut sim, client, runtime) = setup(ProtocolKind::HalfmoonRead, RuntimeConfig::default());
+    client.populate(Key::new("C"), Value::Int(10));
+    register_counter(&runtime);
+    runtime.register("parent", |env, _input| {
+        Box::pin(async move {
+            let a = env.invoke("bump", Value::Null).await?;
+            let b = env.invoke("bump", Value::Null).await?;
+            Ok(Value::List(vec![a, b]))
+        })
+    });
+    let rt = runtime.clone();
+    let out = sim
+        .block_on(async move { rt.invoke_request("parent", Value::Null).await })
+        .unwrap();
+    assert_eq!(out, Value::List(vec![Value::Int(11), Value::Int(12)]));
+    // parent + two children.
+    assert_eq!(runtime.invocations(), 3);
+}
+
+#[test]
+fn admission_control_bounds_concurrency() {
+    let config = RuntimeConfig {
+        nodes: 1,
+        workers_per_node: 2,
+        ..RuntimeConfig::default()
+    };
+    let (mut sim, client, runtime) = setup(ProtocolKind::HalfmoonWrite, config);
+    client.populate(Key::new("C"), Value::Int(0));
+    // A slow function holding its slot for 50ms.
+    runtime.register("slow", |env, _| {
+        Box::pin(async move {
+            env.client().ctx().sleep(Duration::from_millis(50)).await;
+            Ok(Value::Null)
+        })
+    });
+    let ctx = sim.ctx();
+    let started = ctx.now();
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let rt = runtime.clone();
+        handles.push(ctx.spawn(async move { rt.invoke_request("slow", Value::Null).await }));
+    }
+    sim.run();
+    for h in &handles {
+        h.try_take().expect("request completed").unwrap();
+    }
+    // 6 requests, 2 slots, ~50ms each: at least 3 serial batches.
+    let elapsed = sim.now() - started;
+    assert!(elapsed >= Duration::from_millis(150), "elapsed {elapsed:?}");
+}
+
+#[test]
+fn crash_retries_preserve_exactly_once_under_load() {
+    let (mut sim, client, runtime) = setup(ProtocolKind::HalfmoonWrite, RuntimeConfig::default());
+    let recorder = Rc::new(Recorder::new());
+    client.set_recorder(recorder.clone());
+    client.populate(Key::new("C"), Value::Int(0));
+    client.set_faults(FaultPolicy::random(0.03, 200));
+    register_counter(&runtime);
+    let ctx = sim.ctx();
+    let mut handles = Vec::new();
+    for i in 0..50u64 {
+        let rt = runtime.clone();
+        let ctx2 = ctx.clone();
+        handles.push(ctx.spawn(async move {
+            ctx2.sleep(Duration::from_micros(i * 500)).await;
+            rt.invoke_request("bump", Value::Null).await
+        }));
+    }
+    sim.run();
+    for h in &handles {
+        h.try_take().expect("request completed").unwrap();
+    }
+    assert!(
+        runtime.retries() > 0,
+        "expected some injected crashes to trigger retries"
+    );
+    recorder.check_all_generic().unwrap();
+    recorder.check_hm_write_order().unwrap();
+    // Counter increments are read-modify-write races (not transactions),
+    // but the value must be in range and the store must be consistent.
+    let c = client
+        .store()
+        .peek(&Key::new("C"))
+        .unwrap()
+        .as_int()
+        .unwrap();
+    assert!((1..=50).contains(&c));
+}
+
+#[test]
+fn duplicate_peers_do_not_duplicate_effects() {
+    let config = RuntimeConfig {
+        duplicate_prob: 1.0, // always launch a peer
+        ..RuntimeConfig::default()
+    };
+    let (mut sim, client, runtime) = setup(ProtocolKind::HalfmoonRead, config);
+    let recorder = Rc::new(Recorder::new());
+    client.set_recorder(recorder.clone());
+    client.populate(Key::new("C"), Value::Int(0));
+    register_counter(&runtime);
+    let rt = runtime.clone();
+    let out = sim
+        .block_on(async move { rt.invoke_request("bump", Value::Null).await })
+        .unwrap();
+    sim.run(); // let the peer drain
+    assert_eq!(out, Value::Int(1));
+    assert!(runtime.duplicates() >= 1);
+    recorder.check_all_generic().unwrap();
+    // Re-read through the protocol: the counter was bumped exactly once.
+    let client2 = client.clone();
+    let v = sim.block_on(async move {
+        let id = client2.fresh_instance_id();
+        let mut env = halfmoon::Env::init(&client2, id, NodeId(0), 0, Value::Null)
+            .await
+            .unwrap();
+        let v = env.read(&Key::new("C")).await.unwrap();
+        env.finish(Value::Null).await.unwrap();
+        v
+    });
+    assert_eq!(v, Value::Int(1));
+}
+
+#[test]
+fn gateway_open_loop_reports_latency_and_throughput() {
+    let (mut sim, client, runtime) = setup(ProtocolKind::HalfmoonWrite, RuntimeConfig::default());
+    for k in 0..16 {
+        client.populate(Key::new(format!("k{k}")), Value::Int(0));
+    }
+    runtime.register("rw", |env, input| {
+        Box::pin(async move {
+            let key = Key::new(input.as_str().unwrap_or("k0").to_string());
+            let v = env.read(&key).await?.as_int().unwrap_or(0);
+            env.write(&key, Value::Int(v + 1)).await?;
+            Ok(Value::Null)
+        })
+    });
+    let gateway = Gateway::new(runtime.clone());
+    let spec = LoadSpec {
+        rate_per_sec: 200.0,
+        duration: Duration::from_secs(5),
+        warmup: Duration::from_secs(1),
+        factory: Rc::new(|rng, i| {
+            use rand::RngExt;
+            let _ = i;
+            let k: u32 = rng.random_range(0..16);
+            ("rw".to_string(), Value::str(format!("k{k}")))
+        }),
+    };
+    let report = sim.block_on(async move { gateway.run_open_loop(spec).await });
+    assert!(report.generated > 800, "generated {}", report.generated);
+    assert_eq!(report.errors, 0);
+    assert!(report.completed as f64 >= report.generated as f64 * 0.99);
+    let median = report.latency.median_ms().unwrap();
+    // Test model: read 1ms + write 1.7ms + log 1ms + hop 0.2ms + compute.
+    assert!(median > 2.0 && median < 20.0, "median {median}");
+}
+
+#[test]
+fn saturation_raises_latency() {
+    // Tiny pool: 2 workers; service time ~4ms ⇒ capacity ≈ 500/s.
+    let config = RuntimeConfig {
+        nodes: 1,
+        workers_per_node: 2,
+        ..RuntimeConfig::default()
+    };
+    let measure = |rate: f64| {
+        let (mut sim, client, runtime) = setup(ProtocolKind::HalfmoonWrite, config);
+        client.populate(Key::new("k"), Value::Int(0));
+        runtime.register("rw", |env, _| {
+            Box::pin(async move {
+                let v = env.read(&Key::new("k")).await?.as_int().unwrap_or(0);
+                env.write(&Key::new("k"), Value::Int(v + 1)).await?;
+                Ok(Value::Null)
+            })
+        });
+        let gateway = Gateway::new(runtime);
+        let spec = LoadSpec {
+            rate_per_sec: rate,
+            duration: Duration::from_secs(4),
+            warmup: Duration::from_millis(500),
+            factory: Rc::new(|_, _| ("rw".to_string(), Value::Null)),
+        };
+        let report = sim.block_on(async move { gateway.run_open_loop(spec).await });
+        report.latency.median_ms().unwrap()
+    };
+    let light = measure(50.0);
+    let heavy = measure(450.0);
+    assert!(
+        heavy > light * 1.5,
+        "expected queueing delay near saturation: light {light} heavy {heavy}"
+    );
+}
+
+#[test]
+fn gc_driver_reclaims_periodically() {
+    let (mut sim, client, runtime) = setup(ProtocolKind::HalfmoonRead, RuntimeConfig::default());
+    client.populate(Key::new("K"), Value::Int(0));
+    runtime.register("w", |env, input| {
+        Box::pin(async move {
+            env.write(&Key::new("K"), input).await?;
+            Ok(Value::Null)
+        })
+    });
+    let driver = GcDriver::start(client.clone(), NodeId(7), Duration::from_millis(100));
+    let ctx = sim.ctx();
+    let rt = runtime.clone();
+    let work = ctx.spawn(async move {
+        for i in 0..10 {
+            rt.invoke_request("w", Value::Int(i)).await.unwrap();
+        }
+    });
+    sim.run_for(Duration::from_secs(1));
+    assert!(work.is_finished());
+    assert!(driver.cycles() >= 8, "cycles {}", driver.cycles());
+    let totals = driver.totals();
+    assert_eq!(totals.instances_reclaimed, 10);
+    assert_eq!(
+        totals.versions_deleted, 9,
+        "all but the newest version collected"
+    );
+    assert_eq!(client.store().version_count(), 1);
+    driver.stop();
+    let cycles = driver.cycles();
+    sim.run_for(Duration::from_secs(1));
+    assert_eq!(driver.cycles(), cycles, "driver stopped");
+}
+
+/// §4's timeout-suspicion race: an attempt that outlives the suspect
+/// timeout gets a live peer launched against it; conditional appends keep
+/// the effect exactly-once.
+#[test]
+fn suspect_timeout_launches_live_peer_safely() {
+    let config = RuntimeConfig {
+        suspect_timeout: Some(Duration::from_millis(10)),
+        ..RuntimeConfig::default()
+    };
+    let (mut sim, client, runtime) = setup(ProtocolKind::HalfmoonRead, config);
+    client.populate(Key::new("C"), Value::Int(0));
+    // A function slow enough to be suspected (runs ~40ms).
+    runtime.register("slow-bump", |env, _| {
+        Box::pin(async move {
+            let c = env.read(&Key::new("C")).await?.as_int().unwrap_or(0);
+            env.client().ctx().sleep(Duration::from_millis(40)).await;
+            env.write(&Key::new("C"), Value::Int(c + 1)).await?;
+            Ok(Value::Int(c + 1))
+        })
+    });
+    let rt = runtime.clone();
+    let out = sim.block_on(async move { rt.invoke_request("slow-bump", Value::Null).await });
+    sim.run(); // drain the peer
+    assert_eq!(out.unwrap(), Value::Int(1));
+    assert!(
+        runtime.duplicates() >= 1,
+        "the slow attempt must have been suspected"
+    );
+    // Exactly one increment despite primary + suspected peer.
+    let client2 = client.clone();
+    let v = sim.block_on(async move {
+        let id = client2.fresh_instance_id();
+        let mut env = halfmoon::Env::init(&client2, id, NodeId(0), 0, Value::Null)
+            .await
+            .unwrap();
+        let v = env.read(&Key::new("C")).await.unwrap();
+        env.finish(Value::Null).await.unwrap();
+        v
+    });
+    assert_eq!(v, Value::Int(1));
+}
+
+/// Fast functions are never suspected.
+#[test]
+fn fast_functions_are_not_suspected() {
+    let config = RuntimeConfig {
+        suspect_timeout: Some(Duration::from_millis(500)),
+        ..RuntimeConfig::default()
+    };
+    let (mut sim, client, runtime) = setup(ProtocolKind::HalfmoonWrite, config);
+    client.populate(Key::new("C"), Value::Int(0));
+    register_counter(&runtime);
+    let rt = runtime.clone();
+    sim.block_on(async move { rt.invoke_request("bump", Value::Null).await })
+        .unwrap();
+    sim.run();
+    assert_eq!(runtime.duplicates(), 0);
+}

@@ -1,0 +1,830 @@
+//! The shared-log implementation.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use hm_common::latency::LatencyModel;
+use hm_common::metrics::{OpCounters, TimeWeightedGauge};
+use hm_common::{NodeId, SeqNum, Tag};
+use hm_sim::SimCtx;
+
+use crate::payload::Payload;
+
+/// Per-record metadata bytes charged to log storage (`S_meta`, §4.6:
+/// "a few dozen bytes" covering seqnum, tags, step, op kind).
+pub const RECORD_META_BYTES: usize = 32;
+
+/// One record in the shared log.
+#[derive(Clone, Debug)]
+pub struct LogRecord<P> {
+    /// Globally unique, monotonically increasing position in the main log.
+    pub seqnum: SeqNum,
+    /// The sub-streams this record belongs to.
+    pub tags: Vec<Tag>,
+    /// Protocol-defined payload.
+    pub payload: P,
+}
+
+/// Result of a successful [`SharedLog::cond_append`], or the conflict info
+/// the paper's `logCondAppend` returns (§5.1): the seqnum of the record that
+/// already occupies the expected position, so the losing instance can adopt
+/// the winner's state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CondAppendOutcome {
+    /// This append won: the record landed at the expected offset.
+    Appended(SeqNum),
+    /// A peer's record already occupies the expected offset; the append was
+    /// undone. Carries the winner's seqnum.
+    Conflict(SeqNum),
+}
+
+/// Tuning knobs for the simulated logging layer.
+#[derive(Clone, Copy, Debug)]
+pub struct LogConfig {
+    /// Fraction of append latency spent *before* the sequencer assigns the
+    /// seqnum (the request's trip to the sequencer). Concurrent appends
+    /// therefore race for order, like on the real network.
+    pub sequencer_fraction: f64,
+    /// Number of function nodes with record caches.
+    pub nodes: u32,
+    /// Log storage replicas (the paper's setup uses three storage nodes).
+    pub replicas: u32,
+    /// Replicas that must acknowledge an append before it is durable.
+    pub quorum: u32,
+}
+
+impl Default for LogConfig {
+    fn default() -> LogConfig {
+        LogConfig {
+            sequencer_fraction: 0.4,
+            nodes: 8,
+            replicas: 3,
+            quorum: 2,
+        }
+    }
+}
+
+/// Per-tag sub-stream: seqnums ascending, plus how many records have been
+/// trimmed from the front. Offsets into the *untrimmed* stream stay stable,
+/// which `cond_append` relies on.
+#[derive(Default)]
+struct Stream {
+    seqnums: Vec<SeqNum>,
+    trimmed: usize,
+}
+
+impl Stream {
+    fn len_total(&self) -> usize {
+        self.trimmed + self.seqnums.len()
+    }
+
+    /// Seqnum at absolute offset, if still live.
+    fn at(&self, offset: usize) -> Option<SeqNum> {
+        offset
+            .checked_sub(self.trimmed)
+            .and_then(|i| self.seqnums.get(i).copied())
+    }
+}
+
+struct LogInner<P> {
+    /// Storage replicas currently down (by index `0..config.replicas`).
+    failed_replicas: HashSet<u32>,
+    /// Appends persisted while fewer than `quorum` replicas were live —
+    /// the reconfigured-view path (availability preserved, like Boki's
+    /// view change, but worth counting).
+    degraded_appends: u64,
+    /// All live records by seqnum.
+    records: HashMap<SeqNum, Rc<LogRecord<P>>>,
+    streams: HashMap<Tag, Stream>,
+    next_seqnum: SeqNum,
+    /// (node, seqnum) pairs present in a function node's cache.
+    node_cache: HashSet<(NodeId, SeqNum)>,
+    bytes: TimeWeightedGauge,
+    counters: OpCounters,
+}
+
+/// Handle to the simulated shared log. Cheap to clone; clones share state.
+pub struct SharedLog<P> {
+    ctx: SimCtx,
+    model: LatencyModel,
+    config: LogConfig,
+    inner: Rc<RefCell<LogInner<P>>>,
+}
+
+impl<P> Clone for SharedLog<P> {
+    fn clone(&self) -> Self {
+        SharedLog {
+            ctx: self.ctx.clone(),
+            model: self.model,
+            config: self.config,
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<P: Payload> SharedLog<P> {
+    /// Creates an empty log. Seqnums start at 1 so that [`SeqNum::ZERO`]
+    /// can mean "before everything".
+    #[must_use]
+    pub fn new(ctx: SimCtx, model: LatencyModel, config: LogConfig) -> SharedLog<P> {
+        let now = ctx.now();
+        SharedLog {
+            ctx,
+            model,
+            config,
+            inner: Rc::new(RefCell::new(LogInner {
+                failed_replicas: HashSet::new(),
+                degraded_appends: 0,
+                records: HashMap::new(),
+                streams: HashMap::new(),
+                next_seqnum: SeqNum(1),
+                node_cache: HashSet::new(),
+                bytes: TimeWeightedGauge::new(now),
+                counters: OpCounters::default(),
+            })),
+        }
+    }
+
+    /// Appends a record tagged with `tags`; returns its seqnum.
+    ///
+    /// Latency is one sample of the calibrated log-append distribution,
+    /// split around the sequencer's order assignment; the storage phase
+    /// completes when a quorum of replicas has acknowledged (the slowest
+    /// acknowledging replica sets the pace, so losing a replica visibly
+    /// fattens the tail).
+    pub async fn append(&self, node: NodeId, tags: Vec<Tag>, payload: P) -> SeqNum {
+        let total = self.ctx.with_rng(|rng| self.model.log_append.sample(rng));
+        let to_sequencer = total.mul_f64(self.config.sequencer_fraction);
+        self.ctx.sleep(to_sequencer).await;
+        let seqnum = self.install(node, tags, payload);
+        let storage = self.quorum_storage_latency(total.saturating_sub(to_sequencer));
+        self.ctx.sleep(storage).await;
+        seqnum
+    }
+
+    /// The storage-phase latency. The calibrated log-append distribution
+    /// already describes a healthy quorum-of-`replicas` write (DESIGN.md
+    /// §4), so the full-strength path costs exactly the base sample. With
+    /// replicas down, the quorum must include proportionally worse
+    /// replicas: each missing replica fattens the write by ~25 % plus an
+    /// extra tail jitter. Below quorum strength, the layer reconfigures
+    /// (Boki's view change) and the append is counted as degraded.
+    fn quorum_storage_latency(&self, base: std::time::Duration) -> std::time::Duration {
+        let mut inner = self.inner.borrow_mut();
+        let live = self.config.replicas - inner.failed_replicas.len() as u32;
+        if live >= self.config.replicas {
+            return base;
+        }
+        if live < self.config.quorum {
+            inner.degraded_appends += 1;
+        }
+        drop(inner);
+        if live == 0 {
+            // Total storage outage: a reconfiguration round on top.
+            return base.saturating_mul(3);
+        }
+        let missing = (self.config.replicas - live) as f64;
+        let jitter = self
+            .ctx
+            .with_rng(|rng| hm_common::latency::sample_standard_normal(rng).abs());
+        base.mul_f64(1.0 + 0.25 * missing + 0.15 * jitter)
+    }
+
+    /// Marks a storage replica as failed (index `0..replicas`).
+    pub fn fail_storage_replica(&self, replica: u32) {
+        self.inner
+            .borrow_mut()
+            .failed_replicas
+            .insert(replica % self.config.replicas);
+    }
+
+    /// Brings a failed storage replica back.
+    pub fn recover_storage_replica(&self, replica: u32) {
+        self.inner
+            .borrow_mut()
+            .failed_replicas
+            .remove(&(replica % self.config.replicas));
+    }
+
+    /// Number of live storage replicas.
+    #[must_use]
+    pub fn live_storage_replicas(&self) -> u32 {
+        self.config.replicas - self.inner.borrow().failed_replicas.len() as u32
+    }
+
+    /// Appends persisted below the configured quorum (degraded views).
+    #[must_use]
+    pub fn degraded_appends(&self) -> u64 {
+        self.inner.borrow().degraded_appends
+    }
+
+    /// Conditional append (§5.1, Figure 3's `logCondAppend`).
+    ///
+    /// Appends like [`SharedLog::append`], then checks that the new record's
+    /// offset within the `cond_tag` sub-stream equals `cond_pos`. On
+    /// mismatch the append is undone and the seqnum of the record actually
+    /// at `cond_pos` is returned, so exactly one peer instance wins each
+    /// step and losers can adopt the winner's record.
+    pub async fn cond_append(
+        &self,
+        node: NodeId,
+        tags: Vec<Tag>,
+        payload: P,
+        cond_tag: Tag,
+        cond_pos: usize,
+    ) -> CondAppendOutcome {
+        debug_assert!(
+            tags.contains(&cond_tag),
+            "cond_tag must be among the record's tags"
+        );
+        let total = self.ctx.with_rng(|rng| self.model.log_append.sample(rng));
+        let to_sequencer = total.mul_f64(self.config.sequencer_fraction);
+        self.ctx.sleep(to_sequencer).await;
+        // Sequencing and the condition check are atomic at the logging
+        // layer: that is the point of logCondAppend (it resolves conflicts
+        // "in place", unlike Boki's separate append-then-read).
+        let outcome = {
+            let mut inner = self.inner.borrow_mut();
+            let offset = inner.streams.get(&cond_tag).map_or(0, Stream::len_total);
+            if offset == cond_pos {
+                drop(inner);
+                CondAppendOutcome::Appended(self.install(node, tags, payload))
+            } else {
+                inner.counters.cond_append_conflicts += 1;
+                let winner = inner
+                    .streams
+                    .get(&cond_tag)
+                    .and_then(|s| s.at(cond_pos))
+                    .unwrap_or(SeqNum::ZERO);
+                CondAppendOutcome::Conflict(winner)
+            }
+        };
+        let storage = self.quorum_storage_latency(total.saturating_sub(to_sequencer));
+        self.ctx.sleep(storage).await;
+        outcome
+    }
+
+    fn install(&self, node: NodeId, tags: Vec<Tag>, payload: P) -> SeqNum {
+        let now = self.ctx.now();
+        let mut inner = self.inner.borrow_mut();
+        let seqnum = inner.next_seqnum;
+        inner.next_seqnum = seqnum.next();
+        let bytes = (payload.size_bytes() + RECORD_META_BYTES) as f64;
+        let record = Rc::new(LogRecord {
+            seqnum,
+            tags: tags.clone(),
+            payload,
+        });
+        inner.records.insert(seqnum, record);
+        for tag in tags {
+            inner.streams.entry(tag).or_default().seqnums.push(seqnum);
+        }
+        // The appending node caches its own record.
+        inner.node_cache.insert((node, seqnum));
+        inner.bytes.add(now, bytes);
+        inner.counters.log_appends += 1;
+        seqnum
+    }
+
+    /// Reads the latest record in `tag`'s sub-stream with seqnum ≤
+    /// `max_seqnum` (Figure 3's `logReadPrev`).
+    pub async fn read_prev(
+        &self,
+        node: NodeId,
+        tag: Tag,
+        max_seqnum: SeqNum,
+    ) -> Option<Rc<LogRecord<P>>> {
+        let found = {
+            let inner = self.inner.borrow();
+            inner.streams.get(&tag).and_then(|s| {
+                let idx = s.seqnums.partition_point(|&sn| sn <= max_seqnum);
+                idx.checked_sub(1).and_then(|i| s.seqnums.get(i).copied())
+            })
+        };
+        self.pay_read(node, found).await;
+        found.map(|sn| self.fetch(sn))
+    }
+
+    /// Reads the earliest record in `tag`'s sub-stream with seqnum ≥
+    /// `min_seqnum` (Figure 3's `logReadNext`).
+    pub async fn read_next(
+        &self,
+        node: NodeId,
+        tag: Tag,
+        min_seqnum: SeqNum,
+    ) -> Option<Rc<LogRecord<P>>> {
+        let found = {
+            let inner = self.inner.borrow();
+            inner.streams.get(&tag).and_then(|s| {
+                let idx = s.seqnums.partition_point(|&sn| sn < min_seqnum);
+                s.seqnums.get(idx).copied()
+            })
+        };
+        self.pay_read(node, found).await;
+        found.map(|sn| self.fetch(sn))
+    }
+
+    /// Retrieves every live record of a sub-stream (Figure 5's
+    /// `getStepLogs`). Costs one read round; Boki batches this scan.
+    pub async fn read_stream(&self, node: NodeId, tag: Tag) -> Vec<Rc<LogRecord<P>>> {
+        let seqnums: Vec<SeqNum> = {
+            let inner = self.inner.borrow();
+            inner
+                .streams
+                .get(&tag)
+                .map_or_else(Vec::new, |s| s.seqnums.clone())
+        };
+        self.pay_read(node, seqnums.first().copied()).await;
+        seqnums.into_iter().map(|sn| self.fetch(sn)).collect()
+    }
+
+    /// Deletes all records of `tag`'s sub-stream with seqnum ≤ `upto`
+    /// (Figure 3's `logTrim`). A record's bytes are reclaimed once every
+    /// one of its sub-streams has trimmed past it.
+    pub async fn trim(&self, node: NodeId, tag: Tag, upto: SeqNum) {
+        let _ = node;
+        let total = self.ctx.with_rng(|rng| self.model.log_append.sample(rng));
+        self.ctx.sleep(total).await;
+        let now = self.ctx.now();
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.log_trims += 1;
+        let Some(stream) = inner.streams.get_mut(&tag) else {
+            return;
+        };
+        let cut = stream.seqnums.partition_point(|&sn| sn <= upto);
+        let removed: Vec<SeqNum> = stream.seqnums.drain(..cut).collect();
+        stream.trimmed += removed.len();
+        let mut freed = 0usize;
+        for sn in removed {
+            // Reclaim the record when no other live stream still lists it.
+            let still_referenced = inner.records.get(&sn).is_some_and(|r| {
+                r.tags.iter().any(|t| {
+                    *t != tag
+                        && inner
+                            .streams
+                            .get(t)
+                            .is_some_and(|s| s.seqnums.binary_search(&sn).is_ok())
+                })
+            });
+            if !still_referenced {
+                if let Some(r) = inner.records.remove(&sn) {
+                    freed += r.payload.size_bytes() + RECORD_META_BYTES;
+                }
+            }
+        }
+        inner.bytes.add(now, -(freed as f64));
+    }
+
+    async fn pay_read(&self, node: NodeId, target: Option<SeqNum>) {
+        let hit = match target {
+            Some(sn) => self.inner.borrow().node_cache.contains(&(node, sn)),
+            // Absent records answer from the node's stream index: cheap.
+            None => true,
+        };
+        let dist = if hit {
+            self.model.log_read_cached
+        } else {
+            self.model.log_read_miss
+        };
+        let latency = self.ctx.with_rng(|rng| dist.sample(rng));
+        self.ctx.sleep(latency).await;
+        let mut inner = self.inner.borrow_mut();
+        inner.counters.log_reads += 1;
+        if let Some(sn) = target {
+            inner.node_cache.insert((node, sn));
+        }
+    }
+
+    fn fetch(&self, sn: SeqNum) -> Rc<LogRecord<P>> {
+        self.inner
+            .borrow()
+            .records
+            .get(&sn)
+            .cloned()
+            .expect("stream index referenced a reclaimed record")
+    }
+
+    // ---- zero-latency inspection for tests, checkers, and the GC scan ----
+
+    /// The seqnum the next append will receive.
+    #[must_use]
+    pub fn head_seqnum(&self) -> SeqNum {
+        self.inner.borrow().next_seqnum
+    }
+
+    /// Live record count.
+    #[must_use]
+    pub fn live_records(&self) -> usize {
+        self.inner.borrow().records.len()
+    }
+
+    /// Current stored bytes.
+    #[must_use]
+    pub fn current_bytes(&self) -> f64 {
+        self.inner.borrow().bytes.level()
+    }
+
+    /// Time-averaged stored bytes since the last window reset.
+    #[must_use]
+    pub fn average_bytes(&self) -> f64 {
+        self.inner.borrow().bytes.average(self.ctx.now())
+    }
+
+    /// Restarts the storage-averaging window now.
+    pub fn reset_storage_window(&self) {
+        let now = self.ctx.now();
+        self.inner.borrow_mut().bytes.reset_window(now);
+    }
+
+    /// Snapshot of op counters.
+    #[must_use]
+    pub fn counters(&self) -> OpCounters {
+        self.inner.borrow().counters
+    }
+
+    /// Zero-latency peek at a sub-stream's live seqnums (test helper).
+    #[must_use]
+    pub fn peek_stream(&self, tag: Tag) -> Vec<SeqNum> {
+        self.inner
+            .borrow()
+            .streams
+            .get(&tag)
+            .map_or_else(Vec::new, |s| s.seqnums.clone())
+    }
+
+    /// Zero-latency record fetch by seqnum (checker helper).
+    #[must_use]
+    pub fn peek_record(&self, sn: SeqNum) -> Option<Rc<LogRecord<P>>> {
+        self.inner.borrow().records.get(&sn).cloned()
+    }
+}
+
+impl<P> std::fmt::Debug for SharedLog<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        write!(
+            f,
+            "SharedLog(head={:?}, live={}, streams={})",
+            inner.next_seqnum,
+            inner.records.len(),
+            inner.streams.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use hm_common::ids::TagKind;
+    use hm_sim::{Sim, SimTime};
+
+    use super::*;
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+
+    fn setup() -> (Sim, SharedLog<String>) {
+        let sim = Sim::new(11);
+        let log = SharedLog::new(
+            sim.ctx(),
+            LatencyModel::uniform_test_model(),
+            LogConfig::default(),
+        );
+        (sim, log)
+    }
+
+    fn t(name: &str) -> Tag {
+        Tag::named(TagKind::StepLog, name)
+    }
+
+    #[test]
+    fn append_assigns_increasing_seqnums() {
+        let (mut sim, log) = setup();
+        let l = log.clone();
+        let (a, b) = sim.block_on(async move {
+            let a = l.append(N0, vec![t("s")], "one".into()).await;
+            let b = l.append(N0, vec![t("s")], "two".into()).await;
+            (a, b)
+        });
+        assert!(a < b);
+        assert_eq!(a, SeqNum(1));
+        assert_eq!(log.head_seqnum(), SeqNum(3));
+    }
+
+    #[test]
+    fn concurrent_appends_order_by_sequencer_arrival() {
+        let (mut sim, log) = setup();
+        let ctx = sim.ctx();
+        let l1 = log.clone();
+        let l2 = log.clone();
+        let ctx2 = ctx.clone();
+        let h1 = ctx.spawn(async move { l1.append(N0, vec![t("a")], "first".into()).await });
+        let h2 = ctx.spawn(async move {
+            // Starts 1µs later; sequencer sees it second.
+            ctx2.sleep(SimTime::from_micros(1)).await;
+            l2.append(N1, vec![t("b")], "second".into()).await
+        });
+        sim.run();
+        assert_eq!(h1.try_take().unwrap(), SeqNum(1));
+        assert_eq!(h2.try_take().unwrap(), SeqNum(2));
+    }
+
+    #[test]
+    fn read_prev_seeks_backward_inclusive() {
+        let (mut sim, log) = setup();
+        let l = log.clone();
+        sim.block_on(async move {
+            let s1 = l.append(N0, vec![t("k")], "v1".into()).await;
+            let _s2 = l.append(N0, vec![t("k")], "v2".into()).await;
+            // Bound exactly at s1: sees v1.
+            let r = l.read_prev(N0, t("k"), s1).await.unwrap();
+            assert_eq!(r.payload, "v1");
+            // Bound at MAX: sees the newest.
+            let r = l.read_prev(N0, t("k"), SeqNum::MAX).await.unwrap();
+            assert_eq!(r.payload, "v2");
+            // Bound before everything: none.
+            assert!(l.read_prev(N0, t("k"), SeqNum::ZERO).await.is_none());
+        });
+    }
+
+    #[test]
+    fn read_next_seeks_forward_inclusive() {
+        let (mut sim, log) = setup();
+        let l = log.clone();
+        sim.block_on(async move {
+            let s1 = l.append(N0, vec![t("k")], "v1".into()).await;
+            let s2 = l.append(N0, vec![t("k")], "v2".into()).await;
+            let r = l.read_next(N0, t("k"), s1).await.unwrap();
+            assert_eq!(r.seqnum, s1);
+            let r = l.read_next(N0, t("k"), s1.next()).await.unwrap();
+            assert_eq!(r.seqnum, s2);
+            assert!(l.read_next(N0, t("k"), s2.next()).await.is_none());
+        });
+    }
+
+    #[test]
+    fn multi_tag_records_visible_in_all_streams() {
+        let (mut sim, log) = setup();
+        let l = log.clone();
+        sim.block_on(async move {
+            let sn = l.append(N0, vec![t("step"), t("obj")], "w".into()).await;
+            assert_eq!(
+                l.read_prev(N0, t("step"), SeqNum::MAX)
+                    .await
+                    .unwrap()
+                    .seqnum,
+                sn
+            );
+            assert_eq!(
+                l.read_prev(N0, t("obj"), SeqNum::MAX).await.unwrap().seqnum,
+                sn
+            );
+        });
+    }
+
+    #[test]
+    fn read_stream_returns_history_in_order() {
+        let (mut sim, log) = setup();
+        let l = log.clone();
+        sim.block_on(async move {
+            for i in 0..4 {
+                l.append(N0, vec![t("hist")], format!("r{i}")).await;
+            }
+            let recs = l.read_stream(N0, t("hist")).await;
+            let vals: Vec<&str> = recs.iter().map(|r| r.payload.as_str()).collect();
+            assert_eq!(vals, vec!["r0", "r1", "r2", "r3"]);
+        });
+    }
+
+    #[test]
+    fn cond_append_success_then_conflict() {
+        let (mut sim, log) = setup();
+        let l = log.clone();
+        sim.block_on(async move {
+            let tag = t("inst");
+            let out = l.cond_append(N0, vec![tag], "step0".into(), tag, 0).await;
+            let CondAppendOutcome::Appended(first) = out else {
+                panic!("expected success, got {out:?}")
+            };
+            // A peer retries step 0: conflicts and learns the winner.
+            let out = l
+                .cond_append(N1, vec![tag], "step0-dup".into(), tag, 0)
+                .await;
+            assert_eq!(out, CondAppendOutcome::Conflict(first));
+            // Stream contains only the winner.
+            assert_eq!(l.peek_stream(tag).len(), 1);
+            assert_eq!(l.counters().cond_append_conflicts, 1);
+            // Seqnums of undone appends are not reused but nothing is stored.
+            let out = l.cond_append(N1, vec![tag], "step1".into(), tag, 1).await;
+            assert!(matches!(out, CondAppendOutcome::Appended(_)));
+        });
+    }
+
+    #[test]
+    fn cond_append_racing_peers_single_winner() {
+        let (mut sim, log) = setup();
+        let ctx = sim.ctx();
+        let tag = t("race");
+        let mut handles = Vec::new();
+        for i in 0..4u32 {
+            let l = log.clone();
+            handles.push(ctx.spawn(async move {
+                l.cond_append(NodeId(i), vec![tag], format!("peer{i}"), tag, 0)
+                    .await
+            }));
+        }
+        sim.run();
+        let outcomes: Vec<CondAppendOutcome> =
+            handles.iter().map(|h| h.try_take().unwrap()).collect();
+        let winners = outcomes
+            .iter()
+            .filter(|o| matches!(o, CondAppendOutcome::Appended(_)))
+            .count();
+        assert_eq!(winners, 1, "exactly one peer must win: {outcomes:?}");
+        let winner_sn = log.peek_stream(tag)[0];
+        for o in outcomes {
+            if let CondAppendOutcome::Conflict(sn) = o {
+                assert_eq!(sn, winner_sn);
+            }
+        }
+    }
+
+    #[test]
+    fn trim_removes_prefix_and_keeps_offsets_stable() {
+        let (mut sim, log) = setup();
+        let l = log.clone();
+        sim.block_on(async move {
+            let tag = t("gc");
+            let mut sns = Vec::new();
+            for i in 0..5 {
+                sns.push(l.append(N0, vec![tag], format!("r{i}")).await);
+            }
+            l.trim(N0, tag, sns[2]).await;
+            assert_eq!(l.peek_stream(tag), vec![sns[3], sns[4]]);
+            assert_eq!(l.live_records(), 2);
+            // cond_append offsets still count trimmed records.
+            let out = l.cond_append(N0, vec![tag], "r5".into(), tag, 5).await;
+            assert!(matches!(out, CondAppendOutcome::Appended(_)), "{out:?}");
+        });
+    }
+
+    #[test]
+    fn trim_respects_multi_tag_references() {
+        let (mut sim, log) = setup();
+        let l = log.clone();
+        sim.block_on(async move {
+            let (a, b) = (t("a"), t("b"));
+            let sn = l.append(N0, vec![a, b], "shared".into()).await;
+            let solo = l.append(N0, vec![a], "solo".into()).await;
+            l.trim(N0, a, solo).await;
+            // The shared record survives via stream b.
+            assert_eq!(l.live_records(), 1);
+            assert_eq!(l.read_prev(N0, b, SeqNum::MAX).await.unwrap().seqnum, sn);
+            l.trim(N0, b, sn).await;
+            assert_eq!(l.live_records(), 0);
+            assert_eq!(l.current_bytes(), 0.0);
+        });
+    }
+
+    #[test]
+    fn storage_accounting_tracks_payload_and_meta() {
+        let (mut sim, log) = setup();
+        let l = log.clone();
+        sim.block_on(async move {
+            l.append(N0, vec![t("x")], "12345".into()).await; // 5 bytes payload
+        });
+        assert_eq!(log.current_bytes(), (5 + RECORD_META_BYTES) as f64);
+    }
+
+    #[test]
+    fn cached_read_is_faster_than_miss() {
+        // Node 0 appends; node 1's first read misses, second hits.
+        let (mut sim, log) = setup();
+        let l = log.clone();
+        let ctx = sim.ctx();
+        sim.block_on(async move {
+            l.append(N0, vec![t("c")], "v".into()).await;
+            let start = ctx.now();
+            l.read_prev(N1, t("c"), SeqNum::MAX).await;
+            let miss_cost = ctx.now() - start;
+            let start = ctx.now();
+            l.read_prev(N1, t("c"), SeqNum::MAX).await;
+            let hit_cost = ctx.now() - start;
+            // Test model: miss 0.3ms, hit 0.1ms.
+            assert!(
+                miss_cost > hit_cost,
+                "miss {miss_cost:?} vs hit {hit_cost:?}"
+            );
+            // The appender reads its own record from cache immediately.
+            let start = ctx.now();
+            l.read_prev(N0, t("c"), SeqNum::MAX).await;
+            assert_eq!(ctx.now() - start, SimTime::from_micros(100));
+        });
+    }
+
+    #[test]
+    fn empty_stream_reads_are_cheap_and_none() {
+        let (mut sim, log) = setup();
+        let l = log.clone();
+        sim.block_on(async move {
+            assert!(l.read_prev(N0, t("none"), SeqNum::MAX).await.is_none());
+            assert!(l.read_next(N0, t("none"), SeqNum::ZERO).await.is_none());
+            assert!(l.read_stream(N0, t("none")).await.is_empty());
+        });
+        assert_eq!(log.counters().log_reads, 3);
+    }
+}
+
+#[cfg(test)]
+mod replication_tests {
+    use hm_common::ids::TagKind;
+    use hm_common::latency::LatencyModel;
+    use hm_common::{NodeId, Tag};
+    use hm_sim::Sim;
+
+    use super::*;
+
+    fn setup() -> (Sim, SharedLog<u64>) {
+        let sim = Sim::new(0x9e9);
+        let log = SharedLog::new(
+            sim.ctx(),
+            LatencyModel::uniform_test_model(),
+            LogConfig::default(),
+        );
+        (sim, log)
+    }
+
+    fn t() -> Tag {
+        Tag::named(TagKind::StepLog, "rep")
+    }
+
+    async fn timed_append(log: &SharedLog<u64>, ctx: &hm_sim::SimCtx, v: u64) -> f64 {
+        let start = ctx.now();
+        log.append(NodeId(0), vec![t()], v).await;
+        (ctx.now() - start).as_secs_f64() * 1e3
+    }
+
+    #[test]
+    fn full_quorum_matches_calibration() {
+        let (mut sim, log) = setup();
+        let ctx = sim.ctx();
+        let l = log.clone();
+        let ms = sim.block_on(async move { timed_append(&l, &ctx, 1).await });
+        // Test model: constant 1.0 ms append end to end.
+        assert!((ms - 1.0).abs() < 1e-6, "healthy append {ms}ms");
+        assert_eq!(log.live_storage_replicas(), 3);
+        assert_eq!(log.degraded_appends(), 0);
+    }
+
+    #[test]
+    fn replica_failure_slows_appends_but_preserves_availability() {
+        let (mut sim, log) = setup();
+        let ctx = sim.ctx();
+        let l = log.clone();
+        let (healthy, down_one, down_two) = sim.block_on(async move {
+            let healthy = timed_append(&l, &ctx, 1).await;
+            l.fail_storage_replica(0);
+            let down_one = timed_append(&l, &ctx, 2).await;
+            l.fail_storage_replica(1);
+            let down_two = timed_append(&l, &ctx, 3).await;
+            (healthy, down_one, down_two)
+        });
+        assert!(down_one > healthy, "losing a replica must cost latency");
+        assert!(down_two > down_one, "losing the quorum costs more");
+        assert_eq!(log.live_storage_replicas(), 1);
+        // Below quorum strength: appends counted as degraded but succeed.
+        assert_eq!(log.degraded_appends(), 1);
+        assert_eq!(log.head_seqnum(), SeqNum(4), "all three appends landed");
+    }
+
+    #[test]
+    fn recovery_restores_full_speed() {
+        let (mut sim, log) = setup();
+        let ctx = sim.ctx();
+        let l = log.clone();
+        let ms = sim.block_on(async move {
+            l.fail_storage_replica(2);
+            timed_append(&l, &ctx, 1).await;
+            l.recover_storage_replica(2);
+            timed_append(&l, &ctx, 2).await
+        });
+        assert!((ms - 1.0).abs() < 1e-6, "recovered append {ms}ms");
+        assert_eq!(log.live_storage_replicas(), 3);
+    }
+
+    #[test]
+    fn total_outage_pays_reconfiguration() {
+        let (mut sim, log) = setup();
+        let ctx = sim.ctx();
+        let l = log.clone();
+        let ms = sim.block_on(async move {
+            for r in 0..3 {
+                l.fail_storage_replica(r);
+            }
+            timed_append(&l, &ctx, 1).await
+        });
+        // Sequencer 0.4ms + 3 x 0.6ms storage = 2.2ms in the test model.
+        assert!(ms > 2.0, "outage append {ms}ms");
+        assert_eq!(log.degraded_appends(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! The payload contract for log records.
+
+/// What the shared log requires of record payloads.
+///
+/// The log is generic so that it stays a pure substrate: the Halfmoon
+/// protocols define their own record enum and the log never inspects it.
+/// `size_bytes` feeds the storage-overhead accounting of §6.3 (a write-log
+/// record is a few dozen bytes of metadata; a read-log record carries the
+/// whole read value).
+pub trait Payload: Clone + 'static {
+    /// Approximate serialized size of this payload in bytes, *excluding*
+    /// the per-record metadata the log itself charges.
+    fn size_bytes(&self) -> usize;
+}
+
+impl Payload for () {
+    fn size_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl Payload for u64 {
+    fn size_bytes(&self) -> usize {
+        8
+    }
+}
+
+impl Payload for String {
+    fn size_bytes(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Payload for hm_common::Value {
+    fn size_bytes(&self) -> usize {
+        hm_common::Value::size_bytes(self)
+    }
+}

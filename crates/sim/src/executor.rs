@@ -1,0 +1,638 @@
+//! The virtual-time async executor.
+//!
+//! Single-threaded: futures need not be `Send`, and all shared state inside
+//! a simulation can use `Rc<RefCell<…>>`. The only thread-safe pieces are
+//! the wakers (the `std::task::Wake` trait requires `Send + Sync`), which
+//! only ever touch a mutex-protected ready queue.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::{Rc, Weak};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::SimTime;
+
+/// Identifies a spawned task within one simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct TaskId(u64);
+
+/// The ready queue shared with wakers. Thread-safe because `Waker` demands
+/// it, although in practice everything runs on one thread.
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        self.queue.lock().push_back(id);
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.queue.lock().pop_front()
+    }
+}
+
+/// Waker for one task: re-enqueues the task id.
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// Timer registration shared between the heap and the `Sleep` future.
+struct TimerState {
+    fired: Cell<bool>,
+    waker: RefCell<Option<Waker>>,
+}
+
+/// Heap entry; ordered by (deadline, registration sequence) so simultaneous
+/// timers fire in registration order — a determinism requirement.
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    state: Rc<TimerState>,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Shared core of one simulation.
+struct Inner {
+    now: Cell<SimTime>,
+    tasks: RefCell<HashMap<TaskId, LocalFuture>>,
+    next_task_id: Cell<u64>,
+    next_timer_seq: Cell<u64>,
+    ready: Arc<ReadyQueue>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    rng: RefCell<SmallRng>,
+    /// Poll counter — useful for diagnosing runaway simulations in tests.
+    polls: Cell<u64>,
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// Create one per experiment, spawn the workload via [`Sim::ctx`], then
+/// drive it with [`Sim::run`], [`Sim::run_until`], or [`Sim::block_on`].
+pub struct Sim {
+    inner: Rc<Inner>,
+}
+
+impl Sim {
+    /// Creates a simulation whose randomness derives entirely from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Sim {
+        Sim {
+            inner: Rc::new(Inner {
+                now: Cell::new(SimTime::ZERO),
+                tasks: RefCell::new(HashMap::new()),
+                next_task_id: Cell::new(0),
+                next_timer_seq: Cell::new(0),
+                ready: Arc::new(ReadyQueue {
+                    queue: Mutex::new(VecDeque::new()),
+                }),
+                timers: RefCell::new(BinaryHeap::new()),
+                rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+                polls: Cell::new(0),
+            }),
+        }
+    }
+
+    /// A clonable handle for use inside tasks.
+    #[must_use]
+    pub fn ctx(&self) -> SimCtx {
+        SimCtx {
+            inner: Rc::downgrade(&self.inner),
+        }
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.inner.now.get()
+    }
+
+    /// Number of tasks that have been spawned and not yet completed.
+    #[must_use]
+    pub fn live_tasks(&self) -> usize {
+        self.inner.tasks.borrow().len()
+    }
+
+    /// Total number of future polls performed so far.
+    #[must_use]
+    pub fn poll_count(&self) -> u64 {
+        self.inner.polls.get()
+    }
+
+    /// Runs until no task is runnable and no timer is pending.
+    ///
+    /// Tasks blocked forever on channels that nobody will signal are left in
+    /// place (check [`Sim::live_tasks`] to detect deadlocks in tests).
+    pub fn run(&mut self) {
+        self.run_inner(None);
+    }
+
+    /// Runs events with timestamps `≤ deadline`, then sets the clock to
+    /// `deadline`. Ready (zero-delay) work at the deadline is completed.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.run_inner(Some(deadline));
+        if self.inner.now.get() < deadline {
+            self.inner.now.set(deadline);
+        }
+    }
+
+    /// Advances the simulation by `d` from the current virtual time.
+    pub fn run_for(&mut self, d: SimTime) {
+        let deadline = self.inner.now.get() + d;
+        self.run_until(deadline);
+    }
+
+    /// Spawns `fut` and runs the simulation until it completes, returning
+    /// its output. Unlike [`Sim::run`], this stops as soon as the future
+    /// finishes — background tasks with unbounded timer chains (periodic
+    /// GC, monitors) do not keep it alive.
+    ///
+    /// # Panics
+    /// Panics if the simulation stalls (deadlocks) before `fut` finishes.
+    pub fn block_on<T: 'static>(&mut self, fut: impl Future<Output = T> + 'static) -> T {
+        let handle = self.ctx().spawn(fut);
+        loop {
+            while let Some(id) = self.inner.ready.pop() {
+                self.poll_task(id);
+            }
+            if let Some(v) = handle.try_take() {
+                return v;
+            }
+            if !self.advance_to_next_timer(None) {
+                panic!("simulation stalled before block_on future completed");
+            }
+        }
+    }
+
+    fn run_inner(&mut self, deadline: Option<SimTime>) {
+        loop {
+            // Drain everything runnable at the current instant.
+            while let Some(id) = self.inner.ready.pop() {
+                self.poll_task(id);
+            }
+            if !self.advance_to_next_timer(deadline) {
+                break;
+            }
+        }
+    }
+
+    /// Advances the clock to the next pending timer (within `deadline`, if
+    /// any) and fires every timer at that instant. Returns false if there
+    /// was no eligible timer.
+    fn advance_to_next_timer(&mut self, deadline: Option<SimTime>) -> bool {
+        let next_at = match self.inner.timers.borrow().peek() {
+            Some(Reverse(entry)) => entry.at,
+            None => return false,
+        };
+        if let Some(deadline) = deadline {
+            if next_at > deadline {
+                return false;
+            }
+        }
+        debug_assert!(next_at >= self.inner.now.get(), "timer in the past");
+        self.inner.now.set(next_at);
+        // Fire every timer scheduled for this instant, in seq order.
+        loop {
+            let fire = {
+                let timers = self.inner.timers.borrow();
+                matches!(timers.peek(), Some(Reverse(e)) if e.at == next_at)
+            };
+            if !fire {
+                break;
+            }
+            let Reverse(entry) = self
+                .inner
+                .timers
+                .borrow_mut()
+                .pop()
+                .expect("peeked entry vanished");
+            entry.state.fired.set(true);
+            let waker = entry.state.waker.borrow_mut().take();
+            if let Some(waker) = waker {
+                waker.wake();
+            }
+        }
+        true
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        // Take the future out of the slab while polling so the task may
+        // re-borrow the slab (e.g. by spawning).
+        let Some(mut fut) = self.inner.tasks.borrow_mut().remove(&id) else {
+            return; // completed earlier; spurious wake
+        };
+        self.inner.polls.set(self.inner.polls.get() + 1);
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: self.inner.ready.clone(),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {}
+            Poll::Pending => {
+                self.inner.tasks.borrow_mut().insert(id, fut);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Sim(now={:?}, live_tasks={})",
+            self.now(),
+            self.live_tasks()
+        )
+    }
+}
+
+/// Clonable handle to a running simulation, captured by tasks.
+///
+/// Holds a weak reference: a `SimCtx` outliving its [`Sim`] is inert, and
+/// using it then panics with a clear message rather than leaking cycles.
+#[derive(Clone)]
+pub struct SimCtx {
+    inner: Weak<Inner>,
+}
+
+impl SimCtx {
+    fn inner(&self) -> Rc<Inner> {
+        self.inner
+            .upgrade()
+            .expect("SimCtx used after its Sim was dropped")
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.inner().now.get()
+    }
+
+    /// Spawns a task onto the simulation.
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let inner = self.inner();
+        let id = TaskId(inner.next_task_id.get());
+        inner.next_task_id.set(id.0 + 1);
+        let state = Rc::new(JoinState {
+            result: RefCell::new(None),
+            waker: RefCell::new(None),
+        });
+        let state2 = state.clone();
+        let wrapped = Box::pin(async move {
+            let out = fut.await;
+            *state2.result.borrow_mut() = Some(out);
+            if let Some(w) = state2.waker.borrow_mut().take() {
+                w.wake();
+            }
+        });
+        inner.tasks.borrow_mut().insert(id, wrapped);
+        inner.ready.push(id);
+        JoinHandle { state }
+    }
+
+    /// Sleeps for `d` of virtual time.
+    pub fn sleep(&self, d: SimTime) -> Sleep {
+        let inner = self.inner();
+        let state = Rc::new(TimerState {
+            fired: Cell::new(false),
+            waker: RefCell::new(None),
+        });
+        let seq = inner.next_timer_seq.get();
+        inner.next_timer_seq.set(seq + 1);
+        let at = inner.now.get() + d;
+        inner.timers.borrow_mut().push(Reverse(TimerEntry {
+            at,
+            seq,
+            state: state.clone(),
+        }));
+        Sleep { state }
+    }
+
+    /// Sleeps until the absolute virtual instant `at` (no-op if in the past).
+    pub fn sleep_until(&self, at: SimTime) -> Sleep {
+        let now = self.now();
+        self.sleep(at.saturating_sub(now))
+    }
+
+    /// Runs `f` with the simulation RNG.
+    ///
+    /// All randomness must flow through here for runs to be reproducible.
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut SmallRng) -> T) -> T {
+        let inner = self.inner();
+        let mut rng = inner.rng.borrow_mut();
+        f(&mut rng)
+    }
+
+    /// Yields once, letting every currently-ready task run before this one
+    /// continues. Implemented as a zero-duration sleep, which preserves the
+    /// executor's FIFO determinism.
+    pub fn yield_now(&self) -> Sleep {
+        self.sleep(SimTime::ZERO)
+    }
+}
+
+impl std::fmt::Debug for SimCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SimCtx")
+    }
+}
+
+/// Future returned by [`SimCtx::sleep`].
+pub struct Sleep {
+    state: Rc<TimerState>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.state.fired.get() {
+            Poll::Ready(())
+        } else {
+            *self.state.waker.borrow_mut() = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+struct JoinState<T> {
+    result: RefCell<Option<T>>,
+    waker: RefCell<Option<Waker>>,
+}
+
+/// Handle to a spawned task; awaiting it yields the task's output.
+pub struct JoinHandle<T> {
+    state: Rc<JoinState<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Takes the result if the task has completed.
+    pub fn try_take(&self) -> Option<T> {
+        self.state.result.borrow_mut().take()
+    }
+
+    /// True if the task has finished (and the result not yet taken).
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.state.result.borrow().is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        if let Some(v) = self.state.result.borrow_mut().take() {
+            Poll::Ready(v)
+        } else {
+            *self.state.waker.borrow_mut() = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use rand::RngExt;
+
+    use super::*;
+
+    #[test]
+    fn block_on_returns_value() {
+        let mut sim = Sim::new(1);
+        let out = sim.block_on(async { 21 * 2 });
+        assert_eq!(out, 42);
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time_only() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let wall = std::time::Instant::now();
+        sim.block_on(async move {
+            ctx.sleep(Duration::from_secs(3600)).await;
+        });
+        assert_eq!(sim.now(), Duration::from_secs(3600));
+        assert!(
+            wall.elapsed() < Duration::from_secs(1),
+            "virtual sleep took wall time"
+        );
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (i, ms) in [(0u32, 30u64), (1, 10), (2, 20)] {
+            let ctx2 = ctx.clone();
+            let order = order.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(Duration::from_millis(ms)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn simultaneous_timers_fire_in_registration_order() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5u32 {
+            let ctx2 = ctx.clone();
+            let order = order.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(Duration::from_millis(5)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let fired = Rc::new(Cell::new(false));
+        let fired2 = fired.clone();
+        let ctx2 = ctx.clone();
+        ctx.spawn(async move {
+            ctx2.sleep(Duration::from_secs(10)).await;
+            fired2.set(true);
+        });
+        sim.run_until(Duration::from_secs(5));
+        assert!(!fired.get());
+        assert_eq!(sim.now(), Duration::from_secs(5));
+        sim.run_until(Duration::from_secs(15));
+        assert!(fired.get());
+    }
+
+    #[test]
+    fn nested_spawn_and_join() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let out = sim.block_on({
+            let ctx = ctx.clone();
+            async move {
+                let inner = ctx.spawn({
+                    let ctx = ctx.clone();
+                    async move {
+                        ctx.sleep(Duration::from_millis(1)).await;
+                        7
+                    }
+                });
+                inner.await + 1
+            }
+        });
+        assert_eq!(out, 8);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        fn trace(seed: u64) -> (Vec<u64>, SimTime) {
+            let mut sim = Sim::new(seed);
+            let ctx = sim.ctx();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..10 {
+                let ctx2 = ctx.clone();
+                let log = log.clone();
+                ctx.spawn(async move {
+                    let d = ctx2.with_rng(|r| r.random_range(1..100u64));
+                    ctx2.sleep(Duration::from_millis(d)).await;
+                    log.borrow_mut().push(d);
+                });
+            }
+            sim.run();
+            let out = log.borrow().clone();
+            (out, sim.now())
+        }
+        assert_eq!(trace(99), trace(99));
+        assert_ne!(trace(99).0, trace(100).0);
+    }
+
+    #[test]
+    fn yield_now_interleaves_fairly() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..2u32 {
+            let ctx2 = ctx.clone();
+            let order = order.clone();
+            ctx.spawn(async move {
+                for step in 0..3u32 {
+                    order.borrow_mut().push((i, step));
+                    ctx2.yield_now().await;
+                }
+            });
+        }
+        sim.run();
+        // Both tasks alternate steps rather than running to completion.
+        assert_eq!(order.borrow()[0], (0, 0));
+        assert_eq!(order.borrow()[1], (1, 0));
+        assert_eq!(order.borrow()[2], (0, 1));
+    }
+
+    #[test]
+    fn stalled_task_is_reported_as_live() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        // A future that is never woken.
+        struct Never;
+        impl Future for Never {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, _: &mut Context<'_>) -> Poll<()> {
+                Poll::Pending
+            }
+        }
+        ctx.spawn(Never);
+        sim.run();
+        assert_eq!(sim.live_tasks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulation stalled")]
+    fn block_on_panics_on_deadlock() {
+        let mut sim = Sim::new(1);
+        struct Never;
+        impl Future for Never {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, _: &mut Context<'_>) -> Poll<()> {
+                Poll::Pending
+            }
+        }
+        sim.block_on(Never);
+    }
+
+    #[test]
+    fn join_handle_try_take_before_and_after() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let h = ctx.spawn(async { "done" });
+        assert!(!h.is_finished());
+        assert!(h.try_take().is_none());
+        sim.run();
+        assert!(h.is_finished());
+        assert_eq!(h.try_take(), Some("done"));
+        assert!(h.try_take().is_none());
+    }
+
+    #[test]
+    fn sleep_until_past_instant_completes_immediately() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        sim.block_on({
+            let ctx = ctx.clone();
+            async move {
+                ctx.sleep(Duration::from_millis(10)).await;
+                let before = ctx.now();
+                ctx.sleep_until(Duration::from_millis(5)).await;
+                assert_eq!(ctx.now(), before);
+            }
+        });
+    }
+}

@@ -1,0 +1,37 @@
+//! Deterministic discrete-event simulation core.
+//!
+//! This crate is the workspace's substitute for the paper's AWS testbed: a
+//! single-threaded async executor driven by *virtual time*. Simulated
+//! operations (a DynamoDB read, a shared-log append, an RPC hop) express
+//! their cost as [`SimCtx::sleep`]s whose durations come from calibrated
+//! latency distributions; the executor advances the virtual clock from event
+//! to event, so a "10-minute" experiment finishes in milliseconds of wall
+//! time and every run is exactly reproducible from its seed.
+//!
+//! # Architecture
+//!
+//! - [`Sim`] owns the task slab, timer heap, virtual clock, and a seeded
+//!   RNG. It is not `Clone`; it is the run-loop owner.
+//! - [`SimCtx`] is a cheap, clonable handle that tasks capture to spawn
+//!   subtasks, sleep, read the clock, and draw randomness.
+//! - [`sync`] provides the coordination primitives the upper layers need:
+//!   oneshot and mpsc channels plus a FIFO [`sync::Semaphore`] used to model
+//!   bounded worker slots on function nodes (that bound is what produces the
+//!   saturation knees in Figure 11).
+//!
+//! Determinism: the ready queue is FIFO, timers tie-break by registration
+//! order, and all randomness flows from one seeded [`rand::rngs::SmallRng`].
+//! Two runs with the same seed interleave identically.
+
+mod executor;
+pub mod sync;
+mod util;
+
+pub use executor::{JoinHandle, Sim, SimCtx};
+pub use util::{join_all, timeout, TimedOut};
+
+/// Virtual time since simulation start.
+///
+/// A plain [`std::time::Duration`] — the simulator has no epoch concept, and
+/// `Duration`'s arithmetic and formatting are exactly what experiments need.
+pub type SimTime = std::time::Duration;

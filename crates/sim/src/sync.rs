@@ -1,0 +1,567 @@
+//! Coordination primitives for simulation tasks.
+//!
+//! Everything here is single-threaded (`Rc`-based) because the executor is
+//! single-threaded; wakers are the only cross-cutting pieces and they are
+//! handled by the executor itself.
+//!
+//! - [`oneshot`]: one value, one producer, one consumer — RPC replies.
+//! - [`mpsc`]: unbounded FIFO — request queues.
+//! - [`Semaphore`]: counting semaphore with FIFO fairness — models bounded
+//!   worker slots on function nodes (8 vCPUs per node in the paper's setup).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+// ---------------------------------------------------------------------------
+// oneshot
+// ---------------------------------------------------------------------------
+
+struct OneshotState<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    sender_dropped: bool,
+}
+
+/// Sending half of a oneshot channel.
+pub struct OneshotSender<T> {
+    state: Rc<RefCell<OneshotState<T>>>,
+}
+
+/// Receiving half of a oneshot channel. Awaiting it yields
+/// `Ok(value)` or [`RecvError`] if the sender was dropped without sending.
+pub struct OneshotReceiver<T> {
+    state: Rc<RefCell<OneshotState<T>>>,
+}
+
+/// The sender was dropped without sending a value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("oneshot sender dropped without sending")
+    }
+}
+impl std::error::Error for RecvError {}
+
+/// Creates a oneshot channel.
+#[must_use]
+pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let state = Rc::new(RefCell::new(OneshotState {
+        value: None,
+        waker: None,
+        sender_dropped: false,
+    }));
+    (
+        OneshotSender {
+            state: state.clone(),
+        },
+        OneshotReceiver { state },
+    )
+}
+
+impl<T> OneshotSender<T> {
+    /// Sends the value, waking the receiver. Consumes the sender.
+    pub fn send(self, value: T) {
+        let mut st = self.state.borrow_mut();
+        st.value = Some(value);
+        if let Some(w) = st.waker.take() {
+            w.wake();
+        }
+        // Drop impl will set sender_dropped, which is fine: value wins.
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        let mut st = self.state.borrow_mut();
+        st.sender_dropped = true;
+        if st.value.is_none() {
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Future for OneshotReceiver<T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.state.borrow_mut();
+        if let Some(v) = st.value.take() {
+            Poll::Ready(Ok(v))
+        } else if st.sender_dropped {
+            Poll::Ready(Err(RecvError))
+        } else {
+            st.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// mpsc (unbounded)
+// ---------------------------------------------------------------------------
+
+struct MpscState<T> {
+    queue: VecDeque<T>,
+    recv_waker: Option<Waker>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Sending half of an unbounded mpsc channel.
+pub struct Sender<T> {
+    state: Rc<RefCell<MpscState<T>>>,
+}
+
+/// Receiving half of an unbounded mpsc channel.
+pub struct Receiver<T> {
+    state: Rc<RefCell<MpscState<T>>>,
+}
+
+/// Creates an unbounded mpsc channel.
+#[must_use]
+pub fn mpsc<T>() -> (Sender<T>, Receiver<T>) {
+    let state = Rc::new(RefCell::new(MpscState {
+        queue: VecDeque::new(),
+        recv_waker: None,
+        senders: 1,
+        receiver_alive: true,
+    }));
+    (
+        Sender {
+            state: state.clone(),
+        },
+        Receiver { state },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a value; returns `Err(value)` if the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        let mut st = self.state.borrow_mut();
+        if !st.receiver_alive {
+            return Err(value);
+        }
+        st.queue.push_back(value);
+        if let Some(w) = st.recv_waker.take() {
+            w.wake();
+        }
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.state.borrow_mut().senders += 1;
+        Sender {
+            state: self.state.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.state.borrow_mut();
+        st.senders -= 1;
+        if st.senders == 0 {
+            if let Some(w) = st.recv_waker.take() {
+                w.wake();
+            }
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Awaits the next value; `None` once all senders have dropped and the
+    /// queue is drained.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { receiver: self }
+    }
+
+    /// Takes a value without waiting, if one is queued.
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.state.borrow_mut().queue.pop_front()
+    }
+
+    /// Number of queued values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+
+    /// True if no values are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.state.borrow_mut().receiver_alive = false;
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    receiver: &'a mut Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.receiver.state.borrow_mut();
+        if let Some(v) = st.queue.pop_front() {
+            Poll::Ready(Some(v))
+        } else if st.senders == 0 {
+            Poll::Ready(None)
+        } else {
+            st.recv_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+struct Waiter {
+    granted: Rc<RefCell<GrantSlot>>,
+}
+
+struct GrantSlot {
+    granted: bool,
+    waker: Option<Waker>,
+    /// Set when the acquiring future is dropped before being granted, so a
+    /// released permit is not lost on a dead waiter.
+    cancelled: bool,
+}
+
+struct SemState {
+    permits: usize,
+    waiters: VecDeque<Waiter>,
+}
+
+/// A counting semaphore with FIFO fairness.
+///
+/// Fairness matters for the latency experiments: without it, queued requests
+/// under saturation would starve unpredictably and p99 latencies would be
+/// artifacts of the scheduler rather than of the load.
+#[derive(Clone)]
+pub struct Semaphore {
+    state: Rc<RefCell<SemState>>,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` available slots.
+    #[must_use]
+    pub fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            state: Rc::new(RefCell::new(SemState {
+                permits,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Currently available permits.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        self.state.borrow().permits
+    }
+
+    /// Number of tasks waiting for a permit (queue depth under load).
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.state.borrow().waiters.len()
+    }
+
+    /// Acquires one permit, waiting FIFO behind earlier acquirers.
+    pub fn acquire(&self) -> Acquire {
+        Acquire {
+            sem: self.clone(),
+            slot: None,
+        }
+    }
+
+    fn release_one(&self) {
+        let mut st = self.state.borrow_mut();
+        // Hand the permit to the first still-live waiter, if any.
+        while let Some(w) = st.waiters.pop_front() {
+            let mut slot = w.granted.borrow_mut();
+            if slot.cancelled {
+                continue;
+            }
+            slot.granted = true;
+            if let Some(waker) = slot.waker.take() {
+                waker.wake();
+            }
+            return;
+        }
+        st.permits += 1;
+    }
+}
+
+impl std::fmt::Debug for Semaphore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Semaphore(available={}, queued={})",
+            self.available(),
+            self.queue_len()
+        )
+    }
+}
+
+/// Future returned by [`Semaphore::acquire`].
+pub struct Acquire {
+    sem: Semaphore,
+    slot: Option<Rc<RefCell<GrantSlot>>>,
+}
+
+impl Future for Acquire {
+    type Output = SemaphoreGuard;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Some(slot) = &self.slot {
+            let mut s = slot.borrow_mut();
+            if s.granted {
+                drop(s);
+                self.slot = None;
+                return Poll::Ready(SemaphoreGuard {
+                    sem: self.sem.clone(),
+                });
+            }
+            s.waker = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let mut st = self.sem.state.borrow_mut();
+        if st.permits > 0 && st.waiters.is_empty() {
+            st.permits -= 1;
+            drop(st);
+            Poll::Ready(SemaphoreGuard {
+                sem: self.sem.clone(),
+            })
+        } else {
+            let slot = Rc::new(RefCell::new(GrantSlot {
+                granted: false,
+                waker: Some(cx.waker().clone()),
+                cancelled: false,
+            }));
+            st.waiters.push_back(Waiter {
+                granted: slot.clone(),
+            });
+            drop(st);
+            self.slot = Some(slot);
+            Poll::Pending
+        }
+    }
+}
+
+impl Drop for Acquire {
+    fn drop(&mut self) {
+        if let Some(slot) = &self.slot {
+            let mut s = slot.borrow_mut();
+            if s.granted {
+                // Granted but never observed: give the permit back.
+                drop(s);
+                self.sem.release_one();
+            } else {
+                s.cancelled = true;
+            }
+        }
+    }
+}
+
+/// Releases its permit on drop.
+pub struct SemaphoreGuard {
+    sem: Semaphore,
+}
+
+impl Drop for SemaphoreGuard {
+    fn drop(&mut self) {
+        self.sem.release_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::cell::Cell;
+    use std::time::Duration;
+
+    use crate::Sim;
+
+    use super::*;
+
+    #[test]
+    fn oneshot_roundtrip() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let (tx, rx) = oneshot::<u32>();
+        let ctx2 = ctx.clone();
+        ctx.spawn(async move {
+            ctx2.sleep(Duration::from_millis(3)).await;
+            tx.send(5);
+        });
+        let got = sim.block_on(rx);
+        assert_eq!(got, Ok(5));
+    }
+
+    #[test]
+    fn oneshot_sender_dropped() {
+        let mut sim = Sim::new(1);
+        let (tx, rx) = oneshot::<u32>();
+        drop(tx);
+        let got = sim.block_on(rx);
+        assert_eq!(got, Err(RecvError));
+    }
+
+    #[test]
+    fn mpsc_preserves_fifo_order() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let (tx, mut rx) = mpsc::<u32>();
+        let ctx2 = ctx.clone();
+        ctx.spawn(async move {
+            for i in 0..5 {
+                tx.send(i).unwrap();
+                ctx2.sleep(Duration::from_millis(1)).await;
+            }
+        });
+        let got = sim.block_on(async move {
+            let mut out = Vec::new();
+            while let Some(v) = rx.recv().await {
+                out.push(v);
+            }
+            out
+        });
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mpsc_send_fails_after_receiver_drop() {
+        let (tx, rx) = mpsc::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(9));
+    }
+
+    #[test]
+    fn mpsc_try_recv_and_len() {
+        let (tx, mut rx) = mpsc::<u32>();
+        assert!(rx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.try_recv(), Some(2));
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn semaphore_limits_concurrency() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let sem = Semaphore::new(2);
+        let peak = Rc::new(Cell::new(0usize));
+        let cur = Rc::new(Cell::new(0usize));
+        for _ in 0..6 {
+            let ctx2 = ctx.clone();
+            let sem = sem.clone();
+            let peak = peak.clone();
+            let cur = cur.clone();
+            ctx.spawn(async move {
+                let _guard = sem.acquire().await;
+                cur.set(cur.get() + 1);
+                peak.set(peak.get().max(cur.get()));
+                ctx2.sleep(Duration::from_millis(10)).await;
+                cur.set(cur.get() - 1);
+            });
+        }
+        sim.run();
+        assert_eq!(peak.get(), 2);
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    fn semaphore_is_fifo() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let sem = Semaphore::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..4u32 {
+            let ctx2 = ctx.clone();
+            let sem = sem.clone();
+            let order = order.clone();
+            ctx.spawn(async move {
+                // Stagger arrival so the queue order is unambiguous.
+                ctx2.sleep(Duration::from_millis(u64::from(i))).await;
+                let _guard = sem.acquire().await;
+                order.borrow_mut().push(i);
+                ctx2.sleep(Duration::from_millis(20)).await;
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn semaphore_cancelled_waiter_does_not_leak_permit() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let sem = Semaphore::new(1);
+        // Holder takes the permit for 10ms.
+        {
+            let ctx2 = ctx.clone();
+            let sem = sem.clone();
+            ctx.spawn(async move {
+                let _g = sem.acquire().await;
+                ctx2.sleep(Duration::from_millis(10)).await;
+            });
+        }
+        // Waiter enqueues, then its future is dropped before the grant.
+        {
+            let sem = sem.clone();
+            let ctx2 = ctx.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(Duration::from_millis(1)).await;
+                let acq = sem.acquire();
+                // Poll once to enqueue, then drop.
+                futures_poll_once(acq).await;
+            });
+        }
+        // Third task must still get the permit.
+        let got = Rc::new(Cell::new(false));
+        {
+            let sem = sem.clone();
+            let ctx2 = ctx.clone();
+            let got = got.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(Duration::from_millis(2)).await;
+                let _g = sem.acquire().await;
+                got.set(true);
+            });
+        }
+        sim.run();
+        assert!(got.get());
+        assert_eq!(sem.available(), 1);
+    }
+
+    /// Polls a future exactly once, then drops it.
+    async fn futures_poll_once<F: Future>(fut: F) {
+        let mut fut = Box::pin(fut);
+        std::future::poll_fn(move |cx| {
+            let _ = fut.as_mut().poll(cx);
+            std::task::Poll::Ready(())
+        })
+        .await;
+    }
+}

@@ -1,0 +1,179 @@
+//! Small combinators used across the workspace: joining task sets and
+//! bounding futures with virtual-time timeouts.
+
+use std::future::Future;
+
+use crate::executor::{JoinHandle, SimCtx};
+use crate::SimTime;
+
+/// Awaits every handle and collects the results in order.
+///
+/// ```
+/// use hm_sim::{join_all, Sim};
+/// use std::time::Duration;
+///
+/// let mut sim = Sim::new(1);
+/// let ctx = sim.ctx();
+/// let out = sim.block_on({
+///     let ctx = ctx.clone();
+///     async move {
+///         let handles: Vec<_> = (0..4u64)
+///             .map(|i| {
+///                 let ctx = ctx.clone();
+///                 ctx.clone().spawn(async move {
+///                     ctx.sleep(Duration::from_millis(10 - i)).await;
+///                     i * i
+///                 })
+///             })
+///             .collect();
+///         join_all(handles).await
+///     }
+/// });
+/// assert_eq!(out, vec![0, 1, 4, 9]);
+/// ```
+pub async fn join_all<T>(handles: Vec<JoinHandle<T>>) -> Vec<T> {
+    let mut out = Vec::with_capacity(handles.len());
+    for handle in handles {
+        out.push(handle.await);
+    }
+    out
+}
+
+/// The future did not complete within the allotted virtual time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimedOut;
+
+impl std::fmt::Display for TimedOut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("virtual-time timeout elapsed")
+    }
+}
+impl std::error::Error for TimedOut {}
+
+/// Runs `fut` with a virtual-time deadline.
+///
+/// Returns `Err(TimedOut)` if the deadline fires first. The future is
+/// dropped on timeout (its side effects up to that point stand — exactly
+/// the semantics a crashed SSF sees, which makes this useful for modeling
+/// client-observed timeouts).
+///
+/// ```
+/// use hm_sim::{timeout, Sim, TimedOut};
+/// use std::time::Duration;
+///
+/// let mut sim = Sim::new(1);
+/// let ctx = sim.ctx();
+/// let out = sim.block_on({
+///     let ctx = ctx.clone();
+///     async move {
+///         let fast = timeout(&ctx, Duration::from_millis(10), async { 7 }).await;
+///         let slow = {
+///             let ctx2 = ctx.clone();
+///             timeout(&ctx, Duration::from_millis(10), async move {
+///                 ctx2.sleep(Duration::from_secs(1)).await;
+///                 7
+///             })
+///             .await
+///         };
+///         (fast, slow)
+///     }
+/// });
+/// assert_eq!(out, (Ok(7), Err(TimedOut)));
+/// ```
+pub async fn timeout<T>(
+    ctx: &SimCtx,
+    limit: SimTime,
+    fut: impl Future<Output = T>,
+) -> Result<T, TimedOut> {
+    let mut sleep = std::pin::pin!(ctx.sleep(limit));
+    let mut fut = std::pin::pin!(fut);
+    std::future::poll_fn(move |cx| {
+        if let std::task::Poll::Ready(v) = fut.as_mut().poll(cx) {
+            return std::task::Poll::Ready(Ok(v));
+        }
+        if sleep.as_mut().poll(cx).is_ready() {
+            return std::task::Poll::Ready(Err(TimedOut));
+        }
+        std::task::Poll::Pending
+    })
+    .await
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use crate::Sim;
+
+    use super::*;
+
+    #[test]
+    fn join_all_preserves_order_not_completion() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let out = sim.block_on({
+            let ctx = ctx.clone();
+            async move {
+                let handles: Vec<_> = (0..5u64)
+                    .map(|i| {
+                        let ctx = ctx.clone();
+                        ctx.clone().spawn(async move {
+                            // Later indices finish earlier.
+                            ctx.sleep(Duration::from_millis(50 - i * 10)).await;
+                            i
+                        })
+                    })
+                    .collect();
+                join_all(handles).await
+            }
+        });
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn timeout_completes_or_fires() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let (fast, slow, at) = sim.block_on({
+            let ctx = ctx.clone();
+            async move {
+                let fast = {
+                    let ctx2 = ctx.clone();
+                    timeout(&ctx, Duration::from_millis(20), async move {
+                        ctx2.sleep(Duration::from_millis(5)).await;
+                        "done"
+                    })
+                    .await
+                };
+                let before = ctx.now();
+                let slow = {
+                    let ctx2 = ctx.clone();
+                    timeout(&ctx, Duration::from_millis(20), async move {
+                        ctx2.sleep(Duration::from_secs(10)).await;
+                        "done"
+                    })
+                    .await
+                };
+                (fast, slow, ctx.now() - before)
+            }
+        });
+        assert_eq!(fast, Ok("done"));
+        assert_eq!(slow, Err(TimedOut));
+        assert_eq!(
+            at,
+            Duration::from_millis(20),
+            "timeout fires exactly at the limit"
+        );
+    }
+
+    #[test]
+    fn timeout_zero_still_polls_ready_future() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let out = sim.block_on({
+            let ctx = ctx.clone();
+            async move { timeout(&ctx, Duration::ZERO, async { 1 }).await }
+        });
+        assert_eq!(out, Ok(1));
+    }
+}

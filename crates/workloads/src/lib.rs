@@ -1,0 +1,43 @@
+//! Evaluation workloads (§6).
+//!
+//! Three realistic applications and the synthetic SSFs the paper's
+//! experiments use:
+//!
+//! - [`travel`] — travel reservation, a 10-SSF workflow adapted from
+//!   DeathStarBench's hotel-reservation service. Read-intensive: users
+//!   search nearby hotels by distance and rating, and occasionally reserve.
+//! - [`movie`] — movie review, a 13-SSF workflow adapted from
+//!   DeathStarBench's media service. Skewed toward writes: posting reviews
+//!   is the core function.
+//! - [`retwis`] — the Redis tutorial's Twitter clone: post-tweet,
+//!   get-timeline, follow, profile over a key-value store. Read-intensive.
+//! - [`synthetic`] — the microbenchmark SSFs: one read + one write per
+//!   request (§6.1), and the 10-operation variable-read-ratio SSF
+//!   (§6.3, §6.4).
+//!
+//! **Determinism rule**: SSF bodies must be deterministic (§2), so every
+//! random choice (which hotel, which user, read or write) is sampled by the
+//! *request factory* at the gateway and carried in the invocation input.
+
+pub mod movie;
+pub mod retwis;
+pub mod synthetic;
+pub mod travel;
+
+use halfmoon::Client;
+use hm_runtime::{RequestFactory, Runtime};
+
+/// A runnable workload: functions, base data, and a request generator.
+pub trait Workload {
+    /// Human-readable name used in benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Registers all SSFs with the runtime.
+    fn register(&self, runtime: &Runtime);
+
+    /// Seeds base application data into the store.
+    fn populate(&self, client: &Client);
+
+    /// The gateway's request generator.
+    fn factory(&self) -> RequestFactory;
+}

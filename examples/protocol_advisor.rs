@@ -1,0 +1,73 @@
+//! The §4.6 protocol advisor: given a workload profile, which protocol
+//! minimizes storage, which minimizes latency, and where are the
+//! boundaries?
+//!
+//! Run with: `cargo run --example protocol_advisor`
+
+use halfmoon::choice::{RecoveryModel, WorkloadProfile};
+
+fn main() {
+    // Measured extra costs from the Figure 10 microbenchmark (ms):
+    // C_r = logged read − log-free read; C_w = double-logged write −
+    // log-free conditional write. The prototype has C_w ≈ 2 C_r (§4.6).
+    let c_r = 1.93 - 0.92;
+    let c_w = 3.73 - 1.74;
+    println!(
+        "measured extra costs: C_r = {c_r:.2} ms, C_w = {c_w:.2} ms (C_w/C_r = {:.2})\n",
+        c_w / c_r
+    );
+
+    println!(
+        "{:>10} {:>8} | {:>16} {:>16} | {:>16}",
+        "read", "write", "storage advisor", "runtime advisor", "combined (50/50)"
+    );
+    for read_pct in [10, 30, 50, 60, 67, 70, 90] {
+        let p_read = read_pct as f64 / 100.0;
+        let profile = WorkloadProfile {
+            p_read,
+            p_write: 1.0 - p_read,
+            arrival_rate: 100.0,
+            lifetime_secs: 0.03,
+            gc_delay_secs: 5.0,
+            meta_bytes: 32.0,
+            value_bytes: 256.0,
+        };
+        println!(
+            "{:>9}% {:>7}% | {:>16} {:>16} | {:>16}",
+            read_pct,
+            100 - read_pct,
+            profile.recommend_for_storage().label(),
+            profile.recommend_for_runtime(c_r, c_w).label(),
+            profile.recommend_weighted(c_r, c_w, 0.5).label(),
+        );
+    }
+
+    println!("\nstorage model (read ratio 0.5, 256B objects):");
+    let profile = WorkloadProfile {
+        p_read: 0.5,
+        p_write: 0.5,
+        arrival_rate: 100.0,
+        lifetime_secs: 0.03,
+        gc_delay_secs: 5.0,
+        meta_bytes: 32.0,
+        value_bytes: 256.0,
+    };
+    println!(
+        "  Halfmoon-read : {:.1} KB per object-slot",
+        profile.storage_halfmoon_read() / 1e3
+    );
+    println!(
+        "  Halfmoon-write: {:.1} KB per object-slot",
+        profile.storage_halfmoon_write() / 1e3
+    );
+
+    println!("\nrecovery model (§7): failure-free advantage 25% ⇒ Halfmoon wins while f < 0.25");
+    for f in [0.1, 0.25, 0.4] {
+        let m = RecoveryModel { crash_prob: f };
+        println!(
+            "  f = {f:.2}: expected execution rounds {:.2}; Halfmoon still ahead: {}",
+            m.expected_rounds(),
+            m.halfmoon_wins(0.25),
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Quickstart: run a stateful serverless function with exactly-once
+//! semantics under Halfmoon-read, survive an injected crash, and inspect
+//! the logging that made it safe.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::time::Duration;
+
+use halfmoon::{FaultPolicy, ProtocolConfig, ProtocolKind};
+use hm_common::latency::LatencyModel;
+use hm_common::{Key, Value};
+use hm_runtime::{Runtime, RuntimeConfig};
+use hm_sim::Sim;
+
+fn main() {
+    // 1. A deterministic simulation: same seed, same run — always.
+    let mut sim = Sim::new(42);
+
+    // 2. A deployment: shared log + versioned store + protocol choice.
+    let client = halfmoon::Client::new(
+        sim.ctx(),
+        LatencyModel::calibrated(),
+        ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
+    );
+    client.populate(Key::new("balance"), Value::Int(100));
+
+    // 3. A runtime with 8 function nodes, and one registered function:
+    //    a read-modify-write that must never double-apply.
+    let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
+    runtime.register("deposit", |env, input| {
+        Box::pin(async move {
+            let amount = input.get("amount").and_then(Value::as_int).unwrap_or(0);
+            let balance = env.read(&Key::new("balance")).await?.as_int().unwrap_or(0);
+            env.compute().await;
+            env.write(&Key::new("balance"), Value::Int(balance + amount))
+                .await?;
+            Ok(Value::Int(balance + amount))
+        })
+    });
+
+    // 4. Crash the function at every point once (at most 5 crashes total):
+    //    the runtime detects each crash and re-executes; the protocol's
+    //    replay makes every retry resume exactly where the log says.
+    client.set_faults(FaultPolicy::random(0.35, 5));
+
+    let rt = runtime.clone();
+    let result = sim.block_on(async move {
+        rt.invoke_request("deposit", Value::map([("amount", Value::Int(25))]))
+            .await
+    });
+
+    println!(
+        "deposit returned: {:?}",
+        result.expect("exactly-once in spite of crashes")
+    );
+    println!("virtual time elapsed: {:?}", sim.now());
+    println!("crashes injected:     {}", client.faults().injected());
+    println!("executions started:   {}", runtime.invocations());
+    println!("re-executions:        {}", runtime.retries());
+
+    // 5. The balance was updated exactly once, no matter how many crashes.
+    let client2 = client.clone();
+    let balance = sim.block_on(async move {
+        let id = client2.fresh_instance_id();
+        let mut env =
+            halfmoon::Env::init(&client2, id, hm_common::NodeId(0), 0, Value::Null).await?;
+        let v = env.read(&Key::new("balance")).await?;
+        env.finish(Value::Null).await?;
+        Ok::<_, hm_common::HmError>(v)
+    });
+    let balance = balance.unwrap();
+    println!("final balance:        {balance:?} (exactly 125)");
+    assert_eq!(balance, Value::Int(125));
+
+    // 6. What the logging layer saw: under Halfmoon-read only writes are
+    //    logged; the read above cost zero log appends.
+    let counters = client.log().counters();
+    println!(
+        "log appends: {} (init/finish/intent/commit records; reads appended none)",
+        counters.log_appends
+    );
+    let _ = Duration::ZERO;
+}

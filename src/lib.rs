@@ -1,0 +1,23 @@
+//! # halfmoon-suite
+//!
+//! Umbrella crate of the Halfmoon (SOSP '23) reproduction: re-exports every
+//! workspace crate, hosts the runnable `examples/` and the cross-crate
+//! integration tests in `tests/`.
+//!
+//! Start with the [`halfmoon`] crate docs for the protocols, or run:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! cargo run --release --example travel_reservation
+//! cargo run --release --example protocol_switching
+//! cargo run --example fault_injection
+//! cargo run --example protocol_advisor
+//! ```
+
+pub use halfmoon;
+pub use hm_common;
+pub use hm_kvstore;
+pub use hm_runtime;
+pub use hm_sharedlog;
+pub use hm_sim;
+pub use hm_workloads;

@@ -1,0 +1,332 @@
+//! Full-stack integration: application workloads on the runtime with GC,
+//! random crash injection, duplicate peers, and a mid-load protocol switch
+//! — everything at once, with every consistency invariant checked.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use halfmoon::{Client, FaultPolicy, ProtocolConfig, ProtocolKind, Recorder, Switcher};
+use hm_common::latency::LatencyModel;
+use hm_common::NodeId;
+use hm_runtime::{Gateway, GcDriver, LoadSpec, Runtime, RuntimeConfig};
+use hm_sim::Sim;
+use hm_workloads::retwis::Retwis;
+use hm_workloads::synthetic::SyntheticOps;
+use hm_workloads::travel::Travel;
+use hm_workloads::Workload;
+
+#[test]
+fn travel_with_crashes_duplicates_and_gc() {
+    let mut sim = Sim::new(0xe2e1);
+    let client = Client::new(
+        sim.ctx(),
+        LatencyModel::calibrated(),
+        ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
+    );
+    let recorder = Rc::new(Recorder::new());
+    client.set_recorder(recorder.clone());
+    client.set_faults(FaultPolicy::random(0.002, 300));
+    let workload = Travel {
+        hotels: 40,
+        users: 60,
+    };
+    workload.populate(&client);
+    let rt_config = RuntimeConfig {
+        duplicate_prob: 0.05,
+        ..RuntimeConfig::default()
+    };
+    let runtime = Runtime::new(client.clone(), rt_config);
+    workload.register(&runtime);
+    let gc = GcDriver::start(client.clone(), NodeId(0), Duration::from_secs(2));
+    let gateway = Gateway::new(runtime.clone());
+    let spec = LoadSpec {
+        rate_per_sec: 150.0,
+        duration: Duration::from_secs(10),
+        warmup: Duration::from_secs(1),
+        factory: workload.factory(),
+    };
+    let report = sim.block_on(async move { gateway.run_open_loop(spec).await });
+    gc.stop();
+    assert_eq!(report.errors, 0);
+    assert!(report.completed > 1000, "completed {}", report.completed);
+    assert!(runtime.retries() > 0, "crash injection should have fired");
+    assert!(
+        runtime.duplicates() > 0,
+        "duplicate peers should have been launched"
+    );
+    assert!(gc.cycles() >= 4);
+    assert!(
+        gc.totals().instances_reclaimed > 500,
+        "GC reclaimed finished SSFs"
+    );
+    recorder.check_all_generic().unwrap();
+    recorder.check_hm_read_sequential_consistency().unwrap();
+}
+
+#[test]
+fn retwis_under_halfmoon_write_with_crashes() {
+    let mut sim = Sim::new(0xe2e2);
+    let client = Client::new(
+        sim.ctx(),
+        LatencyModel::calibrated(),
+        ProtocolConfig::uniform(ProtocolKind::HalfmoonWrite),
+    );
+    let recorder = Rc::new(Recorder::new());
+    client.set_recorder(recorder.clone());
+    client.set_faults(FaultPolicy::random(0.002, 300));
+    let workload = Retwis {
+        users: 50,
+        tweet_bytes: 140,
+        timeline_cap: 8,
+    };
+    workload.populate(&client);
+    let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
+    workload.register(&runtime);
+    let gc = GcDriver::start(client.clone(), NodeId(0), Duration::from_secs(2));
+    let gateway = Gateway::new(runtime);
+    let spec = LoadSpec {
+        rate_per_sec: 150.0,
+        duration: Duration::from_secs(8),
+        warmup: Duration::from_secs(1),
+        factory: workload.factory(),
+    };
+    let report = sim.block_on(async move { gateway.run_open_loop(spec).await });
+    gc.stop();
+    assert_eq!(report.errors, 0);
+    recorder.check_all_generic().unwrap();
+    recorder.check_hm_write_order().unwrap();
+}
+
+#[test]
+fn switching_under_load_with_crashes_end_to_end() {
+    let mut sim = Sim::new(0xe2e3);
+    let mut config = ProtocolConfig::uniform(ProtocolKind::HalfmoonWrite);
+    config.switching_enabled = true;
+    let client = Client::new(sim.ctx(), LatencyModel::calibrated(), config);
+    let recorder = Rc::new(Recorder::new());
+    client.set_recorder(recorder.clone());
+    client.set_faults(FaultPolicy::random(0.001, 100));
+    let workload = SyntheticOps {
+        objects: 500,
+        value_bytes: 256,
+        ops_per_request: 6,
+        read_ratio: 0.5,
+    };
+    workload.populate(&client);
+    let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
+    workload.register(&runtime);
+    let gc = GcDriver::start(client.clone(), NodeId(0), Duration::from_secs(2));
+    let gateway = Gateway::new(runtime.clone());
+    // Load generator runs while two switches happen.
+    let load = {
+        let spec = LoadSpec {
+            rate_per_sec: 120.0,
+            duration: Duration::from_secs(9),
+            warmup: Duration::from_millis(500),
+            factory: workload.factory(),
+        };
+        sim.ctx()
+            .spawn(async move { gateway.run_open_loop(spec).await })
+    };
+    let switches = {
+        let client = client.clone();
+        let ctx = sim.ctx();
+        let ctx2 = ctx.clone();
+        ctx.spawn(async move {
+            let switcher = Switcher::new(client, NodeId(0));
+            ctx2.sleep(Duration::from_secs(3)).await;
+            let a = switcher
+                .switch_to(ProtocolKind::HalfmoonRead)
+                .await
+                .unwrap();
+            ctx2.sleep(Duration::from_secs(3)).await;
+            let b = switcher
+                .switch_to(ProtocolKind::HalfmoonWrite)
+                .await
+                .unwrap();
+            (a, b)
+        })
+    };
+    // run_until rather than run(): the periodic GC task's timer chain is
+    // unbounded, so "no timers left" never happens while it is armed.
+    sim.run_until(Duration::from_secs(40));
+    gc.stop();
+    let report = load.try_take().expect("load completed");
+    let (a, b) = switches.try_take().expect("switches completed");
+    assert_eq!(report.errors, 0);
+    assert!(report.completed > 700);
+    assert!(
+        a.switching_delay() < Duration::from_secs(1),
+        "delay {:?}",
+        a.switching_delay()
+    );
+    assert!(
+        b.switching_delay() < Duration::from_secs(1),
+        "delay {:?}",
+        b.switching_delay()
+    );
+    recorder.check_all_generic().unwrap();
+}
+
+#[test]
+fn storage_stays_bounded_with_gc_over_long_run() {
+    let mut sim = Sim::new(0xe2e4);
+    let client = Client::new(
+        sim.ctx(),
+        LatencyModel::calibrated(),
+        ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
+    );
+    let workload = SyntheticOps {
+        objects: 200,
+        value_bytes: 256,
+        ops_per_request: 4,
+        read_ratio: 0.3,
+    };
+    workload.populate(&client);
+    let base_bytes = client.total_bytes();
+    let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
+    workload.register(&runtime);
+    let gc = GcDriver::start(client.clone(), NodeId(0), Duration::from_secs(1));
+    let gateway = Gateway::new(runtime);
+    let spec = LoadSpec {
+        rate_per_sec: 100.0,
+        duration: Duration::from_secs(30),
+        warmup: Duration::from_secs(1),
+        factory: workload.factory(),
+    };
+    let load = sim
+        .ctx()
+        .spawn(async move { gateway.run_open_loop(spec).await });
+    // Sample the footprint mid-run and at the end: with a 1s GC the
+    // write-heavy Halfmoon-read deployment reaches a steady state (a small
+    // multiple of the base data set) instead of growing with the ~3000
+    // requests served.
+    sim.run_until(Duration::from_secs(16));
+    let mid_bytes = client.total_bytes();
+    sim.run_until(Duration::from_secs(45));
+    gc.stop();
+    let report = load.try_take().expect("load completed");
+    assert_eq!(report.errors, 0);
+    let final_bytes = client.total_bytes();
+    assert!(
+        final_bytes < mid_bytes * 1.5,
+        "storage kept growing after steady state: mid {mid_bytes:.0}B, final {final_bytes:.0}B"
+    );
+    assert!(
+        final_bytes < base_bytes * 10.0,
+        "footprint far beyond steady state: base {base_bytes:.0}B, final {final_bytes:.0}B"
+    );
+    assert!(
+        gc.totals().versions_deleted > 1000,
+        "GC was active: {:?}",
+        gc.totals()
+    );
+}
+
+/// A log storage replica fails mid-run and recovers: the layer stays
+/// available (Boki-style reconfiguration), latencies degrade visibly
+/// during the outage, and exactly-once semantics are unaffected.
+#[test]
+fn storage_replica_failure_degrades_but_preserves_correctness() {
+    let mut sim = Sim::new(0xe2e5);
+    let client = Client::new(
+        sim.ctx(),
+        LatencyModel::calibrated(),
+        ProtocolConfig::uniform(ProtocolKind::HalfmoonWrite),
+    );
+    let recorder = Rc::new(Recorder::new());
+    client.set_recorder(recorder.clone());
+    client.set_faults(FaultPolicy::random(0.002, 100));
+    let workload = SyntheticOps {
+        objects: 300,
+        value_bytes: 256,
+        ops_per_request: 6,
+        read_ratio: 0.6,
+    };
+    workload.populate(&client);
+    let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
+    workload.register(&runtime);
+    let gateway = Gateway::new(runtime);
+    let load = {
+        let spec = LoadSpec {
+            rate_per_sec: 120.0,
+            duration: Duration::from_secs(9),
+            warmup: Duration::from_millis(500),
+            factory: workload.factory(),
+        };
+        sim.ctx()
+            .spawn(async move { gateway.run_open_loop(spec).await })
+    };
+    // Fail a replica at t=3s, a second at t=4s, recover both at t=6s.
+    {
+        let client = client.clone();
+        let ctx = sim.ctx();
+        let ctx2 = ctx.clone();
+        ctx.spawn(async move {
+            ctx2.sleep(Duration::from_secs(3)).await;
+            client.log().fail_storage_replica(0);
+            ctx2.sleep(Duration::from_secs(1)).await;
+            client.log().fail_storage_replica(1);
+            ctx2.sleep(Duration::from_secs(2)).await;
+            client.log().recover_storage_replica(0);
+            client.log().recover_storage_replica(1);
+        });
+    }
+    sim.run_until(Duration::from_secs(45));
+    let report = load.try_take().expect("load completed");
+    assert_eq!(
+        report.errors, 0,
+        "availability preserved through the outage"
+    );
+    assert!(report.completed > 800);
+    assert!(
+        client.log().degraded_appends() > 0,
+        "the below-quorum window must have been exercised"
+    );
+    assert_eq!(client.log().live_storage_replicas(), 3);
+    recorder.check_all_generic().unwrap();
+    recorder.check_hm_write_order().unwrap();
+}
+
+/// §7 read-only optimization: declared-immutable keys are read raw with
+/// zero logging under every protocol, and writes to them are rejected.
+#[test]
+fn read_only_keys_bypass_logging() {
+    for kind in [
+        ProtocolKind::HalfmoonRead,
+        ProtocolKind::HalfmoonWrite,
+        ProtocolKind::Boki,
+    ] {
+        let mut sim = Sim::new(0xe2e6);
+        let mut config = ProtocolConfig::uniform(kind);
+        config.read_only_keys.insert(hm_common::Key::new("const"));
+        let client = Client::new(sim.ctx(), LatencyModel::calibrated(), config);
+        client.populate(hm_common::Key::new("const"), hm_common::Value::Int(7));
+        let c2 = client.clone();
+        let (value, appends_during_reads, write_err) = sim
+            .block_on(async move {
+                let id = c2.fresh_instance_id();
+                let mut env =
+                    halfmoon::Env::init(&c2, id, NodeId(0), 0, hm_common::Value::Null).await?;
+                let before = c2.log().counters().log_appends;
+                let mut v = hm_common::Value::Null;
+                for _ in 0..5 {
+                    v = env.read(&hm_common::Key::new("const")).await?;
+                }
+                let appends = c2.log().counters().log_appends - before;
+                let write_err = env
+                    .write(&hm_common::Key::new("const"), hm_common::Value::Int(9))
+                    .await
+                    .is_err();
+                env.finish(hm_common::Value::Null).await?;
+                Ok::<_, hm_common::HmError>((v, appends, write_err))
+            })
+            .unwrap();
+        assert_eq!(value, hm_common::Value::Int(7), "{kind}");
+        assert_eq!(
+            appends_during_reads, 0,
+            "{kind}: read-only reads log nothing"
+        );
+        assert!(write_err, "{kind}: writes to read-only keys are rejected");
+    }
+}

@@ -1,0 +1,293 @@
+//! Property-based tests: random SSF programs, random crash schedules, and
+//! random concurrent interleavings must all preserve the paper's
+//! correctness claims.
+//!
+//! - `exactly_once_random_programs_and_crashes`: a randomly generated
+//!   straight-line program (reads/writes over a small keyspace) is run with
+//!   a randomly chosen crash schedule under each fault-tolerant protocol;
+//!   the final state read back through the protocol must equal a pure
+//!   oracle interpretation of the program, and every idempotence invariant
+//!   must hold.
+//! - `consistency_random_concurrent_load`: several random programs run
+//!   concurrently with random start offsets and crash points; Proposition
+//!   4.7 (Halfmoon-read) / 4.8 (Halfmoon-write) checkers must accept the
+//!   resulting histories.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use halfmoon::{Client, Env, FaultPolicy, ProtocolConfig, ProtocolKind, Recorder};
+use hm_common::latency::LatencyModel;
+use hm_common::{HmResult, InstanceId, Key, NodeId, Value};
+use hm_sim::Sim;
+use proptest::prelude::*;
+
+/// One program step over a 4-key space.
+#[derive(Clone, Copy, Debug)]
+enum ProgOp {
+    Read(u8),
+    Write(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = ProgOp> {
+    prop_oneof![
+        (0u8..4).prop_map(ProgOp::Read),
+        (0u8..4).prop_map(ProgOp::Write),
+    ]
+}
+
+fn key(idx: u8) -> Key {
+    Key::new(format!("pk{idx}"))
+}
+
+/// Runs `program` as one SSF under `kind`, retrying on injected crashes.
+/// Written values are unique per (instance, op index) so the oracle can
+/// identify exactly which write produced the final state.
+async fn run_program(
+    client: Client,
+    id: InstanceId,
+    program: Rc<Vec<ProgOp>>,
+    tag: i64,
+) -> HmResult<()> {
+    let mut attempt = 0;
+    loop {
+        let once = async {
+            let mut env = Env::init(&client, id, NodeId(0), attempt, Value::Null).await?;
+            for (i, op) in program.iter().enumerate() {
+                match op {
+                    ProgOp::Read(k) => {
+                        env.read(&key(*k)).await?;
+                    }
+                    ProgOp::Write(k) => {
+                        env.write(&key(*k), Value::Int(tag * 1000 + i as i64))
+                            .await?;
+                    }
+                }
+            }
+            env.finish(Value::Null).await?;
+            Ok::<(), hm_common::HmError>(())
+        };
+        match once.await {
+            Ok(()) => return Ok(()),
+            Err(e) if e.is_crash() => {
+                attempt += 1;
+                client.ctx().sleep(Duration::from_millis(1)).await;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Pure oracle: the last write to each key in program order.
+fn oracle_final(program: &[ProgOp], tag: i64) -> HashMap<u8, i64> {
+    let mut state = HashMap::new();
+    for (i, op) in program.iter().enumerate() {
+        if let ProgOp::Write(k) = op {
+            state.insert(*k, tag * 1000 + i as i64);
+        }
+    }
+    state
+}
+
+fn read_back(sim: &mut Sim, client: &Client, k: u8) -> Value {
+    let client = client.clone();
+    sim.block_on(async move {
+        let id = client.fresh_instance_id();
+        let mut env = Env::init(&client, id, NodeId(0), 0, Value::Null)
+            .await
+            .unwrap();
+        let v = env.read(&key(k)).await.unwrap();
+        env.finish(Value::Null).await.unwrap();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn exactly_once_random_programs_and_crashes(
+        program in prop::collection::vec(op_strategy(), 1..10),
+        crash_points in prop::collection::btree_set(1u32..40, 0..4),
+        seed in 0u64..1_000_000,
+        proto_idx in 0usize..3,
+    ) {
+        let kind = [ProtocolKind::HalfmoonRead, ProtocolKind::HalfmoonWrite, ProtocolKind::Boki][proto_idx];
+        let mut sim = Sim::new(seed);
+        let client = Client::new(
+            sim.ctx(),
+            LatencyModel::uniform_test_model(),
+            ProtocolConfig::uniform(kind),
+        );
+        let recorder = Rc::new(Recorder::new());
+        client.set_recorder(recorder.clone());
+        for k in 0..4 {
+            client.populate(key(k), Value::Int(-(i64::from(k))));
+        }
+        let id = client.fresh_instance_id();
+        client.set_faults(FaultPolicy::at(crash_points.iter().map(|p| (id, *p))));
+        let program = Rc::new(program);
+        let p2 = program.clone();
+        let c2 = client.clone();
+        sim.block_on(async move { run_program(c2, id, p2, 7).await }).unwrap();
+
+        // Final state must equal the oracle's for every key.
+        let oracle = oracle_final(&program, 7);
+        for k in 0..4u8 {
+            let got = read_back(&mut sim, &client, k);
+            let want = oracle
+                .get(&k)
+                .map_or(Value::Int(-(i64::from(k))), |v| Value::Int(*v));
+            prop_assert_eq!(got, want, "key {} under {}", k, kind);
+        }
+        recorder.check_all_generic().map_err(TestCaseError::fail)?;
+        if kind == ProtocolKind::HalfmoonRead {
+            recorder
+                .check_hm_read_sequential_consistency()
+                .map_err(TestCaseError::fail)?;
+        }
+    }
+
+    #[test]
+    fn consistency_random_concurrent_load(
+        programs in prop::collection::vec(prop::collection::vec(op_strategy(), 1..6), 2..6),
+        offsets in prop::collection::vec(0u64..20_000, 6),
+        crash_points in prop::collection::btree_set(1u32..25, 0..3),
+        seed in 0u64..1_000_000,
+        use_read_protocol in any::<bool>(),
+    ) {
+        let kind = if use_read_protocol {
+            ProtocolKind::HalfmoonRead
+        } else {
+            ProtocolKind::HalfmoonWrite
+        };
+        let mut sim = Sim::new(seed);
+        let client = Client::new(
+            sim.ctx(),
+            LatencyModel::uniform_test_model(),
+            ProtocolConfig::uniform(kind),
+        );
+        let recorder = Rc::new(Recorder::new());
+        client.set_recorder(recorder.clone());
+        for k in 0..4 {
+            client.populate(key(k), Value::Int(-(i64::from(k))));
+        }
+        let ctx = sim.ctx();
+        let mut handles = Vec::new();
+        let mut first_id = None;
+        for (i, program) in programs.into_iter().enumerate() {
+            let id = client.fresh_instance_id();
+            if first_id.is_none() {
+                first_id = Some(id);
+            }
+            let client = client.clone();
+            let ctx2 = ctx.clone();
+            let offset = Duration::from_micros(offsets[i % offsets.len()]);
+            let program = Rc::new(program);
+            handles.push(ctx.spawn(async move {
+                ctx2.sleep(offset).await;
+                run_program(client, id, program, i as i64 + 1).await
+            }));
+        }
+        // Crash schedule targets the first program's instance.
+        if let Some(id) = first_id {
+            client.set_faults(FaultPolicy::at(crash_points.iter().map(|p| (id, *p))));
+        }
+        sim.run();
+        for h in handles {
+            h.try_take().expect("program completed").unwrap();
+        }
+        recorder.check_all_generic().map_err(TestCaseError::fail)?;
+        match kind {
+            ProtocolKind::HalfmoonRead => recorder
+                .check_hm_read_sequential_consistency()
+                .map_err(TestCaseError::fail)?,
+            _ => recorder.check_hm_write_order().map_err(TestCaseError::fail)?,
+        }
+    }
+
+    /// Random graphs of concurrent transactional transfers with random
+    /// crash schedules conserve the total balance and never half-apply —
+    /// atomicity and exactly-once, composed.
+    #[test]
+    fn transactions_conserve_money(
+        transfers in prop::collection::vec((0u8..4, 0u8..4, 1i64..30, 0u64..8_000), 1..8),
+        crash_points in prop::collection::btree_set(1u32..30, 0..3),
+        seed in 0u64..1_000_000,
+    ) {
+        let mut sim = Sim::new(seed);
+        let client = Client::new(
+            sim.ctx(),
+            LatencyModel::uniform_test_model(),
+            ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
+        );
+        let recorder = Rc::new(Recorder::new());
+        client.set_recorder(recorder.clone());
+        for k in 0..4 {
+            client.populate(key(k), Value::Int(100));
+        }
+        let ctx = sim.ctx();
+        let mut handles = Vec::new();
+        let mut first_id = None;
+        for (from, to, amount, offset) in transfers {
+            if from == to {
+                continue;
+            }
+            let client = client.clone();
+            let ctx2 = ctx.clone();
+            let id = client.fresh_instance_id();
+            if first_id.is_none() {
+                first_id = Some(id);
+            }
+            handles.push(ctx.spawn(async move {
+                ctx2.sleep(Duration::from_micros(offset)).await;
+                let mut attempt = 0;
+                loop {
+                    let c2 = client.clone();
+                    let once = async {
+                        let mut env = Env::init(&c2, id, NodeId(0), attempt, Value::Null).await?;
+                        for _ in 0..12 {
+                            let mut txn = env.txn_begin()?;
+                            let a = env.txn_read(&mut txn, &key(from)).await?.as_int().unwrap();
+                            let b = env.txn_read(&mut txn, &key(to)).await?.as_int().unwrap();
+                            if a < amount {
+                                break;
+                            }
+                            env.txn_write(&mut txn, &key(from), Value::Int(a - amount));
+                            env.txn_write(&mut txn, &key(to), Value::Int(b + amount));
+                            if env.txn_commit(txn).await?.committed() {
+                                break;
+                            }
+                            env.sync().await?;
+                        }
+                        env.finish(Value::Null).await
+                    };
+                    match once.await {
+                        Ok(_) => return Ok::<_, hm_common::HmError>(()),
+                        Err(e) if e.is_crash() => {
+                            attempt += 1;
+                            client.ctx().sleep(Duration::from_millis(1)).await;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }));
+        }
+        if let Some(id) = first_id {
+            client.set_faults(FaultPolicy::at(crash_points.iter().map(|p| (id, *p))));
+        }
+        sim.run();
+        for h in handles {
+            h.try_take().expect("transfer completed").unwrap();
+        }
+        let total: i64 = (0..4u8)
+            .map(|k| read_back(&mut sim, &client, k).as_int().unwrap())
+            .sum();
+        prop_assert_eq!(total, 400, "money conserved");
+        recorder.check_all_generic().map_err(TestCaseError::fail)?;
+        recorder
+            .check_hm_read_sequential_consistency()
+            .map_err(TestCaseError::fail)?;
+    }
+}
