@@ -1,51 +1,64 @@
-//! Criterion micro-benchmarks of the substrates (not a paper figure):
-//! wall-clock cost of simulator, shared-log, and store operations, to show
-//! the simulation itself is cheap enough to run the paper's experiments.
+//! Micro-benchmarks of the substrates (not a paper figure): wall-clock cost
+//! of simulator, shared-log, and store operations, to show the simulation
+//! itself is cheap enough to run the paper's experiments.
+//!
+//! Timed with plain `std::time::Instant` (the registry-free environment has
+//! no criterion); each case reports mean ns/iter over a fixed repeat count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use hm_common::latency::LatencyModel;
 use hm_common::{Key, NodeId, SeqNum, Tag, Value};
 use hm_kvstore::KvStore;
 use hm_sharedlog::{LogConfig, SharedLog};
 use hm_sim::Sim;
 
-fn bench_executor(c: &mut Criterion) {
-    c.bench_function("sim/spawn_and_run_1k_tasks", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new(1);
-            let ctx = sim.ctx();
-            for i in 0..1000u64 {
-                let ctx2 = ctx.clone();
-                ctx.spawn(async move {
-                    ctx2.sleep(std::time::Duration::from_micros(i)).await;
-                });
-            }
-            sim.run();
-            sim.now()
-        });
+/// Runs `f` `iters` times and prints mean wall time per iteration.
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    // One warmup pass so lazy allocations don't pollute the first sample.
+    let sink = f();
+    drop(sink);
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{name:<38} {per_iter:>12.2?}/iter  ({iters} iters)");
+}
+
+fn bench_executor() {
+    bench("sim/spawn_and_run_1k_tasks", 20, || {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        for i in 0..1000u64 {
+            let ctx2 = ctx.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(std::time::Duration::from_micros(i)).await;
+            });
+        }
+        sim.run();
+        sim.now()
     });
 }
 
-fn bench_sharedlog(c: &mut Criterion) {
-    c.bench_function("sharedlog/append_1k", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new(2);
-            let log: SharedLog<u64> = SharedLog::new(
-                sim.ctx(),
-                LatencyModel::uniform_test_model(),
-                LogConfig::default(),
-            );
-            let l = log.clone();
-            sim.block_on(async move {
-                let tag = Tag::named(hm_common::ids::TagKind::StepLog, "bench");
-                for i in 0..1000u64 {
-                    l.append(NodeId(0), vec![tag], i).await;
-                }
-            });
-            log.head_seqnum()
+fn bench_sharedlog() {
+    bench("sharedlog/append_1k", 20, || {
+        let mut sim = Sim::new(2);
+        let log: SharedLog<u64> = SharedLog::new(
+            sim.ctx(),
+            LatencyModel::uniform_test_model(),
+            LogConfig::default(),
+        );
+        let l = log.clone();
+        sim.block_on(async move {
+            let tag = Tag::named(hm_common::ids::TagKind::StepLog, "bench");
+            for i in 0..1000u64 {
+                l.append(NodeId(0), vec![tag], i).await;
+            }
         });
+        log.head_seqnum()
     });
-    c.bench_function("sharedlog/read_prev_hit_1k", |b| {
+    {
         let mut sim = Sim::new(3);
         let log: SharedLog<u64> = SharedLog::new(
             sim.ctx(),
@@ -59,55 +72,49 @@ fn bench_sharedlog(c: &mut Criterion) {
                 l.append(NodeId(0), vec![tag], i).await;
             }
         });
-        b.iter(|| {
-            let l = log.clone();
-            let mut sim2 = Sim::new(4);
-            let _ = &mut sim2; // reads reuse the original sim's state
+        bench("sharedlog/peek_record_1k", 200, || {
             let mut out = 0u64;
             // Zero-latency peeks: index lookup throughput.
             for i in (1..1000u64).step_by(7) {
-                if let Some(r) = l.peek_record(SeqNum(i)) {
+                if let Some(r) = log.peek_record(SeqNum(i)) {
                     out ^= r.payload;
                 }
             }
             out
         });
-    });
+    }
 }
 
-fn bench_kvstore(c: &mut Criterion) {
-    c.bench_function("kvstore/put_get_1k", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new(5);
-            let store = KvStore::new(sim.ctx(), LatencyModel::uniform_test_model());
-            let s = store.clone();
-            sim.block_on(async move {
-                for i in 0..1000 {
-                    let key = Key::new(format!("k{i}"));
-                    s.put(&key, Value::Int(i)).await;
-                    s.get(&key).await;
-                }
-            });
-            store.current_bytes()
-        });
-    });
-}
-
-fn bench_histogram(c: &mut Criterion) {
-    c.bench_function("metrics/histogram_record_10k", |b| {
-        b.iter(|| {
-            let mut h = hm_common::metrics::Histogram::new();
-            for i in 0..10_000u64 {
-                h.record(std::time::Duration::from_nanos(1000 + i * 131));
+fn bench_kvstore() {
+    bench("kvstore/put_get_1k", 20, || {
+        let mut sim = Sim::new(5);
+        let store = KvStore::new(sim.ctx(), LatencyModel::uniform_test_model());
+        let s = store.clone();
+        sim.block_on(async move {
+            for i in 0..1000 {
+                let key = Key::new(format!("k{i}"));
+                s.put(&key, Value::Int(i)).await;
+                s.get(&key).await;
             }
-            h.median_ms()
         });
+        store.current_bytes()
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_executor, bench_sharedlog, bench_kvstore, bench_histogram
-);
-criterion_main!(benches);
+fn bench_histogram() {
+    bench("metrics/histogram_record_10k", 100, || {
+        let mut h = hm_common::metrics::Histogram::new();
+        for i in 0..10_000u64 {
+            h.record(std::time::Duration::from_nanos(1000 + i * 131));
+        }
+        h.median_ms()
+    });
+}
+
+fn main() {
+    println!("substrate micro-benchmarks (mean wall time per iteration)\n");
+    bench_executor();
+    bench_sharedlog();
+    bench_kvstore();
+    bench_histogram();
+}

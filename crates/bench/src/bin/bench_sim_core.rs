@@ -1,0 +1,226 @@
+//! Wall-clock benchmark of the simulation substrate's hot paths.
+//!
+//! Unlike the `benches/` targets (which reproduce the paper's *simulated*
+//! figures), this binary measures how fast the simulator itself runs: it
+//! executes a fixed-seed macro-workload — executor timer churn, raw
+//! shared-log traffic, and two full application workloads — with plain
+//! `std::time::Instant`, and emits `BENCH_sim_core.json` so successive PRs
+//! can track the substrate's wall-clock trajectory.
+//!
+//! Determinism: every component runs from a pinned seed and reports a
+//! `work_fingerprint` built from simulated-result metrics (op counters,
+//! completion counts, virtual clock). Two builds that disagree on the
+//! fingerprint did *different simulated work* and their wall times must not
+//! be compared.
+//!
+//! Knobs:
+//! - `HM_BENCH_SCALE` (default 1.0): multiplies workload durations; use a
+//!   small value (e.g. 0.05) for a smoke run.
+//! - `HM_BENCH_OUT` (default `BENCH_sim_core.json`): output path.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use halfmoon::ProtocolKind;
+use hm_bench::{run_app, AppRun};
+use hm_common::ids::TagKind;
+use hm_common::latency::LatencyModel;
+use hm_common::{NodeId, Tag};
+use hm_runtime::RuntimeConfig;
+use hm_sharedlog::{LogConfig, SharedLog};
+use hm_sim::Sim;
+use hm_workloads::synthetic::SyntheticOps;
+use hm_workloads::travel::Travel;
+
+/// One timed component of the macro-workload.
+struct Component {
+    name: &'static str,
+    wall: Duration,
+    /// Future polls driven by the executor (event-loop iterations).
+    polls: u64,
+    /// Simulated-result fingerprint; must be identical across builds.
+    fingerprint: u64,
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    // splitmix-style combiner: order-sensitive, stable across platforms.
+    let mut x = h ^ v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^ (x >> 31)
+}
+
+/// Executor stress: a fan of tasks looping on staggered timers — the
+/// spawn/sleep/wake cycle with almost no payload work, so slab, wheel, and
+/// ready-queue costs dominate.
+fn executor_churn(scale: f64) -> Component {
+    let start = Instant::now();
+    let mut sim = Sim::new(0xC0DE);
+    let ctx = sim.ctx();
+    let tasks = 600usize;
+    let rounds = ((400.0 * scale) as u32).max(10);
+    for t in 0..tasks {
+        let ctx2 = ctx.clone();
+        ctx.spawn(async move {
+            for r in 0..rounds {
+                // Staggered micro-sleeps: adjacent tasks collide on many
+                // instants, exercising same-tick ordering.
+                let d = Duration::from_nanos(500 + ((t as u64 * 37 + u64::from(r)) % 2000));
+                ctx2.sleep(d).await;
+            }
+        });
+    }
+    sim.run();
+    let mut fp = mix(0, sim.now().as_nanos() as u64);
+    fp = mix(fp, tasks as u64);
+    Component {
+        name: "executor_churn",
+        wall: start.elapsed(),
+        polls: sim.poll_count(),
+        fingerprint: fp,
+    }
+}
+
+/// Raw shared-log traffic: appends, conditional appends, stream reads, and
+/// trims against many tags — the log's index/refcount/caching hot paths
+/// without protocol logic on top.
+fn sharedlog_ops(scale: f64) -> Component {
+    let start = Instant::now();
+    let mut sim = Sim::new(0x10C);
+    let log: SharedLog<u64> = SharedLog::new(
+        sim.ctx(),
+        LatencyModel::uniform_test_model(),
+        LogConfig::default(),
+    );
+    let l = log.clone();
+    let ops = ((6_000.0 * scale) as u64).max(200);
+    sim.block_on(async move {
+        let tags: Vec<Tag> = (0..64)
+            .map(|i| Tag::new(TagKind::ObjectLog, 0x5000 + i))
+            .collect();
+        for i in 0..ops {
+            let node = NodeId((i % 8) as u32);
+            let t1 = tags[(i % 64) as usize];
+            let t2 = tags[((i * 7 + 3) % 64) as usize];
+            if t1 == t2 {
+                l.append(node, vec![t1], i).await;
+            } else {
+                l.append(node, vec![t1, t2], i).await;
+            }
+            if i % 3 == 0 {
+                l.read_prev(node, t1, hm_common::SeqNum::MAX).await;
+            }
+            if i % 5 == 0 {
+                l.read_next(NodeId(((i + 1) % 8) as u32), t2, hm_common::SeqNum(1))
+                    .await;
+            }
+            if i % 64 == 63 {
+                let upto = l.head_seqnum();
+                l.trim(node, tags[((i / 64) % 64) as usize], upto).await;
+            }
+        }
+    });
+    let c = log.counters();
+    let mut fp = mix(0, c.log_appends);
+    fp = mix(fp, c.log_reads);
+    fp = mix(fp, c.log_trims);
+    fp = mix(fp, log.live_records() as u64);
+    fp = mix(fp, log.current_bytes().to_bits());
+    fp = mix(fp, sim.now().as_nanos() as u64);
+    Component {
+        name: "sharedlog_ops",
+        wall: start.elapsed(),
+        polls: sim.poll_count(),
+        fingerprint: fp,
+    }
+}
+
+/// Full-stack application run (the paper's synthetic mixed workload).
+fn app(name: &'static str, kind: ProtocolKind, scale: f64, travel: bool) -> Component {
+    let start = Instant::now();
+    let params = AppRun {
+        seed: 0xA11,
+        kind,
+        rate: 250.0,
+        duration: Duration::from_secs_f64(12.0 * scale),
+        warmup: Duration::from_secs_f64(1.0 * scale),
+        rt_config: RuntimeConfig::default(),
+        gc_interval: Some(Duration::from_secs(1)),
+    };
+    let out = if travel {
+        run_app(&Travel { hotels: 40, users: 60 }, &params)
+    } else {
+        run_app(
+            &SyntheticOps {
+                objects: 1_000,
+                ..SyntheticOps::default()
+            },
+            &params,
+        )
+    };
+    let mut fp = mix(0, out.report.completed);
+    fp = mix(fp, out.report.generated);
+    fp = mix(fp, out.report.errors);
+    fp = mix(fp, out.log_appends);
+    fp = mix(fp, out.avg_log_bytes.to_bits());
+    fp = mix(
+        fp,
+        out.report.latency.median_ms().unwrap_or(0.0).to_bits(),
+    );
+    Component {
+        name,
+        wall: start.elapsed(),
+        polls: 0, // the Sim is consumed inside run_app
+        fingerprint: fp,
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // All strings we emit are static identifiers; assert rather than escape.
+    assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+    s
+}
+
+fn main() {
+    let scale = hm_bench::scale();
+    let out_path =
+        std::env::var("HM_BENCH_OUT").unwrap_or_else(|_| "BENCH_sim_core.json".to_string());
+
+    let components = vec![
+        executor_churn(scale),
+        sharedlog_ops(scale),
+        app("synthetic_halfmoon_read", ProtocolKind::HalfmoonRead, scale, false),
+        app("synthetic_halfmoon_write", ProtocolKind::HalfmoonWrite, scale, false),
+        app("travel_halfmoon_read", ProtocolKind::HalfmoonRead, scale, true),
+    ];
+
+    let total: Duration = components.iter().map(|c| c.wall).sum();
+    let mut fp = 0u64;
+    for c in &components {
+        fp = mix(fp, c.fingerprint);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"sim_core\",");
+    let _ = writeln!(json, "  \"schema_version\": 1,");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"total_wall_ms\": {:.3},", total.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"work_fingerprint\": \"{fp:016x}\",");
+    json.push_str("  \"components\": [\n");
+    for (i, c) in components.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"polls\": {}, \"fingerprint\": \"{:016x}\"}}{}",
+            json_escape_free(c.name),
+            c.wall.as_secs_f64() * 1e3,
+            c.polls,
+            c.fingerprint,
+            if i + 1 < components.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench output");
+    println!("{json}");
+    eprintln!("wrote {out_path} (total {:.1} ms)", total.as_secs_f64() * 1e3);
+}

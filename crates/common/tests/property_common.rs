@@ -1,6 +1,10 @@
 //! Property-based tests of the shared primitives: histogram quantile
 //! accuracy, log-normal fitting, version-tuple ordering, Zipf support, and
 //! value fingerprint stability.
+//!
+//! The environment has no proptest, so each property runs as a seeded-RNG
+//! case loop: inputs derive from a fixed base seed plus the case index, so
+//! failures reproduce exactly and every run explores the same cases.
 
 use std::time::Duration;
 
@@ -8,18 +12,27 @@ use hm_common::dist::Zipf;
 use hm_common::latency::LogNormalLatency;
 use hm_common::metrics::{Histogram, TimeWeightedGauge};
 use hm_common::{SeqNum, Value, VersionTuple};
-use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
-proptest! {
-    /// The histogram's quantiles are within its documented relative error
-    /// of the exact empirical quantiles, for arbitrary samples.
-    #[test]
-    fn histogram_quantiles_bounded_error(
-        mut samples in prop::collection::vec(1_000u64..10_000_000_000, 1..200),
-        q in 0.01f64..0.999,
-    ) {
+/// Runs `body` for `cases` deterministic cases, handing each its own RNG.
+fn for_cases(base_seed: u64, cases: u64, mut body: impl FnMut(u64, &mut SmallRng)) {
+    for case in 0..cases {
+        let mut rng = SmallRng::seed_from_u64(base_seed.wrapping_mul(0x9e37).wrapping_add(case));
+        body(case, &mut rng);
+    }
+}
+
+/// The histogram's quantiles are within its documented relative error of
+/// the exact empirical quantiles, for arbitrary samples.
+#[test]
+fn histogram_quantiles_bounded_error() {
+    for_cases(0x1157, 128, |case, rng| {
+        let len = rng.random_range(1usize..200);
+        let mut samples: Vec<u64> = (0..len)
+            .map(|_| rng.random_range(1_000u64..10_000_000_000))
+            .collect();
+        let q = rng.random_range(0.01f64..0.999);
         let mut h = Histogram::new();
         for &s in &samples {
             h.record(Duration::from_nanos(s));
@@ -29,15 +42,20 @@ proptest! {
         let exact = samples[rank - 1] as f64 / 1e6;
         let got = h.quantile_ms(q).unwrap();
         let rel = (got - exact).abs() / exact;
-        prop_assert!(rel < 0.03, "q={q} exact={exact} got={got} rel={rel}");
-    }
+        assert!(rel < 0.03, "case {case}: q={q} exact={exact} got={got} rel={rel}");
+    });
+}
 
-    /// Merging two histograms equals recording all samples into one.
-    #[test]
-    fn histogram_merge_equivalence(
-        a in prop::collection::vec(1_000u64..1_000_000_000, 0..60),
-        b in prop::collection::vec(1_000u64..1_000_000_000, 0..60),
-    ) {
+/// Merging two histograms equals recording all samples into one.
+#[test]
+fn histogram_merge_equivalence() {
+    for_cases(0x3e26, 128, |case, rng| {
+        let a: Vec<u64> = (0..rng.random_range(0usize..60))
+            .map(|_| rng.random_range(1_000u64..1_000_000_000))
+            .collect();
+        let b: Vec<u64> = (0..rng.random_range(0usize..60))
+            .map(|_| rng.random_range(1_000u64..1_000_000_000))
+            .collect();
         let mut ha = Histogram::new();
         let mut hb = Histogram::new();
         let mut hall = Histogram::new();
@@ -50,76 +68,116 @@ proptest! {
             hall.record(Duration::from_nanos(s));
         }
         ha.merge(&hb);
-        prop_assert_eq!(ha.count(), hall.count());
+        assert_eq!(ha.count(), hall.count(), "case {case}");
         if ha.count() > 0 {
-            prop_assert_eq!(ha.median_ms(), hall.median_ms());
-            prop_assert_eq!(ha.p99_ms(), hall.p99_ms());
+            assert_eq!(ha.median_ms(), hall.median_ms(), "case {case}");
+            assert_eq!(ha.p99_ms(), hall.p99_ms(), "case {case}");
         }
-    }
+    });
+}
 
-    /// Fitting recovers the requested quantiles for any valid pair.
-    #[test]
-    fn lognormal_fit_roundtrip(median in 0.01f64..100.0, ratio in 1.0f64..20.0) {
+/// Fitting recovers the requested quantiles for any valid pair.
+#[test]
+fn lognormal_fit_roundtrip() {
+    for_cases(0x10f1, 128, |case, rng| {
+        let median = rng.random_range(0.01f64..100.0);
+        let ratio = rng.random_range(1.0f64..20.0);
         let d = LogNormalLatency::fit_ms(median, median * ratio);
-        prop_assert!((d.median_ms() - median).abs() / median < 1e-9);
-        prop_assert!((d.p99_ms() - median * ratio).abs() / (median * ratio) < 1e-9);
-    }
+        assert!(
+            (d.median_ms() - median).abs() / median < 1e-9,
+            "case {case}: median {median} got {}",
+            d.median_ms()
+        );
+        assert!(
+            (d.p99_ms() - median * ratio).abs() / (median * ratio) < 1e-9,
+            "case {case}: p99 {} want {}",
+            d.p99_ms(),
+            median * ratio
+        );
+    });
+}
 
-    /// Samples are always positive and finite.
-    #[test]
-    fn lognormal_samples_positive(median in 0.01f64..50.0, ratio in 1.0f64..10.0, seed in 0u64..1000) {
+/// Samples are always positive and finite.
+#[test]
+fn lognormal_samples_positive() {
+    for_cases(0x70c1, 64, |case, rng| {
+        let median = rng.random_range(0.01f64..50.0);
+        let ratio = rng.random_range(1.0f64..10.0);
+        let seed = rng.random_range(0u64..1000);
         let d = LogNormalLatency::fit_ms(median, median * ratio);
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut srng = SmallRng::seed_from_u64(seed);
         for _ in 0..32 {
-            let s = d.sample(&mut rng);
-            prop_assert!(s > Duration::ZERO);
-            prop_assert!(s < Duration::from_secs(3600));
+            let s = d.sample(&mut srng);
+            assert!(s > Duration::ZERO, "case {case}");
+            assert!(s < Duration::from_secs(3600), "case {case}");
         }
-    }
+    });
+}
 
-    /// Version tuples order lexicographically: cursor first, counter second.
-    #[test]
-    fn version_tuple_lexicographic(a in any::<(u64, u32)>(), b in any::<(u64, u32)>()) {
+/// Version tuples order lexicographically: cursor first, counter second.
+#[test]
+fn version_tuple_lexicographic() {
+    for_cases(0x5e40, 256, |case, rng| {
+        let a: (u64, u32) = (rng.random(), rng.random());
+        // Mix in near-misses so equal-cursor cases actually occur.
+        let b: (u64, u32) = if rng.random_bool(0.3) {
+            (a.0, rng.random())
+        } else {
+            (rng.random(), rng.random())
+        };
         let va = VersionTuple::new(SeqNum(a.0), a.1);
         let vb = VersionTuple::new(SeqNum(b.0), b.1);
-        let expect = a.cmp(&b);
-        prop_assert_eq!(va.cmp(&vb), expect);
-    }
+        assert_eq!(va.cmp(&vb), a.cmp(&b), "case {case}: {a:?} vs {b:?}");
+    });
+}
 
-    /// Zipf sampling always lands in range and is deterministic per seed.
-    #[test]
-    fn zipf_in_range_and_deterministic(n in 1usize..500, s in 0.0f64..2.5, seed in 0u64..1000) {
+/// Zipf sampling always lands in range and is deterministic per seed.
+#[test]
+fn zipf_in_range_and_deterministic() {
+    for_cases(0x21bf, 64, |case, rng| {
+        let n = rng.random_range(1usize..500);
+        let s = rng.random_range(0.0f64..2.5);
+        let seed = rng.random_range(0u64..1000);
         let z = Zipf::new(n, s);
         let mut r1 = SmallRng::seed_from_u64(seed);
         let mut r2 = SmallRng::seed_from_u64(seed);
         for _ in 0..64 {
             let x = z.sample(&mut r1);
-            prop_assert!(x < n);
-            prop_assert_eq!(x, z.sample(&mut r2));
+            assert!(x < n, "case {case}: {x} out of range {n}");
+            assert_eq!(x, z.sample(&mut r2), "case {case}");
         }
-    }
+    });
+}
 
-    /// Value fingerprints are stable under clone and sensitive to content.
-    #[test]
-    fn value_fingerprint_properties(n in any::<i64>(), s in ".{0,24}") {
+/// Value fingerprints are stable under clone and sensitive to content.
+#[test]
+fn value_fingerprint_properties() {
+    for_cases(0xf19e, 128, |case, rng| {
+        let n: i64 = rng.random();
+        let len = rng.random_range(0usize..=24);
+        let s: String = (0..len)
+            .map(|_| char::from(rng.random_range(0x20u8..0x7f)))
+            .collect();
         let v = Value::map([("n", Value::Int(n)), ("s", Value::str(s.clone()))]);
-        prop_assert_eq!(v.fingerprint(), v.clone().fingerprint());
+        assert_eq!(v.fingerprint(), v.clone().fingerprint(), "case {case}");
         let v2 = Value::map([("n", Value::Int(n.wrapping_add(1))), ("s", Value::str(s))]);
-        prop_assert_ne!(v.fingerprint(), v2.fingerprint());
-    }
+        assert_ne!(v.fingerprint(), v2.fingerprint(), "case {case}");
+    });
+}
 
-    /// The time-weighted gauge equals the hand-computed integral for any
-    /// monotone schedule of (time, level) updates.
-    #[test]
-    fn gauge_matches_manual_integral(
-        mut steps in prop::collection::vec((1u64..1000, 0.0f64..100.0), 1..20),
-    ) {
-        // Build a monotone time schedule from positive gaps.
+/// The time-weighted gauge equals the hand-computed integral for any
+/// monotone schedule of (time, level) updates.
+#[test]
+fn gauge_matches_manual_integral() {
+    for_cases(0x6a03, 128, |case, rng| {
+        let steps: Vec<(u64, f64)> = (0..rng.random_range(1usize..20))
+            .map(|_| (rng.random_range(1u64..1000), rng.random_range(0.0f64..100.0)))
+            .collect();
         let mut g = TimeWeightedGauge::new(Duration::ZERO);
         let mut now = Duration::ZERO;
         let mut integral = 0.0;
         let mut level = 0.0;
-        for (gap_ms, next_level) in steps.drain(..) {
+        for (gap_ms, next_level) in steps {
             let gap = Duration::from_millis(gap_ms);
             integral += level * gap.as_secs_f64();
             now += gap;
@@ -130,6 +188,6 @@ proptest! {
         integral += level * 0.5;
         let expect = integral / horizon.as_secs_f64();
         let got = g.average(horizon);
-        prop_assert!((got - expect).abs() < 1e-6, "got {got} expect {expect}");
-    }
+        assert!((got - expect).abs() < 1e-6, "case {case}: got {got} expect {expect}");
+    });
 }

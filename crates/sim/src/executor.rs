@@ -14,7 +14,7 @@ use std::rc::{Rc, Weak};
 use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -32,11 +32,11 @@ struct ReadyQueue {
 
 impl ReadyQueue {
     fn push(&self, id: TaskId) {
-        self.queue.lock().push_back(id);
+        self.queue.lock().unwrap().push_back(id);
     }
 
     fn pop(&self) -> Option<TaskId> {
-        self.queue.lock().pop_front()
+        self.queue.lock().unwrap().pop_front()
     }
 }
 

@@ -12,8 +12,12 @@
 //!   concurrently with random start offsets and crash points; Proposition
 //!   4.7 (Halfmoon-read) / 4.8 (Halfmoon-write) checkers must accept the
 //!   resulting histories.
+//!
+//! The environment has no proptest, so each property runs as a seeded-RNG
+//! case loop: all inputs derive from a fixed base seed plus the case index,
+//! making every failure reproducible by its printed case number.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -21,7 +25,8 @@ use halfmoon::{Client, Env, FaultPolicy, ProtocolConfig, ProtocolKind, Recorder}
 use hm_common::latency::LatencyModel;
 use hm_common::{HmResult, InstanceId, Key, NodeId, Value};
 use hm_sim::Sim;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
 
 /// One program step over a 4-key space.
 #[derive(Clone, Copy, Debug)]
@@ -30,11 +35,23 @@ enum ProgOp {
     Write(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = ProgOp> {
-    prop_oneof![
-        (0u8..4).prop_map(ProgOp::Read),
-        (0u8..4).prop_map(ProgOp::Write),
-    ]
+fn random_op(rng: &mut SmallRng) -> ProgOp {
+    let k = rng.random_range(0u8..4);
+    if rng.random_bool(0.5) {
+        ProgOp::Read(k)
+    } else {
+        ProgOp::Write(k)
+    }
+}
+
+fn random_program(rng: &mut SmallRng, max_len: usize) -> Vec<ProgOp> {
+    (0..rng.random_range(1..max_len)).map(|_| random_op(rng)).collect()
+}
+
+fn random_crash_points(rng: &mut SmallRng, max_point: u32, max_count: usize) -> BTreeSet<u32> {
+    (0..rng.random_range(0..=max_count))
+        .map(|_| rng.random_range(1..max_point))
+        .collect()
 }
 
 fn key(idx: u8) -> Key {
@@ -103,17 +120,19 @@ fn read_back(sim: &mut Sim, client: &Client, k: u8) -> Value {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+#[test]
+fn exactly_once_random_programs_and_crashes() {
+    for case in 0u64..48 {
+        let mut g = SmallRng::seed_from_u64(0xe0ce_1000 ^ case);
+        let program = random_program(&mut g, 10);
+        let crash_points = random_crash_points(&mut g, 40, 3);
+        let seed = g.random_range(0u64..1_000_000);
+        let kind = [
+            ProtocolKind::HalfmoonRead,
+            ProtocolKind::HalfmoonWrite,
+            ProtocolKind::Boki,
+        ][(case % 3) as usize];
 
-    #[test]
-    fn exactly_once_random_programs_and_crashes(
-        program in prop::collection::vec(op_strategy(), 1..10),
-        crash_points in prop::collection::btree_set(1u32..40, 0..4),
-        seed in 0u64..1_000_000,
-        proto_idx in 0usize..3,
-    ) {
-        let kind = [ProtocolKind::HalfmoonRead, ProtocolKind::HalfmoonWrite, ProtocolKind::Boki][proto_idx];
         let mut sim = Sim::new(seed);
         let client = Client::new(
             sim.ctx(),
@@ -130,7 +149,8 @@ proptest! {
         let program = Rc::new(program);
         let p2 = program.clone();
         let c2 = client.clone();
-        sim.block_on(async move { run_program(c2, id, p2, 7).await }).unwrap();
+        sim.block_on(async move { run_program(c2, id, p2, 7).await })
+            .unwrap();
 
         // Final state must equal the oracle's for every key.
         let oracle = oracle_final(&program, 7);
@@ -139,29 +159,35 @@ proptest! {
             let want = oracle
                 .get(&k)
                 .map_or(Value::Int(-(i64::from(k))), |v| Value::Int(*v));
-            prop_assert_eq!(got, want, "key {} under {}", k, kind);
+            assert_eq!(got, want, "case {case}: key {k} under {kind}");
         }
-        recorder.check_all_generic().map_err(TestCaseError::fail)?;
+        recorder
+            .check_all_generic()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
         if kind == ProtocolKind::HalfmoonRead {
             recorder
                 .check_hm_read_sequential_consistency()
-                .map_err(TestCaseError::fail)?;
+                .unwrap_or_else(|e| panic!("case {case}: {e}"));
         }
     }
+}
 
-    #[test]
-    fn consistency_random_concurrent_load(
-        programs in prop::collection::vec(prop::collection::vec(op_strategy(), 1..6), 2..6),
-        offsets in prop::collection::vec(0u64..20_000, 6),
-        crash_points in prop::collection::btree_set(1u32..25, 0..3),
-        seed in 0u64..1_000_000,
-        use_read_protocol in any::<bool>(),
-    ) {
-        let kind = if use_read_protocol {
+#[test]
+fn consistency_random_concurrent_load() {
+    for case in 0u64..32 {
+        let mut g = SmallRng::seed_from_u64(0xc0_2000 ^ case);
+        let programs: Vec<Vec<ProgOp>> = (0..g.random_range(2usize..6))
+            .map(|_| random_program(&mut g, 6))
+            .collect();
+        let offsets: Vec<u64> = (0..6).map(|_| g.random_range(0u64..20_000)).collect();
+        let crash_points = random_crash_points(&mut g, 25, 2);
+        let seed = g.random_range(0u64..1_000_000);
+        let kind = if case % 2 == 0 {
             ProtocolKind::HalfmoonRead
         } else {
             ProtocolKind::HalfmoonWrite
         };
+
         let mut sim = Sim::new(seed);
         let client = Client::new(
             sim.ctx(),
@@ -198,24 +224,40 @@ proptest! {
         for h in handles {
             h.try_take().expect("program completed").unwrap();
         }
-        recorder.check_all_generic().map_err(TestCaseError::fail)?;
+        recorder
+            .check_all_generic()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
         match kind {
             ProtocolKind::HalfmoonRead => recorder
                 .check_hm_read_sequential_consistency()
-                .map_err(TestCaseError::fail)?,
-            _ => recorder.check_hm_write_order().map_err(TestCaseError::fail)?,
+                .unwrap_or_else(|e| panic!("case {case}: {e}")),
+            _ => recorder
+                .check_hm_write_order()
+                .unwrap_or_else(|e| panic!("case {case}: {e}")),
         }
     }
+}
 
-    /// Random graphs of concurrent transactional transfers with random
-    /// crash schedules conserve the total balance and never half-apply —
-    /// atomicity and exactly-once, composed.
-    #[test]
-    fn transactions_conserve_money(
-        transfers in prop::collection::vec((0u8..4, 0u8..4, 1i64..30, 0u64..8_000), 1..8),
-        crash_points in prop::collection::btree_set(1u32..30, 0..3),
-        seed in 0u64..1_000_000,
-    ) {
+/// Random graphs of concurrent transactional transfers with random crash
+/// schedules conserve the total balance and never half-apply — atomicity
+/// and exactly-once, composed.
+#[test]
+fn transactions_conserve_money() {
+    for case in 0u64..24 {
+        let mut g = SmallRng::seed_from_u64(0x7a_3000 ^ case);
+        let transfers: Vec<(u8, u8, i64, u64)> = (0..g.random_range(1usize..8))
+            .map(|_| {
+                (
+                    g.random_range(0u8..4),
+                    g.random_range(0u8..4),
+                    g.random_range(1i64..30),
+                    g.random_range(0u64..8_000),
+                )
+            })
+            .collect();
+        let crash_points = random_crash_points(&mut g, 30, 2);
+        let seed = g.random_range(0u64..1_000_000);
+
         let mut sim = Sim::new(seed);
         let client = Client::new(
             sim.ctx(),
@@ -284,10 +326,12 @@ proptest! {
         let total: i64 = (0..4u8)
             .map(|k| read_back(&mut sim, &client, k).as_int().unwrap())
             .sum();
-        prop_assert_eq!(total, 400, "money conserved");
-        recorder.check_all_generic().map_err(TestCaseError::fail)?;
+        assert_eq!(total, 400, "case {case}: money conserved");
+        recorder
+            .check_all_generic()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
         recorder
             .check_hm_read_sequential_consistency()
-            .map_err(TestCaseError::fail)?;
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
 }
