@@ -80,6 +80,94 @@ fn executor_churn(scale: f64) -> Component {
     }
 }
 
+/// Executor at its design scale: tens of thousands of *concurrent* timers.
+///
+/// `executor_churn` keeps ~600 timers pending — small enough that a flat
+/// binary heap is competitive. Long-horizon simulations (the paper's §6
+/// experiments run minutes of virtual time at hundreds of requests per
+/// second) hold tens of thousands of in-flight deadlines, where per-entry
+/// heap depth and allocation start to dominate; this component pins that
+/// regime.
+fn executor_timer_stress(scale: f64) -> Component {
+    let start = Instant::now();
+    let mut sim = Sim::new(0x71AE);
+    let ctx = sim.ctx();
+    let tasks = 60_000usize;
+    let rounds = ((4.0 * scale) as u32).max(1);
+    for t in 0..tasks {
+        let ctx2 = ctx.clone();
+        ctx.spawn(async move {
+            for r in 0..rounds {
+                // Deadlines spread over ~3 s of virtual time keep the
+                // pending set ~60 k deep for the whole run.
+                let ns = 1_000
+                    + ((t as u64)
+                        .wrapping_mul(2_654_435_761)
+                        .wrapping_add(u64::from(r) * 97)
+                        % 3_000_000_000);
+                ctx2.sleep(Duration::from_nanos(ns)).await;
+            }
+        });
+    }
+    sim.run();
+    let mut fp = mix(0, sim.now().as_nanos() as u64);
+    fp = mix(fp, tasks as u64);
+    fp = mix(fp, u64::from(rounds));
+    Component {
+        name: "executor_timer_stress",
+        wall: start.elapsed(),
+        polls: sim.poll_count(),
+        fingerprint: fp,
+    }
+}
+
+/// Garbage collection at its design scale: trims over a large multi-tag
+/// log.
+///
+/// The paper's GC (§4.5) trims object and step streams that have grown to
+/// ~10⁵ records between passes (minutes of virtual time at production
+/// rates). Every record here carries eight tags, so reclaiming it requires
+/// deciding when its *last* stream reference dies — the path where
+/// per-record liveness bookkeeping (refcounts vs. cross-stream searches)
+/// dominates wall time.
+fn sharedlog_trim_stress(scale: f64) -> Component {
+    let start = Instant::now();
+    let mut sim = Sim::new(0x7213);
+    let log: SharedLog<u64> = SharedLog::new(
+        sim.ctx(),
+        LatencyModel::uniform_test_model(),
+        LogConfig::default(),
+    );
+    let l = log.clone();
+    let records = ((96_000.0 * scale) as u64).max(1_000);
+    sim.block_on(async move {
+        let tags: Vec<Tag> = (0..8)
+            .map(|i| Tag::new(TagKind::ObjectLog, 0x9100 + i))
+            .collect();
+        for i in 0..records {
+            l.append(NodeId((i % 4) as u32), tags.clone(), i).await;
+        }
+        // One GC pass: trim every stream to the head in turn. A record's
+        // bytes must be reclaimed exactly when its eighth stream trims it.
+        let head = l.head_seqnum();
+        for (i, &t) in tags.iter().enumerate() {
+            l.trim(NodeId((i % 4) as u32), t, head).await;
+        }
+    });
+    let c = log.counters();
+    let mut fp = mix(0, c.log_appends);
+    fp = mix(fp, c.log_trims);
+    fp = mix(fp, log.live_records() as u64);
+    fp = mix(fp, log.current_bytes().to_bits());
+    fp = mix(fp, sim.now().as_nanos() as u64);
+    Component {
+        name: "sharedlog_trim_stress",
+        wall: start.elapsed(),
+        polls: sim.poll_count(),
+        fingerprint: fp,
+    }
+}
+
 /// Raw shared-log traffic: appends, conditional appends, stream reads, and
 /// trims against many tags — the log's index/refcount/caching hot paths
 /// without protocol logic on top.
@@ -187,7 +275,9 @@ fn main() {
 
     let components = vec![
         executor_churn(scale),
+        executor_timer_stress(scale),
         sharedlog_ops(scale),
+        sharedlog_trim_stress(scale),
         app("synthetic_halfmoon_read", ProtocolKind::HalfmoonRead, scale, false),
         app("synthetic_halfmoon_write", ProtocolKind::HalfmoonWrite, scale, false),
         app("travel_halfmoon_read", ProtocolKind::HalfmoonRead, scale, true),
@@ -202,7 +292,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"sim_core\",");
-    let _ = writeln!(json, "  \"schema_version\": 1,");
+    let _ = writeln!(json, "  \"schema_version\": 2,");
     let _ = writeln!(json, "  \"scale\": {scale},");
     let _ = writeln!(json, "  \"total_wall_ms\": {:.3},", total.as_secs_f64() * 1e3);
     let _ = writeln!(json, "  \"work_fingerprint\": \"{fp:016x}\",");

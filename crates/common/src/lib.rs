@@ -9,6 +9,7 @@
 //! Nothing in this crate knows about the simulator, the shared log, or the
 //! protocols; it is the dependency root of the workspace.
 
+pub mod collections;
 pub mod dist;
 pub mod error;
 pub mod ids;
@@ -16,6 +17,7 @@ pub mod latency;
 pub mod metrics;
 pub mod value;
 
+pub use collections::{FxHashMap, FxHashSet, LruSet, TagSet};
 pub use error::{HmError, HmResult};
 pub use ids::{InstanceId, Key, NodeId, SeqNum, StepNum, Tag, VersionNum, VersionTuple};
 pub use value::Value;

@@ -248,6 +248,12 @@ pub struct OpCounters {
     pub db_cond_writes: u64,
     /// Store deletes (garbage collection of old versions).
     pub db_deletes: u64,
+    /// Log reads answered from the per-node record cache.
+    pub cache_hits: u64,
+    /// Log reads that missed the per-node record cache and paid the
+    /// storage round-trip. Reads that find no record are counted in
+    /// neither bucket (they are answered from the node's stream index).
+    pub cache_misses: u64,
 }
 
 impl OpCounters {
@@ -270,6 +276,8 @@ impl OpCounters {
             db_writes: self.db_writes - earlier.db_writes,
             db_cond_writes: self.db_cond_writes - earlier.db_cond_writes,
             db_deletes: self.db_deletes - earlier.db_deletes,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
         }
     }
 }

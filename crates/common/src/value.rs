@@ -8,8 +8,15 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::rc::Rc;
 
 /// A JSON-like dynamic value.
+///
+/// Aggregates (`List`, `Map`) are reference-counted: values cross the
+/// simulated serialization boundary many times per request (runtime retry
+/// loop, init-record payload, replay adoption), and a real platform would
+/// pass serialized bytes by reference. Cloning a `Value` is therefore O(1)
+/// for aggregates; logical equality and accounting are unaffected.
 #[derive(Clone, PartialEq, Default)]
 pub enum Value {
     /// Absent / null.
@@ -34,9 +41,9 @@ pub enum Value {
         fingerprint: u64,
     },
     /// Ordered list.
-    List(Vec<Value>),
+    List(Rc<Vec<Value>>),
     /// String-keyed map (ordered for deterministic iteration).
-    Map(BTreeMap<String, Value>),
+    Map(Rc<BTreeMap<String, Value>>),
 }
 
 impl Value {
@@ -50,12 +57,18 @@ impl Value {
     /// Builds a map value from key/value pairs.
     #[must_use]
     pub fn map<const N: usize>(entries: [(&str, Value); N]) -> Value {
-        Value::Map(
+        Value::Map(Rc::new(
             entries
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
-        )
+        ))
+    }
+
+    /// Builds a list value.
+    #[must_use]
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Rc::new(items))
     }
 
     /// Builds a string value.
@@ -105,7 +118,7 @@ impl Value {
     #[must_use]
     pub fn as_list(&self) -> Option<&[Value]> {
         match self {
-            Value::List(items) => Some(items),
+            Value::List(items) => Some(&items[..]),
             _ => None,
         }
     }
@@ -114,7 +127,7 @@ impl Value {
     #[must_use]
     pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
         match self {
-            Value::Map(entries) => Some(entries),
+            Value::Map(entries) => Some(&**entries),
             _ => None,
         }
     }
@@ -164,8 +177,8 @@ impl fmt::Debug for Value {
             Value::Float(x) => write!(f, "{x}"),
             Value::Str(s) => write!(f, "{s:?}"),
             Value::Blob { len, fingerprint } => write!(f, "blob[{len}B;{fingerprint:x}]"),
-            Value::List(items) => f.debug_list().entries(items).finish(),
-            Value::Map(entries) => f.debug_map().entries(entries).finish(),
+            Value::List(items) => f.debug_list().entries(items.iter()).finish(),
+            Value::Map(entries) => f.debug_map().entries(entries.iter()).finish(),
         }
     }
 }
@@ -196,7 +209,7 @@ impl From<String> for Value {
 
 impl<T: Into<Value>> From<Vec<T>> for Value {
     fn from(items: Vec<T>) -> Value {
-        Value::List(items.into_iter().map(Into::into).collect())
+        Value::list(items.into_iter().map(Into::into).collect())
     }
 }
 

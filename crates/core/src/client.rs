@@ -240,12 +240,12 @@ struct ClientInner {
     /// (§7): `(node, instance, pc) → value`. Purely an in-memory recovery
     /// accelerator — never consulted for correctness, only to skip
     /// recomputing a deterministic result.
-    checkpoints: RefCell<std::collections::HashMap<(NodeId, InstanceId, u32), Value>>,
+    checkpoints: RefCell<hm_common::FxHashMap<(NodeId, InstanceId, u32), Value>>,
     /// Memoized transaction-commit validity by commit seqnum. In a real
     /// deployment this is the shared log's per-record auxiliary data (the
     /// Tango/Boki pattern); validity is a deterministic function of the
     /// log prefix, so caching it is sound.
-    txn_validity: RefCell<std::collections::HashMap<hm_common::SeqNum, bool>>,
+    txn_validity: RefCell<hm_common::FxHashMap<hm_common::SeqNum, bool>>,
     /// Keys that have received at least one multi-version write; the GC
     /// iterates this instead of scanning the whole keyspace.
     written_keys: RefCell<BTreeSet<Key>>,
@@ -274,8 +274,8 @@ impl Client {
                 invoker: RefCell::new(None),
                 recorder: RefCell::new(None),
                 op_latencies: RefCell::new(OpLatencies::default()),
-                checkpoints: RefCell::new(std::collections::HashMap::new()),
-                txn_validity: RefCell::new(std::collections::HashMap::new()),
+                checkpoints: RefCell::new(hm_common::FxHashMap::default()),
+                txn_validity: RefCell::new(hm_common::FxHashMap::default()),
                 written_keys: RefCell::new(BTreeSet::new()),
             }),
         }
@@ -352,7 +352,10 @@ impl Client {
     /// Notes that `key` received a multi-version write (GC bookkeeping;
     /// a real deployment would keep this index in the logging layer).
     pub fn note_written_key(&self, key: &Key) {
-        self.inner.written_keys.borrow_mut().insert(key.clone());
+        let mut keys = self.inner.written_keys.borrow_mut();
+        if !keys.contains(key) {
+            keys.insert(key.clone());
+        }
     }
 
     /// Snapshot of keys with multi-version writes.

@@ -19,10 +19,9 @@
 //! statically configured, or looked up in the transition log when switching
 //! is enabled (§4.7).
 
-use std::collections::HashMap;
 use std::rc::Rc;
 
-use hm_common::{HmError, HmResult, InstanceId, Key, NodeId, SeqNum, StepNum, Tag, Value};
+use hm_common::{FxHashMap, HmError, HmResult, InstanceId, Key, NodeId, SeqNum, StepNum, Tag, Value};
 use hm_sharedlog::{CondAppendOutcome, LogRecord};
 
 use crate::client::{finish_log_tag, init_log_tag, transition_log_tag, Client, OpKind};
@@ -80,7 +79,7 @@ pub struct Env {
     /// Transition-log resolution, cached after first object access.
     resolved_mode: Option<ObjectMode>,
     /// Static per-key resolutions (cheap cache of config lookups).
-    resolved_static: HashMap<Key, ProtocolKind>,
+    resolved_static: FxHashMap<Key, ProtocolKind>,
     /// True when the whole deployment runs the unsafe baseline: no init,
     /// finish, or operation logging at all.
     unlogged: bool,
@@ -121,7 +120,7 @@ impl Env {
             crash_point: 0,
             init_cursor: SeqNum::ZERO,
             resolved_mode: None,
-            resolved_static: HashMap::new(),
+            resolved_static: FxHashMap::default(),
             unlogged,
             input,
         };
@@ -263,23 +262,31 @@ impl Env {
         }
     }
 
-    /// Records a history event if a recorder is attached.
-    pub(crate) fn record_event(&self, kind: EventKind) {
-        self.record_event_at(kind, self.client.ctx().now());
+    /// Records a history event if a recorder is attached. Takes a closure
+    /// so the hot path (no recorder — every benchmark run) skips building
+    /// the event entirely, including its key clones and fingerprints.
+    pub(crate) fn record_event(&self, kind: impl FnOnce() -> EventKind) {
+        if let Some(rec) = self.client.recorder() {
+            self.record_to(&rec, kind(), self.client.ctx().now());
+        }
     }
 
     /// Records a history event with an explicit observation instant (used
     /// by logged reads, whose store observation precedes the log append).
-    pub(crate) fn record_event_at(&self, kind: EventKind, at: hm_sim::SimTime) {
+    pub(crate) fn record_event_at(&self, kind: impl FnOnce() -> EventKind, at: hm_sim::SimTime) {
         if let Some(rec) = self.client.recorder() {
-            rec.record(Event {
-                instance: self.id,
-                attempt: self.attempt,
-                pc: self.pc,
-                at,
-                kind,
-            });
+            self.record_to(&rec, kind(), at);
         }
+    }
+
+    fn record_to(&self, rec: &crate::history::Recorder, kind: EventKind, at: hm_sim::SimTime) {
+        rec.record(Event {
+            instance: self.id,
+            attempt: self.attempt,
+            pc: self.pc,
+            at,
+            kind,
+        });
     }
 
     /// Advances the program counter; called at the top of each public op.
@@ -359,7 +366,7 @@ impl Env {
         if self.client.with_config(|c| c.read_only_keys.contains(key)) {
             self.maybe_crash()?;
             let value = self.client.store().get(key).await.unwrap_or(Value::Null);
-            self.record_event(EventKind::Read {
+            self.record_event(|| EventKind::Read {
                 key: key.clone(),
                 fp: value.fingerprint(),
                 logical: self.cursor,
@@ -498,7 +505,7 @@ impl Env {
                 .ok_or_else(|| HmError::config("no invoker registered"))?;
             self.maybe_crash()?;
             let result = invoker.invoke(callee, func, input).await?;
-            self.record_event(EventKind::Invoke {
+            self.record_event(|| EventKind::Invoke {
                 callee,
                 fp: result.fingerprint(),
             });
@@ -509,7 +516,7 @@ impl Env {
             return match payload.op {
                 OpRecord::Invoke { callee, result } => {
                     self.replay_next();
-                    self.record_event(EventKind::Invoke {
+                    self.record_event(|| EventKind::Invoke {
                         callee,
                         fp: result.fingerprint(),
                     });
@@ -534,7 +541,7 @@ impl Env {
         let OpRecord::Invoke { callee, result } = rec.payload.op.clone() else {
             return Err(self.replay_mismatch("Invoke", &rec.payload));
         };
-        self.record_event(EventKind::Invoke {
+        self.record_event(|| EventKind::Invoke {
             callee,
             fp: result.fingerprint(),
         });

@@ -61,7 +61,7 @@ impl Env {
             return match payload.op {
                 OpRecord::BokiWriteCommit => {
                     self.replay_next();
-                    self.record_event(EventKind::CondWrite {
+                    self.record_event(|| EventKind::CondWrite {
                         key: key.clone(),
                         fp: value.fingerprint(),
                         version,
@@ -82,7 +82,7 @@ impl Env {
             .await;
         self.maybe_crash()?;
         self.log_step(Vec::new(), OpRecord::BokiWriteCommit).await?;
-        self.record_event(EventKind::CondWrite {
+        self.record_event(|| EventKind::CondWrite {
             key: key.clone(),
             fp: value.fingerprint(),
             version,
@@ -95,7 +95,7 @@ impl Env {
     pub(crate) async fn unsafe_read(&mut self, key: &Key) -> HmResult<Value> {
         self.maybe_crash()?;
         let value = self.client().store().get(key).await.unwrap_or(Value::Null);
-        self.record_event(EventKind::Read {
+        self.record_event(|| EventKind::Read {
             key: key.clone(),
             fp: value.fingerprint(),
             logical: self.cursor,
@@ -111,7 +111,7 @@ impl Env {
         self.maybe_crash()?;
         self.client().store().put(key, value.clone()).await;
         self.maybe_crash()?;
-        self.record_event(EventKind::RawWrite {
+        self.record_event(|| EventKind::RawWrite {
             key: key.clone(),
             fp: value.fingerprint(),
         });

@@ -28,7 +28,7 @@ impl Env {
         let checkpointing = self.client().with_config(|c| c.opportunistic_checkpoints);
         if checkpointing {
             if let Some(value) = self.client().checkpoint(self.node, self.id, self.pc()) {
-                self.record_event(EventKind::Read {
+                self.record_event(|| EventKind::Read {
                     key: key.clone(),
                     fp: value.fingerprint(),
                     logical: cursor,
@@ -48,7 +48,7 @@ impl Env {
             self.client()
                 .set_checkpoint(self.node, self.id, self.pc(), value.clone());
         }
-        self.record_event(EventKind::Read {
+        self.record_event(|| EventKind::Read {
             key: key.clone(),
             fp: value.fingerprint(),
             logical: cursor,
@@ -100,7 +100,7 @@ impl Env {
                 OpRecord::WriteCommit { version: v, .. } => {
                     let rec = self.replay_next().expect("peeked record vanished");
                     debug_assert_eq!(v, version);
-                    self.record_event(EventKind::VersionedWrite {
+                    self.record_event(|| EventKind::VersionedWrite {
                         key: key.clone(),
                         fp: value.fingerprint(),
                         commit: rec.seqnum,
@@ -130,7 +130,7 @@ impl Env {
             )
             .await?;
         self.client().note_written_key(key);
-        self.record_event(EventKind::VersionedWrite {
+        self.record_event(|| EventKind::VersionedWrite {
             key: key.clone(),
             fp: value.fingerprint(),
             commit: rec.seqnum,
@@ -163,7 +163,7 @@ impl Env {
             // Each constituent read is its own program-counter slot so the
             // idempotence checkers treat it like a plain read.
             self.bump_pc();
-            self.record_event(EventKind::Read {
+            self.record_event(|| EventKind::Read {
                 key: key.clone(),
                 fp: value.fingerprint(),
                 logical: cursor,
@@ -192,7 +192,7 @@ impl Env {
                 OpRecord::WriteCommit { version: v, .. } => {
                     let rec = self.replay_next().expect("peeked record vanished");
                     debug_assert_eq!(v, version);
-                    self.record_event(EventKind::VersionedWrite {
+                    self.record_event(|| EventKind::VersionedWrite {
                         key: key.clone(),
                         fp: value.fingerprint(),
                         commit: rec.seqnum,
@@ -218,7 +218,7 @@ impl Env {
             )
             .await?;
         self.client().note_written_key(key);
-        self.record_event(EventKind::VersionedWrite {
+        self.record_event(|| EventKind::VersionedWrite {
             key: key.clone(),
             fp: value.fingerprint(),
             commit: rec.seqnum,
@@ -240,7 +240,7 @@ impl Env {
             return match payload.op {
                 OpRecord::Read { data } => {
                     let rec = self.replay_next().expect("peeked record vanished");
-                    self.record_event(EventKind::Read {
+                    self.record_event(|| EventKind::Read {
                         key: key.clone(),
                         fp: data.fingerprint(),
                         logical: rec.seqnum,
@@ -270,7 +270,7 @@ impl Env {
         let fp = data.fingerprint();
         if fp == observed_fp {
             self.record_event_at(
-                EventKind::Read {
+                || EventKind::Read {
                     key: key.clone(),
                     fp,
                     logical: rec.seqnum,
@@ -279,7 +279,7 @@ impl Env {
                 observed_at,
             );
         } else {
-            self.record_event(EventKind::Read {
+            self.record_event(|| EventKind::Read {
                 key: key.clone(),
                 fp,
                 logical: rec.seqnum,
@@ -326,7 +326,7 @@ impl Env {
             .put_conditional(key, value.clone(), version)
             .await;
         self.set_last_write_key(key);
-        self.record_event(EventKind::CondWrite {
+        self.record_event(|| EventKind::CondWrite {
             key: key.clone(),
             fp: value.fingerprint(),
             version,

@@ -33,7 +33,7 @@ impl Env {
             return match payload.op {
                 OpRecord::DualRead { data } => {
                     let rec = self.replay_next().expect("peeked record vanished");
-                    self.record_event(EventKind::Read {
+                    self.record_event(|| EventKind::Read {
                         key: key.clone(),
                         fp: data.fingerprint(),
                         logical: rec.seqnum,
@@ -71,7 +71,7 @@ impl Env {
         let OpRecord::DualRead { data } = rec.payload.op.clone() else {
             return Err(self.replay_mismatch("DualRead", &rec.payload));
         };
-        self.record_event(EventKind::Read {
+        self.record_event(|| EventKind::Read {
             key: key.clone(),
             fp: data.fingerprint(),
             logical: rec.seqnum,
@@ -149,7 +149,7 @@ impl Env {
                 OpRecord::DualWriteCommit { version: v, .. } => {
                     let rec = self.replay_next().expect("peeked record vanished");
                     debug_assert_eq!(v, version);
-                    self.record_event(EventKind::VersionedWrite {
+                    self.record_event(|| EventKind::VersionedWrite {
                         key: key.clone(),
                         fp: value.fingerprint(),
                         commit: rec.seqnum,
@@ -185,7 +185,7 @@ impl Env {
             )
             .await?;
         self.client().note_written_key(key);
-        self.record_event(EventKind::VersionedWrite {
+        self.record_event(|| EventKind::VersionedWrite {
             key: key.clone(),
             fp: value.fingerprint(),
             commit: rec.seqnum,

@@ -1,6 +1,5 @@
 //! Protocol identities and static configuration.
 
-use std::collections::{HashMap, HashSet};
 
 use hm_common::Key;
 
@@ -74,7 +73,7 @@ pub struct ProtocolConfig {
     /// Protocol for keys not listed in `per_key`.
     pub default: ProtocolKind,
     /// Static per-object overrides.
-    pub per_key: HashMap<Key, ProtocolKind>,
+    pub per_key: hm_common::FxHashMap<Key, ProtocolKind>,
     /// Consult the transition log on first access to each object. Off by
     /// default: the static experiments (§6.1–6.3) run a fixed protocol and
     /// must not pay transition lookups.
@@ -88,7 +87,7 @@ pub struct ProtocolConfig {
     /// read-only, then all reads to that object are inherently idempotent",
     /// so they bypass logging and version lookup entirely — under every
     /// protocol. Writing a read-only key is a configuration error.
-    pub read_only_keys: HashSet<Key>,
+    pub read_only_keys: hm_common::FxHashSet<Key>,
     /// §7's recovery optimization: opportunistically checkpoint the
     /// results of log-free operations on the function node, fully
     /// asynchronously (no log appends, no synchronization). A re-execution
@@ -112,10 +111,10 @@ impl ProtocolConfig {
     pub fn uniform(kind: ProtocolKind) -> ProtocolConfig {
         ProtocolConfig {
             default: kind,
-            per_key: HashMap::new(),
+            per_key: hm_common::FxHashMap::default(),
             switching_enabled: false,
             preserve_write_order: false,
-            read_only_keys: HashSet::new(),
+            read_only_keys: hm_common::FxHashSet::default(),
             opportunistic_checkpoints: false,
             deterministic_versions: false,
         }

@@ -114,7 +114,7 @@ impl Env {
             txn.read_set.push(key.clone());
         }
         let value = read_effective_at(self.client(), self.node, key, txn.snapshot).await?;
-        self.record_event(EventKind::Read {
+        self.record_event(|| EventKind::Read {
             key: key.clone(),
             fp: value.fingerprint(),
             logical: txn.snapshot,
@@ -217,7 +217,7 @@ impl Env {
         for (key, _) in versions {
             self.bump_pc();
             let fp = txn.writes.get(key).map_or(0, Value::fingerprint);
-            self.record_event(EventKind::VersionedWrite {
+            self.record_event(|| EventKind::VersionedWrite {
                 key: key.clone(),
                 fp,
                 commit,

@@ -42,8 +42,9 @@
 //! ```
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
+
+use hm_common::FxHashMap;
 
 use hm_common::latency::LatencyModel;
 use hm_common::metrics::{OpCounters, TimeWeightedGauge};
@@ -64,10 +65,13 @@ struct LatestItem {
 
 struct StoreInner {
     /// Single-version table: key → latest value + version tuple.
-    latest: HashMap<Key, LatestItem>,
-    /// Multi-version table: (key, version) → value. Composite keys model
-    /// the paper's "each version is represented by a separate key" (§5.2).
-    versions: HashMap<(Key, VersionNum), Value>,
+    latest: FxHashMap<Key, LatestItem>,
+    /// Multi-version table: key → version → value. Logically each version
+    /// has its own composite key — the paper's "each version is represented
+    /// by a separate key" (§5.2) — but nesting lets every versioned
+    /// operation borrow the caller's key instead of materializing a
+    /// composite one per access.
+    versions: FxHashMap<Key, FxHashMap<VersionNum, Value>>,
     bytes: TimeWeightedGauge,
     counters: OpCounters,
 }
@@ -95,8 +99,8 @@ impl KvStore {
             ctx,
             model,
             inner: Rc::new(RefCell::new(StoreInner {
-                latest: HashMap::new(),
-                versions: HashMap::new(),
+                latest: FxHashMap::default(),
+                versions: FxHashMap::default(),
                 bytes: TimeWeightedGauge::new(now),
                 counters: OpCounters::default(),
             })),
@@ -189,13 +193,19 @@ impl KvStore {
         version: VersionTuple,
     ) {
         let new_bytes = (key.size_bytes() + value.size_bytes() + ITEM_META_BYTES) as f64;
-        let old_bytes = inner
-            .latest
-            .get(key)
-            .map(|item| (key.size_bytes() + item.value.size_bytes() + ITEM_META_BYTES) as f64);
-        inner
-            .latest
-            .insert(key.clone(), LatestItem { value, version });
+        let old_bytes = match inner.latest.get_mut(key) {
+            Some(item) => {
+                let old = (key.size_bytes() + item.value.size_bytes() + ITEM_META_BYTES) as f64;
+                *item = LatestItem { value, version };
+                Some(old)
+            }
+            None => {
+                inner
+                    .latest
+                    .insert(key.clone(), LatestItem { value, version });
+                None
+            }
+        };
         if let Some(old) = old_bytes {
             inner.charge(now, -old);
         }
@@ -207,7 +217,11 @@ impl KvStore {
         self.pay(self.model.db_version_read).await;
         let mut inner = self.inner.borrow_mut();
         inner.counters.db_reads += 1;
-        inner.versions.get(&(key.clone(), version)).cloned()
+        inner
+            .versions
+            .get(key)
+            .and_then(|m| m.get(&version))
+            .cloned()
     }
 
     /// Multi-version write: installs a new version under its own composite
@@ -219,7 +233,14 @@ impl KvStore {
         let mut inner = self.inner.borrow_mut();
         inner.counters.db_writes += 1;
         let new_bytes = (key.size_bytes() + 8 + value.size_bytes() + ITEM_META_BYTES) as f64;
-        let old = inner.versions.insert((key.clone(), version), value);
+        if !inner.versions.contains_key(key) {
+            inner.versions.insert(key.clone(), FxHashMap::default());
+        }
+        let old = inner
+            .versions
+            .get_mut(key)
+            .expect("versions entry just ensured")
+            .insert(version, value);
         if let Some(old) = old {
             inner.charge(
                 now,
@@ -236,7 +257,7 @@ impl KvStore {
         let now = self.ctx.now();
         let mut inner = self.inner.borrow_mut();
         inner.counters.db_deletes += 1;
-        match inner.versions.remove(&(key.clone(), version)) {
+        match inner.versions.get_mut(key).and_then(|m| m.remove(&version)) {
             Some(old) => {
                 inner.charge(
                     now,
@@ -272,14 +293,15 @@ impl KvStore {
         self.inner
             .borrow()
             .versions
-            .get(&(key.clone(), version))
+            .get(key)
+            .and_then(|m| m.get(&version))
             .cloned()
     }
 
     /// Number of stored multi-version copies (across all keys).
     #[must_use]
     pub fn version_count(&self) -> usize {
-        self.inner.borrow().versions.len()
+        self.inner.borrow().versions.values().map(FxHashMap::len).sum()
     }
 
     /// Current stored bytes (latest table + version table).
@@ -314,7 +336,7 @@ impl std::fmt::Debug for KvStore {
             f,
             "KvStore(latest={}, versions={}, bytes={:.0})",
             inner.latest.len(),
-            inner.versions.len(),
+            inner.versions.values().map(FxHashMap::len).sum::<usize>(),
             inner.bytes.level()
         )
     }

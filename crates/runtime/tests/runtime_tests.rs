@@ -66,14 +66,14 @@ fn workflow_children_are_dispatched_through_runtime() {
         Box::pin(async move {
             let a = env.invoke("bump", Value::Null).await?;
             let b = env.invoke("bump", Value::Null).await?;
-            Ok(Value::List(vec![a, b]))
+            Ok(Value::list(vec![a, b]))
         })
     });
     let rt = runtime.clone();
     let out = sim
         .block_on(async move { rt.invoke_request("parent", Value::Null).await })
         .unwrap();
-    assert_eq!(out, Value::List(vec![Value::Int(11), Value::Int(12)]));
+    assert_eq!(out, Value::list(vec![Value::Int(11), Value::Int(12)]));
     // parent + two children.
     assert_eq!(runtime.invocations(), 3);
 }

@@ -1,9 +1,37 @@
 //! The shared-log implementation.
+//!
+//! # Hot-path data structures
+//!
+//! The simulated log sits under every protocol operation, so its structures
+//! are chosen for O(1) work per op and zero avoidable allocation:
+//!
+//! - **Record slab**: seqnums are dense (the sequencer assigns 1, 2, 3, …),
+//!   so records live in a `Vec<Option<RecordSlot>>` indexed by `seqnum - 1`
+//!   — fetch, install, and reclaim are all O(1), no hashing.
+//! - **Membership offsets**: at install time each record learns its absolute
+//!   offset in every sub-stream it joins. `read_prev`/`read_next`/`trim`
+//!   whose bound names a live record resolve positions O(1) from those
+//!   stored offsets instead of re-deriving them by binary search (the
+//!   search remains only as a fallback for bounds that are not records of
+//!   the stream).
+//! - **Live-stream refcounts**: each record counts its untrimmed stream
+//!   memberships. `trim` decrements the count for each drained entry and
+//!   reclaims the record exactly when it hits zero — O(removed) total,
+//!   replacing the per-record, per-tag `binary_search` scan, and making
+//!   byte accounting structurally exact (charged once at install, freed
+//!   once at last membership death; no double-free or leak is possible
+//!   even for records listed under trimmed-then-revived streams).
+//! - **Bounded node caches**: each function node's record cache is an
+//!   [`LruSet`] bounded by [`LogConfig::node_cache_capacity`], with
+//!   hit/miss counts surfaced in [`OpCounters`].
+//!
+//! The tag index (`streams`) uses the deterministic `FxHashMap`; nothing
+//! iterates it in a behavior-affecting order.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
+use hm_common::collections::{FxHashMap, FxHashSet, LruSet, TagSet};
 use hm_common::latency::LatencyModel;
 use hm_common::metrics::{OpCounters, TimeWeightedGauge};
 use hm_common::{NodeId, SeqNum, Tag};
@@ -21,7 +49,7 @@ pub struct LogRecord<P> {
     /// Globally unique, monotonically increasing position in the main log.
     pub seqnum: SeqNum,
     /// The sub-streams this record belongs to.
-    pub tags: Vec<Tag>,
+    pub tags: TagSet,
     /// Protocol-defined payload.
     pub payload: P,
 }
@@ -52,6 +80,11 @@ pub struct LogConfig {
     pub replicas: u32,
     /// Replicas that must acknowledge an append before it is durable.
     pub quorum: u32,
+    /// Capacity of each function node's record cache, in records. The
+    /// default is large enough that steady-state benchmark workloads never
+    /// evict (memory grows with occupancy, not with this bound); shrink it
+    /// to model cache pressure.
+    pub node_cache_capacity: usize,
 }
 
 impl Default for LogConfig {
@@ -61,6 +94,7 @@ impl Default for LogConfig {
             nodes: 8,
             replicas: 3,
             quorum: 2,
+            node_cache_capacity: 1 << 20,
         }
     }
 }
@@ -87,21 +121,112 @@ impl Stream {
     }
 }
 
+/// Number of stream memberships stored inline per record.
+const MEMBER_INLINE: usize = 4;
+
+/// A record's stream memberships: `(tag, absolute offset in that stream)`
+/// pairs, assigned once at install. Inline up to [`MEMBER_INLINE`] entries
+/// (records almost always carry one to three tags), heap beyond.
+struct Memberships {
+    len: u32,
+    inline: [(Tag, u64); MEMBER_INLINE],
+    spill: Vec<(Tag, u64)>,
+}
+
+impl Memberships {
+    fn new() -> Memberships {
+        Memberships {
+            len: 0,
+            inline: [(Tag(0), 0); MEMBER_INLINE],
+            spill: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, tag: Tag, offset: u64) {
+        let i = self.len as usize;
+        if i < MEMBER_INLINE {
+            self.inline[i] = (tag, offset);
+        } else {
+            if i == MEMBER_INLINE {
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push((tag, offset));
+        }
+        self.len += 1;
+    }
+
+    fn as_slice(&self) -> &[(Tag, u64)] {
+        if self.len as usize <= MEMBER_INLINE {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// The record's *last* offset under `tag` (a record appended with a
+    /// duplicated tag occupies several consecutive offsets; bounds must
+    /// resolve past all of them).
+    fn last_offset_of(&self, tag: Tag) -> Option<u64> {
+        self.as_slice()
+            .iter()
+            .rev()
+            .find(|&&(t, _)| t == tag)
+            .map(|&(_, off)| off)
+    }
+}
+
+/// Slab entry for one live record.
+struct RecordSlot<P> {
+    record: Rc<LogRecord<P>>,
+    /// Where this record sits in each of its sub-streams.
+    memberships: Memberships,
+    /// Untrimmed stream memberships remaining (duplicate tags counted
+    /// once per occurrence). The record is reclaimed when this hits zero.
+    live_streams: u32,
+    /// Bytes charged to the storage gauge at install, returned at reclaim.
+    bytes: usize,
+}
+
 struct LogInner<P> {
     /// Storage replicas currently down (by index `0..config.replicas`).
-    failed_replicas: HashSet<u32>,
+    failed_replicas: FxHashSet<u32>,
     /// Appends persisted while fewer than `quorum` replicas were live —
     /// the reconfigured-view path (availability preserved, like Boki's
     /// view change, but worth counting).
     degraded_appends: u64,
-    /// All live records by seqnum.
-    records: HashMap<SeqNum, Rc<LogRecord<P>>>,
-    streams: HashMap<Tag, Stream>,
+    /// All live records, indexed by `seqnum - 1` (seqnums are dense).
+    slots: Vec<Option<RecordSlot<P>>>,
+    /// Live record count (`slots` keeps tombstones for reclaimed entries).
+    live: usize,
+    streams: FxHashMap<Tag, Stream>,
     next_seqnum: SeqNum,
-    /// (node, seqnum) pairs present in a function node's cache.
-    node_cache: HashSet<(NodeId, SeqNum)>,
+    /// Per-node record caches, indexed by `NodeId` (grown on demand).
+    node_cache: Vec<LruSet<SeqNum>>,
+    node_cache_capacity: usize,
     bytes: TimeWeightedGauge,
     counters: OpCounters,
+}
+
+impl<P> LogInner<P> {
+    fn slot(&self, sn: SeqNum) -> Option<&RecordSlot<P>> {
+        let idx = sn.0.checked_sub(1)? as usize;
+        self.slots.get(idx).and_then(Option::as_ref)
+    }
+
+    fn cache_for(&mut self, node: NodeId) -> &mut LruSet<SeqNum> {
+        let idx = node.0 as usize;
+        while self.node_cache.len() <= idx {
+            self.node_cache.push(LruSet::new(self.node_cache_capacity));
+        }
+        &mut self.node_cache[idx]
+    }
+
+    /// The record's stored offset under `tag`, when the bound seqnum names
+    /// a live record that is a member of that stream.
+    fn offset_in_stream(&self, sn: SeqNum, tag: Tag) -> Option<u64> {
+        self.slot(sn)
+            .and_then(|slot| slot.memberships.last_offset_of(tag))
+    }
 }
 
 /// Handle to the simulated shared log. Cheap to clone; clones share state.
@@ -134,12 +259,14 @@ impl<P: Payload> SharedLog<P> {
             model,
             config,
             inner: Rc::new(RefCell::new(LogInner {
-                failed_replicas: HashSet::new(),
+                failed_replicas: FxHashSet::default(),
                 degraded_appends: 0,
-                records: HashMap::new(),
-                streams: HashMap::new(),
+                slots: Vec::new(),
+                live: 0,
+                streams: FxHashMap::default(),
                 next_seqnum: SeqNum(1),
-                node_cache: HashSet::new(),
+                node_cache: Vec::new(),
+                node_cache_capacity: config.node_cache_capacity,
                 bytes: TimeWeightedGauge::new(now),
                 counters: OpCounters::default(),
             })),
@@ -243,7 +370,8 @@ impl<P: Payload> SharedLog<P> {
         self.ctx.sleep(to_sequencer).await;
         // Sequencing and the condition check are atomic at the logging
         // layer: that is the point of logCondAppend (it resolves conflicts
-        // "in place", unlike Boki's separate append-then-read).
+        // "in place", unlike Boki's separate append-then-read). The
+        // stream's next offset is O(1): `len_total` is a stored count.
         let outcome = {
             let mut inner = self.inner.borrow_mut();
             let offset = inner.streams.get(&cond_tag).map_or(0, Stream::len_total);
@@ -268,21 +396,37 @@ impl<P: Payload> SharedLog<P> {
     fn install(&self, node: NodeId, tags: Vec<Tag>, payload: P) -> SeqNum {
         let now = self.ctx.now();
         let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
         let seqnum = inner.next_seqnum;
         inner.next_seqnum = seqnum.next();
-        let bytes = (payload.size_bytes() + RECORD_META_BYTES) as f64;
+        let bytes = payload.size_bytes() + RECORD_META_BYTES;
+        let mut memberships = Memberships::new();
+        for &tag in &tags {
+            let stream = inner.streams.entry(tag).or_default();
+            memberships.push(tag, stream.len_total() as u64);
+            stream.seqnums.push(seqnum);
+        }
+        let live_streams = tags.len() as u32;
         let record = Rc::new(LogRecord {
             seqnum,
-            tags: tags.clone(),
+            tags: TagSet::from_vec(tags),
             payload,
         });
-        inner.records.insert(seqnum, record);
-        for tag in tags {
-            inner.streams.entry(tag).or_default().seqnums.push(seqnum);
-        }
+        debug_assert_eq!(
+            inner.slots.len() as u64 + 1,
+            seqnum.0,
+            "seqnums must stay dense for the record slab"
+        );
+        inner.slots.push(Some(RecordSlot {
+            record,
+            memberships,
+            live_streams,
+            bytes,
+        }));
+        inner.live += 1;
         // The appending node caches its own record.
-        inner.node_cache.insert((node, seqnum));
-        inner.bytes.add(now, bytes);
+        inner.cache_for(node).insert(seqnum);
+        inner.bytes.add(now, bytes as f64);
         inner.counters.log_appends += 1;
         seqnum
     }
@@ -298,8 +442,18 @@ impl<P: Payload> SharedLog<P> {
         let found = {
             let inner = self.inner.borrow();
             inner.streams.get(&tag).and_then(|s| {
-                let idx = s.seqnums.partition_point(|&sn| sn <= max_seqnum);
-                idx.checked_sub(1).and_then(|i| s.seqnums.get(i).copied())
+                if max_seqnum == SeqNum::MAX {
+                    // Newest record: the common "read the tail" case.
+                    s.seqnums.last().copied()
+                } else if let Some(off) = inner.offset_in_stream(max_seqnum, tag) {
+                    // The bound names a live member of this stream: its
+                    // stored offset answers directly (None once trimmed —
+                    // everything at or below it is gone from the stream).
+                    s.at(off as usize)
+                } else {
+                    let idx = s.seqnums.partition_point(|&sn| sn <= max_seqnum);
+                    idx.checked_sub(1).and_then(|i| s.seqnums.get(i).copied())
+                }
             })
         };
         self.pay_read(node, found).await;
@@ -317,8 +471,21 @@ impl<P: Payload> SharedLog<P> {
         let found = {
             let inner = self.inner.borrow();
             inner.streams.get(&tag).and_then(|s| {
-                let idx = s.seqnums.partition_point(|&sn| sn < min_seqnum);
-                s.seqnums.get(idx).copied()
+                match s.seqnums.first().copied() {
+                    Some(first) if min_seqnum <= first => Some(first),
+                    Some(_) => {
+                        if let Some(off) = inner.offset_in_stream(min_seqnum, tag) {
+                            // Live member at or past the trim front: the
+                            // bound itself is the answer. Trimmed member:
+                            // every live entry is newer, so the front is.
+                            s.at(off as usize).or_else(|| s.seqnums.first().copied())
+                        } else {
+                            let idx = s.seqnums.partition_point(|&sn| sn < min_seqnum);
+                            s.seqnums.get(idx).copied()
+                        }
+                    }
+                    None => None,
+                }
             })
         };
         self.pay_read(node, found).await;
@@ -349,36 +516,54 @@ impl<P: Payload> SharedLog<P> {
         let now = self.ctx.now();
         let mut inner = self.inner.borrow_mut();
         inner.counters.log_trims += 1;
+        let inner = &mut *inner;
         let Some(stream) = inner.streams.get_mut(&tag) else {
             return;
         };
-        let cut = stream.seqnums.partition_point(|&sn| sn <= upto);
-        let removed: Vec<SeqNum> = stream.seqnums.drain(..cut).collect();
-        stream.trimmed += removed.len();
+        // Cut point: O(1) from the bound record's stored offset when it is
+        // a live member of this stream; binary search otherwise.
+        let cut = match inner
+            .slots
+            .get(upto.0.wrapping_sub(1) as usize)
+            .and_then(Option::as_ref)
+            .and_then(|slot| slot.memberships.last_offset_of(tag))
+        {
+            Some(off) => (off as usize + 1).saturating_sub(stream.trimmed),
+            None => stream.seqnums.partition_point(|&sn| sn <= upto),
+        };
         let mut freed = 0usize;
-        for sn in removed {
-            // Reclaim the record when no other live stream still lists it.
-            let still_referenced = inner.records.get(&sn).is_some_and(|r| {
-                r.tags.iter().any(|t| {
-                    *t != tag
-                        && inner
-                            .streams
-                            .get(t)
-                            .is_some_and(|s| s.seqnums.binary_search(&sn).is_ok())
-                })
-            });
-            if !still_referenced {
-                if let Some(r) = inner.records.remove(&sn) {
-                    freed += r.payload.size_bytes() + RECORD_META_BYTES;
-                }
+        for sn in stream.seqnums.drain(..cut) {
+            // Each drained entry is one stream membership dying; the record
+            // is reclaimed exactly when its last membership dies, so bytes
+            // are freed exactly once per record — no re-deriving liveness
+            // from the other streams.
+            let idx = (sn.0 - 1) as usize;
+            let slot = inner.slots[idx]
+                .as_mut()
+                .expect("stream index referenced a reclaimed record");
+            slot.live_streams -= 1;
+            if slot.live_streams == 0 {
+                freed += slot.bytes;
+                inner.slots[idx] = None;
+                inner.live -= 1;
             }
         }
+        stream.trimmed += cut;
         inner.bytes.add(now, -(freed as f64));
     }
 
     async fn pay_read(&self, node: NodeId, target: Option<SeqNum>) {
         let hit = match target {
-            Some(sn) => self.inner.borrow().node_cache.contains(&(node, sn)),
+            Some(sn) => {
+                let mut inner = self.inner.borrow_mut();
+                let hit = inner.cache_for(node).contains(&sn);
+                if hit {
+                    inner.counters.cache_hits += 1;
+                } else {
+                    inner.counters.cache_misses += 1;
+                }
+                hit
+            }
             // Absent records answer from the node's stream index: cheap.
             None => true,
         };
@@ -392,16 +577,16 @@ impl<P: Payload> SharedLog<P> {
         let mut inner = self.inner.borrow_mut();
         inner.counters.log_reads += 1;
         if let Some(sn) = target {
-            inner.node_cache.insert((node, sn));
+            // Refreshes recency on hit, fills (and possibly evicts) on miss.
+            inner.cache_for(node).insert(sn);
         }
     }
 
     fn fetch(&self, sn: SeqNum) -> Rc<LogRecord<P>> {
         self.inner
             .borrow()
-            .records
-            .get(&sn)
-            .cloned()
+            .slot(sn)
+            .map(|s| s.record.clone())
             .expect("stream index referenced a reclaimed record")
     }
 
@@ -416,7 +601,7 @@ impl<P: Payload> SharedLog<P> {
     /// Live record count.
     #[must_use]
     pub fn live_records(&self) -> usize {
-        self.inner.borrow().records.len()
+        self.inner.borrow().live
     }
 
     /// Current stored bytes.
@@ -443,6 +628,26 @@ impl<P: Payload> SharedLog<P> {
         self.inner.borrow().counters
     }
 
+    /// Records currently held in `node`'s cache (test helper).
+    #[must_use]
+    pub fn node_cache_len(&self, node: NodeId) -> usize {
+        self.inner
+            .borrow()
+            .node_cache
+            .get(node.0 as usize)
+            .map_or(0, LruSet::len)
+    }
+
+    /// Total evictions from `node`'s cache since creation (test helper).
+    #[must_use]
+    pub fn node_cache_evictions(&self, node: NodeId) -> u64 {
+        self.inner
+            .borrow()
+            .node_cache
+            .get(node.0 as usize)
+            .map_or(0, LruSet::evictions)
+    }
+
     /// Zero-latency peek at a sub-stream's live seqnums (test helper).
     #[must_use]
     pub fn peek_stream(&self, tag: Tag) -> Vec<SeqNum> {
@@ -456,7 +661,7 @@ impl<P: Payload> SharedLog<P> {
     /// Zero-latency record fetch by seqnum (checker helper).
     #[must_use]
     pub fn peek_record(&self, sn: SeqNum) -> Option<Rc<LogRecord<P>>> {
-        self.inner.borrow().records.get(&sn).cloned()
+        self.inner.borrow().slot(sn).map(|s| s.record.clone())
     }
 }
 
@@ -467,7 +672,7 @@ impl<P> std::fmt::Debug for SharedLog<P> {
             f,
             "SharedLog(head={:?}, live={}, streams={})",
             inner.next_seqnum,
-            inner.records.len(),
+            inner.live,
             inner.streams.len()
         )
     }
@@ -686,6 +891,70 @@ mod tests {
         });
     }
 
+    /// Regression test for trim byte accounting (the refcount rewrite's
+    /// correctness obligation): across interleaved trims, revived streams,
+    /// shared multi-tag records, and duplicated tags, every record's bytes
+    /// must be freed exactly once — never double-freed (gauge would go
+    /// negative) and never leaked (gauge would end above zero).
+    #[test]
+    fn trim_byte_accounting_exact_through_retag_cycles() {
+        let (mut sim, log) = setup();
+        let l = log.clone();
+        sim.block_on(async move {
+            let (a, b) = (t("cycle_a"), t("cycle_b"));
+            // Shared record, then a solo record on `a`.
+            let shared = l.append(N0, vec![a, b], "shared".into()).await;
+            l.append(N0, vec![a], "solo".into()).await;
+            // Trim `a` past both: only the solo record's bytes are freed;
+            // the shared one survives via `b`.
+            l.trim(N0, a, l.head_seqnum()).await;
+            let shared_bytes = ("shared".len() + RECORD_META_BYTES) as f64;
+            assert_eq!(l.current_bytes(), shared_bytes);
+            assert_eq!(l.live_records(), 1);
+            // Revive the trimmed stream `a`, then trim it again. The shared
+            // record's `a` membership is already dead — a second trim of
+            // `a` must not touch it (double-decrement would double-free).
+            l.append(N0, vec![a], "revive".into()).await;
+            l.trim(N0, a, l.head_seqnum()).await;
+            assert_eq!(l.current_bytes(), shared_bytes, "shared must survive");
+            // Now kill the last membership via `b`: bytes drop to exactly 0.
+            l.trim(N0, b, shared).await;
+            assert_eq!(l.current_bytes(), 0.0);
+            assert_eq!(l.live_records(), 0);
+            // Duplicated tags: one record, two memberships in one stream.
+            // One trim covers both; bytes freed exactly once.
+            l.append(N0, vec![a, a], "dup".into()).await;
+            assert_eq!(l.peek_stream(a).len(), 2);
+            l.trim(N0, a, l.head_seqnum()).await;
+            assert_eq!(l.current_bytes(), 0.0, "dup-tag record freed once");
+            assert_eq!(l.live_records(), 0);
+            // A full cycle of revive-and-trim ends exactly where it began.
+            for i in 0..3 {
+                l.append(N0, vec![a, b], format!("r{i}")).await;
+            }
+            l.trim(N0, a, l.head_seqnum()).await;
+            l.trim(N0, b, l.head_seqnum()).await;
+            assert_eq!(l.current_bytes(), 0.0);
+            assert_eq!(l.live_records(), 0);
+        });
+    }
+
+    #[test]
+    fn trim_bound_past_duplicate_tags_removes_all_copies() {
+        let (mut sim, log) = setup();
+        let l = log.clone();
+        sim.block_on(async move {
+            let a = t("dup_bound");
+            // The bound record itself carries the tag twice: the O(1) cut
+            // derived from its stored offset must cover both copies.
+            let sn = l.append(N0, vec![a, a], "dd".into()).await;
+            l.trim(N0, a, sn).await;
+            assert!(l.peek_stream(a).is_empty());
+            assert_eq!(l.live_records(), 0);
+            assert_eq!(l.current_bytes(), 0.0);
+        });
+    }
+
     #[test]
     fn storage_accounting_tracks_payload_and_meta() {
         let (mut sim, log) = setup();
@@ -720,6 +989,9 @@ mod tests {
             l.read_prev(N0, t("c"), SeqNum::MAX).await;
             assert_eq!(ctx.now() - start, SimTime::from_micros(100));
         });
+        let c = log.counters();
+        assert_eq!(c.cache_misses, 1, "only node 1's first read missed");
+        assert_eq!(c.cache_hits, 2);
     }
 
     #[test]
@@ -731,7 +1003,121 @@ mod tests {
             assert!(l.read_next(N0, t("none"), SeqNum::ZERO).await.is_none());
             assert!(l.read_stream(N0, t("none")).await.is_empty());
         });
-        assert_eq!(log.counters().log_reads, 3);
+        let c = log.counters();
+        assert_eq!(c.log_reads, 3);
+        // Reads that found nothing touch no cache bucket.
+        assert_eq!(c.cache_hits + c.cache_misses, 0);
+    }
+
+    #[test]
+    fn node_cache_evicts_under_capacity_pressure() {
+        let mut sim = Sim::new(12);
+        let log: SharedLog<String> = SharedLog::new(
+            sim.ctx(),
+            LatencyModel::uniform_test_model(),
+            LogConfig {
+                node_cache_capacity: 2,
+                ..LogConfig::default()
+            },
+        );
+        let l = log.clone();
+        sim.block_on(async move {
+            // Three appends from node 0: its cache (capacity 2) must evict
+            // the first record.
+            let s1 = l.append(N0, vec![t("e1")], "a".into()).await;
+            let _s2 = l.append(N0, vec![t("e2")], "b".into()).await;
+            let _s3 = l.append(N0, vec![t("e3")], "c".into()).await;
+            assert_eq!(l.node_cache_len(N0), 2);
+            assert_eq!(l.node_cache_evictions(N0), 1);
+            // Reading the evicted record is a miss — and pays miss latency.
+            let start = l.read_prev(N0, t("e1"), s1).await.unwrap().seqnum;
+            assert_eq!(start, s1);
+            let c = l.counters();
+            assert_eq!(c.cache_misses, 1, "evicted record must miss");
+            // The miss refilled the cache (evicting the next-oldest entry),
+            // so an immediate re-read hits.
+            l.read_prev(N0, t("e1"), s1).await;
+            assert_eq!(l.counters().cache_hits, 1);
+            assert_eq!(l.node_cache_evictions(N0), 2);
+        });
+    }
+
+    #[test]
+    fn pay_read_latency_tracks_eviction() {
+        let mut sim = Sim::new(13);
+        let log: SharedLog<String> = SharedLog::new(
+            sim.ctx(),
+            LatencyModel::uniform_test_model(),
+            LogConfig {
+                node_cache_capacity: 1,
+                ..LogConfig::default()
+            },
+        );
+        let l = log.clone();
+        let ctx = sim.ctx();
+        sim.block_on(async move {
+            let s1 = l.append(N0, vec![t("p1")], "a".into()).await;
+            // s1 is cached (capacity 1). Reading it now is a cached read:
+            // exactly the 0.1 ms hit latency of the test model.
+            let start = ctx.now();
+            l.read_prev(N0, t("p1"), s1).await;
+            assert_eq!(ctx.now() - start, SimTime::from_micros(100));
+            // A second append evicts s1 from the single-slot cache.
+            l.append(N0, vec![t("p2")], "b".into()).await;
+            // Now the same read pays the full 0.3 ms miss latency.
+            let start = ctx.now();
+            l.read_prev(N0, t("p1"), s1).await;
+            assert_eq!(ctx.now() - start, SimTime::from_micros(300));
+            let c = l.counters();
+            assert_eq!((c.cache_hits, c.cache_misses), (1, 1));
+        });
+    }
+
+    #[test]
+    fn node_caches_are_independent() {
+        let (mut sim, log) = setup();
+        let l = log.clone();
+        sim.block_on(async move {
+            let sn = l.append(N0, vec![t("i")], "v".into()).await;
+            // Node 0 (appender) hits; nodes 1 and 2 each miss once.
+            l.read_prev(N0, t("i"), sn).await;
+            l.read_prev(N1, t("i"), sn).await;
+            l.read_prev(NodeId(2), t("i"), sn).await;
+            l.read_prev(NodeId(2), t("i"), sn).await;
+            let c = l.counters();
+            assert_eq!(c.cache_hits, 2, "node 0 + node 2's second read");
+            assert_eq!(c.cache_misses, 2, "nodes 1 and 2 first reads");
+        });
+    }
+
+    #[test]
+    fn read_bounds_resolve_via_stored_offsets_after_trim() {
+        // Exercises the O(1) bound-resolution paths: bounds that name live,
+        // trimmed, and foreign records must all agree with the definition
+        // (latest ≤ max / earliest ≥ min over the live stream).
+        let (mut sim, log) = setup();
+        let l = log.clone();
+        sim.block_on(async move {
+            let (a, other) = (t("off_a"), t("off_o"));
+            let mut sns = Vec::new();
+            for i in 0..6 {
+                sns.push(l.append(N0, vec![a], format!("r{i}")).await);
+            }
+            // A record of a different stream, interleaved in seqnum order.
+            let foreign = l.append(N0, vec![other], "f".into()).await;
+            l.trim(N0, a, sns[2]).await;
+            // Live bound: resolves through its stored offset.
+            assert_eq!(l.read_prev(N0, a, sns[4]).await.unwrap().seqnum, sns[4]);
+            assert_eq!(l.read_next(N0, a, sns[4]).await.unwrap().seqnum, sns[4]);
+            // Trimmed bound: read_prev sees nothing at or below it;
+            // read_next jumps to the live front.
+            assert!(l.read_prev(N0, a, sns[1]).await.is_none());
+            assert_eq!(l.read_next(N0, a, sns[1]).await.unwrap().seqnum, sns[3]);
+            // Bound that is a live record of a *different* stream: falls
+            // back to the search path and still answers correctly.
+            assert_eq!(l.read_prev(N0, a, foreign).await.unwrap().seqnum, sns[5]);
+            assert!(l.read_next(N0, a, foreign).await.is_none());
+        });
     }
 }
 

@@ -1,102 +1,416 @@
 //! The virtual-time async executor.
 //!
 //! Single-threaded: futures need not be `Send`, and all shared state inside
-//! a simulation can use `Rc<RefCell<…>>`. The only thread-safe pieces are
-//! the wakers (the `std::task::Wake` trait requires `Send + Sync`), which
-//! only ever touch a mutex-protected ready queue.
+//! a simulation can use `Rc<RefCell<…>>`. Wakers are hand-rolled over `Rc`
+//! (see [`WakeData`]) — the `Send + Sync` contract of `std::task::Waker` is
+//! upheld vacuously because nothing in a simulation ever crosses a thread.
+//!
+//! ## Internals
+//!
+//! Tasks live in a generational slab: a `TaskId` is (index, generation),
+//! so completed-then-reused slots make stale wakes cheap no-ops instead of
+//! requiring a hash lookup. Each task's waker is built once at spawn and
+//! reused for every poll.
+//!
+//! Timers live in a hierarchical timer wheel (1024 ns ticks, 64-bucket
+//! levels, ≈ 19.5 h horizon): a small binary heap orders the near window
+//! (next 64 ticks) exactly, coarse buckets with cached minima hold the far
+//! mass, and a `BinaryHeap` fallback takes deadlines past the horizon.
+//! Simultaneous deadlines fire in registration order — the wheel preserves
+//! the exact `(deadline, seq)` total order the previous heap implementation
+//! had, which fixed-seed golden tests pin.
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::{Rc, Weak};
-use std::sync::Arc;
-use std::task::{Context, Poll, Wake, Waker};
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 
-use std::sync::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::SimTime;
 
-/// Identifies a spawned task within one simulation.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-struct TaskId(u64);
+/// Converts a virtual instant to nanoseconds, saturating past ~584 years.
+fn dur_ns(d: SimTime) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
 
-/// The ready queue shared with wakers. Thread-safe because `Waker` demands
-/// it, although in practice everything runs on one thread.
+// ---------------------------------------------------------------------------
+// Ready queue and wakers
+// ---------------------------------------------------------------------------
+
+/// FIFO of (task index, generation) pairs. Plain `RefCell`: the executor is
+/// single-threaded, so the old mutex bought nothing but lock traffic.
 struct ReadyQueue {
-    queue: Mutex<VecDeque<TaskId>>,
+    queue: RefCell<VecDeque<(u32, u32)>>,
 }
 
 impl ReadyQueue {
-    fn push(&self, id: TaskId) {
-        self.queue.lock().unwrap().push_back(id);
+    fn push(&self, idx: u32, gen: u32) {
+        self.queue.borrow_mut().push_back((idx, gen));
     }
 
-    fn pop(&self) -> Option<TaskId> {
-        self.queue.lock().unwrap().pop_front()
-    }
-}
-
-/// Waker for one task: re-enqueues the task id.
-struct TaskWaker {
-    id: TaskId,
-    ready: Arc<ReadyQueue>,
-}
-
-impl Wake for TaskWaker {
-    fn wake(self: Arc<Self>) {
-        self.ready.push(self.id);
-    }
-
-    fn wake_by_ref(self: &Arc<Self>) {
-        self.ready.push(self.id);
+    fn pop(&self) -> Option<(u32, u32)> {
+        self.queue.borrow_mut().pop_front()
     }
 }
 
-/// Timer registration shared between the heap and the `Sleep` future.
-struct TimerState {
-    fired: Cell<bool>,
-    waker: RefCell<Option<Waker>>,
+/// Per-task waker payload: created once at spawn, shared by every clone of
+/// the task's `Waker`.
+struct WakeData {
+    idx: u32,
+    gen: u32,
+    ready: Rc<ReadyQueue>,
 }
 
-/// Heap entry; ordered by (deadline, registration sequence) so simultaneous
-/// timers fire in registration order — a determinism requirement.
-struct TimerEntry {
-    at: SimTime,
-    seq: u64,
-    state: Rc<TimerState>,
+// SAFETY (whole vtable): `Waker` nominally requires `Send + Sync`, but this
+// executor is strictly single-threaded — `Sim`, its tasks, and every waker
+// clone live and die on one thread (`Sim` is `!Send`: it holds `Rc`s, and
+// spawned futures are not required to be `Send`). The `Rc` refcount and the
+// `RefCell` ready queue are therefore never touched concurrently.
+const VTABLE: RawWakerVTable = RawWakerVTable::new(clone_w, wake_w, wake_by_ref_w, drop_w);
+
+unsafe fn clone_w(p: *const ()) -> RawWaker {
+    unsafe { Rc::increment_strong_count(p.cast::<WakeData>()) };
+    RawWaker::new(p, &VTABLE)
 }
 
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        (self.at, self.seq) == (other.at, other.seq)
-    }
+unsafe fn wake_w(p: *const ()) {
+    let data = unsafe { Rc::from_raw(p.cast::<WakeData>()) };
+    data.ready.push(data.idx, data.gen);
 }
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+
+unsafe fn wake_by_ref_w(p: *const ()) {
+    let data = unsafe { &*p.cast::<WakeData>() };
+    data.ready.push(data.idx, data.gen);
 }
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+
+unsafe fn drop_w(p: *const ()) {
+    drop(unsafe { Rc::from_raw(p.cast::<WakeData>()) });
 }
+
+fn make_waker(data: Rc<WakeData>) -> Waker {
+    let raw = RawWaker::new(Rc::into_raw(data).cast::<()>(), &VTABLE);
+    unsafe { Waker::from_raw(raw) }
+}
+
+// ---------------------------------------------------------------------------
+// Task slab
+// ---------------------------------------------------------------------------
 
 type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+struct TaskEntry {
+    fut: LocalFuture,
+    /// Built once at spawn; every poll borrows it instead of allocating.
+    waker: Waker,
+}
+
+/// Generational slab of live tasks. `gens[i]` outlives the entry so stale
+/// ready-queue ids from earlier occupants are detected and skipped.
+struct TaskSlab {
+    slots: Vec<Option<TaskEntry>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl TaskSlab {
+    fn new() -> TaskSlab {
+        TaskSlab {
+            slots: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    fn insert(&mut self, entry: TaskEntry) -> (u32, u32) {
+        self.live += 1;
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Some(entry);
+            (idx, self.gens[idx as usize])
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("task slab overflow");
+            self.slots.push(Some(entry));
+            self.gens.push(0);
+            (idx, 0)
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        self.gens[idx as usize] = self.gens[idx as usize].wrapping_add(1);
+        self.free.push(idx);
+        self.live -= 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer wheel
+// ---------------------------------------------------------------------------
+
+/// One tick is 2^10 ns ≈ 1 µs: finer than any latency model in the suite,
+/// so nearly all same-slot collisions are true same-instant timers.
+const TICK_SHIFT: u32 = 10;
+/// 64 slots per level.
+const LEVEL_BITS: u32 = 6;
+const SLOTS_PER_LEVEL: usize = 1 << LEVEL_BITS;
+const SLOT_MASK: u64 = SLOTS_PER_LEVEL as u64 - 1;
+/// 6 levels cover 64^6 ticks ≈ 19.5 h; farther deadlines overflow to a heap.
+const LEVELS: usize = 6;
+
+/// Timer registration. Slots are reused; `gen` disambiguates occupants so a
+/// `Sleep` future holding (idx, gen) can tell "my timer fired" (generation
+/// advanced) from "still pending".
+struct TimerSlot {
+    gen: u32,
+    at_ns: u64,
+    seq: u64,
+    waker: Option<Waker>,
+}
+
+struct TimerWheel {
+    slots: Vec<TimerSlot>,
+    free: Vec<u32>,
+    /// Deadlines within the next 64 ticks, ordered by (at, seq). A heap,
+    /// not buckets: dense simulations put hundreds of timers in the same
+    /// tick, and a bucket would need an O(bucket) min-scan per advance
+    /// where the heap pays O(log n) once per timer.
+    near: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    /// `levels[l][s]` (l ≥ 1 only; index 0 is unused — the near heap plays
+    /// that role) holds slab indices; order within a bucket is irrelevant
+    /// (firing sorts by `(at, seq)`), so removal can swap.
+    levels: [[Vec<u32>; SLOTS_PER_LEVEL]; LEVELS],
+    /// Per-level occupancy bitmaps; bit `s` set iff `levels[l][s]` is
+    /// non-empty. Scans are rotate + trailing_zeros, not bucket walks.
+    occupied: [u64; LEVELS],
+    /// Cached per-bucket `(at, seq)` minimum, maintained on push and
+    /// recomputed only when a bucket loses entries — so the per-advance
+    /// min comparison never walks a bucket.
+    mins: [[Option<(u64, u64)>; SLOTS_PER_LEVEL]; LEVELS],
+    /// Deadlines beyond the wheel horizon, ordered by (at, seq).
+    overflow: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    /// Registration sequence; ties on `at` fire in this order.
+    next_seq: u64,
+    /// Pending registrations (near + wheel + overflow).
+    pending: usize,
+    /// Scratch for [`TimerWheel::take_due`], reused across calls so the
+    /// once-per-instant firing path performs no allocation.
+    due: Vec<u32>,
+}
+
+impl TimerWheel {
+    fn new() -> TimerWheel {
+        TimerWheel {
+            slots: Vec::new(),
+            free: Vec::new(),
+            near: BinaryHeap::new(),
+            levels: std::array::from_fn(|_| std::array::from_fn(|_| Vec::new())),
+            occupied: [0; LEVELS],
+            mins: [[None; SLOTS_PER_LEVEL]; LEVELS],
+            overflow: BinaryHeap::new(),
+            next_seq: 0,
+            pending: 0,
+            due: Vec::new(),
+        }
+    }
+
+    /// Registers a deadline; returns the (slot, generation) handle the
+    /// `Sleep` future polls against.
+    fn register(&mut self, now_ns: u64, at_ns: u64) -> (u32, u32) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let idx = if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            slot.at_ns = at_ns;
+            slot.seq = seq;
+            debug_assert!(slot.waker.is_none());
+            idx
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("timer slab overflow");
+            self.slots.push(TimerSlot {
+                gen: 0,
+                at_ns,
+                seq,
+                waker: None,
+            });
+            idx
+        };
+        self.attach(now_ns >> TICK_SHIFT, idx);
+        self.pending += 1;
+        (idx, self.slots[idx as usize].gen)
+    }
+
+    /// Files `idx` into the near heap (next 64 ticks) or the finest coarse
+    /// level whose 64-bucket window (measured in *window numbers*, not raw
+    /// tick delta — when `now` is unaligned, a raw delta under `64^(l+1)`
+    /// can still be 64 windows ahead, aliasing onto the current position's
+    /// bucket) reaches the deadline.
+    fn attach(&mut self, now_tick: u64, idx: u32) {
+        let slot = &self.slots[idx as usize];
+        let (at_ns, seq) = (slot.at_ns, slot.seq);
+        let tick = at_ns >> TICK_SHIFT;
+        if tick.saturating_sub(now_tick) < SLOTS_PER_LEVEL as u64 {
+            self.near.push(Reverse((at_ns, seq, idx)));
+            return;
+        }
+        for level in 1..LEVELS {
+            let shift = LEVEL_BITS * level as u32;
+            if (tick >> shift).saturating_sub(now_tick >> shift) < SLOTS_PER_LEVEL as u64 {
+                let s = ((tick >> shift) & SLOT_MASK) as usize;
+                self.levels[level][s].push(idx);
+                self.occupied[level] |= 1 << s;
+                let cand = (at_ns, seq);
+                if self.mins[level][s].is_none_or(|m| cand < m) {
+                    self.mins[level][s] = Some(cand);
+                }
+                return;
+            }
+        }
+        self.overflow.push(Reverse((at_ns, seq, idx)));
+    }
+
+    /// Index of the earliest occupied bucket at `level`, scanning circularly
+    /// from the bucket containing `now`. Sound because every pending tick at
+    /// this level lies within one wrap of `now` (enforced by `attach` and
+    /// the fact that the clock never passes an unfired timer).
+    fn earliest_bucket(&self, level: usize, now_tick: u64) -> Option<usize> {
+        let occ = self.occupied[level];
+        if occ == 0 {
+            return None;
+        }
+        let pos = ((now_tick >> (LEVEL_BITS * level as u32)) & SLOT_MASK) as u32;
+        let off = occ.rotate_right(pos).trailing_zeros();
+        Some(((pos + off) & SLOT_MASK as u32) as usize)
+    }
+
+    /// Flushes, for each level ≥ 1, the bucket whose window contains `now`
+    /// down to finer levels. Purely an efficiency measure: it keeps the
+    /// min-scan buckets small. A single ascending pass suffices — an entry
+    /// flushed from level `l` lands at a level whose `now` window it is
+    /// outside of (its delta exceeds that level's bucket width).
+    fn cascade(&mut self, now_tick: u64) {
+        for level in 1..LEVELS {
+            let pos = ((now_tick >> (LEVEL_BITS * level as u32)) & SLOT_MASK) as usize;
+            if self.occupied[level] & (1 << pos) == 0 {
+                continue;
+            }
+            let entries = std::mem::take(&mut self.levels[level][pos]);
+            self.occupied[level] &= !(1 << pos);
+            self.mins[level][pos] = None;
+            for idx in entries {
+                self.attach(now_tick, idx);
+            }
+        }
+    }
+
+    /// The earliest pending `(at, seq)`, if any. Buckets at different
+    /// levels can interleave near window boundaries, so every level's
+    /// earliest bucket competes, as do both heaps. Cached bucket minima
+    /// make this O(levels), never an entry walk.
+    fn min_deadline(&self, now_tick: u64) -> Option<(u64, u64)> {
+        let mut best: Option<(u64, u64)> = None;
+        if let Some(&Reverse((at, seq, _))) = self.near.peek() {
+            best = Some((at, seq));
+        }
+        for level in 1..LEVELS {
+            if let Some(s) = self.earliest_bucket(level, now_tick) {
+                let cand = self.mins[level][s].expect("occupied bucket has a min");
+                if best.is_none_or(|b| cand < b) {
+                    best = Some(cand);
+                }
+            }
+        }
+        if let Some(&Reverse((at, seq, _))) = self.overflow.peek() {
+            let cand = (at, seq);
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
+            }
+        }
+        best
+    }
+
+    /// Removes every registration with deadline exactly `at_ns`, releasing
+    /// their slots, and appends their wakers to `fired` in registration
+    /// order. `fired` is a caller-owned scratch buffer (cleared here), so
+    /// the once-per-instant firing path performs no allocation in steady
+    /// state.
+    fn take_due(&mut self, at_ns: u64, now_tick: u64, fired: &mut Vec<(u64, Option<Waker>)>) {
+        fired.clear();
+        let mut due = std::mem::take(&mut self.due);
+        due.clear();
+        while matches!(self.near.peek(), Some(&Reverse((at, _, _))) if at == at_ns) {
+            let Reverse((_, _, idx)) = self.near.pop().unwrap();
+            due.push(idx);
+        }
+        for level in 1..LEVELS {
+            let Some(s) = self.earliest_bucket(level, now_tick) else {
+                continue;
+            };
+            if self.mins[level][s].map(|(at, _)| at) != Some(at_ns) {
+                continue;
+            }
+            let bucket = &mut self.levels[level][s];
+            let mut k = 0;
+            while k < bucket.len() {
+                let idx = bucket[k];
+                if self.slots[idx as usize].at_ns == at_ns {
+                    bucket.swap_remove(k);
+                    due.push(idx);
+                } else {
+                    k += 1;
+                }
+            }
+            if bucket.is_empty() {
+                self.occupied[level] &= !(1 << s);
+                self.mins[level][s] = None;
+            } else {
+                // Recompute the cached min; only paid when this bucket
+                // actually lost entries.
+                self.mins[level][s] = bucket
+                    .iter()
+                    .map(|&idx| {
+                        let slot = &self.slots[idx as usize];
+                        (slot.at_ns, slot.seq)
+                    })
+                    .min();
+            }
+        }
+        while matches!(self.overflow.peek(), Some(&Reverse((at, _, _))) if at == at_ns) {
+            let Reverse((_, _, idx)) = self.overflow.pop().unwrap();
+            due.push(idx);
+        }
+        for &idx in &due {
+            let slot = &mut self.slots[idx as usize];
+            let waker = slot.waker.take();
+            let seq = slot.seq;
+            slot.gen = slot.gen.wrapping_add(1);
+            self.free.push(idx);
+            self.pending -= 1;
+            fired.push((seq, waker));
+        }
+        self.due = due;
+        if fired.len() > 1 {
+            fired.sort_unstable_by_key(|&(seq, _)| seq);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulation core
+// ---------------------------------------------------------------------------
 
 /// Shared core of one simulation.
 struct Inner {
     now: Cell<SimTime>,
-    tasks: RefCell<HashMap<TaskId, LocalFuture>>,
-    next_task_id: Cell<u64>,
-    next_timer_seq: Cell<u64>,
-    ready: Arc<ReadyQueue>,
-    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    tasks: RefCell<TaskSlab>,
+    ready: Rc<ReadyQueue>,
+    /// Shared with `Sleep` futures directly (not via `Inner`) so a `Sleep`
+    /// held inside a task does not keep the whole simulation alive.
+    timers: Rc<RefCell<TimerWheel>>,
     rng: RefCell<SmallRng>,
     /// Poll counter — useful for diagnosing runaway simulations in tests.
     polls: Cell<u64>,
@@ -108,6 +422,9 @@ struct Inner {
 /// drive it with [`Sim::run`], [`Sim::run_until`], or [`Sim::block_on`].
 pub struct Sim {
     inner: Rc<Inner>,
+    /// Scratch buffer of wakers fired at one instant, reused across
+    /// [`Sim::advance_to_next_timer`] calls.
+    fired: Vec<(u64, Option<Waker>)>,
 }
 
 impl Sim {
@@ -117,16 +434,15 @@ impl Sim {
         Sim {
             inner: Rc::new(Inner {
                 now: Cell::new(SimTime::ZERO),
-                tasks: RefCell::new(HashMap::new()),
-                next_task_id: Cell::new(0),
-                next_timer_seq: Cell::new(0),
-                ready: Arc::new(ReadyQueue {
-                    queue: Mutex::new(VecDeque::new()),
+                tasks: RefCell::new(TaskSlab::new()),
+                ready: Rc::new(ReadyQueue {
+                    queue: RefCell::new(VecDeque::new()),
                 }),
-                timers: RefCell::new(BinaryHeap::new()),
+                timers: Rc::new(RefCell::new(TimerWheel::new())),
                 rng: RefCell::new(SmallRng::seed_from_u64(seed)),
                 polls: Cell::new(0),
             }),
+            fired: Vec::new(),
         }
     }
 
@@ -147,7 +463,7 @@ impl Sim {
     /// Number of tasks that have been spawned and not yet completed.
     #[must_use]
     pub fn live_tasks(&self) -> usize {
-        self.inner.tasks.borrow().len()
+        self.inner.tasks.borrow().live
     }
 
     /// Total number of future polls performed so far.
@@ -189,8 +505,8 @@ impl Sim {
     pub fn block_on<T: 'static>(&mut self, fut: impl Future<Output = T> + 'static) -> T {
         let handle = self.ctx().spawn(fut);
         loop {
-            while let Some(id) = self.inner.ready.pop() {
-                self.poll_task(id);
+            while let Some((idx, gen)) = self.inner.ready.pop() {
+                self.poll_task(idx, gen);
             }
             if let Some(v) = handle.try_take() {
                 return v;
@@ -204,8 +520,8 @@ impl Sim {
     fn run_inner(&mut self, deadline: Option<SimTime>) {
         loop {
             // Drain everything runnable at the current instant.
-            while let Some(id) = self.inner.ready.pop() {
-                self.poll_task(id);
+            while let Some((idx, gen)) = self.inner.ready.pop() {
+                self.poll_task(idx, gen);
             }
             if !self.advance_to_next_timer(deadline) {
                 break;
@@ -217,34 +533,26 @@ impl Sim {
     /// any) and fires every timer at that instant. Returns false if there
     /// was no eligible timer.
     fn advance_to_next_timer(&mut self, deadline: Option<SimTime>) -> bool {
-        let next_at = match self.inner.timers.borrow().peek() {
-            Some(Reverse(entry)) => entry.at,
-            None => return false,
-        };
-        if let Some(deadline) = deadline {
-            if next_at > deadline {
+        let now_tick = dur_ns(self.inner.now.get()) >> TICK_SHIFT;
+        {
+            let mut wheel = self.inner.timers.borrow_mut();
+            wheel.cascade(now_tick);
+            let Some((at_ns, _)) = wheel.min_deadline(now_tick) else {
                 return false;
-            }
-        }
-        debug_assert!(next_at >= self.inner.now.get(), "timer in the past");
-        self.inner.now.set(next_at);
-        // Fire every timer scheduled for this instant, in seq order.
-        loop {
-            let fire = {
-                let timers = self.inner.timers.borrow();
-                matches!(timers.peek(), Some(Reverse(e)) if e.at == next_at)
             };
-            if !fire {
-                break;
+            let next_at = SimTime::from_nanos(at_ns);
+            if let Some(deadline) = deadline {
+                if next_at > deadline {
+                    return false;
+                }
             }
-            let Reverse(entry) = self
-                .inner
-                .timers
-                .borrow_mut()
-                .pop()
-                .expect("peeked entry vanished");
-            entry.state.fired.set(true);
-            let waker = entry.state.waker.borrow_mut().take();
+            debug_assert!(next_at >= self.inner.now.get(), "timer in the past");
+            self.inner.now.set(next_at);
+            wheel.take_due(at_ns, now_tick, &mut self.fired);
+        }
+        // Wake outside the wheel borrow: a waker may be a task waker (ready
+        // push, harmless) but keeping borrows narrow is free insurance.
+        for (_, waker) in self.fired.drain(..) {
             if let Some(waker) = waker {
                 waker.wake();
             }
@@ -252,22 +560,27 @@ impl Sim {
         true
     }
 
-    fn poll_task(&self, id: TaskId) {
-        // Take the future out of the slab while polling so the task may
+    fn poll_task(&self, idx: u32, gen: u32) {
+        // Take the entry out of the slab while polling so the task may
         // re-borrow the slab (e.g. by spawning).
-        let Some(mut fut) = self.inner.tasks.borrow_mut().remove(&id) else {
-            return; // completed earlier; spurious wake
+        let mut entry = {
+            let mut tasks = self.inner.tasks.borrow_mut();
+            if tasks.gens.get(idx as usize) != Some(&gen) {
+                return; // completed earlier; spurious wake
+            }
+            match tasks.slots[idx as usize].take() {
+                Some(entry) => entry,
+                None => return,
+            }
         };
         self.inner.polls.set(self.inner.polls.get() + 1);
-        let waker = Waker::from(Arc::new(TaskWaker {
-            id,
-            ready: self.inner.ready.clone(),
-        }));
-        let mut cx = Context::from_waker(&waker);
-        match fut.as_mut().poll(&mut cx) {
-            Poll::Ready(()) => {}
+        let mut cx = Context::from_waker(&entry.waker);
+        match entry.fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.inner.tasks.borrow_mut().release(idx);
+            }
             Poll::Pending => {
-                self.inner.tasks.borrow_mut().insert(id, fut);
+                self.inner.tasks.borrow_mut().slots[idx as usize] = Some(entry);
             }
         }
     }
@@ -309,8 +622,6 @@ impl SimCtx {
     /// Spawns a task onto the simulation.
     pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
         let inner = self.inner();
-        let id = TaskId(inner.next_task_id.get());
-        inner.next_task_id.set(id.0 + 1);
         let state = Rc::new(JoinState {
             result: RefCell::new(None),
             waker: RefCell::new(None),
@@ -323,27 +634,39 @@ impl SimCtx {
                 w.wake();
             }
         });
-        inner.tasks.borrow_mut().insert(id, wrapped);
-        inner.ready.push(id);
+        let (idx, gen) = {
+            let mut tasks = inner.tasks.borrow_mut();
+            // Reserve the slot first so the waker can carry the right id.
+            let (idx, gen) = tasks.insert(TaskEntry {
+                fut: wrapped,
+                waker: Waker::noop().clone(),
+            });
+            let waker = make_waker(Rc::new(WakeData {
+                idx,
+                gen,
+                ready: inner.ready.clone(),
+            }));
+            tasks.slots[idx as usize].as_mut().expect("just inserted").waker = waker;
+            (idx, gen)
+        };
+        inner.ready.push(idx, gen);
         JoinHandle { state }
     }
 
     /// Sleeps for `d` of virtual time.
     pub fn sleep(&self, d: SimTime) -> Sleep {
         let inner = self.inner();
-        let state = Rc::new(TimerState {
-            fired: Cell::new(false),
-            waker: RefCell::new(None),
-        });
-        let seq = inner.next_timer_seq.get();
-        inner.next_timer_seq.set(seq + 1);
-        let at = inner.now.get() + d;
-        inner.timers.borrow_mut().push(Reverse(TimerEntry {
-            at,
-            seq,
-            state: state.clone(),
-        }));
-        Sleep { state }
+        let now = inner.now.get();
+        let at = now + d;
+        let (idx, gen) = inner
+            .timers
+            .borrow_mut()
+            .register(dur_ns(now), dur_ns(at));
+        Sleep {
+            wheel: inner.timers.clone(),
+            idx,
+            gen,
+        }
     }
 
     /// Sleeps until the absolute virtual instant `at` (no-op if in the past).
@@ -376,18 +699,29 @@ impl std::fmt::Debug for SimCtx {
 }
 
 /// Future returned by [`SimCtx::sleep`].
+///
+/// Holds (slot, generation) into the timer wheel's slab. Dropping a `Sleep`
+/// before its deadline does NOT cancel the registration: the clock still
+/// advances through the deadline and any stored waker still fires, exactly
+/// as with the previous heap-of-`Rc` implementation (golden runs depend on
+/// those spurious wakes).
 pub struct Sleep {
-    state: Rc<TimerState>,
+    wheel: Rc<RefCell<TimerWheel>>,
+    idx: u32,
+    gen: u32,
 }
 
 impl Future for Sleep {
     type Output = ();
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        if self.state.fired.get() {
+        let mut wheel = self.wheel.borrow_mut();
+        let slot = &mut wheel.slots[self.idx as usize];
+        if slot.gen != self.gen {
+            // The slot's generation advanced: this registration fired.
             Poll::Ready(())
         } else {
-            *self.state.waker.borrow_mut() = Some(cx.waker().clone());
+            slot.waker = Some(cx.waker().clone());
             Poll::Pending
         }
     }
@@ -634,5 +968,160 @@ mod tests {
                 assert_eq!(ctx.now(), before);
             }
         });
+    }
+
+    // -- Tests specific to the wheel/slab implementation ------------------
+
+    /// A coarse-level timer whose deadline falls just after a level
+    /// boundary must still fire before a nearer-by-registration level-0
+    /// timer with a later deadline (cross-level min comparison).
+    #[test]
+    fn cross_level_deadline_ordering() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        // Level-2 registration: 4100 ticks ahead of t=0.
+        let far = Duration::from_nanos(4100 << TICK_SHIFT);
+        {
+            let ctx2 = ctx.clone();
+            let order = order.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(far).await;
+                order.borrow_mut().push("far");
+            });
+        }
+        // A task that wakes at tick 4095 (just before the 64^2 window
+        // boundary) and then registers a level-0 timer for tick 4150 —
+        // later than `far` but at a finer level.
+        {
+            let ctx2 = ctx.clone();
+            let order = order.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(Duration::from_nanos(4095 << TICK_SHIFT)).await;
+                order.borrow_mut().push("wake");
+                ctx2.sleep(Duration::from_nanos(55 << TICK_SHIFT)).await;
+                order.borrow_mut().push("near");
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["wake", "far", "near"]);
+        assert_eq!(sim.now(), Duration::from_nanos(4150 << TICK_SHIFT));
+    }
+
+    /// Deadlines in the same 1024 ns tick fire in exact-instant order, and
+    /// the clock lands on each exact deadline, not the tick boundary.
+    #[test]
+    fn sub_tick_deadlines_fire_exactly() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let times = Rc::new(RefCell::new(Vec::new()));
+        for ns in [900u64, 300, 600] {
+            let ctx2 = ctx.clone();
+            let times = times.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(Duration::from_nanos(ns)).await;
+                times.borrow_mut().push(ctx2.now());
+            });
+        }
+        sim.run();
+        let want: Vec<SimTime> = [300u64, 600, 900]
+            .iter()
+            .map(|&ns| Duration::from_nanos(ns))
+            .collect();
+        assert_eq!(*times.borrow(), want);
+    }
+
+    /// Deadlines beyond the wheel horizon (~19.5 h) take the overflow-heap
+    /// path and still fire in global order.
+    #[test]
+    fn far_future_timers_use_overflow_heap() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (name, d) in [
+            ("2d", Duration::from_secs(48 * 3600)),
+            ("1ms", Duration::from_millis(1)),
+            ("30h", Duration::from_secs(30 * 3600)),
+        ] {
+            let ctx2 = ctx.clone();
+            let order = order.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(d).await;
+                order.borrow_mut().push(name);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["1ms", "30h", "2d"]);
+        assert_eq!(sim.now(), Duration::from_secs(48 * 3600));
+    }
+
+    /// A dropped `Sleep` does not cancel its registration: the clock still
+    /// advances through the deadline (pre-rewrite behavior, pinned by the
+    /// golden metrics snapshots).
+    #[test]
+    fn dropped_sleep_still_advances_clock() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let s = ctx.sleep(Duration::from_millis(5));
+        drop(s);
+        sim.run();
+        assert_eq!(sim.now(), Duration::from_millis(5));
+    }
+
+    /// Task and timer slots are reused; generation counters keep stale
+    /// wakes and stale `Sleep` handles from touching the new occupants.
+    #[test]
+    fn slot_reuse_is_isolated() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        // Burn through many short-lived tasks and timers so slots recycle.
+        for round in 0..50u64 {
+            let ctx2 = ctx.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(Duration::from_micros(round)).await;
+            });
+        }
+        sim.run();
+        assert_eq!(sim.live_tasks(), 0);
+        // Slab sizes stay bounded by peak concurrency, not total spawns.
+        assert!(sim.inner.tasks.borrow().slots.len() <= 51);
+        assert!(sim.inner.timers.borrow().slots.len() <= 51);
+        let more = sim.block_on({
+            let ctx = ctx.clone();
+            async move {
+                ctx.sleep(Duration::from_millis(1)).await;
+                "reused"
+            }
+        });
+        assert_eq!(more, "reused");
+    }
+
+    /// run_until across a window boundary keeps firing order intact when
+    /// timers registered before and after the jump interleave.
+    #[test]
+    fn run_until_then_new_timers_order() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        {
+            let ctx2 = ctx.clone();
+            let order = order.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(Duration::from_millis(80)).await;
+                order.borrow_mut().push("pre");
+            });
+        }
+        sim.run_until(Duration::from_millis(50));
+        {
+            let ctx2 = ctx.clone();
+            let order = order.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(Duration::from_millis(10)).await; // fires at 60ms
+                order.borrow_mut().push("post");
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["post", "pre"]);
+        assert_eq!(sim.now(), Duration::from_millis(80));
     }
 }

@@ -129,7 +129,7 @@ impl Workload for Movie {
                 if list.len() > 16 {
                     list.remove(0);
                 }
-                env.write(&key, Value::List(list)).await?;
+                env.write(&key, Value::list(list)).await?;
                 Ok(Value::Null)
             })
         });
@@ -143,7 +143,7 @@ impl Workload for Movie {
                 if list.len() > 16 {
                     list.remove(0);
                 }
-                env.write(&key, Value::List(list)).await?;
+                env.write(&key, Value::list(list)).await?;
                 Ok(Value::Null)
             })
         });
@@ -181,7 +181,7 @@ impl Workload for Movie {
                         reviews.push(env.read(&Key::new(format!("review:{id}"))).await?);
                     }
                 }
-                Ok(Value::List(reviews))
+                Ok(Value::list(reviews))
             })
         });
         // Entry: a movie page = info + rating + reviews.
@@ -191,7 +191,7 @@ impl Workload for Movie {
                 let movie = input.get("movie").and_then(Value::as_int).unwrap_or(0);
                 let rating = env.read(&Key::new(format!("movie:{movie}:rating"))).await?;
                 let reviews = env.invoke("movie.read_reviews", input).await?;
-                Ok(Value::List(vec![info, rating, reviews]))
+                Ok(Value::list(vec![info, rating, reviews]))
             })
         });
         // Entry: login check.
@@ -225,7 +225,7 @@ impl Workload for Movie {
             );
             client.populate(
                 Key::new(format!("movie:{m}:reviews")),
-                Value::List(Vec::new()),
+                Value::list(Vec::new()),
             );
         }
         for u in 0..self.users {
@@ -235,7 +235,7 @@ impl Workload for Movie {
             );
             client.populate(
                 Key::new(format!("muser:{u}:reviews")),
-                Value::List(Vec::new()),
+                Value::list(Vec::new()),
             );
         }
     }

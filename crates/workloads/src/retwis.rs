@@ -68,7 +68,7 @@ impl Workload for Retwis {
                 if posts.len() > cap {
                     posts.remove(0);
                 }
-                env.write(&posts_key, Value::List(posts)).await?;
+                env.write(&posts_key, Value::list(posts)).await?;
                 // Push onto the public timeline.
                 let tl_key = Key::new("timeline:public");
                 let mut tl = env.read(&tl_key).await?.as_list().unwrap_or(&[]).to_vec();
@@ -76,7 +76,7 @@ impl Workload for Retwis {
                 if tl.len() > cap {
                     tl.remove(0);
                 }
-                env.write(&tl_key, Value::List(tl)).await?;
+                env.write(&tl_key, Value::list(tl)).await?;
                 Ok(Value::Int(tweet_id))
             })
         });
@@ -90,7 +90,7 @@ impl Workload for Retwis {
                     }
                 }
                 env.compute().await;
-                Ok(Value::List(tweets))
+                Ok(Value::list(tweets))
             })
         });
         runtime.register("retwis.follow", |env, input| {
@@ -105,7 +105,7 @@ impl Workload for Retwis {
                         following.remove(0);
                     }
                 }
-                env.write(&fkey, Value::List(following)).await?;
+                env.write(&fkey, Value::list(following)).await?;
                 let gkey = Key::new(format!("ruser:{followee}:followers"));
                 let mut followers = env.read(&gkey).await?.as_list().unwrap_or(&[]).to_vec();
                 if !followers.contains(&Value::Int(follower)) {
@@ -114,7 +114,7 @@ impl Workload for Retwis {
                         followers.remove(0);
                     }
                 }
-                env.write(&gkey, Value::List(followers)).await?;
+                env.write(&gkey, Value::list(followers)).await?;
                 Ok(Value::Null)
             })
         });
@@ -129,7 +129,7 @@ impl Workload for Retwis {
                         bodies.push(env.read(&Key::new(format!("tweet:{id}"))).await?);
                     }
                 }
-                Ok(Value::List(vec![profile, Value::List(bodies)]))
+                Ok(Value::list(vec![profile, Value::list(bodies)]))
             })
         });
     }
@@ -142,18 +142,18 @@ impl Workload for Retwis {
             );
             client.populate(
                 Key::new(format!("ruser:{u}:posts")),
-                Value::List(Vec::new()),
+                Value::list(Vec::new()),
             );
             client.populate(
                 Key::new(format!("ruser:{u}:following")),
-                Value::List(Vec::new()),
+                Value::list(Vec::new()),
             );
             client.populate(
                 Key::new(format!("ruser:{u}:followers")),
-                Value::List(Vec::new()),
+                Value::list(Vec::new()),
             );
         }
-        client.populate(Key::new("timeline:public"), Value::List(Vec::new()));
+        client.populate(Key::new("timeline:public"), Value::list(Vec::new()));
     }
 
     fn factory(&self) -> RequestFactory {

@@ -128,13 +128,9 @@ impl Workload for SyntheticOps {
         let value_bytes = self.value_bytes;
         runtime.register("synthetic.ops", move |env, input| {
             Box::pin(async move {
-                let ops = input
-                    .get("ops")
-                    .and_then(Value::as_list)
-                    .unwrap_or(&[])
-                    .to_vec();
+                let ops = input.get("ops").and_then(Value::as_list).unwrap_or(&[]);
                 let mut acc = 0i64;
-                for op in &ops {
+                for op in ops {
                     let obj = op.get("obj").and_then(Value::as_int).unwrap_or(0);
                     let is_read = op
                         .get("read")
@@ -180,7 +176,7 @@ impl Workload for SyntheticOps {
                 .collect();
             (
                 "synthetic.ops".to_string(),
-                Value::map([("ops", Value::List(ops))]),
+                Value::map([("ops", Value::list(ops))]),
             )
         })
     }

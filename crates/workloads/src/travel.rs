@@ -74,7 +74,7 @@ impl Workload for Travel {
                     }
                 }
                 env.compute().await;
-                Ok(Value::List(rates))
+                Ok(Value::list(rates))
             })
         });
         // Leaf: hotel profiles.
@@ -86,7 +86,7 @@ impl Workload for Travel {
                         profiles.push(env.read(&hotel_key("profile", h)).await?);
                     }
                 }
-                Ok(Value::List(profiles))
+                Ok(Value::list(profiles))
             })
         });
         // Entry: search = geo → rate → profile.
@@ -96,7 +96,7 @@ impl Workload for Travel {
                 let hotels = Value::map([("hotels", candidates)]);
                 let rates = env.invoke("travel.rate", hotels.clone()).await?;
                 let profiles = env.invoke("travel.profile", hotels).await?;
-                Ok(Value::List(vec![rates, profiles]))
+                Ok(Value::list(vec![rates, profiles]))
             })
         });
         // Entry: recommendations by rating.
@@ -197,7 +197,7 @@ impl Workload for Travel {
                 .filter(|h| *h < i64::from(self.hotels))
                 .map(Value::Int)
                 .collect();
-            client.populate(Key::new(format!("geo:{cell}")), Value::List(members));
+            client.populate(Key::new(format!("geo:{cell}")), Value::list(members));
         }
         for u in 0..self.users {
             client.populate(

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a bench smoke run.
+#
+# Tier-1 (ROADMAP.md): release build + quiet test suite.
+# Bench smoke: runs bench_sim_core at HM_BENCH_SCALE=0.05 (~1 s budget) and
+# asserts it completes and writes parseable JSON with the expected fields.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== bench smoke: bench_sim_core @ HM_BENCH_SCALE=0.05 =="
+out="$(mktemp -t bench_smoke.XXXXXX.json)"
+trap 'rm -f "$out"' EXIT
+HM_BENCH_SCALE=0.05 HM_BENCH_OUT="$out" \
+    cargo run --release -q -p hm-bench --bin bench_sim_core >/dev/null
+
+python3 - "$out" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["bench"] == "sim_core", d
+assert isinstance(d["total_wall_ms"], float) and d["total_wall_ms"] > 0.0, d
+assert len(d["work_fingerprint"]) == 16, d
+int(d["work_fingerprint"], 16)
+assert len(d["components"]) == 7, [c["name"] for c in d["components"]]
+for c in d["components"]:
+    assert c["wall_ms"] >= 0.0 and len(c["fingerprint"]) == 16, c
+print(f"bench smoke ok: {d['total_wall_ms']:.1f} ms, "
+      f"fingerprint {d['work_fingerprint']}")
+EOF
+
+echo "== verify OK =="

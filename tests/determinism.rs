@@ -7,13 +7,19 @@ use std::time::Duration;
 
 use halfmoon::{Client, FaultPolicy, ProtocolConfig, ProtocolKind};
 use hm_common::latency::LatencyModel;
+use hm_common::metrics::OpCounters;
 use hm_runtime::{Gateway, GcDriver, LoadSpec, Runtime, RuntimeConfig};
 use hm_sim::Sim;
 use hm_workloads::synthetic::SyntheticOps;
 use hm_workloads::travel::Travel;
 use hm_workloads::Workload;
 
-fn run_fingerprint(seed: u64, workload: &dyn Workload, kind: ProtocolKind) -> (u64, u64, String) {
+/// Everything a run can disagree on: completion count, the *full*
+/// [`OpCounters`] of both the shared log and the backing store (every
+/// counter field, not a summary), and a latency/bytes digest.
+type RunFingerprint = (u64, OpCounters, OpCounters, String);
+
+fn run_fingerprint(seed: u64, workload: &dyn Workload, kind: ProtocolKind) -> RunFingerprint {
     let mut sim = Sim::new(seed);
     let client = Client::new(
         sim.ctx(),
@@ -36,7 +42,8 @@ fn run_fingerprint(seed: u64, workload: &dyn Workload, kind: ProtocolKind) -> (u
     gc.stop();
     (
         report.completed,
-        client.log().counters().log_appends,
+        client.log().counters(),
+        client.store().counters(),
         format!(
             "{:?}/{:?}/{}/{}",
             report.latency.median_ms(),
@@ -72,7 +79,7 @@ fn different_seeds_different_runs() {
     };
     let a = run_fingerprint(1, &workload, ProtocolKind::HalfmoonRead);
     let b = run_fingerprint(2, &workload, ProtocolKind::HalfmoonRead);
-    assert_ne!(a.2, b.2, "different seeds should visibly diverge");
+    assert_ne!(a.3, b.3, "different seeds should visibly diverge");
 }
 
 #[test]
@@ -84,6 +91,44 @@ fn workflow_heavy_runs_are_deterministic() {
     let a = run_fingerprint(777, &workload, ProtocolKind::HalfmoonRead);
     let b = run_fingerprint(777, &workload, ProtocolKind::HalfmoonRead);
     assert_eq!(a, b);
+}
+
+/// Simultaneous timers fire in registration order — the tie-break the timer
+/// wheel must preserve so that event *orderings*, not just aggregate
+/// metrics, are reproducible. Covers deadlines that land in the near heap,
+/// in a wheel level, and in the far-future overflow heap (which cascades
+/// back into the wheel before firing).
+#[test]
+fn simultaneous_timers_fire_in_registration_order() {
+    fn trace(deadline: Duration) -> Vec<u32> {
+        let mut sim = Sim::new(42);
+        let ctx = sim.ctx();
+        let order = Rc::new(std::cell::RefCell::new(Vec::new()));
+        for i in 0..64u32 {
+            let ctx2 = ctx.clone();
+            let order = order.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(deadline).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        let out = order.borrow().clone();
+        out
+    }
+    for d in [
+        Duration::from_micros(5),
+        Duration::from_millis(3),
+        Duration::from_secs(300),
+    ] {
+        let a = trace(d);
+        assert_eq!(
+            a,
+            (0..64).collect::<Vec<_>>(),
+            "same-instant timers must fire in registration order at {d:?}"
+        );
+        assert_eq!(a, trace(d), "two runs must produce the same ordering at {d:?}");
+    }
 }
 
 /// The simulator's virtual time is decoupled from wall time: a simulated
