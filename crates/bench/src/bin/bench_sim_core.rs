@@ -17,13 +17,20 @@
 //! - `HM_BENCH_SCALE` (default 1.0): multiplies workload durations; use a
 //!   small value (e.g. 0.05) for a smoke run.
 //! - `HM_BENCH_OUT` (default `BENCH_sim_core.json`): output path.
+//! - `--trace-out <path>`: re-run the synthetic Halfmoon-read workload with
+//!   causal tracing attached, assert its work fingerprint matches the
+//!   untraced run (tracing must not perturb the simulation), report the
+//!   traced wall time as an extra component, and write the Chrome
+//!   `trace_event` JSON to `<path>` (load it at `ui.perfetto.dev`).
 
 use std::fmt::Write as _;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use halfmoon::ProtocolKind;
-use hm_bench::{run_app, AppRun};
+use hm_bench::{run_app, run_app_traced, AppRun};
 use hm_common::ids::TagKind;
+use hm_common::trace::Tracer;
 use hm_common::latency::LatencyModel;
 use hm_common::{NodeId, Tag};
 use hm_runtime::RuntimeConfig;
@@ -224,6 +231,16 @@ fn sharedlog_ops(scale: f64) -> Component {
 
 /// Full-stack application run (the paper's synthetic mixed workload).
 fn app(name: &'static str, kind: ProtocolKind, scale: f64, travel: bool) -> Component {
+    app_inner(name, kind, scale, travel, None)
+}
+
+fn app_inner(
+    name: &'static str,
+    kind: ProtocolKind,
+    scale: f64,
+    travel: bool,
+    tracer: Option<Rc<Tracer>>,
+) -> Component {
     let start = Instant::now();
     let params = AppRun {
         seed: 0xA11,
@@ -234,16 +251,15 @@ fn app(name: &'static str, kind: ProtocolKind, scale: f64, travel: bool) -> Comp
         rt_config: RuntimeConfig::default(),
         gc_interval: Some(Duration::from_secs(1)),
     };
-    let out = if travel {
-        run_app(&Travel { hotels: 40, users: 60 }, &params)
-    } else {
-        run_app(
-            &SyntheticOps {
-                objects: 1_000,
-                ..SyntheticOps::default()
-            },
-            &params,
-        )
+    let synthetic = SyntheticOps {
+        objects: 1_000,
+        ..SyntheticOps::default()
+    };
+    let travel_wl = Travel { hotels: 40, users: 60 };
+    let workload: &dyn hm_workloads::Workload = if travel { &travel_wl } else { &synthetic };
+    let out = match tracer {
+        Some(tracer) => run_app_traced(workload, &params, tracer),
+        None => run_app(workload, &params),
     };
     let mut fp = mix(0, out.report.completed);
     fp = mix(fp, out.report.generated);
@@ -272,8 +288,18 @@ fn main() {
     let scale = hm_bench::scale();
     let out_path =
         std::env::var("HM_BENCH_OUT").unwrap_or_else(|_| "BENCH_sim_core.json".to_string());
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => {
+                trace_out = Some(args.next().expect("--trace-out requires a path"));
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
 
-    let components = vec![
+    let mut components = vec![
         executor_churn(scale),
         executor_timer_stress(scale),
         sharedlog_ops(scale),
@@ -282,6 +308,36 @@ fn main() {
         app("synthetic_halfmoon_write", ProtocolKind::HalfmoonWrite, scale, false),
         app("travel_halfmoon_read", ProtocolKind::HalfmoonRead, scale, true),
     ];
+
+    if let Some(path) = &trace_out {
+        // Same seed and parameters as the untraced synthetic Halfmoon-read
+        // component; the tracer must not perturb the simulated work, so the
+        // fingerprints must agree exactly. The wall-time delta between the
+        // two components is the tracing overhead.
+        let tracer = Tracer::new();
+        let traced = app_inner(
+            "synthetic_halfmoon_read_traced",
+            ProtocolKind::HalfmoonRead,
+            scale,
+            false,
+            Some(tracer.clone()),
+        );
+        let untraced = components
+            .iter()
+            .find(|c| c.name == "synthetic_halfmoon_read")
+            .expect("untraced twin component");
+        assert_eq!(
+            traced.fingerprint, untraced.fingerprint,
+            "tracing perturbed the simulation: traced and untraced runs diverged"
+        );
+        std::fs::write(path, tracer.export_chrome_json()).expect("write trace output");
+        eprintln!(
+            "wrote {path} ({} events recorded, {} dropped)",
+            tracer.events_recorded(),
+            tracer.events_dropped()
+        );
+        components.push(traced);
+    }
 
     let total: Duration = components.iter().map(|c| c.wall).sum();
     let mut fp = 0u64;

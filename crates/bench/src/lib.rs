@@ -96,7 +96,31 @@ pub struct AppRunOutput {
 /// Runs one workload experiment end to end.
 #[must_use]
 pub fn run_app(workload: &dyn Workload, params: &AppRun) -> AppRunOutput {
+    run_app_inner(workload, params, None)
+}
+
+/// [`run_app`] with causal tracing: the caller's tracer is attached to the
+/// deployment before any load runs, so every request in the run exports
+/// spans. The tracer draws no randomness and adds no virtual-time work, so
+/// a traced run's results are identical to the untraced run per seed.
+#[must_use]
+pub fn run_app_traced(
+    workload: &dyn Workload,
+    params: &AppRun,
+    tracer: Rc<hm_common::trace::Tracer>,
+) -> AppRunOutput {
+    run_app_inner(workload, params, Some(tracer))
+}
+
+fn run_app_inner(
+    workload: &dyn Workload,
+    params: &AppRun,
+    tracer: Option<Rc<hm_common::trace::Tracer>>,
+) -> AppRunOutput {
     let mut env = build_env(params.seed, params.kind, params.rt_config);
+    if let Some(tracer) = tracer {
+        env.client.set_tracer(tracer);
+    }
     workload.populate(&env.client);
     workload.register(&env.runtime);
     let gc = params

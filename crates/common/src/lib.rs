@@ -15,6 +15,7 @@ pub mod error;
 pub mod ids;
 pub mod latency;
 pub mod metrics;
+pub mod trace;
 pub mod value;
 
 pub use collections::{FxHashMap, FxHashSet, LruSet, TagSet};

@@ -86,6 +86,16 @@ impl Histogram {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
+        // The extreme quantiles are tracked exactly: return the raw min/max
+        // observation rather than a bucket midpoint (a midpoint can sit on
+        // either side of the true extreme, which would break the invariant
+        // `quantile_ms(0.0) ≤ mean ≤ quantile_ms(1.0)`).
+        if q <= 0.0 {
+            return Some(self.min_ns as f64 / 1e6);
+        }
+        if q >= 1.0 {
+            return Some(self.max_ns as f64 / 1e6);
+        }
         // Rank of the target observation (1-based ceil, like numpy 'lower').
         let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
@@ -130,6 +140,16 @@ impl Histogram {
         }
     }
 
+    /// Smallest recorded latency in milliseconds.
+    #[must_use]
+    pub fn min_ms(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min_ns as f64 / 1e6)
+        }
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -152,8 +172,9 @@ impl std::fmt::Debug for Histogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "Histogram(n={}, p50={:?}ms, p99={:?}ms)",
+            "Histogram(n={}, min={:?}ms, p50={:?}ms, p99={:?}ms)",
             self.count,
+            self.min_ms(),
             self.median_ms(),
             self.p99_ms()
         )
@@ -265,19 +286,25 @@ impl OpCounters {
     }
 
     /// Element-wise difference `self - earlier`, for windowed measurement.
+    ///
+    /// Saturating: a mis-ordered window (an `earlier` snapshot taken after
+    /// `self`) yields zeros for the affected fields rather than panicking
+    /// in debug builds or wrapping in release builds.
     #[must_use]
     pub fn since(&self, earlier: &OpCounters) -> OpCounters {
         OpCounters {
-            log_appends: self.log_appends - earlier.log_appends,
-            cond_append_conflicts: self.cond_append_conflicts - earlier.cond_append_conflicts,
-            log_reads: self.log_reads - earlier.log_reads,
-            log_trims: self.log_trims - earlier.log_trims,
-            db_reads: self.db_reads - earlier.db_reads,
-            db_writes: self.db_writes - earlier.db_writes,
-            db_cond_writes: self.db_cond_writes - earlier.db_cond_writes,
-            db_deletes: self.db_deletes - earlier.db_deletes,
-            cache_hits: self.cache_hits - earlier.cache_hits,
-            cache_misses: self.cache_misses - earlier.cache_misses,
+            log_appends: self.log_appends.saturating_sub(earlier.log_appends),
+            cond_append_conflicts: self
+                .cond_append_conflicts
+                .saturating_sub(earlier.cond_append_conflicts),
+            log_reads: self.log_reads.saturating_sub(earlier.log_reads),
+            log_trims: self.log_trims.saturating_sub(earlier.log_trims),
+            db_reads: self.db_reads.saturating_sub(earlier.db_reads),
+            db_writes: self.db_writes.saturating_sub(earlier.db_writes),
+            db_cond_writes: self.db_cond_writes.saturating_sub(earlier.db_cond_writes),
+            db_deletes: self.db_deletes.saturating_sub(earlier.db_deletes),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
         }
     }
 }
@@ -334,6 +361,47 @@ mod tests {
         h.record(Duration::from_secs(3600)); // clamps into last octave
         assert_eq!(h.count(), 2);
         assert!(h.quantile_ms(0.0).unwrap() <= 0.002);
+    }
+
+    #[test]
+    fn histogram_min_accessor_and_debug() {
+        let mut h = Histogram::new();
+        assert!(h.min_ms().is_none());
+        h.record(Duration::from_millis(3));
+        h.record(Duration::from_millis(7));
+        assert!((h.min_ms().unwrap() - 3.0).abs() < 1e-9);
+        assert!((h.max_ms().unwrap() - 7.0).abs() < 1e-9);
+        let dbg = format!("{h:?}");
+        assert!(dbg.contains("min="), "{dbg}");
+    }
+
+    #[test]
+    fn histogram_extreme_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_micros(123));
+        h.record(Duration::from_millis(45));
+        // q=0 / q=1 return the raw extremes, not bucket midpoints.
+        assert!((h.quantile_ms(0.0).unwrap() - 0.123).abs() < 1e-12);
+        assert!((h.quantile_ms(1.0).unwrap() - 45.0).abs() < 1e-12);
+        assert_eq!(h.quantile_ms(0.0), h.min_ms());
+        assert_eq!(h.quantile_ms(1.0), h.max_ms());
+    }
+
+    #[test]
+    fn counters_since_saturates_on_misordered_window() {
+        let newer = OpCounters {
+            log_appends: 5,
+            db_reads: 100,
+            ..OpCounters::default()
+        };
+        let older = OpCounters {
+            log_appends: 10, // "earlier" snapshot actually taken later
+            db_reads: 40,
+            ..OpCounters::default()
+        };
+        let d = newer.since(&older);
+        assert_eq!(d.log_appends, 0, "mis-ordered field saturates to zero");
+        assert_eq!(d.db_reads, 60, "well-ordered fields still subtract");
     }
 
     #[test]

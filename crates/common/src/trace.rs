@@ -1,0 +1,1044 @@
+//! Deterministic causal tracing and a metrics registry.
+//!
+//! The simulator's experiments (DESIGN.md §11) reason about *why* each
+//! protocol wins: which log/store round-trips sit on the critical path of
+//! an invocation, where queueing accumulates, what the GC trims. End-of-run
+//! aggregates cannot answer those questions, so this module provides a
+//! structured, causally-ordered event log:
+//!
+//! - A [`Tracer`] collects [`TraceEvent`]s into bounded per-lane ring
+//!   buffers. Every event is stamped with *virtual* time and a global
+//!   sequence number, so a seeded simulation produces a byte-identical
+//!   trace on every run.
+//! - Spans form a tree: the gateway opens a `request` span per stamped
+//!   [`TraceId`], the runtime an `invocation` span, the environment an
+//!   `attempt` span per crash-retry attempt, each SSF op (`read`, `write`,
+//!   `invoke`, …) a child span, and the substrate (shared log, KV store)
+//!   leaf spans for each round-trip.
+//! - Two exporters: Chrome `trace_event` JSON ([`Tracer::export_chrome_json`],
+//!   loadable in Perfetto / `chrome://tracing`, one lane per function node
+//!   plus sequencer, storage, gateway, and GC lanes) and a compact JSONL
+//!   stream ([`Tracer::export_jsonl`]).
+//! - [`Tracer::critical_path`] answers the paper's op-count claims per
+//!   invocation: for each op span of a trace, how many log appends / log
+//!   reads / store round-trips its subtree contains.
+//! - [`MetricsRegistry`] lets components register named counters, gauges,
+//!   and histograms and snapshot them as a time series at a configurable
+//!   virtual-time interval.
+//!
+//! # Determinism contract
+//!
+//! The tracer draws no randomness, spawns no tasks, and sleeps never: it is
+//! pure bookkeeping on the caller's stack, so enabling tracing cannot
+//! perturb a simulation's interleaving. All timestamps come from the
+//! virtual clock (plain [`Duration`]s passed by the caller — this module
+//! has no simulator dependency).
+//!
+//! # Attribution contract
+//!
+//! Substrate calls attribute their spans through a context cell
+//! ([`Tracer::set_context`]) holding the currently executing
+//! `(trace, span)`. On the single-threaded executor this is race-free as
+//! long as every traced substrate call *immediately* follows the context
+//! set with no `await` in between: the callee captures the context at
+//! entry, synchronously within the same task poll.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt;
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::time::Duration;
+
+use crate::collections::FxHashMap;
+use crate::metrics::Histogram;
+
+/// Identifies one end-to-end request through the system. `TraceId(0)` is
+/// reserved for unattributed (background) work such as GC cycles.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The unattributed trace: background work not tied to any request.
+    pub const NONE: TraceId = TraceId(0);
+}
+
+impl fmt::Debug for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tr{}", self.0)
+    }
+}
+
+/// Identifies one span (a named interval) within the tracer. `SpanId(0)`
+/// means "no parent".
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The absent parent: roots of the span tree carry this.
+    pub const NONE: SpanId = SpanId(0);
+}
+
+impl fmt::Debug for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sp{}", self.0)
+    }
+}
+
+/// The swim-lane an event renders in: one per function node, plus shared
+/// lanes for the sequencer, the storage tier, the gateway, and the GC.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Lane {
+    /// A function node's lane (`NodeId.0`).
+    Node(u32),
+    /// The shared log's sequencer (ordering decisions land here).
+    Sequencer,
+    /// The storage tier (log storage + KV store round-trips).
+    Storage,
+    /// The gateway (request arrival/completion).
+    Gateway,
+    /// The garbage collector.
+    Gc,
+}
+
+/// Chrome-trace `tid` values for the shared lanes; node lanes use their
+/// node id directly and must stay below [`SEQUENCER_TID`].
+const SEQUENCER_TID: u32 = 1024;
+const STORAGE_TID: u32 = 1025;
+const GATEWAY_TID: u32 = 1026;
+const GC_TID: u32 = 1027;
+
+impl Lane {
+    /// Stable integer id used as the Chrome-trace `tid` and ring-buffer key.
+    #[must_use]
+    pub fn tid(self) -> u32 {
+        match self {
+            Lane::Node(n) => {
+                debug_assert!(n < SEQUENCER_TID, "node id collides with shared lanes");
+                n
+            }
+            Lane::Sequencer => SEQUENCER_TID,
+            Lane::Storage => STORAGE_TID,
+            Lane::Gateway => GATEWAY_TID,
+            Lane::Gc => GC_TID,
+        }
+    }
+
+    /// Human-readable lane name for the exporters.
+    #[must_use]
+    pub fn label(tid: u32) -> String {
+        match tid {
+            SEQUENCER_TID => "sequencer".to_string(),
+            STORAGE_TID => "storage".to_string(),
+            GATEWAY_TID => "gateway".to_string(),
+            GC_TID => "gc".to_string(),
+            n => format!("node{n}"),
+        }
+    }
+}
+
+/// Event phase, mirroring the Chrome trace_event vocabulary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Span start.
+    Begin,
+    /// Span end.
+    End,
+    /// A zero-duration marker (cache hit, sequencer decision, crash).
+    Instant,
+}
+
+impl Phase {
+    fn code(self) -> char {
+        match self {
+            Phase::Begin => 'B',
+            Phase::End => 'E',
+            Phase::Instant => 'I',
+        }
+    }
+}
+
+/// One recorded event. `seq` is a global, gap-free-at-recording counter
+/// that totally orders events across lanes (ring overflow may later drop
+/// the oldest events of a lane).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Global sequence number: the deterministic total order.
+    pub seq: u64,
+    /// Virtual time of the event.
+    pub at: Duration,
+    /// Lane (ring buffer) the event was recorded on.
+    pub lane: u32,
+    /// Owning trace; [`TraceId::NONE`] for background work.
+    pub trace: TraceId,
+    /// The span this event begins/ends, or the instant's own id (0).
+    pub span: SpanId,
+    /// Parent span at recording time.
+    pub parent: SpanId,
+    /// Begin / End / Instant.
+    pub phase: Phase,
+    /// Static event name (span or marker kind).
+    pub name: &'static str,
+    /// Free-form annotation (seqnum, conflict winner, bytes freed, …).
+    pub detail: String,
+}
+
+/// A bounded per-lane ring: oldest events drop first, with a drop count so
+/// exports can say what is missing.
+struct LaneRing {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+struct TracerInner {
+    capacity_per_lane: usize,
+    next_trace: u64,
+    next_span: u64,
+    next_seq: u64,
+    lanes: FxHashMap<u32, LaneRing>,
+    /// instance id → (trace, parent span); how identity crosses the
+    /// gateway → runtime → environment boundary.
+    bindings: FxHashMap<u128, (TraceId, SpanId)>,
+}
+
+/// The trace collector. Create with [`Tracer::new`], share via `Rc`, and
+/// install into a `Client` (which threads it through the shared log and the
+/// KV store). All methods take `&self`; interior mutability keeps call
+/// sites free of borrow gymnastics.
+pub struct Tracer {
+    inner: RefCell<TracerInner>,
+    /// Currently executing `(trace, span)` for substrate attribution.
+    context: Cell<(TraceId, SpanId)>,
+}
+
+/// Default per-lane ring capacity (events). At the calibrated latencies a
+/// traced invocation emits ~20 events, so 64 Ki events per lane hold
+/// thousands of invocations before the oldest drop.
+pub const DEFAULT_RING_CAPACITY: usize = 64 * 1024;
+
+impl Tracer {
+    /// A tracer with the default per-lane ring capacity.
+    #[must_use]
+    pub fn new() -> Rc<Tracer> {
+        Tracer::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A tracer whose per-lane rings hold at most `capacity_per_lane`
+    /// events (minimum 8; oldest events drop beyond that).
+    #[must_use]
+    pub fn with_capacity(capacity_per_lane: usize) -> Rc<Tracer> {
+        Rc::new(Tracer {
+            inner: RefCell::new(TracerInner {
+                capacity_per_lane: capacity_per_lane.max(8),
+                next_trace: 1,
+                next_span: 1,
+                next_seq: 0,
+                lanes: FxHashMap::default(),
+                bindings: FxHashMap::default(),
+            }),
+            context: Cell::new((TraceId::NONE, SpanId::NONE)),
+        })
+    }
+
+    /// Allocates a fresh trace id (the gateway calls this per request).
+    pub fn new_trace(&self) -> TraceId {
+        let mut inner = self.inner.borrow_mut();
+        let id = TraceId(inner.next_trace);
+        inner.next_trace += 1;
+        id
+    }
+
+    /// Associates an instance id with a `(trace, parent span)` so the
+    /// environment constructed for that instance can attach its attempt
+    /// spans to the right place in the tree.
+    pub fn bind(&self, instance: u128, trace: TraceId, parent: SpanId) {
+        self.inner.borrow_mut().bindings.insert(instance, (trace, parent));
+    }
+
+    /// Looks up the binding installed by [`Tracer::bind`].
+    #[must_use]
+    pub fn binding(&self, instance: u128) -> Option<(TraceId, SpanId)> {
+        self.inner.borrow().bindings.get(&instance).copied()
+    }
+
+    /// Sets the substrate-attribution context. Must immediately precede the
+    /// substrate call it attributes (no `await` in between).
+    pub fn set_context(&self, trace: TraceId, span: SpanId) {
+        self.context.set((trace, span));
+    }
+
+    /// Clears the attribution context (background tasks call this first).
+    pub fn clear_context(&self) {
+        self.context.set((TraceId::NONE, SpanId::NONE));
+    }
+
+    /// The current attribution context.
+    #[must_use]
+    pub fn context(&self) -> (TraceId, SpanId) {
+        self.context.get()
+    }
+
+    fn push(&self, lane: Lane, event_of: impl FnOnce(u64) -> TraceEvent) {
+        let mut inner = self.inner.borrow_mut();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let cap = inner.capacity_per_lane;
+        let ring = inner.lanes.entry(lane.tid()).or_insert_with(|| LaneRing {
+            events: VecDeque::new(),
+            dropped: 0,
+        });
+        if ring.events.len() >= cap {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event_of(seq));
+    }
+
+    /// Opens a span and returns its id. `detail` annotates the Begin event.
+    pub fn span_begin(
+        &self,
+        lane: Lane,
+        now: Duration,
+        trace: TraceId,
+        parent: SpanId,
+        name: &'static str,
+        detail: String,
+    ) -> SpanId {
+        let span = {
+            let mut inner = self.inner.borrow_mut();
+            let id = SpanId(inner.next_span);
+            inner.next_span += 1;
+            id
+        };
+        self.push(lane, |seq| TraceEvent {
+            seq,
+            at: now,
+            lane: lane.tid(),
+            trace,
+            span,
+            parent,
+            phase: Phase::Begin,
+            name,
+            detail,
+        });
+        span
+    }
+
+    /// Closes a span opened by [`Tracer::span_begin`]. The End must be
+    /// recorded on the same lane as the Begin for the exporters to pair
+    /// them.
+    pub fn span_end(&self, lane: Lane, now: Duration, trace: TraceId, span: SpanId) {
+        self.push(lane, |seq| TraceEvent {
+            seq,
+            at: now,
+            lane: lane.tid(),
+            trace,
+            span,
+            parent: SpanId::NONE,
+            phase: Phase::End,
+            name: "",
+            detail: String::new(),
+        });
+    }
+
+    /// Records a zero-duration marker under `parent`.
+    pub fn instant(
+        &self,
+        lane: Lane,
+        now: Duration,
+        trace: TraceId,
+        parent: SpanId,
+        name: &'static str,
+        detail: String,
+    ) {
+        self.push(lane, |seq| TraceEvent {
+            seq,
+            at: now,
+            lane: lane.tid(),
+            trace,
+            span: SpanId::NONE,
+            parent,
+            phase: Phase::Instant,
+            name,
+            detail,
+        });
+    }
+
+    /// Total events recorded (including any later dropped by ring bounds).
+    #[must_use]
+    pub fn events_recorded(&self) -> u64 {
+        self.inner.borrow().next_seq
+    }
+
+    /// Events dropped across all lanes due to ring bounds.
+    #[must_use]
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.borrow().lanes.values().map(|r| r.dropped).sum()
+    }
+
+    /// All retained events, across lanes, in global `seq` order.
+    fn merged_events(&self) -> Vec<TraceEvent> {
+        let inner = self.inner.borrow();
+        let mut all: Vec<TraceEvent> = inner
+            .lanes
+            .values()
+            .flat_map(|r| r.events.iter().cloned())
+            .collect();
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// Lane tids in ascending order (deterministic export order).
+    fn lane_tids(&self) -> Vec<u32> {
+        let inner = self.inner.borrow();
+        let mut tids: Vec<u32> = inner.lanes.keys().copied().collect();
+        tids.sort_unstable();
+        tids
+    }
+
+    /// Exports the retained events as Chrome `trace_event` JSON (the
+    /// "JSON Array Format" with a `traceEvents` wrapper), loadable in
+    /// Perfetto or `chrome://tracing`. Spans become `"X"` complete events;
+    /// instants become `"i"` events; lanes are named via `thread_name`
+    /// metadata. Timestamps are virtual-time microseconds with nanosecond
+    /// decimals.
+    #[must_use]
+    pub fn export_chrome_json(&self) -> String {
+        let events = self.merged_events();
+        let horizon = events.iter().map(|e| e.at).max().unwrap_or(Duration::ZERO);
+        // Pair Begin/End by span id. Span ids are unique, so a linear scan
+        // into a map suffices; an unmatched Begin (still open, or its End
+        // dropped) extends to the trace horizon.
+        let mut ends: FxHashMap<u64, Duration> = FxHashMap::default();
+        for e in &events {
+            if e.phase == Phase::End {
+                ends.entry(e.span.0).or_insert(e.at);
+            }
+        }
+        let mut out = String::with_capacity(events.len() * 96 + 1024);
+        out.push_str("{\"traceEvents\":[\n");
+        let mut first = true;
+        let mut emit = |line: String, out: &mut String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&line);
+        };
+        for tid in self.lane_tids() {
+            emit(
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    Lane::label(tid)
+                ),
+                &mut out,
+            );
+        }
+        for e in &events {
+            match e.phase {
+                Phase::Begin => {
+                    let end = ends.get(&e.span.0).copied().unwrap_or(horizon);
+                    let dur = end.saturating_sub(e.at);
+                    emit(
+                        format!(
+                            "{{\"name\":\"{}\",\"cat\":\"hm\",\"ph\":\"X\",\"ts\":{},\
+                             \"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"trace\":{},\
+                             \"span\":{},\"parent\":{},\"detail\":\"{}\"}}}}",
+                            e.name,
+                            micros(e.at),
+                            micros(dur),
+                            e.lane,
+                            e.trace.0,
+                            e.span.0,
+                            e.parent.0,
+                            escape(&e.detail),
+                        ),
+                        &mut out,
+                    );
+                }
+                Phase::End => {}
+                Phase::Instant => {
+                    emit(
+                        format!(
+                            "{{\"name\":\"{}\",\"cat\":\"hm\",\"ph\":\"i\",\"ts\":{},\
+                             \"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{{\"trace\":{},\
+                             \"parent\":{},\"detail\":\"{}\"}}}}",
+                            e.name,
+                            micros(e.at),
+                            e.lane,
+                            e.trace.0,
+                            e.parent.0,
+                            escape(&e.detail),
+                        ),
+                        &mut out,
+                    );
+                }
+            }
+        }
+        let dropped = self.events_dropped();
+        out.push_str("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":");
+        let _ = write!(out, "{dropped}");
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Exports the retained events as compact JSONL: one event per line in
+    /// global `seq` order with a stable field order. Identical seeds yield
+    /// byte-identical output.
+    #[must_use]
+    pub fn export_jsonl(&self) -> String {
+        let events = self.merged_events();
+        let mut out = String::with_capacity(events.len() * 80);
+        for e in &events {
+            let _ = writeln!(
+                out,
+                "{{\"seq\":{},\"at_ns\":{},\"lane\":\"{}\",\"trace\":{},\"span\":{},\
+                 \"parent\":{},\"ph\":\"{}\",\"name\":\"{}\",\"detail\":\"{}\"}}",
+                e.seq,
+                e.at.as_nanos(),
+                Lane::label(e.lane),
+                e.trace.0,
+                e.span.0,
+                e.parent.0,
+                e.phase.code(),
+                e.name,
+                escape(&e.detail),
+            );
+        }
+        out
+    }
+
+    /// Per-op critical-path breakdown of one trace: every op span (a child
+    /// of an `attempt` span), in start order, with counts of the substrate
+    /// round-trips in its subtree. This is how tests assert the paper's
+    /// op-count claims ("Halfmoon-read reads append nothing; Halfmoon-write
+    /// reads append exactly once") on the critical path rather than in
+    /// aggregate.
+    #[must_use]
+    pub fn critical_path(&self, trace: TraceId) -> Vec<OpSummary> {
+        let events: Vec<TraceEvent> = self
+            .merged_events()
+            .into_iter()
+            .filter(|e| e.trace == trace)
+            .collect();
+        // Span table: id → (name, parent, begin, end).
+        struct SpanInfo {
+            name: &'static str,
+            parent: SpanId,
+            begin: Duration,
+            end: Option<Duration>,
+            begin_seq: u64,
+        }
+        let mut spans: FxHashMap<u64, SpanInfo> = FxHashMap::default();
+        for e in &events {
+            match e.phase {
+                Phase::Begin => {
+                    spans.insert(
+                        e.span.0,
+                        SpanInfo {
+                            name: e.name,
+                            parent: e.parent,
+                            begin: e.at,
+                            end: None,
+                            begin_seq: e.seq,
+                        },
+                    );
+                }
+                Phase::End => {
+                    if let Some(info) = spans.get_mut(&e.span.0) {
+                        info.end = Some(e.at);
+                    }
+                }
+                Phase::Instant => {}
+            }
+        }
+        // The op level: children of `attempt` spans.
+        let mut ops: Vec<(u64, &SpanInfo)> = spans
+            .iter()
+            .filter(|(_, info)| {
+                spans
+                    .get(&info.parent.0)
+                    .is_some_and(|p| p.name == "attempt")
+            })
+            .map(|(id, info)| (*id, info))
+            .collect();
+        ops.sort_by_key(|(_, info)| info.begin_seq);
+        let mut summaries: Vec<OpSummary> = ops
+            .iter()
+            .map(|(id, info)| OpSummary {
+                name: info.name,
+                span: SpanId(*id),
+                start: info.begin,
+                end: info.end.unwrap_or(info.begin),
+                log_appends: 0,
+                log_reads: 0,
+                log_trims: 0,
+                db_reads: 0,
+                db_writes: 0,
+                db_cond_writes: 0,
+                db_deletes: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+            })
+            .collect();
+        let op_index: FxHashMap<u64, usize> = summaries
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.span.0, i))
+            .collect();
+        // Attribute each substrate span / instant to its nearest op
+        // ancestor (chains are short: op → substrate span → instant).
+        let nearest_op = |mut parent: SpanId| -> Option<usize> {
+            for _ in 0..8 {
+                if let Some(&i) = op_index.get(&parent.0) {
+                    return Some(i);
+                }
+                parent = spans.get(&parent.0)?.parent;
+            }
+            None
+        };
+        for (id, info) in &spans {
+            if op_index.contains_key(id) {
+                continue;
+            }
+            let Some(i) = nearest_op(info.parent) else {
+                continue;
+            };
+            let s = &mut summaries[i];
+            match info.name {
+                "log_append" | "log_cond_append" => s.log_appends += 1,
+                "log_read_prev" | "log_read_next" | "log_read_stream" => s.log_reads += 1,
+                "log_trim" => s.log_trims += 1,
+                "db_read" | "db_version_read" => s.db_reads += 1,
+                "db_write" | "db_version_write" => s.db_writes += 1,
+                "db_cond_write" => s.db_cond_writes += 1,
+                "db_delete" => s.db_deletes += 1,
+                _ => {}
+            }
+        }
+        for e in &events {
+            if e.phase != Phase::Instant {
+                continue;
+            }
+            let Some(i) = nearest_op(e.parent) else {
+                continue;
+            };
+            match e.name {
+                "cache_hit" => summaries[i].cache_hits += 1,
+                "cache_miss" => summaries[i].cache_misses += 1,
+                _ => {}
+            }
+        }
+        summaries
+    }
+}
+
+/// One op span of a trace's critical path, with the substrate round-trips
+/// in its subtree. Produced by [`Tracer::critical_path`].
+#[derive(Clone, Debug)]
+pub struct OpSummary {
+    /// Op span name (`init`, `read`, `write`, `invoke`, `finish`, …).
+    pub name: &'static str,
+    /// The op's span id.
+    pub span: SpanId,
+    /// Virtual-time start of the op.
+    pub start: Duration,
+    /// Virtual-time end (start if the End event was lost).
+    pub end: Duration,
+    /// Shared-log appends (plain + conditional).
+    pub log_appends: u32,
+    /// Shared-log reads (prev/next/stream).
+    pub log_reads: u32,
+    /// Shared-log trims.
+    pub log_trims: u32,
+    /// KV reads (plain + versioned).
+    pub db_reads: u32,
+    /// KV writes (plain + versioned).
+    pub db_writes: u32,
+    /// KV conditional writes.
+    pub db_cond_writes: u32,
+    /// KV version deletes.
+    pub db_deletes: u32,
+    /// Log-read cache hits inside this op.
+    pub cache_hits: u32,
+    /// Log-read cache misses inside this op.
+    pub cache_misses: u32,
+}
+
+/// Formats a [`Duration`] as Chrome-trace microseconds with nanosecond
+/// decimals (`1234.567`), deterministically (no float formatting).
+fn micros(d: Duration) -> String {
+    let ns = d.as_nanos();
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Escapes a detail string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// A named monotonic counter handle (cheap to clone, cheap to bump).
+#[derive(Clone)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().saturating_add(n));
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites the counter (for counters mirrored from another source).
+    pub fn set(&self, v: u64) {
+        self.0.set(v);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A named gauge handle (last-write-wins instantaneous value).
+#[derive(Clone)]
+pub struct Gauge(Rc<Cell<f64>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+/// A named histogram handle.
+#[derive(Clone)]
+pub struct HistogramHandle(Rc<RefCell<Histogram>>);
+
+impl HistogramHandle {
+    /// Records one observation.
+    pub fn record(&self, d: Duration) {
+        self.0.borrow_mut().record(d);
+    }
+
+    /// Observation count so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.borrow().count()
+    }
+
+    /// Runs `f` against the underlying histogram.
+    pub fn with<R>(&self, f: impl FnOnce(&Histogram) -> R) -> R {
+        f(&self.0.borrow())
+    }
+}
+
+/// One sampled row of the registry's time series.
+#[derive(Clone, Debug)]
+pub struct MetricsSample {
+    /// Virtual time of the sample.
+    pub at: Duration,
+    /// Counter values, in registration order.
+    pub counters: Vec<u64>,
+    /// Gauge values, in registration order.
+    pub gauges: Vec<f64>,
+    /// Histogram observation counts, in registration order.
+    pub hist_counts: Vec<u64>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, HistogramHandle)>,
+    samples: Vec<MetricsSample>,
+}
+
+/// A registry of named counters/gauges/histograms plus a virtual-time
+/// series of their sampled values. Handles are get-or-create by name, so
+/// independent components can share an instrument. Sampling is driven
+/// externally (e.g. `hm_runtime::MetricsDriver`) at a configurable
+/// virtual-time interval; the registry itself never spawns tasks.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: RefCell<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry behind an `Rc` for sharing.
+    #[must_use]
+    pub fn new() -> Rc<MetricsRegistry> {
+        Rc::new(MetricsRegistry::default())
+    }
+
+    /// The counter named `name`, creating it (at zero) on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.borrow_mut();
+        if let Some((_, c)) = inner.counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter(Rc::new(Cell::new(0)));
+        inner.counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// The gauge named `name`, creating it (at zero) on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.borrow_mut();
+        if let Some((_, g)) = inner.gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Gauge(Rc::new(Cell::new(0.0)));
+        inner.gauges.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// The histogram named `name`, creating it empty on first use.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut inner = self.inner.borrow_mut();
+        if let Some((_, h)) = inner.histograms.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let h = HistogramHandle(Rc::new(RefCell::new(Histogram::new())));
+        inner.histograms.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// Appends one time-series row snapshotting every registered
+    /// instrument at virtual time `now`.
+    pub fn sample(&self, now: Duration) {
+        let mut inner = self.inner.borrow_mut();
+        let row = MetricsSample {
+            at: now,
+            counters: inner.counters.iter().map(|(_, c)| c.get()).collect(),
+            gauges: inner.gauges.iter().map(|(_, g)| g.get()).collect(),
+            hist_counts: inner.histograms.iter().map(|(_, h)| h.count()).collect(),
+        };
+        inner.samples.push(row);
+    }
+
+    /// Number of sampled rows so far.
+    #[must_use]
+    pub fn samples_len(&self) -> usize {
+        self.inner.borrow().samples.len()
+    }
+
+    /// Runs `f` over the sampled rows.
+    pub fn with_samples<R>(&self, f: impl FnOnce(&[MetricsSample]) -> R) -> R {
+        f(&self.inner.borrow().samples)
+    }
+
+    /// Exports the time series as JSON: instrument names plus one row per
+    /// sample, deterministic field and row order.
+    #[must_use]
+    pub fn series_json(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"counters\": [{}],", names_of(&inner.counters));
+        let _ = writeln!(out, "  \"gauges\": [{}],", names_of(&inner.gauges));
+        let _ = writeln!(out, "  \"histograms\": [{}],", names_of(&inner.histograms));
+        out.push_str("  \"samples\": [\n");
+        for (i, row) in inner.samples.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"at_ns\":{},\"counters\":{:?},\"gauges\":{:?},\"hist_counts\":{:?}}}",
+                row.at.as_nanos(),
+                row.counters,
+                row.gauges,
+                row.hist_counts
+            );
+            out.push_str(if i + 1 < inner.samples.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Comma-joined, escaped instrument names for [`MetricsRegistry::series_json`].
+fn names_of<T>(items: &[(String, T)]) -> String {
+    let mut s = String::new();
+    for (i, (n, _)) in items.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\"", escape(n));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Duration {
+        Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn spans_pair_into_complete_events() {
+        let tr = Tracer::new();
+        let trace = tr.new_trace();
+        let a = tr.span_begin(Lane::Node(0), t(1), trace, SpanId::NONE, "attempt", String::new());
+        let op = tr.span_begin(Lane::Node(0), t(2), trace, a, "read", String::new());
+        tr.instant(Lane::Node(0), t(3), trace, op, "cache_hit", String::new());
+        tr.span_end(Lane::Node(0), t(4), trace, op);
+        tr.span_end(Lane::Node(0), t(5), trace, a);
+        let chrome = tr.export_chrome_json();
+        assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+        assert!(chrome.contains("\"name\":\"read\""), "{chrome}");
+        assert!(chrome.contains("\"ph\":\"i\""), "{chrome}");
+        assert!(chrome.contains("\"name\":\"node0\""), "{chrome}");
+        // read: ts = 2000 µs, dur = 2000 µs.
+        assert!(chrome.contains("\"ts\":2000.000,\"dur\":2000.000"), "{chrome}");
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let tr = Tracer::with_capacity(8);
+        let trace = tr.new_trace();
+        for i in 0..20 {
+            tr.instant(Lane::Node(0), t(i), trace, SpanId::NONE, "tick", String::new());
+        }
+        assert_eq!(tr.events_recorded(), 20);
+        assert_eq!(tr.events_dropped(), 12);
+        let jsonl = tr.export_jsonl();
+        assert_eq!(jsonl.lines().count(), 8);
+        // The *newest* events survive.
+        assert!(jsonl.contains("\"seq\":19"), "{jsonl}");
+        assert!(!jsonl.contains("\"seq\":0,"), "{jsonl}");
+    }
+
+    #[test]
+    fn critical_path_counts_substrate_children() {
+        let tr = Tracer::new();
+        let trace = tr.new_trace();
+        let attempt =
+            tr.span_begin(Lane::Node(1), t(0), trace, SpanId::NONE, "attempt", String::new());
+        let read = tr.span_begin(Lane::Node(1), t(1), trace, attempt, "read", String::new());
+        let lr = tr.span_begin(Lane::Storage, t(1), trace, read, "log_read_prev", String::new());
+        tr.instant(Lane::Node(1), t(1), trace, lr, "cache_miss", String::new());
+        tr.span_end(Lane::Storage, t(2), trace, lr);
+        let dbr = tr.span_begin(Lane::Storage, t(2), trace, read, "db_read", String::new());
+        tr.span_end(Lane::Storage, t(3), trace, dbr);
+        tr.span_end(Lane::Node(1), t(3), trace, read);
+        let write = tr.span_begin(Lane::Node(1), t(4), trace, attempt, "write", String::new());
+        let ap = tr.span_begin(Lane::Storage, t(4), trace, write, "log_cond_append", String::new());
+        tr.span_end(Lane::Storage, t(5), trace, ap);
+        tr.span_end(Lane::Node(1), t(5), trace, write);
+        tr.span_end(Lane::Node(1), t(6), trace, attempt);
+        // An unrelated trace must not contaminate the result.
+        let other = tr.new_trace();
+        tr.span_begin(Lane::Node(2), t(0), other, SpanId::NONE, "attempt", String::new());
+
+        let ops = tr.critical_path(trace);
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].name, "read");
+        assert_eq!(ops[0].log_reads, 1);
+        assert_eq!(ops[0].db_reads, 1);
+        assert_eq!(ops[0].cache_misses, 1);
+        assert_eq!(ops[0].log_appends, 0);
+        assert_eq!(ops[1].name, "write");
+        assert_eq!(ops[1].log_appends, 1);
+        assert_eq!(ops[1].end - ops[1].start, t(1));
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_for_identical_call_sequences() {
+        let run = || {
+            let tr = Tracer::new();
+            let trace = tr.new_trace();
+            let s = tr.span_begin(Lane::Gateway, t(1), trace, SpanId::NONE, "request", String::new());
+            tr.instant(Lane::Sequencer, t(2), trace, s, "sequenced", "sn7".to_string());
+            tr.span_end(Lane::Gateway, t(3), trace, s);
+            tr.export_jsonl()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bindings_route_identity() {
+        let tr = Tracer::new();
+        let trace = tr.new_trace();
+        let span = tr.span_begin(Lane::Gateway, t(0), trace, SpanId::NONE, "request", String::new());
+        tr.bind(42, trace, span);
+        assert_eq!(tr.binding(42), Some((trace, span)));
+        assert_eq!(tr.binding(7), None);
+        tr.set_context(trace, span);
+        assert_eq!(tr.context(), (trace, span));
+        tr.clear_context();
+        assert_eq!(tr.context(), (TraceId::NONE, SpanId::NONE));
+    }
+
+    #[test]
+    fn detail_strings_are_escaped() {
+        let tr = Tracer::new();
+        let trace = tr.new_trace();
+        tr.instant(
+            Lane::Gc,
+            t(1),
+            trace,
+            SpanId::NONE,
+            "note",
+            "say \"hi\"\\\n".to_string(),
+        );
+        let jsonl = tr.export_jsonl();
+        assert!(jsonl.contains(r#"say \"hi\"\\\n"#), "{jsonl}");
+    }
+
+    #[test]
+    fn metrics_registry_handles_and_samples() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("log_appends");
+        let c2 = reg.counter("log_appends");
+        c.add(3);
+        c2.inc();
+        assert_eq!(reg.counter("log_appends").get(), 4, "get-or-create shares");
+        let g = reg.gauge("inflight");
+        g.set(2.5);
+        let h = reg.histogram("latency");
+        h.record(Duration::from_millis(5));
+        reg.sample(t(100));
+        c.inc();
+        reg.sample(t(200));
+        assert_eq!(reg.samples_len(), 2);
+        reg.with_samples(|rows| {
+            assert_eq!(rows[0].counters, vec![4]);
+            assert_eq!(rows[1].counters, vec![5]);
+            assert_eq!(rows[0].gauges, vec![2.5]);
+            assert_eq!(rows[0].hist_counts, vec![1]);
+        });
+        let json = reg.series_json();
+        assert!(json.contains("\"log_appends\""), "{json}");
+        assert!(json.contains("\"at_ns\":100000000"), "{json}");
+    }
+}

@@ -46,6 +46,28 @@ fn histogram_quantiles_bounded_error() {
     });
 }
 
+/// The extreme quantiles bracket the mean for arbitrary samples:
+/// `quantile_ms(0.0) ≤ mean ≤ quantile_ms(1.0)`. This is only guaranteed
+/// because q=0/q=1 return the exact raw extremes — bucket midpoints can
+/// land on the wrong side of the mean when all samples share one bucket.
+#[test]
+fn histogram_extremes_bracket_mean() {
+    for_cases(0x8e11, 256, |case, rng| {
+        let len = rng.random_range(1usize..100);
+        let mut h = Histogram::new();
+        for _ in 0..len {
+            h.record(Duration::from_nanos(rng.random_range(1_000u64..100_000_000_000)));
+        }
+        let lo = h.quantile_ms(0.0).unwrap();
+        let mean = h.mean_ms().unwrap();
+        let hi = h.quantile_ms(1.0).unwrap();
+        assert!(lo <= mean, "case {case}: min {lo} > mean {mean}");
+        assert!(mean <= hi, "case {case}: mean {mean} > max {hi}");
+        assert_eq!(Some(lo), h.min_ms(), "case {case}");
+        assert_eq!(Some(hi), h.max_ms(), "case {case}");
+    });
+}
+
 /// Merging two histograms equals recording all samples into one.
 #[test]
 fn histogram_merge_equivalence() {

@@ -14,6 +14,7 @@ use std::rc::Rc;
 
 use hm_common::latency::LatencyModel;
 use hm_common::metrics::Histogram;
+use hm_common::trace::Tracer;
 use hm_common::{HmResult, InstanceId, Key, NodeId, Tag, Value};
 use hm_kvstore::KvStore;
 use hm_sharedlog::{LogConfig, SharedLog};
@@ -235,6 +236,7 @@ struct ClientInner {
     faults: RefCell<Rc<FaultPolicy>>,
     invoker: RefCell<Option<Rc<dyn Invoker>>>,
     recorder: RefCell<Option<Rc<Recorder>>>,
+    tracer: RefCell<Option<Rc<Tracer>>>,
     op_latencies: RefCell<OpLatencies>,
     /// Opportunistic checkpoints of log-free reads, per function node
     /// (§7): `(node, instance, pc) → value`. Purely an in-memory recovery
@@ -273,6 +275,7 @@ impl Client {
                 faults: RefCell::new(Rc::new(FaultPolicy::none())),
                 invoker: RefCell::new(None),
                 recorder: RefCell::new(None),
+                tracer: RefCell::new(None),
                 op_latencies: RefCell::new(OpLatencies::default()),
                 checkpoints: RefCell::new(hm_common::FxHashMap::default()),
                 txn_validity: RefCell::new(hm_common::FxHashMap::default()),
@@ -347,6 +350,21 @@ impl Client {
     /// Enables history recording (tests and checkers).
     pub fn set_recorder(&self, recorder: Rc<Recorder>) {
         *self.inner.recorder.borrow_mut() = Some(recorder);
+    }
+
+    /// The causal tracer, if tracing is enabled.
+    #[must_use]
+    pub fn tracer(&self) -> Option<Rc<Tracer>> {
+        self.inner.tracer.borrow().clone()
+    }
+
+    /// Enables causal tracing for the whole deployment: spans from the
+    /// environment and protocol ops, plus substrate spans from the shared
+    /// log and the state store (DESIGN.md §11).
+    pub fn set_tracer(&self, tracer: Rc<Tracer>) {
+        self.log().set_tracer(tracer.clone());
+        self.store().set_tracer(tracer.clone());
+        *self.inner.tracer.borrow_mut() = Some(tracer);
     }
 
     /// Notes that `key` received a multi-version write (GC bookkeeping;

@@ -21,6 +21,7 @@
 
 use std::rc::Rc;
 
+use hm_common::trace::{Lane, SpanId, TraceId, Tracer};
 use hm_common::{FxHashMap, HmError, HmResult, InstanceId, Key, NodeId, SeqNum, StepNum, Tag, Value};
 use hm_sharedlog::{CondAppendOutcome, LogRecord};
 
@@ -87,6 +88,18 @@ pub struct Env {
     /// exists (Figure 5 logs the input precisely so re-executions and peer
     /// instances agree on it), otherwise the caller-supplied value.
     input: Value,
+    /// Tracer handle, cloned from the client at init (None when disabled).
+    tracer: Option<Rc<Tracer>>,
+    /// Trace this attempt belongs to (bound by the invoking runtime, or
+    /// fresh when the attempt is the trace root).
+    trace: TraceId,
+    /// The "attempt" span covering this whole execution attempt.
+    attempt_span: SpanId,
+    /// The op span currently on the critical path (parent for substrate
+    /// spans via the tracer context).
+    cur_span: SpanId,
+    /// Whether the attempt span has been closed (finish or Drop).
+    attempt_ended: bool,
 }
 
 impl Env {
@@ -105,6 +118,7 @@ impl Env {
         let unlogged = client.with_config(|c| {
             c.default == ProtocolKind::Unsafe && c.per_key.is_empty() && !c.switching_enabled
         });
+        let tracer = client.tracer();
         let mut env = Env {
             client: client.clone(),
             id,
@@ -123,12 +137,36 @@ impl Env {
             resolved_static: FxHashMap::default(),
             unlogged,
             input,
+            tracer,
+            trace: TraceId::NONE,
+            attempt_span: SpanId::NONE,
+            cur_span: SpanId::NONE,
+            attempt_ended: true,
         };
+        if let Some(t) = env.tracer.clone() {
+            // Attempts started by the runtime inherit the request's trace
+            // via the instance binding; unbound attempts root a new trace.
+            let (trace, parent) = t
+                .binding(id.0)
+                .unwrap_or_else(|| (t.new_trace(), SpanId::NONE));
+            env.trace = trace;
+            env.attempt_span = t.span_begin(
+                Lane::Node(node.0),
+                client.ctx().now(),
+                trace,
+                parent,
+                "attempt",
+                format!("attempt {attempt}"),
+            );
+            env.attempt_ended = false;
+        }
         if unlogged {
             return Ok(env);
         }
+        let init_span = env.op_begin("init");
+        env.set_trace_ctx();
         env.prior = client.log().read_stream(node, id.step_log_tag()).await;
-        env.maybe_crash()?;
+        env.maybe_crash().inspect_err(|_| env.op_end(init_span))?;
         match env.peek_prior() {
             Some(rec) => {
                 debug_assert!(matches!(rec.payload.op, OpRecord::Init { .. }));
@@ -142,7 +180,8 @@ impl Env {
                 let input = env.input.clone();
                 let rec = env
                     .log_step(vec![init_log_tag()], OpRecord::Init { input })
-                    .await?;
+                    .await
+                    .inspect_err(|_| env.op_end(init_span))?;
                 if let OpRecord::Init { input } = &rec.payload.op {
                     // A racing peer's init may have won with its input.
                     env.input = input.clone();
@@ -150,6 +189,7 @@ impl Env {
                 env.init_cursor = rec.seqnum;
             }
         }
+        env.op_end(init_span);
         Ok(env)
     }
 
@@ -203,6 +243,7 @@ impl Env {
         };
         let mut tags = vec![step_tag];
         tags.extend(extra_tags);
+        self.set_trace_ctx();
         let outcome = self
             .client
             .log()
@@ -216,6 +257,7 @@ impl Env {
                 .ok_or_else(|| HmError::config("appended record missing from log"))?,
             CondAppendOutcome::Conflict(winner) => {
                 // Adopt the peer's record at our expected offset.
+                self.set_trace_ctx();
                 self.client
                     .log()
                     .read_next(self.node, step_tag, winner)
@@ -300,6 +342,91 @@ impl Env {
     }
 
     // ------------------------------------------------------------------
+    // Tracing (all no-ops when no tracer is attached)
+    // ------------------------------------------------------------------
+
+    /// Opens an op span (child of the attempt span) and makes it the
+    /// tracer context, so substrate spans attach under it.
+    pub(crate) fn op_begin(&mut self, name: &'static str) -> SpanId {
+        self.op_begin_with(name, String::new)
+    }
+
+    /// [`Env::op_begin`] with a detail string, built only when tracing.
+    pub(crate) fn op_begin_with(
+        &mut self,
+        name: &'static str,
+        detail: impl FnOnce() -> String,
+    ) -> SpanId {
+        let Some(t) = self.tracer.clone() else {
+            return SpanId::NONE;
+        };
+        let span = t.span_begin(
+            Lane::Node(self.node.0),
+            self.client.ctx().now(),
+            self.trace,
+            self.attempt_span,
+            name,
+            detail(),
+        );
+        self.cur_span = span;
+        t.set_context(self.trace, span);
+        span
+    }
+
+    /// Closes an op span and restores the attempt span as context parent.
+    pub(crate) fn op_end(&mut self, span: SpanId) {
+        let Some(t) = self.tracer.clone() else {
+            return;
+        };
+        if span != SpanId::NONE {
+            t.span_end(Lane::Node(self.node.0), self.client.ctx().now(), self.trace, span);
+        }
+        self.cur_span = self.attempt_span;
+    }
+
+    /// Re-arms the tracer context to this attempt's current op span. Must
+    /// be called immediately before a traced substrate call whenever an
+    /// `await` may have run since the last context set (other tasks share
+    /// the single context cell).
+    pub(crate) fn set_trace_ctx(&self) {
+        if let Some(t) = &self.tracer {
+            t.set_context(self.trace, self.cur_span);
+        }
+    }
+
+    /// The tracer handle, if tracing is enabled.
+    pub(crate) fn tracer(&self) -> Option<&Rc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// The trace this attempt belongs to.
+    pub(crate) fn trace_id(&self) -> TraceId {
+        self.trace
+    }
+
+    /// The current op span (parent for substrate and subtask spans).
+    pub(crate) fn cur_span(&self) -> SpanId {
+        self.cur_span
+    }
+
+    /// Closes the attempt span; idempotent. Called by [`Env::finish`] and
+    /// by `Drop` (covering crash/error exits).
+    fn end_attempt(&mut self) {
+        if self.attempt_ended {
+            return;
+        }
+        self.attempt_ended = true;
+        if let Some(t) = self.tracer.clone() {
+            t.span_end(
+                Lane::Node(self.node.0),
+                self.client.ctx().now(),
+                self.trace,
+                self.attempt_span,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Protocol resolution (§4.6 per-object choice, §4.7 switching)
     // ------------------------------------------------------------------
 
@@ -313,6 +440,7 @@ impl Env {
             // One transition-log lookup per SSF, bounded by the *initial*
             // cursor so retries resolve identically (§4.7: "both the
             // cursorTS and the transition log are persistent").
+            self.set_trace_ctx();
             let rec = self
                 .client
                 .log()
@@ -351,7 +479,9 @@ impl Env {
     pub async fn read(&mut self, key: &Key) -> HmResult<Value> {
         self.bump_pc();
         let started = self.client.ctx().now();
+        let span = self.op_begin_with("read", || format!("{key:?}"));
         let result = self.read_dispatch(key).await;
+        self.op_end(span);
         if result.is_ok() {
             self.client
                 .record_op_latency(OpKind::Read, self.client.ctx().now() - started);
@@ -407,7 +537,9 @@ impl Env {
     pub async fn write(&mut self, key: &Key, value: Value) -> HmResult<()> {
         self.bump_pc();
         let started = self.client.ctx().now();
+        let span = self.op_begin_with("write", || format!("{key:?}"));
         let result = self.write_dispatch(key, value).await;
+        self.op_end(span);
         if result.is_ok() {
             self.client
                 .record_op_latency(OpKind::Write, self.client.ctx().now() - started);
@@ -469,7 +601,10 @@ impl Env {
             }
         }
         if all_hmread {
-            return self.hmread_read_snapshot(keys).await;
+            let span = self.op_begin_with("read_snapshot", || format!("{} keys", keys.len()));
+            let result = self.hmread_read_snapshot(keys).await;
+            self.op_end(span);
+            return result;
         }
         let mut out = Vec::with_capacity(keys.len());
         for key in keys {
@@ -486,7 +621,9 @@ impl Env {
     pub async fn invoke(&mut self, func: &str, input: Value) -> HmResult<Value> {
         self.bump_pc();
         let started = self.client.ctx().now();
+        let span = self.op_begin_with("invoke", || func.to_string());
         let result = self.invoke_dispatch(func, input).await;
+        self.op_end(span);
         if result.is_ok() {
             self.client
                 .record_op_latency(OpKind::Invoke, self.client.ctx().now() - started);
@@ -504,6 +641,9 @@ impl Env {
                 .invoker()
                 .ok_or_else(|| HmError::config("no invoker registered"))?;
             self.maybe_crash()?;
+            if let Some(t) = &self.tracer {
+                t.bind(callee.0, self.trace, self.cur_span);
+            }
             let result = invoker.invoke(callee, func, input).await?;
             self.record_event(|| EventKind::Invoke {
                 callee,
@@ -533,6 +673,10 @@ impl Env {
             .invoker()
             .ok_or_else(|| HmError::config("no invoker registered"))?;
         self.maybe_crash()?;
+        // The callee's attempts join this trace, parented to the invoke op.
+        if let Some(t) = &self.tracer {
+            t.bind(callee.0, self.trace, self.cur_span);
+        }
         let result = invoker.invoke(callee, func, input).await?;
         self.maybe_crash()?;
         let rec = self
@@ -557,6 +701,13 @@ impl Env {
         if self.unlogged {
             return Ok(());
         }
+        let span = self.op_begin("sync");
+        let result = self.sync_inner().await;
+        self.op_end(span);
+        result
+    }
+
+    async fn sync_inner(&mut self) -> HmResult<()> {
         if let Some(rec) = self.peek_prior() {
             let payload = rec.payload.clone();
             return match payload.op {
@@ -580,8 +731,19 @@ impl Env {
     /// Propagates injected crashes and substrate errors.
     pub async fn finish(&mut self, result: Value) -> HmResult<Value> {
         if self.unlogged {
+            self.end_attempt();
             return Ok(result);
         }
+        let span = self.op_begin("finish");
+        let out = self.finish_inner(result).await;
+        self.op_end(span);
+        if out.is_ok() {
+            self.end_attempt();
+        }
+        out
+    }
+
+    async fn finish_inner(&mut self, result: Value) -> HmResult<Value> {
         if let Some(rec) = self.peek_prior() {
             let payload = rec.payload.clone();
             return match payload.op {
@@ -626,6 +788,14 @@ impl Env {
     /// Marks `key` as the most recent log-free write target.
     pub(crate) fn set_last_write_key(&mut self, key: &Key) {
         self.last_write_key = Some(key.clone());
+    }
+}
+
+impl Drop for Env {
+    fn drop(&mut self) {
+        // Crash/error exits never reach `finish`; close the attempt span
+        // here so every Begin pairs with an End at the abort instant.
+        self.end_attempt();
     }
 }
 

@@ -75,6 +75,7 @@ impl Env {
             };
         }
         self.maybe_crash()?;
+        self.set_trace_ctx();
         let applied = self
             .client()
             .store()
@@ -94,6 +95,7 @@ impl Env {
     /// Unsafe read: the raw operation, no logging, no idempotence.
     pub(crate) async fn unsafe_read(&mut self, key: &Key) -> HmResult<Value> {
         self.maybe_crash()?;
+        self.set_trace_ctx();
         let value = self.client().store().get(key).await.unwrap_or(Value::Null);
         self.record_event(|| EventKind::Read {
             key: key.clone(),
@@ -109,6 +111,7 @@ impl Env {
     /// [`crate::history::Recorder`] raw-write events.
     pub(crate) async fn unsafe_write(&mut self, key: &Key, value: Value) -> HmResult<()> {
         self.maybe_crash()?;
+        self.set_trace_ctx();
         self.client().store().put(key, value.clone()).await;
         self.maybe_crash()?;
         self.record_event(|| EventKind::RawWrite {

@@ -113,7 +113,10 @@ impl Env {
         if !txn.read_set.contains(key) {
             txn.read_set.push(key.clone());
         }
-        let value = read_effective_at(self.client(), self.node, key, txn.snapshot).await?;
+        let span = self.op_begin_with("txn_read", || format!("{key:?}"));
+        let value = read_effective_at(self.client(), self.node, key, txn.snapshot).await;
+        self.op_end(span);
+        let value = value?;
         self.record_event(|| EventKind::Read {
             key: key.clone(),
             fp: value.fingerprint(),
@@ -140,6 +143,13 @@ impl Env {
     pub async fn txn_commit(&mut self, txn: Transaction) -> HmResult<TxnOutcome> {
         self.bump_pc();
         self.maybe_crash()?;
+        let span = self.op_begin_with("txn_commit", || format!("{} writes", txn.writes.len()));
+        let out = self.txn_commit_inner(txn).await;
+        self.op_end(span);
+        out
+    }
+
+    async fn txn_commit_inner(&mut self, txn: Transaction) -> HmResult<TxnOutcome> {
         // Deterministic version per (instance, step, key).
         let step = self.step;
         let versions: Vec<(Key, VersionNum)> = txn
@@ -178,6 +188,7 @@ impl Env {
                 .get(key)
                 .expect("version for buffered key")
                 .clone();
+            self.set_trace_ctx();
             self.client()
                 .store()
                 .put_version(key, *version, value)
@@ -235,16 +246,29 @@ pub(crate) async fn read_effective_at(
     key: &Key,
     bound: SeqNum,
 ) -> HmResult<Value> {
+    // Capture the caller's trace context once; every substrate call below
+    // re-arms it, since awaits in the loop let other tasks overwrite the
+    // shared context cell.
+    let tracer = client.tracer();
+    let saved = tracer.as_ref().map(|t| t.context());
+    let rearm = || {
+        if let (Some(t), Some((trace, span))) = (&tracer, saved) {
+            t.set_context(trace, span);
+        }
+    };
     let mut bound = bound;
     loop {
+        rearm();
         let Some(rec) = client
             .log()
             .read_prev(node, key.object_log_tag(), bound)
             .await
         else {
+            rearm();
             return Ok(client.store().get(key).await.unwrap_or(Value::Null));
         };
         if let Some(version) = effective_version(client, &rec.payload, rec.seqnum, key) {
+            rearm();
             return client
                 .store()
                 .get_version(key, version)
@@ -253,6 +277,7 @@ pub(crate) async fn read_effective_at(
         }
         // Aborted transaction commit: invisible — seek past it.
         if rec.seqnum.0 == 0 {
+            rearm();
             return Ok(client.store().get(key).await.unwrap_or(Value::Null));
         }
         bound = SeqNum(rec.seqnum.0 - 1);

@@ -48,6 +48,7 @@ use hm_common::FxHashMap;
 
 use hm_common::latency::LatencyModel;
 use hm_common::metrics::{OpCounters, TimeWeightedGauge};
+use hm_common::trace::{Lane, SpanId, TraceId, Tracer};
 use hm_common::{Key, Value, VersionNum, VersionTuple};
 use hm_sim::{SimCtx, SimTime};
 
@@ -74,6 +75,8 @@ struct StoreInner {
     versions: FxHashMap<Key, FxHashMap<VersionNum, Value>>,
     bytes: TimeWeightedGauge,
     counters: OpCounters,
+    /// Optional tracing sink, shared by all handle clones.
+    tracer: Option<Rc<Tracer>>,
 }
 
 impl StoreInner {
@@ -103,7 +106,32 @@ impl KvStore {
                 versions: FxHashMap::default(),
                 bytes: TimeWeightedGauge::new(now),
                 counters: OpCounters::default(),
+                tracer: None,
             })),
+        }
+    }
+
+    /// Installs a tracer; every store round-trip then emits a span on the
+    /// storage lane, attributed to the caller's current trace context.
+    /// Shared by all handle clones.
+    pub fn set_tracer(&self, tracer: Rc<Tracer>) {
+        self.inner.borrow_mut().tracer = Some(tracer);
+    }
+
+    /// Captures the caller's trace context and opens a storage-lane span.
+    /// Must run at operation entry, before the first `await` — that is what
+    /// makes the context hand-off race-free on the single-threaded
+    /// executor (see `hm_common::trace` module docs).
+    fn trace_begin(&self, name: &'static str) -> Option<(Rc<Tracer>, TraceId, SpanId)> {
+        let tracer = self.inner.borrow().tracer.clone()?;
+        let (trace, parent) = tracer.context();
+        let span = tracer.span_begin(Lane::Storage, self.ctx.now(), trace, parent, name, String::new());
+        Some((tracer, trace, span))
+    }
+
+    fn trace_end(&self, scope: &Option<(Rc<Tracer>, TraceId, SpanId)>) {
+        if let Some((tracer, trace, span)) = scope {
+            tracer.span_end(Lane::Storage, self.ctx.now(), *trace, *span);
         }
     }
 
@@ -136,52 +164,83 @@ impl KvStore {
 
     /// Raw read of the latest value (`DBRead` in Figure 7).
     pub async fn get(&self, key: &Key) -> Option<Value> {
+        let scope = self.trace_begin("db_read");
         self.pay(self.model.db_read).await;
-        let mut inner = self.inner.borrow_mut();
-        inner.counters.db_reads += 1;
-        inner.latest.get(key).map(|item| item.value.clone())
+        let out = {
+            let mut inner = self.inner.borrow_mut();
+            inner.counters.db_reads += 1;
+            inner.latest.get(key).map(|item| item.value.clone())
+        };
+        self.trace_end(&scope);
+        out
     }
 
     /// Raw read returning both the value and its stored version tuple
     /// (needed by the transitional protocol's freshness comparison, §5.2).
     pub async fn get_with_version(&self, key: &Key) -> Option<(Value, VersionTuple)> {
+        let scope = self.trace_begin("db_read");
         self.pay(self.model.db_read).await;
-        let mut inner = self.inner.borrow_mut();
-        inner.counters.db_reads += 1;
-        inner
-            .latest
-            .get(key)
-            .map(|item| (item.value.clone(), item.version))
+        let out = {
+            let mut inner = self.inner.borrow_mut();
+            inner.counters.db_reads += 1;
+            inner
+                .latest
+                .get(key)
+                .map(|item| (item.value.clone(), item.version))
+        };
+        self.trace_end(&scope);
+        out
     }
 
     /// Raw unconditional write of the latest value (the unsafe baseline).
     pub async fn put(&self, key: &Key, value: Value) {
+        let scope = self.trace_begin("db_write");
         self.pay(self.model.db_write).await;
-        let now = self.ctx.now();
-        let mut inner = self.inner.borrow_mut();
-        inner.counters.db_writes += 1;
-        Self::install_latest(&mut inner, now, key, value, VersionTuple::MIN);
+        {
+            let now = self.ctx.now();
+            let mut inner = self.inner.borrow_mut();
+            inner.counters.db_writes += 1;
+            Self::install_latest(&mut inner, now, key, value, VersionTuple::MIN);
+        }
+        self.trace_end(&scope);
     }
 
     /// Conditional update: applies `value` only if the stored version is
     /// strictly smaller than `version` (Figure 7 line 4). Returns whether
     /// the update was applied. Missing keys compare as [`VersionTuple::MIN`].
     pub async fn put_conditional(&self, key: &Key, value: Value, version: VersionTuple) -> bool {
+        let scope = self.trace_begin("db_cond_write");
         self.pay(self.model.db_cond_write).await;
-        let now = self.ctx.now();
-        let mut inner = self.inner.borrow_mut();
-        inner.counters.db_cond_writes += 1;
-        let stored = inner
-            .latest
-            .get(key)
-            .map_or(VersionTuple::MIN, |item| item.version);
-        // A fresh key stores MIN; a write carrying MIN (possible only for
-        // synthetic callers) must still land, hence `<=` against MIN.
-        let apply =
-            stored < version || (stored == VersionTuple::MIN && !inner.latest.contains_key(key));
-        if apply {
-            Self::install_latest(&mut inner, now, key, value, version);
+        let apply = {
+            let now = self.ctx.now();
+            let mut inner = self.inner.borrow_mut();
+            inner.counters.db_cond_writes += 1;
+            let stored = inner
+                .latest
+                .get(key)
+                .map_or(VersionTuple::MIN, |item| item.version);
+            // A fresh key stores MIN; a write carrying MIN (possible only for
+            // synthetic callers) must still land, hence `<=` against MIN.
+            let apply = stored < version
+                || (stored == VersionTuple::MIN && !inner.latest.contains_key(key));
+            if apply {
+                Self::install_latest(&mut inner, now, key, value, version);
+            }
+            apply
+        };
+        if let Some((tracer, trace, span)) = &scope {
+            if !apply {
+                tracer.instant(
+                    Lane::Storage,
+                    self.ctx.now(),
+                    *trace,
+                    *span,
+                    "cond_write_rejected",
+                    String::new(),
+                );
+            }
         }
+        self.trace_end(&scope);
         apply
     }
 
@@ -214,59 +273,73 @@ impl KvStore {
 
     /// Multi-version read: fetches one specific version (Figure 5 line 29).
     pub async fn get_version(&self, key: &Key, version: VersionNum) -> Option<Value> {
+        let scope = self.trace_begin("db_version_read");
         self.pay(self.model.db_version_read).await;
-        let mut inner = self.inner.borrow_mut();
-        inner.counters.db_reads += 1;
-        inner
-            .versions
-            .get(key)
-            .and_then(|m| m.get(&version))
-            .cloned()
+        let out = {
+            let mut inner = self.inner.borrow_mut();
+            inner.counters.db_reads += 1;
+            inner
+                .versions
+                .get(key)
+                .and_then(|m| m.get(&version))
+                .cloned()
+        };
+        self.trace_end(&scope);
+        out
     }
 
     /// Multi-version write: installs a new version under its own composite
     /// key (Figure 5 line 21). Idempotent: re-writing the same version
     /// (a crash-retry) overwrites in place with identical content.
     pub async fn put_version(&self, key: &Key, version: VersionNum, value: Value) {
+        let scope = self.trace_begin("db_version_write");
         self.pay(self.model.db_write).await;
-        let now = self.ctx.now();
-        let mut inner = self.inner.borrow_mut();
-        inner.counters.db_writes += 1;
-        let new_bytes = (key.size_bytes() + 8 + value.size_bytes() + ITEM_META_BYTES) as f64;
-        if !inner.versions.contains_key(key) {
-            inner.versions.insert(key.clone(), FxHashMap::default());
+        {
+            let now = self.ctx.now();
+            let mut inner = self.inner.borrow_mut();
+            inner.counters.db_writes += 1;
+            let new_bytes = (key.size_bytes() + 8 + value.size_bytes() + ITEM_META_BYTES) as f64;
+            if !inner.versions.contains_key(key) {
+                inner.versions.insert(key.clone(), FxHashMap::default());
+            }
+            let old = inner
+                .versions
+                .get_mut(key)
+                .expect("versions entry just ensured")
+                .insert(version, value);
+            if let Some(old) = old {
+                inner.charge(
+                    now,
+                    -((key.size_bytes() + 8 + old.size_bytes() + ITEM_META_BYTES) as f64),
+                );
+            }
+            inner.charge(now, new_bytes);
         }
-        let old = inner
-            .versions
-            .get_mut(key)
-            .expect("versions entry just ensured")
-            .insert(version, value);
-        if let Some(old) = old {
-            inner.charge(
-                now,
-                -((key.size_bytes() + 8 + old.size_bytes() + ITEM_META_BYTES) as f64),
-            );
-        }
-        inner.charge(now, new_bytes);
+        self.trace_end(&scope);
     }
 
     /// Deletes one version (garbage collection, §4.5). Returns whether the
     /// version existed.
     pub async fn delete_version(&self, key: &Key, version: VersionNum) -> bool {
+        let scope = self.trace_begin("db_delete");
         self.pay(self.model.db_write).await;
-        let now = self.ctx.now();
-        let mut inner = self.inner.borrow_mut();
-        inner.counters.db_deletes += 1;
-        match inner.versions.get_mut(key).and_then(|m| m.remove(&version)) {
-            Some(old) => {
-                inner.charge(
-                    now,
-                    -((key.size_bytes() + 8 + old.size_bytes() + ITEM_META_BYTES) as f64),
-                );
-                true
+        let out = {
+            let now = self.ctx.now();
+            let mut inner = self.inner.borrow_mut();
+            inner.counters.db_deletes += 1;
+            match inner.versions.get_mut(key).and_then(|m| m.remove(&version)) {
+                Some(old) => {
+                    inner.charge(
+                        now,
+                        -((key.size_bytes() + 8 + old.size_bytes() + ITEM_META_BYTES) as f64),
+                    );
+                    true
+                }
+                None => false,
             }
-            None => false,
-        }
+        };
+        self.trace_end(&scope);
+        out
     }
 
     // -- instant (zero-latency) inspection helpers for tests & checkers ----

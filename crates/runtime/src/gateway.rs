@@ -4,6 +4,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use hm_common::metrics::Histogram;
+use hm_common::trace::{Lane, SpanId};
 use hm_common::Value;
 use hm_sim::SimTime;
 use rand::rngs::SmallRng;
@@ -96,7 +97,28 @@ impl Gateway {
                 if queue > report.borrow().peak_queue {
                     report.borrow_mut().peak_queue = queue;
                 }
-                let result = runtime.invoke_request(&func, input).await;
+                // Traced runs: each request roots its own trace with a
+                // gateway-lane span covering queueing + execution.
+                let tracer = runtime.client().tracer();
+                let result = match &tracer {
+                    Some(t) => {
+                        let trace = t.new_trace();
+                        let span = t.span_begin(
+                            Lane::Gateway,
+                            started,
+                            trace,
+                            SpanId::NONE,
+                            "request",
+                            func.clone(),
+                        );
+                        let result = runtime
+                            .invoke_request_traced(&func, input, trace, span)
+                            .await;
+                        t.span_end(Lane::Gateway, ctx2.now(), trace, span);
+                        result
+                    }
+                    None => runtime.invoke_request(&func, input).await,
+                };
                 if measured {
                     let mut r = report.borrow_mut();
                     match result {

@@ -13,11 +13,15 @@
 //!   bounded worker pool.
 //! - [`GcDriver`] — periodic garbage collection (§4.5), with a
 //!   configurable interval (Figure 12 sweeps 10 s and 60 s).
+//! - [`MetricsDriver`] — opt-in periodic sampling of substrate counters
+//!   into a [`hm_common::trace::MetricsRegistry`] time series.
 
 mod gateway;
 mod gc_driver;
+mod metrics_driver;
 mod runtime;
 
 pub use gateway::{Gateway, LoadReport, LoadSpec, RequestFactory};
 pub use gc_driver::GcDriver;
+pub use metrics_driver::MetricsDriver;
 pub use runtime::{Runtime, RuntimeConfig, SsfBody};

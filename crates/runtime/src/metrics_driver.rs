@@ -1,0 +1,103 @@
+//! Periodic metrics sampling: mirrors substrate [`OpCounters`] into a
+//! [`MetricsRegistry`] as a virtual-time series.
+//!
+//! The driver is strictly opt-in: it spawns a task and sleeps on the
+//! virtual clock, which *does* change the simulation's interleavings, so
+//! nothing starts one implicitly. Benchmarks that compare traced vs
+//! untraced fingerprints must not enable it. Sampling itself draws no
+//! randomness, so runs with the driver remain deterministic per seed.
+//!
+//! [`OpCounters`]: hm_common::metrics::OpCounters
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use halfmoon::Client;
+use hm_common::trace::MetricsRegistry;
+use hm_sim::SimTime;
+
+/// Handle to a running periodic metrics sampler.
+pub struct MetricsDriver {
+    stop: Rc<Cell<bool>>,
+    samples: Rc<Cell<u64>>,
+}
+
+impl MetricsDriver {
+    /// Spawns a background task sampling `registry` every `interval` of
+    /// virtual time. The substrate counters of `client` (shared log and
+    /// store) are mirrored into named registry counters before each
+    /// sample, so exported series track them without touching hot paths.
+    #[must_use]
+    pub fn start(
+        client: Client,
+        registry: Rc<MetricsRegistry>,
+        interval: SimTime,
+    ) -> MetricsDriver {
+        let stop = Rc::new(Cell::new(false));
+        let samples = Rc::new(Cell::new(0u64));
+        let ctx = client.ctx().clone();
+        {
+            let stop = stop.clone();
+            let samples = samples.clone();
+            ctx.clone().spawn(async move {
+                let log_appends = registry.counter("log.appends");
+                let log_conflicts = registry.counter("log.cond_conflicts");
+                let log_reads = registry.counter("log.reads");
+                let log_trims = registry.counter("log.trims");
+                let cache_hits = registry.counter("log.cache_hits");
+                let cache_misses = registry.counter("log.cache_misses");
+                let db_reads = registry.counter("store.reads");
+                let db_writes = registry.counter("store.writes");
+                let db_cond_writes = registry.counter("store.cond_writes");
+                let db_deletes = registry.counter("store.deletes");
+                loop {
+                    ctx.sleep(interval).await;
+                    if stop.get() {
+                        break;
+                    }
+                    let log = client.log().counters();
+                    let store = client.store().counters();
+                    log_appends.set(log.log_appends);
+                    log_conflicts.set(log.cond_append_conflicts);
+                    log_reads.set(log.log_reads);
+                    log_trims.set(log.log_trims);
+                    cache_hits.set(log.cache_hits);
+                    cache_misses.set(log.cache_misses);
+                    db_reads.set(store.db_reads);
+                    db_writes.set(store.db_writes);
+                    db_cond_writes.set(store.db_cond_writes);
+                    db_deletes.set(store.db_deletes);
+                    registry.sample(ctx.now());
+                    samples.set(samples.get() + 1);
+                    if stop.get() {
+                        break;
+                    }
+                }
+            });
+        }
+        MetricsDriver { stop, samples }
+    }
+
+    /// Stops the driver before its next sample.
+    pub fn stop(&self) {
+        self.stop.set(true);
+    }
+
+    /// Samples taken so far.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples.get()
+    }
+}
+
+impl Drop for MetricsDriver {
+    fn drop(&mut self) {
+        self.stop.set(true);
+    }
+}
+
+impl std::fmt::Debug for MetricsDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MetricsDriver(samples={})", self.samples())
+    }
+}

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use halfmoon::{Client, Env, Invoker, LocalBoxFuture};
+use hm_common::trace::{Lane, SpanId, TraceId};
 use hm_common::{HmError, HmResult, InstanceId, NodeId, Value};
 use hm_sim::sync::Semaphore;
 use hm_sim::SimTime;
@@ -162,6 +163,25 @@ impl Runtime {
         self.execute(id, func, input).await
     }
 
+    /// [`Runtime::invoke_request`] joining an existing trace: the fresh
+    /// instance is bound to `(trace, parent)` *after* admission control
+    /// (the id is drawn only once a worker slot is held), so the
+    /// invocation's spans nest under the caller's request span.
+    pub async fn invoke_request_traced(
+        &self,
+        func: &str,
+        input: Value,
+        trace: TraceId,
+        parent: SpanId,
+    ) -> HmResult<Value> {
+        let _slot = self.inner.workers.acquire().await;
+        let id = self.inner.client.fresh_instance_id();
+        if let Some(t) = self.inner.client.tracer() {
+            t.bind(id.0, trace, parent);
+        }
+        self.execute(id, func, input).await
+    }
+
     /// Executes `func` as instance `id` to completion: dispatch hop,
     /// optional duplicate peer, crash detection and re-execution.
     pub async fn execute(&self, id: InstanceId, func: &str, input: Value) -> HmResult<Value> {
@@ -174,6 +194,23 @@ impl Runtime {
             .ok_or_else(|| HmError::UnknownFunction {
                 name: func.to_string(),
             })?;
+        // A bound instance (traced request or traced parent invoke) gets an
+        // "invocation" span covering all attempts and peers; attempts then
+        // find it via the rebound instance id and nest under it.
+        let tracer = self.inner.client.tracer();
+        let inv_span = tracer.as_ref().and_then(|t| {
+            let (trace, parent) = t.binding(id.0)?;
+            let span = t.span_begin(
+                Lane::Gateway,
+                self.inner.client.ctx().now(),
+                trace,
+                parent,
+                "invocation",
+                func.to_string(),
+            );
+            t.bind(id.0, trace, span);
+            Some((trace, span))
+        });
         // Maybe launch a racing peer (fire-and-forget; exactly-once
         // semantics make its effects indistinguishable from the primary's).
         let duplicate =
@@ -196,8 +233,13 @@ impl Runtime {
                 let _ = rt.run_attempts(id, &body, input, 1).await;
             });
         }
-        self.run_attempts(id, &body, input, self.inner.config.max_attempts)
-            .await
+        let result = self
+            .run_attempts(id, &body, input, self.inner.config.max_attempts)
+            .await;
+        if let (Some(t), Some((trace, span))) = (&tracer, inv_span) {
+            t.span_end(Lane::Gateway, self.inner.client.ctx().now(), trace, span);
+        }
+        result
     }
 
     async fn run_attempts(
@@ -251,6 +293,18 @@ impl Runtime {
                 Err(e) if e.is_crash() && attempt + 1 < max_attempts => {
                     attempt += 1;
                     self.inner.retries.set(self.inner.retries.get() + 1);
+                    if let Some(t) = client.tracer() {
+                        let (trace, parent) =
+                            t.binding(id.0).unwrap_or((TraceId::NONE, SpanId::NONE));
+                        t.instant(
+                            Lane::Node(node.0),
+                            client.ctx().now(),
+                            trace,
+                            parent,
+                            "crash_retry",
+                            format!("attempt {attempt}"),
+                        );
+                    }
                     client.ctx().sleep(self.inner.config.detection_delay).await;
                 }
                 Err(e) => return Err(e),

@@ -34,10 +34,15 @@ use std::rc::Rc;
 use hm_common::collections::{FxHashMap, FxHashSet, LruSet, TagSet};
 use hm_common::latency::LatencyModel;
 use hm_common::metrics::{OpCounters, TimeWeightedGauge};
+use hm_common::trace::{Lane, SpanId, TraceId, Tracer};
 use hm_common::{NodeId, SeqNum, Tag};
 use hm_sim::SimCtx;
 
 use crate::payload::Payload;
+
+/// Captured trace context for one in-flight log operation: the tracer plus
+/// the `(trace, span)` this operation's storage-lane span belongs to.
+type TraceScope = Option<(Rc<Tracer>, TraceId, SpanId)>;
 
 /// Per-record metadata bytes charged to log storage (`S_meta`, §4.6:
 /// "a few dozen bytes" covering seqnum, tags, step, op kind).
@@ -205,6 +210,8 @@ struct LogInner<P> {
     node_cache_capacity: usize,
     bytes: TimeWeightedGauge,
     counters: OpCounters,
+    /// Optional tracing sink, shared by all handle clones.
+    tracer: Option<Rc<Tracer>>,
 }
 
 impl<P> LogInner<P> {
@@ -269,7 +276,41 @@ impl<P: Payload> SharedLog<P> {
                 node_cache_capacity: config.node_cache_capacity,
                 bytes: TimeWeightedGauge::new(now),
                 counters: OpCounters::default(),
+                tracer: None,
             })),
+        }
+    }
+
+    /// Installs a tracer; every log round-trip then emits a span on the
+    /// storage lane (with sequencing decisions on the sequencer lane and
+    /// cache hits/misses on the reading node's lane), attributed to the
+    /// caller's current trace context. Shared by all handle clones.
+    pub fn set_tracer(&self, tracer: Rc<Tracer>) {
+        self.inner.borrow_mut().tracer = Some(tracer);
+    }
+
+    /// Captures the caller's trace context and opens a storage-lane span.
+    /// Must run at operation entry, before the first `await` (see
+    /// `hm_common::trace` module docs for the hand-off contract).
+    fn trace_begin(&self, name: &'static str) -> TraceScope {
+        let tracer = self.inner.borrow().tracer.clone()?;
+        let (trace, parent) = tracer.context();
+        let span = tracer.span_begin(Lane::Storage, self.ctx.now(), trace, parent, name, String::new());
+        Some((tracer, trace, span))
+    }
+
+    fn trace_end(&self, scope: &TraceScope) {
+        if let Some((tracer, trace, span)) = scope {
+            tracer.span_end(Lane::Storage, self.ctx.now(), *trace, *span);
+        }
+    }
+
+    /// Marks a sequencer-lane decision (order assignment or conflict)
+    /// under this operation's span. `detail` is a closure so the string is
+    /// never built when tracing is disabled.
+    fn trace_sequencer(&self, scope: &TraceScope, name: &'static str, detail: impl FnOnce() -> String) {
+        if let Some((tracer, trace, span)) = scope {
+            tracer.instant(Lane::Sequencer, self.ctx.now(), *trace, *span, name, detail());
         }
     }
 
@@ -281,12 +322,15 @@ impl<P: Payload> SharedLog<P> {
     /// acknowledging replica sets the pace, so losing a replica visibly
     /// fattens the tail).
     pub async fn append(&self, node: NodeId, tags: Vec<Tag>, payload: P) -> SeqNum {
+        let scope = self.trace_begin("log_append");
         let total = self.ctx.with_rng(|rng| self.model.log_append.sample(rng));
         let to_sequencer = total.mul_f64(self.config.sequencer_fraction);
         self.ctx.sleep(to_sequencer).await;
         let seqnum = self.install(node, tags, payload);
+        self.trace_sequencer(&scope, "sequenced", || format!("sn{}", seqnum.0));
         let storage = self.quorum_storage_latency(total.saturating_sub(to_sequencer));
         self.ctx.sleep(storage).await;
+        self.trace_end(&scope);
         seqnum
     }
 
@@ -365,6 +409,7 @@ impl<P: Payload> SharedLog<P> {
             tags.contains(&cond_tag),
             "cond_tag must be among the record's tags"
         );
+        let scope = self.trace_begin("log_cond_append");
         let total = self.ctx.with_rng(|rng| self.model.log_append.sample(rng));
         let to_sequencer = total.mul_f64(self.config.sequencer_fraction);
         self.ctx.sleep(to_sequencer).await;
@@ -388,8 +433,17 @@ impl<P: Payload> SharedLog<P> {
                 CondAppendOutcome::Conflict(winner)
             }
         };
+        match outcome {
+            CondAppendOutcome::Appended(sn) => {
+                self.trace_sequencer(&scope, "sequenced", || format!("sn{}", sn.0));
+            }
+            CondAppendOutcome::Conflict(winner) => {
+                self.trace_sequencer(&scope, "cond_conflict", || format!("winner sn{}", winner.0));
+            }
+        }
         let storage = self.quorum_storage_latency(total.saturating_sub(to_sequencer));
         self.ctx.sleep(storage).await;
+        self.trace_end(&scope);
         outcome
     }
 
@@ -439,6 +493,7 @@ impl<P: Payload> SharedLog<P> {
         tag: Tag,
         max_seqnum: SeqNum,
     ) -> Option<Rc<LogRecord<P>>> {
+        let scope = self.trace_begin("log_read_prev");
         let found = {
             let inner = self.inner.borrow();
             inner.streams.get(&tag).and_then(|s| {
@@ -456,7 +511,8 @@ impl<P: Payload> SharedLog<P> {
                 }
             })
         };
-        self.pay_read(node, found).await;
+        self.pay_read(node, found, &scope).await;
+        self.trace_end(&scope);
         found.map(|sn| self.fetch(sn))
     }
 
@@ -468,6 +524,7 @@ impl<P: Payload> SharedLog<P> {
         tag: Tag,
         min_seqnum: SeqNum,
     ) -> Option<Rc<LogRecord<P>>> {
+        let scope = self.trace_begin("log_read_next");
         let found = {
             let inner = self.inner.borrow();
             inner.streams.get(&tag).and_then(|s| {
@@ -488,13 +545,15 @@ impl<P: Payload> SharedLog<P> {
                 }
             })
         };
-        self.pay_read(node, found).await;
+        self.pay_read(node, found, &scope).await;
+        self.trace_end(&scope);
         found.map(|sn| self.fetch(sn))
     }
 
     /// Retrieves every live record of a sub-stream (Figure 5's
     /// `getStepLogs`). Costs one read round; Boki batches this scan.
     pub async fn read_stream(&self, node: NodeId, tag: Tag) -> Vec<Rc<LogRecord<P>>> {
+        let scope = self.trace_begin("log_read_stream");
         let seqnums: Vec<SeqNum> = {
             let inner = self.inner.borrow();
             inner
@@ -502,7 +561,8 @@ impl<P: Payload> SharedLog<P> {
                 .get(&tag)
                 .map_or_else(Vec::new, |s| s.seqnums.clone())
         };
-        self.pay_read(node, seqnums.first().copied()).await;
+        self.pay_read(node, seqnums.first().copied(), &scope).await;
+        self.trace_end(&scope);
         seqnums.into_iter().map(|sn| self.fetch(sn)).collect()
     }
 
@@ -511,6 +571,7 @@ impl<P: Payload> SharedLog<P> {
     /// one of its sub-streams has trimmed past it.
     pub async fn trim(&self, node: NodeId, tag: Tag, upto: SeqNum) {
         let _ = node;
+        let scope = self.trace_begin("log_trim");
         let total = self.ctx.with_rng(|rng| self.model.log_append.sample(rng));
         self.ctx.sleep(total).await;
         let now = self.ctx.now();
@@ -518,6 +579,7 @@ impl<P: Payload> SharedLog<P> {
         inner.counters.log_trims += 1;
         let inner = &mut *inner;
         let Some(stream) = inner.streams.get_mut(&tag) else {
+            self.trace_end(&scope);
             return;
         };
         // Cut point: O(1) from the bound record's stored offset when it is
@@ -550,9 +612,20 @@ impl<P: Payload> SharedLog<P> {
         }
         stream.trimmed += cut;
         inner.bytes.add(now, -(freed as f64));
+        if let Some((tracer, trace, span)) = &scope {
+            tracer.instant(
+                Lane::Storage,
+                now,
+                *trace,
+                *span,
+                "trim_reclaimed",
+                format!("{cut} entries, {freed} bytes"),
+            );
+        }
+        self.trace_end(&scope);
     }
 
-    async fn pay_read(&self, node: NodeId, target: Option<SeqNum>) {
+    async fn pay_read(&self, node: NodeId, target: Option<SeqNum>, scope: &TraceScope) {
         let hit = match target {
             Some(sn) => {
                 let mut inner = self.inner.borrow_mut();
@@ -567,6 +640,18 @@ impl<P: Payload> SharedLog<P> {
             // Absent records answer from the node's stream index: cheap.
             None => true,
         };
+        if let Some((tracer, trace, span)) = scope {
+            if target.is_some() {
+                tracer.instant(
+                    Lane::Node(node.0),
+                    self.ctx.now(),
+                    *trace,
+                    *span,
+                    if hit { "cache_hit" } else { "cache_miss" },
+                    String::new(),
+                );
+            }
+        }
         let dist = if hit {
             self.model.log_read_cached
         } else {

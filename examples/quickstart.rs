@@ -3,6 +3,11 @@
 //! the logging that made it safe.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Pass `--trace-out <path>` to record a causal trace of the run and
+//! export it as Chrome `trace_event` JSON — open it at `ui.perfetto.dev`
+//! to see the request's spans across gateway, node, sequencer, and
+//! storage lanes, including the crash retries.
 
 use std::time::Duration;
 
@@ -13,6 +18,14 @@ use hm_runtime::{Runtime, RuntimeConfig};
 use hm_sim::Sim;
 
 fn main() {
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace-out" {
+            trace_out = Some(args.next().expect("--trace-out requires a path"));
+        }
+    }
+
     // 1. A deterministic simulation: same seed, same run — always.
     let mut sim = Sim::new(42);
 
@@ -23,6 +36,14 @@ fn main() {
         ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
     );
     client.populate(Key::new("balance"), Value::Int(100));
+
+    // Optional causal tracing: pure bookkeeping, so the traced run is
+    // bit-identical to the untraced one.
+    let tracer = trace_out.as_ref().map(|_| {
+        let tracer = hm_common::trace::Tracer::new();
+        client.set_tracer(tracer.clone());
+        tracer
+    });
 
     // 3. A runtime with 8 function nodes, and one registered function:
     //    a read-modify-write that must never double-apply.
@@ -44,9 +65,19 @@ fn main() {
     client.set_faults(FaultPolicy::random(0.35, 5));
 
     let rt = runtime.clone();
+    let tracer2 = tracer.clone();
     let result = sim.block_on(async move {
-        rt.invoke_request("deposit", Value::map([("amount", Value::Int(25))]))
-            .await
+        let input = Value::map([("amount", Value::Int(25))]);
+        match &tracer2 {
+            // Traced: root a request trace so the invocation, attempts,
+            // and crash retries all nest under one tree.
+            Some(t) => {
+                let trace = t.new_trace();
+                rt.invoke_request_traced("deposit", input, trace, hm_common::trace::SpanId::NONE)
+                    .await
+            }
+            None => rt.invoke_request("deposit", input).await,
+        }
     });
 
     println!(
@@ -79,5 +110,15 @@ fn main() {
         "log appends: {} (init/finish/intent/commit records; reads appended none)",
         counters.log_appends
     );
+
+    // 7. Export the causal trace, if requested: every span of every
+    //    attempt (including the crash retries), in virtual-time order.
+    if let (Some(tracer), Some(path)) = (tracer, trace_out) {
+        std::fs::write(&path, tracer.export_chrome_json()).expect("write trace");
+        println!(
+            "trace: {} events -> {path} (open at ui.perfetto.dev)",
+            tracer.events_recorded()
+        );
+    }
     let _ = Duration::ZERO;
 }

@@ -2,8 +2,11 @@
 # Tier-1 verification plus a bench smoke run.
 #
 # Tier-1 (ROADMAP.md): release build + quiet test suite.
+# Lints: clippy across all targets with warnings denied.
 # Bench smoke: runs bench_sim_core at HM_BENCH_SCALE=0.05 (~1 s budget) and
 # asserts it completes and writes parseable JSON with the expected fields.
+# Traced smoke: re-runs with --trace-out and validates the exported
+# Chrome-trace JSON (parses, spans on every node lane, non-empty).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +15,9 @@ cargo build --release
 
 echo "== tier-1: cargo test -q =="
 cargo test -q
+
+echo "== lints: cargo clippy --all-targets -D warnings =="
+cargo clippy -q --all-targets -- -D warnings
 
 echo "== bench smoke: bench_sim_core @ HM_BENCH_SCALE=0.05 =="
 out="$(mktemp -t bench_smoke.XXXXXX.json)"
@@ -31,6 +37,31 @@ for c in d["components"]:
     assert c["wall_ms"] >= 0.0 and len(c["fingerprint"]) == 16, c
 print(f"bench smoke ok: {d['total_wall_ms']:.1f} ms, "
       f"fingerprint {d['work_fingerprint']}")
+EOF
+
+echo "== traced smoke: bench_sim_core --trace-out @ HM_BENCH_SCALE=0.05 =="
+tout="$(mktemp -t bench_traced.XXXXXX.json)"
+ttrace="$(mktemp -t trace_smoke.XXXXXX.json)"
+trap 'rm -f "$out" "$tout" "$ttrace"' EXIT
+HM_BENCH_SCALE=0.05 HM_BENCH_OUT="$tout" \
+    cargo run --release -q -p hm-bench --bin bench_sim_core -- \
+    --trace-out "$ttrace" >/dev/null
+
+python3 - "$tout" "$ttrace" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+names = [c["name"] for c in d["components"]]
+assert len(names) == 8 and names[-1] == "synthetic_halfmoon_read_traced", names
+
+t = json.load(open(sys.argv[2]))
+ev = t["traceEvents"]
+assert ev, "trace is empty"
+spans = [e for e in ev if e["ph"] == "X"]
+assert spans, "trace has no spans"
+node_lanes = {e["tid"] for e in spans if e["tid"] < 1024}
+assert node_lanes == set(range(8)), f"missing node lanes: {node_lanes}"
+print(f"traced smoke ok: {len(ev)} events, {len(spans)} spans, "
+      f"node lanes {sorted(node_lanes)}")
 EOF
 
 echo "== verify OK =="

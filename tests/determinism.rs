@@ -20,12 +20,24 @@ use hm_workloads::Workload;
 type RunFingerprint = (u64, OpCounters, OpCounters, String);
 
 fn run_fingerprint(seed: u64, workload: &dyn Workload, kind: ProtocolKind) -> RunFingerprint {
+    run_fingerprint_traced(seed, workload, kind, None)
+}
+
+fn run_fingerprint_traced(
+    seed: u64,
+    workload: &dyn Workload,
+    kind: ProtocolKind,
+    tracer: Option<Rc<hm_common::trace::Tracer>>,
+) -> RunFingerprint {
     let mut sim = Sim::new(seed);
     let client = Client::new(
         sim.ctx(),
         LatencyModel::calibrated(),
         ProtocolConfig::uniform(kind),
     );
+    if let Some(tracer) = tracer {
+        client.set_tracer(tracer);
+    }
     client.set_faults(FaultPolicy::random(0.002, 100));
     workload.populate(&client);
     let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
@@ -80,6 +92,50 @@ fn different_seeds_different_runs() {
     let a = run_fingerprint(1, &workload, ProtocolKind::HalfmoonRead);
     let b = run_fingerprint(2, &workload, ProtocolKind::HalfmoonRead);
     assert_ne!(a.3, b.3, "different seeds should visibly diverge");
+}
+
+/// Enabling tracing must not change a single simulated outcome: the
+/// tracer is pure bookkeeping on the caller's stack — no RNG draws, no
+/// spawned tasks, no virtual-time sleeps — so the traced run's full
+/// fingerprint equals the untraced run's.
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let workload = SyntheticOps {
+        objects: 300,
+        ..SyntheticOps::default()
+    };
+    for kind in [ProtocolKind::HalfmoonRead, ProtocolKind::HalfmoonWrite] {
+        let plain = run_fingerprint(4242, &workload, kind);
+        let tracer = hm_common::trace::Tracer::new();
+        let traced = run_fingerprint_traced(4242, &workload, kind, Some(tracer.clone()));
+        assert_eq!(plain, traced, "{kind}: tracing changed the simulation");
+        assert!(tracer.events_recorded() > 0, "{kind}: trace is empty");
+    }
+}
+
+/// The trace itself is deterministic: two runs from the same seed export
+/// byte-identical JSONL event logs (same spans, same ids, same virtual
+/// timestamps, same order).
+#[test]
+fn identical_seeds_identical_traces() {
+    let workload = SyntheticOps {
+        objects: 300,
+        ..SyntheticOps::default()
+    };
+    let export = || {
+        let tracer = hm_common::trace::Tracer::new();
+        let _ = run_fingerprint_traced(
+            9001,
+            &workload,
+            ProtocolKind::HalfmoonRead,
+            Some(tracer.clone()),
+        );
+        tracer.export_jsonl()
+    };
+    let a = export();
+    let b = export();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed must export byte-identical traces");
 }
 
 #[test]
