@@ -175,6 +175,73 @@ fn sharedlog_trim_stress(scale: f64) -> Component {
     }
 }
 
+/// Sequencer saturation sweep: the same concurrent append load pushed
+/// through 1/2/4/8 shards, each shard's sequencer capped at a fixed
+/// ordering capacity. One shard saturates (sustained throughput pins at
+/// the cap); adding shards moves the knee, so sustainable throughput must
+/// climb strictly from 1 to 4 shards — asserted here, so the bench itself
+/// is the regression test for the sharded topology's scaling.
+fn sharedlog_shard_sweep(scale: f64) -> Component {
+    let start = Instant::now();
+    // 4 000 appends/s of ordering capacity per shard; 64 writers driving
+    // ~64 tags offer far more than one lane can order.
+    let capacity = 4_000.0;
+    let writers = 64u64;
+    let per_writer = (((12_000.0 * scale) as u64).max(1_024) / writers).max(4);
+    let mut fp = 0u64;
+    let mut polls = 0u64;
+    let mut throughput = Vec::new();
+    for &shards in &[1u8, 2, 4, 8] {
+        let mut sim = Sim::new(0x5EED);
+        let log: SharedLog<u64> = SharedLog::new(
+            sim.ctx(),
+            LatencyModel::uniform_test_model(),
+            LogConfig {
+                topology: hm_sharedlog::Topology::sharded(shards),
+                sequencer_capacity: Some(capacity),
+                ..LogConfig::default()
+            },
+        );
+        let ctx = sim.ctx();
+        for w in 0..writers {
+            let l = log.clone();
+            ctx.spawn(async move {
+                let tag = Tag::new(TagKind::ObjectLog, 0x7000 + w);
+                for i in 0..per_writer {
+                    l.append(NodeId((w % 8) as u32), vec![tag], i).await;
+                }
+            });
+        }
+        sim.run();
+        let appends = log.counters().log_appends;
+        assert_eq!(appends, writers * per_writer);
+        let tput = appends as f64 / sim.now().as_secs_f64();
+        throughput.push(tput);
+        fp = mix(fp, u64::from(shards));
+        fp = mix(fp, appends);
+        fp = mix(fp, sim.now().as_nanos() as u64);
+        fp = mix(fp, tput.to_bits());
+        for lane in log.shard_appends() {
+            fp = mix(fp, lane);
+        }
+        polls += sim.poll_count();
+    }
+    eprintln!(
+        "shard sweep sustainable appends/s: 1={:.0} 2={:.0} 4={:.0} 8={:.0}",
+        throughput[0], throughput[1], throughput[2], throughput[3]
+    );
+    assert!(
+        throughput[2] > throughput[0],
+        "4 shards must sustain strictly more appends/s than 1: {throughput:?}"
+    );
+    Component {
+        name: "sharedlog_shard_sweep",
+        wall: start.elapsed(),
+        polls,
+        fingerprint: fp,
+    }
+}
+
 /// Raw shared-log traffic: appends, conditional appends, stream reads, and
 /// trims against many tags — the log's index/refcount/caching hot paths
 /// without protocol logic on top.
@@ -304,6 +371,7 @@ fn main() {
         executor_timer_stress(scale),
         sharedlog_ops(scale),
         sharedlog_trim_stress(scale),
+        sharedlog_shard_sweep(scale),
         app("synthetic_halfmoon_read", ProtocolKind::HalfmoonRead, scale, false),
         app("synthetic_halfmoon_write", ProtocolKind::HalfmoonWrite, scale, false),
         app("travel_halfmoon_read", ProtocolKind::HalfmoonRead, scale, true),

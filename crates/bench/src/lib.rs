@@ -31,11 +31,24 @@ pub struct BenchEnv {
 /// Builds a deployment with the calibrated latency model.
 #[must_use]
 pub fn build_env(seed: u64, kind: ProtocolKind, rt_config: RuntimeConfig) -> BenchEnv {
+    build_env_with_topology(seed, kind, rt_config, halfmoon::Topology::default())
+}
+
+/// Like [`build_env`], with an explicit logging topology (shard count,
+/// replicas per shard, function nodes).
+#[must_use]
+pub fn build_env_with_topology(
+    seed: u64,
+    kind: ProtocolKind,
+    rt_config: RuntimeConfig,
+    topology: halfmoon::Topology,
+) -> BenchEnv {
     let sim = Sim::new(seed);
-    let client = Client::new(
+    let client = Client::with_topology(
         sim.ctx(),
         LatencyModel::calibrated(),
         ProtocolConfig::uniform(kind),
+        topology,
     );
     let runtime = Runtime::new(client.clone(), rt_config);
     BenchEnv {

@@ -307,6 +307,28 @@ impl OpCounters {
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
         }
     }
+
+    /// Element-wise sum `self + other`, for aggregating per-shard counter
+    /// snapshots into one deployment-wide view. Saturating, like [`since`].
+    ///
+    /// [`since`]: OpCounters::since
+    #[must_use]
+    pub fn merged(&self, other: &OpCounters) -> OpCounters {
+        OpCounters {
+            log_appends: self.log_appends.saturating_add(other.log_appends),
+            cond_append_conflicts: self
+                .cond_append_conflicts
+                .saturating_add(other.cond_append_conflicts),
+            log_reads: self.log_reads.saturating_add(other.log_reads),
+            log_trims: self.log_trims.saturating_add(other.log_trims),
+            db_reads: self.db_reads.saturating_add(other.db_reads),
+            db_writes: self.db_writes.saturating_add(other.db_writes),
+            db_cond_writes: self.db_cond_writes.saturating_add(other.db_cond_writes),
+            db_deletes: self.db_deletes.saturating_add(other.db_deletes),
+            cache_hits: self.cache_hits.saturating_add(other.cache_hits),
+            cache_misses: self.cache_misses.saturating_add(other.cache_misses),
+        }
+    }
 }
 
 #[cfg(test)]

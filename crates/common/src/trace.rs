@@ -85,14 +85,17 @@ impl fmt::Debug for SpanId {
     }
 }
 
-/// The swim-lane an event renders in: one per function node, plus shared
-/// lanes for the sequencer, the storage tier, the gateway, and the GC.
+/// The swim-lane an event renders in: one per function node, one per log
+/// shard's sequencer, plus shared lanes for the storage tier, the gateway,
+/// and the GC.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Lane {
     /// A function node's lane (`NodeId.0`).
     Node(u32),
-    /// The shared log's sequencer (ordering decisions land here).
-    Sequencer,
+    /// One log shard's sequencer (`ShardId.0`): that shard's ordering
+    /// decisions land here. Shard 0 is the only sequencer in a
+    /// single-shard deployment.
+    Sequencer(u8),
     /// The storage tier (log storage + KV store round-trips).
     Storage,
     /// The gateway (request arrival/completion).
@@ -101,12 +104,14 @@ pub enum Lane {
     Gc,
 }
 
-/// Chrome-trace `tid` values for the shared lanes; node lanes use their
-/// node id directly and must stay below [`SEQUENCER_TID`].
-const SEQUENCER_TID: u32 = 1024;
-const STORAGE_TID: u32 = 1025;
-const GATEWAY_TID: u32 = 1026;
-const GC_TID: u32 = 1027;
+/// Chrome-trace `tid` layout: node lanes use their node id directly and
+/// must stay below [`SEQUENCER_TID_BASE`]; sequencer lanes occupy
+/// `SEQUENCER_TID_BASE + shard` (one per possible `u8` shard id); the
+/// remaining shared lanes start at 2048.
+const SEQUENCER_TID_BASE: u32 = 1024;
+const STORAGE_TID: u32 = 2048;
+const GATEWAY_TID: u32 = 2049;
+const GC_TID: u32 = 2050;
 
 impl Lane {
     /// Stable integer id used as the Chrome-trace `tid` and ring-buffer key.
@@ -114,10 +119,10 @@ impl Lane {
     pub fn tid(self) -> u32 {
         match self {
             Lane::Node(n) => {
-                debug_assert!(n < SEQUENCER_TID, "node id collides with shared lanes");
+                debug_assert!(n < SEQUENCER_TID_BASE, "node id collides with shared lanes");
                 n
             }
-            Lane::Sequencer => SEQUENCER_TID,
+            Lane::Sequencer(shard) => SEQUENCER_TID_BASE + u32::from(shard),
             Lane::Storage => STORAGE_TID,
             Lane::Gateway => GATEWAY_TID,
             Lane::Gc => GC_TID,
@@ -128,10 +133,13 @@ impl Lane {
     #[must_use]
     pub fn label(tid: u32) -> String {
         match tid {
-            SEQUENCER_TID => "sequencer".to_string(),
             STORAGE_TID => "storage".to_string(),
             GATEWAY_TID => "gateway".to_string(),
             GC_TID => "gc".to_string(),
+            SEQUENCER_TID_BASE => "sequencer".to_string(),
+            n if (SEQUENCER_TID_BASE..SEQUENCER_TID_BASE + 256).contains(&n) => {
+                format!("sequencer{}", n - SEQUENCER_TID_BASE)
+            }
             n => format!("node{n}"),
         }
     }
@@ -978,7 +986,7 @@ mod tests {
             let tr = Tracer::new();
             let trace = tr.new_trace();
             let s = tr.span_begin(Lane::Gateway, t(1), trace, SpanId::NONE, "request", String::new());
-            tr.instant(Lane::Sequencer, t(2), trace, s, "sequenced", "sn7".to_string());
+            tr.instant(Lane::Sequencer(0), t(2), trace, s, "sequenced", "sn7".to_string());
             tr.span_end(Lane::Gateway, t(3), trace, s);
             tr.export_jsonl()
         };

@@ -17,7 +17,7 @@ use hm_common::metrics::Histogram;
 use hm_common::trace::Tracer;
 use hm_common::{HmResult, InstanceId, Key, NodeId, Tag, Value};
 use hm_kvstore::KvStore;
-use hm_sharedlog::{LogConfig, SharedLog};
+use hm_sharedlog::{LogConfig, LogService, Topology};
 use hm_sim::SimCtx;
 
 use crate::history::Recorder;
@@ -229,7 +229,7 @@ pub struct OpLatencies {
 
 struct ClientInner {
     ctx: SimCtx,
-    log: SharedLog<StepRecord>,
+    log: LogService<StepRecord>,
     store: KvStore,
     model: LatencyModel,
     config: RefCell<ProtocolConfig>,
@@ -260,10 +260,31 @@ pub struct Client {
 }
 
 impl Client {
-    /// Builds a deployment: fresh log and store on the given simulation.
+    /// Builds a deployment: fresh single-shard log and store on the given
+    /// simulation.
     #[must_use]
     pub fn new(ctx: SimCtx, model: LatencyModel, config: ProtocolConfig) -> Client {
-        let log = SharedLog::new(ctx.clone(), model, LogConfig::default());
+        Client::with_topology(ctx, model, config, Topology::default())
+    }
+
+    /// Builds a deployment whose logging layer runs `topology.shards`
+    /// independently-sequenced shards. `Topology::default()` (one shard)
+    /// is exactly [`Client::new`].
+    #[must_use]
+    pub fn with_topology(
+        ctx: SimCtx,
+        model: LatencyModel,
+        config: ProtocolConfig,
+        topology: Topology,
+    ) -> Client {
+        let log = LogService::new(
+            ctx.clone(),
+            model,
+            LogConfig {
+                topology,
+                ..LogConfig::default()
+            },
+        );
         let store = KvStore::new(ctx.clone(), model);
         Client {
             inner: Rc::new(ClientInner {
@@ -292,8 +313,14 @@ impl Client {
 
     /// The shared log.
     #[must_use]
-    pub fn log(&self) -> &SharedLog<StepRecord> {
+    pub fn log(&self) -> &LogService<StepRecord> {
         &self.inner.log
+    }
+
+    /// The logging topology this deployment runs.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        self.inner.log.topology()
     }
 
     /// The external state store.

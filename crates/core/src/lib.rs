@@ -69,6 +69,7 @@ mod ops_transitional;
 pub use client::{
     finish_log_tag, init_log_tag, transition_log_tag, Client, FaultPolicy, Invoker, LocalBoxFuture,
 };
+pub use hm_sharedlog::{GlobalSeqNum, ShardId, Topology};
 pub use env::{Env, ObjectMode};
 pub use gc::{GarbageCollector, GcStats};
 pub use history::{Event, EventKind, Recorder};

@@ -41,6 +41,10 @@ pub struct LoadReport {
     pub errors: u64,
     /// Largest observed request queue depth at the admission semaphore.
     pub peak_queue: usize,
+    /// Log appends sequenced by each shard during the measured window
+    /// (from the first measured arrival to the end of the drain), in
+    /// shard order. A single-shard deployment reports one entry.
+    pub per_shard_appends: Vec<u64>,
 }
 
 impl LoadReport {
@@ -48,6 +52,26 @@ impl LoadReport {
     #[must_use]
     pub fn throughput(&self, window: SimTime) -> f64 {
         self.completed as f64 / window.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Appends per second each shard's sequencer ordered over the
+    /// measured window — the per-lane load that shows which sequencer
+    /// saturates first.
+    #[must_use]
+    pub fn append_rate_per_shard(&self, window: SimTime) -> Vec<f64> {
+        let secs = window.as_secs_f64().max(f64::MIN_POSITIVE);
+        self.per_shard_appends
+            .iter()
+            .map(|&n| n as f64 / secs)
+            .collect()
+    }
+
+    /// Total appends per second across all shards over the measured
+    /// window.
+    #[must_use]
+    pub fn append_throughput(&self, window: SimTime) -> f64 {
+        let total: u64 = self.per_shard_appends.iter().sum();
+        total as f64 / window.as_secs_f64().max(f64::MIN_POSITIVE)
     }
 }
 
@@ -72,6 +96,10 @@ impl Gateway {
         let in_flight = Rc::new(std::cell::Cell::new(0u64));
         let deadline = ctx.now() + spec.warmup + spec.duration;
         let measure_from = ctx.now() + spec.warmup;
+        // Per-shard append baseline, snapshotted synchronously at the
+        // first measured arrival (no extra task or timer, so traced and
+        // untraced interleavings are untouched).
+        let mut appends_at_measure: Option<Vec<u64>> = None;
         let mut seq = 0u64;
         while ctx.now() < deadline {
             let gap =
@@ -85,6 +113,9 @@ impl Gateway {
             let measured = ctx.now() >= measure_from;
             if measured {
                 report.borrow_mut().generated += 1;
+                if appends_at_measure.is_none() {
+                    appends_at_measure = Some(self.runtime.client().log().shard_appends());
+                }
             }
             let runtime = self.runtime.clone();
             let report = report.clone();
@@ -137,7 +168,17 @@ impl Gateway {
         while in_flight.get() > 0 && ctx.now() < grace {
             ctx.sleep(SimTime::from_millis(10)).await;
         }
-        let report = report.borrow().clone();
+        let mut report = report.borrow().clone();
+        let end = self.runtime.client().log().shard_appends();
+        report.per_shard_appends = match appends_at_measure {
+            Some(base) => end
+                .iter()
+                .zip(&base)
+                .map(|(&e, &b)| e.saturating_sub(b))
+                .collect(),
+            // No measured arrivals: the window is empty, report zeros.
+            None => vec![0; end.len()],
+        };
         report
     }
 }

@@ -50,6 +50,18 @@ impl MetricsDriver {
                 let db_writes = registry.counter("store.writes");
                 let db_cond_writes = registry.counter("store.cond_writes");
                 let db_deletes = registry.counter("store.deletes");
+                // Per-shard mirrors, registered after the aggregate
+                // counters so existing sample indexes stay stable.
+                let shards = client.log().shard_count();
+                let shard_appends: Vec<_> = (0..shards)
+                    .map(|s| registry.counter(&format!("log.appends.shard{s}")))
+                    .collect();
+                let shard_trims: Vec<_> = (0..shards)
+                    .map(|s| registry.counter(&format!("log.trims.shard{s}")))
+                    .collect();
+                let shard_degraded: Vec<_> = (0..shards)
+                    .map(|s| registry.counter(&format!("log.degraded_appends.shard{s}")))
+                    .collect();
                 loop {
                     ctx.sleep(interval).await;
                     if stop.get() {
@@ -67,6 +79,14 @@ impl MetricsDriver {
                     db_writes.set(store.db_writes);
                     db_cond_writes.set(store.db_cond_writes);
                     db_deletes.set(store.db_deletes);
+                    for s in 0..shards {
+                        #[allow(clippy::cast_possible_truncation)]
+                        let id = halfmoon::ShardId(s as u8);
+                        let per = client.log().shard_counters(id);
+                        shard_appends[s].set(per.log_appends);
+                        shard_trims[s].set(per.log_trims);
+                        shard_degraded[s].set(client.log().shard_degraded_appends(id));
+                    }
                     registry.sample(ctx.now());
                     samples.set(samples.get() + 1);
                     if stop.get() {

@@ -54,6 +54,18 @@ impl Default for RuntimeConfig {
     }
 }
 
+impl RuntimeConfig {
+    /// Runtime sized to a logging topology: one worker pool per function
+    /// node. `Topology::default()` yields exactly the default config.
+    #[must_use]
+    pub fn for_topology(topology: halfmoon::Topology) -> RuntimeConfig {
+        RuntimeConfig {
+            nodes: topology.function_nodes,
+            ..RuntimeConfig::default()
+        }
+    }
+}
+
 struct RuntimeInner {
     client: Client,
     config: RuntimeConfig,

@@ -1,22 +1,35 @@
-//! Boki-style shared log: the paper's logging layer.
+//! Boki-style shared log: the paper's logging layer, sharded.
 //!
 //! The logging layer implements the shared-log abstraction (§3): a global
 //! totally-ordered stream of records, logically divided into sub-streams by
 //! *tags*. A record may carry several tags and thus appear in several
-//! sub-streams; sub-stream order is inherited from the main log's seqnums.
+//! sub-streams; sub-stream order is inherited from the shared clock's
+//! seqnums.
 //!
-//! The API surface is exactly Figure 3:
+//! The API surface is exactly Figure 3, served by the routed
+//! [`LogService`] facade ([`SharedLog`] is an alias for it):
 //!
 //! | paper               | here                        |
 //! |---------------------|-----------------------------|
-//! | `logAppend`         | [`SharedLog::append`]       |
-//! | `logCondAppend` §5.1| [`SharedLog::cond_append`]  |
-//! | `logReadPrev`       | [`SharedLog::read_prev`]    |
-//! | `logReadNext`       | [`SharedLog::read_next`]    |
-//! | `logTrim`           | [`SharedLog::trim`]         |
+//! | `logAppend`         | [`LogService::append`]      |
+//! | `logCondAppend` §5.1| [`LogService::cond_append`] |
+//! | `logReadPrev`       | [`LogService::read_prev`]   |
+//! | `logReadNext`       | [`LogService::read_next`]   |
+//! | `logTrim`           | [`LogService::trim`]        |
 //!
-//! plus [`SharedLog::read_stream`], the `getStepLogs` helper from Figure 5
+//! plus [`LogService::read_stream`], the `getStepLogs` helper from Figure 5
 //! that retrieves an SSF's whole execution history in one call.
+//!
+//! # Topology
+//!
+//! The log runs as [`Topology::shards`] independently-sequenced shards.
+//! Sub-streams are placed deterministically by tag hash (`router`), each
+//! shard owns a sequencer lane plus a replicated storage group (`shard`),
+//! and the facade (`service`) routes every Figure-3 call to the owning
+//! shard. Seqnums come from a clock shared by all shards, so they stay
+//! globally comparable — see the `router` module docs for why the
+//! protocols need that. The default topology is a single shard, which is
+//! behaviorally identical to the pre-sharding monolith.
 //!
 //! # Simulation model
 //!
@@ -47,8 +60,16 @@
 //! });
 //! ```
 
-mod log_impl;
 mod payload;
+mod router;
+mod service;
+mod shard;
 
-pub use log_impl::{CondAppendOutcome, LogConfig, LogRecord, SharedLog};
 pub use payload::Payload;
+pub use router::{shard_for_tag, GlobalSeqNum, ShardId, Topology};
+pub use service::{CondAppendOutcome, LogConfig, LogService};
+pub use shard::{LogRecord, RECORD_META_BYTES};
+
+/// The pre-sharding name for the log handle; an alias for the routed
+/// facade so existing call sites keep compiling unchanged.
+pub type SharedLog<P> = LogService<P>;

@@ -1,0 +1,233 @@
+//! Tag→shard placement and the shared sequencing clock.
+//!
+//! # Why a *shared* clock under per-shard sequencers
+//!
+//! Halfmoon's protocols only ever *scan* per sub-stream (tag), so each
+//! shard can own its tags' stream indexes outright. But seqnums are
+//! compared **across** streams all over the stack: the read-log cursor
+//! bounds object-log `read_prev` calls, `Env::resolve` bounds the
+//! transition stream by the init record's seqnum, `boki_write` folds a
+//! step-log seqnum into a store version, and the GC watermark is a
+//! seqnum compared against every stream's records. A per-shard counter
+//! would make those comparisons meaningless.
+//!
+//! So shards share one logical order clock (à la Scalog's ordering layer
+//! and Boki's metalog): every sequencing decision — on any shard — draws
+//! the next value of a single dense counter. Each shard still has its own
+//! sequencer *lane* (its own admission queue, capacity, and trace lane);
+//! only the counter is shared. The composite [`GlobalSeqNum`] carries the
+//! owning shard alongside the globally comparable position, and the
+//! router's seqnum index maps any seqnum back to its owning shard's slab
+//! slot in O(1).
+//!
+//! Placement is deterministic: `shard(tag) = fxhash(tag) % shards`, so
+//! every node, the GC, and the metrics layer agree on where a sub-stream
+//! lives without coordination. With `shards == 1` everything routes to
+//! shard 0 and the clock degenerates to the old single-sequencer counter.
+
+use std::hash::Hasher;
+
+use hm_common::collections::FxHasher;
+use hm_common::{SeqNum, Tag};
+
+/// Identifies one log shard: a sequencer lane plus its replicated storage
+/// group and stream indexes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ShardId(pub u8);
+
+/// Deployment-wide logging topology, threaded from runtime construction
+/// down to the log service.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Topology {
+    /// Number of independently sequenced log shards (≥ 1).
+    pub shards: u8,
+    /// Storage replicas backing each shard (the paper's setup uses three
+    /// storage nodes per ordering lane).
+    pub replicas_per_shard: u32,
+    /// Function nodes in the deployment (each gets a per-shard record
+    /// cache and a runtime worker pool).
+    pub function_nodes: u32,
+}
+
+impl Default for Topology {
+    fn default() -> Topology {
+        Topology {
+            shards: 1,
+            replicas_per_shard: 3,
+            function_nodes: 8,
+        }
+    }
+}
+
+impl Topology {
+    /// The pre-sharding deployment: one sequencer, three replicas, eight
+    /// function nodes.
+    #[must_use]
+    pub fn single() -> Topology {
+        Topology::default()
+    }
+
+    /// Default topology with `shards` sequencer lanes (clamped to ≥ 1).
+    #[must_use]
+    pub fn sharded(shards: u8) -> Topology {
+        Topology {
+            shards: shards.max(1),
+            ..Topology::default()
+        }
+    }
+}
+
+/// Composite log position: the owning shard plus the position drawn from
+/// the shared order clock.
+///
+/// Ordering compares only the clock component — `seq` is globally unique
+/// and dense across shards, so it is the paper-visible seqnum; `shard` is
+/// routing metadata.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GlobalSeqNum {
+    /// Shard whose slab stores the record.
+    pub shard: ShardId,
+    /// Position in the shared total order.
+    pub seq: SeqNum,
+}
+
+impl PartialOrd for GlobalSeqNum {
+    fn partial_cmp(&self, other: &GlobalSeqNum) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for GlobalSeqNum {
+    fn cmp(&self, other: &GlobalSeqNum) -> std::cmp::Ordering {
+        self.seq.cmp(&other.seq)
+    }
+}
+
+/// Deterministic tag placement: which shard owns `tag`'s sub-stream under
+/// a `shards`-way topology. Exposed so tests and tools can pick tags that
+/// land on (or off) a given shard.
+#[must_use]
+pub fn shard_for_tag(tag: Tag, shards: u8) -> ShardId {
+    if shards <= 1 {
+        return ShardId(0);
+    }
+    let mut h = FxHasher::default();
+    h.write_u64(tag.0);
+    #[allow(clippy::cast_possible_truncation)]
+    ShardId((h.finish() % u64::from(shards)) as u8)
+}
+
+/// The routing core: placement plus the shared clock and the global
+/// seqnum→slot index.
+pub(crate) struct Router {
+    topology: Topology,
+    next_seqnum: SeqNum,
+    /// `seqnum - 1` → `(shard, slot in that shard's slab)`. Seqnums are
+    /// dense across shards, so this is a flat vector, not a map.
+    seq_index: Vec<(u8, u32)>,
+}
+
+impl Router {
+    pub(crate) fn new(topology: Topology) -> Router {
+        Router {
+            topology,
+            next_seqnum: SeqNum(1),
+            seq_index: Vec::new(),
+        }
+    }
+
+    pub(crate) fn shard_of(&self, tag: Tag) -> ShardId {
+        shard_for_tag(tag, self.topology.shards)
+    }
+
+    /// The seqnum the next sequencing decision will receive.
+    pub(crate) fn head(&self) -> SeqNum {
+        self.next_seqnum
+    }
+
+    /// Draws the next value of the shared clock for a record stored at
+    /// `slot` in `shard`'s slab.
+    pub(crate) fn assign(&mut self, shard: u8, slot: u32) -> SeqNum {
+        let seqnum = self.next_seqnum;
+        self.next_seqnum = seqnum.next();
+        debug_assert_eq!(
+            self.seq_index.len() as u64 + 1,
+            seqnum.0,
+            "the shared clock must stay dense"
+        );
+        self.seq_index.push((shard, slot));
+        seqnum
+    }
+
+    /// Maps a seqnum back to `(shard, slot)`, if it was ever assigned.
+    pub(crate) fn locate(&self, sn: SeqNum) -> Option<(u8, u32)> {
+        let idx = sn.0.checked_sub(1)? as usize;
+        self.seq_index.get(idx).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use hm_common::ids::TagKind;
+
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_and_in_range() {
+        for shards in [1u8, 2, 4, 8] {
+            for i in 0..256u64 {
+                let tag = Tag::new(TagKind::ObjectLog, i);
+                let s = shard_for_tag(tag, shards);
+                assert!(s.0 < shards, "shard {s:?} out of range for {shards}");
+                assert_eq!(s, shard_for_tag(tag, shards), "placement must be stable");
+            }
+        }
+    }
+
+    #[test]
+    fn placement_spreads_tags_across_shards() {
+        let shards = 8u8;
+        let mut seen = vec![0u32; shards as usize];
+        for i in 0..512u64 {
+            seen[shard_for_tag(Tag::new(TagKind::ObjectLog, i), shards).0 as usize] += 1;
+        }
+        assert!(
+            seen.iter().all(|&n| n > 0),
+            "every shard must receive some tags: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        for i in 0..64u64 {
+            assert_eq!(shard_for_tag(Tag::new(TagKind::StepLog, i), 1), ShardId(0));
+        }
+    }
+
+    #[test]
+    fn global_seqnums_order_by_the_shared_clock() {
+        let a = GlobalSeqNum {
+            shard: ShardId(3),
+            seq: SeqNum(5),
+        };
+        let b = GlobalSeqNum {
+            shard: ShardId(0),
+            seq: SeqNum(9),
+        };
+        assert!(a < b, "ordering ignores the shard component");
+    }
+
+    #[test]
+    fn router_clock_is_dense_and_locatable() {
+        let mut r = Router::new(Topology::sharded(4));
+        let a = r.assign(2, 0);
+        let b = r.assign(0, 0);
+        let c = r.assign(2, 1);
+        assert_eq!((a, b, c), (SeqNum(1), SeqNum(2), SeqNum(3)));
+        assert_eq!(r.locate(a), Some((2, 0)));
+        assert_eq!(r.locate(b), Some((0, 0)));
+        assert_eq!(r.locate(c), Some((2, 1)));
+        assert_eq!(r.locate(SeqNum(4)), None);
+        assert_eq!(r.head(), SeqNum(4));
+    }
+}

@@ -1,65 +1,53 @@
-//! The shared-log implementation.
+//! The routed log facade: Figure 3's API over one or more shards.
 //!
-//! # Hot-path data structures
+//! [`LogService`] keeps the exact call shapes of the pre-sharding
+//! `SharedLog` — `append` / `cond_append` / `read_prev` / `read_next` /
+//! `read_stream` / `trim` — so `hm-core`'s Env, protocol ops, txn, and GC
+//! code is oblivious to the topology. Internally every operation:
 //!
-//! The simulated log sits under every protocol operation, so its structures
-//! are chosen for O(1) work per op and zero avoidable allocation:
+//! 1. routes by tag (`router::shard_for_tag`) to the shard owning the
+//!    sub-stream,
+//! 2. passes that shard's sequencer lane (bounded by
+//!    [`LogConfig::sequencer_capacity`], a no-op when uncapped),
+//! 3. draws seqnums from the *shared* clock so cross-stream comparisons
+//!    keep working (see `router` module docs), and
+//! 4. charges latency, bytes, caches, and counters to that shard.
 //!
-//! - **Record slab**: seqnums are dense (the sequencer assigns 1, 2, 3, …),
-//!   so records live in a `Vec<Option<RecordSlot>>` indexed by `seqnum - 1`
-//!   — fetch, install, and reclaim are all O(1), no hashing.
-//! - **Membership offsets**: at install time each record learns its absolute
-//!   offset in every sub-stream it joins. `read_prev`/`read_next`/`trim`
-//!   whose bound names a live record resolve positions O(1) from those
-//!   stored offsets instead of re-deriving them by binary search (the
-//!   search remains only as a fallback for bounds that are not records of
-//!   the stream).
-//! - **Live-stream refcounts**: each record counts its untrimmed stream
-//!   memberships. `trim` decrements the count for each drained entry and
-//!   reclaims the record exactly when it hits zero — O(removed) total,
-//!   replacing the per-record, per-tag `binary_search` scan, and making
-//!   byte accounting structurally exact (charged once at install, freed
-//!   once at last membership death; no double-free or leak is possible
-//!   even for records listed under trimmed-then-revived streams).
-//! - **Bounded node caches**: each function node's record cache is an
-//!   [`LruSet`] bounded by [`LogConfig::node_cache_capacity`], with
-//!   hit/miss counts surfaced in [`OpCounters`].
+//! # Multi-tag records across shards
 //!
-//! The tag index (`streams`) uses the deterministic `FxHashMap`; nothing
-//! iterates it in a behavior-affecting order.
+//! A record is sequenced once and **stored once**, on its *home* shard:
+//! the shard of its first tag (for `cond_append`, the shard of the
+//! condition tag, so the offset check and the store land on the same
+//! sequencer). Tags routed elsewhere get index-only stream entries —
+//! the seqnum appears in the foreign shard's sub-stream and resolves
+//! through the router back to the home shard's slab, like Boki's index
+//! replication. Bytes are charged exactly once (home shard) and freed
+//! exactly once, when the last stream membership — on any shard — dies.
+//!
+//! With `shards == 1` every operation routes to shard 0 and the service
+//! is behaviorally bit-identical to the old monolith: same RNG draw
+//! order, same sleeps, same counter and gauge update sequence.
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::time::Duration;
 
-use hm_common::collections::{FxHashMap, FxHashSet, LruSet, TagSet};
+use hm_common::collections::TagSet;
 use hm_common::latency::LatencyModel;
-use hm_common::metrics::{OpCounters, TimeWeightedGauge};
+use hm_common::metrics::OpCounters;
 use hm_common::trace::{Lane, SpanId, TraceId, Tracer};
 use hm_common::{NodeId, SeqNum, Tag};
 use hm_sim::SimCtx;
 
 use crate::payload::Payload;
+use crate::router::{GlobalSeqNum, Router, ShardId, Topology};
+use crate::shard::{LogRecord, Memberships, RecordSlot, ShardState, Stream, RECORD_META_BYTES};
 
 /// Captured trace context for one in-flight log operation: the tracer plus
 /// the `(trace, span)` this operation's storage-lane span belongs to.
 type TraceScope = Option<(Rc<Tracer>, TraceId, SpanId)>;
 
-/// Per-record metadata bytes charged to log storage (`S_meta`, §4.6:
-/// "a few dozen bytes" covering seqnum, tags, step, op kind).
-pub const RECORD_META_BYTES: usize = 32;
-
-/// One record in the shared log.
-#[derive(Clone, Debug)]
-pub struct LogRecord<P> {
-    /// Globally unique, monotonically increasing position in the main log.
-    pub seqnum: SeqNum,
-    /// The sub-streams this record belongs to.
-    pub tags: TagSet,
-    /// Protocol-defined payload.
-    pub payload: P,
-}
-
-/// Result of a successful [`SharedLog::cond_append`], or the conflict info
+/// Result of a successful [`LogService::cond_append`], or the conflict info
 /// the paper's `logCondAppend` returns (§5.1): the seqnum of the record that
 /// already occupies the expected position, so the losing instance can adopt
 /// the winner's state.
@@ -79,174 +67,68 @@ pub struct LogConfig {
     /// seqnum (the request's trip to the sequencer). Concurrent appends
     /// therefore race for order, like on the real network.
     pub sequencer_fraction: f64,
-    /// Number of function nodes with record caches.
-    pub nodes: u32,
-    /// Log storage replicas (the paper's setup uses three storage nodes).
-    pub replicas: u32,
+    /// Shard count, replicas per shard, and function-node count.
+    pub topology: Topology,
     /// Replicas that must acknowledge an append before it is durable.
     pub quorum: u32,
-    /// Capacity of each function node's record cache, in records. The
-    /// default is large enough that steady-state benchmark workloads never
-    /// evict (memory grows with occupancy, not with this bound); shrink it
-    /// to model cache pressure.
+    /// Capacity of each function node's per-shard record cache, in
+    /// records. The default is large enough that steady-state benchmark
+    /// workloads never evict (memory grows with occupancy, not with this
+    /// bound); shrink it to model cache pressure.
     pub node_cache_capacity: usize,
+    /// Appends per second one shard's sequencer can order. `None` models
+    /// an ideal (infinitely fast) sequencer — the pre-sharding behavior,
+    /// where ordering adds no queueing delay. Set it to see a sequencer
+    /// saturate: appends beyond the capacity queue FIFO at the lane and
+    /// pay the backlog as extra latency.
+    pub sequencer_capacity: Option<f64>,
 }
 
 impl Default for LogConfig {
     fn default() -> LogConfig {
         LogConfig {
             sequencer_fraction: 0.4,
-            nodes: 8,
-            replicas: 3,
+            topology: Topology::default(),
             quorum: 2,
             node_cache_capacity: 1 << 20,
+            sequencer_capacity: None,
         }
     }
 }
 
-/// Per-tag sub-stream: seqnums ascending, plus how many records have been
-/// trimmed from the front. Offsets into the *untrimmed* stream stay stable,
-/// which `cond_append` relies on.
-#[derive(Default)]
-struct Stream {
-    seqnums: Vec<SeqNum>,
-    trimmed: usize,
-}
-
-impl Stream {
-    fn len_total(&self) -> usize {
-        self.trimmed + self.seqnums.len()
-    }
-
-    /// Seqnum at absolute offset, if still live.
-    fn at(&self, offset: usize) -> Option<SeqNum> {
-        offset
-            .checked_sub(self.trimmed)
-            .and_then(|i| self.seqnums.get(i).copied())
-    }
-}
-
-/// Number of stream memberships stored inline per record.
-const MEMBER_INLINE: usize = 4;
-
-/// A record's stream memberships: `(tag, absolute offset in that stream)`
-/// pairs, assigned once at install. Inline up to [`MEMBER_INLINE`] entries
-/// (records almost always carry one to three tags), heap beyond.
-struct Memberships {
-    len: u32,
-    inline: [(Tag, u64); MEMBER_INLINE],
-    spill: Vec<(Tag, u64)>,
-}
-
-impl Memberships {
-    fn new() -> Memberships {
-        Memberships {
-            len: 0,
-            inline: [(Tag(0), 0); MEMBER_INLINE],
-            spill: Vec::new(),
-        }
-    }
-
-    fn push(&mut self, tag: Tag, offset: u64) {
-        let i = self.len as usize;
-        if i < MEMBER_INLINE {
-            self.inline[i] = (tag, offset);
-        } else {
-            if i == MEMBER_INLINE {
-                self.spill.extend_from_slice(&self.inline);
-            }
-            self.spill.push((tag, offset));
-        }
-        self.len += 1;
-    }
-
-    fn as_slice(&self) -> &[(Tag, u64)] {
-        if self.len as usize <= MEMBER_INLINE {
-            &self.inline[..self.len as usize]
-        } else {
-            &self.spill
-        }
-    }
-
-    /// The record's *last* offset under `tag` (a record appended with a
-    /// duplicated tag occupies several consecutive offsets; bounds must
-    /// resolve past all of them).
-    fn last_offset_of(&self, tag: Tag) -> Option<u64> {
-        self.as_slice()
-            .iter()
-            .rev()
-            .find(|&&(t, _)| t == tag)
-            .map(|&(_, off)| off)
-    }
-}
-
-/// Slab entry for one live record.
-struct RecordSlot<P> {
-    record: Rc<LogRecord<P>>,
-    /// Where this record sits in each of its sub-streams.
-    memberships: Memberships,
-    /// Untrimmed stream memberships remaining (duplicate tags counted
-    /// once per occurrence). The record is reclaimed when this hits zero.
-    live_streams: u32,
-    /// Bytes charged to the storage gauge at install, returned at reclaim.
-    bytes: usize,
-}
-
-struct LogInner<P> {
-    /// Storage replicas currently down (by index `0..config.replicas`).
-    failed_replicas: FxHashSet<u32>,
-    /// Appends persisted while fewer than `quorum` replicas were live —
-    /// the reconfigured-view path (availability preserved, like Boki's
-    /// view change, but worth counting).
-    degraded_appends: u64,
-    /// All live records, indexed by `seqnum - 1` (seqnums are dense).
-    slots: Vec<Option<RecordSlot<P>>>,
-    /// Live record count (`slots` keeps tombstones for reclaimed entries).
-    live: usize,
-    streams: FxHashMap<Tag, Stream>,
-    next_seqnum: SeqNum,
-    /// Per-node record caches, indexed by `NodeId` (grown on demand).
-    node_cache: Vec<LruSet<SeqNum>>,
-    node_cache_capacity: usize,
-    bytes: TimeWeightedGauge,
-    counters: OpCounters,
+struct ServiceInner<P> {
+    router: Router,
+    shards: Vec<ShardState<P>>,
     /// Optional tracing sink, shared by all handle clones.
     tracer: Option<Rc<Tracer>>,
 }
 
-impl<P> LogInner<P> {
-    fn slot(&self, sn: SeqNum) -> Option<&RecordSlot<P>> {
-        let idx = sn.0.checked_sub(1)? as usize;
-        self.slots.get(idx).and_then(Option::as_ref)
-    }
-
-    fn cache_for(&mut self, node: NodeId) -> &mut LruSet<SeqNum> {
-        let idx = node.0 as usize;
-        while self.node_cache.len() <= idx {
-            self.node_cache.push(LruSet::new(self.node_cache_capacity));
-        }
-        &mut self.node_cache[idx]
+impl<P> ServiceInner<P> {
+    fn locate_slot(&self, sn: SeqNum) -> Option<&RecordSlot<P>> {
+        let (shard, slot) = self.router.locate(sn)?;
+        self.shards[shard as usize].slot(slot)
     }
 
     /// The record's stored offset under `tag`, when the bound seqnum names
     /// a live record that is a member of that stream.
     fn offset_in_stream(&self, sn: SeqNum, tag: Tag) -> Option<u64> {
-        self.slot(sn)
+        self.locate_slot(sn)
             .and_then(|slot| slot.memberships.last_offset_of(tag))
     }
 }
 
-/// Handle to the simulated shared log. Cheap to clone; clones share state.
-pub struct SharedLog<P> {
+/// Handle to the simulated, possibly sharded, shared log. Cheap to clone;
+/// clones share state.
+pub struct LogService<P> {
     ctx: SimCtx,
     model: LatencyModel,
     config: LogConfig,
-    inner: Rc<RefCell<LogInner<P>>>,
+    inner: Rc<RefCell<ServiceInner<P>>>,
 }
 
-impl<P> Clone for SharedLog<P> {
+impl<P> Clone for LogService<P> {
     fn clone(&self) -> Self {
-        SharedLog {
+        LogService {
             ctx: self.ctx.clone(),
             model: self.model,
             config: self.config,
@@ -255,36 +137,61 @@ impl<P> Clone for SharedLog<P> {
     }
 }
 
-impl<P: Payload> SharedLog<P> {
-    /// Creates an empty log. Seqnums start at 1 so that [`SeqNum::ZERO`]
-    /// can mean "before everything".
+impl<P: Payload> LogService<P> {
+    /// Creates an empty log with `config.topology.shards` sequencer lanes.
+    /// Seqnums start at 1 so that [`SeqNum::ZERO`] can mean "before
+    /// everything".
     #[must_use]
-    pub fn new(ctx: SimCtx, model: LatencyModel, config: LogConfig) -> SharedLog<P> {
+    pub fn new(ctx: SimCtx, model: LatencyModel, config: LogConfig) -> LogService<P> {
         let now = ctx.now();
-        SharedLog {
+        let shards = config.topology.shards.max(1);
+        LogService {
             ctx,
             model,
             config,
-            inner: Rc::new(RefCell::new(LogInner {
-                failed_replicas: FxHashSet::default(),
-                degraded_appends: 0,
-                slots: Vec::new(),
-                live: 0,
-                streams: FxHashMap::default(),
-                next_seqnum: SeqNum(1),
-                node_cache: Vec::new(),
-                node_cache_capacity: config.node_cache_capacity,
-                bytes: TimeWeightedGauge::new(now),
-                counters: OpCounters::default(),
+            inner: Rc::new(RefCell::new(ServiceInner {
+                router: Router::new(config.topology),
+                shards: (0..shards)
+                    .map(|_| ShardState::new(now, config.node_cache_capacity))
+                    .collect(),
                 tracer: None,
             })),
         }
     }
 
+    /// The topology this service was built with.
+    #[must_use]
+    pub fn topology(&self) -> Topology {
+        self.config.topology
+    }
+
+    /// Number of shards (sequencer lanes).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.inner.borrow().shards.len()
+    }
+
+    /// Which shard owns `tag`'s sub-stream.
+    #[must_use]
+    pub fn shard_of(&self, tag: Tag) -> ShardId {
+        self.inner.borrow().router.shard_of(tag)
+    }
+
+    /// Maps a seqnum to its composite position, if it was ever assigned.
+    #[must_use]
+    pub fn locate(&self, sn: SeqNum) -> Option<GlobalSeqNum> {
+        let inner = self.inner.borrow();
+        inner.router.locate(sn).map(|(shard, _)| GlobalSeqNum {
+            shard: ShardId(shard),
+            seq: sn,
+        })
+    }
+
     /// Installs a tracer; every log round-trip then emits a span on the
-    /// storage lane (with sequencing decisions on the sequencer lane and
-    /// cache hits/misses on the reading node's lane), attributed to the
-    /// caller's current trace context. Shared by all handle clones.
+    /// storage lane (with sequencing decisions on the owning shard's
+    /// sequencer lane and cache hits/misses on the reading node's lane),
+    /// attributed to the caller's current trace context. Shared by all
+    /// handle clones.
     pub fn set_tracer(&self, tracer: Rc<Tracer>) {
         self.inner.borrow_mut().tracer = Some(tracer);
     }
@@ -305,12 +212,43 @@ impl<P: Payload> SharedLog<P> {
         }
     }
 
-    /// Marks a sequencer-lane decision (order assignment or conflict)
-    /// under this operation's span. `detail` is a closure so the string is
-    /// never built when tracing is disabled.
-    fn trace_sequencer(&self, scope: &TraceScope, name: &'static str, detail: impl FnOnce() -> String) {
+    /// Marks a sequencer-lane decision (order assignment or conflict) on
+    /// `shard`'s lane, under this operation's span. `detail` is a closure
+    /// so the string is never built when tracing is disabled.
+    fn trace_sequencer(&self, scope: &TraceScope, shard: u8, name: &'static str, detail: impl FnOnce() -> String) {
         if let Some((tracer, trace, span)) = scope {
-            tracer.instant(Lane::Sequencer, self.ctx.now(), *trace, *span, name, detail());
+            tracer.instant(Lane::Sequencer(shard), self.ctx.now(), *trace, *span, name, detail());
+        }
+    }
+
+    /// The home shard for a record with these tags: the shard of the
+    /// first tag (tagless records go to shard 0).
+    fn home_shard(&self, tags: &[Tag]) -> u8 {
+        tags.first()
+            .map_or(0, |&tag| self.inner.borrow().router.shard_of(tag).0)
+    }
+
+    /// FIFO admission at `shard`'s sequencer lane when a capacity is
+    /// configured: the caller waits out the lane's backlog, and its own
+    /// ordering decision books `1/capacity` of lane time. Uncapped lanes
+    /// (the default) admit instantly — no sleep, no timer, so the
+    /// uncapped path is interleaving-identical to the pre-sharding code.
+    async fn sequencer_admission(&self, shard: u8) {
+        let Some(capacity) = self.config.sequencer_capacity else {
+            return;
+        };
+        debug_assert!(capacity > 0.0, "sequencer capacity must be positive");
+        let service = Duration::from_secs_f64(1.0 / capacity);
+        let now = self.ctx.now();
+        let wait = {
+            let mut inner = self.inner.borrow_mut();
+            let lane = &mut inner.shards[shard as usize].sequencer_free_at;
+            let start = (*lane).max(now);
+            *lane = start + service;
+            start.saturating_sub(now)
+        };
+        if !wait.is_zero() {
+            self.ctx.sleep(wait).await;
         }
     }
 
@@ -318,85 +256,120 @@ impl<P: Payload> SharedLog<P> {
     ///
     /// Latency is one sample of the calibrated log-append distribution,
     /// split around the sequencer's order assignment; the storage phase
-    /// completes when a quorum of replicas has acknowledged (the slowest
-    /// acknowledging replica sets the pace, so losing a replica visibly
-    /// fattens the tail).
+    /// completes when a quorum of the home shard's replicas has
+    /// acknowledged (the slowest acknowledging replica sets the pace, so
+    /// losing a replica visibly fattens the tail).
     pub async fn append(&self, node: NodeId, tags: Vec<Tag>, payload: P) -> SeqNum {
         let scope = self.trace_begin("log_append");
+        let home = self.home_shard(&tags);
         let total = self.ctx.with_rng(|rng| self.model.log_append.sample(rng));
         let to_sequencer = total.mul_f64(self.config.sequencer_fraction);
         self.ctx.sleep(to_sequencer).await;
-        let seqnum = self.install(node, tags, payload);
-        self.trace_sequencer(&scope, "sequenced", || format!("sn{}", seqnum.0));
-        let storage = self.quorum_storage_latency(total.saturating_sub(to_sequencer));
+        self.sequencer_admission(home).await;
+        let seqnum = self.install(home, node, tags, payload);
+        self.trace_sequencer(&scope, home, "sequenced", || format!("sn{}", seqnum.0));
+        let storage = self.quorum_storage_latency(home, total.saturating_sub(to_sequencer));
         self.ctx.sleep(storage).await;
         self.trace_end(&scope);
         seqnum
     }
 
-    /// The storage-phase latency. The calibrated log-append distribution
-    /// already describes a healthy quorum-of-`replicas` write (DESIGN.md
-    /// §4), so the full-strength path costs exactly the base sample. With
-    /// replicas down, the quorum must include proportionally worse
-    /// replicas: each missing replica fattens the write by ~25 % plus an
-    /// extra tail jitter. Below quorum strength, the layer reconfigures
-    /// (Boki's view change) and the append is counted as degraded.
-    fn quorum_storage_latency(&self, base: std::time::Duration) -> std::time::Duration {
+    /// The storage-phase latency on `shard`. The calibrated log-append
+    /// distribution already describes a healthy quorum-of-replicas write
+    /// (DESIGN.md §4), so the full-strength path costs exactly the base
+    /// sample. With replicas down, the quorum must include proportionally
+    /// worse replicas: each missing replica fattens the write by ~25 %
+    /// plus an extra tail jitter. Below quorum strength, the shard
+    /// reconfigures (Boki's view change) and the append is counted as
+    /// degraded — on that shard only.
+    fn quorum_storage_latency(&self, shard: u8, base: Duration) -> Duration {
+        let replicas = self.config.topology.replicas_per_shard;
         let mut inner = self.inner.borrow_mut();
-        let live = self.config.replicas - inner.failed_replicas.len() as u32;
-        if live >= self.config.replicas {
+        let state = &mut inner.shards[shard as usize];
+        let live = replicas - state.failed_replicas.len() as u32;
+        if live >= replicas {
             return base;
         }
         if live < self.config.quorum {
-            inner.degraded_appends += 1;
+            state.degraded_appends += 1;
         }
         drop(inner);
         if live == 0 {
             // Total storage outage: a reconfiguration round on top.
             return base.saturating_mul(3);
         }
-        let missing = (self.config.replicas - live) as f64;
+        let missing = (replicas - live) as f64;
         let jitter = self
             .ctx
             .with_rng(|rng| hm_common::latency::sample_standard_normal(rng).abs());
         base.mul_f64(1.0 + 0.25 * missing + 0.15 * jitter)
     }
 
-    /// Marks a storage replica as failed (index `0..replicas`).
+    /// Marks a storage replica of shard 0 as failed (index
+    /// `0..replicas_per_shard`). Single-shard deployments (and the fault
+    /// examples) only ever talk to shard 0.
     pub fn fail_storage_replica(&self, replica: u32) {
-        self.inner
-            .borrow_mut()
-            .failed_replicas
-            .insert(replica % self.config.replicas);
+        self.fail_storage_replica_on(ShardId(0), replica);
     }
 
-    /// Brings a failed storage replica back.
+    /// Marks a storage replica of `shard` as failed. Replica failure is
+    /// shard-scoped: other shards' storage groups keep full-speed quorums.
+    pub fn fail_storage_replica_on(&self, shard: ShardId, replica: u32) {
+        let replicas = self.config.topology.replicas_per_shard;
+        self.inner.borrow_mut().shards[shard.0 as usize]
+            .failed_replicas
+            .insert(replica % replicas);
+    }
+
+    /// Brings a failed storage replica of shard 0 back.
     pub fn recover_storage_replica(&self, replica: u32) {
-        self.inner
-            .borrow_mut()
-            .failed_replicas
-            .remove(&(replica % self.config.replicas));
+        self.recover_storage_replica_on(ShardId(0), replica);
     }
 
-    /// Number of live storage replicas.
+    /// Brings a failed storage replica of `shard` back.
+    pub fn recover_storage_replica_on(&self, shard: ShardId, replica: u32) {
+        let replicas = self.config.topology.replicas_per_shard;
+        self.inner.borrow_mut().shards[shard.0 as usize]
+            .failed_replicas
+            .remove(&(replica % replicas));
+    }
+
+    /// Number of live storage replicas on shard 0.
     #[must_use]
     pub fn live_storage_replicas(&self) -> u32 {
-        self.config.replicas - self.inner.borrow().failed_replicas.len() as u32
+        self.live_storage_replicas_on(ShardId(0))
     }
 
-    /// Appends persisted below the configured quorum (degraded views).
+    /// Number of live storage replicas on `shard`.
+    #[must_use]
+    pub fn live_storage_replicas_on(&self, shard: ShardId) -> u32 {
+        self.config.topology.replicas_per_shard
+            - self.inner.borrow().shards[shard.0 as usize].failed_replicas.len() as u32
+    }
+
+    /// Appends persisted below the configured quorum (degraded views),
+    /// across all shards.
     #[must_use]
     pub fn degraded_appends(&self) -> u64 {
-        self.inner.borrow().degraded_appends
+        self.inner.borrow().shards.iter().map(|s| s.degraded_appends).sum()
+    }
+
+    /// Degraded appends charged to one shard's storage group.
+    #[must_use]
+    pub fn shard_degraded_appends(&self, shard: ShardId) -> u64 {
+        self.inner.borrow().shards[shard.0 as usize].degraded_appends
     }
 
     /// Conditional append (§5.1, Figure 3's `logCondAppend`).
     ///
-    /// Appends like [`SharedLog::append`], then checks that the new record's
-    /// offset within the `cond_tag` sub-stream equals `cond_pos`. On
-    /// mismatch the append is undone and the seqnum of the record actually
-    /// at `cond_pos` is returned, so exactly one peer instance wins each
-    /// step and losers can adopt the winner's record.
+    /// Appends like [`LogService::append`], then checks that the new
+    /// record's offset within the `cond_tag` sub-stream equals `cond_pos`.
+    /// On mismatch the append is undone and the seqnum of the record
+    /// actually at `cond_pos` is returned, so exactly one peer instance
+    /// wins each step and losers can adopt the winner's record.
+    ///
+    /// The record's home shard is `cond_tag`'s shard, so the offset check
+    /// and the sequencing decision stay atomic on one sequencer lane.
     pub async fn cond_append(
         &self,
         node: NodeId,
@@ -410,22 +383,25 @@ impl<P: Payload> SharedLog<P> {
             "cond_tag must be among the record's tags"
         );
         let scope = self.trace_begin("log_cond_append");
+        let home = self.inner.borrow().router.shard_of(cond_tag).0;
         let total = self.ctx.with_rng(|rng| self.model.log_append.sample(rng));
         let to_sequencer = total.mul_f64(self.config.sequencer_fraction);
         self.ctx.sleep(to_sequencer).await;
-        // Sequencing and the condition check are atomic at the logging
-        // layer: that is the point of logCondAppend (it resolves conflicts
+        self.sequencer_admission(home).await;
+        // Sequencing and the condition check are atomic at the owning
+        // shard: that is the point of logCondAppend (it resolves conflicts
         // "in place", unlike Boki's separate append-then-read). The
         // stream's next offset is O(1): `len_total` is a stored count.
         let outcome = {
             let mut inner = self.inner.borrow_mut();
-            let offset = inner.streams.get(&cond_tag).map_or(0, Stream::len_total);
+            let state = &mut inner.shards[home as usize];
+            let offset = state.streams.get(&cond_tag).map_or(0, Stream::len_total);
             if offset == cond_pos {
                 drop(inner);
-                CondAppendOutcome::Appended(self.install(node, tags, payload))
+                CondAppendOutcome::Appended(self.install(home, node, tags, payload))
             } else {
-                inner.counters.cond_append_conflicts += 1;
-                let winner = inner
+                state.counters.cond_append_conflicts += 1;
+                let winner = state
                     .streams
                     .get(&cond_tag)
                     .and_then(|s| s.at(cond_pos))
@@ -435,53 +411,65 @@ impl<P: Payload> SharedLog<P> {
         };
         match outcome {
             CondAppendOutcome::Appended(sn) => {
-                self.trace_sequencer(&scope, "sequenced", || format!("sn{}", sn.0));
+                self.trace_sequencer(&scope, home, "sequenced", || format!("sn{}", sn.0));
             }
             CondAppendOutcome::Conflict(winner) => {
-                self.trace_sequencer(&scope, "cond_conflict", || format!("winner sn{}", winner.0));
+                self.trace_sequencer(&scope, home, "cond_conflict", || format!("winner sn{}", winner.0));
             }
         }
-        let storage = self.quorum_storage_latency(total.saturating_sub(to_sequencer));
+        let storage = self.quorum_storage_latency(home, total.saturating_sub(to_sequencer));
         self.ctx.sleep(storage).await;
         self.trace_end(&scope);
         outcome
     }
 
-    fn install(&self, node: NodeId, tags: Vec<Tag>, payload: P) -> SeqNum {
+    /// Sequences and stores a record: draws the shared clock, stores the
+    /// record on `home`'s slab, and pushes index entries into every tag's
+    /// sub-stream (on whichever shard owns it). Bytes and the append
+    /// counter are charged to the home shard only.
+    fn install(&self, home: u8, node: NodeId, tags: Vec<Tag>, payload: P) -> SeqNum {
         let now = self.ctx.now();
         let mut inner = self.inner.borrow_mut();
         let inner = &mut *inner;
-        let seqnum = inner.next_seqnum;
-        inner.next_seqnum = seqnum.next();
+        let slot_idx = inner.shards[home as usize].slots.len() as u32;
+        let seqnum = inner.router.assign(home, slot_idx);
         let bytes = payload.size_bytes() + RECORD_META_BYTES;
         let mut memberships = Memberships::new();
+        // Shards touched by this record, home first (dedup'd): each hosts
+        // a copy in the appending node's per-shard cache.
+        let mut touched: Vec<u8> = vec![home];
         for &tag in &tags {
-            let stream = inner.streams.entry(tag).or_default();
+            let shard = inner.router.shard_of(tag).0;
+            if !touched.contains(&shard) {
+                touched.push(shard);
+            }
+            let stream = inner.shards[shard as usize].streams.entry(tag).or_default();
             memberships.push(tag, stream.len_total() as u64);
             stream.seqnums.push(seqnum);
         }
         let live_streams = tags.len() as u32;
         let record = Rc::new(LogRecord {
             seqnum,
+            shard: ShardId(home),
             tags: TagSet::from_vec(tags),
             payload,
         });
-        debug_assert_eq!(
-            inner.slots.len() as u64 + 1,
-            seqnum.0,
-            "seqnums must stay dense for the record slab"
-        );
-        inner.slots.push(Some(RecordSlot {
+        let state = &mut inner.shards[home as usize];
+        state.slots.push(Some(RecordSlot {
             record,
             memberships,
             live_streams,
             bytes,
         }));
-        inner.live += 1;
-        // The appending node caches its own record.
-        inner.cache_for(node).insert(seqnum);
-        inner.bytes.add(now, bytes as f64);
-        inner.counters.log_appends += 1;
+        state.live += 1;
+        // The appending node caches its own record, on every shard whose
+        // streams index it (exactly one insert in a 1-shard topology).
+        for &shard in &touched {
+            inner.shards[shard as usize].cache_for(node).insert(seqnum);
+        }
+        let state = &mut inner.shards[home as usize];
+        state.bytes.add(now, bytes as f64);
+        state.counters.log_appends += 1;
         seqnum
     }
 
@@ -494,9 +482,10 @@ impl<P: Payload> SharedLog<P> {
         max_seqnum: SeqNum,
     ) -> Option<Rc<LogRecord<P>>> {
         let scope = self.trace_begin("log_read_prev");
-        let found = {
+        let (shard, found) = {
             let inner = self.inner.borrow();
-            inner.streams.get(&tag).and_then(|s| {
+            let shard = inner.router.shard_of(tag).0;
+            let found = inner.shards[shard as usize].streams.get(&tag).and_then(|s| {
                 if max_seqnum == SeqNum::MAX {
                     // Newest record: the common "read the tail" case.
                     s.seqnums.last().copied()
@@ -509,9 +498,10 @@ impl<P: Payload> SharedLog<P> {
                     let idx = s.seqnums.partition_point(|&sn| sn <= max_seqnum);
                     idx.checked_sub(1).and_then(|i| s.seqnums.get(i).copied())
                 }
-            })
+            });
+            (shard, found)
         };
-        self.pay_read(node, found, &scope).await;
+        self.pay_read(shard, node, found, &scope).await;
         self.trace_end(&scope);
         found.map(|sn| self.fetch(sn))
     }
@@ -525,9 +515,10 @@ impl<P: Payload> SharedLog<P> {
         min_seqnum: SeqNum,
     ) -> Option<Rc<LogRecord<P>>> {
         let scope = self.trace_begin("log_read_next");
-        let found = {
+        let (shard, found) = {
             let inner = self.inner.borrow();
-            inner.streams.get(&tag).and_then(|s| {
+            let shard = inner.router.shard_of(tag).0;
+            let found = inner.shards[shard as usize].streams.get(&tag).and_then(|s| {
                 match s.seqnums.first().copied() {
                     Some(first) if min_seqnum <= first => Some(first),
                     Some(_) => {
@@ -543,9 +534,10 @@ impl<P: Payload> SharedLog<P> {
                     }
                     None => None,
                 }
-            })
+            });
+            (shard, found)
         };
-        self.pay_read(node, found, &scope).await;
+        self.pay_read(shard, node, found, &scope).await;
         self.trace_end(&scope);
         found.map(|sn| self.fetch(sn))
     }
@@ -554,21 +546,23 @@ impl<P: Payload> SharedLog<P> {
     /// `getStepLogs`). Costs one read round; Boki batches this scan.
     pub async fn read_stream(&self, node: NodeId, tag: Tag) -> Vec<Rc<LogRecord<P>>> {
         let scope = self.trace_begin("log_read_stream");
-        let seqnums: Vec<SeqNum> = {
+        let (shard, seqnums) = {
             let inner = self.inner.borrow();
-            inner
+            let shard = inner.router.shard_of(tag).0;
+            let seqnums = inner.shards[shard as usize]
                 .streams
                 .get(&tag)
-                .map_or_else(Vec::new, |s| s.seqnums.clone())
+                .map_or_else(Vec::new, |s| s.seqnums.clone());
+            (shard, seqnums)
         };
-        self.pay_read(node, seqnums.first().copied(), &scope).await;
+        self.pay_read(shard, node, seqnums.first().copied(), &scope).await;
         self.trace_end(&scope);
         seqnums.into_iter().map(|sn| self.fetch(sn)).collect()
     }
 
     /// Deletes all records of `tag`'s sub-stream with seqnum ≤ `upto`
     /// (Figure 3's `logTrim`). A record's bytes are reclaimed once every
-    /// one of its sub-streams has trimmed past it.
+    /// one of its sub-streams — on any shard — has trimmed past it.
     pub async fn trim(&self, node: NodeId, tag: Tag, upto: SeqNum) {
         let _ = node;
         let scope = self.trace_begin("log_trim");
@@ -576,42 +570,63 @@ impl<P: Payload> SharedLog<P> {
         self.ctx.sleep(total).await;
         let now = self.ctx.now();
         let mut inner = self.inner.borrow_mut();
-        inner.counters.log_trims += 1;
         let inner = &mut *inner;
-        let Some(stream) = inner.streams.get_mut(&tag) else {
+        let home = inner.router.shard_of(tag).0 as usize;
+        inner.shards[home].counters.log_trims += 1;
+        if !inner.shards[home].streams.contains_key(&tag) {
             self.trace_end(&scope);
             return;
-        };
+        }
         // Cut point: O(1) from the bound record's stored offset when it is
         // a live member of this stream; binary search otherwise.
-        let cut = match inner
-            .slots
-            .get(upto.0.wrapping_sub(1) as usize)
-            .and_then(Option::as_ref)
-            .and_then(|slot| slot.memberships.last_offset_of(tag))
-        {
-            Some(off) => (off as usize + 1).saturating_sub(stream.trimmed),
-            None => stream.seqnums.partition_point(|&sn| sn <= upto),
+        let cut = {
+            let bound_offset = inner
+                .router
+                .locate(upto)
+                .and_then(|(s, slot)| inner.shards[s as usize].slot(slot))
+                .and_then(|slot| slot.memberships.last_offset_of(tag));
+            let stream = &inner.shards[home].streams[&tag];
+            match bound_offset {
+                Some(off) => (off as usize + 1).saturating_sub(stream.trimmed),
+                None => stream.seqnums.partition_point(|&sn| sn <= upto),
+            }
         };
-        let mut freed = 0usize;
-        for sn in stream.seqnums.drain(..cut) {
+        let drained: Vec<SeqNum> = {
+            let stream = inner.shards[home].streams.get_mut(&tag).expect("checked above");
+            let drained = stream.seqnums.drain(..cut).collect();
+            stream.trimmed += cut;
+            drained
+        };
+        let mut freed = vec![0usize; inner.shards.len()];
+        for sn in drained {
             // Each drained entry is one stream membership dying; the record
-            // is reclaimed exactly when its last membership dies, so bytes
-            // are freed exactly once per record — no re-deriving liveness
-            // from the other streams.
-            let idx = (sn.0 - 1) as usize;
-            let slot = inner.slots[idx]
+            // is reclaimed — from its *owning* shard's slab — exactly when
+            // its last membership dies, so bytes are freed exactly once per
+            // record, no matter how its tags were routed.
+            let (owner, slot_idx) = inner
+                .router
+                .locate(sn)
+                .expect("stream entry without a clock assignment");
+            let (owner, slot_idx) = (owner as usize, slot_idx as usize);
+            let slot = inner.shards[owner].slots[slot_idx]
                 .as_mut()
                 .expect("stream index referenced a reclaimed record");
             slot.live_streams -= 1;
             if slot.live_streams == 0 {
-                freed += slot.bytes;
-                inner.slots[idx] = None;
-                inner.live -= 1;
+                freed[owner] += slot.bytes;
+                inner.shards[owner].slots[slot_idx] = None;
+                inner.shards[owner].live -= 1;
             }
         }
-        stream.trimmed += cut;
-        inner.bytes.add(now, -(freed as f64));
+        let freed_total: usize = freed.iter().sum();
+        for (shard, &bytes) in freed.iter().enumerate() {
+            // The home shard's gauge always records the trim (even a
+            // zero-byte one); foreign shards only when a record of theirs
+            // actually died.
+            if shard == home || bytes > 0 {
+                inner.shards[shard].bytes.add(now, -(bytes as f64));
+            }
+        }
         if let Some((tracer, trace, span)) = &scope {
             tracer.instant(
                 Lane::Storage,
@@ -619,21 +634,24 @@ impl<P: Payload> SharedLog<P> {
                 *trace,
                 *span,
                 "trim_reclaimed",
-                format!("{cut} entries, {freed} bytes"),
+                format!("{cut} entries, {freed_total} bytes"),
             );
         }
         self.trace_end(&scope);
     }
 
-    async fn pay_read(&self, node: NodeId, target: Option<SeqNum>, scope: &TraceScope) {
+    /// Pays a read round against `shard`'s storage and the reading node's
+    /// per-shard cache.
+    async fn pay_read(&self, shard: u8, node: NodeId, target: Option<SeqNum>, scope: &TraceScope) {
         let hit = match target {
             Some(sn) => {
                 let mut inner = self.inner.borrow_mut();
-                let hit = inner.cache_for(node).contains(&sn);
+                let state = &mut inner.shards[shard as usize];
+                let hit = state.cache_for(node).contains(&sn);
                 if hit {
-                    inner.counters.cache_hits += 1;
+                    state.counters.cache_hits += 1;
                 } else {
-                    inner.counters.cache_misses += 1;
+                    state.counters.cache_misses += 1;
                 }
                 hit
             }
@@ -660,84 +678,123 @@ impl<P: Payload> SharedLog<P> {
         let latency = self.ctx.with_rng(|rng| dist.sample(rng));
         self.ctx.sleep(latency).await;
         let mut inner = self.inner.borrow_mut();
-        inner.counters.log_reads += 1;
+        let state = &mut inner.shards[shard as usize];
+        state.counters.log_reads += 1;
         if let Some(sn) = target {
             // Refreshes recency on hit, fills (and possibly evicts) on miss.
-            inner.cache_for(node).insert(sn);
+            state.cache_for(node).insert(sn);
         }
     }
 
     fn fetch(&self, sn: SeqNum) -> Rc<LogRecord<P>> {
         self.inner
             .borrow()
-            .slot(sn)
+            .locate_slot(sn)
             .map(|s| s.record.clone())
             .expect("stream index referenced a reclaimed record")
     }
 
     // ---- zero-latency inspection for tests, checkers, and the GC scan ----
 
-    /// The seqnum the next append will receive.
+    /// The seqnum the next sequencing decision will receive (shared clock).
     #[must_use]
     pub fn head_seqnum(&self) -> SeqNum {
-        self.inner.borrow().next_seqnum
+        self.inner.borrow().router.head()
     }
 
-    /// Live record count.
+    /// Live record count, across all shards.
     #[must_use]
     pub fn live_records(&self) -> usize {
-        self.inner.borrow().live
+        self.inner.borrow().shards.iter().map(|s| s.live).sum()
     }
 
-    /// Current stored bytes.
+    /// Current stored bytes, across all shards.
     #[must_use]
     pub fn current_bytes(&self) -> f64 {
-        self.inner.borrow().bytes.level()
+        self.inner.borrow().shards.iter().map(|s| s.bytes.level()).sum()
     }
 
-    /// Time-averaged stored bytes since the last window reset.
+    /// Current stored bytes on one shard.
+    #[must_use]
+    pub fn shard_current_bytes(&self, shard: ShardId) -> f64 {
+        self.inner.borrow().shards[shard.0 as usize].bytes.level()
+    }
+
+    /// Time-averaged stored bytes since the last window reset, summed
+    /// across shards.
     #[must_use]
     pub fn average_bytes(&self) -> f64 {
-        self.inner.borrow().bytes.average(self.ctx.now())
+        let now = self.ctx.now();
+        self.inner.borrow().shards.iter().map(|s| s.bytes.average(now)).sum()
     }
 
-    /// Restarts the storage-averaging window now.
+    /// Restarts every shard's storage-averaging window now.
     pub fn reset_storage_window(&self) {
         let now = self.ctx.now();
-        self.inner.borrow_mut().bytes.reset_window(now);
+        for shard in &mut self.inner.borrow_mut().shards {
+            shard.bytes.reset_window(now);
+        }
     }
 
-    /// Snapshot of op counters.
+    /// Snapshot of op counters, aggregated across shards.
     #[must_use]
     pub fn counters(&self) -> OpCounters {
-        self.inner.borrow().counters
+        let inner = self.inner.borrow();
+        let mut total = OpCounters::default();
+        for shard in &inner.shards {
+            total = total.merged(&shard.counters);
+        }
+        total
     }
 
-    /// Records currently held in `node`'s cache (test helper).
+    /// Snapshot of one shard's op counters.
+    #[must_use]
+    pub fn shard_counters(&self, shard: ShardId) -> OpCounters {
+        self.inner.borrow().shards[shard.0 as usize].counters
+    }
+
+    /// Appends sequenced by each shard, in shard order — the per-lane
+    /// load the saturation sweep and the gateway's per-shard rates read.
+    #[must_use]
+    pub fn shard_appends(&self) -> Vec<u64> {
+        self.inner
+            .borrow()
+            .shards
+            .iter()
+            .map(|s| s.counters.log_appends)
+            .collect()
+    }
+
+    /// Records currently held in `node`'s caches, across shards (test
+    /// helper).
     #[must_use]
     pub fn node_cache_len(&self, node: NodeId) -> usize {
         self.inner
             .borrow()
-            .node_cache
-            .get(node.0 as usize)
-            .map_or(0, LruSet::len)
+            .shards
+            .iter()
+            .map(|s| s.node_cache.get(node.0 as usize).map_or(0, hm_common::collections::LruSet::len))
+            .sum()
     }
 
-    /// Total evictions from `node`'s cache since creation (test helper).
+    /// Total evictions from `node`'s caches since creation, across shards
+    /// (test helper).
     #[must_use]
     pub fn node_cache_evictions(&self, node: NodeId) -> u64 {
         self.inner
             .borrow()
-            .node_cache
-            .get(node.0 as usize)
-            .map_or(0, LruSet::evictions)
+            .shards
+            .iter()
+            .map(|s| s.node_cache.get(node.0 as usize).map_or(0, hm_common::collections::LruSet::evictions))
+            .sum()
     }
 
     /// Zero-latency peek at a sub-stream's live seqnums (test helper).
     #[must_use]
     pub fn peek_stream(&self, tag: Tag) -> Vec<SeqNum> {
-        self.inner
-            .borrow()
+        let inner = self.inner.borrow();
+        let shard = inner.router.shard_of(tag).0 as usize;
+        inner.shards[shard]
             .streams
             .get(&tag)
             .map_or_else(Vec::new, |s| s.seqnums.clone())
@@ -746,19 +803,20 @@ impl<P: Payload> SharedLog<P> {
     /// Zero-latency record fetch by seqnum (checker helper).
     #[must_use]
     pub fn peek_record(&self, sn: SeqNum) -> Option<Rc<LogRecord<P>>> {
-        self.inner.borrow().slot(sn).map(|s| s.record.clone())
+        self.inner.borrow().locate_slot(sn).map(|s| s.record.clone())
     }
 }
 
-impl<P> std::fmt::Debug for SharedLog<P> {
+impl<P> std::fmt::Debug for LogService<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let inner = self.inner.borrow();
         write!(
             f,
-            "SharedLog(head={:?}, live={}, streams={})",
-            inner.next_seqnum,
-            inner.live,
-            inner.streams.len()
+            "LogService(shards={}, head={:?}, live={}, streams={})",
+            inner.shards.len(),
+            inner.router.head(),
+            inner.shards.iter().map(|s| s.live).sum::<usize>(),
+            inner.shards.iter().map(|s| s.streams.len()).sum::<usize>(),
         )
     }
 }
@@ -773,9 +831,9 @@ mod tests {
     const N0: NodeId = NodeId(0);
     const N1: NodeId = NodeId(1);
 
-    fn setup() -> (Sim, SharedLog<String>) {
+    fn setup() -> (Sim, LogService<String>) {
         let sim = Sim::new(11);
-        let log = SharedLog::new(
+        let log = LogService::new(
             sim.ctx(),
             LatencyModel::uniform_test_model(),
             LogConfig::default(),
@@ -1097,7 +1155,7 @@ mod tests {
     #[test]
     fn node_cache_evicts_under_capacity_pressure() {
         let mut sim = Sim::new(12);
-        let log: SharedLog<String> = SharedLog::new(
+        let log: LogService<String> = LogService::new(
             sim.ctx(),
             LatencyModel::uniform_test_model(),
             LogConfig {
@@ -1130,7 +1188,7 @@ mod tests {
     #[test]
     fn pay_read_latency_tracks_eviction() {
         let mut sim = Sim::new(13);
-        let log: SharedLog<String> = SharedLog::new(
+        let log: LogService<String> = LogService::new(
             sim.ctx(),
             LatencyModel::uniform_test_model(),
             LogConfig {
@@ -1215,9 +1273,9 @@ mod replication_tests {
 
     use super::*;
 
-    fn setup() -> (Sim, SharedLog<u64>) {
+    fn setup() -> (Sim, LogService<u64>) {
         let sim = Sim::new(0x9e9);
-        let log = SharedLog::new(
+        let log = LogService::new(
             sim.ctx(),
             LatencyModel::uniform_test_model(),
             LogConfig::default(),
@@ -1229,7 +1287,7 @@ mod replication_tests {
         Tag::named(TagKind::StepLog, "rep")
     }
 
-    async fn timed_append(log: &SharedLog<u64>, ctx: &hm_sim::SimCtx, v: u64) -> f64 {
+    async fn timed_append(log: &LogService<u64>, ctx: &hm_sim::SimCtx, v: u64) -> f64 {
         let start = ctx.now();
         log.append(NodeId(0), vec![t()], v).await;
         (ctx.now() - start).as_secs_f64() * 1e3
@@ -1297,5 +1355,234 @@ mod replication_tests {
         // Sequencer 0.4ms + 3 x 0.6ms storage = 2.2ms in the test model.
         assert!(ms > 2.0, "outage append {ms}ms");
         assert_eq!(log.degraded_appends(), 1);
+    }
+}
+
+#[cfg(test)]
+mod sharding_tests {
+    use hm_common::ids::TagKind;
+    use hm_common::latency::LatencyModel;
+    use hm_common::{NodeId, Tag};
+    use hm_sim::Sim;
+
+    use crate::router::shard_for_tag;
+
+    use super::*;
+
+    const N0: NodeId = NodeId(0);
+
+    fn sharded(sim: &Sim, shards: u8) -> LogService<String> {
+        LogService::new(
+            sim.ctx(),
+            LatencyModel::uniform_test_model(),
+            LogConfig {
+                topology: Topology::sharded(shards),
+                ..LogConfig::default()
+            },
+        )
+    }
+
+    /// First ObjectLog tag (by index) that the given topology routes to
+    /// `want`.
+    fn tag_on_shard(shards: u8, want: u8) -> Tag {
+        (0..10_000u64)
+            .map(|i| Tag::new(TagKind::ObjectLog, i))
+            .find(|&tag| shard_for_tag(tag, shards) == ShardId(want))
+            .expect("some tag must land on every shard")
+    }
+
+    /// Distinct tag routed to the same shard as `other`.
+    fn second_tag_on_shard(shards: u8, want: u8, other: Tag) -> Tag {
+        (0..10_000u64)
+            .map(|i| Tag::new(TagKind::ObjectLog, i))
+            .find(|&tag| tag != other && shard_for_tag(tag, shards) == ShardId(want))
+            .expect("some second tag must land on the shard")
+    }
+
+    #[test]
+    fn same_shard_multi_tag_record_charges_bytes_once() {
+        let mut sim = Sim::new(21);
+        let log = sharded(&sim, 4);
+        let a = tag_on_shard(4, 2);
+        let b = second_tag_on_shard(4, 2, a);
+        let l = log.clone();
+        sim.block_on(async move {
+            let sn = l.append(N0, vec![a, b], "payload".into()).await;
+            // One record, two streams on one shard — bytes charged once.
+            let once = ("payload".len() + RECORD_META_BYTES) as f64;
+            assert_eq!(l.current_bytes(), once);
+            assert_eq!(l.shard_current_bytes(ShardId(2)), once);
+            assert_eq!(l.read_prev(N0, a, SeqNum::MAX).await.unwrap().seqnum, sn);
+            assert_eq!(l.read_prev(N0, b, SeqNum::MAX).await.unwrap().seqnum, sn);
+            // Freed exactly once, when the second stream lets go.
+            l.trim(N0, a, sn).await;
+            assert_eq!(l.current_bytes(), once);
+            l.trim(N0, b, sn).await;
+            assert_eq!(l.current_bytes(), 0.0);
+            assert_eq!(l.live_records(), 0);
+        });
+    }
+
+    #[test]
+    fn cross_shard_multi_tag_record_stored_once_indexed_everywhere() {
+        // The documented cross-shard policy: the record is stored (and its
+        // bytes charged) once, on the first tag's home shard; foreign tags
+        // get index-only stream entries that resolve through the router.
+        let mut sim = Sim::new(22);
+        let log = sharded(&sim, 4);
+        let a = tag_on_shard(4, 0);
+        let b = tag_on_shard(4, 3);
+        let l = log.clone();
+        sim.block_on(async move {
+            let sn = l.append(N0, vec![a, b], "xs".into()).await;
+            let once = ("xs".len() + RECORD_META_BYTES) as f64;
+            assert_eq!(l.locate(sn).unwrap().shard, ShardId(0), "home = first tag's shard");
+            assert_eq!(l.shard_current_bytes(ShardId(0)), once);
+            assert_eq!(l.shard_current_bytes(ShardId(3)), 0.0, "index-only entry");
+            assert_eq!(l.current_bytes(), once);
+            // Visible through both sub-streams.
+            assert_eq!(l.read_prev(N0, a, SeqNum::MAX).await.unwrap().seqnum, sn);
+            assert_eq!(l.read_prev(N0, b, SeqNum::MAX).await.unwrap().seqnum, sn);
+            assert_eq!(l.peek_record(sn).unwrap().global_seqnum().shard, ShardId(0));
+            // Trimming the foreign stream kills that membership only.
+            l.trim(N0, b, sn).await;
+            assert_eq!(l.live_records(), 1, "record survives via its home stream");
+            assert_eq!(l.current_bytes(), once);
+            // Trimming the home stream frees the bytes exactly once.
+            l.trim(N0, a, sn).await;
+            assert_eq!(l.live_records(), 0);
+            assert_eq!(l.current_bytes(), 0.0);
+            assert_eq!(l.shard_current_bytes(ShardId(0)), 0.0);
+            assert_eq!(l.shard_current_bytes(ShardId(3)), 0.0);
+        });
+    }
+
+    #[test]
+    fn replica_failure_is_shard_scoped() {
+        let mut sim = Sim::new(23);
+        let log = sharded(&sim, 2);
+        let on0 = tag_on_shard(2, 0);
+        let on1 = tag_on_shard(2, 1);
+        let ctx = sim.ctx();
+        let l = log.clone();
+        sim.block_on(async move {
+            // Knock shard 1 below quorum; shard 0 keeps a full quorum.
+            l.fail_storage_replica_on(ShardId(1), 0);
+            l.fail_storage_replica_on(ShardId(1), 1);
+            assert_eq!(l.live_storage_replicas_on(ShardId(0)), 3);
+            assert_eq!(l.live_storage_replicas_on(ShardId(1)), 1);
+            let start = ctx.now();
+            l.append(N0, vec![on0], "fast".into()).await;
+            let healthy_ms = (ctx.now() - start).as_secs_f64() * 1e3;
+            assert!(
+                (healthy_ms - 1.0).abs() < 1e-6,
+                "shard 0 must stay at full speed: {healthy_ms}ms"
+            );
+            let start = ctx.now();
+            l.append(N0, vec![on1], "slow".into()).await;
+            let degraded_ms = (ctx.now() - start).as_secs_f64() * 1e3;
+            assert!(degraded_ms > healthy_ms, "degraded shard must be slower");
+            // Degraded-append accounting stays on the failed shard.
+            assert_eq!(l.shard_degraded_appends(ShardId(0)), 0);
+            assert_eq!(l.shard_degraded_appends(ShardId(1)), 1);
+            assert_eq!(l.degraded_appends(), 1);
+        });
+    }
+
+    #[test]
+    fn shards_share_one_seqnum_clock() {
+        let mut sim = Sim::new(24);
+        let log = sharded(&sim, 4);
+        let a = tag_on_shard(4, 1);
+        let b = tag_on_shard(4, 2);
+        let l = log.clone();
+        sim.block_on(async move {
+            let s1 = l.append(N0, vec![a], "1".into()).await;
+            let s2 = l.append(N0, vec![b], "2".into()).await;
+            let s3 = l.append(N0, vec![a], "3".into()).await;
+            // Dense, globally comparable seqnums across shards.
+            assert_eq!((s1, s2, s3), (SeqNum(1), SeqNum(2), SeqNum(3)));
+            assert_eq!(l.locate(s1).unwrap().shard, ShardId(1));
+            assert_eq!(l.locate(s2).unwrap().shard, ShardId(2));
+            assert!(l.locate(s1).unwrap() < l.locate(s2).unwrap());
+            assert_eq!(l.head_seqnum(), SeqNum(4));
+        });
+    }
+
+    #[test]
+    fn bounded_sequencer_queues_concurrent_appends() {
+        // Uncapped, 8 concurrent appends all finish in one append latency
+        // (1 ms in the test model). With a 1000/s sequencer each ordering
+        // decision books 1 ms of lane time, so the last append waits out
+        // the backlog.
+        let run = |capacity: Option<f64>| {
+            let mut sim = Sim::new(25);
+            let log: LogService<String> = LogService::new(
+                sim.ctx(),
+                LatencyModel::uniform_test_model(),
+                LogConfig {
+                    sequencer_capacity: capacity,
+                    ..LogConfig::default()
+                },
+            );
+            let ctx = sim.ctx();
+            let tag = Tag::named(TagKind::ObjectLog, "hot");
+            for i in 0..8u32 {
+                let l = log.clone();
+                ctx.spawn(async move {
+                    l.append(NodeId(i % 4), vec![tag], format!("v{i}")).await;
+                });
+            }
+            sim.run();
+            (sim.now().as_secs_f64() * 1e3, log.head_seqnum())
+        };
+        let (uncapped_ms, uncapped_head) = run(None);
+        let (capped_ms, capped_head) = run(Some(1000.0));
+        assert_eq!(uncapped_head, SeqNum(9));
+        assert_eq!(capped_head, SeqNum(9), "capacity delays appends, never drops them");
+        assert!(
+            (uncapped_ms - 1.0).abs() < 1e-6,
+            "uncapped appends overlap fully: {uncapped_ms}ms"
+        );
+        assert!(
+            capped_ms >= 7.0,
+            "a 1000/s lane must serialize 8 decisions: {capped_ms}ms"
+        );
+    }
+
+    #[test]
+    fn more_shards_drain_a_saturated_sequencer_faster() {
+        let run = |shards: u8| {
+            let mut sim = Sim::new(26);
+            let log: LogService<String> = LogService::new(
+                sim.ctx(),
+                LatencyModel::uniform_test_model(),
+                LogConfig {
+                    topology: Topology::sharded(shards),
+                    sequencer_capacity: Some(2000.0),
+                    ..LogConfig::default()
+                },
+            );
+            let ctx = sim.ctx();
+            for w in 0..32u64 {
+                let l = log.clone();
+                ctx.spawn(async move {
+                    let tag = Tag::new(TagKind::ObjectLog, w);
+                    for i in 0..8u64 {
+                        l.append(NodeId((w % 8) as u32), vec![tag], format!("{i}"))
+                            .await;
+                    }
+                });
+            }
+            sim.run();
+            assert_eq!(log.counters().log_appends, 32 * 8);
+            sim.now().as_secs_f64()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(
+            four < one,
+            "4 shards must finish the same load sooner: {four}s vs {one}s"
+        );
     }
 }

@@ -1,0 +1,213 @@
+//! One log shard: a sequencer lane, a replicated storage group, the
+//! stream indexes of the tags routed to it, and per-node record caches.
+//!
+//! # Hot-path data structures
+//!
+//! The simulated log sits under every protocol operation, so its structures
+//! are chosen for O(1) work per op and zero avoidable allocation:
+//!
+//! - **Record slab**: each shard stores its records in a dense
+//!   `Vec<Option<RecordSlot>>` indexed by a per-shard slot; the router's
+//!   seqnum index maps the globally dense seqnums to `(shard, slot)` —
+//!   fetch, install, and reclaim are all O(1), no hashing.
+//! - **Membership offsets**: at install time each record learns its absolute
+//!   offset in every sub-stream it joins. `read_prev`/`read_next`/`trim`
+//!   whose bound names a live record resolve positions O(1) from those
+//!   stored offsets instead of re-deriving them by binary search (the
+//!   search remains only as a fallback for bounds that are not records of
+//!   the stream).
+//! - **Live-stream refcounts**: each record counts its untrimmed stream
+//!   memberships. `trim` decrements the count for each drained entry and
+//!   reclaims the record exactly when it hits zero — O(removed) total,
+//!   making byte accounting structurally exact (charged once at install
+//!   on the owning shard, freed once at last membership death; no
+//!   double-free or leak is possible even for records listed under
+//!   trimmed-then-revived streams or under streams of *other* shards).
+//! - **Bounded node caches**: each function node's record cache is an
+//!   [`LruSet`] bounded by the configured capacity, per shard (a real
+//!   node caches per ordering lane it talks to), with hit/miss counts
+//!   surfaced in [`OpCounters`].
+//!
+//! The tag index (`streams`) uses the deterministic `FxHashMap`; nothing
+//! iterates it in a behavior-affecting order.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use hm_common::collections::{FxHashMap, FxHashSet, LruSet, TagSet};
+use hm_common::metrics::{OpCounters, TimeWeightedGauge};
+use hm_common::{NodeId, SeqNum, Tag};
+
+/// Per-record metadata bytes charged to log storage (`S_meta`, §4.6:
+/// "a few dozen bytes" covering seqnum, tags, step, op kind).
+pub const RECORD_META_BYTES: usize = 32;
+
+/// One record in the shared log.
+#[derive(Clone, Debug)]
+pub struct LogRecord<P> {
+    /// Globally unique, monotonically increasing position in the shared
+    /// order (drawn from the clock all shards sequence against).
+    pub seqnum: SeqNum,
+    /// Shard whose storage group holds the record.
+    pub shard: crate::router::ShardId,
+    /// The sub-streams this record belongs to.
+    pub tags: TagSet,
+    /// Protocol-defined payload.
+    pub payload: P,
+}
+
+impl<P> LogRecord<P> {
+    /// The record's composite position: owning shard + shared-clock seqnum.
+    #[must_use]
+    pub fn global_seqnum(&self) -> crate::router::GlobalSeqNum {
+        crate::router::GlobalSeqNum {
+            shard: self.shard,
+            seq: self.seqnum,
+        }
+    }
+}
+
+/// Per-tag sub-stream: seqnums ascending, plus how many records have been
+/// trimmed from the front. Offsets into the *untrimmed* stream stay stable,
+/// which `cond_append` relies on.
+#[derive(Default)]
+pub(crate) struct Stream {
+    pub(crate) seqnums: Vec<SeqNum>,
+    pub(crate) trimmed: usize,
+}
+
+impl Stream {
+    pub(crate) fn len_total(&self) -> usize {
+        self.trimmed + self.seqnums.len()
+    }
+
+    /// Seqnum at absolute offset, if still live.
+    pub(crate) fn at(&self, offset: usize) -> Option<SeqNum> {
+        offset
+            .checked_sub(self.trimmed)
+            .and_then(|i| self.seqnums.get(i).copied())
+    }
+}
+
+/// Number of stream memberships stored inline per record.
+const MEMBER_INLINE: usize = 4;
+
+/// A record's stream memberships: `(tag, absolute offset in that stream)`
+/// pairs, assigned once at install. Inline up to [`MEMBER_INLINE`] entries
+/// (records almost always carry one to three tags), heap beyond.
+pub(crate) struct Memberships {
+    len: u32,
+    inline: [(Tag, u64); MEMBER_INLINE],
+    spill: Vec<(Tag, u64)>,
+}
+
+impl Memberships {
+    pub(crate) fn new() -> Memberships {
+        Memberships {
+            len: 0,
+            inline: [(Tag(0), 0); MEMBER_INLINE],
+            spill: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, tag: Tag, offset: u64) {
+        let i = self.len as usize;
+        if i < MEMBER_INLINE {
+            self.inline[i] = (tag, offset);
+        } else {
+            if i == MEMBER_INLINE {
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push((tag, offset));
+        }
+        self.len += 1;
+    }
+
+    pub(crate) fn as_slice(&self) -> &[(Tag, u64)] {
+        if self.len as usize <= MEMBER_INLINE {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// The record's *last* offset under `tag` (a record appended with a
+    /// duplicated tag occupies several consecutive offsets; bounds must
+    /// resolve past all of them).
+    pub(crate) fn last_offset_of(&self, tag: Tag) -> Option<u64> {
+        self.as_slice()
+            .iter()
+            .rev()
+            .find(|&&(t, _)| t == tag)
+            .map(|&(_, off)| off)
+    }
+}
+
+/// Slab entry for one live record.
+pub(crate) struct RecordSlot<P> {
+    pub(crate) record: Rc<LogRecord<P>>,
+    /// Where this record sits in each of its sub-streams.
+    pub(crate) memberships: Memberships,
+    /// Untrimmed stream memberships remaining (duplicate tags counted
+    /// once per occurrence). The record is reclaimed when this hits zero.
+    pub(crate) live_streams: u32,
+    /// Bytes charged to the owning shard's storage gauge at install,
+    /// returned at reclaim.
+    pub(crate) bytes: usize,
+}
+
+/// Mutable state of one shard: everything the pre-sharding `LogInner`
+/// held, minus the clock (shared, in the router).
+pub(crate) struct ShardState<P> {
+    /// Storage replicas currently down (by index `0..replicas_per_shard`).
+    pub(crate) failed_replicas: FxHashSet<u32>,
+    /// Appends persisted while fewer than `quorum` replicas were live —
+    /// the reconfigured-view path (availability preserved, like Boki's
+    /// view change, but worth counting). Per-shard: a degraded storage
+    /// group on one shard never taints another's accounting.
+    pub(crate) degraded_appends: u64,
+    /// This shard's live records, indexed by per-shard slot.
+    pub(crate) slots: Vec<Option<RecordSlot<P>>>,
+    /// Live record count (`slots` keeps tombstones for reclaimed entries).
+    pub(crate) live: usize,
+    /// Sub-streams of the tags routed to this shard.
+    pub(crate) streams: FxHashMap<Tag, Stream>,
+    /// Per-node record caches, indexed by `NodeId` (grown on demand).
+    pub(crate) node_cache: Vec<LruSet<SeqNum>>,
+    pub(crate) node_cache_capacity: usize,
+    pub(crate) bytes: TimeWeightedGauge,
+    pub(crate) counters: OpCounters,
+    /// Virtual time until which this shard's sequencer lane is booked
+    /// (the bounded-capacity admission model; unused when capacity is
+    /// uncapped).
+    pub(crate) sequencer_free_at: Duration,
+}
+
+impl<P> ShardState<P> {
+    pub(crate) fn new(now: Duration, node_cache_capacity: usize) -> ShardState<P> {
+        ShardState {
+            failed_replicas: FxHashSet::default(),
+            degraded_appends: 0,
+            slots: Vec::new(),
+            live: 0,
+            streams: FxHashMap::default(),
+            node_cache: Vec::new(),
+            node_cache_capacity,
+            bytes: TimeWeightedGauge::new(now),
+            counters: OpCounters::default(),
+            sequencer_free_at: Duration::ZERO,
+        }
+    }
+
+    pub(crate) fn slot(&self, idx: u32) -> Option<&RecordSlot<P>> {
+        self.slots.get(idx as usize).and_then(Option::as_ref)
+    }
+
+    pub(crate) fn cache_for(&mut self, node: NodeId) -> &mut LruSet<SeqNum> {
+        let idx = node.0 as usize;
+        while self.node_cache.len() <= idx {
+            self.node_cache.push(LruSet::new(self.node_cache_capacity));
+        }
+        &mut self.node_cache[idx]
+    }
+}

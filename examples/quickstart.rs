@@ -8,6 +8,12 @@
 //! export it as Chrome `trace_event` JSON — open it at `ui.perfetto.dev`
 //! to see the request's spans across gateway, node, sequencer, and
 //! storage lanes, including the crash retries.
+//!
+//! Pass `--shards <n>` to run the logging layer as `n` independently
+//! sequenced shards (default 1). Client-visible results — the returned
+//! value, the final balance, the crash/retry counts, the log appends —
+//! are identical at any shard count; only latency shifts (per-shard
+//! record caches warm differently).
 
 use std::time::Duration;
 
@@ -19,21 +25,31 @@ use hm_sim::Sim;
 
 fn main() {
     let mut trace_out: Option<String> = None;
+    let mut shards: u8 = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--trace-out" {
             trace_out = Some(args.next().expect("--trace-out requires a path"));
+        } else if arg == "--shards" {
+            shards = args
+                .next()
+                .expect("--shards requires a count")
+                .parse()
+                .expect("--shards takes a small integer");
         }
     }
 
     // 1. A deterministic simulation: same seed, same run — always.
     let mut sim = Sim::new(42);
 
-    // 2. A deployment: shared log + versioned store + protocol choice.
-    let client = halfmoon::Client::new(
+    // 2. A deployment: shared log (1..n shards) + versioned store +
+    //    protocol choice.
+    let topology = halfmoon::Topology::sharded(shards);
+    let client = halfmoon::Client::with_topology(
         sim.ctx(),
         LatencyModel::calibrated(),
         ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
+        topology,
     );
     client.populate(Key::new("balance"), Value::Int(100));
 
@@ -47,7 +63,7 @@ fn main() {
 
     // 3. A runtime with 8 function nodes, and one registered function:
     //    a read-modify-write that must never double-apply.
-    let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
+    let runtime = Runtime::new(client.clone(), RuntimeConfig::for_topology(topology));
     runtime.register("deposit", |env, input| {
         Box::pin(async move {
             let amount = input.get("amount").and_then(Value::as_int).unwrap_or(0);

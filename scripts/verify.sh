@@ -7,6 +7,9 @@
 # asserts it completes and writes parseable JSON with the expected fields.
 # Traced smoke: re-runs with --trace-out and validates the exported
 # Chrome-trace JSON (parses, spans on every node lane, non-empty).
+# Shard smoke: runs the quickstart example at 1 and 4 log shards and
+# asserts the client-visible results are identical (only virtual time
+# may differ).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,7 +35,7 @@ assert d["bench"] == "sim_core", d
 assert isinstance(d["total_wall_ms"], float) and d["total_wall_ms"] > 0.0, d
 assert len(d["work_fingerprint"]) == 16, d
 int(d["work_fingerprint"], 16)
-assert len(d["components"]) == 7, [c["name"] for c in d["components"]]
+assert len(d["components"]) == 8, [c["name"] for c in d["components"]]
 for c in d["components"]:
     assert c["wall_ms"] >= 0.0 and len(c["fingerprint"]) == 16, c
 print(f"bench smoke ok: {d['total_wall_ms']:.1f} ms, "
@@ -51,7 +54,7 @@ python3 - "$tout" "$ttrace" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
 names = [c["name"] for c in d["components"]]
-assert len(names) == 8 and names[-1] == "synthetic_halfmoon_read_traced", names
+assert len(names) == 9 and names[-1] == "synthetic_halfmoon_read_traced", names
 
 t = json.load(open(sys.argv[2]))
 ev = t["traceEvents"]
@@ -63,5 +66,19 @@ assert node_lanes == set(range(8)), f"missing node lanes: {node_lanes}"
 print(f"traced smoke ok: {len(ev)} events, {len(spans)} spans, "
       f"node lanes {sorted(node_lanes)}")
 EOF
+
+echo "== shard smoke: quickstart @ --shards 1 vs --shards 4 =="
+s1="$(mktemp -t quickstart_s1.XXXXXX.txt)"
+s4="$(mktemp -t quickstart_s4.XXXXXX.txt)"
+trap 'rm -f "$out" "$tout" "$ttrace" "$s1" "$s4"' EXIT
+cargo run --release -q --example quickstart -- --shards 1 > "$s1"
+cargo run --release -q --example quickstart -- --shards 4 > "$s4"
+# Client-visible results must match at any shard count; only the
+# latency (virtual time) line may differ.
+if ! diff <(grep -v '^virtual time' "$s1") <(grep -v '^virtual time' "$s4"); then
+    echo "shard smoke FAILED: quickstart output differs between 1 and 4 shards"
+    exit 1
+fi
+echo "shard smoke ok: client-visible results identical at 1 and 4 shards"
 
 echo "== verify OK =="

@@ -29,11 +29,22 @@ fn run_fingerprint_traced(
     kind: ProtocolKind,
     tracer: Option<Rc<hm_common::trace::Tracer>>,
 ) -> RunFingerprint {
+    run_fingerprint_topology(seed, workload, kind, tracer, halfmoon::Topology::default())
+}
+
+fn run_fingerprint_topology(
+    seed: u64,
+    workload: &dyn Workload,
+    kind: ProtocolKind,
+    tracer: Option<Rc<hm_common::trace::Tracer>>,
+    topology: halfmoon::Topology,
+) -> RunFingerprint {
     let mut sim = Sim::new(seed);
-    let client = Client::new(
+    let client = Client::with_topology(
         sim.ctx(),
         LatencyModel::calibrated(),
         ProtocolConfig::uniform(kind),
+        topology,
     );
     if let Some(tracer) = tracer {
         client.set_tracer(tracer);
@@ -147,6 +158,63 @@ fn workflow_heavy_runs_are_deterministic() {
     let a = run_fingerprint(777, &workload, ProtocolKind::HalfmoonRead);
     let b = run_fingerprint(777, &workload, ProtocolKind::HalfmoonRead);
     assert_eq!(a, b);
+}
+
+/// A sharded topology is exactly as deterministic as the single-shard
+/// one: the same seed at `shards = 4` reproduces the full fingerprint
+/// bit-for-bit, and the traced variant exports byte-identical JSONL
+/// (per-shard sequencer lanes included).
+#[test]
+fn sharded_topology_runs_are_deterministic() {
+    let workload = SyntheticOps {
+        objects: 300,
+        ..SyntheticOps::default()
+    };
+    let run = || {
+        let tracer = hm_common::trace::Tracer::new();
+        let fp = run_fingerprint_topology(
+            3131,
+            &workload,
+            ProtocolKind::HalfmoonRead,
+            Some(tracer.clone()),
+            halfmoon::Topology::sharded(4),
+        );
+        (fp, tracer.export_jsonl())
+    };
+    let (fp_a, trace_a) = run();
+    let (fp_b, trace_b) = run();
+    assert_eq!(fp_a, fp_b, "shards=4: same seed must reproduce exactly");
+    assert!(!trace_a.is_empty());
+    assert_eq!(
+        trace_a, trace_b,
+        "shards=4: same seed must export byte-identical traces"
+    );
+}
+
+/// `Topology::sharded(1)` is not merely equivalent to the default
+/// single-shard deployment — it is the *same code path*, so its run
+/// fingerprint matches [`Client::new`]'s bit-for-bit. This pins the
+/// refactor's central promise: sharding is invisible until asked for.
+#[test]
+fn single_shard_topology_matches_default_construction() {
+    let workload = SyntheticOps {
+        objects: 300,
+        ..SyntheticOps::default()
+    };
+    for kind in [ProtocolKind::HalfmoonRead, ProtocolKind::HalfmoonWrite] {
+        let default_fp = run_fingerprint(2468, &workload, kind);
+        let sharded_fp = run_fingerprint_topology(
+            2468,
+            &workload,
+            kind,
+            None,
+            halfmoon::Topology::sharded(1),
+        );
+        assert_eq!(
+            default_fp, sharded_fp,
+            "{kind}: shards=1 must be bit-identical to the default topology"
+        );
+    }
 }
 
 /// Simultaneous timers fire in registration order — the tie-break the timer

@@ -73,12 +73,13 @@ fn fmt_counters(out: &mut String, c: &OpCounters) {
 /// conflicts), stream reads, trims, and appends to trimmed-then-revived
 /// streams — the paths whose data structures the rewrite replaces.
 fn scenario_log_micro() -> String {
+    scenario_log_micro_with(LogConfig::default())
+}
+
+fn scenario_log_micro_with(config: LogConfig) -> String {
     let mut sim = Sim::new(0x601d_0001);
-    let log: SharedLog<u64> = SharedLog::new(
-        sim.ctx(),
-        LatencyModel::uniform_test_model(),
-        LogConfig::default(),
-    );
+    let log: SharedLog<u64> =
+        SharedLog::new(sim.ctx(), LatencyModel::uniform_test_model(), config);
     let l = log.clone();
     sim.block_on(async move {
         let tags: Vec<Tag> = (0..16)
@@ -253,6 +254,36 @@ fn full_snapshot() -> String {
         true,
     ));
     s
+}
+
+/// An explicitly single-sharded log reproduces the golden `[log_micro]`
+/// section bit-for-bit: `Topology::sharded(1)` takes the same code path
+/// as the default construction, so the sharding refactor is invisible
+/// to the committed snapshot.
+#[test]
+fn single_shard_topology_reproduces_golden_log_micro() {
+    let sharded = scenario_log_micro_with(LogConfig {
+        topology: halfmoon::Topology::sharded(1),
+        ..LogConfig::default()
+    });
+    assert_eq!(
+        sharded,
+        scenario_log_micro(),
+        "shards=1 must match the default-topology log_micro scenario"
+    );
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if let Ok(golden) = std::fs::read_to_string(&path) {
+        let golden_section: String = golden
+            .lines()
+            .skip_while(|l| *l != "[log_micro]")
+            .take_while(|l| !l.is_empty())
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(
+            sharded, golden_section,
+            "shards=1 diverged from the committed [log_micro] snapshot"
+        );
+    }
 }
 
 #[test]
