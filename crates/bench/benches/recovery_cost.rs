@@ -128,11 +128,14 @@ fn run_with_faults_config(
     let mut sim = Sim::new(0x7ec0 + (f * 100.0) as u64);
     let mut config = ProtocolConfig::uniform(kind);
     config.opportunistic_checkpoints = checkpoints;
-    let client = Client::new(sim.ctx(), LatencyModel::calibrated(), config);
+    let mut builder = Client::builder(sim.ctx())
+        .model(LatencyModel::calibrated())
+        .protocol_config(config);
     if f > 0.0 {
         // ~30 crash points per 10-op execution.
-        client.set_faults(FaultPolicy::per_attempt(f, 30, u32::MAX));
+        builder = builder.faults(FaultPolicy::per_attempt(f, 30, u32::MAX));
     }
+    let client = builder.build();
     workload.populate(&client);
     let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
     workload.register(&runtime);

@@ -345,6 +345,106 @@ fn app_inner(
     }
 }
 
+/// §7 recovery-cost f-sweep: the three fault-tolerant protocols under a
+/// per-attempt Bernoulli crash process, failure rates 0 → 50 %.
+///
+/// For each (protocol, f) cell a short synthetic run executes with
+/// `FaultPolicy::per_attempt(f, ..)` installed through the fault plan; the
+/// §5 recovery meters (`Client::recovery_stats`) and the median request
+/// latency land in the fingerprint, and the cell latencies are printed as
+/// the f-sweep table. Shape assertions encode the paper's claim: at f = 0
+/// Halfmoon-read beats the symmetric baseline outright (fewer appends),
+/// and every protocol's latency degrades as f grows — the curves converge
+/// toward a crossover as re-execution work mounts (§7: boundary f ≈ 0.3).
+fn recovery_cost(scale: f64) -> Component {
+    use halfmoon::{Client, FaultPolicy};
+    use hm_runtime::{Gateway, LoadSpec, Runtime};
+    use hm_workloads::Workload;
+
+    let start = Instant::now();
+    let systems = [
+        ProtocolKind::Boki,
+        ProtocolKind::HalfmoonRead,
+        ProtocolKind::HalfmoonWrite,
+    ];
+    let failure_rates = [0.0, 0.25, 0.5];
+    let workload = SyntheticOps {
+        objects: 500,
+        read_ratio: 0.5,
+        ..SyntheticOps::default()
+    };
+    let mut fp = 0u64;
+    let mut polls = 0u64;
+    let mut medians: Vec<Vec<f64>> = Vec::new();
+    let mut replayed_per_req: Vec<Vec<f64>> = Vec::new();
+    for kind in systems {
+        let mut row = Vec::new();
+        let mut replay_row = Vec::new();
+        for &f in &failure_rates {
+            let mut sim = Sim::new(0x5c0_7e44 + (f * 100.0) as u64);
+            let mut builder = Client::builder(sim.ctx()).protocol(kind);
+            if f > 0.0 {
+                // ~30 crash points per synthetic execution (§7's Bernoulli
+                // process); uncapped so the rate holds for the whole run.
+                builder = builder.faults(FaultPolicy::per_attempt(f, 30, u32::MAX));
+            }
+            let client = builder.build();
+            workload.populate(&client);
+            let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
+            workload.register(&runtime);
+            let gateway = Gateway::new(runtime.clone());
+            let spec = LoadSpec {
+                rate_per_sec: 150.0,
+                duration: Duration::from_secs_f64(6.0 * scale),
+                warmup: Duration::from_secs_f64(0.5 * scale),
+                factory: workload.factory(),
+            };
+            let report = sim.block_on(async move { gateway.run_open_loop(spec).await });
+            let recovery = client.recovery_stats();
+            let median = report.latency.median_ms().unwrap_or(f64::NAN);
+            row.push(median);
+            replay_row.push(recovery.replayed_records as f64 / report.completed.max(1) as f64);
+            fp = mix(fp, kind as u64);
+            fp = mix(fp, (f * 100.0) as u64);
+            fp = mix(fp, report.completed);
+            fp = mix(fp, runtime.retries());
+            fp = mix(fp, recovery.attempts);
+            fp = mix(fp, recovery.replayed_records);
+            fp = mix(fp, recovery.log_reads);
+            fp = mix(fp, median.to_bits());
+            polls += sim.poll_count();
+        }
+        medians.push(row);
+        replayed_per_req.push(replay_row);
+    }
+    for (kind, (row, replays)) in systems.iter().zip(medians.iter().zip(&replayed_per_req)) {
+        eprintln!(
+            "recovery sweep {:<14} median ms @ f={:?}: {:?}  (replayed records/req: {:?})",
+            kind.label(),
+            failure_rates,
+            row.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>(),
+            replays.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+        );
+    }
+    let (boki, hm_read) = (&medians[0], &medians[1]);
+    assert!(
+        hm_read[0] < boki[0],
+        "failure-free Halfmoon-read must beat the symmetric baseline: {hm_read:?} vs {boki:?}"
+    );
+    for (kind, row) in systems.iter().zip(&medians) {
+        assert!(
+            row[failure_rates.len() - 1] > row[0],
+            "{kind:?}: latency must degrade as f grows: {row:?}"
+        );
+    }
+    Component {
+        name: "recovery_cost",
+        wall: start.elapsed(),
+        polls,
+        fingerprint: fp,
+    }
+}
+
 fn json_escape_free(s: &str) -> &str {
     // All strings we emit are static identifiers; assert rather than escape.
     assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
@@ -375,6 +475,7 @@ fn main() {
         app("synthetic_halfmoon_read", ProtocolKind::HalfmoonRead, scale, false),
         app("synthetic_halfmoon_write", ProtocolKind::HalfmoonWrite, scale, false),
         app("travel_halfmoon_read", ProtocolKind::HalfmoonRead, scale, true),
+        recovery_cost(scale),
     ];
 
     if let Some(path) = &trace_out {

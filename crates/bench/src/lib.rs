@@ -43,13 +43,25 @@ pub fn build_env_with_topology(
     rt_config: RuntimeConfig,
     topology: halfmoon::Topology,
 ) -> BenchEnv {
+    build_env_inner(seed, kind, rt_config, topology, None)
+}
+
+fn build_env_inner(
+    seed: u64,
+    kind: ProtocolKind,
+    rt_config: RuntimeConfig,
+    topology: halfmoon::Topology,
+    tracer: Option<Rc<hm_common::trace::Tracer>>,
+) -> BenchEnv {
     let sim = Sim::new(seed);
-    let client = Client::with_topology(
-        sim.ctx(),
-        LatencyModel::calibrated(),
-        ProtocolConfig::uniform(kind),
-        topology,
-    );
+    let mut builder = Client::builder(sim.ctx())
+        .model(LatencyModel::calibrated())
+        .protocol_config(ProtocolConfig::uniform(kind))
+        .topology(topology);
+    if let Some(tracer) = tracer {
+        builder = builder.tracer(tracer);
+    }
+    let client = builder.build();
     let runtime = Runtime::new(client.clone(), rt_config);
     BenchEnv {
         sim,
@@ -130,10 +142,13 @@ fn run_app_inner(
     params: &AppRun,
     tracer: Option<Rc<hm_common::trace::Tracer>>,
 ) -> AppRunOutput {
-    let mut env = build_env(params.seed, params.kind, params.rt_config);
-    if let Some(tracer) = tracer {
-        env.client.set_tracer(tracer);
-    }
+    let mut env = build_env_inner(
+        params.seed,
+        params.kind,
+        params.rt_config,
+        halfmoon::Topology::default(),
+        tracer,
+    );
     workload.populate(&env.client);
     workload.register(&env.runtime);
     let gc = params

@@ -324,6 +324,17 @@ impl<K: Hash + Eq + Copy> LruSet<K> {
         self.map.insert(key, idx);
         true
     }
+
+    /// Drops every key at once (a cold restart of the cache's owner).
+    /// The eviction counter is preserved: cleared keys were lost with
+    /// their owner, not evicted to make room.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
 }
 
 impl<K: Hash + Eq + Copy + std::fmt::Debug> std::fmt::Debug for LruSet<K> {

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::ids::{Key, SeqNum, StepNum};
+use crate::ids::{Key, NodeId, SeqNum, StepNum};
 
 /// Result alias used throughout the workspace.
 pub type HmResult<T> = Result<T, HmError>;
@@ -20,6 +20,14 @@ pub enum HmError {
     Crashed {
         /// Which crash point fired.
         point: u32,
+    },
+    /// The function node executing this attempt was killed (a chaos
+    /// campaign's whole-node crash): every in-flight attempt on the node
+    /// is torn down at the crash instant. Retried like [`HmError::Crashed`],
+    /// re-dispatched to a surviving node.
+    NodeCrashed {
+        /// The node that went down.
+        node: NodeId,
     },
     /// A conditional log append lost the race against a peer instance
     /// (§5.1). Carries the seqnum of the record that won at the expected
@@ -73,10 +81,14 @@ impl HmError {
         HmError::BadInput { what: what.into() }
     }
 
-    /// True if this error is an injected crash (the runtime retries these).
+    /// True if this error is an injected crash — of the instance or of
+    /// its whole node (the runtime retries these).
     #[must_use]
     pub fn is_crash(&self) -> bool {
-        matches!(self, HmError::Crashed { .. })
+        matches!(
+            self,
+            HmError::Crashed { .. } | HmError::NodeCrashed { .. }
+        )
     }
 }
 
@@ -90,6 +102,9 @@ impl fmt::Display for HmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HmError::Crashed { point } => write!(f, "injected crash at point {point}"),
+            HmError::NodeCrashed { node } => {
+                write!(f, "function node {node:?} crashed under this attempt")
+            }
             HmError::CondAppendConflict { winner, step } => {
                 write!(
                     f,
@@ -114,6 +129,7 @@ mod tests {
     #[test]
     fn crash_detection() {
         assert!(HmError::Crashed { point: 3 }.is_crash());
+        assert!(HmError::NodeCrashed { node: NodeId(2) }.is_crash());
         assert!(!HmError::config("x").is_crash());
     }
 

@@ -5,9 +5,18 @@
 //! an [`crate::env::Env`] referencing it. The client also keeps the
 //! bookkeeping the garbage collector and benchmark harness need (the set of
 //! keys ever written, the optional history recorder).
+//!
+//! Construction goes through [`ClientBuilder`] (`Client::builder(ctx)`):
+//! topology, fault plan, recorder, and tracer are fixed before the first
+//! operation, replacing the old pile of post-construction `set_*` hooks
+//! (kept as deprecated shims). The two hooks that are *inherently*
+//! post-construction remain first-class: [`Client::register_invoker`]
+//! (the runtime needs the client to exist first) and
+//! [`Client::set_fault_plan`] (campaigns that target instance ids drawn
+//! after construction).
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -17,11 +26,12 @@ use hm_common::metrics::Histogram;
 use hm_common::trace::Tracer;
 use hm_common::{HmResult, InstanceId, Key, NodeId, Tag, Value};
 use hm_kvstore::KvStore;
-use hm_sharedlog::{LogConfig, LogService, Topology};
+use hm_sharedlog::{LogConfig, LogService, ReplayStats, Topology};
 use hm_sim::SimCtx;
 
+use crate::faults::{FaultPlan, FaultPolicy};
 use crate::history::Recorder;
-use crate::protocol::ProtocolConfig;
+use crate::protocol::{ProtocolConfig, ProtocolKind};
 use crate::record::StepRecord;
 
 /// Boxed local future, the return type of [`Invoker::invoke`].
@@ -60,7 +70,7 @@ pub fn transition_log_tag() -> Tag {
 /// The protocol library deliberately does not depend on any runtime: Boki is
 /// one possible logging layer and `hm-runtime` is one possible FaaS
 /// substrate (§7 makes the same portability point). The runtime registers
-/// itself via [`Client::set_invoker`].
+/// itself via [`Client::register_invoker`].
 pub trait Invoker {
     /// Runs `func(input)` as instance `callee` to completion — including
     /// crash detection and re-execution — and returns its result.
@@ -72,147 +82,22 @@ pub trait Invoker {
     ) -> LocalBoxFuture<'static, HmResult<Value>>;
 }
 
-/// Fault-injection policy: decides whether an instance crashes at a given
-/// crash point. Crash points are numbered per execution attempt, placed at
-/// every operation boundary the protocols expose (before/after store writes
-/// and log appends — exactly the windows the §4 anomaly arguments use).
-#[derive(Debug)]
-pub struct FaultPolicy {
-    mode: FaultMode,
-    injected: Cell<u32>,
-    /// Hard cap so randomized tests always terminate.
-    max_crashes: u32,
-}
-
-#[derive(Debug)]
-enum FaultMode {
-    None,
-    /// Crash with this probability at every crash point.
-    Random {
-        prob: f64,
-    },
-    /// Crash exactly at the listed `(instance, point)` pairs, each once.
-    At {
-        points: RefCell<HashSet<(InstanceId, u32)>>,
-    },
-    /// Crash each execution *attempt* with this probability, at a uniformly
-    /// random crash point — the Bernoulli-process model of §7. `max_point`
-    /// bounds the drawn target; executions with fewer crash points simply
-    /// survive that attempt (slightly deflating the effective rate).
-    PerAttempt {
-        prob: f64,
-        max_point: u32,
-        pending: RefCell<std::collections::HashMap<InstanceId, u32>>,
-    },
-}
-
-impl FaultPolicy {
-    /// Never crash.
-    #[must_use]
-    pub fn none() -> FaultPolicy {
-        FaultPolicy {
-            mode: FaultMode::None,
-            injected: Cell::new(0),
-            max_crashes: 0,
-        }
-    }
-
-    /// Crash with probability `prob` at every crash point, at most
-    /// `max_crashes` times in total.
-    #[must_use]
-    pub fn random(prob: f64, max_crashes: u32) -> FaultPolicy {
-        assert!((0.0..=1.0).contains(&prob));
-        FaultPolicy {
-            mode: FaultMode::Random { prob },
-            injected: Cell::new(0),
-            max_crashes,
-        }
-    }
-
-    /// Crash each execution attempt with probability `prob`, at a uniform
-    /// random point among the first `max_point` crash points (§7's
-    /// Bernoulli-process failure model).
-    #[must_use]
-    pub fn per_attempt(prob: f64, max_point: u32, max_crashes: u32) -> FaultPolicy {
-        assert!(
-            (0.0..1.0).contains(&prob),
-            "per-attempt crash probability must be < 1"
-        );
-        assert!(max_point >= 1);
-        FaultPolicy {
-            mode: FaultMode::PerAttempt {
-                prob,
-                max_point,
-                pending: RefCell::new(std::collections::HashMap::new()),
-            },
-            injected: Cell::new(0),
-            max_crashes,
-        }
-    }
-
-    /// Crash exactly once at each listed `(instance, crash point)` pair.
-    #[must_use]
-    pub fn at(points: impl IntoIterator<Item = (InstanceId, u32)>) -> FaultPolicy {
-        let points: HashSet<_> = points.into_iter().collect();
-        let max = points.len() as u32;
-        FaultPolicy {
-            mode: FaultMode::At {
-                points: RefCell::new(points),
-            },
-            injected: Cell::new(0),
-            max_crashes: max,
-        }
-    }
-
-    /// Decides whether `instance` crashes at crash point `point`.
-    pub fn should_crash(&self, instance: InstanceId, point: u32, ctx: &SimCtx) -> bool {
-        if self.injected.get() >= self.max_crashes {
-            return false;
-        }
-        let crash = match &self.mode {
-            FaultMode::None => false,
-            FaultMode::Random { prob } => {
-                ctx.with_rng(|rng| hm_common::dist::bernoulli(rng, *prob))
-            }
-            FaultMode::At { points } => points.borrow_mut().remove(&(instance, point)),
-            FaultMode::PerAttempt {
-                prob,
-                max_point,
-                pending,
-            } => {
-                let mut pending = pending.borrow_mut();
-                if point == 1 {
-                    // New attempt: decide its fate now.
-                    if ctx.with_rng(|rng| hm_common::dist::bernoulli(rng, *prob)) {
-                        let target = ctx.with_rng(|rng| {
-                            use rand::RngExt;
-                            rng.random_range(1..=*max_point)
-                        });
-                        pending.insert(instance, target);
-                    } else {
-                        pending.remove(&instance);
-                    }
-                }
-                match pending.get(&instance) {
-                    Some(target) if *target <= point => {
-                        pending.remove(&instance);
-                        true
-                    }
-                    _ => false,
-                }
-            }
-        };
-        if crash {
-            self.injected.set(self.injected.get() + 1);
-        }
-        crash
-    }
-
-    /// Number of crashes injected so far.
-    #[must_use]
-    pub fn injected(&self) -> u32 {
-        self.injected.get()
-    }
+/// Cumulative §5 recovery work, metered by `Env::init` on re-execution
+/// attempts: what the crashed-then-retried executions had to re-read to
+/// reconstruct their step/read state. The f-sweep bench divides this by
+/// completed invocations to reproduce the §7 recovery-cost curves.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Re-execution attempts that fetched a step log (attempt > 0).
+    pub attempts: u64,
+    /// Step-log records replayed by those attempts.
+    pub replayed_records: u64,
+    /// Extra log read rounds paid purely for recovery (one stream fetch
+    /// per re-execution attempt).
+    pub log_reads: u64,
+    /// Records that were already behind the trim horizon and therefore
+    /// *not* re-read (§5: replay starts at the last trim point).
+    pub trimmed_skipped: u64,
 }
 
 /// Per-operation latency histograms, as the microbenchmarks report them
@@ -233,11 +118,12 @@ struct ClientInner {
     store: KvStore,
     model: LatencyModel,
     config: RefCell<ProtocolConfig>,
-    faults: RefCell<Rc<FaultPolicy>>,
+    faults: RefCell<Rc<FaultPlan>>,
     invoker: RefCell<Option<Rc<dyn Invoker>>>,
     recorder: RefCell<Option<Rc<Recorder>>>,
     tracer: RefCell<Option<Rc<Tracer>>>,
     op_latencies: RefCell<OpLatencies>,
+    recovery: Cell<RecoveryStats>,
     /// Opportunistic checkpoints of log-free reads, per function node
     /// (§7): `(node, instance, pc) → value`. Purely an in-memory recovery
     /// accelerator — never consulted for correctness, only to skip
@@ -259,12 +145,148 @@ pub struct Client {
     inner: Rc<ClientInner>,
 }
 
+/// Fluent deployment construction: `Client::builder(ctx)` with optional
+/// model, protocol, topology, fault plan, recorder, and tracer — the one
+/// place all per-deployment configuration meets.
+///
+/// ```
+/// use halfmoon::{Client, FaultPlan, FaultPolicy, ProtocolKind, Topology};
+/// use hm_sim::Sim;
+///
+/// let sim = Sim::new(1);
+/// let client = Client::builder(sim.ctx())
+///     .protocol(ProtocolKind::HalfmoonWrite)
+///     .topology(Topology::sharded(4))
+///     .faults(FaultPolicy::random(0.01, 10))
+///     .recorder()
+///     .build();
+/// assert!(client.recorder().is_some());
+/// ```
+pub struct ClientBuilder {
+    ctx: SimCtx,
+    model: LatencyModel,
+    config: ProtocolConfig,
+    topology: Topology,
+    faults: FaultPlan,
+    recorder: bool,
+    tracer: Option<Rc<Tracer>>,
+}
+
+impl ClientBuilder {
+    /// Sets the latency model (default: the paper-calibrated model).
+    #[must_use]
+    pub fn model(mut self, model: LatencyModel) -> ClientBuilder {
+        self.model = model;
+        self
+    }
+
+    /// Runs every object under one protocol (shorthand for
+    /// [`ClientBuilder::protocol_config`] with a uniform config).
+    #[must_use]
+    pub fn protocol(mut self, kind: ProtocolKind) -> ClientBuilder {
+        self.config = ProtocolConfig::uniform(kind);
+        self
+    }
+
+    /// Sets the full protocol configuration (per-key choices, switching).
+    #[must_use]
+    pub fn protocol_config(mut self, config: ProtocolConfig) -> ClientBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Sets the logging topology (default: one shard).
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> ClientBuilder {
+        self.topology = topology;
+        self
+    }
+
+    /// Installs a fault plan — a bare [`FaultPolicy`] coerces to a plan
+    /// with only instance crash points.
+    #[must_use]
+    pub fn faults(mut self, plan: impl Into<FaultPlan>) -> ClientBuilder {
+        self.faults = plan.into();
+        self
+    }
+
+    /// Attaches a fresh history [`Recorder`] (read it back with
+    /// [`Client::recorder`] and run the consistency checkers on it).
+    #[must_use]
+    pub fn recorder(mut self) -> ClientBuilder {
+        self.recorder = true;
+        self
+    }
+
+    /// Enables causal tracing for the whole deployment (environment and
+    /// protocol spans plus shared-log and store substrate spans).
+    #[must_use]
+    pub fn tracer(mut self, tracer: Rc<Tracer>) -> ClientBuilder {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Builds the deployment: fresh log (with the configured topology)
+    /// and store on the simulation.
+    #[must_use]
+    pub fn build(self) -> Client {
+        let log = LogService::new(
+            self.ctx.clone(),
+            self.model,
+            LogConfig {
+                topology: self.topology,
+                ..LogConfig::default()
+            },
+        );
+        let store = KvStore::new(self.ctx.clone(), self.model);
+        let client = Client {
+            inner: Rc::new(ClientInner {
+                ctx: self.ctx,
+                log,
+                store,
+                model: self.model,
+                config: RefCell::new(self.config),
+                faults: RefCell::new(Rc::new(self.faults)),
+                invoker: RefCell::new(None),
+                recorder: RefCell::new(self.recorder.then(|| Rc::new(Recorder::new()))),
+                tracer: RefCell::new(None),
+                op_latencies: RefCell::new(OpLatencies::default()),
+                recovery: Cell::new(RecoveryStats::default()),
+                checkpoints: RefCell::new(hm_common::FxHashMap::default()),
+                txn_validity: RefCell::new(hm_common::FxHashMap::default()),
+                written_keys: RefCell::new(BTreeSet::new()),
+            }),
+        };
+        if let Some(tracer) = self.tracer {
+            client.install_tracer(tracer);
+        }
+        client
+    }
+}
+
 impl Client {
+    /// Starts building a deployment on the given simulation. Defaults:
+    /// calibrated latency model, uniform Halfmoon-read, one log shard, no
+    /// faults, no recorder, no tracer.
+    #[must_use]
+    pub fn builder(ctx: SimCtx) -> ClientBuilder {
+        ClientBuilder {
+            ctx,
+            model: LatencyModel::calibrated(),
+            config: ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
+            topology: Topology::default(),
+            faults: FaultPlan::new(),
+            recorder: false,
+            tracer: None,
+        }
+    }
+
     /// Builds a deployment: fresh single-shard log and store on the given
-    /// simulation.
+    /// simulation. Convenience for [`Client::builder`] with an explicit
+    /// model and protocol config.
     #[must_use]
     pub fn new(ctx: SimCtx, model: LatencyModel, config: ProtocolConfig) -> Client {
-        Client::with_topology(ctx, model, config, Topology::default())
+        Client::builder(ctx).model(model).protocol_config(config).build()
     }
 
     /// Builds a deployment whose logging layer runs `topology.shards`
@@ -277,32 +299,11 @@ impl Client {
         config: ProtocolConfig,
         topology: Topology,
     ) -> Client {
-        let log = LogService::new(
-            ctx.clone(),
-            model,
-            LogConfig {
-                topology,
-                ..LogConfig::default()
-            },
-        );
-        let store = KvStore::new(ctx.clone(), model);
-        Client {
-            inner: Rc::new(ClientInner {
-                ctx,
-                log,
-                store,
-                model,
-                config: RefCell::new(config),
-                faults: RefCell::new(Rc::new(FaultPolicy::none())),
-                invoker: RefCell::new(None),
-                recorder: RefCell::new(None),
-                tracer: RefCell::new(None),
-                op_latencies: RefCell::new(OpLatencies::default()),
-                checkpoints: RefCell::new(hm_common::FxHashMap::default()),
-                txn_validity: RefCell::new(hm_common::FxHashMap::default()),
-                written_keys: RefCell::new(BTreeSet::new()),
-            }),
-        }
+        Client::builder(ctx)
+            .model(model)
+            .protocol_config(config)
+            .topology(topology)
+            .build()
     }
 
     /// The simulation context.
@@ -346,15 +347,34 @@ impl Client {
         f(&mut self.inner.config.borrow_mut());
     }
 
-    /// The current fault policy.
+    /// The instance crash-point policy of the current fault plan (what
+    /// `Env::maybe_crash` consults).
     #[must_use]
     pub fn faults(&self) -> Rc<FaultPolicy> {
+        self.inner.faults.borrow().instance_policy()
+    }
+
+    /// The full fault plan, schedule included (what the chaos driver
+    /// walks).
+    #[must_use]
+    pub fn fault_plan(&self) -> Rc<FaultPlan> {
         self.inner.faults.borrow().clone()
     }
 
+    /// Replaces the fault plan. First-class (not a legacy shim): campaigns
+    /// that target instance ids drawn after construction have to install
+    /// their plan late.
+    pub fn set_fault_plan(&self, plan: impl Into<FaultPlan>) {
+        *self.inner.faults.borrow_mut() = Rc::new(plan.into());
+    }
+
     /// Replaces the fault policy.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use Client::builder(..).faults(plan) or set_fault_plan"
+    )]
     pub fn set_faults(&self, policy: FaultPolicy) {
-        *self.inner.faults.borrow_mut() = Rc::new(policy);
+        self.set_fault_plan(policy);
     }
 
     /// The registered invoker, if any.
@@ -363,9 +383,16 @@ impl Client {
         self.inner.invoker.borrow().clone()
     }
 
-    /// Registers the runtime's invoker.
-    pub fn set_invoker(&self, invoker: Rc<dyn Invoker>) {
+    /// Registers the runtime's invoker. Inherently post-construction (the
+    /// runtime is built around the client), so not a deprecated shim.
+    pub fn register_invoker(&self, invoker: Rc<dyn Invoker>) {
         *self.inner.invoker.borrow_mut() = Some(invoker);
+    }
+
+    /// Registers the runtime's invoker.
+    #[deprecated(since = "0.5.0", note = "renamed to register_invoker")]
+    pub fn set_invoker(&self, invoker: Rc<dyn Invoker>) {
+        self.register_invoker(invoker);
     }
 
     /// The history recorder, if consistency checking is enabled.
@@ -375,6 +402,7 @@ impl Client {
     }
 
     /// Enables history recording (tests and checkers).
+    #[deprecated(since = "0.5.0", note = "use Client::builder(..).recorder()")]
     pub fn set_recorder(&self, recorder: Rc<Recorder>) {
         *self.inner.recorder.borrow_mut() = Some(recorder);
     }
@@ -385,13 +413,19 @@ impl Client {
         self.inner.tracer.borrow().clone()
     }
 
-    /// Enables causal tracing for the whole deployment: spans from the
-    /// environment and protocol ops, plus substrate spans from the shared
-    /// log and the state store (DESIGN.md §11).
-    pub fn set_tracer(&self, tracer: Rc<Tracer>) {
+    /// Wires a tracer into the deployment: spans from the environment and
+    /// protocol ops, plus substrate spans from the shared log and the
+    /// state store (DESIGN.md §11).
+    fn install_tracer(&self, tracer: Rc<Tracer>) {
         self.log().set_tracer(tracer.clone());
         self.store().set_tracer(tracer.clone());
         *self.inner.tracer.borrow_mut() = Some(tracer);
+    }
+
+    /// Enables causal tracing for the whole deployment.
+    #[deprecated(since = "0.5.0", note = "use Client::builder(..).tracer(t)")]
+    pub fn set_tracer(&self, tracer: Rc<Tracer>) {
+        self.install_tracer(tracer);
     }
 
     /// Notes that `key` received a multi-version write (GC bookkeeping;
@@ -470,6 +504,33 @@ impl Client {
             .checkpoints
             .borrow_mut()
             .retain(|(_, i, _), _| *i != instance);
+    }
+
+    /// Drops every checkpoint cached on one node — a node crash loses its
+    /// in-memory recovery accelerators (§5); successors recompute.
+    pub fn drop_node_checkpoints(&self, node: NodeId) {
+        self.inner
+            .checkpoints
+            .borrow_mut()
+            .retain(|(n, _, _), _| *n != node);
+    }
+
+    /// Meters one re-execution attempt's §5 replay work into the
+    /// cumulative [`RecoveryStats`].
+    pub fn note_recovery(&self, replay: ReplayStats) {
+        let mut stats = self.inner.recovery.get();
+        stats.attempts += 1;
+        stats.replayed_records += replay.replayed;
+        stats.log_reads += 1;
+        stats.trimmed_skipped += replay.trimmed;
+        self.inner.recovery.set(stats);
+    }
+
+    /// Snapshot of the cumulative recovery work (the f-sweep bench and the
+    /// chaos auditor read this).
+    #[must_use]
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.inner.recovery.get()
     }
 
     /// Looks up a memoized transaction-commit validity.

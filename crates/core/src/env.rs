@@ -102,19 +102,73 @@ pub struct Env {
     attempt_ended: bool,
 }
 
+/// What [`Env::init`] needs to start one execution attempt, named instead
+/// of positional (the old `init(&client, id, node, attempt, input)`
+/// signature was an argument soup where swapping `attempt` for a node
+/// index compiled fine).
+///
+/// ```
+/// use halfmoon::InvocationSpec;
+/// use hm_common::{InstanceId, NodeId, Value};
+///
+/// let spec = InvocationSpec::new(InstanceId(7), NodeId(0))
+///     .attempt(2)
+///     .input(Value::Int(5));
+/// assert_eq!(spec.attempt, 2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct InvocationSpec {
+    /// The instance group identifier (shared with peers and retries).
+    pub id: InstanceId,
+    /// The function node executing this attempt.
+    pub node: NodeId,
+    /// Execution attempt number (0 on first execution).
+    pub attempt: u32,
+    /// Caller-supplied invocation input (overridden by a logged init
+    /// record on replay).
+    pub input: Value,
+}
+
+impl InvocationSpec {
+    /// A first-attempt spec with `Value::Null` input.
+    #[must_use]
+    pub fn new(id: InstanceId, node: NodeId) -> InvocationSpec {
+        InvocationSpec {
+            id,
+            node,
+            attempt: 0,
+            input: Value::Null,
+        }
+    }
+
+    /// Sets the attempt number (re-executions).
+    #[must_use]
+    pub fn attempt(mut self, attempt: u32) -> InvocationSpec {
+        self.attempt = attempt;
+        self
+    }
+
+    /// Sets the invocation input.
+    #[must_use]
+    pub fn input(mut self, input: Value) -> InvocationSpec {
+        self.input = input;
+        self
+    }
+}
+
 impl Env {
     /// Initializes an execution attempt: fetches the step log and appends
     /// (or replays) the init record — Figure 5's `Init`.
     ///
     /// # Errors
     /// Propagates injected crashes and substrate errors.
-    pub async fn init(
-        client: &Client,
-        id: InstanceId,
-        node: NodeId,
-        attempt: u32,
-        input: Value,
-    ) -> HmResult<Env> {
+    pub async fn init(client: &Client, spec: InvocationSpec) -> HmResult<Env> {
+        let InvocationSpec {
+            id,
+            node,
+            attempt,
+            input,
+        } = spec;
         let unlogged = client.with_config(|c| {
             c.default == ProtocolKind::Unsafe && c.per_key.is_empty() && !c.switching_enabled
         });
@@ -165,7 +219,13 @@ impl Env {
         }
         let init_span = env.op_begin("init");
         env.set_trace_ctx();
-        env.prior = client.log().read_stream(node, id.step_log_tag()).await;
+        let (prior, replay) = client.log().replay_stream(node, id.step_log_tag()).await;
+        env.prior = prior;
+        if attempt > 0 {
+            // §5 recovery metering: everything this fetch returned is work
+            // paid purely because the previous attempt died.
+            client.note_recovery(replay);
+        }
         env.maybe_crash().inspect_err(|_| env.op_end(init_span))?;
         match env.peek_prior() {
             Some(rec) => {

@@ -361,6 +361,109 @@ impl Recorder {
         Ok(())
     }
 
+    /// Exactly-once effects for the unlogged path: a raw write is an
+    /// unconditional store mutation, so any `(instance, pc)` recording it
+    /// more than once duplicated a side effect across attempts. The
+    /// fault-tolerant protocols never emit raw writes; the unsafe baseline
+    /// emits one per write and demonstrably fails this under crashes.
+    ///
+    /// # Errors
+    /// Returns a description of the first duplicated effect.
+    pub fn check_raw_write_uniqueness(&self) -> Result<(), String> {
+        let mut seen: HashMap<(InstanceId, u32), u32> = HashMap::new();
+        for e in self.events.borrow().iter() {
+            if let EventKind::RawWrite { key, .. } = &e.kind {
+                let count = seen.entry((e.instance, e.pc)).or_insert(0);
+                *count += 1;
+                if *count > 1 {
+                    return Err(format!(
+                        "raw write at {:?} pc {} of {:?} took effect {} times",
+                        e.instance, e.pc, key, count
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Read-your-writes within one instance: after an instance commits a
+    /// versioned write to `key` at program counter `p`, every later read
+    /// of `key` by the same instance (pc > p) must carry a logical
+    /// timestamp at or past that commit — the instance cannot travel back
+    /// before its own write.
+    ///
+    /// # Errors
+    /// Returns a description of the first read behind its own write.
+    pub fn check_read_your_writes(&self) -> Result<(), String> {
+        // Last committed write per (instance, key): (pc, commit seqnum).
+        let mut writes: HashMap<(InstanceId, Key), (u32, SeqNum)> = HashMap::new();
+        for e in self.events.borrow().iter() {
+            match &e.kind {
+                EventKind::VersionedWrite { key, commit, .. } => {
+                    let entry = writes
+                        .entry((e.instance, key.clone()))
+                        .or_insert((e.pc, *commit));
+                    if e.pc >= entry.0 {
+                        *entry = (e.pc, *commit);
+                    }
+                }
+                EventKind::Read { key, logical, .. } => {
+                    if let Some((wpc, commit)) = writes.get(&(e.instance, key.clone())) {
+                        if e.pc > *wpc && logical < commit {
+                            return Err(format!(
+                                "read-your-writes violation: {:?} pc {} read {:?} at \
+                                 logical {:?}, behind its own commit {:?} from pc {}",
+                                e.instance, e.pc, key, logical, commit, wpc
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Monotonic reads within one instance: ordering one instance's reads
+    /// of a key by program counter, their logical timestamps must be
+    /// non-decreasing (the cursor never moves backward, §4). Only the
+    /// first recorded event per `(instance, pc)` participates — replay
+    /// attempts repeat earlier pcs and are covered by the stability check.
+    ///
+    /// # Errors
+    /// Returns a description of the first backward-moving read.
+    pub fn check_monotonic_reads(&self) -> Result<(), String> {
+        // First-observed logical per (instance, key, pc).
+        let mut first: HashMap<(InstanceId, Key, u32), SeqNum> = HashMap::new();
+        for e in self.events.borrow().iter() {
+            if let EventKind::Read { key, logical, .. } = &e.kind {
+                first
+                    .entry((e.instance, key.clone(), e.pc))
+                    .or_insert(*logical);
+            }
+        }
+        // Re-walk per (instance, key) in pc order.
+        let mut per_pair: HashMap<(InstanceId, Key), BTreeMap<u32, SeqNum>> = HashMap::new();
+        for ((inst, key, pc), logical) in first {
+            per_pair.entry((inst, key)).or_default().insert(pc, logical);
+        }
+        for ((inst, key), by_pc) in per_pair {
+            let mut last: Option<(u32, SeqNum)> = None;
+            for (pc, logical) in by_pc {
+                if let Some((ppc, plogical)) = last {
+                    if logical < plogical {
+                        return Err(format!(
+                            "monotonic-reads violation: {inst:?} read {key:?} at \
+                             pc {ppc} logical {plogical:?}, then pc {pc} logical {logical:?}"
+                        ));
+                    }
+                }
+                last = Some((pc, logical));
+            }
+        }
+        Ok(())
+    }
+
     /// Runs every protocol-independent invariant check.
     ///
     /// # Errors
@@ -368,7 +471,9 @@ impl Recorder {
     pub fn check_all_generic(&self) -> Result<(), String> {
         self.check_read_stability()?;
         self.check_invoke_stability()?;
-        self.check_write_determinism()
+        self.check_write_determinism()?;
+        self.check_raw_write_uniqueness()?;
+        self.check_monotonic_reads()
     }
 }
 

@@ -27,23 +27,21 @@
 //! # Quick start
 //!
 //! ```
-//! use halfmoon::{Client, Env, ProtocolConfig, ProtocolKind};
+//! use halfmoon::{Client, Env, InvocationSpec, ProtocolKind};
 //! use hm_common::latency::LatencyModel;
 //! use hm_common::{Key, NodeId, Value};
 //! use hm_sim::Sim;
 //!
 //! let mut sim = Sim::new(42);
-//! let client = Client::new(
-//!     sim.ctx(),
-//!     LatencyModel::calibrated(),
-//!     ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
-//! );
+//! let client = Client::builder(sim.ctx())
+//!     .protocol(ProtocolKind::HalfmoonRead)
+//!     .build();
 //! client.populate(Key::new("greeting"), Value::str("hello"));
 //! let id = client.fresh_instance_id();
 //! let out = sim.block_on({
 //!     let client = client.clone();
 //!     async move {
-//!         let mut env = Env::init(&client, id, NodeId(0), 0, Value::Null).await?;
+//!         let mut env = Env::init(&client, InvocationSpec::new(id, NodeId(0))).await?;
 //!         let v = env.read(&Key::new("greeting")).await?;
 //!         env.write(&Key::new("greeting"), Value::str("hello, world")).await?;
 //!         env.finish(v).await
@@ -55,6 +53,7 @@
 pub mod choice;
 pub mod client;
 pub mod env;
+pub mod faults;
 pub mod gc;
 pub mod history;
 pub mod protocol;
@@ -67,10 +66,12 @@ mod ops_halfmoon;
 mod ops_transitional;
 
 pub use client::{
-    finish_log_tag, init_log_tag, transition_log_tag, Client, FaultPolicy, Invoker, LocalBoxFuture,
+    finish_log_tag, init_log_tag, transition_log_tag, Client, ClientBuilder, Invoker,
+    LocalBoxFuture, RecoveryStats,
 };
-pub use hm_sharedlog::{GlobalSeqNum, ShardId, Topology};
-pub use env::{Env, ObjectMode};
+pub use faults::{FaultEvent, FaultPlan, FaultPolicy, ScheduledFault};
+pub use hm_sharedlog::{GlobalSeqNum, ReplayStats, ShardId, Topology};
+pub use env::{Env, InvocationSpec, ObjectMode};
 pub use gc::{GarbageCollector, GcStats};
 pub use history::{Event, EventKind, Recorder};
 pub use protocol::{ProtocolConfig, ProtocolKind};

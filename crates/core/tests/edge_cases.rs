@@ -6,7 +6,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 use std::time::Duration;
 
-use halfmoon::{Client, Env, FaultPolicy, ProtocolConfig, ProtocolKind};
+use halfmoon::{Client, Env, FaultPolicy, InvocationSpec, ProtocolConfig, ProtocolKind};
 use hm_common::latency::LatencyModel;
 use hm_common::{HmError, Key, NodeId, Value};
 use hm_sim::Sim;
@@ -33,7 +33,7 @@ fn non_deterministic_body_is_detected() {
         client.populate(Key::new("X"), Value::Int(0));
         let id = client.fresh_instance_id();
         // Crash after the first logged op.
-        client.set_faults(FaultPolicy::at([(id, 5)]));
+        client.set_fault_plan(FaultPolicy::at([(id, 5)]));
         let attempt_counter = Rc::new(Cell::new(0u32));
         let c2 = client.clone();
         let ac = attempt_counter.clone();
@@ -43,7 +43,7 @@ fn non_deterministic_body_is_detected() {
                 let ac = ac.clone();
                 let c3 = c2.clone();
                 let once = async {
-                    let mut env = Env::init(&c3, id, NODE, attempt, Value::Null).await?;
+                    let mut env = Env::init(&c3, InvocationSpec::new(id, NODE).attempt(attempt)).await?;
                     ac.set(ac.get() + 1);
                     if ac.get() == 1 {
                         // First attempt: a read.
@@ -85,7 +85,7 @@ fn missing_key_reads_null() {
         let id = client.fresh_instance_id();
         let c2 = client.clone();
         let v = sim.block_on(async move {
-            let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await?;
+            let mut env = Env::init(&c2, InvocationSpec::new(id, NODE)).await?;
             let v = env.read(&Key::new("ghost")).await?;
             env.finish(v).await
         });
@@ -105,7 +105,7 @@ fn write_then_read_fresh_key() {
         let id = client.fresh_instance_id();
         let c2 = client.clone();
         let v = sim.block_on(async move {
-            let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await?;
+            let mut env = Env::init(&c2, InvocationSpec::new(id, NODE)).await?;
             env.write(&Key::new("fresh"), Value::Int(11)).await?;
             let v = env.read(&Key::new("fresh")).await?;
             env.finish(v).await
@@ -122,7 +122,7 @@ fn unsafe_mode_never_touches_the_log() {
     let id = client.fresh_instance_id();
     let c2 = client.clone();
     sim.block_on(async move {
-        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await.unwrap();
+        let mut env = Env::init(&c2, InvocationSpec::new(id, NODE)).await.unwrap();
         env.read(&Key::new("U")).await.unwrap();
         env.write(&Key::new("U"), Value::Int(2)).await.unwrap();
         env.sync().await.unwrap();
@@ -140,7 +140,7 @@ fn invoke_without_invoker_errors() {
     let id = client.fresh_instance_id();
     let c2 = client.clone();
     let out = sim.block_on(async move {
-        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await?;
+        let mut env = Env::init(&c2, InvocationSpec::new(id, NODE)).await?;
         env.invoke("anything", Value::Null).await
     });
     assert!(matches!(out, Err(HmError::Config { .. })), "{out:?}");
@@ -161,7 +161,7 @@ fn per_key_protocol_mix() {
     let id = client.fresh_instance_id();
     let c2 = client.clone();
     sim.block_on(async move {
-        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await.unwrap();
+        let mut env = Env::init(&c2, InvocationSpec::new(id, NODE)).await.unwrap();
         env.write(&Key::new("hot-write"), Value::Int(1))
             .await
             .unwrap();
@@ -196,7 +196,7 @@ fn peer_recovers_input_from_init_record() {
     let ctx = sim.ctx();
     let body = |input_observed: Rc<Cell<i64>>| {
         move |client: Client, id, input: Value| async move {
-            let mut env = Env::init(&client, id, NODE, 0, input).await?;
+            let mut env = Env::init(&client, InvocationSpec::new(id, NODE).input(input)).await?;
             input_observed.set(env.input().as_int().unwrap_or(-1));
             let v = env.input().clone();
             env.write(&Key::new("I"), v).await?;
@@ -239,14 +239,14 @@ fn deterministic_versions_exactly_once_under_crashes() {
         let client = Client::new(sim.ctx(), LatencyModel::uniform_test_model(), config);
         client.populate(Key::new("DV"), Value::Int(3));
         let id = client.fresh_instance_id();
-        client.set_faults(FaultPolicy::at([(id, point)]));
+        client.set_fault_plan(FaultPolicy::at([(id, point)]));
         let c2 = client.clone();
         let out = sim.block_on(async move {
             let mut attempt = 0;
             loop {
                 let c3 = c2.clone();
                 let once = async {
-                    let mut env = Env::init(&c3, id, NODE, attempt, Value::Null).await?;
+                    let mut env = Env::init(&c3, InvocationSpec::new(id, NODE).attempt(attempt)).await?;
                     let v = env.read(&Key::new("DV")).await?.as_int().unwrap_or(0);
                     env.write(&Key::new("DV"), Value::Int(v * 2)).await?;
                     env.finish(Value::Int(v)).await
@@ -263,7 +263,7 @@ fn deterministic_versions_exactly_once_under_crashes() {
         let c2 = client.clone();
         let id2 = client.fresh_instance_id();
         let v = sim.block_on(async move {
-            let mut env = Env::init(&c2, id2, NODE, 0, Value::Null).await.unwrap();
+            let mut env = Env::init(&c2, InvocationSpec::new(id2, NODE)).await.unwrap();
             let v = env.read(&Key::new("DV")).await.unwrap();
             env.finish(Value::Null).await.unwrap();
             v
@@ -285,14 +285,14 @@ fn checkpoints_accelerate_retries_without_changing_results() {
         client.populate(Key::new("cp"), Value::Int(5));
         let id = client.fresh_instance_id();
         // Crash late, after several reads, so the retry replays them all.
-        client.set_faults(FaultPolicy::at([(id, 9)]));
+        client.set_fault_plan(FaultPolicy::at([(id, 9)]));
         let c2 = client.clone();
         let out = sim.block_on(async move {
             let mut attempt = 0;
             loop {
                 let c3 = c2.clone();
                 let once = async {
-                    let mut env = Env::init(&c3, id, NODE, attempt, Value::Null).await?;
+                    let mut env = Env::init(&c3, InvocationSpec::new(id, NODE).attempt(attempt)).await?;
                     let mut acc = 0i64;
                     for _ in 0..4 {
                         acc += env.read(&Key::new("cp")).await?.as_int().unwrap_or(0);
@@ -329,7 +329,7 @@ fn checkpoints_do_not_leak_across_nodes() {
     let client = Client::new(sim.ctx(), LatencyModel::uniform_test_model(), config);
     client.populate(Key::new("cp"), Value::Int(1));
     let id = client.fresh_instance_id();
-    client.set_faults(FaultPolicy::at([(id, 5)]));
+    client.set_fault_plan(FaultPolicy::at([(id, 5)]));
     let c2 = client.clone();
     let out = sim.block_on(async move {
         let mut attempt = 0;
@@ -338,7 +338,7 @@ fn checkpoints_do_not_leak_across_nodes() {
             let node = NodeId(attempt);
             let c3 = c2.clone();
             let once = async {
-                let mut env = Env::init(&c3, id, node, attempt, Value::Null).await?;
+                let mut env = Env::init(&c3, InvocationSpec::new(id, node).attempt(attempt)).await?;
                 let v = env.read(&Key::new("cp")).await?;
                 env.write(&Key::new("cp"), Value::Int(10)).await?;
                 env.finish(v).await

@@ -10,10 +10,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
-use halfmoon::{
-    Client, Env, FaultPolicy, GarbageCollector, Invoker, LocalBoxFuture, ProtocolConfig,
-    ProtocolKind, Recorder, Switcher,
-};
+use halfmoon::{Client, Env, FaultPolicy, GarbageCollector, InvocationSpec, Invoker, LocalBoxFuture, ProtocolConfig, ProtocolKind, Recorder, Switcher};
 use hm_common::latency::LatencyModel;
 use hm_common::{HmResult, InstanceId, Key, NodeId, Value};
 use hm_sim::Sim;
@@ -24,13 +21,12 @@ const NODE: NodeId = NodeId(0);
 
 fn setup(kind: ProtocolKind) -> (Sim, Client, Rc<Recorder>) {
     let sim = Sim::new(0xda7a);
-    let client = Client::new(
-        sim.ctx(),
-        LatencyModel::uniform_test_model(),
-        ProtocolConfig::uniform(kind),
-    );
-    let recorder = Rc::new(Recorder::new());
-    client.set_recorder(recorder.clone());
+    let client = Client::builder(sim.ctx())
+        .model(LatencyModel::uniform_test_model())
+        .protocol(kind)
+        .recorder()
+        .build();
+    let recorder = client.recorder().expect("recorder enabled at build");
     (sim, client, recorder)
 }
 
@@ -45,7 +41,7 @@ async fn run_to_completion(
     let mut attempt = 0;
     loop {
         let once = async {
-            let mut env = Env::init(&client, id, NODE, attempt, input.clone()).await?;
+            let mut env = Env::init(&client, InvocationSpec::new(id, NODE).attempt(attempt).input(input.clone())).await?;
             let out = body(&mut env, input.clone()).await?;
             env.finish(out).await
         };
@@ -74,7 +70,7 @@ impl TestInvoker {
             client: std::cell::RefCell::new(Some(client.clone())),
             funcs: std::cell::RefCell::new(HashMap::new()),
         });
-        client.set_invoker(inv.clone());
+        client.register_invoker(inv.clone());
         inv
     }
 
@@ -169,7 +165,7 @@ fn read_final(sim: &mut Sim, client: &Client, key: &str) -> Value {
     let key = Key::new(key);
     sim.block_on(async move {
         let id = client2.fresh_instance_id();
-        let mut env = Env::init(&client2, id, NODE, 0, Value::Null).await.unwrap();
+        let mut env = Env::init(&client2, InvocationSpec::new(id, NODE)).await.unwrap();
         let v = env.read(&key).await.unwrap();
         env.finish(Value::Null).await.unwrap();
         v
@@ -191,7 +187,7 @@ fn exactly_once_under_single_crash_at_every_point() {
             let (mut sim, client, recorder) = setup(kind);
             populate_xy(&client);
             let id = client.fresh_instance_id();
-            client.set_faults(FaultPolicy::at([(id, point)]));
+            client.set_fault_plan(FaultPolicy::at([(id, point)]));
             let out = sim
                 .block_on(run_to_completion(
                     client.clone(),
@@ -228,7 +224,7 @@ fn exactly_once_under_double_crashes() {
             let (mut sim, client, recorder) = setup(kind);
             populate_xy(&client);
             let id = client.fresh_instance_id();
-            client.set_faults(FaultPolicy::at([(id, first), (id, first + 1)]));
+            client.set_fault_plan(FaultPolicy::at([(id, first), (id, first + 1)]));
             let out = sim
                 .block_on(run_to_completion(
                     client.clone(),
@@ -277,7 +273,7 @@ fn unsafe_baseline_duplicates_effects_under_crash() {
         let (mut sim2, client2, _r) = setup(ProtocolKind::Unsafe);
         client2.populate(Key::new("C"), Value::Int(0));
         let id2 = client2.fresh_instance_id();
-        client2.set_faults(FaultPolicy::at([(id2, point)]));
+        client2.set_fault_plan(FaultPolicy::at([(id2, point)]));
         sim2.block_on(run_to_completion(
             client2.clone(),
             id2,
@@ -354,7 +350,7 @@ fn crashed_instance_retry_races_live_peer() {
             let (mut sim, client, recorder) = setup(kind);
             populate_xy(&client);
             let id = client.fresh_instance_id();
-            client.set_faults(FaultPolicy::at([(id, point)]));
+            client.set_fault_plan(FaultPolicy::at([(id, point)]));
             let ctx = sim.ctx();
             let h1 = ctx.spawn(run_to_completion(
                 client.clone(),
@@ -398,7 +394,7 @@ fn figure4_reads_are_stable_against_later_writes() {
     client.populate(Key::new("X"), Value::Int(100)); // F1's write at t0
     let f2 = client.fresh_instance_id();
     // F2 reads X, crashes, meanwhile F3 writes X, then F2 re-executes.
-    client.set_faults(FaultPolicy::at([(f2, 3)])); // after the read
+    client.set_fault_plan(FaultPolicy::at([(f2, 3)])); // after the read
     let body: SsfBody = Rc::new(|env, _| {
         Box::pin(async move {
             let x = env.read(&Key::new("X")).await?;
@@ -541,7 +537,7 @@ fn workflow_invocation_is_exactly_once_under_crashes() {
                 })
             });
             let id = client.fresh_instance_id();
-            client.set_faults(FaultPolicy::at([(id, point)]));
+            client.set_fault_plan(FaultPolicy::at([(id, point)]));
             let out = sim
                 .block_on(run_to_completion(client.clone(), id, Value::Null, parent))
                 .unwrap_or_else(|e| panic!("{kind} point {point}: {e}"));
@@ -702,9 +698,12 @@ fn switch_under_concurrent_load_preserves_consistency() {
         let mut sim = Sim::new(0x5717c4);
         let mut config = ProtocolConfig::uniform(from);
         config.switching_enabled = true;
-        let client = Client::new(sim.ctx(), LatencyModel::uniform_test_model(), config);
-        let recorder = Rc::new(Recorder::new());
-        client.set_recorder(recorder.clone());
+        let client = Client::builder(sim.ctx())
+            .model(LatencyModel::uniform_test_model())
+            .protocol_config(config)
+            .recorder()
+            .build();
+        let recorder = client.recorder().expect("recorder enabled at build");
         client.populate(Key::new("S"), Value::Int(0));
         let ctx = sim.ctx();
         // Open-loop writers/readers spanning the switch.
@@ -790,17 +789,16 @@ fn switch_is_idempotent_and_rejects_unsafe() {
 #[test]
 fn hm_read_sequential_consistency_under_random_load_and_crashes() {
     let mut sim = Sim::new(0xc0ffee);
-    let client = Client::new(
-        sim.ctx(),
-        LatencyModel::uniform_test_model(),
-        ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
-    );
-    let recorder = Rc::new(Recorder::new());
-    client.set_recorder(recorder.clone());
+    let client = Client::builder(sim.ctx())
+        .model(LatencyModel::uniform_test_model())
+        .protocol(ProtocolKind::HalfmoonRead)
+        .recorder()
+        .build();
+    let recorder = client.recorder().expect("recorder enabled at build");
     for k in 0..4 {
         client.populate(Key::new(format!("k{k}")), Value::Int(0));
     }
-    client.set_faults(FaultPolicy::random(0.02, 50));
+    client.set_fault_plan(FaultPolicy::random(0.02, 50));
     let ctx = sim.ctx();
     let mut handles = Vec::new();
     for i in 0..40u64 {
@@ -834,17 +832,16 @@ fn hm_read_sequential_consistency_under_random_load_and_crashes() {
 #[test]
 fn hm_write_effective_order_under_random_load_and_crashes() {
     let mut sim = Sim::new(0xbeef);
-    let client = Client::new(
-        sim.ctx(),
-        LatencyModel::uniform_test_model(),
-        ProtocolConfig::uniform(ProtocolKind::HalfmoonWrite),
-    );
-    let recorder = Rc::new(Recorder::new());
-    client.set_recorder(recorder.clone());
+    let client = Client::builder(sim.ctx())
+        .model(LatencyModel::uniform_test_model())
+        .protocol(ProtocolKind::HalfmoonWrite)
+        .recorder()
+        .build();
+    let recorder = client.recorder().expect("recorder enabled at build");
     for k in 0..4 {
         client.populate(Key::new(format!("k{k}")), Value::Int(0));
     }
-    client.set_faults(FaultPolicy::random(0.02, 50));
+    client.set_fault_plan(FaultPolicy::random(0.02, 50));
     let ctx = sim.ctx();
     let mut handles = Vec::new();
     for i in 0..40u64 {
@@ -984,7 +981,7 @@ fn figure8_ordered_extension_prevents_commuting() {
         let h1 = {
             let client = client.clone();
             ctx.spawn(async move {
-                let mut env = Env::init(&client, f1, NODE, 0, Value::Null).await?;
+                let mut env = Env::init(&client, InvocationSpec::new(f1, NODE)).await?;
                 env.client().ctx().sleep(Duration::from_millis(50)).await;
                 env.write(&Key::new("Y"), Value::str("F1")).await?;
                 env.write(&Key::new("X"), Value::str("F1")).await?;
@@ -998,7 +995,7 @@ fn figure8_ordered_extension_prevents_commuting() {
             let ctx2 = ctx.clone();
             ctx.spawn(async move {
                 ctx2.sleep(Duration::from_millis(10)).await;
-                let mut env = Env::init(&client, f2, NODE, 0, Value::Null).await?;
+                let mut env = Env::init(&client, InvocationSpec::new(f2, NODE)).await?;
                 env.write(&Key::new("X"), Value::str("F2")).await?;
                 env.finish(Value::Null).await
             })

@@ -5,7 +5,7 @@
 use std::rc::Rc;
 use std::time::Duration;
 
-use halfmoon::{Client, Env, FaultPolicy, ProtocolConfig, ProtocolKind, Recorder};
+use halfmoon::{Client, Env, FaultPolicy, InvocationSpec, ProtocolKind, Recorder};
 use hm_common::latency::LatencyModel;
 use hm_common::{HmResult, Key, NodeId, Value};
 use hm_sim::Sim;
@@ -18,13 +18,12 @@ fn keys() -> Vec<Key> {
 
 fn setup(kind: ProtocolKind) -> (Sim, Client, Rc<Recorder>) {
     let sim = Sim::new(0x54a9);
-    let client = Client::new(
-        sim.ctx(),
-        LatencyModel::uniform_test_model(),
-        ProtocolConfig::uniform(kind),
-    );
-    let recorder = Rc::new(Recorder::new());
-    client.set_recorder(recorder.clone());
+    let client = Client::builder(sim.ctx())
+        .model(LatencyModel::uniform_test_model())
+        .protocol(kind)
+        .recorder()
+        .build();
+    let recorder = client.recorder().expect("recorder enabled at build");
     for k in keys() {
         client.populate(k, Value::Int(0));
     }
@@ -35,7 +34,7 @@ fn setup(kind: ProtocolKind) -> (Sim, Client, Rc<Recorder>) {
 /// one after the other (not atomic — separate writes).
 async fn write_generation(client: Client, generation: i64) -> HmResult<()> {
     let id = client.fresh_instance_id();
-    let mut env = Env::init(&client, id, NODE, 0, Value::Null).await?;
+    let mut env = Env::init(&client, InvocationSpec::new(id, NODE)).await?;
     for k in keys() {
         env.write(&k, Value::Int(generation)).await?;
     }
@@ -67,7 +66,7 @@ fn snapshot_values_come_from_one_timestamp() {
         readers.push(ctx.spawn(async move {
             ctx2.sleep(Duration::from_millis(i * 21 + 1)).await;
             let id = client.fresh_instance_id();
-            let mut env = Env::init(&client, id, NODE, 0, Value::Null).await?;
+            let mut env = Env::init(&client, InvocationSpec::new(id, NODE)).await?;
             let snap = env.read_snapshot(&keys()).await?;
             env.finish(Value::Null).await?;
             Ok::<_, hm_common::HmError>(snap)
@@ -110,7 +109,7 @@ fn snapshot_is_log_free_under_halfmoon_read() {
         write_generation(c.clone(), 1).await.unwrap();
         let appends_before = c.log().counters().log_appends;
         let id = c.fresh_instance_id();
-        let mut env = Env::init(&c, id, NODE, 0, Value::Null).await.unwrap();
+        let mut env = Env::init(&c, InvocationSpec::new(id, NODE)).await.unwrap();
         let appends_after_init = c.log().counters().log_appends;
         let snap = env.read_snapshot(&keys()).await.unwrap();
         // The snapshot itself appended nothing.
@@ -126,7 +125,7 @@ fn snapshot_is_idempotent_across_crash_retries() {
     for point in [2u32, 3, 4] {
         let (mut sim, client, recorder) = setup(ProtocolKind::HalfmoonRead);
         let id = client.fresh_instance_id();
-        client.set_faults(FaultPolicy::at([(id, point)]));
+        client.set_fault_plan(FaultPolicy::at([(id, point)]));
         let c = client.clone();
         let ctx = sim.ctx();
         // A concurrent writer mutates the keys between attempts.
@@ -143,7 +142,7 @@ fn snapshot_is_idempotent_across_crash_retries() {
             loop {
                 let c2 = c.clone();
                 let once = async {
-                    let mut env = Env::init(&c2, id, NODE, attempt, Value::Null).await?;
+                    let mut env = Env::init(&c2, InvocationSpec::new(id, NODE).attempt(attempt)).await?;
                     let snap = env.read_snapshot(&keys()).await?;
                     env.finish(Value::Null).await?;
                     Ok::<_, hm_common::HmError>(snap)
@@ -178,7 +177,7 @@ fn snapshot_falls_back_to_sequential_reads_on_logged_protocols() {
             write_generation(c.clone(), 3).await.unwrap();
             let appends_before = c.log().counters().log_appends;
             let id = c.fresh_instance_id();
-            let mut env = Env::init(&c, id, NODE, 0, Value::Null).await.unwrap();
+            let mut env = Env::init(&c, InvocationSpec::new(id, NODE)).await.unwrap();
             let snap = env.read_snapshot(&keys()).await.unwrap();
             env.finish(Value::Null).await.unwrap();
             assert_eq!(snap, vec![Value::Int(3); 4], "{kind}");

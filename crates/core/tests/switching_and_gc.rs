@@ -4,9 +4,7 @@
 use std::rc::Rc;
 use std::time::Duration;
 
-use halfmoon::{
-    Client, Env, FaultPolicy, GarbageCollector, ProtocolConfig, ProtocolKind, Recorder, Switcher,
-};
+use halfmoon::{Client, Env, FaultPolicy, GarbageCollector, InvocationSpec, ProtocolConfig, ProtocolKind, Recorder, Switcher};
 use hm_common::latency::LatencyModel;
 use hm_common::{HmResult, InstanceId, Key, NodeId, Value};
 use hm_sim::Sim;
@@ -20,9 +18,12 @@ fn setup(kind: ProtocolKind, switching: bool) -> (Sim, Client, Rc<Recorder>) {
     let sim = Sim::new(0x56c);
     let mut config = ProtocolConfig::uniform(kind);
     config.switching_enabled = switching;
-    let client = Client::new(sim.ctx(), LatencyModel::uniform_test_model(), config);
-    let recorder = Rc::new(Recorder::new());
-    client.set_recorder(recorder.clone());
+    let client = Client::builder(sim.ctx())
+        .model(LatencyModel::uniform_test_model())
+        .protocol_config(config)
+        .recorder()
+        .build();
+    let recorder = client.recorder().expect("recorder enabled at build");
     (sim, client, recorder)
 }
 
@@ -30,7 +31,7 @@ async fn run_ssf(client: Client, id: InstanceId, body: SsfBody) -> HmResult<Valu
     let mut attempt = 0;
     loop {
         let once = async {
-            let mut env = Env::init(&client, id, NODE, attempt, Value::Null).await?;
+            let mut env = Env::init(&client, InvocationSpec::new(id, NODE).attempt(attempt)).await?;
             let out = body(&mut env, Value::Null).await?;
             env.finish(out).await
         };
@@ -134,7 +135,7 @@ fn retry_spanning_a_switch_resolves_consistently() {
     client.populate(Key::new("S"), Value::Int(5));
     let id = client.fresh_instance_id();
     // Crash after the first ops so the retry happens post-switch.
-    client.set_faults(FaultPolicy::at([(id, 4)]));
+    client.set_fault_plan(FaultPolicy::at([(id, 4)]));
     let ctx = sim.ctx();
     let body: SsfBody = Rc::new(|env, _| {
         Box::pin(async move {
@@ -276,7 +277,7 @@ fn gc_preserves_state_of_crashed_unfinished_ssf() {
     let (mut sim, client, recorder) = setup(ProtocolKind::HalfmoonRead, false);
     client.populate(Key::new("C"), Value::Int(7));
     let id = client.fresh_instance_id();
-    client.set_faults(FaultPolicy::at([(id, 6)]));
+    client.set_fault_plan(FaultPolicy::at([(id, 6)]));
     let body: SsfBody = Rc::new(|env, _| {
         Box::pin(async move {
             let v = env.read(&Key::new("C")).await?.as_int().unwrap_or(0);
@@ -288,7 +289,7 @@ fn gc_preserves_state_of_crashed_unfinished_ssf() {
     let c2 = client.clone();
     let body2 = body.clone();
     let attempt = sim.ctx().spawn(async move {
-        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await?;
+        let mut env = Env::init(&c2, InvocationSpec::new(id, NODE)).await?;
         let out = body2(&mut env, Value::Null).await?;
         env.finish(out).await
     });

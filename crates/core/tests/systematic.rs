@@ -9,10 +9,9 @@
 //! — cited in §7) applied through the deterministic simulator: a few
 //! thousand exact schedules instead of a random walk.
 
-use std::rc::Rc;
 use std::time::Duration;
 
-use halfmoon::{Client, Env, FaultPolicy, ProtocolConfig, ProtocolKind, Recorder};
+use halfmoon::{Client, Env, FaultPolicy, InvocationSpec, ProtocolKind};
 use hm_common::latency::LatencyModel;
 use hm_common::{HmResult, InstanceId, Key, NodeId, Value};
 use hm_sim::Sim;
@@ -24,7 +23,7 @@ async fn ssf_a(client: Client, id: InstanceId) -> HmResult<Value> {
     let mut attempt = 0;
     loop {
         let once = async {
-            let mut env = Env::init(&client, id, NODE, attempt, Value::Null).await?;
+            let mut env = Env::init(&client, InvocationSpec::new(id, NODE).attempt(attempt)).await?;
             let x = env.read(&Key::new("X")).await?.as_int().unwrap_or(0);
             env.write(&Key::new("X"), Value::Int(1000 + x)).await?;
             let y = env.read(&Key::new("Y")).await?.as_int().unwrap_or(0);
@@ -47,7 +46,7 @@ async fn ssf_b(client: Client, id: InstanceId) -> HmResult<Value> {
     let mut attempt = 0;
     loop {
         let once = async {
-            let mut env = Env::init(&client, id, NODE, attempt, Value::Null).await?;
+            let mut env = Env::init(&client, InvocationSpec::new(id, NODE).attempt(attempt)).await?;
             env.write(&Key::new("X"), Value::Int(77)).await?;
             env.write(&Key::new("Y"), Value::Int(88)).await?;
             let x = env.read(&Key::new("X")).await?;
@@ -66,19 +65,18 @@ async fn ssf_b(client: Client, id: InstanceId) -> HmResult<Value> {
 
 fn explore(kind: ProtocolKind, crash_point: Option<u32>, offset_us: u64) {
     let mut sim = Sim::new(0x5c4ed);
-    let client = Client::new(
-        sim.ctx(),
-        LatencyModel::uniform_test_model(),
-        ProtocolConfig::uniform(kind),
-    );
-    let recorder = Rc::new(Recorder::new());
-    client.set_recorder(recorder.clone());
+    let client = Client::builder(sim.ctx())
+        .model(LatencyModel::uniform_test_model())
+        .protocol(kind)
+        .recorder()
+        .build();
+    let recorder = client.recorder().expect("recorder enabled at build");
     client.populate(Key::new("X"), Value::Int(1));
     client.populate(Key::new("Y"), Value::Int(2));
     let a = InstanceId(0xa);
     let b = InstanceId(0xb);
     if let Some(point) = crash_point {
-        client.set_faults(FaultPolicy::at([(a, point)]));
+        client.set_fault_plan(FaultPolicy::at([(a, point)]));
     }
     let ctx = sim.ctx();
     let ha = ctx.spawn(ssf_a(client.clone(), a));

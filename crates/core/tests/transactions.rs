@@ -5,9 +5,7 @@
 use std::rc::Rc;
 use std::time::Duration;
 
-use halfmoon::{
-    Client, Env, FaultPolicy, GarbageCollector, ProtocolConfig, ProtocolKind, Recorder, TxnOutcome,
-};
+use halfmoon::{Client, Env, FaultPolicy, GarbageCollector, InvocationSpec, ProtocolConfig, ProtocolKind, Recorder, TxnOutcome};
 use hm_common::latency::LatencyModel;
 use hm_common::{HmResult, InstanceId, Key, NodeId, Value};
 use hm_sim::Sim;
@@ -16,13 +14,12 @@ const NODE: NodeId = NodeId(0);
 
 fn setup() -> (Sim, Client, Rc<Recorder>) {
     let sim = Sim::new(0x7a2a);
-    let client = Client::new(
-        sim.ctx(),
-        LatencyModel::uniform_test_model(),
-        ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
-    );
-    let recorder = Rc::new(Recorder::new());
-    client.set_recorder(recorder.clone());
+    let client = Client::builder(sim.ctx())
+        .model(LatencyModel::uniform_test_model())
+        .protocol(ProtocolKind::HalfmoonRead)
+        .recorder()
+        .build();
+    let recorder = client.recorder().expect("recorder enabled at build");
     client.populate(Key::new("acct:a"), Value::Int(100));
     client.populate(Key::new("acct:b"), Value::Int(50));
     (sim, client, recorder)
@@ -34,7 +31,7 @@ async fn transfer(client: Client, id: InstanceId, amount: i64) -> HmResult<bool>
     let mut attempt = 0;
     loop {
         let once = async {
-            let mut env = Env::init(&client, id, NODE, attempt, Value::Null).await?;
+            let mut env = Env::init(&client, InvocationSpec::new(id, NODE).attempt(attempt)).await?;
             let mut committed = false;
             // OCC retry loop inside one SSF execution.
             for _ in 0..10 {
@@ -78,7 +75,7 @@ fn balances(sim: &mut Sim, client: &Client) -> (i64, i64) {
     let client = client.clone();
     sim.block_on(async move {
         let id = client.fresh_instance_id();
-        let mut env = Env::init(&client, id, NODE, 0, Value::Null).await.unwrap();
+        let mut env = Env::init(&client, InvocationSpec::new(id, NODE)).await.unwrap();
         let snap = env
             .read_snapshot(&[Key::new("acct:a"), Key::new("acct:b")])
             .await
@@ -107,7 +104,7 @@ fn aborted_transaction_has_no_visible_effect() {
     let id = client.fresh_instance_id();
     let c2 = client.clone();
     let outcome = sim.block_on(async move {
-        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await?;
+        let mut env = Env::init(&c2, InvocationSpec::new(id, NODE)).await?;
         let mut txn = env.txn_begin()?;
         let a = env
             .txn_read(&mut txn, &Key::new("acct:a"))
@@ -117,7 +114,7 @@ fn aborted_transaction_has_no_visible_effect() {
         env.txn_write(&mut txn, &Key::new("acct:a"), Value::Int(a - 10));
         // Interfering writer (a different SSF) commits first.
         let intruder = c2.fresh_instance_id();
-        let mut env2 = Env::init(&c2, intruder, NODE, 0, Value::Null).await?;
+        let mut env2 = Env::init(&c2, InvocationSpec::new(intruder, NODE)).await?;
         env2.write(&Key::new("acct:a"), Value::Int(999)).await?;
         env2.finish(Value::Null).await?;
         let outcome = env.txn_commit(txn).await?;
@@ -135,7 +132,7 @@ fn blind_disjoint_transactions_both_commit() {
     let id = client.fresh_instance_id();
     let c2 = client.clone();
     let outcomes = sim.block_on(async move {
-        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await?;
+        let mut env = Env::init(&c2, InvocationSpec::new(id, NODE)).await?;
         let mut t1 = env.txn_begin()?;
         env.txn_write(&mut t1, &Key::new("acct:a"), Value::Int(1));
         let o1 = env.txn_commit(t1).await?;
@@ -189,7 +186,7 @@ fn transaction_exactly_once_under_crash_sweep() {
     for point in 1..25u32 {
         let (mut sim, client, recorder) = setup();
         let id = client.fresh_instance_id();
-        client.set_faults(FaultPolicy::at([(id, point)]));
+        client.set_fault_plan(FaultPolicy::at([(id, point)]));
         let ok = sim
             .block_on(transfer(client.clone(), id, 30))
             .unwrap_or_else(|e| panic!("point {point}: {e}"));
@@ -243,7 +240,7 @@ fn gc_skips_aborted_commits_and_reclaims_their_versions() {
         // nothing else: the aborted commit is the newest record in the
         // object's write log.
         let id = c2.fresh_instance_id();
-        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await.unwrap();
+        let mut env = Env::init(&c2, InvocationSpec::new(id, NODE)).await.unwrap();
         let mut txn = env.txn_begin().unwrap();
         let a = env.txn_read(&mut txn, &Key::new("acct:a")).await.unwrap();
         env.txn_write(
@@ -253,7 +250,7 @@ fn gc_skips_aborted_commits_and_reclaims_their_versions() {
         );
         // Conflict injection: plain writer lands in the window.
         let w = c2.fresh_instance_id();
-        let mut env2 = Env::init(&c2, w, NODE, 0, Value::Null).await.unwrap();
+        let mut env2 = Env::init(&c2, InvocationSpec::new(w, NODE)).await.unwrap();
         env2.write(&Key::new("acct:a"), Value::Int(500))
             .await
             .unwrap();
@@ -280,7 +277,7 @@ fn gc_skips_aborted_commits_and_reclaims_their_versions() {
     let c2 = client.clone();
     sim.block_on(async move {
         let id = c2.fresh_instance_id();
-        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await.unwrap();
+        let mut env = Env::init(&c2, InvocationSpec::new(id, NODE)).await.unwrap();
         env.write(&Key::new("acct:a"), Value::Int(600))
             .await
             .unwrap();
@@ -307,7 +304,7 @@ fn transactions_require_halfmoon_read() {
     let c2 = client.clone();
     let out = sim.block_on(async move {
         let id = c2.fresh_instance_id();
-        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await?;
+        let mut env = Env::init(&c2, InvocationSpec::new(id, NODE)).await?;
         let r = env.txn_begin();
         env.finish(Value::Null).await?;
         r.map(|_| ())

@@ -1,0 +1,300 @@
+//! Chaos engine: compiles a [`FaultPlan`]'s schedule into sim events and
+//! audits the surviving history for exactly-once semantics.
+//!
+//! The engine has two halves:
+//!
+//! - [`ChaosDriver`] — walks the plan's time-sorted schedule on the virtual
+//!   clock and injects each [`FaultEvent`] against the runtime and its
+//!   substrates: whole-node crashes (§5 recovery), storage replica
+//!   outages, sequencer stalls, gateway retry storms. Every injection is
+//!   journaled with its fire time; [`ChaosDriver::events_jsonl`] exports
+//!   the journal deterministically, so two runs of the same seeded
+//!   campaign produce byte-identical traces.
+//! - [`audit`] — the post-campaign exactly-once auditor: replays the
+//!   deployment's [`Recorder`] history through every applicable
+//!   consistency checker (generic idempotence plus the protocol-specific
+//!   §4.4 propositions) and folds in the §5 recovery meters.
+//!
+//! A client built without faults never starts a driver and never pays for
+//! one: the plan is empty, no task is spawned, and the runtime's task
+//! groups poll their attempts directly.
+//!
+//! [`Recorder`]: halfmoon::Recorder
+
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use halfmoon::{Client, FaultEvent, ProtocolKind, RecoveryStats, ScheduledFault};
+use hm_common::trace::MetricsRegistry;
+
+use crate::runtime::Runtime;
+
+/// Handle to a running chaos campaign.
+pub struct ChaosDriver {
+    injected: Rc<Cell<u64>>,
+    done: Rc<Cell<bool>>,
+    journal: Rc<RefCell<Vec<ScheduledFault>>>,
+}
+
+impl ChaosDriver {
+    /// Starts driving the fault plan installed on the runtime's client.
+    /// With an empty schedule this spawns nothing and returns an
+    /// already-done driver — attaching chaos machinery to a fault-free
+    /// deployment is free.
+    #[must_use]
+    pub fn start(runtime: &Runtime) -> ChaosDriver {
+        ChaosDriver::launch(runtime, None)
+    }
+
+    /// [`ChaosDriver::start`] that also mirrors injection counters into a
+    /// [`MetricsRegistry`] (`chaos.injected`, `chaos.node_crashes`).
+    #[must_use]
+    pub fn start_with_metrics(runtime: &Runtime, registry: Rc<MetricsRegistry>) -> ChaosDriver {
+        ChaosDriver::launch(runtime, Some(registry))
+    }
+
+    fn launch(runtime: &Runtime, registry: Option<Rc<MetricsRegistry>>) -> ChaosDriver {
+        let injected = Rc::new(Cell::new(0u64));
+        let done = Rc::new(Cell::new(false));
+        let journal = Rc::new(RefCell::new(Vec::new()));
+        let schedule = runtime.client().fault_plan().schedule();
+        if schedule.is_empty() {
+            done.set(true);
+            return ChaosDriver {
+                injected,
+                done,
+                journal,
+            };
+        }
+        let rt = runtime.clone();
+        let ctx = runtime.client().ctx().clone();
+        let driver = ChaosDriver {
+            injected: injected.clone(),
+            done: done.clone(),
+            journal: journal.clone(),
+        };
+        ctx.clone().spawn(async move {
+            let counters = registry
+                .as_ref()
+                .map(|r| (r.counter("chaos.injected"), r.counter("chaos.node_crashes")));
+            let baseline_duplicate_prob = rt.config().duplicate_prob;
+            for fault in schedule {
+                ctx.sleep_until(fault.at).await;
+                match fault.event {
+                    FaultEvent::NodeCrash { node } => rt.crash_node(node),
+                    FaultEvent::NodeRecover { node } => rt.recover_node(node),
+                    FaultEvent::ReplicaOutage { shard, replica } => {
+                        rt.client().log().fail_storage_replica_on(shard, replica);
+                    }
+                    FaultEvent::ReplicaRecover { shard, replica } => {
+                        rt.client().log().recover_storage_replica_on(shard, replica);
+                    }
+                    FaultEvent::SequencerStall { shard, stall } => {
+                        rt.client().log().stall_sequencer(shard, stall);
+                    }
+                    FaultEvent::RetryStorm {
+                        duplicate_prob,
+                        duration,
+                    } => {
+                        rt.set_duplicate_prob(duplicate_prob);
+                        let rt = rt.clone();
+                        let ctx = ctx.clone();
+                        ctx.clone().spawn(async move {
+                            ctx.sleep(duration).await;
+                            rt.set_duplicate_prob(baseline_duplicate_prob);
+                        });
+                    }
+                }
+                injected.set(injected.get() + 1);
+                journal.borrow_mut().push(fault);
+                if let Some((total, crashes)) = &counters {
+                    total.set(injected.get());
+                    crashes.set(rt.node_crashes());
+                }
+            }
+            done.set(true);
+        });
+        driver
+    }
+
+    /// Faults injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected.get()
+    }
+
+    /// True once the whole schedule has fired.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done.get()
+    }
+
+    /// The injected faults in fire order (the journal so far).
+    #[must_use]
+    pub fn events(&self) -> Vec<ScheduledFault> {
+        self.journal.borrow().clone()
+    }
+
+    /// Serializes the injection journal as JSONL, one event per line.
+    /// Fully determined by the schedule: byte-identical across runs of the
+    /// same campaign.
+    #[must_use]
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for fault in self.journal.borrow().iter() {
+            let _ = write!(out, "{{\"at_ns\":{}", fault.at.as_nanos());
+            match fault.event {
+                FaultEvent::NodeCrash { node } => {
+                    let _ = write!(out, ",\"event\":\"node_crash\",\"node\":{}", node.0);
+                }
+                FaultEvent::NodeRecover { node } => {
+                    let _ = write!(out, ",\"event\":\"node_recover\",\"node\":{}", node.0);
+                }
+                FaultEvent::ReplicaOutage { shard, replica } => {
+                    let _ = write!(
+                        out,
+                        ",\"event\":\"replica_outage\",\"shard\":{},\"replica\":{}",
+                        shard.0, replica
+                    );
+                }
+                FaultEvent::ReplicaRecover { shard, replica } => {
+                    let _ = write!(
+                        out,
+                        ",\"event\":\"replica_recover\",\"shard\":{},\"replica\":{}",
+                        shard.0, replica
+                    );
+                }
+                FaultEvent::SequencerStall { shard, stall } => {
+                    let _ = write!(
+                        out,
+                        ",\"event\":\"sequencer_stall\",\"shard\":{},\"stall_ns\":{}",
+                        shard.0,
+                        stall.as_nanos()
+                    );
+                }
+                FaultEvent::RetryStorm {
+                    duplicate_prob,
+                    duration,
+                } => {
+                    let _ = write!(
+                        out,
+                        ",\"event\":\"retry_storm\",\"duplicate_prob\":{},\"duration_ns\":{}",
+                        duplicate_prob,
+                        duration.as_nanos()
+                    );
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for ChaosDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ChaosDriver(injected={}, done={})",
+            self.injected(),
+            self.is_done()
+        )
+    }
+}
+
+/// What the post-campaign auditor concluded.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// History events examined.
+    pub events: usize,
+    /// Checks that ran, in order.
+    pub checks: Vec<&'static str>,
+    /// Violations found, as `"check: description"` lines.
+    pub violations: Vec<String>,
+    /// The deployment's cumulative §5 recovery meters.
+    pub recovery: RecoveryStats,
+}
+
+impl AuditReport {
+    /// True when every check passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.passed() {
+            write!(
+                f,
+                "audit PASSED: {} events, {} checks, {} recovery attempts replayed {} records",
+                self.events,
+                self.checks.len(),
+                self.recovery.attempts,
+                self.recovery.replayed_records
+            )
+        } else {
+            write!(f, "audit FAILED: {}", self.violations.join("; "))
+        }
+    }
+}
+
+/// Audits a deployment's recorded history for exactly-once execution.
+///
+/// Runs every protocol-independent idempotence check (read/invoke/write
+/// stability, raw-write uniqueness, monotonic reads, read-your-writes),
+/// then the §4.4 proposition matching the deployment's protocol when it
+/// runs one uniformly: Proposition 4.7 sequential consistency for
+/// Halfmoon-read, the Proposition 4.8 effective order for Halfmoon-write.
+/// Mixed, switching, and baseline configurations get the generic checks
+/// only.
+///
+/// The client must have been built with `.recorder()`; auditing an
+/// unrecorded deployment is itself reported as a violation rather than a
+/// silent pass.
+#[must_use]
+pub fn audit(client: &Client) -> AuditReport {
+    let recovery = client.recovery_stats();
+    let Some(recorder) = client.recorder() else {
+        return AuditReport {
+            events: 0,
+            checks: Vec::new(),
+            violations: vec!["setup: no recorder attached; nothing to audit".to_string()],
+            recovery,
+        };
+    };
+    let mut checks = Vec::new();
+    let mut violations = Vec::new();
+    let mut run = |name: &'static str, result: Result<(), String>| {
+        checks.push(name);
+        if let Err(msg) = result {
+            violations.push(format!("{name}: {msg}"));
+        }
+    };
+    run("read_stability", recorder.check_read_stability());
+    run("invoke_stability", recorder.check_invoke_stability());
+    run("write_determinism", recorder.check_write_determinism());
+    run("raw_write_uniqueness", recorder.check_raw_write_uniqueness());
+    run("monotonic_reads", recorder.check_monotonic_reads());
+    run("read_your_writes", recorder.check_read_your_writes());
+    let uniform = client.with_config(|c| {
+        (!c.switching_enabled && c.per_key.is_empty()).then_some(c.default)
+    });
+    match uniform {
+        Some(ProtocolKind::HalfmoonRead) => run(
+            "hm_read_sequential_consistency",
+            recorder.check_hm_read_sequential_consistency(),
+        ),
+        Some(ProtocolKind::HalfmoonWrite) => {
+            run("hm_write_order", recorder.check_hm_write_order());
+        }
+        _ => {}
+    }
+    AuditReport {
+        events: recorder.len(),
+        checks,
+        violations,
+        recovery,
+    }
+}

@@ -15,12 +15,18 @@
 //!   configurable interval (Figure 12 sweeps 10 s and 60 s).
 //! - [`MetricsDriver`] — opt-in periodic sampling of substrate counters
 //!   into a [`hm_common::trace::MetricsRegistry`] time series.
+//! - [`chaos`] — the chaos engine: [`ChaosDriver`] walks a
+//!   [`halfmoon::FaultPlan`]'s schedule on the virtual clock (node
+//!   crashes, replica outages, sequencer stalls, retry storms) and
+//!   [`chaos::audit`] verifies exactly-once execution afterwards.
 
+pub mod chaos;
 mod gateway;
 mod gc_driver;
 mod metrics_driver;
 mod runtime;
 
+pub use chaos::{audit, AuditReport, ChaosDriver};
 pub use gateway::{Gateway, LoadReport, LoadSpec, RequestFactory};
 pub use gc_driver::GcDriver;
 pub use metrics_driver::MetricsDriver;

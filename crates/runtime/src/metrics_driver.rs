@@ -62,6 +62,12 @@ impl MetricsDriver {
                 let shard_degraded: Vec<_> = (0..shards)
                     .map(|s| registry.counter(&format!("log.degraded_appends.shard{s}")))
                     .collect();
+                // §5 recovery meters, registered after the per-shard
+                // mirrors so existing sample indexes stay stable.
+                let recovery_attempts = registry.counter("recovery.attempts");
+                let recovery_replayed = registry.counter("recovery.replayed_records");
+                let recovery_log_reads = registry.counter("recovery.log_reads");
+                let recovery_trimmed = registry.counter("recovery.trimmed_skipped");
                 loop {
                     ctx.sleep(interval).await;
                     if stop.get() {
@@ -87,6 +93,11 @@ impl MetricsDriver {
                         shard_trims[s].set(per.log_trims);
                         shard_degraded[s].set(client.log().shard_degraded_appends(id));
                     }
+                    let recovery = client.recovery_stats();
+                    recovery_attempts.set(recovery.attempts);
+                    recovery_replayed.set(recovery.replayed_records);
+                    recovery_log_reads.set(recovery.log_reads);
+                    recovery_trimmed.set(recovery.trimmed_skipped);
                     registry.sample(ctx.now());
                     samples.set(samples.get() + 1);
                     if stop.get() {

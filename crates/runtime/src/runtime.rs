@@ -4,10 +4,10 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use halfmoon::{Client, Env, Invoker, LocalBoxFuture};
+use halfmoon::{Client, Env, InvocationSpec, Invoker, LocalBoxFuture};
 use hm_common::trace::{Lane, SpanId, TraceId};
 use hm_common::{HmError, HmResult, InstanceId, NodeId, Value};
-use hm_sim::sync::Semaphore;
+use hm_sim::sync::{Semaphore, TaskGroup};
 use hm_sim::SimTime;
 
 /// A registered function body. Bodies must be deterministic: given the same
@@ -66,17 +66,30 @@ impl RuntimeConfig {
     }
 }
 
+/// One function node's failure domain: its cancellable task group plus
+/// liveness. Cancelling the group is the node's process dying — every
+/// in-flight attempt on it is torn down at the crash instant (§5).
+struct NodeState {
+    group: TaskGroup,
+    up: Cell<bool>,
+}
+
 struct RuntimeInner {
     client: Client,
-    config: RuntimeConfig,
+    /// In a `Cell` so chaos campaigns can retune knobs (retry storms bump
+    /// `duplicate_prob`) mid-run.
+    config: Cell<RuntimeConfig>,
     registry: RefCell<HashMap<String, SsfBody>>,
     /// Admission control: bounds concurrently running top-level requests.
     workers: Semaphore,
+    /// Per-node failure domains, indexed by `NodeId`.
+    nodes: Vec<NodeState>,
     /// Round-robin node assignment counter.
     next_node: Cell<u32>,
     invocations: Cell<u64>,
     retries: Cell<u64>,
     duplicates: Cell<u64>,
+    node_crashes: Cell<u64>,
 }
 
 /// The simulated FaaS runtime. Cheap to clone; clones share state.
@@ -94,15 +107,22 @@ impl Runtime {
             inner: Rc::new(RuntimeInner {
                 workers: Semaphore::new((config.nodes * config.workers_per_node) as usize),
                 client,
-                config,
+                nodes: (0..config.nodes)
+                    .map(|_| NodeState {
+                        group: TaskGroup::new(),
+                        up: Cell::new(true),
+                    })
+                    .collect(),
+                config: Cell::new(config),
                 registry: RefCell::new(HashMap::new()),
                 next_node: Cell::new(0),
                 invocations: Cell::new(0),
                 retries: Cell::new(0),
                 duplicates: Cell::new(0),
+                node_crashes: Cell::new(0),
             }),
         };
-        rt.inner.client.set_invoker(Rc::new(rt.clone()));
+        rt.inner.client.register_invoker(Rc::new(rt.clone()));
         rt
     }
 
@@ -112,10 +132,19 @@ impl Runtime {
         &self.inner.client
     }
 
-    /// The runtime configuration.
+    /// The runtime configuration (a snapshot; chaos campaigns may retune
+    /// knobs mid-run).
     #[must_use]
     pub fn config(&self) -> RuntimeConfig {
-        self.inner.config
+        self.inner.config.get()
+    }
+
+    /// Retunes the false-suspicion duplicate probability (gateway retry
+    /// storms in chaos campaigns).
+    pub fn set_duplicate_prob(&self, prob: f64) {
+        let mut config = self.inner.config.get();
+        config.duplicate_prob = prob;
+        self.inner.config.set(config);
     }
 
     /// Registers a function body under `name`.
@@ -161,9 +190,68 @@ impl Runtime {
     }
 
     fn pick_node(&self) -> NodeId {
+        let total = self.inner.config.get().nodes;
+        // Round-robin over live nodes; a down node's turn passes to the
+        // next live one. If every node is down (a campaign killed the whole
+        // fleet), fall back to the raw choice — the attempt will be torn
+        // down by the dead group immediately, modeling a dispatch into the
+        // outage.
+        for _ in 0..total {
+            let n = self.inner.next_node.get();
+            self.inner.next_node.set(n.wrapping_add(1));
+            let node = NodeId(n % total);
+            if self.inner.nodes[node.0 as usize].up.get() {
+                return node;
+            }
+        }
         let n = self.inner.next_node.get();
         self.inner.next_node.set(n.wrapping_add(1));
-        NodeId(n % self.inner.config.nodes)
+        NodeId(n % total)
+    }
+
+    /// Kills a function node (§5): cancels every in-flight attempt on it,
+    /// drops its in-memory log record cache and opportunistic checkpoints,
+    /// and routes new dispatches elsewhere until [`Runtime::recover_node`].
+    pub fn crash_node(&self, node: NodeId) {
+        let Some(state) = self.inner.nodes.get(node.0 as usize) else {
+            return;
+        };
+        if !state.up.get() {
+            return;
+        }
+        state.up.set(false);
+        state.group.cancel();
+        self.inner.client.log().clear_node_cache(node);
+        self.inner.client.drop_node_checkpoints(node);
+        self.inner
+            .node_crashes
+            .set(self.inner.node_crashes.get() + 1);
+    }
+
+    /// Brings a crashed node back: re-arms its failure domain and makes it
+    /// eligible for dispatch again. Its caches start cold — the §5 recovery
+    /// cost the f-sweep measures.
+    pub fn recover_node(&self, node: NodeId) {
+        let Some(state) = self.inner.nodes.get(node.0 as usize) else {
+            return;
+        };
+        state.group.reset();
+        state.up.set(true);
+    }
+
+    /// True while `node` is live.
+    #[must_use]
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.inner
+            .nodes
+            .get(node.0 as usize)
+            .is_some_and(|s| s.up.get())
+    }
+
+    /// Total whole-node crashes injected.
+    #[must_use]
+    pub fn node_crashes(&self) -> u64 {
+        self.inner.node_crashes.get()
     }
 
     /// Invokes a *top-level* request: waits for a worker slot (admission
@@ -225,18 +313,20 @@ impl Runtime {
         });
         // Maybe launch a racing peer (fire-and-forget; exactly-once
         // semantics make its effects indistinguishable from the primary's).
-        let duplicate =
-            self.inner.config.duplicate_prob > 0.0
-                && self.inner.client.ctx().with_rng(|rng| {
-                    hm_common::dist::bernoulli(rng, self.inner.config.duplicate_prob)
-                });
+        let duplicate_prob = self.inner.config.get().duplicate_prob;
+        let duplicate = duplicate_prob > 0.0
+            && self
+                .inner
+                .client
+                .ctx()
+                .with_rng(|rng| hm_common::dist::bernoulli(rng, duplicate_prob));
         if duplicate {
             self.inner.duplicates.set(self.inner.duplicates.get() + 1);
             let rt = self.clone();
             let body = body.clone();
             let input = input.clone();
             let ctx = self.inner.client.ctx().clone();
-            let delay = self.inner.config.duplicate_delay;
+            let delay = self.inner.config.get().duplicate_delay;
             self.inner.client.ctx().spawn(async move {
                 ctx.sleep(delay).await;
                 // The peer's result and errors are ignored; the primary's
@@ -246,7 +336,7 @@ impl Runtime {
             });
         }
         let result = self
-            .run_attempts(id, &body, input, self.inner.config.max_attempts)
+            .run_attempts(id, &body, input, self.inner.config.get().max_attempts)
             .await;
         if let (Some(t), Some((trace, span))) = (&tracer, inv_span) {
             t.span_end(Lane::Gateway, self.inner.client.ctx().now(), trace, span);
@@ -276,7 +366,7 @@ impl Runtime {
             // a live peer — even though the original keeps running. The
             // conditional-append machinery makes the race harmless.
             let done = std::rc::Rc::new(std::cell::Cell::new(false));
-            if let Some(limit) = self.inner.config.suspect_timeout {
+            if let Some(limit) = self.inner.config.get().suspect_timeout {
                 if max_attempts > 1 {
                     let rt = self.clone();
                     let body = body.clone();
@@ -293,12 +383,24 @@ impl Runtime {
                 }
             }
             let once = async {
-                let mut env = Env::init(client, id, node, attempt, input.clone()).await?;
+                let spec = InvocationSpec::new(id, node)
+                    .attempt(attempt)
+                    .input(input.clone());
+                let mut env = Env::init(client, spec).await?;
                 let authoritative = env.input().clone();
                 let out = body(&mut env, authoritative).await?;
                 env.finish(out).await
             };
-            let result = once.await;
+            // The attempt runs inside its node's failure domain: if a chaos
+            // campaign kills the node, the attempt (and its `Env`, read
+            // cache references, timers) is dropped at the crash instant and
+            // surfaces as a retryable `NodeCrashed`. Never-cancelled groups
+            // poll the inner future directly — scheduling is bit-identical
+            // to the pre-chaos runtime.
+            let result = match self.inner.nodes[node.0 as usize].group.run(once).await {
+                Ok(inner) => inner,
+                Err(_cancelled) => Err(HmError::NodeCrashed { node }),
+            };
             done.set(true);
             match result {
                 Ok(v) => return Ok(v),
@@ -317,7 +419,10 @@ impl Runtime {
                             format!("attempt {attempt}"),
                         );
                     }
-                    client.ctx().sleep(self.inner.config.detection_delay).await;
+                    client
+                        .ctx()
+                        .sleep(self.inner.config.get().detection_delay)
+                        .await;
                 }
                 Err(e) => return Err(e),
             }
@@ -346,7 +451,7 @@ impl std::fmt::Debug for Runtime {
         write!(
             f,
             "Runtime(nodes={}, invocations={}, retries={})",
-            self.inner.config.nodes,
+            self.inner.config.get().nodes,
             self.invocations(),
             self.retries()
         )

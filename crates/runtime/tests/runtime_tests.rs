@@ -5,7 +5,7 @@
 use std::rc::Rc;
 use std::time::Duration;
 
-use halfmoon::{Client, FaultPolicy, ProtocolConfig, ProtocolKind, Recorder};
+use halfmoon::{Client, FaultPolicy, ProtocolKind};
 use hm_common::latency::LatencyModel;
 use hm_common::{Key, NodeId, Value};
 use hm_runtime::{Gateway, GcDriver, LoadSpec, Runtime, RuntimeConfig};
@@ -13,11 +13,11 @@ use hm_sim::Sim;
 
 fn setup(kind: ProtocolKind, config: RuntimeConfig) -> (Sim, Client, Runtime) {
     let sim = Sim::new(0x5e7);
-    let client = Client::new(
-        sim.ctx(),
-        LatencyModel::uniform_test_model(),
-        ProtocolConfig::uniform(kind),
-    );
+    let client = Client::builder(sim.ctx())
+        .model(LatencyModel::uniform_test_model())
+        .protocol(kind)
+        .recorder()
+        .build();
     let runtime = Runtime::new(client.clone(), config);
     (sim, client, runtime)
 }
@@ -113,10 +113,9 @@ fn admission_control_bounds_concurrency() {
 #[test]
 fn crash_retries_preserve_exactly_once_under_load() {
     let (mut sim, client, runtime) = setup(ProtocolKind::HalfmoonWrite, RuntimeConfig::default());
-    let recorder = Rc::new(Recorder::new());
-    client.set_recorder(recorder.clone());
+    let recorder = client.recorder().expect("recorder enabled at build");
     client.populate(Key::new("C"), Value::Int(0));
-    client.set_faults(FaultPolicy::random(0.03, 200));
+    client.set_fault_plan(FaultPolicy::random(0.03, 200));
     register_counter(&runtime);
     let ctx = sim.ctx();
     let mut handles = Vec::new();
@@ -156,8 +155,7 @@ fn duplicate_peers_do_not_duplicate_effects() {
         ..RuntimeConfig::default()
     };
     let (mut sim, client, runtime) = setup(ProtocolKind::HalfmoonRead, config);
-    let recorder = Rc::new(Recorder::new());
-    client.set_recorder(recorder.clone());
+    let recorder = client.recorder().expect("recorder enabled at build");
     client.populate(Key::new("C"), Value::Int(0));
     register_counter(&runtime);
     let rt = runtime.clone();
@@ -172,7 +170,7 @@ fn duplicate_peers_do_not_duplicate_effects() {
     let client2 = client.clone();
     let v = sim.block_on(async move {
         let id = client2.fresh_instance_id();
-        let mut env = halfmoon::Env::init(&client2, id, NodeId(0), 0, Value::Null)
+        let mut env = halfmoon::Env::init(&client2, halfmoon::InvocationSpec::new(id, NodeId(0)))
             .await
             .unwrap();
         let v = env.read(&Key::new("C")).await.unwrap();
@@ -319,7 +317,7 @@ fn suspect_timeout_launches_live_peer_safely() {
     let client2 = client.clone();
     let v = sim.block_on(async move {
         let id = client2.fresh_instance_id();
-        let mut env = halfmoon::Env::init(&client2, id, NodeId(0), 0, Value::Null)
+        let mut env = halfmoon::Env::init(&client2, halfmoon::InvocationSpec::new(id, NodeId(0)))
             .await
             .unwrap();
         let v = env.read(&Key::new("C")).await.unwrap();

@@ -67,7 +67,7 @@ mod shard;
 
 pub use payload::Payload;
 pub use router::{shard_for_tag, GlobalSeqNum, ShardId, Topology};
-pub use service::{CondAppendOutcome, LogConfig, LogService};
+pub use service::{CondAppendOutcome, LogConfig, LogService, ReplayStats};
 pub use shard::{LogRecord, RECORD_META_BYTES};
 
 /// The pre-sharding name for the log handle; an alias for the routed

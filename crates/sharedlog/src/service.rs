@@ -60,6 +60,18 @@ pub enum CondAppendOutcome {
     Conflict(SeqNum),
 }
 
+/// Accounting from one [`LogService::replay_stream`] call — the §5
+/// recovery numbers: how much history the successor re-read and how much
+/// was already behind the trim horizon (covered by checkpoints, skipped).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Live records returned — what the successor replays.
+    pub replayed: u64,
+    /// Records trimmed off the stream front before the call — the trim
+    /// horizon the replay starts from.
+    pub trimmed: u64,
+}
+
 /// Tuning knobs for the simulated logging layer.
 #[derive(Clone, Copy, Debug)]
 pub struct LogConfig {
@@ -228,17 +240,21 @@ impl<P: Payload> LogService<P> {
             .map_or(0, |&tag| self.inner.borrow().router.shard_of(tag).0)
     }
 
-    /// FIFO admission at `shard`'s sequencer lane when a capacity is
-    /// configured: the caller waits out the lane's backlog, and its own
+    /// FIFO admission at `shard`'s sequencer lane. With a capacity
+    /// configured, the caller waits out the lane's backlog and its own
     /// ordering decision books `1/capacity` of lane time. Uncapped lanes
-    /// (the default) admit instantly — no sleep, no timer, so the
-    /// uncapped path is interleaving-identical to the pre-sharding code.
+    /// (the default) book zero service time, so absent an injected
+    /// [`LogService::stall_sequencer`] the lane is never in the future
+    /// and admission is instant — no sleep, no timer, interleaving-
+    /// identical to the pre-sharding code.
     async fn sequencer_admission(&self, shard: u8) {
-        let Some(capacity) = self.config.sequencer_capacity else {
-            return;
+        let service = match self.config.sequencer_capacity {
+            Some(capacity) => {
+                debug_assert!(capacity > 0.0, "sequencer capacity must be positive");
+                Duration::from_secs_f64(1.0 / capacity)
+            }
+            None => Duration::ZERO,
         };
-        debug_assert!(capacity > 0.0, "sequencer capacity must be positive");
-        let service = Duration::from_secs_f64(1.0 / capacity);
         let now = self.ctx.now();
         let wait = {
             let mut inner = self.inner.borrow_mut();
@@ -250,6 +266,18 @@ impl<P: Payload> LogService<P> {
         if !wait.is_zero() {
             self.ctx.sleep(wait).await;
         }
+    }
+
+    /// Books `stall` of dead time on `shard`'s sequencer lane, starting
+    /// from the later of now and the lane's current backlog. Every
+    /// ordering decision routed to the shard during the stall waits it
+    /// out FIFO — the leader-pause / view-change hiccup a chaos campaign
+    /// injects (appends are delayed, never lost or reordered).
+    pub fn stall_sequencer(&self, shard: ShardId, stall: Duration) {
+        let now = self.ctx.now();
+        let mut inner = self.inner.borrow_mut();
+        let lane = &mut inner.shards[shard.0 as usize].sequencer_free_at;
+        *lane = (*lane).max(now) + stall;
     }
 
     /// Appends a record tagged with `tags`; returns its seqnum.
@@ -308,6 +336,10 @@ impl<P: Payload> LogService<P> {
     /// Marks a storage replica of shard 0 as failed (index
     /// `0..replicas_per_shard`). Single-shard deployments (and the fault
     /// examples) only ever talk to shard 0.
+    #[deprecated(
+        since = "0.5.0",
+        note = "implicitly targets shard 0; use fail_storage_replica_on(ShardId(0), r) or a FaultPlan replica outage"
+    )]
     pub fn fail_storage_replica(&self, replica: u32) {
         self.fail_storage_replica_on(ShardId(0), replica);
     }
@@ -322,6 +354,10 @@ impl<P: Payload> LogService<P> {
     }
 
     /// Brings a failed storage replica of shard 0 back.
+    #[deprecated(
+        since = "0.5.0",
+        note = "implicitly targets shard 0; use recover_storage_replica_on(ShardId(0), r) or a FaultPlan replica outage"
+    )]
     pub fn recover_storage_replica(&self, replica: u32) {
         self.recover_storage_replica_on(ShardId(0), replica);
     }
@@ -560,6 +596,33 @@ impl<P: Payload> LogService<P> {
         seqnums.into_iter().map(|sn| self.fetch(sn)).collect()
     }
 
+    /// [`LogService::read_stream`] plus §5 recovery accounting: how many
+    /// live records the caller must replay and where the stream's trim
+    /// horizon sits (records already folded into a checkpoint and trimmed
+    /// — the replay starts after them, which is what keeps recovery cost
+    /// proportional to the *untrimmed* suffix, not the full history).
+    ///
+    /// Latency, RNG draws, and cache effects are exactly those of
+    /// `read_stream`; only the returned [`ReplayStats`] differ, so a
+    /// caller that ignores the stats is bit-identical to one calling
+    /// `read_stream` directly.
+    pub async fn replay_stream(&self, node: NodeId, tag: Tag) -> (Vec<Rc<LogRecord<P>>>, ReplayStats) {
+        let trimmed = {
+            let inner = self.inner.borrow();
+            let shard = inner.router.shard_of(tag).0;
+            inner.shards[shard as usize]
+                .streams
+                .get(&tag)
+                .map_or(0, |s| s.trimmed as u64)
+        };
+        let records = self.read_stream(node, tag).await;
+        let stats = ReplayStats {
+            replayed: records.len() as u64,
+            trimmed,
+        };
+        (records, stats)
+    }
+
     /// Deletes all records of `tag`'s sub-stream with seqnum ≤ `upto`
     /// (Figure 3's `logTrim`). A record's bytes are reclaimed once every
     /// one of its sub-streams — on any shard — has trimmed past it.
@@ -763,6 +826,20 @@ impl<P: Payload> LogService<P> {
             .iter()
             .map(|s| s.counters.log_appends)
             .collect()
+    }
+
+    /// Discards every record cached by `node`, on every shard — what a
+    /// node crash does to its record cache (§5: the successor restarts
+    /// cold and pays miss-latency reads until the cache re-warms).
+    /// Eviction counters are preserved; cache-pressure accounting is
+    /// about capacity, not crashes.
+    pub fn clear_node_cache(&self, node: NodeId) {
+        let mut inner = self.inner.borrow_mut();
+        for shard in &mut inner.shards {
+            if let Some(cache) = shard.node_cache.get_mut(node.0 as usize) {
+                cache.clear();
+            }
+        }
     }
 
     /// Records currently held in `node`'s caches, across shards (test
@@ -1262,6 +1339,78 @@ mod tests {
             assert!(l.read_next(N0, a, foreign).await.is_none());
         });
     }
+
+    #[test]
+    fn replay_stream_reports_trim_horizon() {
+        let (mut sim, log) = setup();
+        let l = log.clone();
+        sim.block_on(async move {
+            let tag = t("replay");
+            let mut sns = Vec::new();
+            for i in 0..5 {
+                sns.push(l.append(N0, vec![tag], format!("r{i}")).await);
+            }
+            // Before any trim: the whole stream is replayed.
+            let (recs, stats) = l.replay_stream(N0, tag).await;
+            assert_eq!(recs.len(), 5);
+            assert_eq!(stats, ReplayStats { replayed: 5, trimmed: 0 });
+            // After trimming past the first two, replay starts at the
+            // horizon: only the untrimmed suffix is re-read.
+            l.trim(N0, tag, sns[1]).await;
+            let (recs, stats) = l.replay_stream(N0, tag).await;
+            assert_eq!(recs.len(), 3);
+            assert_eq!(stats, ReplayStats { replayed: 3, trimmed: 2 });
+            // Unknown stream: nothing to replay, nothing trimmed.
+            let (recs, stats) = l.replay_stream(N0, t("never-written")).await;
+            assert!(recs.is_empty());
+            assert_eq!(stats, ReplayStats::default());
+        });
+    }
+
+    #[test]
+    fn clear_node_cache_forces_cold_reads() {
+        let (mut sim, log) = setup();
+        let l = log.clone();
+        sim.block_on(async move {
+            let tag = t("cold");
+            l.append(N0, vec![tag], "v".into()).await;
+            // The appending node cached its own record: warm read.
+            l.read_prev(N0, tag, SeqNum::MAX).await.unwrap();
+            assert_eq!(l.counters().cache_hits, 1);
+            assert_eq!(l.counters().cache_misses, 0);
+            l.clear_node_cache(N0);
+            assert_eq!(l.node_cache_len(N0), 0);
+            l.read_prev(N0, tag, SeqNum::MAX).await.unwrap(); // cold again
+            assert_eq!(l.counters().cache_hits, 1);
+            assert_eq!(l.counters().cache_misses, 1);
+            // Other nodes' caches are untouched by a crash of N0.
+            l.read_prev(N1, tag, SeqNum::MAX).await.unwrap();
+            l.clear_node_cache(N0);
+            assert_eq!(l.node_cache_len(N1), 1);
+        });
+    }
+
+    #[test]
+    fn stalled_sequencer_delays_appends_without_losing_them() {
+        let (mut sim, log) = setup();
+        let ctx = sim.ctx();
+        let l = log.clone();
+        let (stalled_ms, healthy_ms) = sim.block_on(async move {
+            l.stall_sequencer(ShardId(0), Duration::from_millis(5));
+            let start = ctx.now();
+            l.append(N0, vec![t("s")], "delayed".into()).await;
+            let stalled_ms = (ctx.now() - start).as_secs_f64() * 1e3;
+            let start = ctx.now();
+            l.append(N0, vec![t("s")], "after".into()).await;
+            let healthy_ms = (ctx.now() - start).as_secs_f64() * 1e3;
+            (stalled_ms, healthy_ms)
+        });
+        // Test model: 0.4 ms to the sequencer, wait out the 5 ms stall,
+        // 0.6 ms storage. The stall delays, never drops.
+        assert!((stalled_ms - 5.6).abs() < 1e-6, "stalled append {stalled_ms}ms");
+        assert!((healthy_ms - 1.0).abs() < 1e-6, "post-stall append {healthy_ms}ms");
+        assert_eq!(log.head_seqnum(), SeqNum(3));
+    }
 }
 
 #[cfg(test)]
@@ -1312,9 +1461,9 @@ mod replication_tests {
         let l = log.clone();
         let (healthy, down_one, down_two) = sim.block_on(async move {
             let healthy = timed_append(&l, &ctx, 1).await;
-            l.fail_storage_replica(0);
+            l.fail_storage_replica_on(ShardId(0), 0);
             let down_one = timed_append(&l, &ctx, 2).await;
-            l.fail_storage_replica(1);
+            l.fail_storage_replica_on(ShardId(0), 1);
             let down_two = timed_append(&l, &ctx, 3).await;
             (healthy, down_one, down_two)
         });
@@ -1332,9 +1481,9 @@ mod replication_tests {
         let ctx = sim.ctx();
         let l = log.clone();
         let ms = sim.block_on(async move {
-            l.fail_storage_replica(2);
+            l.fail_storage_replica_on(ShardId(0), 2);
             timed_append(&l, &ctx, 1).await;
-            l.recover_storage_replica(2);
+            l.recover_storage_replica_on(ShardId(0), 2);
             timed_append(&l, &ctx, 2).await
         });
         assert!((ms - 1.0).abs() < 1e-6, "recovered append {ms}ms");
@@ -1348,13 +1497,24 @@ mod replication_tests {
         let l = log.clone();
         let ms = sim.block_on(async move {
             for r in 0..3 {
-                l.fail_storage_replica(r);
+                l.fail_storage_replica_on(ShardId(0), r);
             }
             timed_append(&l, &ctx, 1).await
         });
         // Sequencer 0.4ms + 3 x 0.6ms storage = 2.2ms in the test model.
         assert!(ms > 2.0, "outage append {ms}ms");
         assert_eq!(log.degraded_appends(), 1);
+    }
+
+    /// The legacy un-suffixed forms still work and still mean shard 0.
+    #[test]
+    #[allow(deprecated)]
+    fn unsuffixed_replica_faults_alias_shard_zero() {
+        let (_sim, log) = setup();
+        log.fail_storage_replica(1);
+        assert_eq!(log.live_storage_replicas_on(ShardId(0)), 2);
+        log.recover_storage_replica(1);
+        assert_eq!(log.live_storage_replicas_on(ShardId(0)), 3);
     }
 }
 

@@ -8,6 +8,8 @@
 //! - [`mpsc`]: unbounded FIFO — request queues.
 //! - [`Semaphore`]: counting semaphore with FIFO fairness — models bounded
 //!   worker slots on function nodes (8 vCPUs per node in the paper's setup).
+//! - [`TaskGroup`]: a cancellable group of cooperating futures — models a
+//!   whole function node whose in-flight work is torn down on a crash.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -393,6 +395,183 @@ impl Drop for SemaphoreGuard {
     }
 }
 
+// ---------------------------------------------------------------------------
+// TaskGroup (cancellable)
+// ---------------------------------------------------------------------------
+
+/// A future was torn down by [`TaskGroup::cancel`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("task group cancelled")
+    }
+}
+impl std::error::Error for Cancelled {}
+
+struct GroupState {
+    cancelled: bool,
+    /// Bumped on [`TaskGroup::reset`]; wakers registered under an older
+    /// epoch are woken on cancel and re-check the flag, so a stale waker
+    /// can never observe a later epoch's cancellation as its own.
+    epoch: u64,
+    wakers: Vec<Waker>,
+}
+
+/// A cancellable group of cooperating futures.
+///
+/// Futures join the group by running inside [`TaskGroup::run`], which
+/// resolves to `Err(Cancelled)` — dropping the wrapped future and thereby
+/// its resources — as soon as [`TaskGroup::cancel`] fires. The group models
+/// a failure domain (in this workspace: one function node); cancelling it is
+/// the simulation's equivalent of the node's process dying with all in-flight
+/// work. [`TaskGroup::reset`] re-arms the group when the domain recovers.
+///
+/// The wrapper polls the inner future directly on the same task: when the
+/// group is never cancelled, scheduling is bit-identical to running the
+/// future bare (no extra tasks, timers, or RNG draws).
+#[derive(Clone)]
+pub struct TaskGroup {
+    state: Rc<RefCell<GroupState>>,
+}
+
+impl Default for TaskGroup {
+    fn default() -> TaskGroup {
+        TaskGroup::new()
+    }
+}
+
+impl TaskGroup {
+    /// Creates a live (non-cancelled) group.
+    #[must_use]
+    pub fn new() -> TaskGroup {
+        TaskGroup {
+            state: Rc::new(RefCell::new(GroupState {
+                cancelled: false,
+                epoch: 0,
+                wakers: Vec::new(),
+            })),
+        }
+    }
+
+    /// Cancels the group: every future inside [`TaskGroup::run`] resolves to
+    /// `Err(Cancelled)` at its next poll, and its inner future is dropped.
+    /// Idempotent; the group stays cancelled until [`TaskGroup::reset`].
+    pub fn cancel(&self) {
+        let wakers = {
+            let mut st = self.state.borrow_mut();
+            st.cancelled = true;
+            std::mem::take(&mut st.wakers)
+        };
+        for w in wakers {
+            w.wake();
+        }
+    }
+
+    /// Re-arms a cancelled group (the failure domain recovered).
+    pub fn reset(&self) {
+        let mut st = self.state.borrow_mut();
+        st.cancelled = false;
+        st.epoch += 1;
+        st.wakers.clear();
+    }
+
+    /// True while the group is cancelled.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.state.borrow().cancelled
+    }
+
+    /// Runs `fut` under the group: yields `Ok(output)` on completion, or
+    /// `Err(Cancelled)` — dropping `fut` mid-flight — if the group is
+    /// cancelled first.
+    pub fn run<F: Future>(&self, fut: F) -> RunCancellable<F> {
+        RunCancellable {
+            group: self.clone(),
+            fut: Some(Box::pin(fut)),
+        }
+    }
+
+    /// Resolves when the group is cancelled (level-triggered: immediately if
+    /// it already is).
+    #[must_use]
+    pub fn cancelled(&self) -> CancelledFut {
+        CancelledFut {
+            group: self.clone(),
+        }
+    }
+
+    fn register(&self, waker: &Waker) {
+        let mut st = self.state.borrow_mut();
+        if !st.wakers.iter().any(|w| w.will_wake(waker)) {
+            st.wakers.push(waker.clone());
+        }
+    }
+}
+
+impl std::fmt::Debug for TaskGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.borrow();
+        write!(
+            f,
+            "TaskGroup(cancelled={}, epoch={})",
+            st.cancelled, st.epoch
+        )
+    }
+}
+
+/// Future returned by [`TaskGroup::run`].
+pub struct RunCancellable<F: Future> {
+    group: TaskGroup,
+    fut: Option<Pin<Box<F>>>,
+}
+
+impl<F: Future> Future for RunCancellable<F> {
+    type Output = Result<F::Output, Cancelled>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if self.group.is_cancelled() {
+            // Drop the inner future now: teardown happens at the
+            // cancellation instant, not when the wrapper is dropped.
+            self.fut = None;
+            return Poll::Ready(Err(Cancelled));
+        }
+        let fut = self
+            .fut
+            .as_mut()
+            .expect("RunCancellable polled after completion");
+        match fut.as_mut().poll(cx) {
+            Poll::Ready(v) => {
+                self.fut = None;
+                Poll::Ready(Ok(v))
+            }
+            Poll::Pending => {
+                self.group.register(cx.waker());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Future returned by [`TaskGroup::cancelled`].
+pub struct CancelledFut {
+    group: TaskGroup,
+}
+
+impl Future for CancelledFut {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if self.group.is_cancelled() {
+            Poll::Ready(())
+        } else {
+            self.group.register(cx.waker());
+            Poll::Pending
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::cell::Cell;
@@ -563,5 +742,114 @@ mod tests {
             std::task::Poll::Ready(())
         })
         .await;
+    }
+
+    #[test]
+    fn task_group_runs_to_completion_when_not_cancelled() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let group = TaskGroup::new();
+        let ctx2 = ctx.clone();
+        let got = sim.block_on(async move {
+            group
+                .run(async move {
+                    ctx2.sleep(Duration::from_millis(3)).await;
+                    7u32
+                })
+                .await
+        });
+        assert_eq!(got, Ok(7));
+    }
+
+    #[test]
+    fn task_group_cancel_tears_down_inflight_work() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let group = TaskGroup::new();
+        // Guard that records when the inner future is dropped.
+        struct DropFlag(Rc<Cell<bool>>);
+        impl Drop for DropFlag {
+            fn drop(&mut self) {
+                self.0.set(true);
+            }
+        }
+        let dropped = Rc::new(Cell::new(false));
+        let cancel_at = Rc::new(Cell::new(Duration::ZERO));
+        {
+            let group = group.clone();
+            let ctx2 = ctx.clone();
+            let cancel_at = cancel_at.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(Duration::from_millis(5)).await;
+                cancel_at.set(ctx2.now());
+                group.cancel();
+            });
+        }
+        let ctx2 = ctx.clone();
+        let flag = DropFlag(dropped.clone());
+        let got = sim.block_on({
+            let group = group.clone();
+            async move {
+                group
+                    .run(async move {
+                        let _flag = flag;
+                        ctx2.sleep(Duration::from_secs(60)).await;
+                        1u32
+                    })
+                    .await
+            }
+        });
+        assert_eq!(got, Err(Cancelled));
+        assert!(dropped.get(), "inner future must be dropped on cancel");
+        assert_eq!(cancel_at.get(), Duration::from_millis(5));
+        // Virtual time must not run out the 60s sleep.
+        assert!(sim.now() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn task_group_reset_rearms() {
+        let mut sim = Sim::new(1);
+        let group = TaskGroup::new();
+        group.cancel();
+        assert!(group.is_cancelled());
+        let g = group.clone();
+        let got = sim.block_on(async move { g.run(async { 1u32 }).await });
+        assert_eq!(got, Err(Cancelled), "cancelled group rejects new work");
+        group.reset();
+        assert!(!group.is_cancelled());
+        let g = group.clone();
+        let got = sim.block_on(async move { g.run(async { 2u32 }).await });
+        assert_eq!(got, Ok(2));
+    }
+
+    #[test]
+    fn task_group_cancelled_future_is_level_triggered() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let group = TaskGroup::new();
+        let observed = Rc::new(Cell::new(Duration::MAX));
+        {
+            let group = group.clone();
+            let observed = observed.clone();
+            let ctx2 = ctx.clone();
+            ctx.spawn(async move {
+                group.cancelled().await;
+                observed.set(ctx2.now());
+            });
+        }
+        {
+            let group = group.clone();
+            let ctx2 = ctx.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(Duration::from_millis(2)).await;
+                group.cancel();
+            });
+        }
+        sim.run();
+        assert_eq!(observed.get(), Duration::from_millis(2));
+        // Already-cancelled group resolves immediately.
+        let g = group.clone();
+        let mut sim2 = Sim::new(2);
+        sim2.block_on(async move { g.cancelled().await });
     }
 }

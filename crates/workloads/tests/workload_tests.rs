@@ -4,7 +4,7 @@
 use std::rc::Rc;
 use std::time::Duration;
 
-use halfmoon::{Client, FaultPolicy, ProtocolConfig, ProtocolKind, Recorder};
+use halfmoon::{Client, FaultPolicy, ProtocolKind, Recorder};
 use hm_common::latency::LatencyModel;
 use hm_common::Value;
 use hm_runtime::{Gateway, LoadSpec, Runtime, RuntimeConfig};
@@ -23,16 +23,15 @@ fn run_workload(
     secs: u64,
 ) -> (hm_runtime::LoadReport, Rc<Recorder>, Client) {
     let mut sim = Sim::new(0x77_u64 + u64::from(kind.code()));
-    let client = Client::new(
-        sim.ctx(),
-        LatencyModel::uniform_test_model(),
-        ProtocolConfig::uniform(kind),
-    );
-    let recorder = Rc::new(Recorder::new());
-    client.set_recorder(recorder.clone());
+    let client = Client::builder(sim.ctx())
+        .model(LatencyModel::uniform_test_model())
+        .protocol(kind)
+        .recorder()
+        .build();
+    let recorder = client.recorder().expect("recorder enabled at build");
     workload.populate(&client);
     if crash_prob > 0.0 {
-        client.set_faults(FaultPolicy::random(crash_prob, 500));
+        client.set_fault_plan(FaultPolicy::random(crash_prob, 500));
     }
     let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
     workload.register(&runtime);

@@ -8,11 +8,9 @@
 //!
 //! Run with: `cargo run --example fault_injection`
 
-use halfmoon::{Client, Env, FaultPolicy, ProtocolConfig, ProtocolKind, Recorder};
-use hm_common::latency::LatencyModel;
+use halfmoon::{Client, Env, FaultPolicy, InvocationSpec, ProtocolKind};
 use hm_common::{HmResult, Key, NodeId, Value};
 use hm_sim::Sim;
-use std::rc::Rc;
 
 async fn increment(env: &mut Env) -> HmResult<Value> {
     let c = env.read(&Key::new("counter")).await?.as_int().unwrap_or(0);
@@ -22,23 +20,20 @@ async fn increment(env: &mut Env) -> HmResult<Value> {
 
 fn run(kind: ProtocolKind, crash_point: u32) -> (i64, u32) {
     let mut sim = Sim::new(99);
-    let client = Client::new(
-        sim.ctx(),
-        LatencyModel::calibrated(),
-        ProtocolConfig::uniform(kind),
-    );
-    let recorder = Rc::new(Recorder::new());
-    client.set_recorder(recorder.clone());
+    let client = Client::builder(sim.ctx()).protocol(kind).recorder().build();
     client.populate(Key::new("counter"), Value::Int(0));
+    // The target instance id is drawn after construction, so the fault
+    // plan is installed late via `set_fault_plan`.
     let id = client.fresh_instance_id();
-    client.set_faults(FaultPolicy::at([(id, crash_point)]));
+    client.set_fault_plan(FaultPolicy::at([(id, crash_point)]));
     let client2 = client.clone();
     sim.block_on(async move {
         // The platform's retry loop: re-execute until the SSF completes.
         let mut attempt = 0;
         loop {
             let once = async {
-                let mut env = Env::init(&client2, id, NodeId(0), attempt, Value::Null).await?;
+                let spec = InvocationSpec::new(id, NodeId(0)).attempt(attempt);
+                let mut env = Env::init(&client2, spec).await?;
                 let out = increment(&mut env).await?;
                 env.finish(out).await
             };
@@ -53,7 +48,7 @@ fn run(kind: ProtocolKind, crash_point: u32) -> (i64, u32) {
     let client2 = client.clone();
     let v = sim.block_on(async move {
         let id = client2.fresh_instance_id();
-        let mut env = Env::init(&client2, id, NodeId(0), 0, Value::Null)
+        let mut env = Env::init(&client2, InvocationSpec::new(id, NodeId(0)))
             .await
             .unwrap();
         let v = env.read(&Key::new("counter")).await.unwrap();

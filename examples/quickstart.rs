@@ -17,8 +17,7 @@
 
 use std::time::Duration;
 
-use halfmoon::{FaultPolicy, ProtocolConfig, ProtocolKind};
-use hm_common::latency::LatencyModel;
+use halfmoon::{FaultPolicy, ProtocolKind};
 use hm_common::{Key, Value};
 use hm_runtime::{Runtime, RuntimeConfig};
 use hm_sim::Sim;
@@ -42,24 +41,24 @@ fn main() {
     // 1. A deterministic simulation: same seed, same run — always.
     let mut sim = Sim::new(42);
 
-    // 2. A deployment: shared log (1..n shards) + versioned store +
-    //    protocol choice.
+    // 2. A deployment, built fluently: shared log (1..n shards) +
+    //    versioned store + protocol choice + fault plan. Crash the
+    //    function at every point once (at most 5 crashes total): the
+    //    runtime detects each crash and re-executes; the protocol's
+    //    replay makes every retry resume exactly where the log says.
+    //    Optional causal tracing is pure bookkeeping, so the traced run
+    //    is bit-identical to the untraced one.
     let topology = halfmoon::Topology::sharded(shards);
-    let client = halfmoon::Client::with_topology(
-        sim.ctx(),
-        LatencyModel::calibrated(),
-        ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
-        topology,
-    );
+    let tracer = trace_out.as_ref().map(|_| hm_common::trace::Tracer::new());
+    let mut builder = halfmoon::Client::builder(sim.ctx())
+        .protocol(ProtocolKind::HalfmoonRead)
+        .topology(topology)
+        .faults(FaultPolicy::random(0.35, 5));
+    if let Some(t) = &tracer {
+        builder = builder.tracer(t.clone());
+    }
+    let client = builder.build();
     client.populate(Key::new("balance"), Value::Int(100));
-
-    // Optional causal tracing: pure bookkeeping, so the traced run is
-    // bit-identical to the untraced one.
-    let tracer = trace_out.as_ref().map(|_| {
-        let tracer = hm_common::trace::Tracer::new();
-        client.set_tracer(tracer.clone());
-        tracer
-    });
 
     // 3. A runtime with 8 function nodes, and one registered function:
     //    a read-modify-write that must never double-apply.
@@ -75,11 +74,7 @@ fn main() {
         })
     });
 
-    // 4. Crash the function at every point once (at most 5 crashes total):
-    //    the runtime detects each crash and re-executes; the protocol's
-    //    replay makes every retry resume exactly where the log says.
-    client.set_faults(FaultPolicy::random(0.35, 5));
-
+    // 4. Fire the request.
     let rt = runtime.clone();
     let tracer2 = tracer.clone();
     let result = sim.block_on(async move {
@@ -109,8 +104,8 @@ fn main() {
     let client2 = client.clone();
     let balance = sim.block_on(async move {
         let id = client2.fresh_instance_id();
-        let mut env =
-            halfmoon::Env::init(&client2, id, hm_common::NodeId(0), 0, Value::Null).await?;
+        let spec = halfmoon::InvocationSpec::new(id, hm_common::NodeId(0));
+        let mut env = halfmoon::Env::init(&client2, spec).await?;
         let v = env.read(&Key::new("balance")).await?;
         env.finish(Value::Null).await?;
         Ok::<_, hm_common::HmError>(v)

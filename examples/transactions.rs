@@ -6,8 +6,7 @@
 
 use std::time::Duration;
 
-use halfmoon::{Client, Env, FaultPolicy, ProtocolConfig, ProtocolKind};
-use hm_common::latency::LatencyModel;
+use halfmoon::{Client, Env, FaultPolicy, InvocationSpec, ProtocolKind};
 use hm_common::{HmResult, Key, NodeId, Value};
 use hm_sim::Sim;
 
@@ -19,7 +18,7 @@ async fn transfer(client: Client, from: &str, to: &str, amount: i64) -> HmResult
     let mut attempt = 0;
     loop {
         let once = async {
-            let mut env = Env::init(&client, id, NODE, attempt, Value::Null).await?;
+            let mut env = Env::init(&client, InvocationSpec::new(id, NODE).attempt(attempt)).await?;
             let mut done = false;
             for _ in 0..8 {
                 let mut txn = env.txn_begin()?;
@@ -51,16 +50,14 @@ async fn transfer(client: Client, from: &str, to: &str, amount: i64) -> HmResult
 
 fn main() {
     let mut sim = Sim::new(11);
-    let client = Client::new(
-        sim.ctx(),
-        LatencyModel::calibrated(),
-        ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
-    );
+    // Crashes everywhere; transfers must still be atomic and exactly-once.
+    let client = Client::builder(sim.ctx())
+        .protocol(ProtocolKind::HalfmoonRead)
+        .faults(FaultPolicy::random(0.02, 40))
+        .build();
     for acct in ["alice", "bob", "carol"] {
         client.populate(Key::new(acct), Value::Int(100));
     }
-    // Crashes everywhere; transfers must still be atomic and exactly-once.
-    client.set_faults(FaultPolicy::random(0.02, 40));
 
     // Twelve concurrent transfers hammering three accounts.
     let ctx = sim.ctx();
@@ -92,7 +89,7 @@ fn main() {
     let c2 = client.clone();
     let snap = sim.block_on(async move {
         let id = c2.fresh_instance_id();
-        let mut env = Env::init(&c2, id, NODE, 0, Value::Null).await.unwrap();
+        let mut env = Env::init(&c2, InvocationSpec::new(id, NODE)).await.unwrap();
         let keys = [Key::new("alice"), Key::new("bob"), Key::new("carol")];
         let snap = env.read_snapshot(&keys).await.unwrap();
         env.finish(Value::Null).await.unwrap();

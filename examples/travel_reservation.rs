@@ -4,11 +4,9 @@
 //!
 //! Run with: `cargo run --release --example travel_reservation`
 
-use std::rc::Rc;
 use std::time::Duration;
 
-use halfmoon::{ProtocolConfig, ProtocolKind, Recorder};
-use hm_common::latency::LatencyModel;
+use halfmoon::ProtocolKind;
 use hm_runtime::{Gateway, GcDriver, LoadSpec, Runtime, RuntimeConfig};
 use hm_sim::Sim;
 use hm_workloads::travel::Travel;
@@ -16,13 +14,11 @@ use hm_workloads::Workload;
 
 fn run(kind: ProtocolKind) -> (f64, f64, u64) {
     let mut sim = Sim::new(2024);
-    let client = halfmoon::Client::new(
-        sim.ctx(),
-        LatencyModel::calibrated(),
-        ProtocolConfig::uniform(kind),
-    );
-    let recorder = Rc::new(Recorder::new());
-    client.set_recorder(recorder.clone());
+    let client = halfmoon::Client::builder(sim.ctx())
+        .protocol(kind)
+        .recorder()
+        .build();
+    let recorder = client.recorder().expect("recorder enabled at build");
     let workload = Travel::default();
     workload.populate(&client);
     let runtime = Runtime::new(client.clone(), RuntimeConfig::default());

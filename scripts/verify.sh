@@ -35,7 +35,8 @@ assert d["bench"] == "sim_core", d
 assert isinstance(d["total_wall_ms"], float) and d["total_wall_ms"] > 0.0, d
 assert len(d["work_fingerprint"]) == 16, d
 int(d["work_fingerprint"], 16)
-assert len(d["components"]) == 8, [c["name"] for c in d["components"]]
+assert len(d["components"]) == 9, [c["name"] for c in d["components"]]
+assert any(c["name"] == "recovery_cost" for c in d["components"]), d
 for c in d["components"]:
     assert c["wall_ms"] >= 0.0 and len(c["fingerprint"]) == 16, c
 print(f"bench smoke ok: {d['total_wall_ms']:.1f} ms, "
@@ -54,7 +55,7 @@ python3 - "$tout" "$ttrace" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
 names = [c["name"] for c in d["components"]]
-assert len(names) == 9 and names[-1] == "synthetic_halfmoon_read_traced", names
+assert len(names) == 10 and names[-1] == "synthetic_halfmoon_read_traced", names
 
 t = json.load(open(sys.argv[2]))
 ev = t["traceEvents"]
@@ -80,5 +81,17 @@ if ! diff <(grep -v '^virtual time' "$s1") <(grep -v '^virtual time' "$s4"); the
     exit 1
 fi
 echo "shard smoke ok: client-visible results identical at 1 and 4 shards"
+
+echo "== chaos smoke: chaos_campaign example =="
+chaos_out="$(mktemp -t chaos_smoke.XXXXXX.txt)"
+trap 'rm -f "$out" "$tout" "$ttrace" "$s1" "$s4" "$chaos_out"' EXIT
+cargo run --release -q --example chaos_campaign > "$chaos_out"
+grep -q "audit PASSED" "$chaos_out" || {
+    echo "chaos smoke FAILED: auditor did not pass"; cat "$chaos_out"; exit 1; }
+injected="$(sed -n 's/^faults injected: *//p' "$chaos_out")"
+if [ -z "$injected" ] || [ "$injected" -eq 0 ]; then
+    echo "chaos smoke FAILED: no faults injected"; cat "$chaos_out"; exit 1
+fi
+echo "chaos smoke ok: $injected faults injected, auditor passed"
 
 echo "== verify OK =="

@@ -14,7 +14,7 @@
 
 use std::rc::Rc;
 
-use halfmoon::{Client, ProtocolConfig, ProtocolKind};
+use halfmoon::{Client, ProtocolKind};
 use hm_common::latency::LatencyModel;
 use hm_common::trace::{OpSummary, SpanId, Tracer};
 use hm_common::{Key, Value};
@@ -25,14 +25,13 @@ use hm_sim::Sim;
 /// returns the invocation's op summaries (init, read, write, finish).
 fn trace_one_rw(kind: ProtocolKind) -> (Rc<Tracer>, Vec<OpSummary>) {
     let mut sim = Sim::new(7);
-    let client = Client::new(
-        sim.ctx(),
-        LatencyModel::calibrated(),
-        ProtocolConfig::uniform(kind),
-    );
-    client.populate(Key::new("obj"), Value::Int(1));
     let tracer = Tracer::new();
-    client.set_tracer(tracer.clone());
+    let client = Client::builder(sim.ctx())
+        .model(LatencyModel::calibrated())
+        .protocol(kind)
+        .tracer(tracer.clone())
+        .build();
+    client.populate(Key::new("obj"), Value::Int(1));
     let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
     runtime.register("rw", |env, _input| {
         Box::pin(async move {
@@ -117,14 +116,13 @@ fn boki_critical_path_logs_symmetrically() {
 #[test]
 fn halfmoon_read_read_of_written_object_stays_log_free() {
     let mut sim = Sim::new(11);
-    let client = Client::new(
-        sim.ctx(),
-        LatencyModel::calibrated(),
-        ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
-    );
-    client.populate(Key::new("obj"), Value::Int(1));
     let tracer = Tracer::new();
-    client.set_tracer(tracer.clone());
+    let client = Client::builder(sim.ctx())
+        .model(LatencyModel::calibrated())
+        .protocol(ProtocolKind::HalfmoonRead)
+        .tracer(tracer.clone())
+        .build();
+    client.populate(Key::new("obj"), Value::Int(1));
     let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
     runtime.register("write", |env, _input| {
         Box::pin(async move {

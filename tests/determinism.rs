@@ -40,16 +40,15 @@ fn run_fingerprint_topology(
     topology: halfmoon::Topology,
 ) -> RunFingerprint {
     let mut sim = Sim::new(seed);
-    let client = Client::with_topology(
-        sim.ctx(),
-        LatencyModel::calibrated(),
-        ProtocolConfig::uniform(kind),
-        topology,
-    );
+    let mut builder = Client::builder(sim.ctx())
+        .model(LatencyModel::calibrated())
+        .protocol_config(ProtocolConfig::uniform(kind))
+        .topology(topology)
+        .faults(FaultPolicy::random(0.002, 100));
     if let Some(tracer) = tracer {
-        client.set_tracer(tracer);
+        builder = builder.tracer(tracer);
     }
-    client.set_faults(FaultPolicy::random(0.002, 100));
+    let client = builder.build();
     workload.populate(&client);
     let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
     workload.register(&runtime);

@@ -2,10 +2,9 @@
 //! random crash injection, duplicate peers, and a mid-load protocol switch
 //! — everything at once, with every consistency invariant checked.
 
-use std::rc::Rc;
 use std::time::Duration;
 
-use halfmoon::{Client, FaultPolicy, ProtocolConfig, ProtocolKind, Recorder, Switcher};
+use halfmoon::{Client, FaultPolicy, ProtocolConfig, ProtocolKind, ShardId, Switcher};
 use hm_common::latency::LatencyModel;
 use hm_common::NodeId;
 use hm_runtime::{Gateway, GcDriver, LoadSpec, Runtime, RuntimeConfig};
@@ -18,14 +17,13 @@ use hm_workloads::Workload;
 #[test]
 fn travel_with_crashes_duplicates_and_gc() {
     let mut sim = Sim::new(0xe2e1);
-    let client = Client::new(
-        sim.ctx(),
-        LatencyModel::calibrated(),
-        ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
-    );
-    let recorder = Rc::new(Recorder::new());
-    client.set_recorder(recorder.clone());
-    client.set_faults(FaultPolicy::random(0.002, 300));
+    let client = Client::builder(sim.ctx())
+        .model(LatencyModel::calibrated())
+        .protocol(ProtocolKind::HalfmoonRead)
+        .recorder()
+        .build();
+    let recorder = client.recorder().expect("recorder enabled at build");
+    client.set_fault_plan(FaultPolicy::random(0.002, 300));
     let workload = Travel {
         hotels: 40,
         users: 60,
@@ -66,14 +64,13 @@ fn travel_with_crashes_duplicates_and_gc() {
 #[test]
 fn retwis_under_halfmoon_write_with_crashes() {
     let mut sim = Sim::new(0xe2e2);
-    let client = Client::new(
-        sim.ctx(),
-        LatencyModel::calibrated(),
-        ProtocolConfig::uniform(ProtocolKind::HalfmoonWrite),
-    );
-    let recorder = Rc::new(Recorder::new());
-    client.set_recorder(recorder.clone());
-    client.set_faults(FaultPolicy::random(0.002, 300));
+    let client = Client::builder(sim.ctx())
+        .model(LatencyModel::calibrated())
+        .protocol(ProtocolKind::HalfmoonWrite)
+        .recorder()
+        .build();
+    let recorder = client.recorder().expect("recorder enabled at build");
+    client.set_fault_plan(FaultPolicy::random(0.002, 300));
     let workload = Retwis {
         users: 50,
         tweet_bytes: 140,
@@ -102,10 +99,13 @@ fn switching_under_load_with_crashes_end_to_end() {
     let mut sim = Sim::new(0xe2e3);
     let mut config = ProtocolConfig::uniform(ProtocolKind::HalfmoonWrite);
     config.switching_enabled = true;
-    let client = Client::new(sim.ctx(), LatencyModel::calibrated(), config);
-    let recorder = Rc::new(Recorder::new());
-    client.set_recorder(recorder.clone());
-    client.set_faults(FaultPolicy::random(0.001, 100));
+    let client = Client::builder(sim.ctx())
+        .model(LatencyModel::calibrated())
+        .protocol_config(config)
+        .recorder()
+        .faults(FaultPolicy::random(0.001, 100))
+        .build();
+    let recorder = client.recorder().expect("recorder enabled at build");
     let workload = SyntheticOps {
         objects: 500,
         value_bytes: 256,
@@ -229,14 +229,13 @@ fn storage_stays_bounded_with_gc_over_long_run() {
 #[test]
 fn storage_replica_failure_degrades_but_preserves_correctness() {
     let mut sim = Sim::new(0xe2e5);
-    let client = Client::new(
-        sim.ctx(),
-        LatencyModel::calibrated(),
-        ProtocolConfig::uniform(ProtocolKind::HalfmoonWrite),
-    );
-    let recorder = Rc::new(Recorder::new());
-    client.set_recorder(recorder.clone());
-    client.set_faults(FaultPolicy::random(0.002, 100));
+    let client = Client::builder(sim.ctx())
+        .model(LatencyModel::calibrated())
+        .protocol(ProtocolKind::HalfmoonWrite)
+        .recorder()
+        .build();
+    let recorder = client.recorder().expect("recorder enabled at build");
+    client.set_fault_plan(FaultPolicy::random(0.002, 100));
     let workload = SyntheticOps {
         objects: 300,
         value_bytes: 256,
@@ -264,12 +263,12 @@ fn storage_replica_failure_degrades_but_preserves_correctness() {
         let ctx2 = ctx.clone();
         ctx.spawn(async move {
             ctx2.sleep(Duration::from_secs(3)).await;
-            client.log().fail_storage_replica(0);
+            client.log().fail_storage_replica_on(ShardId(0), 0);
             ctx2.sleep(Duration::from_secs(1)).await;
-            client.log().fail_storage_replica(1);
+            client.log().fail_storage_replica_on(ShardId(0), 1);
             ctx2.sleep(Duration::from_secs(2)).await;
-            client.log().recover_storage_replica(0);
-            client.log().recover_storage_replica(1);
+            client.log().recover_storage_replica_on(ShardId(0), 0);
+            client.log().recover_storage_replica_on(ShardId(0), 1);
         });
     }
     sim.run_until(Duration::from_secs(45));
@@ -307,7 +306,7 @@ fn read_only_keys_bypass_logging() {
             .block_on(async move {
                 let id = c2.fresh_instance_id();
                 let mut env =
-                    halfmoon::Env::init(&c2, id, NodeId(0), 0, hm_common::Value::Null).await?;
+                    halfmoon::Env::init(&c2, halfmoon::InvocationSpec::new(id, NodeId(0))).await?;
                 let before = c2.log().counters().log_appends;
                 let mut v = hm_common::Value::Null;
                 for _ in 0..5 {

@@ -21,7 +21,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 use std::time::Duration;
 
-use halfmoon::{Client, Env, FaultPolicy, ProtocolConfig, ProtocolKind, Recorder};
+use halfmoon::{Client, Env, FaultPolicy, InvocationSpec, ProtocolKind};
 use hm_common::latency::LatencyModel;
 use hm_common::{HmResult, InstanceId, Key, NodeId, Value};
 use hm_sim::Sim;
@@ -70,7 +70,7 @@ async fn run_program(
     let mut attempt = 0;
     loop {
         let once = async {
-            let mut env = Env::init(&client, id, NodeId(0), attempt, Value::Null).await?;
+            let mut env = Env::init(&client, InvocationSpec::new(id, NodeId(0)).attempt(attempt)).await?;
             for (i, op) in program.iter().enumerate() {
                 match op {
                     ProgOp::Read(k) => {
@@ -111,7 +111,7 @@ fn read_back(sim: &mut Sim, client: &Client, k: u8) -> Value {
     let client = client.clone();
     sim.block_on(async move {
         let id = client.fresh_instance_id();
-        let mut env = Env::init(&client, id, NodeId(0), 0, Value::Null)
+        let mut env = Env::init(&client, InvocationSpec::new(id, NodeId(0)))
             .await
             .unwrap();
         let v = env.read(&key(k)).await.unwrap();
@@ -134,18 +134,17 @@ fn exactly_once_random_programs_and_crashes() {
         ][(case % 3) as usize];
 
         let mut sim = Sim::new(seed);
-        let client = Client::new(
-            sim.ctx(),
-            LatencyModel::uniform_test_model(),
-            ProtocolConfig::uniform(kind),
-        );
-        let recorder = Rc::new(Recorder::new());
-        client.set_recorder(recorder.clone());
+        let client = Client::builder(sim.ctx())
+            .model(LatencyModel::uniform_test_model())
+            .protocol(kind)
+            .recorder()
+            .build();
+        let recorder = client.recorder().expect("recorder enabled at build");
         for k in 0..4 {
             client.populate(key(k), Value::Int(-(i64::from(k))));
         }
         let id = client.fresh_instance_id();
-        client.set_faults(FaultPolicy::at(crash_points.iter().map(|p| (id, *p))));
+        client.set_fault_plan(FaultPolicy::at(crash_points.iter().map(|p| (id, *p))));
         let program = Rc::new(program);
         let p2 = program.clone();
         let c2 = client.clone();
@@ -189,13 +188,12 @@ fn consistency_random_concurrent_load() {
         };
 
         let mut sim = Sim::new(seed);
-        let client = Client::new(
-            sim.ctx(),
-            LatencyModel::uniform_test_model(),
-            ProtocolConfig::uniform(kind),
-        );
-        let recorder = Rc::new(Recorder::new());
-        client.set_recorder(recorder.clone());
+        let client = Client::builder(sim.ctx())
+            .model(LatencyModel::uniform_test_model())
+            .protocol(kind)
+            .recorder()
+            .build();
+        let recorder = client.recorder().expect("recorder enabled at build");
         for k in 0..4 {
             client.populate(key(k), Value::Int(-(i64::from(k))));
         }
@@ -218,7 +216,7 @@ fn consistency_random_concurrent_load() {
         }
         // Crash schedule targets the first program's instance.
         if let Some(id) = first_id {
-            client.set_faults(FaultPolicy::at(crash_points.iter().map(|p| (id, *p))));
+            client.set_fault_plan(FaultPolicy::at(crash_points.iter().map(|p| (id, *p))));
         }
         sim.run();
         for h in handles {
@@ -259,13 +257,12 @@ fn transactions_conserve_money() {
         let seed = g.random_range(0u64..1_000_000);
 
         let mut sim = Sim::new(seed);
-        let client = Client::new(
-            sim.ctx(),
-            LatencyModel::uniform_test_model(),
-            ProtocolConfig::uniform(ProtocolKind::HalfmoonRead),
-        );
-        let recorder = Rc::new(Recorder::new());
-        client.set_recorder(recorder.clone());
+        let client = Client::builder(sim.ctx())
+            .model(LatencyModel::uniform_test_model())
+            .protocol(ProtocolKind::HalfmoonRead)
+            .recorder()
+            .build();
+        let recorder = client.recorder().expect("recorder enabled at build");
         for k in 0..4 {
             client.populate(key(k), Value::Int(100));
         }
@@ -288,7 +285,7 @@ fn transactions_conserve_money() {
                 loop {
                     let c2 = client.clone();
                     let once = async {
-                        let mut env = Env::init(&c2, id, NodeId(0), attempt, Value::Null).await?;
+                        let mut env = Env::init(&c2, InvocationSpec::new(id, NodeId(0)).attempt(attempt)).await?;
                         for _ in 0..12 {
                             let mut txn = env.txn_begin()?;
                             let a = env.txn_read(&mut txn, &key(from)).await?.as_int().unwrap();
@@ -317,7 +314,7 @@ fn transactions_conserve_money() {
             }));
         }
         if let Some(id) = first_id {
-            client.set_faults(FaultPolicy::at(crash_points.iter().map(|p| (id, *p))));
+            client.set_fault_plan(FaultPolicy::at(crash_points.iter().map(|p| (id, *p))));
         }
         sim.run();
         for h in handles {
