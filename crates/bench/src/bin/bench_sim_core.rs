@@ -242,6 +242,79 @@ fn sharedlog_shard_sweep(scale: f64) -> Component {
     }
 }
 
+/// Group-commit sweep: the same saturating concurrent append load pushed
+/// through one capacity-limited sequencer at batch sizes 1/4/16/64. At
+/// batch 1 every append pays its own ordering decision, so throughput pins
+/// at the lane capacity; group commit amortizes the decision across the
+/// batch and moves the knee up. The ≥ 1.5× throughput gain at batch 16 is
+/// asserted here, so the bench is its own regression test (EXPERIMENTS.md
+/// tabulates the sweep).
+fn append_batching(scale: f64) -> Component {
+    let start = Instant::now();
+    // Same lane capacity and writer pool as the shard sweep: 4 000
+    // ordering decisions/s, 64 closed-loop writers — well past the
+    // unbatched saturation knee.
+    let capacity = 4_000.0;
+    let writers = 64u64;
+    let per_writer = (((12_000.0 * scale) as u64).max(1_024) / writers).max(4);
+    let mut fp = 0u64;
+    let mut polls = 0u64;
+    let mut throughput = Vec::new();
+    for &batch in &[1usize, 4, 16, 64] {
+        let mut sim = Sim::new(0xBA7C);
+        let log: SharedLog<u64> = SharedLog::new(
+            sim.ctx(),
+            LatencyModel::uniform_test_model(),
+            LogConfig {
+                sequencer_capacity: Some(capacity),
+                batch_max_records: batch,
+                ..LogConfig::default()
+            },
+        );
+        let ctx = sim.ctx();
+        for w in 0..writers {
+            let l = log.clone();
+            ctx.spawn(async move {
+                let tag = Tag::new(TagKind::ObjectLog, 0x8000 + w);
+                for i in 0..per_writer {
+                    l.append(NodeId((w % 8) as u32), vec![tag], i).await;
+                }
+            });
+        }
+        sim.run();
+        let appends = log.counters().log_appends;
+        assert_eq!(appends, writers * per_writer);
+        let tput = appends as f64 / sim.now().as_secs_f64();
+        throughput.push(tput);
+        let flush = log.flush_stats();
+        if batch > 1 {
+            assert_eq!(flush.records, appends, "every append must pass through a flush");
+        }
+        fp = mix(fp, batch as u64);
+        fp = mix(fp, appends);
+        fp = mix(fp, sim.now().as_nanos() as u64);
+        fp = mix(fp, tput.to_bits());
+        fp = mix(fp, flush.flushes);
+        fp = mix(fp, flush.size_trigger);
+        fp = mix(fp, flush.deadline_trigger);
+        polls += sim.poll_count();
+    }
+    eprintln!(
+        "append batching sustainable appends/s: b1={:.0} b4={:.0} b16={:.0} b64={:.0}",
+        throughput[0], throughput[1], throughput[2], throughput[3]
+    );
+    assert!(
+        throughput[2] >= 1.5 * throughput[0],
+        "batch 16 must beat batch 1 by >= 1.5x at the saturation knee: {throughput:?}"
+    );
+    Component {
+        name: "append_batching",
+        wall: start.elapsed(),
+        polls,
+        fingerprint: fp,
+    }
+}
+
 /// Raw shared-log traffic: appends, conditional appends, stream reads, and
 /// trims against many tags — the log's index/refcount/caching hot paths
 /// without protocol logic on top.
@@ -472,6 +545,7 @@ fn main() {
         sharedlog_ops(scale),
         sharedlog_trim_stress(scale),
         sharedlog_shard_sweep(scale),
+        append_batching(scale),
         app("synthetic_halfmoon_read", ProtocolKind::HalfmoonRead, scale, false),
         app("synthetic_halfmoon_write", ProtocolKind::HalfmoonWrite, scale, false),
         app("travel_halfmoon_read", ProtocolKind::HalfmoonRead, scale, true),

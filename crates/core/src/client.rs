@@ -98,6 +98,11 @@ pub struct RecoveryStats {
     /// Records that were already behind the trim horizon and therefore
     /// *not* re-read (§5: replay starts at the last trim point).
     pub trimmed_skipped: u64,
+    /// Records the recovery reads found still parked in an open
+    /// group-commit batch and force-flushed before replaying. These are a
+    /// *subset* of `replayed_records`, never an addition — the mid-flush
+    /// double-count fixed in DESIGN.md §14. Zero while batching is off.
+    pub pending_flushed: u64,
 }
 
 /// Per-operation latency histograms, as the microbenchmarks report them
@@ -170,6 +175,8 @@ pub struct ClientBuilder {
     faults: FaultPlan,
     recorder: bool,
     tracer: Option<Rc<Tracer>>,
+    batch_max_records: usize,
+    batch_max_delay: std::time::Duration,
 }
 
 impl ClientBuilder {
@@ -226,6 +233,18 @@ impl ClientBuilder {
         self
     }
 
+    /// Enables group-commit batching in the logging layer: each shard's
+    /// sequencer coalesces up to `max_records` concurrent appends into one
+    /// ordering decision and one replicated storage write, flushing early
+    /// after `max_delay` of virtual time (DESIGN.md §14). `max_records <=
+    /// 1` keeps the default unbatched path, bit for bit.
+    #[must_use]
+    pub fn batching(mut self, max_records: usize, max_delay: std::time::Duration) -> ClientBuilder {
+        self.batch_max_records = max_records;
+        self.batch_max_delay = max_delay;
+        self
+    }
+
     /// Builds the deployment: fresh log (with the configured topology)
     /// and store on the simulation.
     #[must_use]
@@ -235,6 +254,8 @@ impl ClientBuilder {
             self.model,
             LogConfig {
                 topology: self.topology,
+                batch_max_records: self.batch_max_records,
+                batch_max_delay: self.batch_max_delay,
                 ..LogConfig::default()
             },
         );
@@ -270,6 +291,7 @@ impl Client {
     /// faults, no recorder, no tracer.
     #[must_use]
     pub fn builder(ctx: SimCtx) -> ClientBuilder {
+        let defaults = LogConfig::default();
         ClientBuilder {
             ctx,
             model: LatencyModel::calibrated(),
@@ -278,6 +300,8 @@ impl Client {
             faults: FaultPlan::new(),
             recorder: false,
             tracer: None,
+            batch_max_records: defaults.batch_max_records,
+            batch_max_delay: defaults.batch_max_delay,
         }
     }
 
@@ -523,6 +547,7 @@ impl Client {
         stats.replayed_records += replay.replayed;
         stats.log_reads += 1;
         stats.trimmed_skipped += replay.trimmed;
+        stats.pending_flushed += replay.pending_flushed;
         self.inner.recovery.set(stats);
     }
 

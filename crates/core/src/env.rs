@@ -160,6 +160,11 @@ impl Env {
     /// Initializes an execution attempt: fetches the step log and appends
     /// (or replays) the init record — Figure 5's `Init`.
     ///
+    /// The step-log fetch goes through `LogService::replay_stream`, which
+    /// is group-commit aware: records the crashed attempt left parked in
+    /// an open batch are force-flushed and replayed here like any other,
+    /// counted exactly once in [`crate::RecoveryStats`].
+    ///
     /// # Errors
     /// Propagates injected crashes and substrate errors.
     pub async fn init(client: &Client, spec: InvocationSpec) -> HmResult<Env> {

@@ -92,7 +92,11 @@ pub struct Event {
     /// Program counter: the operation's index within the function body.
     /// Deterministic functions revisit the same pc on every attempt.
     pub pc: u32,
-    /// Virtual time at operation completion.
+    /// Virtual time at operation completion. This is the one field that
+    /// depends on *scheduling* rather than protocol logic — log group
+    /// commit, shard counts, and latency-model changes legitimately move
+    /// it — so history comparisons across deployment configurations
+    /// (e.g. `tests/batching.rs`) compare events modulo `at`.
     pub at: SimTime,
     /// The operation.
     pub kind: EventKind,

@@ -50,6 +50,8 @@
 //! assert_eq!(out.unwrap(), Value::str("hello"));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod choice;
 pub mod client;
 pub mod env;
@@ -70,7 +72,7 @@ pub use client::{
     LocalBoxFuture, RecoveryStats,
 };
 pub use faults::{FaultEvent, FaultPlan, FaultPolicy, ScheduledFault};
-pub use hm_sharedlog::{GlobalSeqNum, ReplayStats, ShardId, Topology};
+pub use hm_sharedlog::{FlushStats, GlobalSeqNum, ReplayStats, ShardId, Topology};
 pub use env::{Env, InvocationSpec, ObjectMode};
 pub use gc::{GarbageCollector, GcStats};
 pub use history::{Event, EventKind, Recorder};

@@ -13,7 +13,11 @@
 //! - [`audit`] — the post-campaign exactly-once auditor: replays the
 //!   deployment's [`Recorder`] history through every applicable
 //!   consistency checker (generic idempotence plus the protocol-specific
-//!   §4.4 propositions) and folds in the §5 recovery meters.
+//!   §4.4 propositions) and folds in the §5 recovery meters. The audit
+//!   is oblivious to log batching by design — group commit must never
+//!   change client-visible effects, and `tests/batching.rs` runs a
+//!   seeded campaign over a batched log through this same auditor to
+//!   pin that.
 //!
 //! A client built without faults never starts a driver and never pays for
 //! one: the plan is empty, no task is spawned, and the runtime's task

@@ -68,6 +68,22 @@ impl MetricsDriver {
                 let recovery_replayed = registry.counter("recovery.replayed_records");
                 let recovery_log_reads = registry.counter("recovery.log_reads");
                 let recovery_trimmed = registry.counter("recovery.trimmed_skipped");
+                // Group-commit mirrors, registered only when batching is
+                // on: unbatched deployments keep exactly the pre-batching
+                // instrument set (and byte-identical exports).
+                let batching = client
+                    .log()
+                    .batching_enabled()
+                    .then(|| {
+                        (
+                            registry.counter("log.flushes"),
+                            registry.counter("log.flush_size_trigger"),
+                            registry.counter("log.flush_deadline_trigger"),
+                            registry.counter("log.flush_forced"),
+                            registry.gauge("log.batch_size"),
+                            registry.counter("recovery.pending_flushed"),
+                        )
+                    });
                 loop {
                     ctx.sleep(interval).await;
                     if stop.get() {
@@ -98,6 +114,17 @@ impl MetricsDriver {
                     recovery_replayed.set(recovery.replayed_records);
                     recovery_log_reads.set(recovery.log_reads);
                     recovery_trimmed.set(recovery.trimmed_skipped);
+                    if let Some((flushes, size_trig, deadline_trig, forced, batch_size, pending)) =
+                        &batching
+                    {
+                        let flush = client.log().flush_stats();
+                        flushes.set(flush.flushes);
+                        size_trig.set(flush.size_trigger);
+                        deadline_trig.set(flush.deadline_trigger);
+                        forced.set(flush.forced_trigger);
+                        batch_size.set(flush.mean_batch_size());
+                        pending.set(recovery.pending_flushed);
+                    }
                     registry.sample(ctx.now());
                     samples.set(samples.get() + 1);
                     if stop.get() {

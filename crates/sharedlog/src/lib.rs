@@ -40,6 +40,15 @@
 //! the record before (Boki's design, §4.1: 0.12 ms median cached) and from a
 //! storage node otherwise.
 //!
+//! # Group commit
+//!
+//! With [`LogConfig::batch_max_records`] above 1, each shard's sequencer
+//! coalesces concurrent appends into batches: one ordering decision and
+//! one replicated storage write persist a whole batch, which occupies a
+//! contiguous run of the shared clock. [`FlushStats`] reports the achieved
+//! batch sizes and flush triggers. The default (1) keeps the unbatched
+//! path, bit for bit — see the `service` module docs and DESIGN.md §14.
+//!
 //! ```
 //! use hm_common::{ids::TagKind, latency::LatencyModel, NodeId, SeqNum, Tag};
 //! use hm_sharedlog::{LogConfig, SharedLog};
@@ -60,6 +69,8 @@
 //! });
 //! ```
 
+#![deny(missing_docs)]
+
 mod payload;
 mod router;
 mod service;
@@ -68,7 +79,7 @@ mod shard;
 pub use payload::Payload;
 pub use router::{shard_for_tag, GlobalSeqNum, ShardId, Topology};
 pub use service::{CondAppendOutcome, LogConfig, LogService, ReplayStats};
-pub use shard::{LogRecord, RECORD_META_BYTES};
+pub use shard::{FlushStats, LogRecord, RECORD_META_BYTES};
 
 /// The pre-sharding name for the log handle; an alias for the routed
 /// facade so existing call sites keep compiling unchanged.

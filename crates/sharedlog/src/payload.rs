@@ -7,6 +7,11 @@
 /// `size_bytes` feeds the storage-overhead accounting of §6.3 (a write-log
 /// record is a few dozen bytes of metadata; a read-log record carries the
 /// whole read value).
+///
+/// The `Clone + 'static` bounds exist because the log's group-commit
+/// flushes run on detached simulation tasks (so a crashing appender can
+/// never strand its batch peers), and a detached task must own its
+/// records outright.
 pub trait Payload: Clone + 'static {
     /// Approximate serialized size of this payload in bytes, *excluding*
     /// the per-record metadata the log itself charges.

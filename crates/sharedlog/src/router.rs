@@ -24,6 +24,12 @@
 //! every node, the GC, and the metrics layer agree on where a sub-stream
 //! lives without coordination. With `shards == 1` everything routes to
 //! shard 0 and the clock degenerates to the old single-sequencer counter.
+//!
+//! Group commit (`LogConfig::batch_max_records > 1`) composes cleanly
+//! with the shared clock: a flush installs its whole batch in one
+//! synchronous loop with no intervening awaits, so each flushed batch
+//! occupies a *contiguous* run of clock values even while other shards'
+//! flushes interleave between batches.
 
 use std::hash::Hasher;
 

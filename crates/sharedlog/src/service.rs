@@ -27,6 +27,26 @@
 //! With `shards == 1` every operation routes to shard 0 and the service
 //! is behaviorally bit-identical to the old monolith: same RNG draw
 //! order, same sleeps, same counter and gauge update sequence.
+//!
+//! # Group-commit batching (`batch_max_records > 1`)
+//!
+//! Each shard's sequencer optionally coalesces appends into batches
+//! (DESIGN.md §14). An append still races to the sequencer on its own —
+//! drawing its usual latency sample and sleeping the to-sequencer share —
+//! but on arrival it *joins the shard's open batch* instead of paying
+//! admission alone. The batch flushes when it holds
+//! [`LogConfig::batch_max_records`] members, when
+//! [`LogConfig::batch_max_delay`] elapses on its first member, or when a
+//! recovery read forces it. One flush pays **one** sequencer admission and
+//! **one** coalesced replica write for the whole batch; members install in
+//! arrival order, so a batch occupies a contiguous run of the shared
+//! seqnum clock. `cond_append` conditions are evaluated at flush time,
+//! atomically with the installs — exactly when the unbatched path
+//! evaluates them. The flush itself runs on a detached task owned by the
+//! sequencer: a client crashing mid-flush never strands its batch peers.
+//!
+//! With `batch_max_records <= 1` (the default) none of this code runs and
+//! the append path is the pre-batching code, bit for bit.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -37,11 +57,14 @@ use hm_common::latency::LatencyModel;
 use hm_common::metrics::OpCounters;
 use hm_common::trace::{Lane, SpanId, TraceId, Tracer};
 use hm_common::{NodeId, SeqNum, Tag};
+use hm_sim::sync::Gate;
 use hm_sim::SimCtx;
 
 use crate::payload::Payload;
 use crate::router::{GlobalSeqNum, Router, ShardId, Topology};
-use crate::shard::{LogRecord, Memberships, RecordSlot, ShardState, Stream, RECORD_META_BYTES};
+use crate::shard::{
+    FlushStats, LogRecord, Memberships, RecordSlot, ShardState, Stream, RECORD_META_BYTES,
+};
 
 /// Captured trace context for one in-flight log operation: the tracer plus
 /// the `(trace, span)` this operation's storage-lane span belongs to.
@@ -65,11 +88,20 @@ pub enum CondAppendOutcome {
 /// was already behind the trim horizon (covered by checkpoints, skipped).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ReplayStats {
-    /// Live records returned — what the successor replays.
+    /// Live records returned — what the successor replays. Each record is
+    /// counted exactly once, whether it was already durable or only became
+    /// durable via the forced flush this call issued (see
+    /// [`ReplayStats::pending_flushed`]).
     pub replayed: u64,
     /// Records trimmed off the stream front before the call — the trim
     /// horizon the replay starts from.
     pub trimmed: u64,
+    /// Records that were still parked in the home shard's open batch when
+    /// the replay began, and which this call force-flushed before reading.
+    /// Always a subset of the records counted by `replayed` (never an
+    /// addition to it) — the double-count a crash mid-flush used to cause.
+    /// Zero when batching is off.
+    pub pending_flushed: u64,
 }
 
 /// Tuning knobs for the simulated logging layer.
@@ -94,6 +126,18 @@ pub struct LogConfig {
     /// saturate: appends beyond the capacity queue FIFO at the lane and
     /// pay the backlog as extra latency.
     pub sequencer_capacity: Option<f64>,
+    /// Group-commit batch size: how many appends a shard's sequencer
+    /// coalesces into one admission + one replicated storage round-trip.
+    /// `1` (the default) disables batching entirely — the append path is
+    /// the exact pre-batching code, bit-identical RNG draws and all.
+    /// Values above 1 enable the per-shard batcher described in the module
+    /// docs: a batch flushes when it reaches this size or when
+    /// [`LogConfig::batch_max_delay`] elapses, whichever comes first.
+    pub batch_max_records: usize,
+    /// Longest virtual time the first record of a batch may wait for
+    /// company before the batch flushes anyway. Irrelevant while
+    /// `batch_max_records <= 1`.
+    pub batch_max_delay: Duration,
 }
 
 impl Default for LogConfig {
@@ -104,6 +148,69 @@ impl Default for LogConfig {
             quorum: 2,
             node_cache_capacity: 1 << 20,
             sequencer_capacity: None,
+            batch_max_records: 1,
+            batch_max_delay: Duration::from_micros(200),
+        }
+    }
+}
+
+/// One append parked in a shard's open batch, waiting for the flush that
+/// will sequence it.
+struct PendingAppend<P> {
+    node: NodeId,
+    tags: Vec<Tag>,
+    payload: P,
+    /// `Some((cond_tag, cond_pos))` for `cond_append` members; the check
+    /// is evaluated at flush time, atomically with the install, exactly as
+    /// the unbatched path evaluates it at sequencing time.
+    cond: Option<(Tag, usize)>,
+    /// This member's storage share of its own latency draw. The batch's
+    /// coalesced write takes the max over members — no fresh draw.
+    storage_part: Duration,
+    /// The member's trace context, so the flush can emit its sequencing
+    /// instant on the right trace.
+    scope: TraceScope,
+    /// Where the flush deposits this member's result before opening the
+    /// gate. Plain appends receive `Appended`.
+    outcome: Rc<RefCell<Option<CondAppendOutcome>>>,
+}
+
+/// Why a batch flushed — bookkept into [`FlushStats`].
+#[derive(Clone, Copy)]
+enum FlushTrigger {
+    /// Reached `batch_max_records`.
+    Size,
+    /// `batch_max_delay` elapsed on the oldest member.
+    Deadline,
+    /// A `replay_stream` recovery read drained it.
+    Forced,
+}
+
+/// A claimed (no longer joinable) batch, handed to exactly one flush task.
+struct ClaimedBatch<P> {
+    members: Vec<PendingAppend<P>>,
+    /// Opened once the batch is sequenced **and** durable; every member —
+    /// and any recovery read that forced the flush — waits on a clone.
+    gate: Gate,
+}
+
+/// Per-shard batcher: the open (joinable) batch, if any.
+struct BatchState<P> {
+    /// Bumped on every claim. A deadline task armed for epoch `e` finds
+    /// the epoch moved on when a size trigger (or forced flush) already
+    /// claimed its batch, and stands down.
+    epoch: u64,
+    pending: Vec<PendingAppend<P>>,
+    /// Gate of the open batch; replaced when a new batch opens.
+    gate: Gate,
+}
+
+impl<P> BatchState<P> {
+    fn new() -> BatchState<P> {
+        BatchState {
+            epoch: 0,
+            pending: Vec::new(),
+            gate: Gate::new(),
         }
     }
 }
@@ -111,6 +218,8 @@ impl Default for LogConfig {
 struct ServiceInner<P> {
     router: Router,
     shards: Vec<ShardState<P>>,
+    /// Per-shard group-commit batchers (idle while batching is off).
+    batchers: Vec<BatchState<P>>,
     /// Optional tracing sink, shared by all handle clones.
     tracer: Option<Rc<Tracer>>,
 }
@@ -131,6 +240,35 @@ impl<P> ServiceInner<P> {
 
 /// Handle to the simulated, possibly sharded, shared log. Cheap to clone;
 /// clones share state.
+///
+/// The Figure-3 surface in one sitting — append to two sub-streams, read
+/// one back, race a conditional append, trim:
+///
+/// ```
+/// use hm_common::{ids::TagKind, latency::LatencyModel, NodeId, SeqNum, Tag};
+/// use hm_sharedlog::{CondAppendOutcome, LogConfig, LogService};
+/// use hm_sim::Sim;
+///
+/// let mut sim = Sim::new(7);
+/// let log: LogService<String> =
+///     LogService::new(sim.ctx(), LatencyModel::calibrated(), LogConfig::default());
+/// let l = log.clone();
+/// sim.block_on(async move {
+///     let step = Tag::named(TagKind::StepLog, "instance-1");
+///     let obj = Tag::named(TagKind::ObjectLog, "account");
+///     let sn = l.append(NodeId(0), vec![step, obj], "deposit 10".into()).await;
+///     assert_eq!(l.read_prev(NodeId(0), obj, SeqNum::MAX).await.unwrap().seqnum, sn);
+///     // The step's next offset is 1 (one record so far): position 0 is
+///     // already taken, so a conditional append at 0 loses and learns the
+///     // winner's seqnum.
+///     let lost = l
+///         .cond_append(NodeId(1), vec![step], "dup step".into(), step, 0)
+///         .await;
+///     assert_eq!(lost, CondAppendOutcome::Conflict(sn));
+///     l.trim(NodeId(0), step, sn).await;
+///     assert!(l.read_prev(NodeId(0), step, SeqNum::MAX).await.is_none());
+/// });
+/// ```
 pub struct LogService<P> {
     ctx: SimCtx,
     model: LatencyModel,
@@ -166,6 +304,7 @@ impl<P: Payload> LogService<P> {
                 shards: (0..shards)
                     .map(|_| ShardState::new(now, config.node_cache_capacity))
                     .collect(),
+                batchers: (0..shards).map(|_| BatchState::new()).collect(),
                 tracer: None,
             })),
         }
@@ -287,12 +426,35 @@ impl<P: Payload> LogService<P> {
     /// completes when a quorum of the home shard's replicas has
     /// acknowledged (the slowest acknowledging replica sets the pace, so
     /// losing a replica visibly fattens the tail).
+    ///
+    /// With group-commit enabled (`batch_max_records > 1`) the record
+    /// instead joins its home shard's open batch on arrival at the
+    /// sequencer and returns once the batch's coalesced flush has
+    /// sequenced and persisted it; the outcome and the client-visible
+    /// ordering are unchanged.
     pub async fn append(&self, node: NodeId, tags: Vec<Tag>, payload: P) -> SeqNum {
         let scope = self.trace_begin("log_append");
         let home = self.home_shard(&tags);
         let total = self.ctx.with_rng(|rng| self.model.log_append.sample(rng));
         let to_sequencer = total.mul_f64(self.config.sequencer_fraction);
         self.ctx.sleep(to_sequencer).await;
+        if self.batching_enabled() {
+            let member = PendingAppend {
+                node,
+                tags,
+                payload,
+                cond: None,
+                storage_part: total.saturating_sub(to_sequencer),
+                scope: scope.clone(),
+                outcome: Rc::new(RefCell::new(None)),
+            };
+            let outcome = self.append_batched(home, member).await;
+            self.trace_end(&scope);
+            let CondAppendOutcome::Appended(seqnum) = outcome else {
+                unreachable!("unconditional append cannot conflict");
+            };
+            return seqnum;
+        }
         self.sequencer_admission(home).await;
         let seqnum = self.install(home, node, tags, payload);
         self.trace_sequencer(&scope, home, "sequenced", || format!("sn{}", seqnum.0));
@@ -423,6 +585,20 @@ impl<P: Payload> LogService<P> {
         let total = self.ctx.with_rng(|rng| self.model.log_append.sample(rng));
         let to_sequencer = total.mul_f64(self.config.sequencer_fraction);
         self.ctx.sleep(to_sequencer).await;
+        if self.batching_enabled() {
+            let member = PendingAppend {
+                node,
+                tags,
+                payload,
+                cond: Some((cond_tag, cond_pos)),
+                storage_part: total.saturating_sub(to_sequencer),
+                scope: scope.clone(),
+                outcome: Rc::new(RefCell::new(None)),
+            };
+            let outcome = self.append_batched(home, member).await;
+            self.trace_end(&scope);
+            return outcome;
+        }
         self.sequencer_admission(home).await;
         // Sequencing and the condition check are atomic at the owning
         // shard: that is the point of logCondAppend (it resolves conflicts
@@ -457,6 +633,208 @@ impl<P: Payload> LogService<P> {
         self.ctx.sleep(storage).await;
         self.trace_end(&scope);
         outcome
+    }
+
+    // ---- group-commit batcher (active when batch_max_records > 1) ----
+
+    /// Whether group-commit batching is configured
+    /// (`LogConfig::batch_max_records > 1`).
+    #[must_use]
+    pub fn batching_enabled(&self) -> bool {
+        self.config.batch_max_records > 1
+    }
+
+    /// Parks an append (plain or conditional) in `home`'s open batch, arms
+    /// the flush trigger, and waits for the flush to deliver this member's
+    /// outcome. Called after the member has already slept its trip to the
+    /// sequencer, so batch join order *is* sequencer arrival order.
+    async fn append_batched(&self, home: u8, member: PendingAppend<P>) -> CondAppendOutcome {
+        let outcome = member.outcome.clone();
+        let (gate, first, full, epoch) = {
+            let mut inner = self.inner.borrow_mut();
+            let batcher = &mut inner.batchers[home as usize];
+            if batcher.pending.is_empty() {
+                batcher.gate = Gate::new();
+            }
+            batcher.pending.push(member);
+            (
+                batcher.gate.clone(),
+                batcher.pending.len() == 1,
+                batcher.pending.len() >= self.config.batch_max_records,
+                batcher.epoch,
+            )
+        };
+        if full {
+            // The filling member claims synchronously (no await between the
+            // push above and this claim, so the batch cannot change under
+            // us) and hands the flush to a detached task.
+            if let Some(batch) = self.claim_batch(home, Some(epoch)) {
+                self.spawn_flush(home, batch, FlushTrigger::Size);
+            }
+        } else if first {
+            // First member arms the deadline. The task is detached (owned
+            // by the sequencer, not by any function node's failure domain),
+            // and stands down if a size or forced trigger claimed the batch
+            // first — the epoch will have moved on.
+            let svc = self.clone();
+            let delay = self.config.batch_max_delay;
+            self.ctx.spawn(async move {
+                svc.ctx.sleep(delay).await;
+                if let Some(batch) = svc.claim_batch(home, Some(epoch)) {
+                    svc.flush_batch(home, batch, FlushTrigger::Deadline).await;
+                }
+            });
+        }
+        gate.wait().await;
+        let delivered = outcome.borrow_mut().take();
+        delivered.expect("batch flush must deliver an outcome before opening the gate")
+    }
+
+    /// Atomically takes `shard`'s open batch, closing it to new members.
+    /// With `expected_epoch` set, claims only if no one claimed first (the
+    /// deadline task's stand-down check); `None` claims unconditionally
+    /// (the forced-flush path). Returns `None` if there is nothing to
+    /// flush.
+    fn claim_batch(&self, shard: u8, expected_epoch: Option<u64>) -> Option<ClaimedBatch<P>> {
+        let mut inner = self.inner.borrow_mut();
+        let batcher = &mut inner.batchers[shard as usize];
+        if batcher.pending.is_empty() || expected_epoch.is_some_and(|e| e != batcher.epoch) {
+            return None;
+        }
+        batcher.epoch += 1;
+        Some(ClaimedBatch {
+            members: std::mem::take(&mut batcher.pending),
+            gate: batcher.gate.clone(),
+        })
+    }
+
+    /// Runs [`LogService::flush_batch`] on a detached task. The flush is
+    /// the sequencer's work: a member (or the recovery reader) that
+    /// triggered it may crash mid-flush without stranding its batch peers.
+    fn spawn_flush(&self, shard: u8, batch: ClaimedBatch<P>, trigger: FlushTrigger) {
+        let svc = self.clone();
+        self.ctx.spawn(async move {
+            svc.flush_batch(shard, batch, trigger).await;
+        });
+    }
+
+    /// Sequences and persists one claimed batch: a single sequencer
+    /// admission covers the whole batch, members install in join (= arrival)
+    /// order — so the batch occupies a contiguous run of the shared clock —
+    /// and one coalesced storage round-trip persists everything. Conditional
+    /// members have their offset check evaluated here, atomically with the
+    /// installs, exactly as the unbatched path checks at sequencing time.
+    ///
+    /// The coalesced write completes when its slowest member's replica
+    /// write would: `quorum_storage_latency` over the **max** of the
+    /// members' own storage shares. No fresh latency draw happens here, so
+    /// a workload whose appends never actually share a batch consumes the
+    /// exact RNG stream of an unbatched run.
+    async fn flush_batch(&self, shard: u8, batch: ClaimedBatch<P>, trigger: FlushTrigger) {
+        let ClaimedBatch { members, gate } = batch;
+        debug_assert!(!members.is_empty(), "claimed batches are never empty");
+        self.sequencer_admission(shard).await;
+        let mut batch_storage = Duration::ZERO;
+        let count = members.len() as u64;
+        for m in members {
+            batch_storage = batch_storage.max(m.storage_part);
+            let outcome = match m.cond {
+                None => CondAppendOutcome::Appended(self.install(shard, m.node, m.tags, m.payload)),
+                Some((cond_tag, cond_pos)) => {
+                    let conflict = {
+                        let mut inner = self.inner.borrow_mut();
+                        let state = &mut inner.shards[shard as usize];
+                        let offset = state.streams.get(&cond_tag).map_or(0, Stream::len_total);
+                        if offset == cond_pos {
+                            None
+                        } else {
+                            state.counters.cond_append_conflicts += 1;
+                            Some(
+                                state
+                                    .streams
+                                    .get(&cond_tag)
+                                    .and_then(|s| s.at(cond_pos))
+                                    .unwrap_or(SeqNum::ZERO),
+                            )
+                        }
+                    };
+                    match conflict {
+                        None => CondAppendOutcome::Appended(
+                            self.install(shard, m.node, m.tags, m.payload),
+                        ),
+                        Some(winner) => CondAppendOutcome::Conflict(winner),
+                    }
+                }
+            };
+            match outcome {
+                CondAppendOutcome::Appended(sn) => {
+                    self.trace_sequencer(&m.scope, shard, "sequenced", || format!("sn{}", sn.0));
+                }
+                CondAppendOutcome::Conflict(winner) => {
+                    self.trace_sequencer(&m.scope, shard, "cond_conflict", || {
+                        format!("winner sn{}", winner.0)
+                    });
+                }
+            }
+            *m.outcome.borrow_mut() = Some(outcome);
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            let flush = &mut inner.shards[shard as usize].flush;
+            flush.flushes += 1;
+            flush.records += count;
+            match trigger {
+                FlushTrigger::Size => flush.size_trigger += 1,
+                FlushTrigger::Deadline => flush.deadline_trigger += 1,
+                FlushTrigger::Forced => flush.forced_trigger += 1,
+            }
+        }
+        let storage = self.quorum_storage_latency(shard, batch_storage);
+        self.ctx.sleep(storage).await;
+        gate.open();
+    }
+
+    /// Force-flushes `shard`'s open batch, waiting until its members are
+    /// sequenced and durable. Returns how many records the forced flush
+    /// carried (0 when the batch was empty or batching is off).
+    async fn force_flush(&self, shard: u8) -> u64 {
+        if !self.batching_enabled() {
+            return 0;
+        }
+        match self.claim_batch(shard, None) {
+            Some(batch) => {
+                let n = batch.members.len() as u64;
+                let gate = batch.gate.clone();
+                self.spawn_flush(shard, batch, FlushTrigger::Forced);
+                gate.wait().await;
+                n
+            }
+            None => 0,
+        }
+    }
+
+    /// Group-commit accounting, aggregated across shards. All-zero while
+    /// batching is off.
+    #[must_use]
+    pub fn flush_stats(&self) -> FlushStats {
+        let inner = self.inner.borrow();
+        let mut total = FlushStats::default();
+        for shard in &inner.shards {
+            total = total.merged(&shard.flush);
+        }
+        total
+    }
+
+    /// One shard's group-commit accounting.
+    #[must_use]
+    pub fn shard_flush_stats(&self, shard: ShardId) -> FlushStats {
+        self.inner.borrow().shards[shard.0 as usize].flush
+    }
+
+    /// Records currently parked in `shard`'s open batch (test helper).
+    #[must_use]
+    pub fn pending_batch_len(&self, shard: ShardId) -> usize {
+        self.inner.borrow().batchers[shard.0 as usize].pending.len()
     }
 
     /// Sequences and stores a record: draws the shared clock, stores the
@@ -602,11 +980,25 @@ impl<P: Payload> LogService<P> {
     /// — the replay starts after them, which is what keeps recovery cost
     /// proportional to the *untrimmed* suffix, not the full history).
     ///
-    /// Latency, RNG draws, and cache effects are exactly those of
-    /// `read_stream`; only the returned [`ReplayStats`] differ, so a
-    /// caller that ignores the stats is bit-identical to one calling
-    /// `read_stream` directly.
+    /// With batching off, latency, RNG draws, and cache effects are
+    /// exactly those of `read_stream`; only the returned [`ReplayStats`]
+    /// differ, so a caller that ignores the stats is bit-identical to one
+    /// calling `read_stream` directly.
+    ///
+    /// With batching on, the call first **force-flushes** the tag's home
+    /// shard's open batch and waits for it to become durable, so the read
+    /// observes every record the sequencer has accepted — a successor must
+    /// not miss records its predecessor parked in a batch right before
+    /// crashing. Those records are reported in
+    /// [`ReplayStats::pending_flushed`] and counted once (not twice) in
+    /// [`ReplayStats::replayed`].
     pub async fn replay_stream(&self, node: NodeId, tag: Tag) -> (Vec<Rc<LogRecord<P>>>, ReplayStats) {
+        let pending_flushed = if self.batching_enabled() {
+            let shard = self.inner.borrow().router.shard_of(tag).0;
+            self.force_flush(shard).await
+        } else {
+            0
+        };
         let trimmed = {
             let inner = self.inner.borrow();
             let shard = inner.router.shard_of(tag).0;
@@ -619,6 +1011,7 @@ impl<P: Payload> LogService<P> {
         let stats = ReplayStats {
             replayed: records.len() as u64,
             trimmed,
+            pending_flushed,
         };
         (records, stats)
     }
@@ -1353,13 +1746,16 @@ mod tests {
             // Before any trim: the whole stream is replayed.
             let (recs, stats) = l.replay_stream(N0, tag).await;
             assert_eq!(recs.len(), 5);
-            assert_eq!(stats, ReplayStats { replayed: 5, trimmed: 0 });
+            assert_eq!(stats, ReplayStats { replayed: 5, ..ReplayStats::default() });
             // After trimming past the first two, replay starts at the
             // horizon: only the untrimmed suffix is re-read.
             l.trim(N0, tag, sns[1]).await;
             let (recs, stats) = l.replay_stream(N0, tag).await;
             assert_eq!(recs.len(), 3);
-            assert_eq!(stats, ReplayStats { replayed: 3, trimmed: 2 });
+            assert_eq!(
+                stats,
+                ReplayStats { replayed: 3, trimmed: 2, pending_flushed: 0 }
+            );
             // Unknown stream: nothing to replay, nothing trimmed.
             let (recs, stats) = l.replay_stream(N0, t("never-written")).await;
             assert!(recs.is_empty());
@@ -1523,13 +1919,18 @@ mod sharding_tests {
     use hm_common::ids::TagKind;
     use hm_common::latency::LatencyModel;
     use hm_common::{NodeId, Tag};
-    use hm_sim::Sim;
+    use hm_sim::{Sim, SimTime};
 
     use crate::router::shard_for_tag;
 
     use super::*;
 
     const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+
+    fn t(name: &str) -> Tag {
+        Tag::named(TagKind::StepLog, name)
+    }
 
     fn sharded(sim: &Sim, shards: u8) -> LogService<String> {
         LogService::new(
@@ -1743,6 +2144,192 @@ mod sharding_tests {
         assert!(
             four < one,
             "4 shards must finish the same load sooner: {four}s vs {one}s"
+        );
+    }
+
+    // ---- group-commit batching ----
+
+    fn setup_batched(batch: usize) -> (Sim, LogService<String>) {
+        let sim = Sim::new(11);
+        let log = LogService::new(
+            sim.ctx(),
+            LatencyModel::uniform_test_model(),
+            LogConfig {
+                batch_max_records: batch,
+                ..LogConfig::default()
+            },
+        );
+        (sim, log)
+    }
+
+    #[test]
+    fn size_triggered_batch_assigns_contiguous_seqnums_in_arrival_order() {
+        let (mut sim, log) = setup_batched(4);
+        let ctx = sim.ctx();
+        let mut handles = Vec::new();
+        for w in 0..4u64 {
+            let l = log.clone();
+            let c = ctx.clone();
+            handles.push(ctx.spawn(async move {
+                // Staggered starts force a deterministic arrival order.
+                c.sleep(SimTime::from_micros(w)).await;
+                l.append(NodeId(w as u32), vec![Tag::new(TagKind::ObjectLog, w)], format!("{w}"))
+                    .await
+            }));
+        }
+        sim.run();
+        let sns: Vec<SeqNum> = handles.into_iter().map(|h| h.try_take().unwrap()).collect();
+        assert_eq!(sns, vec![SeqNum(1), SeqNum(2), SeqNum(3), SeqNum(4)]);
+        let flush = log.flush_stats();
+        assert_eq!(flush.flushes, 1, "4 appends at batch=4 are one flush");
+        assert_eq!(flush.records, 4);
+        assert_eq!(flush.size_trigger, 1);
+        assert_eq!(flush.deadline_trigger, 0);
+        assert_eq!(log.counters().log_appends, 4);
+    }
+
+    #[test]
+    fn deadline_flushes_a_partial_batch() {
+        let (mut sim, log) = setup_batched(64);
+        let l = log.clone();
+        let sn = sim.block_on(async move { l.append(N0, vec![t("solo")], "x".into()).await });
+        assert_eq!(sn, SeqNum(1));
+        let flush = log.flush_stats();
+        assert_eq!(flush.flushes, 1);
+        assert_eq!(flush.records, 1);
+        assert_eq!(flush.deadline_trigger, 1, "a lone append must flush on the deadline");
+        assert_eq!(log.pending_batch_len(ShardId(0)), 0);
+    }
+
+    #[test]
+    fn batched_cond_append_still_resolves_exactly_one_winner() {
+        let (mut sim, log) = setup_batched(8);
+        let ctx = sim.ctx();
+        let tag = t("step0");
+        let mut handles = Vec::new();
+        // Three peers race the same step position inside one batch: the
+        // first to reach the sequencer wins, the rest adopt its record.
+        for w in 0..3u32 {
+            let l = log.clone();
+            let c = ctx.clone();
+            handles.push(ctx.spawn(async move {
+                c.sleep(SimTime::from_micros(u64::from(w))).await;
+                l.cond_append(NodeId(w), vec![tag], format!("peer{w}"), tag, 0)
+                    .await
+            }));
+        }
+        sim.run();
+        let outcomes: Vec<CondAppendOutcome> =
+            handles.into_iter().map(|h| h.try_take().unwrap()).collect();
+        let winners: Vec<SeqNum> = outcomes
+            .iter()
+            .filter_map(|o| match o {
+                CondAppendOutcome::Appended(sn) => Some(*sn),
+                CondAppendOutcome::Conflict(_) => None,
+            })
+            .collect();
+        assert_eq!(winners, vec![SeqNum(1)], "exactly one peer must win the step");
+        for o in &outcomes[1..] {
+            assert_eq!(*o, CondAppendOutcome::Conflict(SeqNum(1)));
+        }
+        assert_eq!(log.counters().cond_append_conflicts, 2);
+        assert_eq!(log.counters().log_appends, 1, "losers' appends are undone");
+    }
+
+    #[test]
+    fn replay_stream_force_flushes_the_open_batch_and_counts_once() {
+        let (mut sim, log) = setup_batched(64);
+        let ctx = sim.ctx();
+        let tag = t("recover-me");
+        for i in 0..3u64 {
+            let l = log.clone();
+            let c = ctx.clone();
+            ctx.spawn(async move {
+                c.sleep(SimTime::from_micros(i)).await;
+                l.append(N0, vec![tag], format!("r{i}")).await;
+            });
+        }
+        let l = log.clone();
+        let stats = ctx.spawn(async move {
+            // Arrive while all three appends are parked in the open batch:
+            // they reach the sequencer at ~400µs (the to-sequencer share of
+            // the 1ms test-model sample) and the deadline fires at ~600µs.
+            l.ctx.sleep(SimTime::from_micros(500)).await;
+            let (recs, stats) = l.replay_stream(N1, tag).await;
+            assert_eq!(recs.len(), 3);
+            stats
+        });
+        sim.run();
+        let stats = stats.try_take().unwrap();
+        assert_eq!(stats.replayed, 3, "forced-out records are counted once, not twice");
+        assert_eq!(stats.pending_flushed, 3);
+        assert_eq!(stats.trimmed, 0);
+        let flush = log.flush_stats();
+        assert_eq!(flush.forced_trigger, 1);
+        assert_eq!(flush.deadline_trigger, 0, "the deadline task must stand down");
+        assert_eq!(log.pending_batch_len(ShardId(0)), 0);
+    }
+
+    #[test]
+    fn batch_of_one_reduces_to_the_unbatched_path_bit_identically() {
+        // Sequential workload: every append flushes alone, so batching adds
+        // no waiting partner and must not perturb a single RNG draw.
+        let run = |batch: usize| {
+            let (mut sim, log) = setup_batched(batch);
+            let l = log.clone();
+            sim.block_on(async move {
+                for i in 0..16u32 {
+                    l.append(N0, vec![t("seq")], format!("{i}")).await;
+                }
+                let _ = l
+                    .cond_append(N0, vec![t("cond")], "c".into(), t("cond"), 0)
+                    .await;
+            });
+            (sim.now(), log.counters(), log.head_seqnum())
+        };
+        let unbatched = run(1);
+        let batched_sequential = run(64);
+        // batch=1 is the literal pre-batching code; batch=64 over a purely
+        // sequential workload flushes every record alone via the deadline,
+        // so virtual time differs only by the deadline waits — but counters
+        // and seqnums must match exactly.
+        assert_eq!(unbatched.1, batched_sequential.1);
+        assert_eq!(unbatched.2, batched_sequential.2);
+    }
+
+    #[test]
+    fn batched_append_pays_one_admission_per_flush() {
+        // A capacity-limited lane books 1/capacity per ordering decision.
+        // With batching the decision covers the whole batch, so 64 writers
+        // drain far sooner than 64 solo admissions would take.
+        let run = |batch: usize| {
+            let mut sim = Sim::new(7);
+            let log: LogService<String> = LogService::new(
+                sim.ctx(),
+                LatencyModel::uniform_test_model(),
+                LogConfig {
+                    sequencer_capacity: Some(1000.0),
+                    batch_max_records: batch,
+                    ..LogConfig::default()
+                },
+            );
+            let ctx = sim.ctx();
+            for w in 0..64u64 {
+                let l = log.clone();
+                ctx.spawn(async move {
+                    l.append(NodeId(w as u32), vec![Tag::new(TagKind::ObjectLog, w)], "p".into())
+                        .await;
+                });
+            }
+            sim.run();
+            assert_eq!(log.counters().log_appends, 64);
+            sim.now().as_secs_f64()
+        };
+        let solo = run(1);
+        let grouped = run(16);
+        assert!(
+            grouped < solo / 2.0,
+            "group commit must amortize admissions: batched {grouped}s vs solo {solo}s"
         );
     }
 }

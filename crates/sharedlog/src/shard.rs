@@ -156,6 +156,53 @@ pub(crate) struct RecordSlot<P> {
     pub(crate) bytes: usize,
 }
 
+/// Group-commit accounting for one shard's sequencer-side batcher.
+///
+/// Kept as plain fields (like `degraded_appends`) rather than inside
+/// [`OpCounters`]: the op counters feed determinism fingerprints and the
+/// golden metrics snapshot, which must stay bit-identical for unbatched
+/// runs — and a batched run's flush counts are a new dimension, not a new
+/// kind of log op.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlushStats {
+    /// Batches flushed (each paid one sequencer admission and one
+    /// coalesced storage round-trip).
+    pub flushes: u64,
+    /// Records carried by those flushes. `records / flushes` is the mean
+    /// achieved batch size (the `log.batch_size` metrics mirror).
+    pub records: u64,
+    /// Flushes triggered by the batch filling to
+    /// `LogConfig::batch_max_records`.
+    pub size_trigger: u64,
+    /// Flushes triggered by the `LogConfig::batch_max_delay` deadline.
+    pub deadline_trigger: u64,
+    /// Flushes forced by a `replay_stream` recovery read (§5: a successor
+    /// must observe every record the sequencer has accepted).
+    pub forced_trigger: u64,
+}
+
+impl FlushStats {
+    /// Mean records per flush, 0 when nothing has flushed.
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.records as f64 / self.flushes as f64
+        }
+    }
+
+    pub(crate) fn merged(&self, other: &FlushStats) -> FlushStats {
+        FlushStats {
+            flushes: self.flushes + other.flushes,
+            records: self.records + other.records,
+            size_trigger: self.size_trigger + other.size_trigger,
+            deadline_trigger: self.deadline_trigger + other.deadline_trigger,
+            forced_trigger: self.forced_trigger + other.forced_trigger,
+        }
+    }
+}
+
 /// Mutable state of one shard: everything the pre-sharding `LogInner`
 /// held, minus the clock (shared, in the router).
 pub(crate) struct ShardState<P> {
@@ -181,6 +228,8 @@ pub(crate) struct ShardState<P> {
     /// (the bounded-capacity admission model; unused when capacity is
     /// uncapped).
     pub(crate) sequencer_free_at: Duration,
+    /// Group-commit accounting (all zero while batching is off).
+    pub(crate) flush: FlushStats,
 }
 
 impl<P> ShardState<P> {
@@ -196,6 +245,7 @@ impl<P> ShardState<P> {
             bytes: TimeWeightedGauge::new(now),
             counters: OpCounters::default(),
             sequencer_free_at: Duration::ZERO,
+            flush: FlushStats::default(),
         }
     }
 

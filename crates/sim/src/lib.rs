@@ -15,9 +15,12 @@
 //! - [`SimCtx`] is a cheap, clonable handle that tasks capture to spawn
 //!   subtasks, sleep, read the clock, and draw randomness.
 //! - [`sync`] provides the coordination primitives the upper layers need:
-//!   oneshot and mpsc channels plus a FIFO [`sync::Semaphore`] used to model
+//!   oneshot and mpsc channels, a FIFO [`sync::Semaphore`] used to model
 //!   bounded worker slots on function nodes (that bound is what produces the
-//!   saturation knees in Figure 11).
+//!   saturation knees in Figure 11), and a one-shot broadcast
+//!   [`sync::Gate`] that the shared log's group-commit batcher uses to
+//!   release a whole batch of waiting appenders at once, in registration
+//!   order.
 //!
 //! Determinism: the ready queue is FIFO, timers tie-break by registration
 //! order, and all randomness flows from one seeded [`rand::rngs::SmallRng`].

@@ -10,6 +10,9 @@
 //!   worker slots on function nodes (8 vCPUs per node in the paper's setup).
 //! - [`TaskGroup`]: a cancellable group of cooperating futures — models a
 //!   whole function node whose in-flight work is torn down on a crash.
+//! - [`Gate`]: a one-shot broadcast — many waiters released by one event,
+//!   in registration order. Models group commit: every member of a flushed
+//!   batch learns of completion from the same storage acknowledgement.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -396,6 +399,106 @@ impl Drop for SemaphoreGuard {
 }
 
 // ---------------------------------------------------------------------------
+// Gate (one-shot broadcast)
+// ---------------------------------------------------------------------------
+
+struct GateState {
+    open: bool,
+    wakers: Vec<Waker>,
+}
+
+/// A one-shot broadcast gate: any number of tasks [`Gate::wait`] until one
+/// call to [`Gate::open`] releases them all.
+///
+/// Level-triggered — waiting on an already-open gate resolves immediately —
+/// and fair: waiters are woken in the order they first polled, so the
+/// executor's FIFO ready queue resumes them deterministically in
+/// registration order. Clones share state. A gate never closes again; for a
+/// recurring barrier, make a fresh gate per round (the shared-log batcher
+/// makes one per batch).
+#[derive(Clone)]
+pub struct Gate {
+    state: Rc<RefCell<GateState>>,
+}
+
+impl Default for Gate {
+    fn default() -> Gate {
+        Gate::new()
+    }
+}
+
+impl Gate {
+    /// Creates a closed gate.
+    #[must_use]
+    pub fn new() -> Gate {
+        Gate {
+            state: Rc::new(RefCell::new(GateState {
+                open: false,
+                wakers: Vec::new(),
+            })),
+        }
+    }
+
+    /// Opens the gate, waking every waiter. Idempotent.
+    pub fn open(&self) {
+        let wakers = {
+            let mut st = self.state.borrow_mut();
+            st.open = true;
+            std::mem::take(&mut st.wakers)
+        };
+        for w in wakers {
+            w.wake();
+        }
+    }
+
+    /// True once the gate has been opened.
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        self.state.borrow().open
+    }
+
+    /// Number of tasks currently parked on the gate (test/introspection
+    /// helper; waiters whose futures were dropped may still be counted).
+    #[must_use]
+    pub fn waiters(&self) -> usize {
+        self.state.borrow().wakers.len()
+    }
+
+    /// Resolves once the gate is open (immediately if it already is).
+    #[must_use]
+    pub fn wait(&self) -> GateWait {
+        GateWait { gate: self.clone() }
+    }
+}
+
+impl std::fmt::Debug for Gate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.borrow();
+        write!(f, "Gate(open={}, waiters={})", st.open, st.wakers.len())
+    }
+}
+
+/// Future returned by [`Gate::wait`].
+pub struct GateWait {
+    gate: Gate,
+}
+
+impl Future for GateWait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.gate.state.borrow_mut();
+        if st.open {
+            return Poll::Ready(());
+        }
+        if !st.wakers.iter().any(|w| w.will_wake(cx.waker())) {
+            st.wakers.push(cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------------
 // TaskGroup (cancellable)
 // ---------------------------------------------------------------------------
 
@@ -742,6 +845,88 @@ mod tests {
             std::task::Poll::Ready(())
         })
         .await;
+    }
+
+    #[test]
+    fn gate_releases_all_waiters_in_registration_order() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let gate = Gate::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5u32 {
+            let gate = gate.clone();
+            let order = order.clone();
+            let ctx2 = ctx.clone();
+            ctx.spawn(async move {
+                // Stagger registration so the queue order is unambiguous.
+                ctx2.sleep(Duration::from_millis(u64::from(i))).await;
+                gate.wait().await;
+                order.borrow_mut().push(i);
+            });
+        }
+        {
+            let gate = gate.clone();
+            let ctx2 = ctx.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(Duration::from_millis(10)).await;
+                assert_eq!(gate.waiters(), 5);
+                gate.open();
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(sim.now(), Duration::from_millis(10), "waiters release at the open instant");
+    }
+
+    #[test]
+    fn gate_is_level_triggered_and_idempotent() {
+        let mut sim = Sim::new(1);
+        let gate = Gate::new();
+        assert!(!gate.is_open());
+        gate.open();
+        gate.open();
+        assert!(gate.is_open());
+        let g = gate.clone();
+        sim.block_on(async move { g.wait().await });
+        assert_eq!(sim.now(), Duration::ZERO, "open gate must not wait");
+    }
+
+    #[test]
+    fn gate_tolerates_dropped_waiters() {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        let gate = Gate::new();
+        // A waiter that registers, then is torn down before the open.
+        let group = TaskGroup::new();
+        {
+            let gate = gate.clone();
+            let group = group.clone();
+            ctx.spawn(async move {
+                let _ = group.run(gate.wait()).await;
+            });
+        }
+        let released = Rc::new(Cell::new(false));
+        {
+            let gate = gate.clone();
+            let released = released.clone();
+            let ctx2 = ctx.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(Duration::from_millis(1)).await;
+                gate.wait().await;
+                released.set(true);
+            });
+        }
+        {
+            let gate = gate.clone();
+            let ctx2 = ctx.clone();
+            ctx.spawn(async move {
+                ctx2.sleep(Duration::from_millis(2)).await;
+                group.cancel();
+                gate.open();
+            });
+        }
+        sim.run();
+        assert!(released.get(), "live waiter must still be released");
     }
 
     #[test]

@@ -10,6 +10,10 @@
 # Shard smoke: runs the quickstart example at 1 and 4 log shards and
 # asserts the client-visible results are identical (only virtual time
 # may differ).
+# Batch smoke: same idea for group commit — quickstart at --batch 16 must
+# produce client-visible output identical to the default (unbatched) run.
+# Docs: rustdoc across the workspace with warnings denied (hm-sharedlog
+# and hm-core additionally deny missing_docs at the crate level).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +25,9 @@ cargo test -q
 
 echo "== lints: cargo clippy --all-targets -D warnings =="
 cargo clippy -q --all-targets -- -D warnings
+
+echo "== docs: cargo doc --no-deps -D warnings =="
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps
 
 echo "== bench smoke: bench_sim_core @ HM_BENCH_SCALE=0.05 =="
 out="$(mktemp -t bench_smoke.XXXXXX.json)"
@@ -35,8 +42,9 @@ assert d["bench"] == "sim_core", d
 assert isinstance(d["total_wall_ms"], float) and d["total_wall_ms"] > 0.0, d
 assert len(d["work_fingerprint"]) == 16, d
 int(d["work_fingerprint"], 16)
-assert len(d["components"]) == 9, [c["name"] for c in d["components"]]
+assert len(d["components"]) == 10, [c["name"] for c in d["components"]]
 assert any(c["name"] == "recovery_cost" for c in d["components"]), d
+assert any(c["name"] == "append_batching" for c in d["components"]), d
 for c in d["components"]:
     assert c["wall_ms"] >= 0.0 and len(c["fingerprint"]) == 16, c
 print(f"bench smoke ok: {d['total_wall_ms']:.1f} ms, "
@@ -55,7 +63,7 @@ python3 - "$tout" "$ttrace" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
 names = [c["name"] for c in d["components"]]
-assert len(names) == 10 and names[-1] == "synthetic_halfmoon_read_traced", names
+assert len(names) == 11 and names[-1] == "synthetic_halfmoon_read_traced", names
 
 t = json.load(open(sys.argv[2]))
 ev = t["traceEvents"]
@@ -82,9 +90,22 @@ if ! diff <(grep -v '^virtual time' "$s1") <(grep -v '^virtual time' "$s4"); the
 fi
 echo "shard smoke ok: client-visible results identical at 1 and 4 shards"
 
+echo "== batch smoke: quickstart @ default vs --batch 16 =="
+b16="$(mktemp -t quickstart_b16.XXXXXX.txt)"
+trap 'rm -f "$out" "$tout" "$ttrace" "$s1" "$s4" "$b16"' EXIT
+cargo run --release -q --example quickstart -- --batch 16 > "$b16"
+# Group commit must never change results, only timing: the sequential
+# quickstart flushes every batch with a single record, so everything but
+# the virtual-time line matches the default run exactly.
+if ! diff <(grep -v '^virtual time' "$s1") <(grep -v '^virtual time' "$b16"); then
+    echo "batch smoke FAILED: quickstart output differs between batch 1 and 16"
+    exit 1
+fi
+echo "batch smoke ok: client-visible results identical at batch 1 and 16"
+
 echo "== chaos smoke: chaos_campaign example =="
 chaos_out="$(mktemp -t chaos_smoke.XXXXXX.txt)"
-trap 'rm -f "$out" "$tout" "$ttrace" "$s1" "$s4" "$chaos_out"' EXIT
+trap 'rm -f "$out" "$tout" "$ttrace" "$s1" "$s4" "$b16" "$chaos_out"' EXIT
 cargo run --release -q --example chaos_campaign > "$chaos_out"
 grep -q "audit PASSED" "$chaos_out" || {
     echo "chaos smoke FAILED: auditor did not pass"; cat "$chaos_out"; exit 1; }

@@ -39,11 +39,23 @@ fn run_fingerprint_topology(
     tracer: Option<Rc<hm_common::trace::Tracer>>,
     topology: halfmoon::Topology,
 ) -> RunFingerprint {
+    run_fingerprint_batched(seed, workload, kind, tracer, topology, 1)
+}
+
+fn run_fingerprint_batched(
+    seed: u64,
+    workload: &dyn Workload,
+    kind: ProtocolKind,
+    tracer: Option<Rc<hm_common::trace::Tracer>>,
+    topology: halfmoon::Topology,
+    batch: usize,
+) -> RunFingerprint {
     let mut sim = Sim::new(seed);
     let mut builder = Client::builder(sim.ctx())
         .model(LatencyModel::calibrated())
         .protocol_config(ProtocolConfig::uniform(kind))
         .topology(topology)
+        .batching(batch, Duration::from_micros(200))
         .faults(FaultPolicy::random(0.002, 100));
     if let Some(tracer) = tracer {
         builder = builder.tracer(tracer);
@@ -252,6 +264,134 @@ fn simultaneous_timers_fire_in_registration_order() {
         );
         assert_eq!(a, trace(d), "two runs must produce the same ordering at {d:?}");
     }
+}
+
+/// A group-commit deployment (`batch_max_records = 16`) is exactly as
+/// deterministic as the unbatched one: the same seed reproduces the full
+/// fingerprint bit-for-bit — completion counts, every log and store
+/// counter, the latency digest — and the traced variant exports
+/// byte-identical JSONL, flush scheduling included.
+#[test]
+fn batched_runs_are_deterministic() {
+    let workload = SyntheticOps {
+        objects: 300,
+        ..SyntheticOps::default()
+    };
+    for kind in [ProtocolKind::HalfmoonRead, ProtocolKind::HalfmoonWrite] {
+        let run = || {
+            let tracer = hm_common::trace::Tracer::new();
+            let fp = run_fingerprint_batched(
+                6161,
+                &workload,
+                kind,
+                Some(tracer.clone()),
+                halfmoon::Topology::default(),
+                16,
+            );
+            (fp, tracer.export_jsonl())
+        };
+        let (fp_a, trace_a) = run();
+        let (fp_b, trace_b) = run();
+        assert_eq!(fp_a, fp_b, "{kind}: batch=16 same seed must reproduce exactly");
+        assert!(!trace_a.is_empty());
+        assert_eq!(
+            trace_a, trace_b,
+            "{kind}: batch=16 must export byte-identical traces"
+        );
+    }
+}
+
+/// `batching(1, ..)` is not merely equivalent to the default unbatched
+/// deployment — it is the *same code path* (the batcher never engages), so
+/// the run fingerprint matches the default construction bit-for-bit. This
+/// pins the tentpole's central promise: group commit is invisible until
+/// asked for.
+#[test]
+fn batch_of_one_matches_default_construction() {
+    let workload = SyntheticOps {
+        objects: 300,
+        ..SyntheticOps::default()
+    };
+    for kind in [ProtocolKind::HalfmoonRead, ProtocolKind::HalfmoonWrite] {
+        let default_fp = run_fingerprint(1357, &workload, kind);
+        let batched_fp = run_fingerprint_batched(
+            1357,
+            &workload,
+            kind,
+            None,
+            halfmoon::Topology::default(),
+            1,
+        );
+        assert_eq!(
+            default_fp, batched_fp,
+            "{kind}: batch=1 must be bit-identical to the default deployment"
+        );
+    }
+}
+
+/// A batched deployment under a seeded chaos campaign — node crashes,
+/// a replica outage, a sequencer stall, a retry storm — reproduces both
+/// the run fingerprint and the chaos injection journal byte-for-byte from
+/// the same seed. Forced flushes from §5 recovery reads are part of the
+/// reproduced schedule.
+#[test]
+fn batched_chaos_campaign_is_deterministic() {
+    use halfmoon::{FaultPlan, ShardId};
+    use hm_runtime::chaos::ChaosDriver;
+
+    let run = || {
+        let mut sim = Sim::new(0xBA7C);
+        let plan = FaultPlan::new()
+            .instance_faults(FaultPolicy::random(0.004, 60))
+            .node_recovery_delay(Duration::from_millis(300))
+            .seeded_node_crashes(
+                0xBA7C,
+                0.4,
+                Duration::from_millis(600),
+                Duration::from_secs(4),
+                8,
+            )
+            .fail_replica_at(
+                Duration::from_secs(2),
+                ShardId(0),
+                1,
+                Duration::from_millis(1500),
+            );
+        let client = Client::builder(sim.ctx())
+            .model(LatencyModel::calibrated())
+            .protocol_config(ProtocolConfig::uniform(ProtocolKind::HalfmoonRead))
+            .batching(16, Duration::from_micros(200))
+            .faults(plan)
+            .build();
+        let workload = SyntheticOps {
+            objects: 200,
+            ..SyntheticOps::default()
+        };
+        workload.populate(&client);
+        let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
+        workload.register(&runtime);
+        let chaos = ChaosDriver::start(&runtime);
+        let gateway = Gateway::new(runtime.clone());
+        let spec = LoadSpec {
+            rate_per_sec: 150.0,
+            duration: Duration::from_secs(5),
+            warmup: Duration::from_millis(500),
+            factory: workload.factory(),
+        };
+        let report = sim.block_on(async move { gateway.run_open_loop(spec).await });
+        assert!(chaos.injected() > 0, "campaign must actually bite");
+        (
+            report.completed,
+            client.log().counters(),
+            client.log().flush_stats(),
+            client.recovery_stats(),
+            chaos.events_jsonl(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert!(a.2.flushes > 0, "batched campaign must have flushed batches");
+    assert_eq!(a, b, "batch=16 chaos campaign must reproduce exactly");
 }
 
 /// The simulator's virtual time is decoupled from wall time: a simulated
