@@ -57,7 +57,7 @@ fn run_at(rate: f64) {
     // Open-loop generator: phase decides the factory.
     {
         let ctx2 = ctx.clone();
-        let runtime = runtime.clone();
+        let runtime = runtime;
         let samples = samples.clone();
         let factories = [write_heavy.factory(), read_heavy.factory()];
         ctx.spawn(async move {
@@ -86,7 +86,7 @@ fn run_at(rate: f64) {
     let delays: Rc<RefCell<Vec<(ProtocolKind, Duration)>>> = Rc::new(RefCell::new(Vec::new()));
     {
         let ctx2 = ctx.clone();
-        let client = client.clone();
+        let client = client;
         let delays = delays.clone();
         ctx.spawn(async move {
             let mut switcher = Switcher::new(client, NodeId(0));

@@ -139,7 +139,7 @@ fn run_with_faults_config(
     workload.populate(&client);
     let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
     workload.register(&runtime);
-    let gc = GcDriver::start(client.clone(), hm_common::NodeId(0), scaled_secs(10.0));
+    let gc = GcDriver::start(client, hm_common::NodeId(0), scaled_secs(10.0));
     let gateway = Gateway::new(runtime);
     let spec = LoadSpec {
         rate_per_sec: 100.0,

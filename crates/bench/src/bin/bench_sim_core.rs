@@ -28,16 +28,30 @@ use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use halfmoon::ProtocolKind;
+use hm_bench::alloc::{AllocRate, AllocSnapshot, CountingAlloc};
 use hm_bench::{run_app, run_app_traced, AppRun};
 use hm_common::ids::TagKind;
 use hm_common::trace::Tracer;
 use hm_common::latency::LatencyModel;
 use hm_common::{NodeId, Tag};
 use hm_runtime::RuntimeConfig;
-use hm_sharedlog::{LogConfig, SharedLog};
+use hm_sharedlog::{LogConfig, Payload, SharedLog};
 use hm_sim::Sim;
 use hm_workloads::synthetic::SyntheticOps;
 use hm_workloads::travel::Travel;
+
+/// Every allocation in the process is counted so `hot_path_alloc` can
+/// report allocations/op; the counter is two relaxed atomic adds per call,
+/// far below the noise floor of the timed components.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocation rates for one bracketed phase of a component.
+struct AllocPhase {
+    name: &'static str,
+    ops: u64,
+    rate: AllocRate,
+}
 
 /// One timed component of the macro-workload.
 struct Component {
@@ -47,6 +61,11 @@ struct Component {
     polls: u64,
     /// Simulated-result fingerprint; must be identical across builds.
     fingerprint: u64,
+    /// Per-phase allocation rates (only `hot_path_alloc` reports these).
+    /// Deliberately *not* part of the fingerprint: the fingerprint pins
+    /// simulated work, while allocation counts are exactly what the
+    /// zero-copy PRs are expected to change.
+    alloc: Vec<AllocPhase>,
 }
 
 fn mix(h: u64, v: u64) -> u64 {
@@ -84,6 +103,7 @@ fn executor_churn(scale: f64) -> Component {
         wall: start.elapsed(),
         polls: sim.poll_count(),
         fingerprint: fp,
+        alloc: Vec::new(),
     }
 }
 
@@ -125,6 +145,7 @@ fn executor_timer_stress(scale: f64) -> Component {
         wall: start.elapsed(),
         polls: sim.poll_count(),
         fingerprint: fp,
+        alloc: Vec::new(),
     }
 }
 
@@ -152,7 +173,7 @@ fn sharedlog_trim_stress(scale: f64) -> Component {
             .map(|i| Tag::new(TagKind::ObjectLog, 0x9100 + i))
             .collect();
         for i in 0..records {
-            l.append(NodeId((i % 4) as u32), tags.clone(), i).await;
+            l.append(NodeId((i % 4) as u32), &tags[..], i).await;
         }
         // One GC pass: trim every stream to the head in turn. A record's
         // bytes must be reclaimed exactly when its eighth stream trims it.
@@ -172,6 +193,7 @@ fn sharedlog_trim_stress(scale: f64) -> Component {
         wall: start.elapsed(),
         polls: sim.poll_count(),
         fingerprint: fp,
+        alloc: Vec::new(),
     }
 }
 
@@ -208,7 +230,7 @@ fn sharedlog_shard_sweep(scale: f64) -> Component {
             ctx.spawn(async move {
                 let tag = Tag::new(TagKind::ObjectLog, 0x7000 + w);
                 for i in 0..per_writer {
-                    l.append(NodeId((w % 8) as u32), vec![tag], i).await;
+                    l.append(NodeId((w % 8) as u32), [tag], i).await;
                 }
             });
         }
@@ -239,6 +261,7 @@ fn sharedlog_shard_sweep(scale: f64) -> Component {
         wall: start.elapsed(),
         polls,
         fingerprint: fp,
+        alloc: Vec::new(),
     }
 }
 
@@ -277,7 +300,7 @@ fn append_batching(scale: f64) -> Component {
             ctx.spawn(async move {
                 let tag = Tag::new(TagKind::ObjectLog, 0x8000 + w);
                 for i in 0..per_writer {
-                    l.append(NodeId((w % 8) as u32), vec![tag], i).await;
+                    l.append(NodeId((w % 8) as u32), [tag], i).await;
                 }
             });
         }
@@ -312,6 +335,7 @@ fn append_batching(scale: f64) -> Component {
         wall: start.elapsed(),
         polls,
         fingerprint: fp,
+        alloc: Vec::new(),
     }
 }
 
@@ -337,9 +361,9 @@ fn sharedlog_ops(scale: f64) -> Component {
             let t1 = tags[(i % 64) as usize];
             let t2 = tags[((i * 7 + 3) % 64) as usize];
             if t1 == t2 {
-                l.append(node, vec![t1], i).await;
+                l.append(node, [t1], i).await;
             } else {
-                l.append(node, vec![t1, t2], i).await;
+                l.append(node, [t1, t2], i).await;
             }
             if i % 3 == 0 {
                 l.read_prev(node, t1, hm_common::SeqNum::MAX).await;
@@ -366,6 +390,7 @@ fn sharedlog_ops(scale: f64) -> Component {
         wall: start.elapsed(),
         polls: sim.poll_count(),
         fingerprint: fp,
+        alloc: Vec::new(),
     }
 }
 
@@ -415,6 +440,7 @@ fn app_inner(
         wall: start.elapsed(),
         polls: 0, // the Sim is consumed inside run_app
         fingerprint: fp,
+        alloc: Vec::new(),
     }
 }
 
@@ -515,6 +541,190 @@ fn recovery_cost(scale: f64) -> Component {
         wall: start.elapsed(),
         polls,
         fingerprint: fp,
+        alloc: Vec::new(),
+    }
+}
+
+/// Zero-copy hot-path oracle: batched appends of read-log `StepRecord`s
+/// (the §6.3 hot path — records carrying whole read values) followed by a
+/// §5-style replay that adopts every logged op, with the process-global
+/// allocation counters bracketed around each phase.
+///
+/// Two phases, each reporting allocations/op and bytes/op into the JSON
+/// (`scripts/verify.sh` holds them against `scripts/alloc_budget.json`):
+///
+/// - **append**: 32 closed-loop writers push value-carrying records through
+///   the group-commit batcher (batch 16). Each op clones a per-writer
+///   template value into its record — the client-owns-value →
+///   record-owns-value handoff — then pays batching, install, and storage
+///   accounting.
+/// - **replay**: every writer's stream is replayed (`replay_stream`) and
+///   each record's op is cloned out of the shared record, exactly what
+///   `env.rs` adoption does during recovery, plus a point-read loop over
+///   the per-node caches.
+///
+/// The fingerprint pins the *simulated* results (counters, bytes, virtual
+/// time, a content checksum over replayed values) and is representation-
+/// independent; the allocation rates are the measurement.
+fn hot_path_alloc(scale: f64) -> Component {
+    use halfmoon::record::{OpRecord, StepRecord};
+    use hm_common::{InstanceId, SeqNum, StepNum, Value};
+
+    let start = Instant::now();
+    let mut sim = Sim::new(0xA110C);
+    let log: SharedLog<StepRecord> = SharedLog::new(
+        sim.ctx(),
+        LatencyModel::uniform_test_model(),
+        LogConfig {
+            batch_max_records: 16,
+            ..LogConfig::default()
+        },
+    );
+    let writers = 32u64;
+    let per_writer = (((8_000.0 * scale) as u64) / writers).max(8);
+    let append_ops = writers * per_writer;
+    let ctx = sim.ctx();
+
+    // Warmup storm over disjoint tags: fills the executor's waker pool and
+    // the batcher's batch/outcome/gate arenas, grows the task and record
+    // slabs, and warms the per-node caches so the bracketed phases below
+    // measure steady state instead of one-time arena construction. Warmup
+    // records live on their own tags so the measured replay still observes
+    // exactly `append_ops` records.
+    let warm_per_writer = 16u64;
+    for w in 0..writers {
+        let l = log.clone();
+        ctx.spawn(async move {
+            let tag = Tag::new(TagKind::ObjectLog, 0xA0D0 + w);
+            let template = Value::str(format!("warm-value-{w:>03}-").repeat(6));
+            for i in 0..warm_per_writer {
+                let payload = StepRecord {
+                    instance: InstanceId(u128::from(0x1000 + w)),
+                    step: StepNum(i as u32),
+                    op: OpRecord::Read {
+                        data: template.clone(),
+                    },
+                };
+                l.append(NodeId((w % 8) as u32), [tag], payload).await;
+            }
+        });
+    }
+    sim.run();
+    let lw = log.clone();
+    sim.block_on(async move {
+        for w in 0..writers {
+            let tag = Tag::new(TagKind::ObjectLog, 0xA0D0 + w);
+            let (records, _stats) = lw.replay_stream(NodeId((w % 8) as u32), tag).await;
+            assert_eq!(records.len() as u64, warm_per_writer);
+            let _ = lw
+                .read_prev(NodeId(((w + 3) % 8) as u32), tag, SeqNum::MAX)
+                .await;
+        }
+    });
+
+    for w in 0..writers {
+        let l = log.clone();
+        ctx.spawn(async move {
+            let tag = Tag::new(TagKind::ObjectLog, 0xA110 + w);
+            // The value a read-log record carries: ~100 B, like the
+            // serialized row images in the paper's storage experiments.
+            let template = Value::str(format!("read-value-{w:>03}-").repeat(6));
+            for i in 0..per_writer {
+                let payload = StepRecord {
+                    instance: InstanceId(u128::from(w)),
+                    step: StepNum(i as u32),
+                    op: OpRecord::Read {
+                        data: template.clone(),
+                    },
+                };
+                l.append(NodeId((w % 8) as u32), [tag], payload).await;
+            }
+        });
+    }
+    let before_append = AllocSnapshot::take();
+    sim.run();
+    let append_delta = AllocSnapshot::take().since(&before_append);
+
+    // Replay phase: force-flush + full stream replay per writer tag, op
+    // adoption per record, then a point-read loop over warm caches.
+    let l = log.clone();
+    let point_reads = (append_ops / 2).max(64);
+    let before_replay = AllocSnapshot::take();
+    let (checksum, replayed) = sim.block_on(async move {
+        let mut checksum = 0u64;
+        let mut replayed = 0u64;
+        for w in 0..writers {
+            let tag = Tag::new(TagKind::ObjectLog, 0xA110 + w);
+            let (records, _stats) = l.replay_stream(NodeId((w % 8) as u32), tag).await;
+            for rec in &records {
+                // Recovery adoption: the replayer takes its own handle on
+                // the logged op (env.rs does exactly this per record).
+                let op = rec.payload.op.clone();
+                if let OpRecord::Read { data } = &op {
+                    checksum = mix(checksum, data.fingerprint());
+                }
+                replayed += 1;
+            }
+        }
+        for i in 0..point_reads {
+            let w = i % writers;
+            let tag = Tag::new(TagKind::ObjectLog, 0xA110 + w);
+            let rec = l
+                .read_prev(NodeId(((i + 3) % 8) as u32), tag, SeqNum::MAX)
+                .await;
+            if let Some(rec) = rec {
+                checksum = mix(checksum, rec.payload.size_bytes() as u64);
+            }
+        }
+        (checksum, replayed)
+    });
+    let replay_delta = AllocSnapshot::take().since(&before_replay);
+    let replay_ops = replayed + point_reads;
+
+    assert_eq!(replayed, append_ops, "replay must observe every append");
+    let c = log.counters();
+    let mut fp = mix(0, c.log_appends);
+    fp = mix(fp, c.log_reads);
+    fp = mix(fp, log.live_records() as u64);
+    fp = mix(fp, log.current_bytes().to_bits());
+    fp = mix(fp, checksum);
+    fp = mix(fp, log.flush_stats().flushes);
+    fp = mix(fp, sim.now().as_nanos() as u64);
+    let append_rate = AllocRate::per_op(append_delta, append_ops);
+    let replay_rate = AllocRate::per_op(replay_delta, replay_ops);
+    let fs = log.flush_stats();
+    eprintln!(
+        "hot path alloc: append {:.2} allocs/op {:.0} B/op ({} ops), \
+         replay {:.2} allocs/op {:.0} B/op ({} ops), \
+         {} flushes ({:.1} rec/flush, {} size / {} deadline)",
+        append_rate.allocs_per_op,
+        append_rate.bytes_per_op,
+        append_ops,
+        replay_rate.allocs_per_op,
+        replay_rate.bytes_per_op,
+        replay_ops,
+        fs.flushes,
+        fs.records as f64 / fs.flushes.max(1) as f64,
+        fs.size_trigger,
+        fs.deadline_trigger,
+    );
+    Component {
+        name: "hot_path_alloc",
+        wall: start.elapsed(),
+        polls: sim.poll_count(),
+        fingerprint: fp,
+        alloc: vec![
+            AllocPhase {
+                name: "append",
+                ops: append_ops,
+                rate: append_rate,
+            },
+            AllocPhase {
+                name: "replay",
+                ops: replay_ops,
+                rate: replay_rate,
+            },
+        ],
     }
 }
 
@@ -550,6 +760,7 @@ fn main() {
         app("synthetic_halfmoon_write", ProtocolKind::HalfmoonWrite, scale, false),
         app("travel_halfmoon_read", ProtocolKind::HalfmoonRead, scale, true),
         recovery_cost(scale),
+        hot_path_alloc(scale),
     ];
 
     if let Some(path) = &trace_out {
@@ -597,15 +808,30 @@ fn main() {
     let _ = writeln!(json, "  \"work_fingerprint\": \"{fp:016x}\",");
     json.push_str("  \"components\": [\n");
     for (i, c) in components.iter().enumerate() {
-        let _ = writeln!(
+        let _ = write!(
             json,
-            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"polls\": {}, \"fingerprint\": \"{:016x}\"}}{}",
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"polls\": {}, \"fingerprint\": \"{:016x}\"",
             json_escape_free(c.name),
             c.wall.as_secs_f64() * 1e3,
             c.polls,
             c.fingerprint,
-            if i + 1 < components.len() { "," } else { "" }
         );
+        if !c.alloc.is_empty() {
+            json.push_str(", \"alloc\": {");
+            for (j, p) in c.alloc.iter().enumerate() {
+                let _ = write!(
+                    json,
+                    "{}\"{}\": {{\"ops\": {}, \"allocs_per_op\": {:.3}, \"bytes_per_op\": {:.1}}}",
+                    if j == 0 { "" } else { ", " },
+                    json_escape_free(p.name),
+                    p.ops,
+                    p.rate.allocs_per_op,
+                    p.rate.bytes_per_op,
+                );
+            }
+            json.push('}');
+        }
+        let _ = writeln!(json, "}}{}", if i + 1 < components.len() { "," } else { "" });
     }
     json.push_str("  ]\n}\n");
 

@@ -9,6 +9,8 @@
 //! - `HM_BENCH_SCALE` — fractional multiplier on experiment durations
 //!   (default 1.0; use 0.2 for a quick smoke pass).
 
+pub mod alloc;
+
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -168,7 +170,7 @@ fn run_app_inner(
     let appends_at_warmup = Rc::new(std::cell::Cell::new(0u64));
     {
         let appends_at_warmup = appends_at_warmup.clone();
-        let client = client.clone();
+        let client = client;
         ctx.clone().spawn(async move {
             ctx.sleep(warmup).await;
             client.log().reset_storage_window();

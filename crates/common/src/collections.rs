@@ -74,9 +74,46 @@ impl std::ops::Deref for TagSet {
     }
 }
 
+impl TagSet {
+    /// Builds a tag set by copying from a slice — allocation-free for up
+    /// to [`TAGSET_INLINE`] tags, which is every hot-path record. Callers
+    /// holding a long-lived tag list should pass it as a slice instead of
+    /// cloning a `Vec` per append.
+    #[must_use]
+    pub fn from_slice(tags: &[Tag]) -> TagSet {
+        if tags.len() <= TAGSET_INLINE {
+            let mut inline = [Tag(0); TAGSET_INLINE];
+            inline[..tags.len()].copy_from_slice(tags);
+            TagSet {
+                len: tags.len() as u32,
+                inline,
+                spill: Vec::new(),
+            }
+        } else {
+            TagSet {
+                len: tags.len() as u32,
+                inline: [Tag(0); TAGSET_INLINE],
+                spill: tags.to_vec(),
+            }
+        }
+    }
+}
+
 impl From<Vec<Tag>> for TagSet {
     fn from(tags: Vec<Tag>) -> TagSet {
         TagSet::from_vec(tags)
+    }
+}
+
+impl From<&[Tag]> for TagSet {
+    fn from(tags: &[Tag]) -> TagSet {
+        TagSet::from_slice(tags)
+    }
+}
+
+impl<const N: usize> From<[Tag; N]> for TagSet {
+    fn from(tags: [Tag; N]) -> TagSet {
+        TagSet::from_slice(&tags)
     }
 }
 

@@ -9,6 +9,7 @@
 //! Nothing in this crate knows about the simulator, the shared log, or the
 //! protocols; it is the dependency root of the workspace.
 
+pub mod bytes;
 pub mod collections;
 pub mod dist;
 pub mod error;
@@ -18,6 +19,7 @@ pub mod metrics;
 pub mod trace;
 pub mod value;
 
+pub use bytes::SharedBytes;
 pub use collections::{FxHashMap, FxHashSet, LruSet, TagSet};
 pub use error::{HmError, HmResult};
 pub use ids::{InstanceId, Key, NodeId, SeqNum, StepNum, Tag, VersionNum, VersionTuple};

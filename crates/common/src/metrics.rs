@@ -6,8 +6,20 @@
 //!   *time-averaged* MB over a 10-minute window);
 //! - [`OpCounters`]: logging-operation counts, used to report "logging
 //!   overhead" in units of abstract log operations (§4.3).
+//!
+//! On top of these sits the [`MetricsRegistry`]: named
+//! [`Counter`]/[`Gauge`]/[`HistogramHandle`] instruments behind `Cell` fast
+//! paths (the single-threaded analog of relaxed atomics — a bump is one
+//! load/store, no borrow bookkeeping), plus a virtual-time sample series.
+//! It lived in `trace.rs` historically; `hm_common::trace` re-exports the
+//! registry types so existing paths keep working.
 
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+use std::rc::Rc;
 use std::time::Duration;
+
+use crate::trace::escape;
 
 /// A latency histogram with logarithmic buckets.
 ///
@@ -249,32 +261,276 @@ impl TimeWeightedGauge {
     }
 }
 
-/// Counters for the abstract logging operations of §4.3, plus raw store
-/// traffic. "Logging overhead" in the paper is measured in these units.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct OpCounters {
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// A named monotonic counter handle (cheap to clone, cheap to bump).
+#[derive(Clone)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().saturating_add(n));
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites the counter (for counters mirrored from another source).
+    pub fn set(&self, v: u64) {
+        self.0.set(v);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A named gauge handle (last-write-wins instantaneous value).
+#[derive(Clone)]
+pub struct Gauge(Rc<Cell<f64>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+/// A named histogram handle.
+#[derive(Clone)]
+pub struct HistogramHandle(Rc<RefCell<Histogram>>);
+
+impl HistogramHandle {
+    /// Records one observation.
+    pub fn record(&self, d: Duration) {
+        self.0.borrow_mut().record(d);
+    }
+
+    /// Observation count so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.borrow().count()
+    }
+
+    /// Runs `f` against the underlying histogram.
+    pub fn with<R>(&self, f: impl FnOnce(&Histogram) -> R) -> R {
+        f(&self.0.borrow())
+    }
+}
+
+/// One sampled row of the registry's time series.
+#[derive(Clone, Debug)]
+pub struct MetricsSample {
+    /// Virtual time of the sample.
+    pub at: Duration,
+    /// Counter values, in registration order.
+    pub counters: Vec<u64>,
+    /// Gauge values, in registration order.
+    pub gauges: Vec<f64>,
+    /// Histogram observation counts, in registration order.
+    pub hist_counts: Vec<u64>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, HistogramHandle)>,
+    samples: Vec<MetricsSample>,
+}
+
+/// A registry of named counters/gauges/histograms plus a virtual-time
+/// series of their sampled values. Handles are get-or-create by name, so
+/// independent components can share an instrument. Sampling is driven
+/// externally (e.g. `hm_runtime::MetricsDriver`) at a configurable
+/// virtual-time interval; the registry itself never spawns tasks.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: RefCell<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry behind an `Rc` for sharing.
+    #[must_use]
+    pub fn new() -> Rc<MetricsRegistry> {
+        Rc::new(MetricsRegistry::default())
+    }
+
+    /// The counter named `name`, creating it (at zero) on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.borrow_mut();
+        if let Some((_, c)) = inner.counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter(Rc::new(Cell::new(0)));
+        inner.counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// The gauge named `name`, creating it (at zero) on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.borrow_mut();
+        if let Some((_, g)) = inner.gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Gauge(Rc::new(Cell::new(0.0)));
+        inner.gauges.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// The histogram named `name`, creating it empty on first use.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut inner = self.inner.borrow_mut();
+        if let Some((_, h)) = inner.histograms.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let h = HistogramHandle(Rc::new(RefCell::new(Histogram::new())));
+        inner.histograms.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// Appends one time-series row snapshotting every registered
+    /// instrument at virtual time `now`.
+    pub fn sample(&self, now: Duration) {
+        let mut inner = self.inner.borrow_mut();
+        let row = MetricsSample {
+            at: now,
+            counters: inner.counters.iter().map(|(_, c)| c.get()).collect(),
+            gauges: inner.gauges.iter().map(|(_, g)| g.get()).collect(),
+            hist_counts: inner.histograms.iter().map(|(_, h)| h.count()).collect(),
+        };
+        inner.samples.push(row);
+    }
+
+    /// Number of sampled rows so far.
+    #[must_use]
+    pub fn samples_len(&self) -> usize {
+        self.inner.borrow().samples.len()
+    }
+
+    /// Runs `f` over the sampled rows.
+    pub fn with_samples<R>(&self, f: impl FnOnce(&[MetricsSample]) -> R) -> R {
+        f(&self.inner.borrow().samples)
+    }
+
+    /// Exports the time series as JSON: instrument names plus one row per
+    /// sample, deterministic field and row order.
+    #[must_use]
+    pub fn series_json(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"counters\": [{}],", names_of(&inner.counters));
+        let _ = writeln!(out, "  \"gauges\": [{}],", names_of(&inner.gauges));
+        let _ = writeln!(out, "  \"histograms\": [{}],", names_of(&inner.histograms));
+        out.push_str("  \"samples\": [\n");
+        for (i, row) in inner.samples.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"at_ns\":{},\"counters\":{:?},\"gauges\":{:?},\"hist_counts\":{:?}}}",
+                row.at.as_nanos(),
+                row.counters,
+                row.gauges,
+                row.hist_counts
+            );
+            out.push_str(if i + 1 < inner.samples.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Comma-joined, escaped instrument names for [`MetricsRegistry::series_json`].
+fn names_of<T>(items: &[(String, T)]) -> String {
+    let mut s = String::new();
+    for (i, (n, _)) in items.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\"", escape(n));
+    }
+    s
+}
+
+/// Declares [`OpCounters`] from one field list, generating the struct and
+/// its element-wise windowing arithmetic in lockstep (the `record_op!`
+/// pattern: one declaration, every derived method) — adding a counter is a
+/// one-line change that cannot miss `since`/`merged`.
+macro_rules! op_counters {
+    ($( $(#[$doc:meta])* $field:ident ),+ $(,)?) => {
+        /// Counters for the abstract logging operations of §4.3, plus raw
+        /// store traffic. "Logging overhead" in the paper is measured in
+        /// these units.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct OpCounters {
+            $( $(#[$doc])* pub $field: u64, )+
+        }
+
+        impl OpCounters {
+            /// Element-wise difference `self - earlier`, for windowed
+            /// measurement.
+            ///
+            /// Saturating: a mis-ordered window (an `earlier` snapshot taken
+            /// after `self`) yields zeros for the affected fields rather
+            /// than panicking in debug builds or wrapping in release builds.
+            #[must_use]
+            pub fn since(&self, earlier: &OpCounters) -> OpCounters {
+                OpCounters {
+                    $( $field: self.$field.saturating_sub(earlier.$field), )+
+                }
+            }
+
+            /// Element-wise sum `self + other`, for aggregating per-shard
+            /// counter snapshots into one deployment-wide view. Saturating,
+            /// like [`since`].
+            ///
+            /// [`since`]: OpCounters::since
+            #[must_use]
+            pub fn merged(&self, other: &OpCounters) -> OpCounters {
+                OpCounters {
+                    $( $field: self.$field.saturating_add(other.$field), )+
+                }
+            }
+        }
+    };
+}
+
+op_counters! {
     /// Log appends (including conditional appends that succeeded).
-    pub log_appends: u64,
+    log_appends,
     /// Conditional appends that lost the peer race and were undone.
-    pub cond_append_conflicts: u64,
+    cond_append_conflicts,
     /// Log reads (`read_prev` / `read_next`).
-    pub log_reads: u64,
+    log_reads,
     /// Log trims issued by the garbage collector.
-    pub log_trims: u64,
+    log_trims,
     /// Raw store reads.
-    pub db_reads: u64,
+    db_reads,
     /// Raw store writes (unconditional).
-    pub db_writes: u64,
+    db_writes,
     /// Conditional store writes.
-    pub db_cond_writes: u64,
+    db_cond_writes,
     /// Store deletes (garbage collection of old versions).
-    pub db_deletes: u64,
+    db_deletes,
     /// Log reads answered from the per-node record cache.
-    pub cache_hits: u64,
+    cache_hits,
     /// Log reads that missed the per-node record cache and paid the
     /// storage round-trip. Reads that find no record are counted in
     /// neither bucket (they are answered from the node's stream index).
-    pub cache_misses: u64,
+    cache_misses,
 }
 
 impl OpCounters {
@@ -283,51 +539,6 @@ impl OpCounters {
     #[must_use]
     pub fn total_log_appends(&self) -> u64 {
         self.log_appends
-    }
-
-    /// Element-wise difference `self - earlier`, for windowed measurement.
-    ///
-    /// Saturating: a mis-ordered window (an `earlier` snapshot taken after
-    /// `self`) yields zeros for the affected fields rather than panicking
-    /// in debug builds or wrapping in release builds.
-    #[must_use]
-    pub fn since(&self, earlier: &OpCounters) -> OpCounters {
-        OpCounters {
-            log_appends: self.log_appends.saturating_sub(earlier.log_appends),
-            cond_append_conflicts: self
-                .cond_append_conflicts
-                .saturating_sub(earlier.cond_append_conflicts),
-            log_reads: self.log_reads.saturating_sub(earlier.log_reads),
-            log_trims: self.log_trims.saturating_sub(earlier.log_trims),
-            db_reads: self.db_reads.saturating_sub(earlier.db_reads),
-            db_writes: self.db_writes.saturating_sub(earlier.db_writes),
-            db_cond_writes: self.db_cond_writes.saturating_sub(earlier.db_cond_writes),
-            db_deletes: self.db_deletes.saturating_sub(earlier.db_deletes),
-            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
-            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
-        }
-    }
-
-    /// Element-wise sum `self + other`, for aggregating per-shard counter
-    /// snapshots into one deployment-wide view. Saturating, like [`since`].
-    ///
-    /// [`since`]: OpCounters::since
-    #[must_use]
-    pub fn merged(&self, other: &OpCounters) -> OpCounters {
-        OpCounters {
-            log_appends: self.log_appends.saturating_add(other.log_appends),
-            cond_append_conflicts: self
-                .cond_append_conflicts
-                .saturating_add(other.cond_append_conflicts),
-            log_reads: self.log_reads.saturating_add(other.log_reads),
-            log_trims: self.log_trims.saturating_add(other.log_trims),
-            db_reads: self.db_reads.saturating_add(other.db_reads),
-            db_writes: self.db_writes.saturating_add(other.db_writes),
-            db_cond_writes: self.db_cond_writes.saturating_add(other.db_cond_writes),
-            db_deletes: self.db_deletes.saturating_add(other.db_deletes),
-            cache_hits: self.cache_hits.saturating_add(other.cache_hits),
-            cache_misses: self.cache_misses.saturating_add(other.cache_misses),
-        }
     }
 }
 
@@ -462,5 +673,32 @@ mod tests {
         assert_eq!(d.log_appends, 15);
         assert_eq!(d.db_reads, 5);
         assert_eq!(d.total_log_appends(), 15);
+    }
+
+    #[test]
+    fn metrics_registry_handles_and_samples() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("log_appends");
+        let c2 = reg.counter("log_appends");
+        c.add(3);
+        c2.inc();
+        assert_eq!(reg.counter("log_appends").get(), 4, "get-or-create shares");
+        let g = reg.gauge("inflight");
+        g.set(2.5);
+        let h = reg.histogram("latency");
+        h.record(Duration::from_millis(5));
+        reg.sample(Duration::from_millis(100));
+        c.inc();
+        reg.sample(Duration::from_millis(200));
+        assert_eq!(reg.samples_len(), 2);
+        reg.with_samples(|rows| {
+            assert_eq!(rows[0].counters, vec![4]);
+            assert_eq!(rows[1].counters, vec![5]);
+            assert_eq!(rows[0].gauges, vec![2.5]);
+            assert_eq!(rows[0].hist_counts, vec![1]);
+        });
+        let json = reg.series_json();
+        assert!(json.contains("\"log_appends\""), "{json}");
+        assert!(json.contains("\"at_ns\":100000000"), "{json}");
     }
 }

@@ -51,7 +51,6 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use crate::collections::FxHashMap;
-use crate::metrics::Histogram;
 
 /// Identifies one end-to-end request through the system. `TraceId(0)` is
 /// reserved for unattributed (background) work such as GC cycles.
@@ -682,7 +681,7 @@ fn micros(d: Duration) -> String {
 }
 
 /// Escapes a detail string for embedding in a JSON string literal.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -701,208 +700,11 @@ fn escape(s: &str) -> String {
 }
 
 // ---------------------------------------------------------------------------
-// Metrics registry
+// Metrics registry (moved to `crate::metrics`; re-exported for path
+// compatibility — `hm_common::trace::MetricsRegistry` remains valid)
 // ---------------------------------------------------------------------------
 
-/// A named monotonic counter handle (cheap to clone, cheap to bump).
-#[derive(Clone)]
-pub struct Counter(Rc<Cell<u64>>);
-
-impl Counter {
-    /// Adds `n` to the counter.
-    pub fn add(&self, n: u64) {
-        self.0.set(self.0.get().saturating_add(n));
-    }
-
-    /// Increments the counter by one.
-    pub fn inc(&self) {
-        self.add(1);
-    }
-
-    /// Overwrites the counter (for counters mirrored from another source).
-    pub fn set(&self, v: u64) {
-        self.0.set(v);
-    }
-
-    /// Current value.
-    #[must_use]
-    pub fn get(&self) -> u64 {
-        self.0.get()
-    }
-}
-
-/// A named gauge handle (last-write-wins instantaneous value).
-#[derive(Clone)]
-pub struct Gauge(Rc<Cell<f64>>);
-
-impl Gauge {
-    /// Sets the gauge.
-    pub fn set(&self, v: f64) {
-        self.0.set(v);
-    }
-
-    /// Current value.
-    #[must_use]
-    pub fn get(&self) -> f64 {
-        self.0.get()
-    }
-}
-
-/// A named histogram handle.
-#[derive(Clone)]
-pub struct HistogramHandle(Rc<RefCell<Histogram>>);
-
-impl HistogramHandle {
-    /// Records one observation.
-    pub fn record(&self, d: Duration) {
-        self.0.borrow_mut().record(d);
-    }
-
-    /// Observation count so far.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.0.borrow().count()
-    }
-
-    /// Runs `f` against the underlying histogram.
-    pub fn with<R>(&self, f: impl FnOnce(&Histogram) -> R) -> R {
-        f(&self.0.borrow())
-    }
-}
-
-/// One sampled row of the registry's time series.
-#[derive(Clone, Debug)]
-pub struct MetricsSample {
-    /// Virtual time of the sample.
-    pub at: Duration,
-    /// Counter values, in registration order.
-    pub counters: Vec<u64>,
-    /// Gauge values, in registration order.
-    pub gauges: Vec<f64>,
-    /// Histogram observation counts, in registration order.
-    pub hist_counts: Vec<u64>,
-}
-
-#[derive(Default)]
-struct RegistryInner {
-    counters: Vec<(String, Counter)>,
-    gauges: Vec<(String, Gauge)>,
-    histograms: Vec<(String, HistogramHandle)>,
-    samples: Vec<MetricsSample>,
-}
-
-/// A registry of named counters/gauges/histograms plus a virtual-time
-/// series of their sampled values. Handles are get-or-create by name, so
-/// independent components can share an instrument. Sampling is driven
-/// externally (e.g. `hm_runtime::MetricsDriver`) at a configurable
-/// virtual-time interval; the registry itself never spawns tasks.
-#[derive(Default)]
-pub struct MetricsRegistry {
-    inner: RefCell<RegistryInner>,
-}
-
-impl MetricsRegistry {
-    /// A fresh, empty registry behind an `Rc` for sharing.
-    #[must_use]
-    pub fn new() -> Rc<MetricsRegistry> {
-        Rc::new(MetricsRegistry::default())
-    }
-
-    /// The counter named `name`, creating it (at zero) on first use.
-    pub fn counter(&self, name: &str) -> Counter {
-        let mut inner = self.inner.borrow_mut();
-        if let Some((_, c)) = inner.counters.iter().find(|(n, _)| n == name) {
-            return c.clone();
-        }
-        let c = Counter(Rc::new(Cell::new(0)));
-        inner.counters.push((name.to_string(), c.clone()));
-        c
-    }
-
-    /// The gauge named `name`, creating it (at zero) on first use.
-    pub fn gauge(&self, name: &str) -> Gauge {
-        let mut inner = self.inner.borrow_mut();
-        if let Some((_, g)) = inner.gauges.iter().find(|(n, _)| n == name) {
-            return g.clone();
-        }
-        let g = Gauge(Rc::new(Cell::new(0.0)));
-        inner.gauges.push((name.to_string(), g.clone()));
-        g
-    }
-
-    /// The histogram named `name`, creating it empty on first use.
-    pub fn histogram(&self, name: &str) -> HistogramHandle {
-        let mut inner = self.inner.borrow_mut();
-        if let Some((_, h)) = inner.histograms.iter().find(|(n, _)| n == name) {
-            return h.clone();
-        }
-        let h = HistogramHandle(Rc::new(RefCell::new(Histogram::new())));
-        inner.histograms.push((name.to_string(), h.clone()));
-        h
-    }
-
-    /// Appends one time-series row snapshotting every registered
-    /// instrument at virtual time `now`.
-    pub fn sample(&self, now: Duration) {
-        let mut inner = self.inner.borrow_mut();
-        let row = MetricsSample {
-            at: now,
-            counters: inner.counters.iter().map(|(_, c)| c.get()).collect(),
-            gauges: inner.gauges.iter().map(|(_, g)| g.get()).collect(),
-            hist_counts: inner.histograms.iter().map(|(_, h)| h.count()).collect(),
-        };
-        inner.samples.push(row);
-    }
-
-    /// Number of sampled rows so far.
-    #[must_use]
-    pub fn samples_len(&self) -> usize {
-        self.inner.borrow().samples.len()
-    }
-
-    /// Runs `f` over the sampled rows.
-    pub fn with_samples<R>(&self, f: impl FnOnce(&[MetricsSample]) -> R) -> R {
-        f(&self.inner.borrow().samples)
-    }
-
-    /// Exports the time series as JSON: instrument names plus one row per
-    /// sample, deterministic field and row order.
-    #[must_use]
-    pub fn series_json(&self) -> String {
-        let inner = self.inner.borrow();
-        let mut out = String::new();
-        out.push_str("{\n");
-        let _ = writeln!(out, "  \"counters\": [{}],", names_of(&inner.counters));
-        let _ = writeln!(out, "  \"gauges\": [{}],", names_of(&inner.gauges));
-        let _ = writeln!(out, "  \"histograms\": [{}],", names_of(&inner.histograms));
-        out.push_str("  \"samples\": [\n");
-        for (i, row) in inner.samples.iter().enumerate() {
-            let _ = write!(
-                out,
-                "    {{\"at_ns\":{},\"counters\":{:?},\"gauges\":{:?},\"hist_counts\":{:?}}}",
-                row.at.as_nanos(),
-                row.counters,
-                row.gauges,
-                row.hist_counts
-            );
-            out.push_str(if i + 1 < inner.samples.len() { ",\n" } else { "\n" });
-        }
-        out.push_str("  ]\n}\n");
-        out
-    }
-}
-
-/// Comma-joined, escaped instrument names for [`MetricsRegistry::series_json`].
-fn names_of<T>(items: &[(String, T)]) -> String {
-    let mut s = String::new();
-    for (i, (n, _)) in items.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        let _ = write!(s, "\"{}\"", escape(n));
-    }
-    s
-}
+pub use crate::metrics::{Counter, Gauge, HistogramHandle, MetricsRegistry, MetricsSample};
 
 #[cfg(test)]
 mod tests {
@@ -1021,32 +823,5 @@ mod tests {
         );
         let jsonl = tr.export_jsonl();
         assert!(jsonl.contains(r#"say \"hi\"\\\n"#), "{jsonl}");
-    }
-
-    #[test]
-    fn metrics_registry_handles_and_samples() {
-        let reg = MetricsRegistry::new();
-        let c = reg.counter("log_appends");
-        let c2 = reg.counter("log_appends");
-        c.add(3);
-        c2.inc();
-        assert_eq!(reg.counter("log_appends").get(), 4, "get-or-create shares");
-        let g = reg.gauge("inflight");
-        g.set(2.5);
-        let h = reg.histogram("latency");
-        h.record(Duration::from_millis(5));
-        reg.sample(t(100));
-        c.inc();
-        reg.sample(t(200));
-        assert_eq!(reg.samples_len(), 2);
-        reg.with_samples(|rows| {
-            assert_eq!(rows[0].counters, vec![4]);
-            assert_eq!(rows[1].counters, vec![5]);
-            assert_eq!(rows[0].gauges, vec![2.5]);
-            assert_eq!(rows[0].hist_counts, vec![1]);
-        });
-        let json = reg.series_json();
-        assert!(json.contains("\"log_appends\""), "{json}");
-        assert!(json.contains("\"at_ns\":100000000"), "{json}");
     }
 }

@@ -10,13 +10,17 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
+use crate::bytes::SharedBytes;
+
 /// A JSON-like dynamic value.
 ///
-/// Aggregates (`List`, `Map`) are reference-counted: values cross the
+/// Every non-scalar variant is reference-counted: values cross the
 /// simulated serialization boundary many times per request (runtime retry
 /// loop, init-record payload, replay adoption), and a real platform would
 /// pass serialized bytes by reference. Cloning a `Value` is therefore O(1)
-/// for aggregates; logical equality and accounting are unaffected.
+/// for *all* variants — strings and byte buffers included — so the
+/// `Payload: Clone` contract on log records is a pointer bump end to end
+/// (DESIGN.md §15). Logical equality and accounting are unaffected.
 #[derive(Clone, PartialEq, Default)]
 pub enum Value {
     /// Absent / null.
@@ -28,8 +32,13 @@ pub enum Value {
     Int(i64),
     /// 64-bit float.
     Float(f64),
-    /// UTF-8 string.
-    Str(String),
+    /// UTF-8 string (refcounted; cloning shares the buffer).
+    Str(Rc<str>),
+    /// Materialized byte payload behind a shared buffer ([`SharedBytes`]):
+    /// cloning bumps a refcount, subslices share storage. This is the
+    /// zero-copy carrier for values whose bytes matter (cache handoff,
+    /// replay adoption).
+    Bytes(SharedBytes),
     /// Opaque byte payload of a given length. The bytes themselves are not
     /// materialized — workloads only care about the *size* of values (the
     /// storage experiments vary object size between 256 B and 1 KB), so a
@@ -73,10 +82,20 @@ impl Value {
 
     /// Builds a string value.
     pub fn str(s: impl Into<String>) -> Value {
-        Value::Str(s.into())
+        Value::Str(Rc::from(s.into()))
+    }
+
+    /// Builds a byte-buffer value sharing `bytes`' storage.
+    #[must_use]
+    pub fn bytes(bytes: SharedBytes) -> Value {
+        Value::Bytes(bytes)
     }
 
     /// Approximate encoded size in bytes, used for storage accounting.
+    ///
+    /// Refcounted variants charge their *logical* length — the §6.3
+    /// storage experiments count payload bytes once per record, however
+    /// many views share the buffer in process.
     #[must_use]
     pub fn size_bytes(&self) -> usize {
         match self {
@@ -85,6 +104,7 @@ impl Value {
             Value::Int(_) => 8,
             Value::Float(_) => 8,
             Value::Str(s) => s.len(),
+            Value::Bytes(b) => b.len(),
             Value::Blob { len, .. } => *len,
             Value::List(items) => 2 + items.iter().map(Value::size_bytes).sum::<usize>(),
             Value::Map(entries) => {
@@ -110,6 +130,15 @@ impl Value {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the byte-buffer payload, if this is a `Bytes`.
+    #[must_use]
+    pub fn as_bytes(&self) -> Option<&SharedBytes> {
+        match self {
+            Value::Bytes(b) => Some(b),
             _ => None,
         }
     }
@@ -157,6 +186,7 @@ impl Value {
             Value::Int(i) => mix(0x1237, *i as u64),
             Value::Float(f) => mix(0xf10a, f.to_bits()),
             Value::Str(s) => mix(0x5712, crate::ids::fnv1a(s.as_bytes())),
+            Value::Bytes(b) => mix(0xb17e, b.fingerprint()),
             Value::Blob { len, fingerprint } => mix(mix(0xb10b, *len as u64), *fingerprint),
             Value::List(items) => items
                 .iter()
@@ -176,6 +206,7 @@ impl fmt::Debug for Value {
             Value::Int(i) => write!(f, "{i}"),
             Value::Float(x) => write!(f, "{x}"),
             Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "{b:?}"),
             Value::Blob { len, fingerprint } => write!(f, "blob[{len}B;{fingerprint:x}]"),
             Value::List(items) => f.debug_list().entries(items.iter()).finish(),
             Value::Map(entries) => f.debug_map().entries(entries.iter()).finish(),
@@ -197,13 +228,19 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Value {
-        Value::Str(s.to_string())
+        Value::Str(Rc::from(s))
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Value {
-        Value::Str(s)
+        Value::Str(Rc::from(s))
+    }
+}
+
+impl From<SharedBytes> for Value {
+    fn from(b: SharedBytes) -> Value {
+        Value::Bytes(b)
     }
 }
 
@@ -238,6 +275,30 @@ mod tests {
             Value::map([("a", Value::Int(1))]).fingerprint()
         );
         assert_ne!(Value::Null.fingerprint(), Value::Bool(false).fingerprint());
+    }
+
+    #[test]
+    fn bytes_values_share_storage_and_count_logical_size() {
+        let buf = SharedBytes::copy_from(&[7u8; 300]);
+        let v = Value::bytes(buf.clone());
+        assert_eq!(v.size_bytes(), 300);
+        let copy = v.clone();
+        assert_eq!(copy, v);
+        // Clone of a Bytes value is a refcount bump on the same buffer.
+        assert!(copy.as_bytes().unwrap().ptr_eq(&buf));
+        // A narrowed view charges its own logical length.
+        assert_eq!(Value::bytes(buf.slice(0, 50)).size_bytes(), 50);
+    }
+
+    #[test]
+    fn str_clone_shares_the_buffer() {
+        let v = Value::str("shared string payload");
+        let copy = v.clone();
+        let (Value::Str(a), Value::Str(b)) = (&v, &copy) else {
+            panic!("expected Str");
+        };
+        assert!(Rc::ptr_eq(a, b));
+        assert_eq!(v.fingerprint(), copy.fingerprint());
     }
 
     #[test]

@@ -181,7 +181,7 @@ fn value_fingerprint_properties() {
             .map(|_| char::from(rng.random_range(0x20u8..0x7f)))
             .collect();
         let v = Value::map([("n", Value::Int(n)), ("s", Value::str(s.clone()))]);
-        assert_eq!(v.fingerprint(), v.clone().fingerprint(), "case {case}");
+        assert_eq!(v.fingerprint(), v.fingerprint(), "case {case}");
         let v2 = Value::map([("n", Value::Int(n.wrapping_add(1))), ("s", Value::str(s))]);
         assert_ne!(v.fingerprint(), v2.fingerprint(), "case {case}");
     });

@@ -8,6 +8,8 @@
 //! write-log records are metadata-sized while read-log records carry the
 //! whole read value.
 
+use std::rc::Rc;
+
 use hm_common::{InstanceId, Key, SeqNum, StepNum, Value, VersionNum, VersionTuple};
 use hm_sharedlog::Payload;
 
@@ -76,10 +78,13 @@ pub enum OpRecord {
     TxnCommit {
         /// The transaction's snapshot cursor (reads resolved here).
         snapshot: SeqNum,
-        /// Keys the transaction read (validated for conflicts).
-        read_set: Vec<Key>,
-        /// Keys and pre-installed versions the transaction writes.
-        writes: Vec<(Key, VersionNum)>,
+        /// Keys the transaction read (validated for conflicts). Refcounted:
+        /// the record is cloned on every replay adoption and validity scan,
+        /// and the sets are immutable once logged.
+        read_set: Rc<[Key]>,
+        /// Keys and pre-installed versions the transaction writes
+        /// (refcounted, immutable once logged).
+        writes: Rc<[(Key, VersionNum)]>,
     },
     /// Result of a completed child invocation (Figure 5 lines 41–44).
     Invoke {

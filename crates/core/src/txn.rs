@@ -197,10 +197,13 @@ impl Env {
         self.maybe_crash()?;
         // One commit record, tagged into every written object's write log.
         let tags: Vec<_> = versions.iter().map(|(k, _)| k.object_log_tag()).collect();
+        // The sets move into refcounted slices once here; every later
+        // clone of the record (batching, replay adoption, validity scans)
+        // is a pointer bump.
         let op = OpRecord::TxnCommit {
             snapshot: txn.snapshot,
-            read_set: txn.read_set.clone(),
-            writes: versions.clone(),
+            read_set: txn.read_set.iter().cloned().collect(),
+            writes: versions.iter().cloned().collect(),
         };
         let rec = self.log_step(tags, op).await?;
         let valid = validity(self.client(), &rec.payload, rec.seqnum);
@@ -365,11 +368,12 @@ mod tests {
             step: StepNum(2),
             op: OpRecord::TxnCommit {
                 snapshot: SeqNum(1),
-                read_set: vec![Key::new("a")],
+                read_set: vec![Key::new("a")].into(),
                 writes: vec![
                     (Key::new("x"), VersionNum(7)),
                     (Key::new("y"), VersionNum(9)),
-                ],
+                ]
+                .into(),
             },
         };
         assert_eq!(rec.version_for(&Key::new("x")), Some(VersionNum(7)));

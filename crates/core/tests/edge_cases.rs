@@ -138,7 +138,7 @@ fn unsafe_mode_never_touches_the_log() {
 fn invoke_without_invoker_errors() {
     let (mut sim, client) = setup(ProtocolKind::HalfmoonRead);
     let id = client.fresh_instance_id();
-    let c2 = client.clone();
+    let c2 = client;
     let out = sim.block_on(async move {
         let mut env = Env::init(&c2, InvocationSpec::new(id, NODE)).await?;
         env.invoke("anything", Value::Null).await
@@ -330,7 +330,7 @@ fn checkpoints_do_not_leak_across_nodes() {
     client.populate(Key::new("cp"), Value::Int(1));
     let id = client.fresh_instance_id();
     client.set_fault_plan(FaultPolicy::at([(id, 5)]));
-    let c2 = client.clone();
+    let c2 = client;
     let out = sim.block_on(async move {
         let mut attempt = 0;
         loop {

@@ -417,7 +417,7 @@ fn figure4_reads_are_stable_against_later_writes() {
         })
     });
     let h3 = {
-        let client = client.clone();
+        let client = client;
         let ctx2 = ctx.clone();
         ctx.spawn(async move {
             ctx2.sleep(Duration::from_micros(100)).await;
@@ -580,7 +580,7 @@ fn nested_workflow_chain() {
     });
     let id = client.fresh_instance_id();
     let out = sim
-        .block_on(run_to_completion(client.clone(), id, Value::Null, root))
+        .block_on(run_to_completion(client, id, Value::Null, root))
         .unwrap();
     assert_eq!(out, Value::Int(60));
     recorder.check_all_generic().unwrap();
@@ -680,7 +680,7 @@ fn gc_never_collects_versions_a_live_reader_may_see() {
     // Reader initialized before all writes: sees the base value.
     assert_eq!(seen, Value::Int(0));
     // After everyone finished, GC can reclaim.
-    let gc = GarbageCollector::new(client.clone(), NODE);
+    let gc = GarbageCollector::new(client, NODE);
     let stats = sim.block_on(async move { gc.collect().await });
     assert_eq!(stats.versions_deleted, 2);
 }
@@ -761,7 +761,7 @@ fn switch_is_idempotent_and_rejects_unsafe() {
     config.switching_enabled = true;
     let client = Client::new(sim.ctx(), LatencyModel::uniform_test_model(), config);
     let switcher = Switcher::new(client.clone(), NODE);
-    let client2 = client.clone();
+    let client2 = client;
     sim.block_on(async move {
         let _ = &client2;
         let r = switcher
@@ -934,7 +934,7 @@ fn sync_provides_linearizable_reads() {
         })
     });
     let out = sim
-        .block_on(run_to_completion(client.clone(), r, Value::Null, reader))
+        .block_on(run_to_completion(client, r, Value::Null, reader))
         .unwrap();
     assert_eq!(out, Value::Int(42));
 }

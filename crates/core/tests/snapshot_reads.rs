@@ -104,7 +104,7 @@ fn snapshot_values_come_from_one_timestamp() {
 #[test]
 fn snapshot_is_log_free_under_halfmoon_read() {
     let (mut sim, client, _r) = setup(ProtocolKind::HalfmoonRead);
-    let c = client.clone();
+    let c = client;
     sim.block_on(async move {
         write_generation(c.clone(), 1).await.unwrap();
         let appends_before = c.log().counters().log_appends;

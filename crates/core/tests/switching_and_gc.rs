@@ -99,7 +99,7 @@ fn double_switch_round_trip() {
     let (mut sim, client, recorder) = setup(ProtocolKind::HalfmoonWrite, true);
     client.populate(Key::new("D"), Value::Int(0));
     let switcher = Switcher::new(client.clone(), NODE);
-    let c = client.clone();
+    let c = client;
     sim.block_on(async move {
         run_ssf(c.clone(), c.fresh_instance_id(), writer("D", 1))
             .await
@@ -162,7 +162,7 @@ fn retry_spanning_a_switch_resolves_consistently() {
     sw.try_take().expect("switch finished").unwrap();
     recorder.check_all_generic().unwrap();
     // Effect applied exactly once despite the crash spanning the switch.
-    let c = client.clone();
+    let c = client;
     let seen = sim
         .block_on(run_ssf(c.clone(), c.fresh_instance_id(), reader("S")))
         .unwrap();
@@ -191,7 +191,7 @@ fn old_ssf_keeps_old_protocol_during_switch() {
     });
     let h = ctx.spawn(run_ssf(client.clone(), slow, slow_body));
     let sw = {
-        let client = client.clone();
+        let client = client;
         let ctx2 = ctx.clone();
         ctx.spawn(async move {
             ctx2.sleep(Duration::from_millis(10)).await;
@@ -212,7 +212,7 @@ fn old_ssf_keeps_old_protocol_during_switch() {
 fn switch_from_boki_to_halfmoon() {
     let (mut sim, client, recorder) = setup(ProtocolKind::Boki, true);
     client.populate(Key::new("B"), Value::Int(9));
-    let c = client.clone();
+    let c = client;
     sim.block_on(async move {
         run_ssf(c.clone(), c.fresh_instance_id(), writer("B", 10))
             .await
@@ -242,7 +242,7 @@ fn switch_from_boki_to_halfmoon() {
 #[test]
 fn gc_on_empty_deployment() {
     let (mut sim, client, _r) = setup(ProtocolKind::HalfmoonRead, false);
-    let gc = GarbageCollector::new(client.clone(), NODE);
+    let gc = GarbageCollector::new(client, NODE);
     let stats = sim.block_on(async move { gc.collect().await });
     assert_eq!(stats.instances_reclaimed, 0);
     assert_eq!(stats.versions_deleted, 0);
@@ -254,7 +254,7 @@ fn gc_on_empty_deployment() {
 fn gc_is_idempotent() {
     let (mut sim, client, _r) = setup(ProtocolKind::HalfmoonRead, false);
     client.populate(Key::new("G"), Value::Int(0));
-    let c = client.clone();
+    let c = client;
     sim.block_on(async move {
         for i in 0..4 {
             run_ssf(c.clone(), c.fresh_instance_id(), writer("G", i))
@@ -312,7 +312,7 @@ fn gc_preserves_state_of_crashed_unfinished_ssf() {
     // The retry completes correctly from the preserved log.
     sim.block_on(run_ssf(client.clone(), id, body)).unwrap();
     recorder.check_all_generic().unwrap();
-    let c = client.clone();
+    let c = client;
     let seen = sim
         .block_on(run_ssf(c.clone(), c.fresh_instance_id(), reader("C")))
         .unwrap();
@@ -325,7 +325,7 @@ fn gc_preserves_state_of_crashed_unfinished_ssf() {
 fn gc_reclaims_read_logs_of_finished_hmwrite_ssfs() {
     let (mut sim, client, _r) = setup(ProtocolKind::HalfmoonWrite, false);
     client.populate(Key::new("R"), Value::blob(256, 1));
-    let c = client.clone();
+    let c = client;
     sim.block_on(async move {
         for _ in 0..5 {
             run_ssf(c.clone(), c.fresh_instance_id(), reader("R"))
@@ -371,7 +371,7 @@ fn gc_hammer_with_live_traffic() {
     }
     // Aggressive GC every 2ms, concurrent with the traffic.
     let gc_handle = {
-        let client = client.clone();
+        let client = client;
         let ctx2 = ctx.clone();
         ctx.spawn(async move {
             let gc = GarbageCollector::new(client, NODE);

@@ -81,7 +81,7 @@ fn explore(kind: ProtocolKind, crash_point: Option<u32>, offset_us: u64) {
     let ctx = sim.ctx();
     let ha = ctx.spawn(ssf_a(client.clone(), a));
     let hb = {
-        let client = client.clone();
+        let client = client;
         let ctx2 = ctx.clone();
         ctx.spawn(async move {
             ctx2.sleep(Duration::from_micros(offset_us)).await;

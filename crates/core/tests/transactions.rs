@@ -301,7 +301,7 @@ fn transactions_require_halfmoon_read() {
         LatencyModel::uniform_test_model(),
         ProtocolConfig::uniform(ProtocolKind::HalfmoonWrite),
     );
-    let c2 = client.clone();
+    let c2 = client;
     let out = sim.block_on(async move {
         let id = c2.fresh_instance_id();
         let mut env = Env::init(&c2, InvocationSpec::new(id, NODE)).await?;

@@ -145,9 +145,10 @@ impl KvStore {
     pub fn populate(&self, key: Key, value: Value) {
         let now = self.ctx.now();
         let mut inner = self.inner.borrow_mut();
-        let bytes = (key.size_bytes() + value.size_bytes() + ITEM_META_BYTES) as f64;
+        let key_bytes = key.size_bytes();
+        let bytes = (key_bytes + value.size_bytes() + ITEM_META_BYTES) as f64;
         let old = inner.latest.insert(
-            key.clone(),
+            key,
             LatestItem {
                 value,
                 version: VersionTuple::MIN,
@@ -156,7 +157,7 @@ impl KvStore {
         if let Some(old) = old {
             inner.charge(
                 now,
-                -((key.size_bytes() + old.value.size_bytes() + ITEM_META_BYTES) as f64),
+                -((key_bytes + old.value.size_bytes() + ITEM_META_BYTES) as f64),
             );
         }
         inner.charge(now, bytes);
@@ -444,7 +445,7 @@ mod tests {
     #[test]
     fn operations_take_simulated_time() {
         let (mut sim, store) = setup();
-        let s = store.clone();
+        let s = store;
         sim.block_on(async move {
             s.put(&Key::new("a"), Value::Int(1)).await; // 1.5ms in test model
         });
@@ -454,7 +455,7 @@ mod tests {
     #[test]
     fn conditional_write_respects_version_order() {
         let (mut sim, store) = setup();
-        let s = store.clone();
+        let s = store;
         sim.block_on(async move {
             let k = Key::new("x");
             let v1 = VersionTuple::new(hm_common::SeqNum(5), 0);
@@ -475,7 +476,7 @@ mod tests {
     #[test]
     fn conditional_write_lands_on_missing_key() {
         let (mut sim, store) = setup();
-        let s = store.clone();
+        let s = store;
         sim.block_on(async move {
             let k = Key::new("fresh");
             assert!(
@@ -489,7 +490,7 @@ mod tests {
     #[test]
     fn multi_version_reads_are_isolated() {
         let (mut sim, store) = setup();
-        let s = store.clone();
+        let s = store;
         sim.block_on(async move {
             let k = Key::new("obj");
             s.put_version(&k, VersionNum(1), Value::Int(10)).await;
@@ -505,7 +506,7 @@ mod tests {
     #[test]
     fn version_rewrite_is_idempotent_for_storage() {
         let (mut sim, store) = setup();
-        let s = store.clone();
+        let s = store;
         sim.block_on(async move {
             let k = Key::new("obj");
             s.put_version(&k, VersionNum(1), Value::blob(100, 1)).await;
@@ -519,7 +520,7 @@ mod tests {
     #[test]
     fn delete_version_reclaims_storage() {
         let (mut sim, store) = setup();
-        let s = store.clone();
+        let s = store;
         sim.block_on(async move {
             let k = Key::new("obj");
             s.put_version(&k, VersionNum(1), Value::blob(100, 1)).await;

@@ -49,7 +49,7 @@ fn invoke_request_runs_registered_function() {
 #[test]
 fn unknown_function_errors() {
     let (mut sim, _client, runtime) = setup(ProtocolKind::HalfmoonWrite, RuntimeConfig::default());
-    let rt = runtime.clone();
+    let rt = runtime;
     let out = sim.block_on(async move { rt.invoke_request("nope", Value::Null).await });
     assert!(matches!(
         out,
@@ -167,7 +167,7 @@ fn duplicate_peers_do_not_duplicate_effects() {
     assert!(runtime.duplicates() >= 1);
     recorder.check_all_generic().unwrap();
     // Re-read through the protocol: the counter was bumped exactly once.
-    let client2 = client.clone();
+    let client2 = client;
     let v = sim.block_on(async move {
         let id = client2.fresh_instance_id();
         let mut env = halfmoon::Env::init(&client2, halfmoon::InvocationSpec::new(id, NodeId(0)))
@@ -194,7 +194,7 @@ fn gateway_open_loop_reports_latency_and_throughput() {
             Ok(Value::Null)
         })
     });
-    let gateway = Gateway::new(runtime.clone());
+    let gateway = Gateway::new(runtime);
     let spec = LoadSpec {
         rate_per_sec: 200.0,
         duration: Duration::from_secs(5),
@@ -263,7 +263,7 @@ fn gc_driver_reclaims_periodically() {
     });
     let driver = GcDriver::start(client.clone(), NodeId(7), Duration::from_millis(100));
     let ctx = sim.ctx();
-    let rt = runtime.clone();
+    let rt = runtime;
     let work = ctx.spawn(async move {
         for i in 0..10 {
             rt.invoke_request("w", Value::Int(i)).await.unwrap();
@@ -314,7 +314,7 @@ fn suspect_timeout_launches_live_peer_safely() {
         "the slow attempt must have been suspected"
     );
     // Exactly one increment despite primary + suspected peer.
-    let client2 = client.clone();
+    let client2 = client;
     let v = sim.block_on(async move {
         let id = client2.fresh_instance_id();
         let mut env = halfmoon::Env::init(&client2, halfmoon::InvocationSpec::new(id, NodeId(0)))

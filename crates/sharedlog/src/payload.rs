@@ -41,3 +41,14 @@ impl Payload for hm_common::Value {
         hm_common::Value::size_bytes(self)
     }
 }
+
+/// Zero-copy payload: cloning bumps a refcount, and storage accounting
+/// charges the *logical* view length once per record — a record holding a
+/// narrow window of a large shared buffer is charged only its window, and
+/// two records sharing one buffer each charge their own view (§6.3 counts
+/// what a real log would persist per record, not process-level residency).
+impl Payload for hm_common::SharedBytes {
+    fn size_bytes(&self) -> usize {
+        self.len()
+    }
+}

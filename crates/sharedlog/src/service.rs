@@ -48,8 +48,11 @@
 //! With `batch_max_records <= 1` (the default) none of this code runs and
 //! the append path is the pre-batching code, bit for bit.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::future::{poll_fn, Future};
+use std::pin::pin;
 use std::rc::Rc;
+use std::task::{Poll, Waker};
 use std::time::Duration;
 
 use hm_common::collections::TagSet;
@@ -156,9 +159,14 @@ impl Default for LogConfig {
 
 /// One append parked in a shard's open batch, waiting for the flush that
 /// will sequence it.
+///
+/// Everything in a member is a pointer bump or a `Copy` to move: tags are
+/// an inline [`TagSet`], the payload's `Clone` is refcounted for protocol
+/// records, and the outcome cell is recycled through the service's pool —
+/// parking an append allocates nothing in steady state.
 struct PendingAppend<P> {
     node: NodeId,
-    tags: Vec<Tag>,
+    tags: TagSet,
     payload: P,
     /// `Some((cond_tag, cond_pos))` for `cond_append` members; the check
     /// is evaluated at flush time, atomically with the install, exactly as
@@ -171,9 +179,29 @@ struct PendingAppend<P> {
     /// instant on the right trace.
     scope: TraceScope,
     /// Where the flush deposits this member's result before opening the
-    /// gate. Plain appends receive `Appended`.
-    outcome: Rc<RefCell<Option<CondAppendOutcome>>>,
+    /// gate. Plain appends receive `Appended`. Pooled: see
+    /// [`LogService::recycle_outcome_cell`].
+    outcome: OutcomeCell,
 }
+
+/// A batched append's result slot: written once by the flush task, read
+/// once by the waiting appender after the gate opens. `Cell` (not
+/// `RefCell`): the outcome is `Copy` and the slot needs no borrow tracking.
+type OutcomeCell = Rc<Cell<Option<CondAppendOutcome>>>;
+
+/// Most member vectors the service keeps around for reuse. Batches churn at
+/// flush rate, so a handful per shard covers every in-flight flush; beyond
+/// that, dropping the excess is cheaper than hoarding arbitrary capacity.
+const BATCH_POOL_CAP: usize = 32;
+
+/// Most outcome cells kept for reuse — two full batches per shard at the
+/// default topology, enough that steady-state batching never allocates one.
+const OUTCOME_POOL_CAP: usize = 256;
+
+/// Most retired gates kept for reuse. A gate can only be recycled once its
+/// last waiter has dropped it, which happens a storage round-trip after the
+/// batch flushed — so retired gates park here until they go quiescent.
+const GATE_POOL_CAP: usize = 32;
 
 /// Why a batch flushed — bookkept into [`FlushStats`].
 #[derive(Clone, Copy)]
@@ -203,6 +231,16 @@ struct BatchState<P> {
     pending: Vec<PendingAppend<P>>,
     /// Gate of the open batch; replaced when a new batch opens.
     gate: Gate,
+    /// Waker of the armed deadline task, tagged with the epoch it guards.
+    /// A size trigger *hands its claimed batch to that task* (through
+    /// `handoff`) instead of spawning a fresh flush task — the deadline
+    /// task is already sitting there parked on its delay, so reusing it
+    /// saves one task allocation per batch on the hot path.
+    deadline_waker: Option<(u64, Waker)>,
+    /// A size-claimed batch parked for the woken deadline task to flush,
+    /// tagged with the epoch it was claimed from so a stale task (armed
+    /// for an older batch) can never pick up a newer batch's work.
+    handoff: Option<(u64, ClaimedBatch<P>)>,
 }
 
 impl<P> BatchState<P> {
@@ -211,6 +249,8 @@ impl<P> BatchState<P> {
             epoch: 0,
             pending: Vec::new(),
             gate: Gate::new(),
+            deadline_waker: None,
+            handoff: None,
         }
     }
 }
@@ -222,6 +262,31 @@ struct ServiceInner<P> {
     batchers: Vec<BatchState<P>>,
     /// Optional tracing sink, shared by all handle clones.
     tracer: Option<Rc<Tracer>>,
+    /// Flush arena: member vectors recycled between batches. A claim swaps
+    /// a pooled (empty, capacity-retaining) vector in for the open batch;
+    /// the flush drains its members and returns the vector here. Steady-
+    /// state batching therefore reuses the same few allocations forever.
+    batch_pool: Vec<Vec<PendingAppend<P>>>,
+    /// Recycled outcome cells (see [`OutcomeCell`]). A cell returns here
+    /// only when its waiter holds the last reference, so recycling can
+    /// never alias a live batch member.
+    outcome_pool: Vec<OutcomeCell>,
+    /// Retired batch gates awaiting quiescence. A new batch adopts the
+    /// first pooled gate whose [`Gate::try_reset`] succeeds (sole owner —
+    /// no waiter can observe the reset), keeping gate allocation off the
+    /// steady-state append path.
+    gate_pool: Vec<Gate>,
+    /// Scratch for [`LogService::install`]'s touched-shard dedup list.
+    /// Bounded by the shard count; reused across every install.
+    touched_scratch: Vec<u8>,
+    /// Scratch for [`LogService::trim`]'s drained-seqnum list.
+    trim_scratch: Vec<SeqNum>,
+    /// Scratch for [`LogService::trim`]'s per-shard freed-bytes tally.
+    freed_scratch: Vec<usize>,
+    /// Scratch for [`LogService::read_stream`]'s seqnum snapshot. Taken
+    /// (not borrowed) across the read's await; a reentrant reader simply
+    /// falls back to a fresh vector.
+    stream_scratch: Vec<SeqNum>,
 }
 
 impl<P> ServiceInner<P> {
@@ -306,6 +371,13 @@ impl<P: Payload> LogService<P> {
                     .collect(),
                 batchers: (0..shards).map(|_| BatchState::new()).collect(),
                 tracer: None,
+                batch_pool: Vec::new(),
+                outcome_pool: Vec::new(),
+                gate_pool: Vec::new(),
+                touched_scratch: Vec::new(),
+                trim_scratch: Vec::new(),
+                freed_scratch: Vec::new(),
+                stream_scratch: Vec::new(),
             })),
         }
     }
@@ -432,7 +504,12 @@ impl<P: Payload> LogService<P> {
     /// sequencer and returns once the batch's coalesced flush has
     /// sequenced and persisted it; the outcome and the client-visible
     /// ordering are unchanged.
-    pub async fn append(&self, node: NodeId, tags: Vec<Tag>, payload: P) -> SeqNum {
+    ///
+    /// `tags` accepts anything convertible to a [`TagSet`]: a `Vec<Tag>`,
+    /// a `&[Tag]`, or — allocation-free for the common ≤ 4-tag case — an
+    /// array like `[step, obj]`.
+    pub async fn append(&self, node: NodeId, tags: impl Into<TagSet>, payload: P) -> SeqNum {
+        let tags: TagSet = tags.into();
         let scope = self.trace_begin("log_append");
         let home = self.home_shard(&tags);
         let total = self.ctx.with_rng(|rng| self.model.log_append.sample(rng));
@@ -446,7 +523,7 @@ impl<P: Payload> LogService<P> {
                 cond: None,
                 storage_part: total.saturating_sub(to_sequencer),
                 scope: scope.clone(),
-                outcome: Rc::new(RefCell::new(None)),
+                outcome: self.take_outcome_cell(),
             };
             let outcome = self.append_batched(home, member).await;
             self.trace_end(&scope);
@@ -571,11 +648,12 @@ impl<P: Payload> LogService<P> {
     pub async fn cond_append(
         &self,
         node: NodeId,
-        tags: Vec<Tag>,
+        tags: impl Into<TagSet>,
         payload: P,
         cond_tag: Tag,
         cond_pos: usize,
     ) -> CondAppendOutcome {
+        let tags: TagSet = tags.into();
         debug_assert!(
             tags.contains(&cond_tag),
             "cond_tag must be among the record's tags"
@@ -593,7 +671,7 @@ impl<P: Payload> LogService<P> {
                 cond: Some((cond_tag, cond_pos)),
                 storage_part: total.saturating_sub(to_sequencer),
                 scope: scope.clone(),
-                outcome: Rc::new(RefCell::new(None)),
+                outcome: self.take_outcome_cell(),
             };
             let outcome = self.append_batched(home, member).await;
             self.trace_end(&scope);
@@ -652,9 +730,26 @@ impl<P: Payload> LogService<P> {
         let outcome = member.outcome.clone();
         let (gate, first, full, epoch) = {
             let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
             let batcher = &mut inner.batchers[home as usize];
-            if batcher.pending.is_empty() {
-                batcher.gate = Gate::new();
+            if batcher.pending.is_empty() && !batcher.gate.try_reset() {
+                // The previous batch's waiters still hold the gate: retire
+                // it to the pool (it goes quiescent once they resume) and
+                // adopt the first pooled gate that has, falling back to a
+                // fresh one sized for a full batch.
+                let mut adopted = None;
+                for i in 0..inner.gate_pool.len() {
+                    if inner.gate_pool[i].try_reset() {
+                        adopted = Some(inner.gate_pool.swap_remove(i));
+                        break;
+                    }
+                }
+                let fresh = adopted
+                    .unwrap_or_else(|| Gate::with_capacity(self.config.batch_max_records));
+                let retired = std::mem::replace(&mut batcher.gate, fresh);
+                if inner.gate_pool.len() < GATE_POOL_CAP {
+                    inner.gate_pool.push(retired);
+                }
             }
             batcher.pending.push(member);
             (
@@ -667,27 +762,66 @@ impl<P: Payload> LogService<P> {
         if full {
             // The filling member claims synchronously (no await between the
             // push above and this claim, so the batch cannot change under
-            // us) and hands the flush to a detached task.
+            // us) and hands the flush to this batch's deadline task instead
+            // of spawning a fresh task: if the task is parked on its delay,
+            // waking it enqueues the flush at exactly the point a spawned
+            // task would have been; if it has not first-polled yet, it is
+            // still in the ready queue behind us and picks the handoff up
+            // on that first poll. Either way the per-batch flush-task
+            // allocation disappears from the hot path.
             if let Some(batch) = self.claim_batch(home, Some(epoch)) {
-                self.spawn_flush(home, batch, FlushTrigger::Size);
+                match self.hand_off_to_deadline_task(home, epoch, batch) {
+                    Ok(Some(waker)) => waker.wake(),
+                    Ok(None) => {} // task still in the ready queue; it checks the slot
+                    Err(batch) => self.spawn_flush(home, batch, FlushTrigger::Size),
+                }
             }
         } else if first {
             // First member arms the deadline. The task is detached (owned
-            // by the sequencer, not by any function node's failure domain),
-            // and stands down if a size or forced trigger claimed the batch
-            // first — the epoch will have moved on.
+            // by the sequencer, not by any function node's failure domain).
+            // It flushes the batch on whichever trigger fires first: a
+            // size trigger hands the claimed batch over (above), or the
+            // delay elapses and the task claims the batch itself — unless
+            // a forced trigger claimed it first (the epoch moved on), in
+            // which case it stands down.
             let svc = self.clone();
             let delay = self.config.batch_max_delay;
-            self.ctx.spawn(async move {
-                svc.ctx.sleep(delay).await;
-                if let Some(batch) = svc.claim_batch(home, Some(epoch)) {
+            self.ctx.spawn_detached(async move {
+                if let Some(batch) = svc.deadline_or_handoff(home, epoch, delay).await {
+                    svc.flush_batch(home, batch, FlushTrigger::Size).await;
+                } else if let Some(batch) = svc.claim_batch(home, Some(epoch)) {
                     svc.flush_batch(home, batch, FlushTrigger::Deadline).await;
                 }
             });
         }
         gate.wait().await;
-        let delivered = outcome.borrow_mut().take();
+        let delivered = outcome.take();
+        self.recycle_outcome_cell(outcome);
         delivered.expect("batch flush must deliver an outcome before opening the gate")
+    }
+
+    /// Pops a recycled outcome cell, or allocates the pool's first few.
+    fn take_outcome_cell(&self) -> OutcomeCell {
+        self.inner
+            .borrow_mut()
+            .outcome_pool
+            .pop()
+            .unwrap_or_else(|| Rc::new(Cell::new(None)))
+    }
+
+    /// Returns an outcome cell to the pool — but only if the caller holds
+    /// the *last* reference. The flush task drops its clone before opening
+    /// the gate, so the waiter normally does; if an appender crashed at the
+    /// gate, its cell stays owned by whoever still references it and is
+    /// simply never recycled (correctness over reuse).
+    fn recycle_outcome_cell(&self, cell: OutcomeCell) {
+        if Rc::strong_count(&cell) == 1 {
+            cell.set(None);
+            let mut inner = self.inner.borrow_mut();
+            if inner.outcome_pool.len() < OUTCOME_POOL_CAP {
+                inner.outcome_pool.push(cell);
+            }
+        }
     }
 
     /// Atomically takes `shard`'s open batch, closing it to new members.
@@ -697,15 +831,92 @@ impl<P: Payload> LogService<P> {
     /// flush.
     fn claim_batch(&self, shard: u8, expected_epoch: Option<u64>) -> Option<ClaimedBatch<P>> {
         let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
         let batcher = &mut inner.batchers[shard as usize];
         if batcher.pending.is_empty() || expected_epoch.is_some_and(|e| e != batcher.epoch) {
             return None;
         }
         batcher.epoch += 1;
+        // Swap a recycled vector in so the next batch opens with capacity
+        // already in hand (the flush returns `members` to the pool).
+        let fresh = inner.batch_pool.pop().unwrap_or_default();
         Some(ClaimedBatch {
-            members: std::mem::take(&mut batcher.pending),
+            members: std::mem::replace(&mut batcher.pending, fresh),
             gate: batcher.gate.clone(),
         })
+    }
+
+    /// Parks a size-claimed batch in `shard`'s handoff slot for the
+    /// deadline task armed at `epoch`. The task is guaranteed to find it:
+    /// either it already parked its waker (returned here for the caller to
+    /// wake *outside* the borrow), or it has not first-polled yet — it is
+    /// still sitting in the ready queue behind this appender and checks
+    /// the slot on its first poll. Fails only when an earlier epoch's
+    /// handoff is still unconsumed (a same-instant pile-up of two full
+    /// batches); the caller then spawns a flush task for this one.
+    fn hand_off_to_deadline_task(
+        &self,
+        shard: u8,
+        epoch: u64,
+        batch: ClaimedBatch<P>,
+    ) -> Result<Option<Waker>, ClaimedBatch<P>> {
+        let mut inner = self.inner.borrow_mut();
+        let batcher = &mut inner.batchers[shard as usize];
+        if batcher.handoff.is_some() {
+            return Err(batch);
+        }
+        batcher.handoff = Some((epoch, batch));
+        let waker = match &batcher.deadline_waker {
+            Some((e, _)) if *e == epoch => {
+                Some(batcher.deadline_waker.take().expect("checked above").1)
+            }
+            _ => None,
+        };
+        Ok(waker)
+    }
+
+    /// The armed deadline task's wait: resolves with the claimed batch if a
+    /// size trigger handed one over for `epoch`, or with `None` once
+    /// `delay` elapses (the caller then claims the batch itself, or stands
+    /// down if the epoch moved on). Parks this task's waker in the
+    /// batcher's slot so [`LogService::hand_off_to_deadline_task`] can
+    /// reach it; the slot is epoch-tagged, so a stale task never consumes
+    /// — or wakes for — a newer batch's work.
+    async fn deadline_or_handoff(
+        &self,
+        shard: u8,
+        epoch: u64,
+        delay: Duration,
+    ) -> Option<ClaimedBatch<P>> {
+        let mut sleep = pin!(self.ctx.sleep(delay));
+        poll_fn(|cx| {
+            {
+                let mut inner = self.inner.borrow_mut();
+                let batcher = &mut inner.batchers[shard as usize];
+                if batcher.handoff.as_ref().is_some_and(|(e, _)| *e == epoch) {
+                    let (_, batch) = batcher.handoff.take().expect("checked above");
+                    return Poll::Ready(Some(batch));
+                }
+            }
+            if sleep.as_mut().poll(cx).is_ready() {
+                // Deadline path: drop our parked waker (if a newer batch's
+                // task already overwrote the slot, leave theirs alone).
+                let mut inner = self.inner.borrow_mut();
+                let batcher = &mut inner.batchers[shard as usize];
+                if batcher.deadline_waker.as_ref().is_some_and(|(e, _)| *e == epoch) {
+                    batcher.deadline_waker = None;
+                }
+                return Poll::Ready(None);
+            }
+            let mut inner = self.inner.borrow_mut();
+            let batcher = &mut inner.batchers[shard as usize];
+            match &mut batcher.deadline_waker {
+                Some((e, w)) if *e == epoch => w.clone_from(cx.waker()),
+                slot => *slot = Some((epoch, cx.waker().clone())),
+            }
+            Poll::Pending
+        })
+        .await
     }
 
     /// Runs [`LogService::flush_batch`] on a detached task. The flush is
@@ -713,7 +924,7 @@ impl<P: Payload> LogService<P> {
     /// triggered it may crash mid-flush without stranding its batch peers.
     fn spawn_flush(&self, shard: u8, batch: ClaimedBatch<P>, trigger: FlushTrigger) {
         let svc = self.clone();
-        self.ctx.spawn(async move {
+        self.ctx.spawn_detached(async move {
             svc.flush_batch(shard, batch, trigger).await;
         });
     }
@@ -731,12 +942,12 @@ impl<P: Payload> LogService<P> {
     /// a workload whose appends never actually share a batch consumes the
     /// exact RNG stream of an unbatched run.
     async fn flush_batch(&self, shard: u8, batch: ClaimedBatch<P>, trigger: FlushTrigger) {
-        let ClaimedBatch { members, gate } = batch;
+        let ClaimedBatch { mut members, gate } = batch;
         debug_assert!(!members.is_empty(), "claimed batches are never empty");
         self.sequencer_admission(shard).await;
         let mut batch_storage = Duration::ZERO;
         let count = members.len() as u64;
-        for m in members {
+        for m in members.drain(..) {
             batch_storage = batch_storage.max(m.storage_part);
             let outcome = match m.cond {
                 None => CondAppendOutcome::Appended(self.install(shard, m.node, m.tags, m.payload)),
@@ -776,10 +987,11 @@ impl<P: Payload> LogService<P> {
                     });
                 }
             }
-            *m.outcome.borrow_mut() = Some(outcome);
+            m.outcome.set(Some(outcome));
         }
         {
             let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
             let flush = &mut inner.shards[shard as usize].flush;
             flush.flushes += 1;
             flush.records += count;
@@ -787,6 +999,11 @@ impl<P: Payload> LogService<P> {
                 FlushTrigger::Size => flush.size_trigger += 1,
                 FlushTrigger::Deadline => flush.deadline_trigger += 1,
                 FlushTrigger::Forced => flush.forced_trigger += 1,
+            }
+            // Members are drained; hand the (empty) vector back to the
+            // arena so the next claim reuses its capacity.
+            if inner.batch_pool.len() < BATCH_POOL_CAP {
+                inner.batch_pool.push(std::mem::take(&mut members));
             }
         }
         let storage = self.quorum_storage_latency(shard, batch_storage);
@@ -841,21 +1058,23 @@ impl<P: Payload> LogService<P> {
     /// record on `home`'s slab, and pushes index entries into every tag's
     /// sub-stream (on whichever shard owns it). Bytes and the append
     /// counter are charged to the home shard only.
-    fn install(&self, home: u8, node: NodeId, tags: Vec<Tag>, payload: P) -> SeqNum {
+    fn install(&self, home: u8, node: NodeId, tags: TagSet, payload: P) -> SeqNum {
         let now = self.ctx.now();
         let mut inner = self.inner.borrow_mut();
         let inner = &mut *inner;
         let slot_idx = inner.shards[home as usize].slots.len() as u32;
         let seqnum = inner.router.assign(home, slot_idx);
         let bytes = payload.size_bytes() + RECORD_META_BYTES;
-        let mut memberships = Memberships::new();
+        let mut memberships = Memberships::with_capacity(tags.len());
         // Shards touched by this record, home first (dedup'd): each hosts
-        // a copy in the appending node's per-shard cache.
-        let mut touched: Vec<u8> = vec![home];
-        for &tag in &tags {
+        // a copy in the appending node's per-shard cache. Scratch-backed —
+        // bounded by the shard count and reused across installs.
+        inner.touched_scratch.clear();
+        inner.touched_scratch.push(home);
+        for &tag in tags.as_slice() {
             let shard = inner.router.shard_of(tag).0;
-            if !touched.contains(&shard) {
-                touched.push(shard);
+            if !inner.touched_scratch.contains(&shard) {
+                inner.touched_scratch.push(shard);
             }
             let stream = inner.shards[shard as usize].streams.entry(tag).or_default();
             memberships.push(tag, stream.len_total() as u64);
@@ -865,7 +1084,7 @@ impl<P: Payload> LogService<P> {
         let record = Rc::new(LogRecord {
             seqnum,
             shard: ShardId(home),
-            tags: TagSet::from_vec(tags),
+            tags,
             payload,
         });
         let state = &mut inner.shards[home as usize];
@@ -878,7 +1097,8 @@ impl<P: Payload> LogService<P> {
         state.live += 1;
         // The appending node caches its own record, on every shard whose
         // streams index it (exactly one insert in a 1-shard topology).
-        for &shard in &touched {
+        for i in 0..inner.touched_scratch.len() {
+            let shard = inner.touched_scratch[i];
             inner.shards[shard as usize].cache_for(node).insert(seqnum);
         }
         let state = &mut inner.shards[home as usize];
@@ -960,18 +1180,26 @@ impl<P: Payload> LogService<P> {
     /// `getStepLogs`). Costs one read round; Boki batches this scan.
     pub async fn read_stream(&self, node: NodeId, tag: Tag) -> Vec<Rc<LogRecord<P>>> {
         let scope = self.trace_begin("log_read_stream");
-        let (shard, seqnums) = {
-            let inner = self.inner.borrow();
+        // Snapshot the stream's seqnums into the recycled scratch buffer —
+        // taken out of the service (not borrowed) because the read sleeps
+        // below; a reentrant reader just falls back to a fresh vector.
+        let (shard, mut seqnums) = {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
             let shard = inner.router.shard_of(tag).0;
-            let seqnums = inner.shards[shard as usize]
-                .streams
-                .get(&tag)
-                .map_or_else(Vec::new, |s| s.seqnums.clone());
-            (shard, seqnums)
+            let mut buf = std::mem::take(&mut inner.stream_scratch);
+            buf.clear();
+            if let Some(s) = inner.shards[shard as usize].streams.get(&tag) {
+                buf.extend_from_slice(&s.seqnums);
+            }
+            (shard, buf)
         };
         self.pay_read(shard, node, seqnums.first().copied(), &scope).await;
         self.trace_end(&scope);
-        seqnums.into_iter().map(|sn| self.fetch(sn)).collect()
+        let records = seqnums.iter().map(|&sn| self.fetch(sn)).collect();
+        seqnums.clear();
+        self.inner.borrow_mut().stream_scratch = seqnums;
+        records
     }
 
     /// [`LogService::read_stream`] plus §5 recovery accounting: how many
@@ -1047,14 +1275,18 @@ impl<P: Payload> LogService<P> {
                 None => stream.seqnums.partition_point(|&sn| sn <= upto),
             }
         };
-        let drained: Vec<SeqNum> = {
+        // Scratch-backed drain: the trimmed entries and the per-shard
+        // freed-bytes tally reuse the service's buffers across trims.
+        inner.trim_scratch.clear();
+        {
             let stream = inner.shards[home].streams.get_mut(&tag).expect("checked above");
-            let drained = stream.seqnums.drain(..cut).collect();
+            inner.trim_scratch.extend(stream.seqnums.drain(..cut));
             stream.trimmed += cut;
-            drained
-        };
-        let mut freed = vec![0usize; inner.shards.len()];
-        for sn in drained {
+        }
+        inner.freed_scratch.clear();
+        inner.freed_scratch.resize(inner.shards.len(), 0);
+        for i in 0..inner.trim_scratch.len() {
+            let sn = inner.trim_scratch[i];
             // Each drained entry is one stream membership dying; the record
             // is reclaimed — from its *owning* shard's slab — exactly when
             // its last membership dies, so bytes are freed exactly once per
@@ -1069,13 +1301,13 @@ impl<P: Payload> LogService<P> {
                 .expect("stream index referenced a reclaimed record");
             slot.live_streams -= 1;
             if slot.live_streams == 0 {
-                freed[owner] += slot.bytes;
+                inner.freed_scratch[owner] += slot.bytes;
                 inner.shards[owner].slots[slot_idx] = None;
                 inner.shards[owner].live -= 1;
             }
         }
-        let freed_total: usize = freed.iter().sum();
-        for (shard, &bytes) in freed.iter().enumerate() {
+        let freed_total: usize = inner.freed_scratch.iter().sum();
+        for (shard, &bytes) in inner.freed_scratch.iter().enumerate() {
             // The home shard's gauge always records the trim (even a
             // zero-byte one); foreign shards only when a record of theirs
             // actually died.
@@ -1334,7 +1566,7 @@ mod tests {
         let (mut sim, log) = setup();
         let ctx = sim.ctx();
         let l1 = log.clone();
-        let l2 = log.clone();
+        let l2 = log;
         let ctx2 = ctx.clone();
         let h1 = ctx.spawn(async move { l1.append(N0, vec![t("a")], "first".into()).await });
         let h2 = ctx.spawn(async move {
@@ -1350,7 +1582,7 @@ mod tests {
     #[test]
     fn read_prev_seeks_backward_inclusive() {
         let (mut sim, log) = setup();
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             let s1 = l.append(N0, vec![t("k")], "v1".into()).await;
             let _s2 = l.append(N0, vec![t("k")], "v2".into()).await;
@@ -1368,7 +1600,7 @@ mod tests {
     #[test]
     fn read_next_seeks_forward_inclusive() {
         let (mut sim, log) = setup();
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             let s1 = l.append(N0, vec![t("k")], "v1".into()).await;
             let s2 = l.append(N0, vec![t("k")], "v2".into()).await;
@@ -1383,7 +1615,7 @@ mod tests {
     #[test]
     fn multi_tag_records_visible_in_all_streams() {
         let (mut sim, log) = setup();
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             let sn = l.append(N0, vec![t("step"), t("obj")], "w".into()).await;
             assert_eq!(
@@ -1403,7 +1635,7 @@ mod tests {
     #[test]
     fn read_stream_returns_history_in_order() {
         let (mut sim, log) = setup();
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             for i in 0..4 {
                 l.append(N0, vec![t("hist")], format!("r{i}")).await;
@@ -1417,7 +1649,7 @@ mod tests {
     #[test]
     fn cond_append_success_then_conflict() {
         let (mut sim, log) = setup();
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             let tag = t("inst");
             let out = l.cond_append(N0, vec![tag], "step0".into(), tag, 0).await;
@@ -1470,7 +1702,7 @@ mod tests {
     #[test]
     fn trim_removes_prefix_and_keeps_offsets_stable() {
         let (mut sim, log) = setup();
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             let tag = t("gc");
             let mut sns = Vec::new();
@@ -1489,7 +1721,7 @@ mod tests {
     #[test]
     fn trim_respects_multi_tag_references() {
         let (mut sim, log) = setup();
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             let (a, b) = (t("a"), t("b"));
             let sn = l.append(N0, vec![a, b], "shared".into()).await;
@@ -1512,7 +1744,7 @@ mod tests {
     #[test]
     fn trim_byte_accounting_exact_through_retag_cycles() {
         let (mut sim, log) = setup();
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             let (a, b) = (t("cycle_a"), t("cycle_b"));
             // Shared record, then a solo record on `a`.
@@ -1553,9 +1785,46 @@ mod tests {
     }
 
     #[test]
+    fn shared_bytes_payload_charges_logical_size_once() {
+        let mut sim = Sim::new(11);
+        let log: LogService<hm_common::SharedBytes> = LogService::new(
+            sim.ctx(),
+            LatencyModel::uniform_test_model(),
+            LogConfig::default(),
+        );
+        let l = log;
+        sim.block_on(async move {
+            let (a, b) = (t("sb_a"), t("sb_b"));
+            let buf = hm_common::SharedBytes::copy_from(&[7u8; 100]);
+            // Two records over one backing buffer: each charges its full
+            // logical length (the paper's storage units are per record,
+            // not per heap allocation), and the zero-copy clone/slice
+            // machinery must not make the charge depend on sharing.
+            l.append(N0, [a], buf.clone()).await;
+            l.append(N0, [b], buf.slice(0, 100)).await;
+            let full = (100 + RECORD_META_BYTES) as f64;
+            assert_eq!(l.current_bytes(), 2.0 * full);
+            // A narrower view charges its view length, not the backing
+            // buffer's capacity.
+            l.append(N0, [a], buf.slice(0, 10)).await;
+            let narrow = (10 + RECORD_META_BYTES) as f64;
+            assert_eq!(l.current_bytes(), 2.0 * full + narrow);
+            // Trim frees exactly what install charged, even though the
+            // caller (and any replica holding a refcount clone) still
+            // keeps the backing buffer alive.
+            l.trim(N0, a, l.head_seqnum()).await;
+            assert_eq!(l.current_bytes(), full, "only b's record remains");
+            l.trim(N0, b, l.head_seqnum()).await;
+            assert_eq!(l.current_bytes(), 0.0);
+            assert_eq!(l.live_records(), 0);
+            assert_eq!(buf.as_slice()[0], 7, "caller's view unaffected");
+        });
+    }
+
+    #[test]
     fn trim_bound_past_duplicate_tags_removes_all_copies() {
         let (mut sim, log) = setup();
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             let a = t("dup_bound");
             // The bound record itself carries the tag twice: the O(1) cut
@@ -1633,7 +1902,7 @@ mod tests {
                 ..LogConfig::default()
             },
         );
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             // Three appends from node 0: its cache (capacity 2) must evict
             // the first record.
@@ -1666,7 +1935,7 @@ mod tests {
                 ..LogConfig::default()
             },
         );
-        let l = log.clone();
+        let l = log;
         let ctx = sim.ctx();
         sim.block_on(async move {
             let s1 = l.append(N0, vec![t("p1")], "a".into()).await;
@@ -1689,7 +1958,7 @@ mod tests {
     #[test]
     fn node_caches_are_independent() {
         let (mut sim, log) = setup();
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             let sn = l.append(N0, vec![t("i")], "v".into()).await;
             // Node 0 (appender) hits; nodes 1 and 2 each miss once.
@@ -1709,7 +1978,7 @@ mod tests {
         // trimmed, and foreign records must all agree with the definition
         // (latest ≤ max / earliest ≥ min over the live stream).
         let (mut sim, log) = setup();
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             let (a, other) = (t("off_a"), t("off_o"));
             let mut sns = Vec::new();
@@ -1736,7 +2005,7 @@ mod tests {
     #[test]
     fn replay_stream_reports_trim_horizon() {
         let (mut sim, log) = setup();
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             let tag = t("replay");
             let mut sns = Vec::new();
@@ -1766,7 +2035,7 @@ mod tests {
     #[test]
     fn clear_node_cache_forces_cold_reads() {
         let (mut sim, log) = setup();
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             let tag = t("cold");
             l.append(N0, vec![tag], "v".into()).await;
@@ -1966,7 +2235,7 @@ mod sharding_tests {
         let log = sharded(&sim, 4);
         let a = tag_on_shard(4, 2);
         let b = second_tag_on_shard(4, 2, a);
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             let sn = l.append(N0, vec![a, b], "payload".into()).await;
             // One record, two streams on one shard — bytes charged once.
@@ -1993,7 +2262,7 @@ mod sharding_tests {
         let log = sharded(&sim, 4);
         let a = tag_on_shard(4, 0);
         let b = tag_on_shard(4, 3);
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             let sn = l.append(N0, vec![a, b], "xs".into()).await;
             let once = ("xs".len() + RECORD_META_BYTES) as f64;
@@ -2025,7 +2294,7 @@ mod sharding_tests {
         let on0 = tag_on_shard(2, 0);
         let on1 = tag_on_shard(2, 1);
         let ctx = sim.ctx();
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             // Knock shard 1 below quorum; shard 0 keeps a full quorum.
             l.fail_storage_replica_on(ShardId(1), 0);
@@ -2056,7 +2325,7 @@ mod sharding_tests {
         let log = sharded(&sim, 4);
         let a = tag_on_shard(4, 1);
         let b = tag_on_shard(4, 2);
-        let l = log.clone();
+        let l = log;
         sim.block_on(async move {
             let s1 = l.append(N0, vec![a], "1".into()).await;
             let s2 = l.append(N0, vec![b], "2".into()).await;
@@ -2331,5 +2600,83 @@ mod sharding_tests {
             grouped < solo / 2.0,
             "group commit must amortize admissions: batched {grouped}s vs solo {solo}s"
         );
+    }
+
+    #[test]
+    fn crashed_appender_leaves_batch_peers_payloads_intact() {
+        // An appender that dies while parked at the batch gate has already
+        // handed its record to the sequencer: the batch still flushes it,
+        // peers on the same gate complete normally, and — the refcount
+        // property the zero-copy path must uphold — nobody observes a
+        // freed or cleared payload, even though the crashed task dropped
+        // its half of every shared handle (payload clone, outcome cell,
+        // gate waiter) mid-flight.
+        use hm_sim::sync::TaskGroup;
+
+        let mut sim = Sim::new(11);
+        let log: LogService<hm_common::SharedBytes> = LogService::new(
+            sim.ctx(),
+            LatencyModel::uniform_test_model(),
+            LogConfig {
+                batch_max_records: 8, // > appender count: only the deadline flushes
+                batch_max_delay: SimTime::from_millis(5),
+                ..LogConfig::default()
+            },
+        );
+        let ctx = sim.ctx();
+        let tag = t("crash_batch");
+        let node_a = TaskGroup::new();
+        let doomed = hm_common::SharedBytes::copy_from(b"doomed-but-durable");
+
+        // Appender on the failure domain `node_a`: enqueues, parks, dies.
+        let l1 = log.clone();
+        let g1 = node_a.clone();
+        let d1 = doomed.clone();
+        let crashed = ctx.spawn(async move { g1.run(l1.append(N0, [tag], d1)).await });
+
+        // Peer appender sharing the batch (and its gate).
+        let l2 = log.clone();
+        let c2 = ctx.clone();
+        let peer = ctx.spawn(async move {
+            c2.sleep(SimTime::from_micros(1)).await;
+            l2.append(N1, [tag], hm_common::SharedBytes::copy_from(b"peer"))
+                .await
+        });
+
+        // Crash node_a once both records are enqueued but the batch has
+        // not flushed (the deadline is comfortably far away).
+        let c3 = ctx.clone();
+        let lc = log.clone();
+        ctx.spawn(async move {
+            let shard = lc.shard_of(tag);
+            while lc.pending_batch_len(shard) < 2 {
+                c3.sleep(SimTime::from_micros(5)).await;
+            }
+            node_a.cancel();
+        });
+
+        sim.run();
+        assert!(
+            crashed.try_take().expect("resolved").is_err(),
+            "appender must have been cancelled while parked"
+        );
+        let peer_sn = peer.try_take().expect("peer completed");
+        let flush = log.flush_stats();
+        assert_eq!(flush.flushes, 1);
+        assert_eq!(flush.records, 2, "crashed record still flushed");
+        assert_eq!(flush.deadline_trigger, 1);
+
+        // Both payloads are live and intact in the log.
+        let sns = log.peek_stream(tag);
+        assert_eq!(sns.len(), 2);
+        let first = log.peek_record(sns[0]).expect("crashed record installed");
+        assert_eq!(first.payload.as_slice(), b"doomed-but-durable");
+        assert!(
+            first.payload.ptr_eq(&doomed),
+            "zero-copy: the log shares the appender's buffer, no deep copy"
+        );
+        let second = log.peek_record(peer_sn).expect("peer record installed");
+        assert_eq!(second.payload.as_slice(), b"peer");
+        assert_eq!(log.live_records(), 2);
     }
 }

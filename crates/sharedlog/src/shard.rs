@@ -102,11 +102,18 @@ pub(crate) struct Memberships {
 }
 
 impl Memberships {
-    pub(crate) fn new() -> Memberships {
+    /// A memberships set expecting `tags` entries: for the spilling case
+    /// (more than [`MEMBER_INLINE`] tags) the spill vector is sized once
+    /// up front instead of growing through doublings.
+    pub(crate) fn with_capacity(tags: usize) -> Memberships {
         Memberships {
             len: 0,
             inline: [(Tag(0), 0); MEMBER_INLINE],
-            spill: Vec::new(),
+            spill: if tags > MEMBER_INLINE {
+                Vec::with_capacity(tags)
+            } else {
+                Vec::new()
+            },
         }
     }
 

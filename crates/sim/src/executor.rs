@@ -60,9 +60,14 @@ impl ReadyQueue {
 
 /// Per-task waker payload: created once at spawn, shared by every clone of
 /// the task's `Waker`.
+///
+/// `idx`/`gen` are `Cell`s so a retired payload can be re-targeted at a new
+/// task and recycled through [`Inner::take_wake_data`] — legal only while the
+/// executor holds the sole strong reference (checked at recycle time), so no
+/// live `Waker` clone can ever observe the retarget.
 struct WakeData {
-    idx: u32,
-    gen: u32,
+    idx: Cell<u32>,
+    gen: Cell<u32>,
     ready: Rc<ReadyQueue>,
 }
 
@@ -80,12 +85,12 @@ unsafe fn clone_w(p: *const ()) -> RawWaker {
 
 unsafe fn wake_w(p: *const ()) {
     let data = unsafe { Rc::from_raw(p.cast::<WakeData>()) };
-    data.ready.push(data.idx, data.gen);
+    data.ready.push(data.idx.get(), data.gen.get());
 }
 
 unsafe fn wake_by_ref_w(p: *const ()) {
     let data = unsafe { &*p.cast::<WakeData>() };
-    data.ready.push(data.idx, data.gen);
+    data.ready.push(data.idx.get(), data.gen.get());
 }
 
 unsafe fn drop_w(p: *const ()) {
@@ -107,6 +112,9 @@ struct TaskEntry {
     fut: LocalFuture,
     /// Built once at spawn; every poll borrows it instead of allocating.
     waker: Waker,
+    /// The payload behind `waker`, retained so task completion can recycle
+    /// it into [`Inner::waker_pool`] when no outside clone survives.
+    wake: Rc<WakeData>,
 }
 
 /// Generational slab of live tasks. `gens[i]` outlives the entry so stale
@@ -414,6 +422,46 @@ struct Inner {
     rng: RefCell<SmallRng>,
     /// Poll counter — useful for diagnosing runaway simulations in tests.
     polls: Cell<u64>,
+    /// Retired [`WakeData`] payloads awaiting reuse (every entry has strong
+    /// count 1). Spawning a task in steady state then allocates only the
+    /// boxed future, not the waker payload.
+    waker_pool: RefCell<Vec<Rc<WakeData>>>,
+}
+
+/// Upper bound on [`Inner::waker_pool`]; beyond this, retired payloads are
+/// simply dropped. Sized for bursty fan-out (a batch flush spawns two tasks;
+/// chaos plans spawn dozens) without pinning memory after a spike.
+const WAKER_POOL_CAP: usize = 256;
+
+impl Inner {
+    /// A waker payload targeting task `(idx, gen)` — recycled when the pool
+    /// has one, freshly allocated otherwise.
+    fn take_wake_data(&self, idx: u32, gen: u32) -> Rc<WakeData> {
+        if let Some(data) = self.waker_pool.borrow_mut().pop() {
+            data.idx.set(idx);
+            data.gen.set(gen);
+            data
+        } else {
+            Rc::new(WakeData {
+                idx: Cell::new(idx),
+                gen: Cell::new(gen),
+                ready: self.ready.clone(),
+            })
+        }
+    }
+
+    /// Returns a payload to the pool if the executor holds the only strong
+    /// reference — i.e. no timer slot, channel, or stashed `Waker` clone can
+    /// still wake through it. Otherwise the payload is dropped normally and
+    /// the stragglers keep their (stale, generation-guarded) handle.
+    fn recycle_wake_data(&self, data: Rc<WakeData>) {
+        if Rc::strong_count(&data) == 1 {
+            let mut pool = self.waker_pool.borrow_mut();
+            if pool.len() < WAKER_POOL_CAP {
+                pool.push(data);
+            }
+        }
+    }
 }
 
 /// A deterministic discrete-event simulation.
@@ -441,6 +489,7 @@ impl Sim {
                 timers: Rc::new(RefCell::new(TimerWheel::new())),
                 rng: RefCell::new(SmallRng::seed_from_u64(seed)),
                 polls: Cell::new(0),
+                waker_pool: RefCell::new(Vec::new()),
             }),
             fired: Vec::new(),
         }
@@ -578,6 +627,14 @@ impl Sim {
         match entry.fut.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
                 self.inner.tasks.borrow_mut().release(idx);
+                // Drop the future first (it may own `Waker` clones), then
+                // the task's own waker, so the payload's strong count
+                // reflects only clones that truly escaped — a clone parked
+                // in a timer slot or channel keeps the payload un-recycled.
+                let TaskEntry { fut, waker, wake } = entry;
+                drop(fut);
+                drop(waker);
+                self.inner.recycle_wake_data(wake);
             }
             Poll::Pending => {
                 self.inner.tasks.borrow_mut().slots[idx as usize] = Some(entry);
@@ -634,23 +691,39 @@ impl SimCtx {
                 w.wake();
             }
         });
-        let (idx, gen) = {
-            let mut tasks = inner.tasks.borrow_mut();
-            // Reserve the slot first so the waker can carry the right id.
-            let (idx, gen) = tasks.insert(TaskEntry {
-                fut: wrapped,
-                waker: Waker::noop().clone(),
-            });
-            let waker = make_waker(Rc::new(WakeData {
-                idx,
-                gen,
-                ready: inner.ready.clone(),
-            }));
-            tasks.slots[idx as usize].as_mut().expect("just inserted").waker = waker;
-            (idx, gen)
-        };
+        // The payload is targeted after insertion (slot id not known yet);
+        // the interim (0, 0) target is never visible — the task is pushed
+        // onto the ready queue only once `idx`/`gen` are set.
+        let wake = inner.take_wake_data(0, 0);
+        let waker = make_waker(wake.clone());
+        let (idx, gen) = inner.tasks.borrow_mut().insert(TaskEntry {
+            fut: wrapped,
+            waker,
+            wake: wake.clone(),
+        });
+        wake.idx.set(idx);
+        wake.gen.set(gen);
         inner.ready.push(idx, gen);
         JoinHandle { state }
+    }
+
+    /// Spawns a task nobody will join. Scheduling is identical to
+    /// [`SimCtx::spawn`] (same ready-queue push, same FIFO position); the
+    /// only difference is cost — no join-state allocation and no wrapper
+    /// future, for fire-and-forget hot paths like the shared log's
+    /// group-commit flushes.
+    pub fn spawn_detached(&self, fut: impl Future<Output = ()> + 'static) {
+        let inner = self.inner();
+        let wake = inner.take_wake_data(0, 0);
+        let waker = make_waker(wake.clone());
+        let (idx, gen) = inner.tasks.borrow_mut().insert(TaskEntry {
+            fut: Box::pin(fut),
+            waker,
+            wake: wake.clone(),
+        });
+        wake.idx.set(idx);
+        wake.gen.set(gen);
+        inner.ready.push(idx, gen);
     }
 
     /// Sleeps for `d` of virtual time.
@@ -851,7 +924,7 @@ mod tests {
         let mut sim = Sim::new(1);
         let ctx = sim.ctx();
         let out = sim.block_on({
-            let ctx = ctx.clone();
+            let ctx = ctx;
             async move {
                 let inner = ctx.spawn({
                     let ctx = ctx.clone();
@@ -960,7 +1033,7 @@ mod tests {
         let mut sim = Sim::new(1);
         let ctx = sim.ctx();
         sim.block_on({
-            let ctx = ctx.clone();
+            let ctx = ctx;
             async move {
                 ctx.sleep(Duration::from_millis(10)).await;
                 let before = ctx.now();
@@ -1087,7 +1160,7 @@ mod tests {
         assert!(sim.inner.tasks.borrow().slots.len() <= 51);
         assert!(sim.inner.timers.borrow().slots.len() <= 51);
         let more = sim.block_on({
-            let ctx = ctx.clone();
+            let ctx = ctx;
             async move {
                 ctx.sleep(Duration::from_millis(1)).await;
                 "reused"

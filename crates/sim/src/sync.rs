@@ -431,23 +431,59 @@ impl Gate {
     /// Creates a closed gate.
     #[must_use]
     pub fn new() -> Gate {
+        Gate::with_capacity(0)
+    }
+
+    /// Creates a closed gate with room for `waiters` parked tasks before
+    /// the waker list reallocates. Use when the waiter count is known up
+    /// front (the shared-log batcher sizes gates to the batch cap).
+    #[must_use]
+    pub fn with_capacity(waiters: usize) -> Gate {
         Gate {
             state: Rc::new(RefCell::new(GateState {
                 open: false,
-                wakers: Vec::new(),
+                wakers: Vec::with_capacity(waiters),
             })),
         }
     }
 
+    /// Closes this gate back up for reuse — but only if this handle is the
+    /// *last* reference, so no task can ever observe an open gate turning
+    /// closed (the one-shot contract holds for every observer). Returns
+    /// whether the reset happened; on `false` the caller should allocate a
+    /// fresh gate. Retains the waker list's capacity, which is the point:
+    /// a recycled gate parks its next round of waiters allocation-free.
+    #[must_use]
+    pub fn try_reset(&self) -> bool {
+        if Rc::strong_count(&self.state) != 1 {
+            return false;
+        }
+        let mut st = self.state.borrow_mut();
+        st.open = false;
+        // Wakers left by waiters whose futures died before the open; with
+        // a strong count of 1 no live future references this gate, so
+        // dropping them is exactly what dropping the gate would have done.
+        st.wakers.clear();
+        true
+    }
+
     /// Opens the gate, waking every waiter. Idempotent.
     pub fn open(&self) {
-        let wakers = {
+        let mut wakers = {
             let mut st = self.state.borrow_mut();
             st.open = true;
             std::mem::take(&mut st.wakers)
         };
-        for w in wakers {
+        for w in wakers.drain(..) {
             w.wake();
+        }
+        // Hand the emptied buffer back: waiting on an open gate never
+        // parks, so the buffer sits unused until a [`Gate::try_reset`]
+        // recycles the gate — at which point the retained capacity is what
+        // makes the next round of waiters allocation-free.
+        let mut st = self.state.borrow_mut();
+        if st.wakers.capacity() == 0 {
+            st.wakers = wakers;
         }
     }
 
@@ -865,7 +901,7 @@ mod tests {
             });
         }
         {
-            let gate = gate.clone();
+            let gate = gate;
             let ctx2 = ctx.clone();
             ctx.spawn(async move {
                 ctx2.sleep(Duration::from_millis(10)).await;
@@ -886,7 +922,7 @@ mod tests {
         gate.open();
         gate.open();
         assert!(gate.is_open());
-        let g = gate.clone();
+        let g = gate;
         sim.block_on(async move { g.wait().await });
         assert_eq!(sim.now(), Duration::ZERO, "open gate must not wait");
     }
@@ -917,7 +953,7 @@ mod tests {
             });
         }
         {
-            let gate = gate.clone();
+            let gate = gate;
             let ctx2 = ctx.clone();
             ctx.spawn(async move {
                 ctx2.sleep(Duration::from_millis(2)).await;
@@ -934,7 +970,7 @@ mod tests {
         let mut sim = Sim::new(1);
         let ctx = sim.ctx();
         let group = TaskGroup::new();
-        let ctx2 = ctx.clone();
+        let ctx2 = ctx;
         let got = sim.block_on(async move {
             group
                 .run(async move {
@@ -970,10 +1006,10 @@ mod tests {
                 group.cancel();
             });
         }
-        let ctx2 = ctx.clone();
+        let ctx2 = ctx;
         let flag = DropFlag(dropped.clone());
         let got = sim.block_on({
-            let group = group.clone();
+            let group = group;
             async move {
                 group
                     .run(async move {
@@ -1002,7 +1038,7 @@ mod tests {
         assert_eq!(got, Err(Cancelled), "cancelled group rejects new work");
         group.reset();
         assert!(!group.is_cancelled());
-        let g = group.clone();
+        let g = group;
         let got = sim.block_on(async move { g.run(async { 2u32 }).await });
         assert_eq!(got, Ok(2));
     }
@@ -1033,7 +1069,7 @@ mod tests {
         sim.run();
         assert_eq!(observed.get(), Duration::from_millis(2));
         // Already-cancelled group resolves immediately.
-        let g = group.clone();
+        let g = group;
         let mut sim2 = Sim::new(2);
         sim2.block_on(async move { g.cancelled().await });
     }

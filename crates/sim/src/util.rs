@@ -112,7 +112,7 @@ mod tests {
         let mut sim = Sim::new(1);
         let ctx = sim.ctx();
         let out = sim.block_on({
-            let ctx = ctx.clone();
+            let ctx = ctx;
             async move {
                 let handles: Vec<_> = (0..5u64)
                     .map(|i| {
@@ -135,7 +135,7 @@ mod tests {
         let mut sim = Sim::new(1);
         let ctx = sim.ctx();
         let (fast, slow, at) = sim.block_on({
-            let ctx = ctx.clone();
+            let ctx = ctx;
             async move {
                 let fast = {
                     let ctx2 = ctx.clone();
@@ -171,7 +171,7 @@ mod tests {
         let mut sim = Sim::new(1);
         let ctx = sim.ctx();
         let out = sim.block_on({
-            let ctx = ctx.clone();
+            let ctx = ctx;
             async move { timeout(&ctx, Duration::ZERO, async { 1 }).await }
         });
         assert_eq!(out, Ok(1));

@@ -101,7 +101,7 @@ fn main() {
         phase1.try_take().unwrap_or(0),
         phase2.try_take().unwrap_or(0)
     );
-    let switcher = Switcher::new(client.clone(), NodeId(0));
+    let switcher = Switcher::new(client, NodeId(0));
     let current = sim
         .block_on(async move { switcher.current_protocol().await })
         .unwrap();

@@ -23,8 +23,9 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
-echo "== lints: cargo clippy --all-targets -D warnings =="
-cargo clippy -q --all-targets -- -D warnings
+echo "== lints: cargo clippy --all-targets -D warnings (+ hot-path clone lints) =="
+cargo clippy -q --all-targets -- -D warnings \
+    -D clippy::redundant_clone -D clippy::needless_pass_by_value
 
 echo "== docs: cargo doc --no-deps -D warnings =="
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps
@@ -42,19 +43,48 @@ assert d["bench"] == "sim_core", d
 assert isinstance(d["total_wall_ms"], float) and d["total_wall_ms"] > 0.0, d
 assert len(d["work_fingerprint"]) == 16, d
 int(d["work_fingerprint"], 16)
-assert len(d["components"]) == 10, [c["name"] for c in d["components"]]
+assert len(d["components"]) == 11, [c["name"] for c in d["components"]]
 assert any(c["name"] == "recovery_cost" for c in d["components"]), d
 assert any(c["name"] == "append_batching" for c in d["components"]), d
+assert any(c["name"] == "hot_path_alloc" for c in d["components"]), d
 for c in d["components"]:
     assert c["wall_ms"] >= 0.0 and len(c["fingerprint"]) == 16, c
 print(f"bench smoke ok: {d['total_wall_ms']:.1f} ms, "
       f"fingerprint {d['work_fingerprint']}")
 EOF
 
+echo "== alloc-budget smoke: hot_path_alloc vs scripts/alloc_budget.json =="
+# Full scale: allocation rates amortize pool warmup over the real op count,
+# so the checked-in budget can sit tight (~20%) over the measured steady
+# state instead of leaving smoke-scale slack a regression could hide in.
+aout="$(mktemp -t bench_alloc.XXXXXX.json)"
+trap 'rm -f "$out" "$aout"' EXIT
+HM_BENCH_OUT="$aout" \
+    cargo run --release -q -p hm-bench --bin bench_sim_core >/dev/null
+
+python3 - "$aout" scripts/alloc_budget.json <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+budget = json.load(open(sys.argv[2]))
+alloc = next(c for c in d["components"] if c["name"] == "hot_path_alloc")["alloc"]
+fail = []
+for phase in ("append", "replay"):
+    for metric in ("allocs_per_op", "bytes_per_op"):
+        got, cap = alloc[phase][metric], budget[phase][metric]
+        if got > cap:
+            fail.append(f"{phase}.{metric}: {got} exceeds budget {cap}")
+if fail:
+    sys.exit("alloc budget EXCEEDED (append path regressed?):\n  "
+             + "\n  ".join(fail))
+print("alloc budget ok: " + ", ".join(
+    f"{p} {alloc[p]['allocs_per_op']} allocs/op, {alloc[p]['bytes_per_op']} B/op"
+    for p in ("append", "replay")))
+EOF
+
 echo "== traced smoke: bench_sim_core --trace-out @ HM_BENCH_SCALE=0.05 =="
 tout="$(mktemp -t bench_traced.XXXXXX.json)"
 ttrace="$(mktemp -t trace_smoke.XXXXXX.json)"
-trap 'rm -f "$out" "$tout" "$ttrace"' EXIT
+trap 'rm -f "$out" "$aout" "$tout" "$ttrace"' EXIT
 HM_BENCH_SCALE=0.05 HM_BENCH_OUT="$tout" \
     cargo run --release -q -p hm-bench --bin bench_sim_core -- \
     --trace-out "$ttrace" >/dev/null
@@ -63,7 +93,7 @@ python3 - "$tout" "$ttrace" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
 names = [c["name"] for c in d["components"]]
-assert len(names) == 11 and names[-1] == "synthetic_halfmoon_read_traced", names
+assert len(names) == 12 and names[-1] == "synthetic_halfmoon_read_traced", names
 
 t = json.load(open(sys.argv[2]))
 ev = t["traceEvents"]
@@ -79,7 +109,7 @@ EOF
 echo "== shard smoke: quickstart @ --shards 1 vs --shards 4 =="
 s1="$(mktemp -t quickstart_s1.XXXXXX.txt)"
 s4="$(mktemp -t quickstart_s4.XXXXXX.txt)"
-trap 'rm -f "$out" "$tout" "$ttrace" "$s1" "$s4"' EXIT
+trap 'rm -f "$out" "$aout" "$tout" "$ttrace" "$s1" "$s4"' EXIT
 cargo run --release -q --example quickstart -- --shards 1 > "$s1"
 cargo run --release -q --example quickstart -- --shards 4 > "$s4"
 # Client-visible results must match at any shard count; only the
@@ -92,7 +122,7 @@ echo "shard smoke ok: client-visible results identical at 1 and 4 shards"
 
 echo "== batch smoke: quickstart @ default vs --batch 16 =="
 b16="$(mktemp -t quickstart_b16.XXXXXX.txt)"
-trap 'rm -f "$out" "$tout" "$ttrace" "$s1" "$s4" "$b16"' EXIT
+trap 'rm -f "$out" "$aout" "$tout" "$ttrace" "$s1" "$s4" "$b16"' EXIT
 cargo run --release -q --example quickstart -- --batch 16 > "$b16"
 # Group commit must never change results, only timing: the sequential
 # quickstart flushes every batch with a single record, so everything but
@@ -105,7 +135,7 @@ echo "batch smoke ok: client-visible results identical at batch 1 and 16"
 
 echo "== chaos smoke: chaos_campaign example =="
 chaos_out="$(mktemp -t chaos_smoke.XXXXXX.txt)"
-trap 'rm -f "$out" "$tout" "$ttrace" "$s1" "$s4" "$b16" "$chaos_out"' EXIT
+trap 'rm -f "$out" "$aout" "$tout" "$ttrace" "$s1" "$s4" "$b16" "$chaos_out"' EXIT
 cargo run --release -q --example chaos_campaign > "$chaos_out"
 grep -q "audit PASSED" "$chaos_out" || {
     echo "chaos smoke FAILED: auditor did not pass"; cat "$chaos_out"; exit 1; }

@@ -42,7 +42,7 @@ fn deposit_run(batch: usize) -> (Vec<String>, Value, u64) {
             Ok(Value::Int(balance + amount))
         })
     });
-    let rt = runtime.clone();
+    let rt = runtime;
     let result = sim.block_on(async move {
         let mut last = Value::Null;
         for amount in [25i64, 17, -3] {
@@ -160,7 +160,7 @@ fn batched_chaos_campaign_passes_the_exactly_once_audit() {
     let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
     workload.register(&runtime);
     let chaos = ChaosDriver::start(&runtime);
-    let gateway = Gateway::new(runtime.clone());
+    let gateway = Gateway::new(runtime);
     let spec = LoadSpec {
         rate_per_sec: 150.0,
         duration: Duration::from_secs(5),

@@ -52,7 +52,7 @@ fn run_campaign(config: ProtocolConfig, seed: u64) -> (AuditReport, u64, u32, St
     let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
     workload.register(&runtime);
     let chaos = ChaosDriver::start(&runtime);
-    let gateway = Gateway::new(runtime.clone());
+    let gateway = Gateway::new(runtime);
     let spec = LoadSpec {
         rate_per_sec: 150.0,
         duration: Duration::from_secs(6),

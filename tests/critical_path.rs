@@ -32,7 +32,7 @@ fn trace_one_rw(kind: ProtocolKind) -> (Rc<Tracer>, Vec<OpSummary>) {
         .tracer(tracer.clone())
         .build();
     client.populate(Key::new("obj"), Value::Int(1));
-    let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
+    let runtime = Runtime::new(client, RuntimeConfig::default());
     runtime.register("rw", |env, _input| {
         Box::pin(async move {
             let v = env.read(&Key::new("obj")).await?.as_int().unwrap_or(0);
@@ -41,7 +41,7 @@ fn trace_one_rw(kind: ProtocolKind) -> (Rc<Tracer>, Vec<OpSummary>) {
         })
     });
     let trace = tracer.new_trace();
-    let rt = runtime.clone();
+    let rt = runtime;
     let result = sim.block_on(async move {
         rt.invoke_request_traced("rw", Value::Null, trace, SpanId::NONE)
             .await
@@ -123,7 +123,7 @@ fn halfmoon_read_read_of_written_object_stays_log_free() {
         .tracer(tracer.clone())
         .build();
     client.populate(Key::new("obj"), Value::Int(1));
-    let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
+    let runtime = Runtime::new(client, RuntimeConfig::default());
     runtime.register("write", |env, _input| {
         Box::pin(async move {
             env.write(&Key::new("obj"), Value::Int(2)).await?;
@@ -135,7 +135,7 @@ fn halfmoon_read_read_of_written_object_stays_log_free() {
     });
     let t1 = tracer.new_trace();
     let t2 = tracer.new_trace();
-    let rt = runtime.clone();
+    let rt = runtime;
     let read_back = sim.block_on(async move {
         rt.invoke_request_traced("write", Value::Null, t1, SpanId::NONE)
             .await

@@ -329,6 +329,42 @@ fn batch_of_one_matches_default_construction() {
     }
 }
 
+/// The hot-path arenas (pooled batch vectors, recycled gates and outcome
+/// cells, the executor's waker-payload pool, per-service scratch buffers)
+/// are pure representation: two identical runs at a small batch size —
+/// maximizing pool churn, with GC trims and replays recycling buffers
+/// mid-run — must reproduce the fingerprint AND export byte-identical
+/// JSONL traces. Any pool that leaked state between recycles (a cleared
+/// payload, a stale outcome, a waker waking the wrong task) would perturb
+/// the schedule and diverge here.
+#[test]
+fn arena_recycling_is_invisible_to_determinism() {
+    let workload = SyntheticOps {
+        objects: 200,
+        ..SyntheticOps::default()
+    };
+    let run = || {
+        let tracer = hm_common::trace::Tracer::new();
+        let fp = run_fingerprint_batched(
+            0xA2E7A,
+            &workload,
+            ProtocolKind::HalfmoonWrite,
+            Some(tracer.clone()),
+            halfmoon::Topology::default(),
+            4, // small batches: every few appends claims + recycles a batch
+        );
+        (fp, tracer.export_jsonl())
+    };
+    let (fp_a, trace_a) = run();
+    let (fp_b, trace_b) = run();
+    assert_eq!(fp_a, fp_b, "arena-backed runs must reproduce exactly");
+    assert!(!trace_a.is_empty());
+    assert_eq!(
+        trace_a, trace_b,
+        "arena recycling must leave traces byte-identical"
+    );
+}
+
 /// A batched deployment under a seeded chaos campaign — node crashes,
 /// a replica outage, a sequencer stall, a retry storm — reproduces both
 /// the run fingerprint and the chaos injection journal byte-for-byte from
@@ -371,7 +407,7 @@ fn batched_chaos_campaign_is_deterministic() {
         let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
         workload.register(&runtime);
         let chaos = ChaosDriver::start(&runtime);
-        let gateway = Gateway::new(runtime.clone());
+        let gateway = Gateway::new(runtime);
         let spec = LoadSpec {
             rate_per_sec: 150.0,
             duration: Duration::from_secs(5),

@@ -35,7 +35,7 @@ fn travel_with_crashes_duplicates_and_gc() {
     };
     let runtime = Runtime::new(client.clone(), rt_config);
     workload.register(&runtime);
-    let gc = GcDriver::start(client.clone(), NodeId(0), Duration::from_secs(2));
+    let gc = GcDriver::start(client, NodeId(0), Duration::from_secs(2));
     let gateway = Gateway::new(runtime.clone());
     let spec = LoadSpec {
         rate_per_sec: 150.0,
@@ -79,7 +79,7 @@ fn retwis_under_halfmoon_write_with_crashes() {
     workload.populate(&client);
     let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
     workload.register(&runtime);
-    let gc = GcDriver::start(client.clone(), NodeId(0), Duration::from_secs(2));
+    let gc = GcDriver::start(client, NodeId(0), Duration::from_secs(2));
     let gateway = Gateway::new(runtime);
     let spec = LoadSpec {
         rate_per_sec: 150.0,
@@ -116,7 +116,7 @@ fn switching_under_load_with_crashes_end_to_end() {
     let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
     workload.register(&runtime);
     let gc = GcDriver::start(client.clone(), NodeId(0), Duration::from_secs(2));
-    let gateway = Gateway::new(runtime.clone());
+    let gateway = Gateway::new(runtime);
     // Load generator runs while two switches happen.
     let load = {
         let spec = LoadSpec {
@@ -129,7 +129,7 @@ fn switching_under_load_with_crashes_end_to_end() {
             .spawn(async move { gateway.run_open_loop(spec).await })
     };
     let switches = {
-        let client = client.clone();
+        let client = client;
         let ctx = sim.ctx();
         let ctx2 = ctx.clone();
         ctx.spawn(async move {
@@ -354,7 +354,7 @@ fn metrics_driver_samples_substrate_counters() {
         registry.clone(),
         Duration::from_millis(200),
     );
-    let gateway = Gateway::new(runtime.clone());
+    let gateway = Gateway::new(runtime);
     let spec = LoadSpec {
         rate_per_sec: 80.0,
         duration: Duration::from_secs(2),
