@@ -728,6 +728,208 @@ fn hot_path_alloc(scale: f64) -> Component {
     }
 }
 
+/// Phase-attributed tail-latency decomposition at three open-loop rates
+/// straddling the admission knee.
+///
+/// The sequencer's ordering capacity is expressed in *request* terms: a
+/// short uncontended probe measures appends per completed request, and the
+/// capacity is set to `4 000 req/s × appends/req` so the pipeline knees at
+/// 4 000 requests/s. Each load point (0.5×, 1×, 1.5× the knee) then runs
+/// with an [`Anatomy`](hm_common::anatomy::Anatomy) collector attached and reports the per-phase
+/// p50/p95/p99 waterfall into the JSON (`scripts/latency_report` renders it
+/// and re-asserts reconciliation).
+///
+/// Three properties are asserted here, so the bench is its own regression
+/// test:
+/// - **observer neutrality**: the knee point re-run *without* anatomy does
+///   bit-identical simulated work (same report fingerprint, same poll
+///   count);
+/// - **reconciliation**: per-op `|sum(phases) − e2e|/e2e ≤ 1 %` and the
+///   aggregate phase totals sum to the aggregate e2e total within 1 %
+///   (exact equality is expected — the phase clock partitions wall time);
+/// - **the knee is where the time goes**: mean admission residency per op
+///   grows from the below-knee point to the above-knee point. (The root
+///   cause is the sequencer's ordering capacity, but once per-request
+///   latency inflates, the worker pool fills and the backlog queues
+///   *upstream* at admission — exactly the attribution the waterfall is
+///   meant to surface.)
+fn latency_anatomy(scale: f64) -> (Component, String) {
+    use halfmoon::Client;
+    use hm_common::anatomy::Anatomy;
+    use hm_runtime::{Gateway, LoadReport, LoadSpec, Runtime};
+    use hm_workloads::Workload;
+
+    let start = Instant::now();
+    let knee_rate = 4_000.0f64;
+    let workload = SyntheticOps {
+        objects: 1_000,
+        ..SyntheticOps::default()
+    };
+    let run_point = |rate: f64,
+                     secs: f64,
+                     capacity: Option<f64>,
+                     anatomy: Option<Rc<Anatomy>>|
+     -> (LoadReport, u64) {
+        let mut sim = Sim::new(0x1A7E);
+        let mut builder = Client::builder(sim.ctx())
+            .model(LatencyModel::calibrated())
+            .protocol(ProtocolKind::HalfmoonRead);
+        if let Some(c) = capacity {
+            builder = builder.sequencer_capacity(c);
+        }
+        if let Some(a) = anatomy {
+            builder = builder.anatomy(a);
+        }
+        let client = builder.build();
+        workload.populate(&client);
+        let runtime = Runtime::new(client, RuntimeConfig::default());
+        workload.register(&runtime);
+        let gateway = Gateway::new(runtime);
+        let spec = LoadSpec {
+            rate_per_sec: rate,
+            duration: Duration::from_secs_f64(secs),
+            warmup: Duration::from_secs_f64(0.25 * secs),
+            factory: workload.factory(),
+        };
+        let report = sim.block_on(async move { gateway.run_open_loop(spec).await });
+        (report, sim.poll_count())
+    };
+    let report_fp = |r: &LoadReport| {
+        let mut f = mix(0, r.generated);
+        f = mix(f, r.completed);
+        f = mix(f, r.errors);
+        f = mix(f, r.latency.median_ms().unwrap_or(0.0).to_bits());
+        for &a in &r.per_shard_appends {
+            f = mix(f, a);
+        }
+        f
+    };
+
+    // Probe: appends per completed request at an uncontended rate.
+    let (probe, probe_polls) = run_point(300.0, (1.0 * scale).max(0.3), None, None);
+    let probe_appends: u64 = probe.per_shard_appends.iter().sum();
+    let appends_per_req = probe_appends as f64 / probe.completed.max(1) as f64;
+    let capacity = knee_rate * appends_per_req;
+
+    let mut fp = mix(0, appends_per_req.to_bits());
+    let mut polls = probe_polls;
+    let secs = (2.0 * scale).max(0.4);
+    let mut points_json: Vec<String> = Vec::new();
+    // Mean admission residency per completed op at each load point, for
+    // the knee-shape assertion.
+    let mut admission_mean_ns: Vec<f64> = Vec::new();
+    let mut summaries: Vec<String> = Vec::new();
+    for &ratio in &[0.5f64, 1.0, 1.5] {
+        let rate = knee_rate * ratio;
+        let anatomy = Anatomy::new();
+        let (report, pt_polls) = run_point(rate, secs, Some(capacity), Some(anatomy.clone()));
+        polls += pt_polls;
+        if (ratio - 1.0).abs() < f64::EPSILON {
+            // Observer neutrality: the same point without anatomy must do
+            // bit-identical simulated work on the same schedule.
+            let (plain, plain_polls) = run_point(rate, secs, Some(capacity), None);
+            assert_eq!(
+                report_fp(&plain),
+                report_fp(&report),
+                "anatomy perturbed the simulation at the knee point"
+            );
+            assert_eq!(
+                plain_polls, pt_polls,
+                "anatomy changed the executor schedule at the knee point"
+            );
+            polls += plain_polls;
+        }
+        let ops = anatomy.ops();
+        assert!(ops > 0, "load point {rate} completed no measured ops");
+        assert_eq!(
+            ops, report.completed,
+            "anatomy must fold exactly the measured completions"
+        );
+        let rel_err = anatomy.max_rel_err();
+        assert!(
+            rel_err <= 0.01,
+            "per-op phase sums must reconcile with e2e within 1%: {rel_err}"
+        );
+        let phase_sum: u128 = anatomy.phase_totals_ns().iter().sum();
+        let e2e_total = anatomy.e2e_total_ns();
+        let agg_err = (phase_sum as f64 - e2e_total as f64).abs() / e2e_total.max(1) as f64;
+        assert!(
+            agg_err <= 0.01,
+            "aggregate phase totals must reconcile with e2e within 1%: {agg_err}"
+        );
+        let e2e = anatomy.e2e_stat().expect("ops > 0");
+        let stat_json = |count: u64, p50: u64, p95: u64, p99: u64, total: u128| {
+            format!(
+                "{{\"count\": {count}, \"p50_ns\": {p50}, \"p95_ns\": {p95}, \
+                 \"p99_ns\": {p99}, \"total_ns\": {total}}}"
+            )
+        };
+        let mut phases = String::new();
+        let mut admission_total = 0u128;
+        for s in anatomy.waterfall() {
+            let p = s.phase.expect("waterfall rows are per-phase");
+            if !phases.is_empty() {
+                phases.push_str(", ");
+            }
+            phases.push_str(&format!(
+                "\"{}\": {}",
+                p.name(),
+                stat_json(s.count, s.p50_ns, s.p95_ns, s.p99_ns, s.total_ns)
+            ));
+            if p == hm_common::anatomy::Phase::Admission {
+                admission_total = s.total_ns;
+            }
+            fp = mix(fp, s.count);
+            fp = mix(fp, s.total_ns as u64);
+            fp = mix(fp, (s.total_ns >> 64) as u64);
+        }
+        admission_mean_ns.push(admission_total as f64 / ops as f64);
+        points_json.push(format!(
+            "{{\"rate_per_sec\": {rate}, \"generated\": {}, \"completed\": {}, \
+             \"errors\": {}, \"max_rel_err\": {rel_err}, \"e2e\": {}, \"phases\": {{{phases}}}}}",
+            report.generated,
+            report.completed,
+            report.errors,
+            stat_json(e2e.count, e2e.p50_ns, e2e.p95_ns, e2e.p99_ns, e2e.total_ns),
+        ));
+        summaries.push(format!(
+            "{rate:.0}/s: {} ops, e2e p50={:.2} ms p99={:.2} ms, admission mean {:.2} ms",
+            ops,
+            e2e.p50_ns as f64 / 1e6,
+            e2e.p99_ns as f64 / 1e6,
+            admission_mean_ns.last().unwrap() / 1e6,
+        ));
+        fp = mix(fp, rate as u64);
+        fp = mix(fp, report.generated);
+        fp = mix(fp, report.completed);
+        fp = mix(fp, report.errors);
+        fp = mix(fp, e2e.total_ns as u64);
+        fp = mix(fp, (e2e.total_ns >> 64) as u64);
+    }
+    for line in &summaries {
+        eprintln!("latency anatomy {line}");
+    }
+    assert!(
+        admission_mean_ns[2] > admission_mean_ns[0],
+        "admission residency must grow across the knee: {admission_mean_ns:?}"
+    );
+    let json = format!(
+        "{{\"knee_rate_per_sec\": {knee_rate}, \"appends_per_request\": {appends_per_req}, \
+         \"sequencer_capacity_per_sec\": {capacity}, \"points\": [{}]}}",
+        points_json.join(", ")
+    );
+    (
+        Component {
+            name: "latency_anatomy",
+            wall: start.elapsed(),
+            polls,
+            fingerprint: fp,
+            alloc: Vec::new(),
+        },
+        json,
+    )
+}
+
 fn json_escape_free(s: &str) -> &str {
     // All strings we emit are static identifiers; assert rather than escape.
     assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
@@ -762,6 +964,8 @@ fn main() {
         recovery_cost(scale),
         hot_path_alloc(scale),
     ];
+    let (lat_component, lat_json) = latency_anatomy(scale);
+    components.push(lat_component);
 
     if let Some(path) = &trace_out {
         // Same seed and parameters as the untraced synthetic Halfmoon-read
@@ -802,8 +1006,9 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"sim_core\",");
-    let _ = writeln!(json, "  \"schema_version\": 2,");
+    let _ = writeln!(json, "  \"schema_version\": 3,");
     let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"latency_anatomy\": {lat_json},");
     let _ = writeln!(json, "  \"total_wall_ms\": {:.3},", total.as_secs_f64() * 1e3);
     let _ = writeln!(json, "  \"work_fingerprint\": \"{fp:016x}\",");
     json.push_str("  \"components\": [\n");

@@ -9,10 +9,12 @@
 //! Nothing in this crate knows about the simulator, the shared log, or the
 //! protocols; it is the dependency root of the workspace.
 
+pub mod anatomy;
 pub mod bytes;
 pub mod collections;
 pub mod dist;
 pub mod error;
+pub mod flightrec;
 pub mod ids;
 pub mod latency;
 pub mod metrics;

@@ -76,7 +76,12 @@ impl Histogram {
 
     /// Records one latency observation.
     pub fn record(&mut self, latency: Duration) {
-        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.record_ns(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one latency observation given directly in nanoseconds
+    /// (the anatomy layer accrues integer ns off the virtual clock).
+    pub fn record_ns(&mut self, ns: u64) {
         self.buckets[Self::bucket_index(ns)] += 1;
         self.count += 1;
         self.sum_ns += u128::from(ns);
@@ -94,30 +99,44 @@ impl Histogram {
     /// histogram is empty.
     #[must_use]
     pub fn quantile_ms(&self, q: f64) -> Option<f64> {
+        Some(self.quantile_ns(q)? as f64 / 1e6)
+    }
+
+    /// The `q`-quantile in integer nanoseconds, or `None` if the histogram
+    /// is empty.
+    ///
+    /// HDR-style cumulative-count walk over the log2 buckets, coherent with
+    /// the tracked extremes: `quantile_ns(0.0)` and `quantile_ns(1.0)` return
+    /// the raw min/max observation exactly (a bucket midpoint can sit on
+    /// either side of the true extreme, which would break the invariant
+    /// `quantile(0.0) ≤ mean ≤ quantile(1.0)`), and every interior quantile
+    /// is clamped into `[min, max]` so no answer can lie outside the
+    /// observed range.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
-        // The extreme quantiles are tracked exactly: return the raw min/max
-        // observation rather than a bucket midpoint (a midpoint can sit on
-        // either side of the true extreme, which would break the invariant
-        // `quantile_ms(0.0) ≤ mean ≤ quantile_ms(1.0)`).
         if q <= 0.0 {
-            return Some(self.min_ns as f64 / 1e6);
+            return Some(self.min_ns);
         }
         if q >= 1.0 {
-            return Some(self.max_ns as f64 / 1e6);
+            return Some(self.max_ns);
         }
         // Rank of the target observation (1-based ceil, like numpy 'lower').
         let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
             seen += c;
             if seen >= target {
-                return Some(Self::bucket_value_ns(i) as f64 / 1e6);
+                return Some(Self::bucket_value_ns(i).clamp(self.min_ns, self.max_ns));
             }
         }
-        Some(self.max_ns as f64 / 1e6)
+        Some(self.max_ns)
     }
 
     /// Median latency in milliseconds.
@@ -618,6 +637,47 @@ mod tests {
         assert!((h.quantile_ms(1.0).unwrap() - 45.0).abs() < 1e-12);
         assert_eq!(h.quantile_ms(0.0), h.min_ms());
         assert_eq!(h.quantile_ms(1.0), h.max_ms());
+    }
+
+    /// Property test (seeded splitmix loop, no proptest in this workspace):
+    /// under arbitrary recorded sets, quantiles are coherent — `q=0`/`q=1`
+    /// equal the recorded min/max *exactly*, quantiles are monotone in `q`,
+    /// and every interior quantile stays inside the observed range.
+    #[test]
+    fn histogram_quantile_coherence_property() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for case in 0..200 {
+            let n = 1 + (next() % 300) as usize;
+            let mut h = Histogram::new();
+            let mut min = u64::MAX;
+            let mut max = 0u64;
+            for _ in 0..n {
+                // Span sub-bucket ns up through minutes.
+                let ns = 1 + next() % 100_000_000_000;
+                h.record(Duration::from_nanos(ns));
+                min = min.min(ns);
+                max = max.max(ns);
+            }
+            assert_eq!(h.quantile_ns(0.0), Some(min), "case {case}");
+            assert_eq!(h.quantile_ns(1.0), Some(max), "case {case}");
+            assert_eq!(h.quantile_ms(0.0), h.min_ms(), "case {case}");
+            assert_eq!(h.quantile_ms(1.0), h.max_ms(), "case {case}");
+            let mut prev = 0u64;
+            for step in 0..=20 {
+                let q = f64::from(step) / 20.0;
+                let v = h.quantile_ns(q).unwrap();
+                assert!(v >= min && v <= max, "case {case} q {q}: {v} outside");
+                assert!(v >= prev, "case {case} q {q}: not monotone");
+                prev = v;
+            }
+        }
     }
 
     #[test]

@@ -142,6 +142,30 @@ impl Lane {
             n => format!("node{n}"),
         }
     }
+
+    /// Chrome-trace process id for a lane tid: lanes are grouped into
+    /// processes so `chrome://tracing` shows named sections instead of a
+    /// flat wall of raw tids. Function-node lanes are pid 0, sequencer
+    /// lanes (tids 1024+s) pid 1, and the shared substrate lanes
+    /// (storage/gateway/gc, tids 2048+) pid 2.
+    #[must_use]
+    pub fn pid(tid: u32) -> u32 {
+        match tid {
+            n if n < SEQUENCER_TID_BASE => 0,
+            n if (SEQUENCER_TID_BASE..SEQUENCER_TID_BASE + 256).contains(&n) => 1,
+            _ => 2,
+        }
+    }
+
+    /// Human label for a Chrome-trace process id (see [`Lane::pid`]).
+    #[must_use]
+    pub fn process_label(pid: u32) -> &'static str {
+        match pid {
+            0 => "function nodes",
+            1 => "shared-log sequencers",
+            _ => "substrate (storage/gateway/gc)",
+        }
+    }
 }
 
 /// Event phase, mirroring the Chrome trace_event vocabulary.
@@ -156,7 +180,7 @@ pub enum Phase {
 }
 
 impl Phase {
-    fn code(self) -> char {
+    pub(crate) fn code(self) -> char {
         match self {
             Phase::Begin => 'B',
             Phase::End => 'E',
@@ -395,6 +419,24 @@ impl Tracer {
         all
     }
 
+    /// The most recent `per_lane` events from each lane, merged into global
+    /// `seq` order. The flight recorder uses this to dump a bounded tail of
+    /// activity around an incident without draining the full rings.
+    #[must_use]
+    pub fn recent_events(&self, per_lane: usize) -> Vec<TraceEvent> {
+        let inner = self.inner.borrow();
+        let mut all: Vec<TraceEvent> = inner
+            .lanes
+            .values()
+            .flat_map(|r| {
+                let skip = r.events.len().saturating_sub(per_lane);
+                r.events.iter().skip(skip).cloned()
+            })
+            .collect();
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
     /// Lane tids in ascending order (deterministic export order).
     fn lane_tids(&self) -> Vec<u32> {
         let inner = self.inner.borrow();
@@ -432,11 +474,26 @@ impl Tracer {
             first = false;
             out.push_str(&line);
         };
-        for tid in self.lane_tids() {
+        let tids = self.lane_tids();
+        let mut pids: Vec<u32> = tids.iter().map(|&t| Lane::pid(t)).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        for pid in pids {
             emit(
                 format!(
-                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
                      \"args\":{{\"name\":\"{}\"}}}}",
+                    Lane::process_label(pid)
+                ),
+                &mut out,
+            );
+        }
+        for tid in tids {
+            emit(
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    Lane::pid(tid),
                     Lane::label(tid)
                 ),
                 &mut out,
@@ -450,11 +507,12 @@ impl Tracer {
                     emit(
                         format!(
                             "{{\"name\":\"{}\",\"cat\":\"hm\",\"ph\":\"X\",\"ts\":{},\
-                             \"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"trace\":{},\
+                             \"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{\"trace\":{},\
                              \"span\":{},\"parent\":{},\"detail\":\"{}\"}}}}",
                             e.name,
                             micros(e.at),
                             micros(dur),
+                            Lane::pid(e.lane),
                             e.lane,
                             e.trace.0,
                             e.span.0,
@@ -469,10 +527,11 @@ impl Tracer {
                     emit(
                         format!(
                             "{{\"name\":\"{}\",\"cat\":\"hm\",\"ph\":\"i\",\"ts\":{},\
-                             \"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{{\"trace\":{},\
+                             \"pid\":{},\"tid\":{},\"s\":\"t\",\"args\":{{\"trace\":{},\
                              \"parent\":{},\"detail\":\"{}\"}}}}",
                             e.name,
                             micros(e.at),
+                            Lane::pid(e.lane),
                             e.lane,
                             e.trace.0,
                             e.parent.0,
@@ -730,6 +789,31 @@ mod tests {
         assert!(chrome.contains("\"name\":\"node0\""), "{chrome}");
         // read: ts = 2000 µs, dur = 2000 µs.
         assert!(chrome.contains("\"ts\":2000.000,\"dur\":2000.000"), "{chrome}");
+    }
+
+    #[test]
+    fn chrome_export_labels_processes_and_threads() {
+        let tr = Tracer::new();
+        let trace = tr.new_trace();
+        let s = tr.span_begin(Lane::Node(3), t(1), trace, SpanId::NONE, "attempt", String::new());
+        tr.instant(Lane::Sequencer(2), t(2), trace, s, "sequenced", String::new());
+        tr.instant(Lane::Storage, t(3), trace, s, "trim_reclaimed", String::new());
+        tr.instant(Lane::Gateway, t(3), trace, s, "admit", String::new());
+        tr.span_end(Lane::Node(3), t(4), trace, s);
+        let chrome = tr.export_chrome_json();
+        // Every lane group gets a process_name, every lane a thread_name.
+        assert!(chrome.contains("\"name\":\"process_name\""), "{chrome}");
+        assert!(chrome.contains("\"name\":\"function nodes\""), "{chrome}");
+        assert!(chrome.contains("\"name\":\"shared-log sequencers\""), "{chrome}");
+        assert!(
+            chrome.contains("\"name\":\"substrate (storage/gateway/gc)\""),
+            "{chrome}"
+        );
+        assert!(chrome.contains("\"name\":\"sequencer2\""), "{chrome}");
+        assert!(chrome.contains("\"name\":\"gateway\""), "{chrome}");
+        // Events carry their lane's pid so the groups actually nest.
+        assert!(chrome.contains("\"pid\":1,\"tid\":1026"), "{chrome}");
+        assert!(chrome.contains("\"pid\":2,\"tid\":2049"), "{chrome}");
     }
 
     #[test]

@@ -21,6 +21,8 @@ use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 
+use hm_common::anatomy::Anatomy;
+use hm_common::flightrec::FlightRecorder;
 use hm_common::latency::LatencyModel;
 use hm_common::metrics::Histogram;
 use hm_common::trace::Tracer;
@@ -127,6 +129,8 @@ struct ClientInner {
     invoker: RefCell<Option<Rc<dyn Invoker>>>,
     recorder: RefCell<Option<Rc<Recorder>>>,
     tracer: RefCell<Option<Rc<Tracer>>>,
+    anatomy: RefCell<Option<Rc<Anatomy>>>,
+    flightrec: RefCell<Option<Rc<FlightRecorder>>>,
     op_latencies: RefCell<OpLatencies>,
     recovery: Cell<RecoveryStats>,
     /// Opportunistic checkpoints of log-free reads, per function node
@@ -175,8 +179,11 @@ pub struct ClientBuilder {
     faults: FaultPlan,
     recorder: bool,
     tracer: Option<Rc<Tracer>>,
+    anatomy: Option<Rc<Anatomy>>,
+    flightrec: Option<Rc<FlightRecorder>>,
     batch_max_records: usize,
     batch_max_delay: std::time::Duration,
+    sequencer_capacity: Option<f64>,
 }
 
 impl ClientBuilder {
@@ -233,6 +240,33 @@ impl ClientBuilder {
         self
     }
 
+    /// Enables phase-attributed latency anatomy for the whole deployment
+    /// (per-op phase sheets stamped by the runtime, protocols, shared log,
+    /// and store — see `hm_common::anatomy`).
+    #[must_use]
+    pub fn anatomy(mut self, anatomy: Rc<Anatomy>) -> ClientBuilder {
+        self.anatomy = Some(anatomy);
+        self
+    }
+
+    /// Attaches a black-box flight recorder; the tracer and anatomy handles
+    /// configured on this builder are wired into it automatically so its
+    /// dumps carry recent trace events and phase stamps.
+    #[must_use]
+    pub fn flight_recorder(mut self, recorder: Rc<FlightRecorder>) -> ClientBuilder {
+        self.flightrec = Some(recorder);
+        self
+    }
+
+    /// Caps the per-shard sequencer admission rate (requests/sec). `None`
+    /// (the default) models an unloaded sequencer; benches set this to
+    /// place the admission knee at a known rate.
+    #[must_use]
+    pub fn sequencer_capacity(mut self, per_sec: f64) -> ClientBuilder {
+        self.sequencer_capacity = Some(per_sec);
+        self
+    }
+
     /// Enables group-commit batching in the logging layer: each shard's
     /// sequencer coalesces up to `max_records` concurrent appends into one
     /// ordering decision and one replicated storage write, flushing early
@@ -256,6 +290,7 @@ impl ClientBuilder {
                 topology: self.topology,
                 batch_max_records: self.batch_max_records,
                 batch_max_delay: self.batch_max_delay,
+                sequencer_capacity: self.sequencer_capacity,
                 ..LogConfig::default()
             },
         );
@@ -271,6 +306,8 @@ impl ClientBuilder {
                 invoker: RefCell::new(None),
                 recorder: RefCell::new(self.recorder.then(|| Rc::new(Recorder::new()))),
                 tracer: RefCell::new(None),
+                anatomy: RefCell::new(None),
+                flightrec: RefCell::new(None),
                 op_latencies: RefCell::new(OpLatencies::default()),
                 recovery: Cell::new(RecoveryStats::default()),
                 checkpoints: RefCell::new(hm_common::FxHashMap::default()),
@@ -280,6 +317,18 @@ impl ClientBuilder {
         };
         if let Some(tracer) = self.tracer {
             client.install_tracer(tracer);
+        }
+        if let Some(anatomy) = self.anatomy {
+            client.install_anatomy(anatomy);
+        }
+        if let Some(fr) = self.flightrec {
+            if let Some(t) = client.tracer() {
+                fr.attach_tracer(t);
+            }
+            if let Some(a) = client.anatomy() {
+                fr.attach_anatomy(a);
+            }
+            *client.inner.flightrec.borrow_mut() = Some(fr);
         }
         client
     }
@@ -300,8 +349,11 @@ impl Client {
             faults: FaultPlan::new(),
             recorder: false,
             tracer: None,
+            anatomy: None,
+            flightrec: None,
             batch_max_records: defaults.batch_max_records,
             batch_max_delay: defaults.batch_max_delay,
+            sequencer_capacity: defaults.sequencer_capacity,
         }
     }
 
@@ -444,6 +496,27 @@ impl Client {
         self.log().set_tracer(tracer.clone());
         self.store().set_tracer(tracer.clone());
         *self.inner.tracer.borrow_mut() = Some(tracer);
+    }
+
+    /// The anatomy collector, if phase stamping is enabled.
+    #[must_use]
+    pub fn anatomy(&self) -> Option<Rc<Anatomy>> {
+        self.inner.anatomy.borrow().clone()
+    }
+
+    /// The flight recorder, if one is attached.
+    #[must_use]
+    pub fn flight_recorder(&self) -> Option<Rc<FlightRecorder>> {
+        self.inner.flightrec.borrow().clone()
+    }
+
+    /// Wires the anatomy collector into the deployment: the shared log and
+    /// the state store pick up phase sheets from its context cell, and the
+    /// runtime/environment stamp scheduling, protocol, and replay phases.
+    fn install_anatomy(&self, anatomy: Rc<Anatomy>) {
+        self.log().set_anatomy(anatomy.clone());
+        self.store().set_anatomy(anatomy.clone());
+        *self.inner.anatomy.borrow_mut() = Some(anatomy);
     }
 
     /// Enables causal tracing for the whole deployment.

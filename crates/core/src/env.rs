@@ -21,6 +21,7 @@
 
 use std::rc::Rc;
 
+use hm_common::anatomy::{Anatomy, Phase as AnatomyPhase, PhaseSheet};
 use hm_common::trace::{Lane, SpanId, TraceId, Tracer};
 use hm_common::{FxHashMap, HmError, HmResult, InstanceId, Key, NodeId, SeqNum, StepNum, Tag, Value};
 use hm_sharedlog::{CondAppendOutcome, LogRecord};
@@ -100,6 +101,12 @@ pub struct Env {
     cur_span: SpanId,
     /// Whether the attempt span has been closed (finish or Drop).
     attempt_ended: bool,
+    /// Anatomy collector, cloned from the client at init (None when
+    /// phase stamping is disabled).
+    anatomy: Option<Rc<Anatomy>>,
+    /// This invocation's phase sheet, recovered from the anatomy binding
+    /// the runtime installed (None when unbound or anatomy is off).
+    sheet: Option<Rc<PhaseSheet>>,
 }
 
 /// What [`Env::init`] needs to start one execution attempt, named instead
@@ -156,6 +163,19 @@ impl InvocationSpec {
     }
 }
 
+/// Maps an op-span name to the anatomy phase charged while it runs.
+/// Read-shaped ops charge `ProtoRead`, write-shaped ops `ProtoWrite`, and
+/// everything else (init/sync/finish/invoke/transition bookkeeping)
+/// `ProtoTxn`. Substrate phases (log/store round-trips) nest inside and
+/// take precedence, so these are the protocol *residuals*.
+fn op_phase(name: &str) -> AnatomyPhase {
+    match name {
+        "read" | "read_snapshot" => AnatomyPhase::ProtoRead,
+        "write" => AnatomyPhase::ProtoWrite,
+        _ => AnatomyPhase::ProtoTxn,
+    }
+}
+
 impl Env {
     /// Initializes an execution attempt: fetches the step log and appends
     /// (or replays) the init record — Figure 5's `Init`.
@@ -178,6 +198,7 @@ impl Env {
             c.default == ProtocolKind::Unsafe && c.per_key.is_empty() && !c.switching_enabled
         });
         let tracer = client.tracer();
+        let anatomy = client.anatomy();
         let mut env = Env {
             client: client.clone(),
             id,
@@ -201,7 +222,20 @@ impl Env {
             attempt_span: SpanId::NONE,
             cur_span: SpanId::NONE,
             attempt_ended: true,
+            anatomy,
+            sheet: None,
         };
+        if let Some(a) = env.anatomy.clone() {
+            // Like the trace binding below: invocations started by the
+            // runtime carry their request's phase sheet via the instance
+            // binding. Entering the attempt flips the sheet's base phase
+            // (Dispatch on first execution, Recovery on a retry) over to
+            // Execution.
+            env.sheet = a.binding(id.0);
+            if let Some(sheet) = &env.sheet {
+                sheet.begin_attempt(client.ctx().now());
+            }
+        }
         if let Some(t) = env.tracer.clone() {
             // Attempts started by the runtime inherit the request's trace
             // via the instance binding; unbound attempts root a new trace.
@@ -224,7 +258,21 @@ impl Env {
         }
         let init_span = env.op_begin("init");
         env.set_trace_ctx();
+        let replaying = attempt > 0;
+        if replaying {
+            // §5 recovery: the whole step-log re-fetch is charged to the
+            // (opaque) Replay phase — nested log-read stamps are swallowed
+            // so the waterfall shows replay cost as one line.
+            if let Some(sheet) = &env.sheet {
+                sheet.enter(client.ctx().now(), AnatomyPhase::Replay);
+            }
+        }
         let (prior, replay) = client.log().replay_stream(node, id.step_log_tag()).await;
+        if replaying {
+            if let Some(sheet) = &env.sheet {
+                sheet.exit(client.ctx().now());
+            }
+        }
         env.prior = prior;
         if attempt > 0 {
             // §5 recovery metering: everything this fetch returned is work
@@ -422,6 +470,12 @@ impl Env {
         name: &'static str,
         detail: impl FnOnce() -> String,
     ) -> SpanId {
+        if let Some(sheet) = &self.sheet {
+            sheet.enter(self.client.ctx().now(), op_phase(name));
+        }
+        if let Some(a) = &self.anatomy {
+            a.set_context(self.sheet.clone());
+        }
         let Some(t) = self.tracer.clone() else {
             return SpanId::NONE;
         };
@@ -440,6 +494,9 @@ impl Env {
 
     /// Closes an op span and restores the attempt span as context parent.
     pub(crate) fn op_end(&mut self, span: SpanId) {
+        if let Some(sheet) = &self.sheet {
+            sheet.exit(self.client.ctx().now());
+        }
         let Some(t) = self.tracer.clone() else {
             return;
         };
@@ -456,6 +513,9 @@ impl Env {
     pub(crate) fn set_trace_ctx(&self) {
         if let Some(t) = &self.tracer {
             t.set_context(self.trace, self.cur_span);
+        }
+        if let Some(a) = &self.anatomy {
+            a.set_context(self.sheet.clone());
         }
     }
 
@@ -709,6 +769,9 @@ impl Env {
             if let Some(t) = &self.tracer {
                 t.bind(callee.0, self.trace, self.cur_span);
             }
+            if let (Some(a), Some(sheet)) = (&self.anatomy, &self.sheet) {
+                a.bind(callee.0, sheet.clone());
+            }
             let result = invoker.invoke(callee, func, input).await?;
             self.record_event(|| EventKind::Invoke {
                 callee,
@@ -741,6 +804,9 @@ impl Env {
         // The callee's attempts join this trace, parented to the invoke op.
         if let Some(t) = &self.tracer {
             t.bind(callee.0, self.trace, self.cur_span);
+        }
+        if let (Some(a), Some(sheet)) = (&self.anatomy, &self.sheet) {
+            a.bind(callee.0, sheet.clone());
         }
         let result = invoker.invoke(callee, func, input).await?;
         self.maybe_crash()?;

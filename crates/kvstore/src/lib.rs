@@ -46,6 +46,7 @@ use std::rc::Rc;
 
 use hm_common::FxHashMap;
 
+use hm_common::anatomy::{Anatomy, Phase as AnatomyPhase, PhaseSheet};
 use hm_common::latency::LatencyModel;
 use hm_common::metrics::{OpCounters, TimeWeightedGauge};
 use hm_common::trace::{Lane, SpanId, TraceId, Tracer};
@@ -77,6 +78,7 @@ struct StoreInner {
     counters: OpCounters,
     /// Optional tracing sink, shared by all handle clones.
     tracer: Option<Rc<Tracer>>,
+    anatomy: Option<Rc<Anatomy>>,
 }
 
 impl StoreInner {
@@ -107,6 +109,7 @@ impl KvStore {
                 bytes: TimeWeightedGauge::new(now),
                 counters: OpCounters::default(),
                 tracer: None,
+                anatomy: None,
             })),
         }
     }
@@ -116,6 +119,27 @@ impl KvStore {
     /// Shared by all handle clones.
     pub fn set_tracer(&self, tracer: Rc<Tracer>) {
         self.inner.borrow_mut().tracer = Some(tracer);
+    }
+
+    /// Installs the anatomy collector; every store round-trip then charges
+    /// its caller's phase sheet with [`AnatomyPhase::StoreIo`] time.
+    /// Shared by all handle clones.
+    pub fn set_anatomy(&self, anatomy: Rc<Anatomy>) {
+        self.inner.borrow_mut().anatomy = Some(anatomy);
+    }
+
+    /// Captures the caller's phase sheet (same entry-point discipline as
+    /// [`KvStore::trace_begin`]) and starts charging [`AnatomyPhase::StoreIo`].
+    fn stamp_begin(&self) -> Option<Rc<PhaseSheet>> {
+        let sheet = self.inner.borrow().anatomy.as_ref()?.context()?;
+        sheet.enter(self.ctx.now(), AnatomyPhase::StoreIo);
+        Some(sheet)
+    }
+
+    fn stamp_end(&self, sheet: &Option<Rc<PhaseSheet>>) {
+        if let Some(sheet) = sheet {
+            sheet.exit(self.ctx.now());
+        }
     }
 
     /// Captures the caller's trace context and opens a storage-lane span.
@@ -165,6 +189,7 @@ impl KvStore {
 
     /// Raw read of the latest value (`DBRead` in Figure 7).
     pub async fn get(&self, key: &Key) -> Option<Value> {
+        let stamp = self.stamp_begin();
         let scope = self.trace_begin("db_read");
         self.pay(self.model.db_read).await;
         let out = {
@@ -173,12 +198,14 @@ impl KvStore {
             inner.latest.get(key).map(|item| item.value.clone())
         };
         self.trace_end(&scope);
+        self.stamp_end(&stamp);
         out
     }
 
     /// Raw read returning both the value and its stored version tuple
     /// (needed by the transitional protocol's freshness comparison, §5.2).
     pub async fn get_with_version(&self, key: &Key) -> Option<(Value, VersionTuple)> {
+        let stamp = self.stamp_begin();
         let scope = self.trace_begin("db_read");
         self.pay(self.model.db_read).await;
         let out = {
@@ -190,11 +217,13 @@ impl KvStore {
                 .map(|item| (item.value.clone(), item.version))
         };
         self.trace_end(&scope);
+        self.stamp_end(&stamp);
         out
     }
 
     /// Raw unconditional write of the latest value (the unsafe baseline).
     pub async fn put(&self, key: &Key, value: Value) {
+        let stamp = self.stamp_begin();
         let scope = self.trace_begin("db_write");
         self.pay(self.model.db_write).await;
         {
@@ -204,12 +233,14 @@ impl KvStore {
             Self::install_latest(&mut inner, now, key, value, VersionTuple::MIN);
         }
         self.trace_end(&scope);
+        self.stamp_end(&stamp);
     }
 
     /// Conditional update: applies `value` only if the stored version is
     /// strictly smaller than `version` (Figure 7 line 4). Returns whether
     /// the update was applied. Missing keys compare as [`VersionTuple::MIN`].
     pub async fn put_conditional(&self, key: &Key, value: Value, version: VersionTuple) -> bool {
+        let stamp = self.stamp_begin();
         let scope = self.trace_begin("db_cond_write");
         self.pay(self.model.db_cond_write).await;
         let apply = {
@@ -242,6 +273,7 @@ impl KvStore {
             }
         }
         self.trace_end(&scope);
+        self.stamp_end(&stamp);
         apply
     }
 
@@ -274,6 +306,7 @@ impl KvStore {
 
     /// Multi-version read: fetches one specific version (Figure 5 line 29).
     pub async fn get_version(&self, key: &Key, version: VersionNum) -> Option<Value> {
+        let stamp = self.stamp_begin();
         let scope = self.trace_begin("db_version_read");
         self.pay(self.model.db_version_read).await;
         let out = {
@@ -286,6 +319,7 @@ impl KvStore {
                 .cloned()
         };
         self.trace_end(&scope);
+        self.stamp_end(&stamp);
         out
     }
 
@@ -293,6 +327,7 @@ impl KvStore {
     /// key (Figure 5 line 21). Idempotent: re-writing the same version
     /// (a crash-retry) overwrites in place with identical content.
     pub async fn put_version(&self, key: &Key, version: VersionNum, value: Value) {
+        let stamp = self.stamp_begin();
         let scope = self.trace_begin("db_version_write");
         self.pay(self.model.db_write).await;
         {
@@ -317,11 +352,13 @@ impl KvStore {
             inner.charge(now, new_bytes);
         }
         self.trace_end(&scope);
+        self.stamp_end(&stamp);
     }
 
     /// Deletes one version (garbage collection, §4.5). Returns whether the
     /// version existed.
     pub async fn delete_version(&self, key: &Key, version: VersionNum) -> bool {
+        let stamp = self.stamp_begin();
         let scope = self.trace_begin("db_delete");
         self.pay(self.model.db_write).await;
         let out = {
@@ -340,6 +377,7 @@ impl KvStore {
             }
         };
         self.trace_end(&scope);
+        self.stamp_end(&stamp);
         out
     }
 

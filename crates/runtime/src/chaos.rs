@@ -24,6 +24,7 @@
 //! groups poll their attempts directly.
 //!
 //! [`Recorder`]: halfmoon::Recorder
+//! [`FaultPlan`]: halfmoon::FaultPlan
 
 use std::cell::{Cell, RefCell};
 use std::fmt::Write as _;
@@ -111,6 +112,12 @@ impl ChaosDriver {
                     }
                 }
                 injected.set(injected.get() + 1);
+                // Mirror the injection into the flight recorder's incident
+                // ring so a later dump shows which faults preceded the
+                // failure.
+                if let Some(fr) = rt.client().flight_recorder() {
+                    fr.note(ctx.now(), "fault_injected", format!("{:?}", fault.event));
+                }
                 journal.borrow_mut().push(fault);
                 if let Some((total, crashes)) = &counters {
                     total.set(injected.get());
@@ -294,6 +301,18 @@ pub fn audit(client: &Client) -> AuditReport {
             run("hm_write_order", recorder.check_hm_write_order());
         }
         _ => {}
+    }
+    // A failed audit is the flight recorder's primary trigger: dump the
+    // black box (recent trace events, phase stamps, incident ring) so the
+    // violating run leaves forensics behind, not just a message.
+    if !violations.is_empty() {
+        if let Some(fr) = client.flight_recorder() {
+            fr.trigger(
+                client.ctx().now(),
+                "audit_violation",
+                violations.join("; "),
+            );
+        }
     }
     AuditReport {
         events: recorder.len(),

@@ -128,6 +128,11 @@ impl Gateway {
                 if queue > report.borrow().peak_queue {
                     report.borrow_mut().peak_queue = queue;
                 }
+                // Anatomy runs: each request opens a phase sheet at the
+                // arrival instant (base `Admission`, so worker-slot
+                // queueing is charged before the runtime ever sees it).
+                let anatomy = runtime.client().anatomy();
+                let sheet = anatomy.as_ref().map(|a| a.open_sheet(started));
                 // Traced runs: each request roots its own trace with a
                 // gateway-lane span covering queueing + execution.
                 let tracer = runtime.client().tracer();
@@ -143,13 +148,23 @@ impl Gateway {
                             func.clone(),
                         );
                         let result = runtime
-                            .invoke_request_traced(&func, input, trace, span)
+                            .invoke_request_with(
+                                &func,
+                                input,
+                                Some((trace, span)),
+                                sheet.clone(),
+                            )
                             .await;
                         t.span_end(Lane::Gateway, ctx2.now(), trace, span);
                         result
                     }
-                    None => runtime.invoke_request(&func, input).await,
+                    None => {
+                        runtime
+                            .invoke_request_with(&func, input, None, sheet.clone())
+                            .await
+                    }
                 };
+                let succeeded = result.is_ok();
                 if measured {
                     let mut r = report.borrow_mut();
                     match result {
@@ -158,6 +173,17 @@ impl Gateway {
                             r.latency.record(ctx2.now() - started);
                         }
                         Err(_) => r.errors += 1,
+                    }
+                }
+                // The sheet closes at the same instant the latency sample
+                // records, so per-op phase sums reconcile with the e2e
+                // histogram exactly. Warmup and errored requests are
+                // abandoned to mirror what `latency` records.
+                if let (Some(a), Some(sheet)) = (&anatomy, &sheet) {
+                    if measured && succeeded {
+                        a.complete(ctx2.now(), sheet);
+                    } else {
+                        a.abandon(ctx2.now(), sheet);
                     }
                 }
                 in_flight.set(in_flight.get() - 1);

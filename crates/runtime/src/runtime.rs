@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use halfmoon::{Client, Env, InvocationSpec, Invoker, LocalBoxFuture};
+use hm_common::anatomy::{Phase as AnatomyPhase, PhaseSheet};
 use hm_common::trace::{Lane, SpanId, TraceId};
 use hm_common::{HmError, HmResult, InstanceId, NodeId, Value};
 use hm_sim::sync::{Semaphore, TaskGroup};
@@ -258,9 +259,7 @@ impl Runtime {
     /// control — this queueing produces the latency knees under load),
     /// then executes with retries.
     pub async fn invoke_request(&self, func: &str, input: Value) -> HmResult<Value> {
-        let _slot = self.inner.workers.acquire().await;
-        let id = self.inner.client.fresh_instance_id();
-        self.execute(id, func, input).await
+        self.invoke_request_with(func, input, None, None).await
     }
 
     /// [`Runtime::invoke_request`] joining an existing trace: the fresh
@@ -274,12 +273,49 @@ impl Runtime {
         trace: TraceId,
         parent: SpanId,
     ) -> HmResult<Value> {
+        self.invoke_request_with(func, input, Some((trace, parent)), None)
+            .await
+    }
+
+    /// The general entry point behind [`Runtime::invoke_request`] and
+    /// [`Runtime::invoke_request_traced`]: optionally joins an existing
+    /// trace and optionally carries an anatomy [`PhaseSheet`].
+    ///
+    /// The sheet arrives in its caller-set base phase (`Admission` when the
+    /// gateway opened it) and keeps accruing there while the request queues
+    /// for a worker slot — the queueing delay the admission knee produces.
+    /// Once a slot is held the sheet switches to `Dispatch` and is bound to
+    /// the fresh instance id so attempts ([`Env::init`]) and child
+    /// invocations can find it.
+    pub async fn invoke_request_with(
+        &self,
+        func: &str,
+        input: Value,
+        trace: Option<(TraceId, SpanId)>,
+        sheet: Option<Rc<PhaseSheet>>,
+    ) -> HmResult<Value> {
         let _slot = self.inner.workers.acquire().await;
         let id = self.inner.client.fresh_instance_id();
-        if let Some(t) = self.inner.client.tracer() {
-            t.bind(id.0, trace, parent);
+        if let Some((trace, parent)) = trace {
+            if let Some(t) = self.inner.client.tracer() {
+                t.bind(id.0, trace, parent);
+            }
         }
-        self.execute(id, func, input).await
+        if let Some(sheet) = sheet {
+            sheet.switch(self.inner.client.ctx().now(), AnatomyPhase::Dispatch);
+            if let Some(a) = self.inner.client.anatomy() {
+                a.bind(id.0, sheet);
+            }
+        }
+        let result = self.execute(id, func, input).await;
+        // The binding is only needed while attempts run; dropping it keeps
+        // the anatomy map bounded across long open-loop runs. (Late peers
+        // looking it up afterwards simply find nothing — the sheet is
+        // closed by then anyway.)
+        if let Some(a) = self.inner.client.anatomy() {
+            a.unbind(id.0);
+        }
+        result
     }
 
     /// Executes `func` as instance `id` to completion: dispatch hop,
@@ -352,6 +388,10 @@ impl Runtime {
         max_attempts: u32,
     ) -> HmResult<Value> {
         let client = &self.inner.client;
+        // The anatomy sheet, when a gateway request (or traced parent)
+        // bound one to this instance. Peers and retries share it — the
+        // phase clock partitions wall time regardless of who stamps.
+        let sheet = client.anatomy().and_then(|a| a.binding(id.0));
         let mut attempt = 0;
         loop {
             self.inner.invocations.set(self.inner.invocations.get() + 1);
@@ -360,7 +400,13 @@ impl Runtime {
             let hop = client
                 .ctx()
                 .with_rng(|rng| client.model().rpc_hop.sample(rng));
+            if let Some(s) = &sheet {
+                s.enter(client.ctx().now(), AnatomyPhase::Dispatch);
+            }
             client.ctx().sleep(hop).await;
+            if let Some(s) = &sheet {
+                s.exit(client.ctx().now());
+            }
             // Timeout suspicion (§4): if this attempt runs past the
             // suspect timeout, the runtime assumes it crashed and launches
             // a live peer — even though the original keeps running. The
@@ -407,6 +453,32 @@ impl Runtime {
                 Err(e) if e.is_crash() && attempt + 1 < max_attempts => {
                     attempt += 1;
                     self.inner.retries.set(self.inner.retries.get() + 1);
+                    // The crash tore down the attempt mid-phase: unwind the
+                    // sheet's attempt-local stack and charge the detection
+                    // delay (and re-dispatch queueing) to `Recovery`.
+                    if let Some(s) = &sheet {
+                        s.unwind(client.ctx().now(), AnatomyPhase::Recovery);
+                    }
+                    if let Some(fr) = client.flight_recorder() {
+                        fr.note(
+                            client.ctx().now(),
+                            "crash_retry",
+                            format!("instance {:#x} attempt {attempt}: {e}", id.0),
+                        );
+                        // Recovery thrash past the budget is itself an
+                        // incident worth a black-box dump: one dump at the
+                        // threshold crossing, not one per further retry.
+                        if attempt == fr.recovery_budget() {
+                            fr.trigger(
+                                client.ctx().now(),
+                                "recovery_budget_exceeded",
+                                format!(
+                                    "instance {:#x} reached {attempt} crash retries",
+                                    id.0
+                                ),
+                            );
+                        }
+                    }
                     if let Some(t) = client.tracer() {
                         let (trace, parent) =
                             t.binding(id.0).unwrap_or((TraceId::NONE, SpanId::NONE));

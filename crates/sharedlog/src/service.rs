@@ -55,6 +55,7 @@ use std::rc::Rc;
 use std::task::{Poll, Waker};
 use std::time::Duration;
 
+use hm_common::anatomy::{Anatomy, Phase as AnatomyPhase, PhaseSheet};
 use hm_common::collections::TagSet;
 use hm_common::latency::LatencyModel;
 use hm_common::metrics::OpCounters;
@@ -178,6 +179,10 @@ struct PendingAppend<P> {
     /// The member's trace context, so the flush can emit its sequencing
     /// instant on the right trace.
     scope: TraceScope,
+    /// The member's phase sheet, so the flush can walk it through
+    /// `BatchWait → Sequencer → Quorum` while the appender is parked at
+    /// the gate.
+    sheet: Option<Rc<PhaseSheet>>,
     /// Where the flush deposits this member's result before opening the
     /// gate. Plain appends receive `Appended`. Pooled: see
     /// [`LogService::recycle_outcome_cell`].
@@ -262,6 +267,9 @@ struct ServiceInner<P> {
     batchers: Vec<BatchState<P>>,
     /// Optional tracing sink, shared by all handle clones.
     tracer: Option<Rc<Tracer>>,
+    /// Optional latency-anatomy collector: log round-trips charge their
+    /// caller's phase sheet (picked up from the collector's context cell).
+    anatomy: Option<Rc<Anatomy>>,
     /// Flush arena: member vectors recycled between batches. A claim swaps
     /// a pooled (empty, capacity-retaining) vector in for the open batch;
     /// the flush drains its members and returns the vector here. Steady-
@@ -371,6 +379,7 @@ impl<P: Payload> LogService<P> {
                     .collect(),
                 batchers: (0..shards).map(|_| BatchState::new()).collect(),
                 tracer: None,
+                anatomy: None,
                 batch_pool: Vec::new(),
                 outcome_pool: Vec::new(),
                 gate_pool: Vec::new(),
@@ -417,6 +426,38 @@ impl<P: Payload> LogService<P> {
     /// handle clones.
     pub fn set_tracer(&self, tracer: Rc<Tracer>) {
         self.inner.borrow_mut().tracer = Some(tracer);
+    }
+
+    /// Installs the anatomy collector; every log round-trip then charges
+    /// phase time (`LogHop`/`BatchWait`/`Sequencer`/`Quorum` for appends,
+    /// `LogRead` for reads) to its caller's phase sheet. Shared by all
+    /// handle clones.
+    pub fn set_anatomy(&self, anatomy: Rc<Anatomy>) {
+        self.inner.borrow_mut().anatomy = Some(anatomy);
+    }
+
+    /// Captures the caller's phase sheet and starts charging `phase`.
+    /// Same entry-point discipline as [`LogService::trace_begin`]: must run
+    /// before the operation's first await.
+    fn stamp_begin(&self, phase: AnatomyPhase) -> Option<Rc<PhaseSheet>> {
+        let sheet = self.inner.borrow().anatomy.as_ref()?.context()?;
+        sheet.enter(self.ctx.now(), phase);
+        Some(sheet)
+    }
+
+    /// Retags the phase currently charged to `sheet` (no-op when anatomy
+    /// is off or the sheet already finished).
+    fn stamp_switch(&self, sheet: &Option<Rc<PhaseSheet>>, phase: AnatomyPhase) {
+        if let Some(sheet) = sheet {
+            sheet.switch(self.ctx.now(), phase);
+        }
+    }
+
+    /// Ends the phase opened by [`LogService::stamp_begin`].
+    fn stamp_end(&self, sheet: &Option<Rc<PhaseSheet>>) {
+        if let Some(sheet) = sheet {
+            sheet.exit(self.ctx.now());
+        }
     }
 
     /// Captures the caller's trace context and opens a storage-lane span.
@@ -511,6 +552,7 @@ impl<P: Payload> LogService<P> {
     pub async fn append(&self, node: NodeId, tags: impl Into<TagSet>, payload: P) -> SeqNum {
         let tags: TagSet = tags.into();
         let scope = self.trace_begin("log_append");
+        let sheet = self.stamp_begin(AnatomyPhase::LogHop);
         let home = self.home_shard(&tags);
         let total = self.ctx.with_rng(|rng| self.model.log_append.sample(rng));
         let to_sequencer = total.mul_f64(self.config.sequencer_fraction);
@@ -523,21 +565,27 @@ impl<P: Payload> LogService<P> {
                 cond: None,
                 storage_part: total.saturating_sub(to_sequencer),
                 scope: scope.clone(),
+                sheet: sheet.clone(),
                 outcome: self.take_outcome_cell(),
             };
+            self.stamp_switch(&sheet, AnatomyPhase::BatchWait);
             let outcome = self.append_batched(home, member).await;
             self.trace_end(&scope);
+            self.stamp_end(&sheet);
             let CondAppendOutcome::Appended(seqnum) = outcome else {
                 unreachable!("unconditional append cannot conflict");
             };
             return seqnum;
         }
+        self.stamp_switch(&sheet, AnatomyPhase::Sequencer);
         self.sequencer_admission(home).await;
         let seqnum = self.install(home, node, tags, payload);
         self.trace_sequencer(&scope, home, "sequenced", || format!("sn{}", seqnum.0));
+        self.stamp_switch(&sheet, AnatomyPhase::Quorum);
         let storage = self.quorum_storage_latency(home, total.saturating_sub(to_sequencer));
         self.ctx.sleep(storage).await;
         self.trace_end(&scope);
+        self.stamp_end(&sheet);
         seqnum
     }
 
@@ -659,6 +707,7 @@ impl<P: Payload> LogService<P> {
             "cond_tag must be among the record's tags"
         );
         let scope = self.trace_begin("log_cond_append");
+        let sheet = self.stamp_begin(AnatomyPhase::LogHop);
         let home = self.inner.borrow().router.shard_of(cond_tag).0;
         let total = self.ctx.with_rng(|rng| self.model.log_append.sample(rng));
         let to_sequencer = total.mul_f64(self.config.sequencer_fraction);
@@ -671,12 +720,16 @@ impl<P: Payload> LogService<P> {
                 cond: Some((cond_tag, cond_pos)),
                 storage_part: total.saturating_sub(to_sequencer),
                 scope: scope.clone(),
+                sheet: sheet.clone(),
                 outcome: self.take_outcome_cell(),
             };
+            self.stamp_switch(&sheet, AnatomyPhase::BatchWait);
             let outcome = self.append_batched(home, member).await;
             self.trace_end(&scope);
+            self.stamp_end(&sheet);
             return outcome;
         }
+        self.stamp_switch(&sheet, AnatomyPhase::Sequencer);
         self.sequencer_admission(home).await;
         // Sequencing and the condition check are atomic at the owning
         // shard: that is the point of logCondAppend (it resolves conflicts
@@ -707,9 +760,11 @@ impl<P: Payload> LogService<P> {
                 self.trace_sequencer(&scope, home, "cond_conflict", || format!("winner sn{}", winner.0));
             }
         }
+        self.stamp_switch(&sheet, AnatomyPhase::Quorum);
         let storage = self.quorum_storage_latency(home, total.saturating_sub(to_sequencer));
         self.ctx.sleep(storage).await;
         self.trace_end(&scope);
+        self.stamp_end(&sheet);
         outcome
     }
 
@@ -944,6 +999,12 @@ impl<P: Payload> LogService<P> {
     async fn flush_batch(&self, shard: u8, batch: ClaimedBatch<P>, trigger: FlushTrigger) {
         let ClaimedBatch { mut members, gate } = batch;
         debug_assert!(!members.is_empty(), "claimed batches are never empty");
+        // The whole batch enters sequencing together: every member's phase
+        // clock flips from BatchWait to Sequencer before the single shared
+        // admission below.
+        for m in &members {
+            self.stamp_switch(&m.sheet, AnatomyPhase::Sequencer);
+        }
         self.sequencer_admission(shard).await;
         let mut batch_storage = Duration::ZERO;
         let count = members.len() as u64;
@@ -988,6 +1049,9 @@ impl<P: Payload> LogService<P> {
                 }
             }
             m.outcome.set(Some(outcome));
+            // Sequenced (installs take zero simulated time); the rest of
+            // this member's wait is the coalesced quorum write.
+            self.stamp_switch(&m.sheet, AnatomyPhase::Quorum);
         }
         {
             let mut inner = self.inner.borrow_mut();
@@ -1116,6 +1180,7 @@ impl<P: Payload> LogService<P> {
         max_seqnum: SeqNum,
     ) -> Option<Rc<LogRecord<P>>> {
         let scope = self.trace_begin("log_read_prev");
+        let sheet = self.stamp_begin(AnatomyPhase::LogRead);
         let (shard, found) = {
             let inner = self.inner.borrow();
             let shard = inner.router.shard_of(tag).0;
@@ -1137,6 +1202,7 @@ impl<P: Payload> LogService<P> {
         };
         self.pay_read(shard, node, found, &scope).await;
         self.trace_end(&scope);
+        self.stamp_end(&sheet);
         found.map(|sn| self.fetch(sn))
     }
 
@@ -1149,6 +1215,7 @@ impl<P: Payload> LogService<P> {
         min_seqnum: SeqNum,
     ) -> Option<Rc<LogRecord<P>>> {
         let scope = self.trace_begin("log_read_next");
+        let sheet = self.stamp_begin(AnatomyPhase::LogRead);
         let (shard, found) = {
             let inner = self.inner.borrow();
             let shard = inner.router.shard_of(tag).0;
@@ -1173,6 +1240,7 @@ impl<P: Payload> LogService<P> {
         };
         self.pay_read(shard, node, found, &scope).await;
         self.trace_end(&scope);
+        self.stamp_end(&sheet);
         found.map(|sn| self.fetch(sn))
     }
 
@@ -1180,6 +1248,7 @@ impl<P: Payload> LogService<P> {
     /// `getStepLogs`). Costs one read round; Boki batches this scan.
     pub async fn read_stream(&self, node: NodeId, tag: Tag) -> Vec<Rc<LogRecord<P>>> {
         let scope = self.trace_begin("log_read_stream");
+        let sheet = self.stamp_begin(AnatomyPhase::LogRead);
         // Snapshot the stream's seqnums into the recycled scratch buffer —
         // taken out of the service (not borrowed) because the read sleeps
         // below; a reentrant reader just falls back to a fresh vector.
@@ -1196,6 +1265,7 @@ impl<P: Payload> LogService<P> {
         };
         self.pay_read(shard, node, seqnums.first().copied(), &scope).await;
         self.trace_end(&scope);
+        self.stamp_end(&sheet);
         let records = seqnums.iter().map(|&sn| self.fetch(sn)).collect();
         seqnums.clear();
         self.inner.borrow_mut().stream_scratch = seqnums;

@@ -12,6 +12,11 @@
 # may differ).
 # Batch smoke: same idea for group commit — quickstart at --batch 16 must
 # produce client-visible output identical to the default (unbatched) run.
+# Latency report: renders the per-phase waterfall from the full-scale bench
+# output and re-asserts that phase sums reconcile with end-to-end latency.
+# Fingerprint drift: the full-scale run's per-component work fingerprints
+# must match the committed BENCH_sim_core.json exactly (wall times are
+# expected to drift; simulated work is not).
 # Docs: rustdoc across the workspace with warnings denied (hm-sharedlog
 # and hm-core additionally deny missing_docs at the crate level).
 set -euo pipefail
@@ -43,8 +48,11 @@ assert d["bench"] == "sim_core", d
 assert isinstance(d["total_wall_ms"], float) and d["total_wall_ms"] > 0.0, d
 assert len(d["work_fingerprint"]) == 16, d
 int(d["work_fingerprint"], 16)
-assert len(d["components"]) == 11, [c["name"] for c in d["components"]]
+assert len(d["components"]) == 12, [c["name"] for c in d["components"]]
 assert any(c["name"] == "recovery_cost" for c in d["components"]), d
+assert any(c["name"] == "latency_anatomy" for c in d["components"]), d
+assert d["schema_version"] == 3, d
+assert len(d["latency_anatomy"]["points"]) >= 3, d["latency_anatomy"]
 assert any(c["name"] == "append_batching" for c in d["components"]), d
 assert any(c["name"] == "hot_path_alloc" for c in d["components"]), d
 for c in d["components"]:
@@ -81,6 +89,28 @@ print("alloc budget ok: " + ", ".join(
     for p in ("append", "replay")))
 EOF
 
+echo "== latency report: scripts/latency_report on the full-scale run =="
+scripts/latency_report "$aout"
+
+echo "== fingerprint drift: full-scale run vs committed BENCH_sim_core.json =="
+python3 - "$aout" BENCH_sim_core.json <<'EOF2'
+import json, sys
+got = json.load(open(sys.argv[1]))
+want = json.load(open(sys.argv[2]))
+got_fp = {c["name"]: c["fingerprint"] for c in got["components"]}
+want_fp = {c["name"]: c["fingerprint"] for c in want["components"]}
+drift = []
+if set(got_fp) != set(want_fp):
+    drift.append(f"component set changed: {sorted(set(got_fp) ^ set(want_fp))}")
+for name in sorted(set(got_fp) & set(want_fp)):
+    if got_fp[name] != want_fp[name]:
+        drift.append(f"{name}: {want_fp[name]} -> {got_fp[name]}")
+if drift:
+    sys.exit("fingerprint DRIFT (simulated work changed; regenerate "
+             "BENCH_sim_core.json if intended):\n  " + "\n  ".join(drift))
+print(f"fingerprint drift ok: {len(got_fp)} components match the committed file")
+EOF2
+
 echo "== traced smoke: bench_sim_core --trace-out @ HM_BENCH_SCALE=0.05 =="
 tout="$(mktemp -t bench_traced.XXXXXX.json)"
 ttrace="$(mktemp -t trace_smoke.XXXXXX.json)"
@@ -93,7 +123,7 @@ python3 - "$tout" "$ttrace" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
 names = [c["name"] for c in d["components"]]
-assert len(names) == 12 and names[-1] == "synthetic_halfmoon_read_traced", names
+assert len(names) == 13 and names[-1] == "synthetic_halfmoon_read_traced", names
 
 t = json.load(open(sys.argv[2]))
 ev = t["traceEvents"]

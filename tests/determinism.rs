@@ -50,6 +50,18 @@ fn run_fingerprint_batched(
     topology: halfmoon::Topology,
     batch: usize,
 ) -> RunFingerprint {
+    run_fingerprint_anatomy(seed, workload, kind, tracer, topology, batch, None)
+}
+
+fn run_fingerprint_anatomy(
+    seed: u64,
+    workload: &dyn Workload,
+    kind: ProtocolKind,
+    tracer: Option<Rc<hm_common::trace::Tracer>>,
+    topology: halfmoon::Topology,
+    batch: usize,
+    anatomy: Option<Rc<hm_common::anatomy::Anatomy>>,
+) -> RunFingerprint {
     let mut sim = Sim::new(seed);
     let mut builder = Client::builder(sim.ctx())
         .model(LatencyModel::calibrated())
@@ -59,6 +71,9 @@ fn run_fingerprint_batched(
         .faults(FaultPolicy::random(0.002, 100));
     if let Some(tracer) = tracer {
         builder = builder.tracer(tracer);
+    }
+    if let Some(anatomy) = anatomy {
+        builder = builder.anatomy(anatomy);
     }
     let client = builder.build();
     workload.populate(&client);
@@ -158,6 +173,52 @@ fn identical_seeds_identical_traces() {
     let b = export();
     assert!(!a.is_empty());
     assert_eq!(a, b, "same seed must export byte-identical traces");
+}
+
+/// Latency anatomy is held to the same standard as tracing: enabling it
+/// must not perturb the simulation (the phase clock is caller-stack
+/// bookkeeping — no RNG draws, no tasks, no sleeps), and the phase-stamp
+/// export itself must be byte-identical across two runs of the same seed.
+/// Each op's phases must also partition its end-to-end lifetime exactly.
+#[test]
+fn anatomy_is_neutral_and_deterministic() {
+    let workload = SyntheticOps {
+        objects: 300,
+        ..SyntheticOps::default()
+    };
+    for kind in [ProtocolKind::HalfmoonRead, ProtocolKind::HalfmoonWrite] {
+        let plain = run_fingerprint(5353, &workload, kind);
+        let instrumented = || {
+            let anatomy = hm_common::anatomy::Anatomy::new();
+            let fp = run_fingerprint_anatomy(
+                5353,
+                &workload,
+                kind,
+                None,
+                halfmoon::Topology::default(),
+                1,
+                Some(anatomy.clone()),
+            );
+            (fp, anatomy)
+        };
+        let (fp_a, anatomy_a) = instrumented();
+        let (fp_b, anatomy_b) = instrumented();
+        assert_eq!(plain, fp_a, "{kind}: anatomy changed the simulation");
+        assert_eq!(fp_a, fp_b, "{kind}: anatomy run must reproduce exactly");
+        assert!(anatomy_a.ops() > 0, "{kind}: no phase sheets completed");
+        assert_eq!(
+            anatomy_a.max_rel_err(),
+            0.0,
+            "{kind}: phases must partition each op's lifetime exactly"
+        );
+        let rows_a = anatomy_a.rows_jsonl();
+        let rows_b = anatomy_b.rows_jsonl();
+        assert!(!rows_a.is_empty(), "{kind}: phase-stamp export is empty");
+        assert_eq!(
+            rows_a, rows_b,
+            "{kind}: same seed must export byte-identical phase stamps"
+        );
+    }
 }
 
 #[test]

@@ -385,3 +385,99 @@ fn metrics_driver_samples_substrate_counters() {
     let json = registry.series_json();
     assert!(json.contains("log.appends"), "{json}");
 }
+
+/// Per-shard mirrors under group commit: a 4-shard deployment with
+/// batch-16 group commit mirrors each shard's appends into
+/// `log.appends.shardN`. All mirrors are refreshed in the same synchronous
+/// tick before each sample, so at every sampled row the shard mirrors must
+/// sum to the aggregate `log.appends` mirror exactly; the batching
+/// instruments must be live; and the whole exported series must be
+/// byte-identical across two runs of the same seed.
+#[test]
+fn metrics_driver_shard_mirrors_sum_under_batching() {
+    let run = || -> String {
+        let mut sim = Sim::new(0x3a2d_0042);
+        let client = Client::builder(sim.ctx())
+            .model(LatencyModel::calibrated())
+            .protocol(ProtocolKind::HalfmoonRead)
+            .topology(halfmoon::Topology {
+                shards: 4,
+                ..halfmoon::Topology::default()
+            })
+            .batching(16, Duration::from_millis(2))
+            .build();
+        let workload = SyntheticOps {
+            objects: 100,
+            ..SyntheticOps::default()
+        };
+        workload.populate(&client);
+        let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
+        workload.register(&runtime);
+        let registry = hm_common::trace::MetricsRegistry::new();
+        let driver = hm_runtime::MetricsDriver::start(
+            client,
+            registry.clone(),
+            Duration::from_millis(200),
+        );
+        let gateway = Gateway::new(runtime);
+        let spec = LoadSpec {
+            rate_per_sec: 120.0,
+            duration: Duration::from_secs(2),
+            warmup: Duration::ZERO,
+            factory: workload.factory(),
+        };
+        let report = sim.block_on(async move { gateway.run_open_loop(spec).await });
+        driver.stop();
+        assert!(report.completed > 0);
+        assert!(driver.samples() >= 5, "expected >=5 samples at 200ms over 2s");
+        let json = registry.series_json();
+        // Recover the instrument order from the export itself, then check
+        // the per-shard mirrors against the aggregate in every sampled row.
+        let names: Vec<String> = json
+            .lines()
+            .find_map(|l| {
+                let l = l.trim();
+                l.strip_prefix("\"counters\": [")
+                    .and_then(|l| l.strip_suffix("],"))
+            })
+            .expect("counters line in series_json")
+            .split(',')
+            .map(|n| n.trim_matches('"').to_string())
+            .collect();
+        let idx = |name: &str| {
+            names
+                .iter()
+                .position(|n| n == name)
+                .unwrap_or_else(|| panic!("missing instrument {name}"))
+        };
+        let agg = idx("log.appends");
+        let shards: Vec<usize> = (0..4)
+            .map(|s| idx(&format!("log.appends.shard{s}")))
+            .collect();
+        assert!(
+            names.iter().any(|n| n == "log.flushes"),
+            "batching mirrors missing: {names:?}"
+        );
+        registry.with_samples(|samples| {
+            assert!(!samples.is_empty());
+            for row in samples {
+                let sum: u64 = shards.iter().map(|&s| row.counters[s]).sum();
+                assert_eq!(
+                    sum, row.counters[agg],
+                    "per-shard mirrors must sum to the aggregate in every row"
+                );
+            }
+        });
+        assert!(
+            registry.counter("log.flushes").get() > 0,
+            "batch 16 under load must flush"
+        );
+        json
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a, b,
+        "metrics series must be byte-identical across two seeded runs"
+    );
+}
