@@ -15,7 +15,7 @@ use halfmoon::{Client, ProtocolConfig, ProtocolKind};
 use hm_bench::{fmt_ms, print_table, scaled_secs};
 use hm_common::latency::LatencyModel;
 use hm_runtime::{Gateway, GcDriver, LoadSpec, Runtime, RuntimeConfig};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 use hm_workloads::synthetic::SyntheticOps;
 use hm_workloads::Workload;
 

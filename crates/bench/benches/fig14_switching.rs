@@ -20,7 +20,7 @@ use hm_bench::print_table;
 use hm_common::latency::LatencyModel;
 use hm_common::NodeId;
 use hm_runtime::{GcDriver, Runtime, RuntimeConfig};
-use hm_sim::{Sim, SimTime};
+use hm_substrate::{sim::Sim, Time};
 use hm_workloads::synthetic::SyntheticOps;
 use hm_workloads::Workload;
 
@@ -51,7 +51,7 @@ fn run_at(rate: f64) {
     write_heavy.register(&runtime); // same function; ratio lives in inputs
     let gc = GcDriver::start(client.clone(), NodeId(0), Duration::from_secs(10));
 
-    let samples: Rc<RefCell<Vec<(SimTime, Duration)>>> = Rc::new(RefCell::new(Vec::new()));
+    let samples: Rc<RefCell<Vec<(Time, Duration)>>> = Rc::new(RefCell::new(Vec::new()));
     let ctx = sim.ctx();
 
     // Open-loop generator: phase decides the factory.

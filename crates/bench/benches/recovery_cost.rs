@@ -122,7 +122,7 @@ fn run_with_faults_config(
     use halfmoon::{Client, ProtocolConfig};
     use hm_common::latency::LatencyModel;
     use hm_runtime::{Gateway, GcDriver, LoadSpec, Runtime};
-    use hm_sim::Sim;
+    use hm_substrate::sim::Sim;
     use hm_workloads::Workload;
 
     let mut sim = Sim::new(0x7ec0 + (f * 100.0) as u64);

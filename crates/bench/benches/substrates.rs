@@ -11,7 +11,7 @@ use hm_common::latency::LatencyModel;
 use hm_common::{Key, NodeId, SeqNum, Tag, Value};
 use hm_kvstore::KvStore;
 use hm_sharedlog::{LogConfig, SharedLog};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 
 /// Runs `f` `iters` times and prints mean wall time per iteration.
 fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {

@@ -36,7 +36,7 @@ use hm_common::latency::LatencyModel;
 use hm_common::{NodeId, Tag};
 use hm_runtime::RuntimeConfig;
 use hm_sharedlog::{LogConfig, Payload, SharedLog};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 use hm_workloads::synthetic::SyntheticOps;
 use hm_workloads::travel::Travel;
 

@@ -17,7 +17,7 @@ use std::time::Duration;
 use halfmoon::{Client, ProtocolConfig, ProtocolKind};
 use hm_common::latency::LatencyModel;
 use hm_runtime::{Gateway, GcDriver, LoadReport, LoadSpec, Runtime, RuntimeConfig};
-use hm_sim::{Sim, SimTime};
+use hm_substrate::{sim::Sim, Time};
 use hm_workloads::Workload;
 
 /// A built simulated deployment, ready to run one experiment.
@@ -84,7 +84,7 @@ pub fn scale() -> f64 {
 
 /// Scales a base duration (seconds) by [`scale`].
 #[must_use]
-pub fn scaled_secs(base: f64) -> SimTime {
+pub fn scaled_secs(base: f64) -> Time {
     Duration::from_secs_f64(base * scale())
 }
 
@@ -97,13 +97,13 @@ pub struct AppRun {
     /// Open-loop arrival rate.
     pub rate: f64,
     /// Measured window.
-    pub duration: SimTime,
+    pub duration: Time,
     /// Warmup window.
-    pub warmup: SimTime,
+    pub warmup: Time,
     /// Runtime topology.
     pub rt_config: RuntimeConfig,
     /// GC interval (None disables GC).
-    pub gc_interval: Option<SimTime>,
+    pub gc_interval: Option<Time>,
 }
 
 /// Results of one workload run, including storage gauges.

@@ -9,7 +9,7 @@
 //! Construction goes through [`ClientBuilder`] (`Client::builder(ctx)`):
 //! topology, fault plan, recorder, and tracer are fixed before the first
 //! operation, replacing the old pile of post-construction `set_*` hooks
-//! (kept as deprecated shims). The two hooks that are *inherently*
+//! (removed after a deprecation cycle). The two hooks that are *inherently*
 //! post-construction remain first-class: [`Client::register_invoker`]
 //! (the runtime needs the client to exist first) and
 //! [`Client::set_fault_plan`] (campaigns that target instance ids drawn
@@ -29,7 +29,7 @@ use hm_common::trace::Tracer;
 use hm_common::{HmResult, InstanceId, Key, NodeId, Tag, Value};
 use hm_kvstore::KvStore;
 use hm_sharedlog::{LogConfig, LogService, ReplayStats, Topology};
-use hm_sim::SimCtx;
+use hm_substrate::Ctx;
 
 use crate::faults::{FaultPlan, FaultPolicy};
 use crate::history::Recorder;
@@ -120,7 +120,7 @@ pub struct OpLatencies {
 }
 
 struct ClientInner {
-    ctx: SimCtx,
+    ctx: Ctx,
     log: LogService<StepRecord>,
     store: KvStore,
     model: LatencyModel,
@@ -160,7 +160,7 @@ pub struct Client {
 ///
 /// ```
 /// use halfmoon::{Client, FaultPlan, FaultPolicy, ProtocolKind, Topology};
-/// use hm_sim::Sim;
+/// use hm_substrate::sim::Sim;
 ///
 /// let sim = Sim::new(1);
 /// let client = Client::builder(sim.ctx())
@@ -172,7 +172,7 @@ pub struct Client {
 /// assert!(client.recorder().is_some());
 /// ```
 pub struct ClientBuilder {
-    ctx: SimCtx,
+    ctx: Ctx,
     model: LatencyModel,
     config: ProtocolConfig,
     topology: Topology,
@@ -339,7 +339,7 @@ impl Client {
     /// calibrated latency model, uniform Halfmoon-read, one log shard, no
     /// faults, no recorder, no tracer.
     #[must_use]
-    pub fn builder(ctx: SimCtx) -> ClientBuilder {
+    pub fn builder(ctx: Ctx) -> ClientBuilder {
         let defaults = LogConfig::default();
         ClientBuilder {
             ctx,
@@ -361,7 +361,7 @@ impl Client {
     /// simulation. Convenience for [`Client::builder`] with an explicit
     /// model and protocol config.
     #[must_use]
-    pub fn new(ctx: SimCtx, model: LatencyModel, config: ProtocolConfig) -> Client {
+    pub fn new(ctx: Ctx, model: LatencyModel, config: ProtocolConfig) -> Client {
         Client::builder(ctx).model(model).protocol_config(config).build()
     }
 
@@ -370,7 +370,7 @@ impl Client {
     /// is exactly [`Client::new`].
     #[must_use]
     pub fn with_topology(
-        ctx: SimCtx,
+        ctx: Ctx,
         model: LatencyModel,
         config: ProtocolConfig,
         topology: Topology,
@@ -384,7 +384,7 @@ impl Client {
 
     /// The simulation context.
     #[must_use]
-    pub fn ctx(&self) -> &SimCtx {
+    pub fn ctx(&self) -> &Ctx {
         &self.inner.ctx
     }
 
@@ -444,15 +444,6 @@ impl Client {
         *self.inner.faults.borrow_mut() = Rc::new(plan.into());
     }
 
-    /// Replaces the fault policy.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use Client::builder(..).faults(plan) or set_fault_plan"
-    )]
-    pub fn set_faults(&self, policy: FaultPolicy) {
-        self.set_fault_plan(policy);
-    }
-
     /// The registered invoker, if any.
     #[must_use]
     pub fn invoker(&self) -> Option<Rc<dyn Invoker>> {
@@ -465,22 +456,10 @@ impl Client {
         *self.inner.invoker.borrow_mut() = Some(invoker);
     }
 
-    /// Registers the runtime's invoker.
-    #[deprecated(since = "0.5.0", note = "renamed to register_invoker")]
-    pub fn set_invoker(&self, invoker: Rc<dyn Invoker>) {
-        self.register_invoker(invoker);
-    }
-
     /// The history recorder, if consistency checking is enabled.
     #[must_use]
     pub fn recorder(&self) -> Option<Rc<Recorder>> {
         self.inner.recorder.borrow().clone()
-    }
-
-    /// Enables history recording (tests and checkers).
-    #[deprecated(since = "0.5.0", note = "use Client::builder(..).recorder()")]
-    pub fn set_recorder(&self, recorder: Rc<Recorder>) {
-        *self.inner.recorder.borrow_mut() = Some(recorder);
     }
 
     /// The causal tracer, if tracing is enabled.
@@ -517,12 +496,6 @@ impl Client {
         self.log().set_anatomy(anatomy.clone());
         self.store().set_anatomy(anatomy.clone());
         *self.inner.anatomy.borrow_mut() = Some(anatomy);
-    }
-
-    /// Enables causal tracing for the whole deployment.
-    #[deprecated(since = "0.5.0", note = "use Client::builder(..).tracer(t)")]
-    pub fn set_tracer(&self, tracer: Rc<Tracer>) {
-        self.install_tracer(tracer);
     }
 
     /// Notes that `key` received a multi-version write (GC bookkeeping;
@@ -664,7 +637,7 @@ impl std::fmt::Debug for Client {
 
 #[cfg(test)]
 mod tests {
-    use hm_sim::Sim;
+    use hm_substrate::sim::Sim;
 
     use crate::protocol::{ProtocolConfig, ProtocolKind};
 

@@ -428,13 +428,13 @@ impl Env {
 
     /// Records a history event with an explicit observation instant (used
     /// by logged reads, whose store observation precedes the log append).
-    pub(crate) fn record_event_at(&self, kind: impl FnOnce() -> EventKind, at: hm_sim::SimTime) {
+    pub(crate) fn record_event_at(&self, kind: impl FnOnce() -> EventKind, at: hm_substrate::Time) {
         if let Some(rec) = self.client.recorder() {
             self.record_to(&rec, kind(), at);
         }
     }
 
-    fn record_to(&self, rec: &crate::history::Recorder, kind: EventKind, at: hm_sim::SimTime) {
+    fn record_to(&self, rec: &crate::history::Recorder, kind: EventKind, at: hm_substrate::Time) {
         rec.record(Event {
             instance: self.id,
             attempt: self.attempt,

@@ -27,7 +27,7 @@ use std::time::Duration;
 
 use hm_common::{InstanceId, NodeId};
 use hm_sharedlog::ShardId;
-use hm_sim::SimCtx;
+use hm_substrate::Ctx;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -124,7 +124,7 @@ impl FaultPolicy {
     }
 
     /// Decides whether `instance` crashes at crash point `point`.
-    pub fn should_crash(&self, instance: InstanceId, point: u32, ctx: &SimCtx) -> bool {
+    pub fn should_crash(&self, instance: InstanceId, point: u32, ctx: &Ctx) -> bool {
         if self.injected.get() >= self.max_crashes {
             return false;
         }
@@ -400,8 +400,8 @@ impl FaultPlan {
 }
 
 impl From<FaultPolicy> for FaultPlan {
-    /// A plan with only instance crash points — what the legacy
-    /// `Client::set_faults` hook expressed.
+    /// A plan with only instance crash points — the common case for
+    /// builder-configured fault injection.
     fn from(policy: FaultPolicy) -> FaultPlan {
         FaultPlan::new().instance_faults(policy)
     }

@@ -25,7 +25,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 
 use hm_common::{InstanceId, Key, SeqNum, Value, VersionTuple};
-use hm_sim::SimTime;
+use hm_substrate::Time;
 
 /// What one recorded operation did.
 #[derive(Clone, Debug)]
@@ -97,7 +97,7 @@ pub struct Event {
     /// commit, shard counts, and latency-model changes legitimately move
     /// it — so history comparisons across deployment configurations
     /// (e.g. `tests/batching.rs`) compare events modulo `at`.
-    pub at: SimTime,
+    pub at: Time,
     /// The operation.
     pub kind: EventKind,
 }
@@ -496,7 +496,7 @@ mod tests {
             instance: InstanceId(inst),
             attempt: 0,
             pc,
-            at: SimTime::from_nanos(logical), // distinct, ordered instants
+            at: Time::from_nanos(logical), // distinct, ordered instants
             kind: EventKind::Read {
                 key: Key::new(key),
                 fp,
@@ -511,7 +511,7 @@ mod tests {
             instance: InstanceId(inst),
             attempt: 0,
             pc,
-            at: SimTime::ZERO,
+            at: Time::ZERO,
             kind: EventKind::VersionedWrite {
                 key: Key::new(key),
                 fp,
@@ -525,7 +525,7 @@ mod tests {
             instance: InstanceId(inst),
             attempt: 0,
             pc,
-            at: SimTime::ZERO,
+            at: Time::ZERO,
             kind: EventKind::CondWrite {
                 key: Key::new(key),
                 fp,
@@ -618,7 +618,7 @@ mod tests {
             instance: InstanceId(1),
             attempt: 0,
             pc: 2,
-            at: SimTime::ZERO,
+            at: Time::ZERO,
             kind: EventKind::Invoke {
                 callee: InstanceId(callee),
                 fp,

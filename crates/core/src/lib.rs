@@ -30,7 +30,7 @@
 //! use halfmoon::{Client, Env, InvocationSpec, ProtocolKind};
 //! use hm_common::latency::LatencyModel;
 //! use hm_common::{Key, NodeId, Value};
-//! use hm_sim::Sim;
+//! use hm_substrate::sim::Sim;
 //!
 //! let mut sim = Sim::new(42);
 //! let client = Client::builder(sim.ctx())

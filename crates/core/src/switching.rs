@@ -22,7 +22,7 @@
 //! old world's writes).
 
 use hm_common::{HmResult, InstanceId, NodeId, SeqNum, StepNum, VersionTuple};
-use hm_sim::SimTime;
+use hm_substrate::Time;
 
 use crate::client::{finish_log_tag, init_log_tag, transition_log_tag, Client};
 use crate::protocol::ProtocolKind;
@@ -38,18 +38,18 @@ pub struct SwitchReport {
     /// Seqnum of the SETTLED record.
     pub settled_seqnum: SeqNum,
     /// Virtual time the BEGIN record was appended.
-    pub begin_at: SimTime,
+    pub begin_at: Time,
     /// Virtual time the END record was appended — the paper's switching
     /// delay is `end_at - begin_at`.
-    pub end_at: SimTime,
+    pub end_at: Time,
     /// Virtual time the SETTLED record was appended.
-    pub settled_at: SimTime,
+    pub settled_at: Time,
 }
 
 impl SwitchReport {
     /// The switching delay as the paper reports it (BEGIN → END).
     #[must_use]
-    pub fn switching_delay(&self) -> SimTime {
+    pub fn switching_delay(&self) -> Time {
         self.end_at - self.begin_at
     }
 }
@@ -59,7 +59,7 @@ pub struct Switcher {
     client: Client,
     node: NodeId,
     /// How often the drain loop re-scans the init/finish logs.
-    poll_interval: SimTime,
+    poll_interval: Time,
 }
 
 /// Synthetic instance id under which transition records are appended.
@@ -72,12 +72,12 @@ impl Switcher {
         Switcher {
             client,
             node,
-            poll_interval: SimTime::from_millis(10),
+            poll_interval: Time::from_millis(10),
         }
     }
 
     /// Overrides the drain-scan poll interval.
-    pub fn set_poll_interval(&mut self, interval: SimTime) {
+    pub fn set_poll_interval(&mut self, interval: Time) {
         self.poll_interval = interval;
     }
 
@@ -219,7 +219,7 @@ impl Switcher {
     /// bulk maintenance scan, not a critical-path operation.
     async fn reconcile_latest_rows(&self) -> HmResult<()> {
         const PARALLELISM: usize = 32;
-        let sem = hm_sim::sync::Semaphore::new(PARALLELISM);
+        let sem = hm_substrate::sync::Semaphore::new(PARALLELISM);
         let mut handles = Vec::new();
         for key in self.client.written_keys() {
             let client = self.client.clone();

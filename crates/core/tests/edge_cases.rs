@@ -9,7 +9,7 @@ use std::time::Duration;
 use halfmoon::{Client, Env, FaultPolicy, InvocationSpec, ProtocolConfig, ProtocolKind};
 use hm_common::latency::LatencyModel;
 use hm_common::{HmError, Key, NodeId, Value};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 
 const NODE: NodeId = NodeId(0);
 

@@ -13,7 +13,7 @@ use std::time::Duration;
 use halfmoon::{Client, Env, FaultPolicy, GarbageCollector, InvocationSpec, Invoker, LocalBoxFuture, ProtocolConfig, ProtocolKind, Recorder, Switcher};
 use hm_common::latency::LatencyModel;
 use hm_common::{HmResult, InstanceId, Key, NodeId, Value};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 
 type SsfBody = Rc<dyn for<'a> Fn(&'a mut Env, Value) -> LocalBoxFuture<'a, HmResult<Value>>>;
 

@@ -8,7 +8,7 @@ use std::time::Duration;
 use halfmoon::{Client, Env, FaultPolicy, InvocationSpec, ProtocolKind, Recorder};
 use hm_common::latency::LatencyModel;
 use hm_common::{HmResult, Key, NodeId, Value};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 
 const NODE: NodeId = NodeId(0);
 

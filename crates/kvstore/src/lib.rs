@@ -23,7 +23,7 @@
 //! ```
 //! use hm_common::{latency::LatencyModel, Key, SeqNum, Value, VersionTuple};
 //! use hm_kvstore::KvStore;
-//! use hm_sim::Sim;
+//! use hm_substrate::sim::Sim;
 //!
 //! let mut sim = Sim::new(1);
 //! let store = KvStore::new(sim.ctx(), LatencyModel::calibrated());
@@ -51,7 +51,7 @@ use hm_common::latency::LatencyModel;
 use hm_common::metrics::{OpCounters, TimeWeightedGauge};
 use hm_common::trace::{Lane, SpanId, TraceId, Tracer};
 use hm_common::{Key, Value, VersionNum, VersionTuple};
-use hm_sim::{SimCtx, SimTime};
+use hm_substrate::{Ctx, Time};
 
 /// Fixed per-item metadata overhead we charge to storage, mirroring the
 /// paper's `S_meta` ("a few dozen bytes", §4.1).
@@ -82,7 +82,7 @@ struct StoreInner {
 }
 
 impl StoreInner {
-    fn charge(&mut self, now: SimTime, delta_bytes: f64) {
+    fn charge(&mut self, now: Time, delta_bytes: f64) {
         self.bytes.add(now, delta_bytes);
     }
 }
@@ -90,7 +90,7 @@ impl StoreInner {
 /// Handle to the simulated store. Cheap to clone; all clones share state.
 #[derive(Clone)]
 pub struct KvStore {
-    ctx: SimCtx,
+    ctx: Ctx,
     model: LatencyModel,
     inner: Rc<RefCell<StoreInner>>,
 }
@@ -98,7 +98,7 @@ pub struct KvStore {
 impl KvStore {
     /// Creates an empty store.
     #[must_use]
-    pub fn new(ctx: SimCtx, model: LatencyModel) -> KvStore {
+    pub fn new(ctx: Ctx, model: LatencyModel) -> KvStore {
         let now = ctx.now();
         KvStore {
             ctx,
@@ -279,7 +279,7 @@ impl KvStore {
 
     fn install_latest(
         inner: &mut StoreInner,
-        now: SimTime,
+        now: Time,
         key: &Key,
         value: Value,
         version: VersionTuple,
@@ -456,7 +456,7 @@ impl std::fmt::Debug for KvStore {
 
 #[cfg(test)]
 mod tests {
-    use hm_sim::Sim;
+    use hm_substrate::sim::Sim;
 
     use super::*;
 
@@ -591,7 +591,7 @@ mod tests {
         let (mut sim, store) = setup();
         store.populate(Key::new("a"), Value::blob(50, 1));
         store.populate(Key::new("a"), Value::blob(70, 2));
-        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.now(), Time::ZERO);
         assert_eq!(store.peek(&Key::new("a")), Some(Value::blob(70, 2)));
         let expect = (1 + 70 + ITEM_META_BYTES) as f64;
         assert!((store.current_bytes() - expect).abs() < 1e-9);

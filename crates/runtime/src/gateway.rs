@@ -6,7 +6,7 @@ use std::rc::Rc;
 use hm_common::metrics::Histogram;
 use hm_common::trace::{Lane, SpanId};
 use hm_common::Value;
-use hm_sim::SimTime;
+use hm_substrate::Time;
 use rand::rngs::SmallRng;
 
 use crate::runtime::Runtime;
@@ -21,9 +21,9 @@ pub struct LoadSpec {
     /// Open-loop arrival rate, requests per second.
     pub rate_per_sec: f64,
     /// Generation window (after warmup).
-    pub duration: SimTime,
+    pub duration: Time,
     /// Requests arriving during warmup are executed but not recorded.
-    pub warmup: SimTime,
+    pub warmup: Time,
     /// Request generator.
     pub factory: RequestFactory,
 }
@@ -50,7 +50,7 @@ pub struct LoadReport {
 impl LoadReport {
     /// Completed requests per second over the measured window.
     #[must_use]
-    pub fn throughput(&self, window: SimTime) -> f64 {
+    pub fn throughput(&self, window: Time) -> f64 {
         self.completed as f64 / window.as_secs_f64().max(f64::MIN_POSITIVE)
     }
 
@@ -58,7 +58,7 @@ impl LoadReport {
     /// measured window — the per-lane load that shows which sequencer
     /// saturates first.
     #[must_use]
-    pub fn append_rate_per_shard(&self, window: SimTime) -> Vec<f64> {
+    pub fn append_rate_per_shard(&self, window: Time) -> Vec<f64> {
         let secs = window.as_secs_f64().max(f64::MIN_POSITIVE);
         self.per_shard_appends
             .iter()
@@ -69,7 +69,7 @@ impl LoadReport {
     /// Total appends per second across all shards over the measured
     /// window.
     #[must_use]
-    pub fn append_throughput(&self, window: SimTime) -> f64 {
+    pub fn append_throughput(&self, window: Time) -> f64 {
         let total: u64 = self.per_shard_appends.iter().sum();
         total as f64 / window.as_secs_f64().max(f64::MIN_POSITIVE)
     }
@@ -104,7 +104,7 @@ impl Gateway {
         while ctx.now() < deadline {
             let gap =
                 ctx.with_rng(|rng| hm_common::dist::exp_interarrival_secs(rng, spec.rate_per_sec));
-            ctx.sleep(SimTime::from_secs_f64(gap)).await;
+            ctx.sleep(Time::from_secs_f64(gap)).await;
             if ctx.now() >= deadline {
                 break;
             }
@@ -190,9 +190,9 @@ impl Gateway {
             });
         }
         // Drain: wait for in-flight requests, bounded by a grace period.
-        let grace = ctx.now() + SimTime::from_secs(30);
+        let grace = ctx.now() + Time::from_secs(30);
         while in_flight.get() > 0 && ctx.now() < grace {
-            ctx.sleep(SimTime::from_millis(10)).await;
+            ctx.sleep(Time::from_millis(10)).await;
         }
         let mut report = report.borrow().clone();
         let end = self.runtime.client().log().shard_appends();

@@ -9,7 +9,7 @@ use std::rc::Rc;
 
 use halfmoon::{Client, GarbageCollector, GcStats, ShardId};
 use hm_common::NodeId;
-use hm_sim::SimTime;
+use hm_substrate::Time;
 
 /// Handle to a running periodic GC task.
 pub struct GcDriver {
@@ -31,7 +31,7 @@ pub struct GcTotals {
 impl GcDriver {
     /// Spawns a background task collecting every `interval`.
     #[must_use]
-    pub fn start(client: Client, node: NodeId, interval: SimTime) -> GcDriver {
+    pub fn start(client: Client, node: NodeId, interval: Time) -> GcDriver {
         let stop = Rc::new(Cell::new(false));
         let cycles = Rc::new(Cell::new(0u64));
         let total = Rc::new(Cell::new(GcTotals::default()));

@@ -14,7 +14,7 @@ use std::rc::Rc;
 
 use halfmoon::Client;
 use hm_common::trace::MetricsRegistry;
-use hm_sim::SimTime;
+use hm_substrate::Time;
 
 /// Handle to a running periodic metrics sampler.
 pub struct MetricsDriver {
@@ -31,7 +31,7 @@ impl MetricsDriver {
     pub fn start(
         client: Client,
         registry: Rc<MetricsRegistry>,
-        interval: SimTime,
+        interval: Time,
     ) -> MetricsDriver {
         let stop = Rc::new(Cell::new(false));
         let samples = Rc::new(Cell::new(0u64));

@@ -8,8 +8,8 @@ use halfmoon::{Client, Env, InvocationSpec, Invoker, LocalBoxFuture};
 use hm_common::anatomy::{Phase as AnatomyPhase, PhaseSheet};
 use hm_common::trace::{Lane, SpanId, TraceId};
 use hm_common::{HmError, HmResult, InstanceId, NodeId, Value};
-use hm_sim::sync::{Semaphore, TaskGroup};
-use hm_sim::SimTime;
+use hm_substrate::sync::{Semaphore, TaskGroup};
+use hm_substrate::Time;
 
 /// A registered function body. Bodies must be deterministic: given the same
 /// `Env` state and input they must issue the same operation sequence (§2).
@@ -25,20 +25,20 @@ pub struct RuntimeConfig {
     pub workers_per_node: u32,
     /// Delay between a crash and the re-execution of the SSF (failure
     /// detection + scheduling).
-    pub detection_delay: SimTime,
+    pub detection_delay: Time,
     /// Maximum execution attempts before the invocation errors out.
     pub max_attempts: u32,
     /// Probability that an invocation spawns a duplicate peer instance
     /// (a falsely-suspected timeout, §4's second race condition).
     pub duplicate_prob: f64,
     /// How long after the primary starts the duplicate is launched.
-    pub duplicate_delay: SimTime,
+    pub duplicate_delay: Time,
     /// §4's race condition modeled faithfully: "if an instance times out
     /// (but is still live) due to a network error, the runtime may assume
     /// that this instance has crashed and launch another". When set, any
     /// attempt still running after this long gets a live peer launched
     /// against it (once per attempt).
-    pub suspect_timeout: Option<SimTime>,
+    pub suspect_timeout: Option<Time>,
 }
 
 impl Default for RuntimeConfig {
@@ -46,10 +46,10 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             nodes: 8,
             workers_per_node: 8,
-            detection_delay: SimTime::from_millis(5),
+            detection_delay: Time::from_millis(5),
             max_attempts: 100,
             duplicate_prob: 0.0,
-            duplicate_delay: SimTime::from_millis(2),
+            duplicate_delay: Time::from_millis(2),
             suspect_timeout: None,
         }
     }

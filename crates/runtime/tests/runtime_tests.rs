@@ -9,7 +9,7 @@ use halfmoon::{Client, FaultPolicy, ProtocolKind};
 use hm_common::latency::LatencyModel;
 use hm_common::{Key, NodeId, Value};
 use hm_runtime::{Gateway, GcDriver, LoadSpec, Runtime, RuntimeConfig};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 
 fn setup(kind: ProtocolKind, config: RuntimeConfig) -> (Sim, Client, Runtime) {
     let sim = Sim::new(0x5e7);

@@ -52,7 +52,7 @@
 //! ```
 //! use hm_common::{ids::TagKind, latency::LatencyModel, NodeId, SeqNum, Tag};
 //! use hm_sharedlog::{LogConfig, SharedLog};
-//! use hm_sim::Sim;
+//! use hm_substrate::sim::Sim;
 //!
 //! let mut sim = Sim::new(1);
 //! let log: SharedLog<String> =

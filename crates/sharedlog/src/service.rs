@@ -61,8 +61,8 @@ use hm_common::latency::LatencyModel;
 use hm_common::metrics::OpCounters;
 use hm_common::trace::{Lane, SpanId, TraceId, Tracer};
 use hm_common::{NodeId, SeqNum, Tag};
-use hm_sim::sync::Gate;
-use hm_sim::SimCtx;
+use hm_substrate::sync::Gate;
+use hm_substrate::Ctx;
 
 use crate::payload::Payload;
 use crate::router::{GlobalSeqNum, Router, ShardId, Topology};
@@ -320,7 +320,7 @@ impl<P> ServiceInner<P> {
 /// ```
 /// use hm_common::{ids::TagKind, latency::LatencyModel, NodeId, SeqNum, Tag};
 /// use hm_sharedlog::{CondAppendOutcome, LogConfig, LogService};
-/// use hm_sim::Sim;
+/// use hm_substrate::sim::Sim;
 ///
 /// let mut sim = Sim::new(7);
 /// let log: LogService<String> =
@@ -343,7 +343,7 @@ impl<P> ServiceInner<P> {
 /// });
 /// ```
 pub struct LogService<P> {
-    ctx: SimCtx,
+    ctx: Ctx,
     model: LatencyModel,
     config: LogConfig,
     inner: Rc<RefCell<ServiceInner<P>>>,
@@ -365,7 +365,7 @@ impl<P: Payload> LogService<P> {
     /// Seqnums start at 1 so that [`SeqNum::ZERO`] can mean "before
     /// everything".
     #[must_use]
-    pub fn new(ctx: SimCtx, model: LatencyModel, config: LogConfig) -> LogService<P> {
+    pub fn new(ctx: Ctx, model: LatencyModel, config: LogConfig) -> LogService<P> {
         let now = ctx.now();
         let shards = config.topology.shards.max(1);
         LogService {
@@ -620,17 +620,6 @@ impl<P: Payload> LogService<P> {
         base.mul_f64(1.0 + 0.25 * missing + 0.15 * jitter)
     }
 
-    /// Marks a storage replica of shard 0 as failed (index
-    /// `0..replicas_per_shard`). Single-shard deployments (and the fault
-    /// examples) only ever talk to shard 0.
-    #[deprecated(
-        since = "0.5.0",
-        note = "implicitly targets shard 0; use fail_storage_replica_on(ShardId(0), r) or a FaultPlan replica outage"
-    )]
-    pub fn fail_storage_replica(&self, replica: u32) {
-        self.fail_storage_replica_on(ShardId(0), replica);
-    }
-
     /// Marks a storage replica of `shard` as failed. Replica failure is
     /// shard-scoped: other shards' storage groups keep full-speed quorums.
     pub fn fail_storage_replica_on(&self, shard: ShardId, replica: u32) {
@@ -638,15 +627,6 @@ impl<P: Payload> LogService<P> {
         self.inner.borrow_mut().shards[shard.0 as usize]
             .failed_replicas
             .insert(replica % replicas);
-    }
-
-    /// Brings a failed storage replica of shard 0 back.
-    #[deprecated(
-        since = "0.5.0",
-        note = "implicitly targets shard 0; use recover_storage_replica_on(ShardId(0), r) or a FaultPlan replica outage"
-    )]
-    pub fn recover_storage_replica(&self, replica: u32) {
-        self.recover_storage_replica_on(ShardId(0), replica);
     }
 
     /// Brings a failed storage replica of `shard` back.
@@ -1596,7 +1576,7 @@ impl<P> std::fmt::Debug for LogService<P> {
 #[cfg(test)]
 mod tests {
     use hm_common::ids::TagKind;
-    use hm_sim::{Sim, SimTime};
+    use hm_substrate::{sim::Sim, Time};
 
     use super::*;
 
@@ -1641,7 +1621,7 @@ mod tests {
         let h1 = ctx.spawn(async move { l1.append(N0, vec![t("a")], "first".into()).await });
         let h2 = ctx.spawn(async move {
             // Starts 1µs later; sequencer sees it second.
-            ctx2.sleep(SimTime::from_micros(1)).await;
+            ctx2.sleep(Time::from_micros(1)).await;
             l2.append(N1, vec![t("b")], "second".into()).await
         });
         sim.run();
@@ -1939,7 +1919,7 @@ mod tests {
             // The appender reads its own record from cache immediately.
             let start = ctx.now();
             l.read_prev(N0, t("c"), SeqNum::MAX).await;
-            assert_eq!(ctx.now() - start, SimTime::from_micros(100));
+            assert_eq!(ctx.now() - start, Time::from_micros(100));
         });
         let c = log.counters();
         assert_eq!(c.cache_misses, 1, "only node 1's first read missed");
@@ -2013,13 +1993,13 @@ mod tests {
             // exactly the 0.1 ms hit latency of the test model.
             let start = ctx.now();
             l.read_prev(N0, t("p1"), s1).await;
-            assert_eq!(ctx.now() - start, SimTime::from_micros(100));
+            assert_eq!(ctx.now() - start, Time::from_micros(100));
             // A second append evicts s1 from the single-slot cache.
             l.append(N0, vec![t("p2")], "b".into()).await;
             // Now the same read pays the full 0.3 ms miss latency.
             let start = ctx.now();
             l.read_prev(N0, t("p1"), s1).await;
-            assert_eq!(ctx.now() - start, SimTime::from_micros(300));
+            assert_eq!(ctx.now() - start, Time::from_micros(300));
             let c = l.counters();
             assert_eq!((c.cache_hits, c.cache_misses), (1, 1));
         });
@@ -2153,7 +2133,7 @@ mod replication_tests {
     use hm_common::ids::TagKind;
     use hm_common::latency::LatencyModel;
     use hm_common::{NodeId, Tag};
-    use hm_sim::Sim;
+    use hm_substrate::sim::Sim;
 
     use super::*;
 
@@ -2171,7 +2151,7 @@ mod replication_tests {
         Tag::named(TagKind::StepLog, "rep")
     }
 
-    async fn timed_append(log: &LogService<u64>, ctx: &hm_sim::SimCtx, v: u64) -> f64 {
+    async fn timed_append(log: &LogService<u64>, ctx: &hm_substrate::Ctx, v: u64) -> f64 {
         let start = ctx.now();
         log.append(NodeId(0), vec![t()], v).await;
         (ctx.now() - start).as_secs_f64() * 1e3
@@ -2241,14 +2221,13 @@ mod replication_tests {
         assert_eq!(log.degraded_appends(), 1);
     }
 
-    /// The legacy un-suffixed forms still work and still mean shard 0.
+    /// Replica faults are shard-scoped; shard 0 is addressed explicitly.
     #[test]
-    #[allow(deprecated)]
-    fn unsuffixed_replica_faults_alias_shard_zero() {
+    fn replica_faults_target_explicit_shard() {
         let (_sim, log) = setup();
-        log.fail_storage_replica(1);
+        log.fail_storage_replica_on(ShardId(0), 1);
         assert_eq!(log.live_storage_replicas_on(ShardId(0)), 2);
-        log.recover_storage_replica(1);
+        log.recover_storage_replica_on(ShardId(0), 1);
         assert_eq!(log.live_storage_replicas_on(ShardId(0)), 3);
     }
 }
@@ -2258,7 +2237,7 @@ mod sharding_tests {
     use hm_common::ids::TagKind;
     use hm_common::latency::LatencyModel;
     use hm_common::{NodeId, Tag};
-    use hm_sim::{Sim, SimTime};
+    use hm_substrate::{sim::Sim, Time};
 
     use crate::router::shard_for_tag;
 
@@ -2511,7 +2490,7 @@ mod sharding_tests {
             let c = ctx.clone();
             handles.push(ctx.spawn(async move {
                 // Staggered starts force a deterministic arrival order.
-                c.sleep(SimTime::from_micros(w)).await;
+                c.sleep(Time::from_micros(w)).await;
                 l.append(NodeId(w as u32), vec![Tag::new(TagKind::ObjectLog, w)], format!("{w}"))
                     .await
             }));
@@ -2552,7 +2531,7 @@ mod sharding_tests {
             let l = log.clone();
             let c = ctx.clone();
             handles.push(ctx.spawn(async move {
-                c.sleep(SimTime::from_micros(u64::from(w))).await;
+                c.sleep(Time::from_micros(u64::from(w))).await;
                 l.cond_append(NodeId(w), vec![tag], format!("peer{w}"), tag, 0)
                     .await
             }));
@@ -2584,7 +2563,7 @@ mod sharding_tests {
             let l = log.clone();
             let c = ctx.clone();
             ctx.spawn(async move {
-                c.sleep(SimTime::from_micros(i)).await;
+                c.sleep(Time::from_micros(i)).await;
                 l.append(N0, vec![tag], format!("r{i}")).await;
             });
         }
@@ -2593,7 +2572,7 @@ mod sharding_tests {
             // Arrive while all three appends are parked in the open batch:
             // they reach the sequencer at ~400µs (the to-sequencer share of
             // the 1ms test-model sample) and the deadline fires at ~600µs.
-            l.ctx.sleep(SimTime::from_micros(500)).await;
+            l.ctx.sleep(Time::from_micros(500)).await;
             let (recs, stats) = l.replay_stream(N1, tag).await;
             assert_eq!(recs.len(), 3);
             stats
@@ -2681,7 +2660,7 @@ mod sharding_tests {
         // freed or cleared payload, even though the crashed task dropped
         // its half of every shared handle (payload clone, outcome cell,
         // gate waiter) mid-flight.
-        use hm_sim::sync::TaskGroup;
+        use hm_substrate::sync::TaskGroup;
 
         let mut sim = Sim::new(11);
         let log: LogService<hm_common::SharedBytes> = LogService::new(
@@ -2689,7 +2668,7 @@ mod sharding_tests {
             LatencyModel::uniform_test_model(),
             LogConfig {
                 batch_max_records: 8, // > appender count: only the deadline flushes
-                batch_max_delay: SimTime::from_millis(5),
+                batch_max_delay: Time::from_millis(5),
                 ..LogConfig::default()
             },
         );
@@ -2708,7 +2687,7 @@ mod sharding_tests {
         let l2 = log.clone();
         let c2 = ctx.clone();
         let peer = ctx.spawn(async move {
-            c2.sleep(SimTime::from_micros(1)).await;
+            c2.sleep(Time::from_micros(1)).await;
             l2.append(N1, [tag], hm_common::SharedBytes::copy_from(b"peer"))
                 .await
         });
@@ -2720,7 +2699,7 @@ mod sharding_tests {
         ctx.spawn(async move {
             let shard = lc.shard_of(tag);
             while lc.pending_batch_len(shard) < 2 {
-                c3.sleep(SimTime::from_micros(5)).await;
+                c3.sleep(Time::from_micros(5)).await;
             }
             node_a.cancel();
         });

@@ -14,24 +14,20 @@
 //!   RNG. It is not `Clone`; it is the run-loop owner.
 //! - [`SimCtx`] is a cheap, clonable handle that tasks capture to spawn
 //!   subtasks, sleep, read the clock, and draw randomness.
-//! - [`sync`] provides the coordination primitives the upper layers need:
-//!   oneshot and mpsc channels, a FIFO [`sync::Semaphore`] used to model
-//!   bounded worker slots on function nodes (that bound is what produces the
-//!   saturation knees in Figure 11), and a one-shot broadcast
-//!   [`sync::Gate`] that the shared log's group-commit batcher uses to
-//!   release a whole batch of waiting appenders at once, in registration
-//!   order.
+//!
+//! This crate is *only* the executor. The coordination primitives
+//! (channels, the FIFO semaphore, the broadcast gate) and the generic
+//! combinators (`timeout`, `join_all`) live in `hm-substrate`, the trait
+//! layer through which everything above consumes this executor — upper
+//! crates never name `Sim`/`SimCtx` directly.
 //!
 //! Determinism: the ready queue is FIFO, timers tie-break by registration
 //! order, and all randomness flows from one seeded [`rand::rngs::SmallRng`].
 //! Two runs with the same seed interleave identically.
 
 mod executor;
-pub mod sync;
-mod util;
 
-pub use executor::{JoinHandle, Sim, SimCtx};
-pub use util::{join_all, timeout, TimedOut};
+pub use executor::{JoinHandle, Sim, SimCtx, Sleep};
 
 /// Virtual time since simulation start.
 ///

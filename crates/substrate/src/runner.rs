@@ -1,0 +1,80 @@
+//! [`Runner`]: one entry-point type over both backends.
+//!
+//! Binaries that offer a `--backend` flag (quickstart) and the
+//! backend-parity test construct a [`Runner`] from a [`BackendKind`] and
+//! drive the same workload through either executor.
+
+use std::future::Future;
+
+use crate::sim::Sim;
+use crate::wall::WallRunner;
+use crate::{BackendKind, Ctx, Time};
+
+/// A backend-selected executor: deterministic simulation or the wall clock.
+pub enum Runner {
+    /// Virtual-time simulation.
+    Sim(Sim),
+    /// Wall-clock executor.
+    Wall(WallRunner),
+}
+
+impl Runner {
+    /// Creates a runner on the given backend, seeded with `seed` (the seed
+    /// feeds the substrate RNG on both backends).
+    #[must_use]
+    pub fn new(kind: BackendKind, seed: u64) -> Runner {
+        match kind {
+            BackendKind::Sim => Runner::Sim(Sim::new(seed)),
+            BackendKind::Wall => Runner::Wall(WallRunner::new(seed)),
+        }
+    }
+
+    /// Which backend this runner executes on.
+    #[must_use]
+    pub fn backend(&self) -> BackendKind {
+        match self {
+            Runner::Sim(_) => BackendKind::Sim,
+            Runner::Wall(_) => BackendKind::Wall,
+        }
+    }
+
+    /// A clonable substrate context for tasks to capture.
+    #[must_use]
+    pub fn ctx(&self) -> Ctx {
+        match self {
+            Runner::Sim(s) => s.ctx(),
+            Runner::Wall(w) => Ctx::Wall(w.ctx()),
+        }
+    }
+
+    /// Current substrate time (virtual or real elapsed).
+    #[must_use]
+    pub fn now(&self) -> Time {
+        match self {
+            Runner::Sim(s) => s.now(),
+            Runner::Wall(w) => w.now(),
+        }
+    }
+
+    /// Runs `fut` to completion on the selected backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the executor stalls (every task blocked with no pending
+    /// timer) before the future resolves.
+    pub fn block_on<T: 'static>(&mut self, fut: impl Future<Output = T> + 'static) -> T {
+        match self {
+            Runner::Sim(s) => s.block_on(fut),
+            Runner::Wall(w) => w.block_on(fut),
+        }
+    }
+}
+
+impl std::fmt::Debug for Runner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Runner::Sim(s) => s.fmt(f),
+            Runner::Wall(w) => w.fmt(f),
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Sim backend: the deterministic virtual-time executor, behind the
+//! substrate surface.
+//!
+//! [`Sim`] here is a thin wrapper over `hm_sim::Sim` whose [`Sim::ctx`]
+//! hands out the substrate [`Ctx`] instead of the concrete `SimCtx` —
+//! upper layers and tests construct this type and never name `hm_sim`.
+//! Every method forwards directly; determinism and scheduling are exactly
+//! the simulator's.
+
+use std::future::Future;
+
+use crate::{Ctx, Time};
+
+/// The deterministic virtual-time backend.
+///
+/// Same API as the underlying simulator — `new(seed)`, [`Sim::ctx`],
+/// [`Sim::run`]/[`Sim::run_until`]/[`Sim::run_for`], [`Sim::block_on`] —
+/// with the context already wrapped as a substrate [`Ctx`].
+pub struct Sim {
+    inner: hm_sim::Sim,
+}
+
+impl Sim {
+    /// Creates a simulation whose RNG is seeded with `seed`. Equal seeds
+    /// give bit-identical runs.
+    #[must_use]
+    pub fn new(seed: u64) -> Sim {
+        Sim {
+            inner: hm_sim::Sim::new(seed),
+        }
+    }
+
+    /// A clonable substrate context for tasks to capture.
+    #[must_use]
+    pub fn ctx(&self) -> Ctx {
+        Ctx::Sim(self.inner.ctx())
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.inner.now()
+    }
+
+    /// Number of live (spawned, not yet completed) tasks.
+    #[must_use]
+    pub fn live_tasks(&self) -> usize {
+        self.inner.live_tasks()
+    }
+
+    /// Total number of future polls performed so far.
+    #[must_use]
+    pub fn poll_count(&self) -> u64 {
+        self.inner.poll_count()
+    }
+
+    /// Runs until no task is runnable and no timer is pending.
+    pub fn run(&mut self) {
+        self.inner.run();
+    }
+
+    /// Runs events with timestamps `≤ deadline`, then sets the clock to
+    /// `deadline`.
+    pub fn run_until(&mut self, deadline: Time) {
+        self.inner.run_until(deadline);
+    }
+
+    /// Runs for `d` of virtual time from now.
+    pub fn run_for(&mut self, d: Time) {
+        self.inner.run_for(d);
+    }
+
+    /// Spawns `fut` and runs the simulation until it completes, returning
+    /// its output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation stalls (every task blocked, no timer
+    /// pending) before the future resolves.
+    pub fn block_on<T: 'static>(&mut self, fut: impl Future<Output = T> + 'static) -> T {
+        self.inner.block_on(fut)
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}

@@ -1,8 +1,10 @@
-//! Coordination primitives for simulation tasks.
+//! Coordination primitives for substrate tasks.
 //!
-//! Everything here is single-threaded (`Rc`-based) because the executor is
-//! single-threaded; wakers are the only cross-cutting pieces and they are
-//! handled by the executor itself.
+//! Everything here is single-threaded (`Rc`-based) and executor-agnostic:
+//! the primitives speak only the [`std::task::Waker`] protocol, so the same
+//! code runs unchanged on the virtual-time simulator and on the wall-clock
+//! backend. Wakers are the only cross-cutting pieces and they are handled
+//! by whichever executor is driving.
 //!
 //! - [`oneshot`]: one value, one producer, one consumer — RPC replies.
 //! - [`mpsc`]: unbounded FIFO — request queues.
@@ -13,6 +15,10 @@
 //! - [`Gate`]: a one-shot broadcast — many waiters released by one event,
 //!   in registration order. Models group commit: every member of a flushed
 //!   batch learns of completion from the same storage acknowledgement.
+//!
+//! The ordering guarantees (FIFO semaphore grants, registration-order gate
+//! release) are part of the substrate contract; `tests/sync_contracts.rs`
+//! is the executable spec every backend must pass.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -716,7 +722,7 @@ mod tests {
     use std::cell::Cell;
     use std::time::Duration;
 
-    use crate::Sim;
+    use crate::sim::Sim;
 
     use super::*;
 
@@ -911,7 +917,11 @@ mod tests {
         }
         sim.run();
         assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
-        assert_eq!(sim.now(), Duration::from_millis(10), "waiters release at the open instant");
+        assert_eq!(
+            sim.now(),
+            Duration::from_millis(10),
+            "waiters release at the open instant"
+        );
     }
 
     #[test]

@@ -1,15 +1,20 @@
 //! Small combinators used across the workspace: joining task sets and
-//! bounding futures with virtual-time timeouts.
+//! bounding futures with substrate-time timeouts.
+//!
+//! Both are generic over the substrate traits — the same code times out a
+//! virtual-time future and a wall-clock one.
 
 use std::future::Future;
 
-use crate::executor::{JoinHandle, SimCtx};
-use crate::SimTime;
+use crate::{Clock, Time};
 
 /// Awaits every handle and collects the results in order.
 ///
+/// Accepts any awaitable handle — [`crate::JoinHandle`], a backend's own
+/// handle type, or plain futures.
+///
 /// ```
-/// use hm_sim::{join_all, Sim};
+/// use hm_substrate::{join_all, sim::Sim};
 /// use std::time::Duration;
 ///
 /// let mut sim = Sim::new(1);
@@ -31,7 +36,7 @@ use crate::SimTime;
 /// });
 /// assert_eq!(out, vec![0, 1, 4, 9]);
 /// ```
-pub async fn join_all<T>(handles: Vec<JoinHandle<T>>) -> Vec<T> {
+pub async fn join_all<T, H: Future<Output = T>>(handles: Vec<H>) -> Vec<T> {
     let mut out = Vec::with_capacity(handles.len());
     for handle in handles {
         out.push(handle.await);
@@ -39,18 +44,18 @@ pub async fn join_all<T>(handles: Vec<JoinHandle<T>>) -> Vec<T> {
     out
 }
 
-/// The future did not complete within the allotted virtual time.
+/// The future did not complete within the allotted substrate time.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TimedOut;
 
 impl std::fmt::Display for TimedOut {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("virtual-time timeout elapsed")
+        f.write_str("substrate-time timeout elapsed")
     }
 }
 impl std::error::Error for TimedOut {}
 
-/// Runs `fut` with a virtual-time deadline.
+/// Runs `fut` with a substrate-time deadline.
 ///
 /// Returns `Err(TimedOut)` if the deadline fires first. The future is
 /// dropped on timeout (its side effects up to that point stand — exactly
@@ -58,7 +63,7 @@ impl std::error::Error for TimedOut {}
 /// client-observed timeouts).
 ///
 /// ```
-/// use hm_sim::{timeout, Sim, TimedOut};
+/// use hm_substrate::{timeout, sim::Sim, TimedOut};
 /// use std::time::Duration;
 ///
 /// let mut sim = Sim::new(1);
@@ -80,9 +85,9 @@ impl std::error::Error for TimedOut {}
 /// });
 /// assert_eq!(out, (Ok(7), Err(TimedOut)));
 /// ```
-pub async fn timeout<T>(
-    ctx: &SimCtx,
-    limit: SimTime,
+pub async fn timeout<C: Clock, T>(
+    ctx: &C,
+    limit: Time,
     fut: impl Future<Output = T>,
 ) -> Result<T, TimedOut> {
     let mut sleep = std::pin::pin!(ctx.sleep(limit));
@@ -103,7 +108,7 @@ pub async fn timeout<T>(
 mod tests {
     use std::time::Duration;
 
-    use crate::Sim;
+    use crate::sim::Sim;
 
     use super::*;
 

@@ -1,0 +1,152 @@
+//! Executable spec for the substrate sync contracts, run on every backend.
+//!
+//! The harness is written *generically against the traits* — the property
+//! bodies know only [`Clock`] + [`Spawner`] — so any future backend (a
+//! real tokio adapter, a multi-core partitioned executor) is checked by
+//! adding one line to the backend matrix below. Randomization is a
+//! seeded loop (the workspace vendors no proptest): each iteration draws
+//! its shape — permit counts, waiter counts, hold times — from a
+//! `SmallRng` seeded with the iteration index, so failures replay exactly.
+//!
+//! Contracts under test (the ones alternate backends are most likely to
+//! break, because they depend on the executor's wakeup order):
+//! - `Semaphore`: permits are granted in strict arrival (FIFO) order, and
+//!   the configured concurrency bound is never exceeded.
+//! - `Gate`: one `open()` releases every waiter, in registration order.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::time::Duration;
+
+use hm_substrate::sync::{Gate, Semaphore};
+use hm_substrate::{BackendKind, Clock, Runner, Spawner};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Iterations per property per backend. Each wall-clock iteration costs
+/// real milliseconds (the sleeps are real), so this stays modest; the sim
+/// iterations are nearly free.
+const ITERS: u64 = 8;
+
+/// Arrival stagger between contending tasks. Must be comfortably above
+/// the wall backend's timer jitter so "arrival order" is unambiguous on
+/// the real clock too.
+const STAGGER: Duration = Duration::from_millis(2);
+
+fn backends() -> [BackendKind; 2] {
+    [BackendKind::Sim, BackendKind::Wall]
+}
+
+/// Semaphore FIFO: `n` tasks arrive at distinct instants and contend for
+/// `permits` slots held for `hold` each; grants must come in arrival
+/// order and concurrency must never exceed `permits`.
+async fn semaphore_fifo_property<C>(ctx: C, n: u32, permits: usize, hold: Duration) -> (Vec<u32>, usize)
+where
+    C: Clock + Spawner + 'static,
+{
+    let sem = Semaphore::new(permits);
+    let order = Rc::new(RefCell::new(Vec::new()));
+    let cur = Rc::new(Cell::new(0usize));
+    let peak = Rc::new(Cell::new(0usize));
+    let mut handles = Vec::new();
+    for i in 0..n {
+        let ctx2 = ctx.clone();
+        let sem = sem.clone();
+        let order = order.clone();
+        let cur = cur.clone();
+        let peak = peak.clone();
+        handles.push(ctx.spawn(async move {
+            ctx2.sleep(STAGGER * i).await;
+            let _guard = sem.acquire().await;
+            order.borrow_mut().push(i);
+            cur.set(cur.get() + 1);
+            peak.set(peak.get().max(cur.get()));
+            ctx2.sleep(hold).await;
+            cur.set(cur.get() - 1);
+        }));
+    }
+    for h in handles {
+        h.await;
+    }
+    let got = order.borrow().clone();
+    (got, peak.get())
+}
+
+/// Gate broadcast: `n` waiters register at distinct instants; one
+/// `open()` after the last registration must release all of them, in
+/// registration order.
+async fn gate_release_property<C>(ctx: C, n: u32) -> Vec<u32>
+where
+    C: Clock + Spawner + 'static,
+{
+    let gate = Gate::new();
+    let order = Rc::new(RefCell::new(Vec::new()));
+    let mut handles = Vec::new();
+    for i in 0..n {
+        let ctx2 = ctx.clone();
+        let gate = gate.clone();
+        let order = order.clone();
+        handles.push(ctx.spawn(async move {
+            ctx2.sleep(STAGGER * i).await;
+            gate.wait().await;
+            order.borrow_mut().push(i);
+        }));
+    }
+    // Open strictly after every waiter has parked.
+    ctx.sleep(STAGGER * n + STAGGER).await;
+    assert_eq!(gate.waiters(), n as usize, "all waiters parked before open");
+    gate.open();
+    for h in handles {
+        h.await;
+    }
+    let got = order.borrow().clone();
+    got
+}
+
+#[test]
+fn semaphore_grants_fifo_on_every_backend() {
+    for backend in backends() {
+        for iter in 0..ITERS {
+            let mut shape = SmallRng::seed_from_u64(0x5e3a_0000 + iter);
+            let n = shape.random_range(2..10u32);
+            let permits = shape.random_range(1..4usize);
+            let hold = Duration::from_millis(shape.random_range(1..6u64)) * n;
+
+            let mut runner = Runner::new(backend, iter);
+            let ctx = runner.ctx();
+            let (order, peak) =
+                runner.block_on(semaphore_fifo_property(ctx, n, permits, hold));
+
+            let expect: Vec<u32> = (0..n).collect();
+            assert_eq!(
+                order, expect,
+                "{backend} backend broke semaphore FIFO (iter {iter}: n={n} permits={permits})"
+            );
+            assert!(
+                peak <= permits,
+                "{backend} backend exceeded the concurrency bound \
+                 (iter {iter}: peak {peak} > permits {permits})"
+            );
+        }
+    }
+}
+
+#[test]
+fn gate_releases_in_registration_order_on_every_backend() {
+    for backend in backends() {
+        for iter in 0..ITERS {
+            let mut shape = SmallRng::seed_from_u64(0x6a7e_0000 + iter);
+            let n = shape.random_range(2..12u32);
+
+            let mut runner = Runner::new(backend, iter);
+            let ctx = runner.ctx();
+            let order = runner.block_on(gate_release_property(ctx, n));
+
+            let expect: Vec<u32> = (0..n).collect();
+            assert_eq!(
+                order, expect,
+                "{backend} backend broke gate registration-order release (iter {iter}: n={n})"
+            );
+        }
+    }
+}

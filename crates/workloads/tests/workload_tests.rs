@@ -8,7 +8,7 @@ use halfmoon::{Client, FaultPolicy, ProtocolKind, Recorder};
 use hm_common::latency::LatencyModel;
 use hm_common::Value;
 use hm_runtime::{Gateway, LoadSpec, Runtime, RuntimeConfig};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 use hm_workloads::movie::Movie;
 use hm_workloads::retwis::Retwis;
 use hm_workloads::synthetic::{MicroRw, SyntheticOps};

@@ -15,7 +15,7 @@ use std::time::Duration;
 use halfmoon::{Client, FaultPlan, FaultPolicy, ProtocolKind, ShardId};
 use hm_runtime::chaos::{audit, ChaosDriver};
 use hm_runtime::{Gateway, LoadSpec, Runtime, RuntimeConfig};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 use hm_workloads::travel::Travel;
 use hm_workloads::Workload;
 

@@ -10,7 +10,7 @@
 
 use halfmoon::{Client, Env, FaultPolicy, InvocationSpec, ProtocolKind};
 use hm_common::{HmResult, Key, NodeId, Value};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 
 async fn increment(env: &mut Env) -> HmResult<Value> {
     let c = env.read(&Key::new("counter")).await?.as_int().unwrap_or(0);

@@ -12,7 +12,7 @@ use halfmoon::{ProtocolConfig, ProtocolKind, Switcher};
 use hm_common::latency::LatencyModel;
 use hm_common::NodeId;
 use hm_runtime::{Runtime, RuntimeConfig};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 use hm_workloads::synthetic::SyntheticOps;
 use hm_workloads::Workload;
 

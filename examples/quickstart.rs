@@ -21,18 +21,24 @@
 //! request is sequential, so every "batch" holds a single record and the
 //! client-visible output is identical to the default run — batching only
 //! changes throughput under concurrency, never results.
+//!
+//! Pass `--backend tokio` (or `--backend wall`) to run the identical
+//! deployment on the wall-clock executor instead of the virtual-time
+//! simulator: sleeps take real time, and the client-visible output is the
+//! same — only the elapsed-time line changes.
 
 use std::time::Duration;
 
 use halfmoon::{FaultPolicy, ProtocolKind};
 use hm_common::{Key, Value};
 use hm_runtime::{Runtime, RuntimeConfig};
-use hm_sim::Sim;
+use hm_substrate::{BackendKind, Runner};
 
 fn main() {
     let mut trace_out: Option<String> = None;
     let mut shards: u8 = 1;
     let mut batch: usize = 1;
+    let mut backend = BackendKind::Sim;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--trace-out" {
@@ -49,11 +55,16 @@ fn main() {
                 .expect("--batch requires a batch size")
                 .parse()
                 .expect("--batch takes a small integer");
+        } else if arg == "--backend" {
+            let name = args.next().expect("--backend requires a name");
+            backend = BackendKind::parse(&name)
+                .unwrap_or_else(|| panic!("unknown backend {name:?} (sim|tokio|wall)"));
         }
     }
 
-    // 1. A deterministic simulation: same seed, same run — always.
-    let mut sim = Sim::new(42);
+    // 1. A substrate to run on: the deterministic simulator by default
+    //    (same seed, same run — always), or the wall clock via --backend.
+    let mut sim = Runner::new(backend, 42);
 
     // 2. A deployment, built fluently: shared log (1..n shards) +
     //    versioned store + protocol choice + fault plan. Crash the
@@ -110,7 +121,10 @@ fn main() {
         "deposit returned: {:?}",
         result.expect("exactly-once in spite of crashes")
     );
-    println!("virtual time elapsed: {:?}", sim.now());
+    match backend {
+        BackendKind::Sim => println!("virtual time elapsed: {:?}", sim.now()),
+        BackendKind::Wall => println!("wall-clock time elapsed: {:?}", sim.now()),
+    }
     println!("crashes injected:     {}", client.faults().injected());
     println!("executions started:   {}", runtime.invocations());
     println!("re-executions:        {}", runtime.retries());
@@ -146,5 +160,4 @@ fn main() {
             tracer.events_recorded()
         );
     }
-    let _ = Duration::ZERO;
 }

@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use halfmoon::ProtocolKind;
 use hm_runtime::{Gateway, GcDriver, LoadSpec, Runtime, RuntimeConfig};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 use hm_workloads::travel::Travel;
 use hm_workloads::Workload;
 

@@ -19,8 +19,39 @@
 # expected to drift; simulated work is not).
 # Docs: rustdoc across the workspace with warnings denied (hm-sharedlog
 # and hm-core additionally deny missing_docs at the crate level).
+# Layering: no crate above hm-sim may name the simulator directly; all
+# executor access goes through the hm-substrate trait layer.
+# Backend smoke: quickstart on --backend tokio (the wall-clock executor)
+# must produce the same client-visible output as the sim backend.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== layering: hm_sim is only named below the substrate layer =="
+# The substrate crate is the simulator's sole consumer. Everything above
+# it — protocol crates, runtime, benches, tests, examples — must go
+# through hm_substrate, so a reference to hm_sim (or its concrete
+# Sim/SimCtx types) anywhere else is a layering violation.
+violations="$(grep -rn 'hm_sim\|\bSimCtx\b' \
+    --include='*.rs' \
+    crates/core crates/common crates/sharedlog crates/kvstore \
+    crates/runtime crates/workloads crates/bench src tests examples \
+    2>/dev/null || true)"
+if [ -n "$violations" ]; then
+    echo "layering VIOLATION: code above hm-sim names the simulator directly:"
+    echo "$violations"
+    exit 1
+fi
+manifest_violations="$(grep -rn 'hm-sim' \
+    --include='Cargo.toml' \
+    crates/core crates/common crates/sharedlog crates/kvstore \
+    crates/runtime crates/workloads crates/bench \
+    2>/dev/null || true)"
+if [ -n "$manifest_violations" ]; then
+    echo "layering VIOLATION: a crate above hm-sim depends on it directly:"
+    echo "$manifest_violations"
+    exit 1
+fi
+echo "layering ok: hm_sim referenced only by crates/sim and crates/substrate"
 
 echo "== tier-1: cargo build --release =="
 cargo build --release
@@ -162,6 +193,19 @@ if ! diff <(grep -v '^virtual time' "$s1") <(grep -v '^virtual time' "$b16"); th
     exit 1
 fi
 echo "batch smoke ok: client-visible results identical at batch 1 and 16"
+
+echo "== backend smoke: quickstart @ --backend tokio vs sim =="
+wq="$(mktemp -t quickstart_wall.XXXXXX.txt)"
+trap 'rm -f "$out" "$aout" "$tout" "$ttrace" "$s1" "$s4" "$b16" "$wq"' EXIT
+cargo run --release -q --example quickstart -- --backend tokio > "$wq"
+# The wall-clock executor runs the identical deployment on real time; the
+# client-visible output must match the sim run, with only the elapsed-time
+# line (virtual vs wall-clock) differing.
+if ! diff <(grep -v '^virtual time' "$s1") <(grep -v '^wall-clock time' "$wq"); then
+    echo "backend smoke FAILED: quickstart output differs between sim and tokio backends"
+    exit 1
+fi
+echo "backend smoke ok: client-visible results identical on sim and wall-clock backends"
 
 echo "== chaos smoke: chaos_campaign example =="
 chaos_out="$(mktemp -t chaos_smoke.XXXXXX.txt)"

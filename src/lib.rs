@@ -19,5 +19,5 @@ pub use hm_common;
 pub use hm_kvstore;
 pub use hm_runtime;
 pub use hm_sharedlog;
-pub use hm_sim;
+pub use hm_substrate;
 pub use hm_workloads;

@@ -14,7 +14,7 @@ use hm_common::latency::LatencyModel;
 use hm_common::{Key, NodeId, StepNum, Value};
 use hm_runtime::chaos::{audit, ChaosDriver};
 use hm_runtime::{Gateway, LoadSpec, Runtime, RuntimeConfig};
-use hm_sim::{Sim, SimTime};
+use hm_substrate::{sim::Sim, Time};
 use hm_workloads::synthetic::SyntheticOps;
 use hm_workloads::Workload;
 
@@ -94,7 +94,7 @@ fn recovery_counts_records_parked_mid_flush_exactly_once() {
         let log = client.log().clone();
         let c = ctx.clone();
         ctx.spawn(async move {
-            c.sleep(SimTime::from_micros(u64::from(i))).await;
+            c.sleep(Time::from_micros(u64::from(i))).await;
             let rec = StepRecord {
                 instance: id,
                 step: StepNum(i),
@@ -108,7 +108,7 @@ fn recovery_counts_records_parked_mid_flush_exactly_once() {
         // Arrive while all three appends are parked in the open batch:
         // under the uniform test model they reach the sequencer at ~400µs
         // and the 10ms deadline is nowhere near firing.
-        c.ctx().sleep(SimTime::from_micros(500)).await;
+        c.ctx().sleep(Time::from_micros(500)).await;
         let (recs, replay) = c.log().replay_stream(NodeId(1), tag).await;
         assert_eq!(recs.len(), 3, "the forced flush must surface all records");
         c.note_recovery(replay);

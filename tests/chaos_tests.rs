@@ -9,7 +9,7 @@ use halfmoon::{Client, FaultPlan, FaultPolicy, ProtocolConfig, ProtocolKind, Sha
 use hm_common::latency::LatencyModel;
 use hm_runtime::chaos::{audit, AuditReport, ChaosDriver};
 use hm_runtime::{Gateway, LoadSpec, Runtime, RuntimeConfig};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 use hm_workloads::synthetic::SyntheticOps;
 use hm_workloads::Workload;
 

@@ -19,7 +19,7 @@ use hm_common::latency::LatencyModel;
 use hm_common::trace::{OpSummary, SpanId, Tracer};
 use hm_common::{Key, Value};
 use hm_runtime::{Runtime, RuntimeConfig};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 
 /// Runs one read-then-write request under `kind` with tracing attached and
 /// returns the invocation's op summaries (init, read, write, finish).

@@ -9,7 +9,7 @@ use halfmoon::{Client, FaultPolicy, ProtocolConfig, ProtocolKind};
 use hm_common::latency::LatencyModel;
 use hm_common::metrics::OpCounters;
 use hm_runtime::{Gateway, GcDriver, LoadSpec, Runtime, RuntimeConfig};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 use hm_workloads::synthetic::SyntheticOps;
 use hm_workloads::travel::Travel;
 use hm_workloads::Workload;

@@ -8,7 +8,7 @@ use halfmoon::{Client, FaultPolicy, ProtocolConfig, ProtocolKind, ShardId, Switc
 use hm_common::latency::LatencyModel;
 use hm_common::NodeId;
 use hm_runtime::{Gateway, GcDriver, LoadSpec, Runtime, RuntimeConfig};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 use hm_workloads::retwis::Retwis;
 use hm_workloads::synthetic::SyntheticOps;
 use hm_workloads::travel::Travel;

@@ -26,7 +26,7 @@ use hm_common::metrics::{Histogram, OpCounters};
 use hm_common::{NodeId, SeqNum, Tag};
 use hm_runtime::{Gateway, GcDriver, LoadSpec, Runtime, RuntimeConfig};
 use hm_sharedlog::{CondAppendOutcome, LogConfig, SharedLog};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 use hm_workloads::synthetic::SyntheticOps;
 use hm_workloads::travel::Travel;
 use hm_workloads::Workload;

@@ -24,7 +24,7 @@ use std::time::Duration;
 use halfmoon::{Client, Env, FaultPolicy, InvocationSpec, ProtocolKind};
 use hm_common::latency::LatencyModel;
 use hm_common::{HmResult, InstanceId, Key, NodeId, Value};
-use hm_sim::Sim;
+use hm_substrate::sim::Sim;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
