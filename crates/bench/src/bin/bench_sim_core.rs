@@ -22,6 +22,13 @@
 //!   untraced run (tracing must not perturb the simulation), report the
 //!   traced wall time as an extra component, and write the Chrome
 //!   `trace_event` JSON to `<path>` (load it at `ui.perfetto.dev`).
+//!
+//! Arguments parse through the workspace-wide `hm_bench::cli::CommonOpts`
+//! surface; the deployment-shaping flags (`--backend`, `--shards`,
+//! `--batch`, `--workers`) are rejected here because every component pins
+//! its own topology — the `parallel_scaling` component sweeps worker
+//! counts itself and reports per-count wall times plus the host core
+//! count.
 
 use std::fmt::Write as _;
 use std::rc::Rc;
@@ -29,14 +36,16 @@ use std::time::{Duration, Instant};
 
 use halfmoon::ProtocolKind;
 use hm_bench::alloc::{AllocRate, AllocSnapshot, CountingAlloc};
+use hm_bench::cli::CommonOpts;
 use hm_bench::{run_app, run_app_traced, AppRun};
 use hm_common::ids::TagKind;
 use hm_common::trace::Tracer;
 use hm_common::latency::LatencyModel;
 use hm_common::{NodeId, Tag};
-use hm_runtime::RuntimeConfig;
+use hm_runtime::{RuntimeConfig, TenantPlan};
 use hm_sharedlog::{LogConfig, Payload, SharedLog};
 use hm_substrate::sim::Sim;
+use hm_substrate::{Backend, Partition, PartitionFuture, PartitionPolicy, Runner};
 use hm_workloads::synthetic::SyntheticOps;
 use hm_workloads::travel::Travel;
 
@@ -930,6 +939,125 @@ fn latency_anatomy(scale: f64) -> (Component, String) {
     )
 }
 
+/// Core scaling: the same multi-tenant deployment driven on the
+/// partitioned parallel backend at 1/2/4/8 worker threads.
+///
+/// Sixteen tenant slices — each a complete single-shard deployment with
+/// its own log service and writer pool, pinned to one of eight partitions
+/// by a [`TenantPlan`] — run with a lookahead wider than the workload, so
+/// partitions free-run instead of marching in frontier lockstep. The
+/// per-partition results are asserted byte-identical across every worker
+/// count (the parallel backend's determinism contract: workers change
+/// wall time, never results), and the wall time per worker count is
+/// reported alongside the host's core count. On a single-core host the
+/// sweep measures threading overhead, not speedup — `cores` in the JSON
+/// says which regime the numbers came from, and `scripts/verify.sh` only
+/// asserts a speedup when the host can physically provide one.
+fn parallel_scaling(scale: f64) -> (Component, String) {
+    let start = Instant::now();
+    let partitions = 8usize;
+    let tenants = 16usize;
+    let plan = TenantPlan::new(tenants, partitions, PartitionPolicy::RoundRobin);
+    let writers = 8u64;
+    let per_writer = (((1_500.0 * scale) as u64).max(256) / writers).max(4);
+    let capacity = 4_000.0;
+
+    let mut fps = Vec::new();
+    let mut walls = Vec::new();
+    for &workers in &[1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let mut runner = Runner::builder()
+            .backend(Backend::Parallel)
+            .seed(0x5CA1E)
+            .workers(workers)
+            .lookahead(Duration::from_secs(3600))
+            .build();
+        let results = runner.run_partitions(partitions, |p: Partition| -> PartitionFuture<Vec<u64>> {
+            let ctx = p.ctx();
+            let hosted = plan.tenants_on(p.index());
+            Box::pin(async move {
+                // One complete deployment slice per hosted tenant: its own
+                // single-shard log and closed-loop writer pool, tag space
+                // keyed by tenant id so slices never alias.
+                let mut out = Vec::new();
+                for tenant in hosted {
+                    let log: SharedLog<u64> = SharedLog::new(
+                        ctx.clone(),
+                        LatencyModel::uniform_test_model(),
+                        LogConfig {
+                            sequencer_capacity: Some(capacity),
+                            ..LogConfig::default()
+                        },
+                    );
+                    let mut handles = Vec::new();
+                    for w in 0..writers {
+                        let l = log.clone();
+                        handles.push(ctx.spawn(async move {
+                            let tag = Tag::new(TagKind::ObjectLog, (tenant as u64) << 16 | w);
+                            for i in 0..per_writer {
+                                l.append(NodeId((w % 8) as u32), [tag], i).await;
+                            }
+                        }));
+                    }
+                    for h in handles {
+                        h.await;
+                    }
+                    out.push(tenant as u64);
+                    out.push(log.counters().log_appends);
+                    out.push(ctx.now().as_nanos() as u64);
+                }
+                out
+            })
+        });
+        walls.push(t0.elapsed());
+        let mut fp = 0u64;
+        for per_partition in &results {
+            for &v in per_partition {
+                fp = mix(fp, v);
+            }
+        }
+        fps.push(fp);
+    }
+    assert!(
+        fps.iter().all(|&f| f == fps[0]),
+        "worker count changed simulated results: {fps:?}"
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let speedup_4w = walls[0].as_secs_f64() / walls[2].as_secs_f64().max(f64::MIN_POSITIVE);
+    eprintln!(
+        "parallel scaling wall ms ({cores} cores): 1w={:.1} 2w={:.1} 4w={:.1} 8w={:.1} (4w speedup {speedup_4w:.2}x)",
+        walls[0].as_secs_f64() * 1e3,
+        walls[1].as_secs_f64() * 1e3,
+        walls[2].as_secs_f64() * 1e3,
+        walls[3].as_secs_f64() * 1e3,
+    );
+
+    let mut json = String::new();
+    json.push('{');
+    let _ = write!(
+        json,
+        "\"partitions\": {partitions}, \"tenants\": {tenants}, \"cores\": {cores}"
+    );
+    for (label, wall) in [("workers_1", walls[0]), ("workers_2", walls[1]), ("workers_4", walls[2]), ("workers_8", walls[3])] {
+        let _ = write!(json, ", \"{label}_wall_ms\": {:.3}", wall.as_secs_f64() * 1e3);
+    }
+    let _ = write!(json, ", \"speedup_4w\": {speedup_4w:.3}}}");
+
+    (
+        Component {
+            name: "parallel_scaling",
+            wall: start.elapsed(),
+            // Partition executors live on worker threads; their poll
+            // counters are not observable through the public surface.
+            polls: 0,
+            fingerprint: fps[0],
+            alloc: Vec::new(),
+        },
+        json,
+    )
+}
+
 fn json_escape_free(s: &str) -> &str {
     // All strings we emit are static identifiers; assert rather than escape.
     assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
@@ -940,16 +1068,9 @@ fn main() {
     let scale = hm_bench::scale();
     let out_path =
         std::env::var("HM_BENCH_OUT").unwrap_or_else(|_| "BENCH_sim_core.json".to_string());
-    let mut trace_out: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--trace-out" => {
-                trace_out = Some(args.next().expect("--trace-out requires a path"));
-            }
-            other => panic!("unknown argument: {other}"),
-        }
-    }
+    let opts = CommonOpts::from_env();
+    opts.reject_shape_overrides("bench_sim_core");
+    let trace_out = opts.trace_out;
 
     let mut components = vec![
         executor_churn(scale),
@@ -966,6 +1087,8 @@ fn main() {
     ];
     let (lat_component, lat_json) = latency_anatomy(scale);
     components.push(lat_component);
+    let (par_component, par_json) = parallel_scaling(scale);
+    components.push(par_component);
 
     if let Some(path) = &trace_out {
         // Same seed and parameters as the untraced synthetic Halfmoon-read
@@ -1006,9 +1129,10 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"sim_core\",");
-    let _ = writeln!(json, "  \"schema_version\": 3,");
+    let _ = writeln!(json, "  \"schema_version\": 4,");
     let _ = writeln!(json, "  \"scale\": {scale},");
     let _ = writeln!(json, "  \"latency_anatomy\": {lat_json},");
+    let _ = writeln!(json, "  \"parallel_scaling\": {par_json},");
     let _ = writeln!(json, "  \"total_wall_ms\": {:.3},", total.as_secs_f64() * 1e3);
     let _ = writeln!(json, "  \"work_fingerprint\": \"{fp:016x}\",");
     json.push_str("  \"components\": [\n");

@@ -10,6 +10,7 @@
 //!   (default 1.0; use 0.2 for a quick smoke pass).
 
 pub mod alloc;
+pub mod cli;
 
 use std::rc::Rc;
 use std::time::Duration;

@@ -27,10 +27,12 @@ pub mod chaos;
 mod gateway;
 mod gc_driver;
 mod metrics_driver;
+pub mod partition;
 mod runtime;
 
 pub use chaos::{audit, AuditReport, ChaosDriver};
 pub use gateway::{Gateway, LoadReport, LoadSpec, RequestFactory};
+pub use partition::TenantPlan;
 pub use gc_driver::GcDriver;
 pub use metrics_driver::MetricsDriver;
 pub use runtime::{Runtime, RuntimeConfig, SsfBody};

@@ -71,11 +71,13 @@
 
 #![deny(missing_docs)]
 
+pub mod partition;
 mod payload;
 mod router;
 mod service;
 mod shard;
 
+pub use partition::{RemoteAppend, ShardPlacement};
 pub use payload::Payload;
 pub use router::{shard_for_tag, GlobalSeqNum, ShardId, Topology};
 pub use service::{CondAppendOutcome, LogConfig, LogService, ReplayStats};

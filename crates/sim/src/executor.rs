@@ -578,6 +578,72 @@ impl Sim {
         }
     }
 
+    // --- partition-local run-until-frontier hooks ---------------------------
+    //
+    // The partitioned parallel backend (hm-substrate's `par` module) hosts one
+    // `Sim` per partition and interleaves executor steps with cross-partition
+    // envelope delivery under a conservative time frontier. It needs finer
+    // control than `run`/`run_until` give: poll the ready queue without
+    // advancing time, peek the next timer deadline, move the clock to an
+    // externally-timestamped instant, and fire timers only strictly below a
+    // frontier. These hooks expose exactly those steps; composed as
+    // `run_ready` + `fire_timers_before(∞)` they reproduce `run_inner`
+    // poll-for-poll, so a single-partition frontier loop is bit-identical to
+    // the sequential executor.
+
+    /// Polls every task currently runnable at this instant until the ready
+    /// queue is empty, without touching the clock. Returns true if at least
+    /// one task was polled.
+    pub fn run_ready(&mut self) -> bool {
+        let mut ran = false;
+        while let Some((idx, gen)) = self.inner.ready.pop() {
+            self.poll_task(idx, gen);
+            ran = true;
+        }
+        ran
+    }
+
+    /// Deadline of the earliest pending timer, if any. Does not advance the
+    /// clock or fire anything.
+    #[must_use]
+    pub fn next_timer_at(&self) -> Option<SimTime> {
+        let now_tick = dur_ns(self.inner.now.get()) >> TICK_SHIFT;
+        let mut wheel = self.inner.timers.borrow_mut();
+        wheel.cascade(now_tick);
+        wheel
+            .min_deadline(now_tick)
+            .map(|(at_ns, _)| SimTime::from_nanos(at_ns))
+    }
+
+    /// Sets the clock to `at` without firing any timer — the entry point for
+    /// externally-timestamped events (cross-partition envelope deliveries)
+    /// that land between timer deadlines.
+    ///
+    /// # Panics
+    /// Debug-asserts that `at` neither moves time backwards nor skips a
+    /// pending timer deadline; in release the clock only moves forward.
+    pub fn advance_clock_to(&mut self, at: SimTime) {
+        debug_assert!(at >= self.inner.now.get(), "clock moved backwards");
+        debug_assert!(
+            self.next_timer_at().is_none_or(|t| at <= t),
+            "advance_clock_to would skip a pending timer"
+        );
+        if at > self.inner.now.get() {
+            self.inner.now.set(at);
+        }
+    }
+
+    /// Advances the clock to the next pending timer and fires every timer at
+    /// that instant, but only if the deadline is strictly before `limit`.
+    /// Returns false (clock untouched) otherwise — the strict bound is what a
+    /// conservative time frontier requires.
+    pub fn fire_timers_before(&mut self, limit: SimTime) -> bool {
+        match self.next_timer_at() {
+            Some(at) if at < limit => self.advance_to_next_timer(Some(at)),
+            _ => false,
+        }
+    }
+
     /// Advances the clock to the next pending timer (within `deadline`, if
     /// any) and fires every timer at that instant. Returns false if there
     /// was no eligible timer.

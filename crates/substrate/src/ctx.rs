@@ -1,10 +1,13 @@
 //! [`Ctx`]: the backend-erased substrate context upper layers hold.
 //!
 //! `Ctx` is an enum over the concrete backend contexts, not a boxed trait
-//! object: every method is a two-arm match that the compiler resolves to a
+//! object: every method is a small match that the compiler resolves to a
 //! direct call. On the sim backend this makes the abstraction free — no
 //! allocation, no indirect call, no schedule perturbation — which is what
-//! keeps deterministic runs bit-identical to the pre-substrate code.
+//! keeps deterministic runs bit-identical to the pre-substrate code. The
+//! parallel backend's context delegates its clock, spawning, and RNG to
+//! the partition's own sim executor, so the same zero-perturbation
+//! argument applies per partition.
 
 use std::future::Future;
 use std::pin::Pin;
@@ -13,6 +16,7 @@ use std::task::{Context, Poll};
 use hm_sim::SimCtx;
 use rand::rngs::SmallRng;
 
+use crate::par::ParCtx;
 use crate::wall::{WallCtx, WallJoinHandle, WallSleep};
 use crate::{BackendKind, Clock, RngSource, Spawner, TaskHandle, Time};
 
@@ -28,6 +32,9 @@ pub enum Ctx {
     Sim(SimCtx),
     /// Wall-clock (tokio-style current-thread) context.
     Wall(WallCtx),
+    /// Partitioned parallel context: one partition's virtual-time executor
+    /// plus the cross-partition messaging surface.
+    Par(ParCtx),
 }
 
 impl Ctx {
@@ -37,6 +44,38 @@ impl Ctx {
         match self {
             Ctx::Sim(_) => BackendKind::Sim,
             Ctx::Wall(_) => BackendKind::Wall,
+            Ctx::Par(_) => BackendKind::Parallel,
+        }
+    }
+
+    /// The parallel-backend context, if this is one. Protocol code that
+    /// exchanges cross-partition messages uses this to reach
+    /// [`ParCtx::send`]/[`ParCtx::recv`]; on the other backends it returns
+    /// `None` (there is exactly one partition).
+    #[must_use]
+    pub fn as_par(&self) -> Option<&ParCtx> {
+        match self {
+            Ctx::Par(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Index of the partition this context executes on (0 outside the
+    /// parallel backend).
+    #[must_use]
+    pub fn partition(&self) -> usize {
+        match self {
+            Ctx::Par(c) => c.partition(),
+            _ => 0,
+        }
+    }
+
+    /// Total partitions in the run (1 outside the parallel backend).
+    #[must_use]
+    pub fn partitions(&self) -> usize {
+        match self {
+            Ctx::Par(c) => c.partitions(),
+            _ => 1,
         }
     }
 
@@ -46,6 +85,7 @@ impl Ctx {
         match self {
             Ctx::Sim(c) => c.now(),
             Ctx::Wall(c) => c.now(),
+            Ctx::Par(c) => c.now(),
         }
     }
 
@@ -54,6 +94,7 @@ impl Ctx {
         match self {
             Ctx::Sim(c) => Sleep::Sim(c.sleep(d)),
             Ctx::Wall(c) => Sleep::Wall(c.sleep(d)),
+            Ctx::Par(c) => Sleep::Sim(c.sleep(d)),
         }
     }
 
@@ -62,6 +103,7 @@ impl Ctx {
         match self {
             Ctx::Sim(c) => Sleep::Sim(c.sleep_until(at)),
             Ctx::Wall(c) => Sleep::Wall(c.sleep_until(at)),
+            Ctx::Par(c) => Sleep::Sim(c.sleep_until(at)),
         }
     }
 
@@ -75,6 +117,7 @@ impl Ctx {
         match self {
             Ctx::Sim(c) => JoinHandle::Sim(c.spawn(fut)),
             Ctx::Wall(c) => JoinHandle::Wall(c.spawn(fut)),
+            Ctx::Par(c) => JoinHandle::Sim(c.spawn(fut)),
         }
     }
 
@@ -84,6 +127,7 @@ impl Ctx {
         match self {
             Ctx::Sim(c) => c.spawn_detached(fut),
             Ctx::Wall(c) => c.spawn_detached(fut),
+            Ctx::Par(c) => c.spawn_detached(fut),
         }
     }
 
@@ -93,6 +137,7 @@ impl Ctx {
         match self {
             Ctx::Sim(c) => c.with_rng(f),
             Ctx::Wall(c) => c.with_rng(f),
+            Ctx::Par(c) => c.with_rng(f),
         }
     }
 }
@@ -112,6 +157,12 @@ impl From<SimCtx> for Ctx {
 impl From<WallCtx> for Ctx {
     fn from(ctx: WallCtx) -> Ctx {
         Ctx::Wall(ctx)
+    }
+}
+
+impl From<ParCtx> for Ctx {
+    fn from(ctx: ParCtx) -> Ctx {
+        Ctx::Par(ctx)
     }
 }
 

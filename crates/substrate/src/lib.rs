@@ -16,6 +16,20 @@
 //!   the loop is hand-rolled here; the traits are exactly what a real
 //!   tokio adapter would implement). Sleeps take real time, `now()` is
 //!   real elapsed time — the same protocol code becomes a runnable system.
+//! - [`par`]: **partitioned parallel** virtual-time execution — one sim
+//!   executor per partition spread over N worker threads, cross-partition
+//!   sends as timestamped envelopes under a conservative time frontier.
+//!   Deterministic at every worker count; one partition is bit-identical
+//!   to [`sim`].
+//!
+//! Entry points construct a [`Runner`] through [`Runner::builder`]:
+//!
+//! ```
+//! use hm_substrate::{Backend, Runner};
+//! let mut runner = Runner::builder().backend(Backend::Sim).seed(42).build();
+//! let two = runner.block_on(async { 1 + 1 });
+//! assert_eq!(two, 2);
+//! ```
 //!
 //! # Determinism
 //!
@@ -37,6 +51,7 @@ use std::future::Future;
 use rand::rngs::SmallRng;
 
 mod ctx;
+pub mod par;
 mod runner;
 pub mod sim;
 pub mod sync;
@@ -44,8 +59,13 @@ mod util;
 pub mod wall;
 
 pub use ctx::{Ctx, JoinHandle, Sleep};
-pub use runner::Runner;
+pub use par::{ParCtx, Partition, PartitionFuture, PartitionPolicy};
+pub use runner::{Runner, RunnerBuilder};
 pub use util::{join_all, timeout, TimedOut};
+
+/// Short alias for [`BackendKind`], matching the fluent builder surface:
+/// `Runner::builder().backend(Backend::Parallel)`.
+pub use BackendKind as Backend;
 
 /// Time since the substrate started: virtual time on the [`sim`] backend,
 /// real elapsed time on the [`wall`] backend.
@@ -56,24 +76,66 @@ pub use util::{join_all, timeout, TimedOut};
 pub type Time = std::time::Duration;
 
 /// Which backend a [`Ctx`] executes on.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum BackendKind {
     /// Deterministic single-threaded virtual-time simulation (`hm-sim`).
+    #[default]
     Sim,
     /// Current-thread wall-clock executor (tokio-style; real sleeps).
+    /// On the command line `"tokio"` is an explicit, documented alias for
+    /// `"wall"` (the flag is named after the runtime the backend is styled
+    /// on); it always displays back as `"wall"`.
     Wall,
+    /// Partitioned deterministic parallel execution across worker threads
+    /// (see [`par`]).
+    Parallel,
 }
 
 impl BackendKind {
-    /// Parses a CLI-style backend name. `"sim"` selects the simulator;
-    /// `"tokio"` and `"wall"` both select the wall-clock backend (the
-    /// flag is named after the runtime the backend is styled on).
+    /// The accepted `--backend` spellings, for CLI help and error
+    /// messages. `"tokio"` is an alias for `"wall"`; both parse to
+    /// [`BackendKind::Wall`], which displays as `"wall"`, so every name
+    /// round-trips consistently through [`FromStr`](std::str::FromStr).
+    pub const HELP: &'static str = "sim | wall (alias: tokio) | parallel";
+
+    /// Parses a CLI-style backend name.
+    #[deprecated(note = "use the FromStr impl: `name.parse::<BackendKind>()`")]
     #[must_use]
     pub fn parse(name: &str) -> Option<BackendKind> {
+        name.parse().ok()
+    }
+}
+
+/// Error returned when parsing an unknown backend name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnknownBackend {
+    name: String,
+}
+
+impl std::fmt::Display for UnknownBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown backend {:?} (expected {})",
+            self.name,
+            BackendKind::HELP
+        )
+    }
+}
+
+impl std::error::Error for UnknownBackend {}
+
+impl std::str::FromStr for BackendKind {
+    type Err = UnknownBackend;
+
+    fn from_str(name: &str) -> Result<BackendKind, UnknownBackend> {
         match name {
-            "sim" => Some(BackendKind::Sim),
-            "tokio" | "wall" => Some(BackendKind::Wall),
-            _ => None,
+            "sim" => Ok(BackendKind::Sim),
+            "tokio" | "wall" => Ok(BackendKind::Wall),
+            "parallel" | "par" => Ok(BackendKind::Parallel),
+            _ => Err(UnknownBackend {
+                name: name.to_string(),
+            }),
         }
     }
 }
@@ -83,7 +145,41 @@ impl std::fmt::Display for BackendKind {
         f.write_str(match self {
             BackendKind::Sim => "sim",
             BackendKind::Wall => "wall",
+            BackendKind::Parallel => "parallel",
         })
+    }
+}
+
+#[cfg(test)]
+mod backend_kind_tests {
+    use super::BackendKind;
+
+    #[test]
+    fn from_str_round_trips_every_spelling() {
+        for (name, want) in [
+            ("sim", BackendKind::Sim),
+            ("wall", BackendKind::Wall),
+            ("tokio", BackendKind::Wall),
+            ("parallel", BackendKind::Parallel),
+            ("par", BackendKind::Parallel),
+        ] {
+            let parsed: BackendKind = name.parse().unwrap();
+            assert_eq!(parsed, want, "{name}");
+            // Display output re-parses to the same backend: aliases
+            // normalize ("tokio" -> Wall -> "wall" -> Wall).
+            assert_eq!(parsed.to_string().parse::<BackendKind>(), Ok(parsed));
+        }
+        assert!("threads".parse::<BackendKind>().is_err());
+        let err = "x".parse::<BackendKind>().unwrap_err();
+        assert!(err.to_string().contains("alias: tokio"), "{err}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parse_shim_matches_from_str() {
+        assert_eq!(BackendKind::parse("tokio"), Some(BackendKind::Wall));
+        assert_eq!(BackendKind::parse("parallel"), Some(BackendKind::Parallel));
+        assert_eq!(BackendKind::parse("nope"), None);
     }
 }
 

@@ -18,6 +18,7 @@ use crate::{Ctx, Time};
 /// with the context already wrapped as a substrate [`Ctx`].
 pub struct Sim {
     inner: hm_sim::Sim,
+    seed: u64,
 }
 
 impl Sim {
@@ -27,7 +28,14 @@ impl Sim {
     pub fn new(seed: u64) -> Sim {
         Sim {
             inner: hm_sim::Sim::new(seed),
+            seed,
         }
+    }
+
+    /// The seed this simulation was created with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// A clonable substrate context for tasks to capture.
@@ -79,6 +87,31 @@ impl Sim {
     /// pending) before the future resolves.
     pub fn block_on<T: 'static>(&mut self, fut: impl Future<Output = T> + 'static) -> T {
         self.inner.block_on(fut)
+    }
+
+    /// Polls every task runnable at the current instant (no clock movement).
+    /// Returns true if anything ran. Part of the partition-local
+    /// run-until-frontier surface used by the parallel backend.
+    pub fn run_ready(&mut self) -> bool {
+        self.inner.run_ready()
+    }
+
+    /// Deadline of the earliest pending timer, if any.
+    #[must_use]
+    pub fn next_timer_at(&self) -> Option<Time> {
+        self.inner.next_timer_at()
+    }
+
+    /// Sets the clock to `at` without firing timers (externally-timestamped
+    /// event admission; must not skip a pending deadline).
+    pub fn advance_clock_to(&mut self, at: Time) {
+        self.inner.advance_clock_to(at);
+    }
+
+    /// Fires every timer at the next pending deadline if that deadline is
+    /// strictly before `limit`; returns false otherwise.
+    pub fn fire_timers_before(&mut self, limit: Time) -> bool {
+        self.inner.fire_timers_before(limit)
     }
 }
 

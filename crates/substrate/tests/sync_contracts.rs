@@ -1,9 +1,10 @@
 //! Executable spec for the substrate sync contracts, run on every backend.
 //!
 //! The harness is written *generically against the traits* — the property
-//! bodies know only [`Clock`] + [`Spawner`] — so any future backend (a
-//! real tokio adapter, a multi-core partitioned executor) is checked by
-//! adding one line to the backend matrix below. Randomization is a
+//! bodies know only [`Clock`] + [`Spawner`] — so any backend is checked by
+//! adding one line to the backend matrix below (which is exactly how the
+//! partitioned parallel backend joined; a real tokio adapter would do the
+//! same). Randomization is a
 //! seeded loop (the workspace vendors no proptest): each iteration draws
 //! its shape — permit counts, waiter counts, hold times — from a
 //! `SmallRng` seeded with the iteration index, so failures replay exactly.
@@ -33,8 +34,8 @@ const ITERS: u64 = 8;
 /// the real clock too.
 const STAGGER: Duration = Duration::from_millis(2);
 
-fn backends() -> [BackendKind; 2] {
-    [BackendKind::Sim, BackendKind::Wall]
+fn backends() -> [BackendKind; 3] {
+    [BackendKind::Sim, BackendKind::Wall, BackendKind::Parallel]
 }
 
 /// Semaphore FIFO: `n` tasks arrive at distinct instants and contend for
@@ -112,7 +113,7 @@ fn semaphore_grants_fifo_on_every_backend() {
             let permits = shape.random_range(1..4usize);
             let hold = Duration::from_millis(shape.random_range(1..6u64)) * n;
 
-            let mut runner = Runner::new(backend, iter);
+            let mut runner = Runner::builder().backend(backend).seed(iter).build();
             let ctx = runner.ctx();
             let (order, peak) =
                 runner.block_on(semaphore_fifo_property(ctx, n, permits, hold));
@@ -138,7 +139,7 @@ fn gate_releases_in_registration_order_on_every_backend() {
             let mut shape = SmallRng::seed_from_u64(0x6a7e_0000 + iter);
             let n = shape.random_range(2..12u32);
 
-            let mut runner = Runner::new(backend, iter);
+            let mut runner = Runner::builder().backend(backend).seed(iter).build();
             let ctx = runner.ctx();
             let order = runner.block_on(gate_release_property(ctx, n));
 

@@ -26,45 +26,37 @@
 //! deployment on the wall-clock executor instead of the virtual-time
 //! simulator: sleeps take real time, and the client-visible output is the
 //! same — only the elapsed-time line changes.
+//!
+//! Pass `--backend parallel` (with an optional `--workers <n>`) to run on
+//! the partitioned parallel executor. This single-request demo lives
+//! entirely on partition 0, which is bit-identical to the simulator, so
+//! the output is byte-for-byte the sim output at any worker count —
+//! that invariance is exactly the parallel backend's determinism
+//! guarantee, and `scripts/verify.sh` diffs it.
 
 use std::time::Duration;
 
 use halfmoon::{FaultPolicy, ProtocolKind};
+use hm_bench::cli::CommonOpts;
 use hm_common::{Key, Value};
 use hm_runtime::{Runtime, RuntimeConfig};
-use hm_substrate::{BackendKind, Runner};
+use hm_substrate::BackendKind;
 
 fn main() {
-    let mut trace_out: Option<String> = None;
-    let mut shards: u8 = 1;
-    let mut batch: usize = 1;
-    let mut backend = BackendKind::Sim;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--trace-out" {
-            trace_out = Some(args.next().expect("--trace-out requires a path"));
-        } else if arg == "--shards" {
-            shards = args
-                .next()
-                .expect("--shards requires a count")
-                .parse()
-                .expect("--shards takes a small integer");
-        } else if arg == "--batch" {
-            batch = args
-                .next()
-                .expect("--batch requires a batch size")
-                .parse()
-                .expect("--batch takes a small integer");
-        } else if arg == "--backend" {
-            let name = args.next().expect("--backend requires a name");
-            backend = BackendKind::parse(&name)
-                .unwrap_or_else(|| panic!("unknown backend {name:?} (sim|tokio|wall)"));
-        }
-    }
+    let opts = CommonOpts::from_env();
+    let CommonOpts {
+        backend,
+        shards,
+        batch,
+        ref trace_out,
+        ..
+    } = opts;
+    let trace_out = trace_out.clone();
 
     // 1. A substrate to run on: the deterministic simulator by default
-    //    (same seed, same run — always), or the wall clock via --backend.
-    let mut sim = Runner::new(backend, 42);
+    //    (same seed, same run — always), or the wall clock / partitioned
+    //    parallel executor via --backend.
+    let mut sim = opts.runner(42);
 
     // 2. A deployment, built fluently: shared log (1..n shards) +
     //    versioned store + protocol choice + fault plan. Crash the
@@ -122,7 +114,9 @@ fn main() {
         result.expect("exactly-once in spite of crashes")
     );
     match backend {
-        BackendKind::Sim => println!("virtual time elapsed: {:?}", sim.now()),
+        BackendKind::Sim | BackendKind::Parallel => {
+            println!("virtual time elapsed: {:?}", sim.now());
+        }
         BackendKind::Wall => println!("wall-clock time elapsed: {:?}", sim.now()),
     }
     println!("crashes injected:     {}", client.faults().injected());

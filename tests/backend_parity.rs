@@ -38,7 +38,7 @@ struct VisibleOutcome {
 }
 
 fn run_quickstart_workload(backend: BackendKind) -> VisibleOutcome {
-    let mut runner = Runner::new(backend, 42);
+    let mut runner = Runner::builder().backend(backend).seed(42).build();
     let topology = halfmoon::Topology::sharded(1);
     let client = halfmoon::Client::builder(runner.ctx())
         .protocol(ProtocolKind::HalfmoonRead)

@@ -1,6 +1,13 @@
 //! Whole-stack determinism: identical seeds must produce bit-identical
 //! experiment results — the property that makes every benchmark in this
 //! repository exactly reproducible.
+//!
+//! The parallel-backend matrix at the bottom extends the property across
+//! worker counts: `workers = 1` is byte-identical to the sim backend
+//! (fingerprints, trace JSONL, anatomy JSONL), higher worker counts are
+//! rerun-identical from the same seed (chaos campaign included), and
+//! partitioned runs that exchange cross-partition messages produce the
+//! same merged results at every worker count.
 
 use std::rc::Rc;
 use std::time::Duration;
@@ -10,6 +17,7 @@ use hm_common::latency::LatencyModel;
 use hm_common::metrics::OpCounters;
 use hm_runtime::{Gateway, GcDriver, LoadSpec, Runtime, RuntimeConfig};
 use hm_substrate::sim::Sim;
+use hm_substrate::{Backend, BackendKind, Partition, PartitionFuture, Runner};
 use hm_workloads::synthetic::SyntheticOps;
 use hm_workloads::travel::Travel;
 use hm_workloads::Workload;
@@ -489,6 +497,260 @@ fn batched_chaos_campaign_is_deterministic() {
     let b = run();
     assert!(a.2.flushes > 0, "batched campaign must have flushed batches");
     assert_eq!(a, b, "batch=16 chaos campaign must reproduce exactly");
+}
+
+/// The standard instrumented workload, driven through the backend-generic
+/// [`Runner`] surface instead of a bare [`Sim`]: returns the run
+/// fingerprint plus the byte-exact trace and anatomy JSONL exports.
+fn run_fingerprint_runner(
+    backend: BackendKind,
+    workers: usize,
+    seed: u64,
+    workload: &dyn Workload,
+    kind: ProtocolKind,
+) -> (RunFingerprint, String, String) {
+    let tracer = hm_common::trace::Tracer::new();
+    let anatomy = hm_common::anatomy::Anatomy::new();
+    let mut runner = Runner::builder()
+        .backend(backend)
+        .seed(seed)
+        .workers(workers)
+        .build();
+    let client = Client::builder(runner.ctx())
+        .model(LatencyModel::calibrated())
+        .protocol_config(ProtocolConfig::uniform(kind))
+        .batching(1, Duration::from_micros(200))
+        .faults(FaultPolicy::random(0.002, 100))
+        .tracer(tracer.clone())
+        .anatomy(anatomy.clone())
+        .build();
+    workload.populate(&client);
+    let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
+    workload.register(&runtime);
+    let gc = GcDriver::start(client.clone(), hm_common::NodeId(0), Duration::from_secs(1));
+    let gateway = Gateway::new(runtime.clone());
+    let spec = LoadSpec {
+        rate_per_sec: 120.0,
+        duration: Duration::from_secs(2),
+        warmup: Duration::from_millis(500),
+        factory: workload.factory(),
+    };
+    let report = runner.block_on(async move { gateway.run_open_loop(spec).await });
+    gc.stop();
+    let fp = (
+        report.completed,
+        client.log().counters(),
+        client.store().counters(),
+        format!(
+            "{:?}/{:?}/{}/{}",
+            report.latency.median_ms(),
+            report.latency.p99_ms(),
+            runtime.retries(),
+            client.store().current_bytes(),
+        ),
+    );
+    (fp, tracer.export_jsonl(), anatomy.rows_jsonl())
+}
+
+/// workers = 1 is not merely equivalent to the sim backend — partition 0
+/// inherits the run seed and replays the simulator's exact cadence, so
+/// the full fingerprint AND the trace/anatomy JSONL exports are
+/// byte-identical. And because `block_on` work lives wholly on partition
+/// 0, raising the worker count cannot change a single byte either.
+#[test]
+fn parallel_backend_is_bit_identical_to_sim() {
+    let workload = SyntheticOps {
+        objects: 200,
+        ..SyntheticOps::default()
+    };
+    let sim = run_fingerprint_runner(BackendKind::Sim, 1, 0xD17, &workload, ProtocolKind::HalfmoonRead);
+    assert!(!sim.1.is_empty() && !sim.2.is_empty(), "exports are empty");
+    for workers in [1usize, 4] {
+        let par = run_fingerprint_runner(
+            BackendKind::Parallel,
+            workers,
+            0xD17,
+            &workload,
+            ProtocolKind::HalfmoonRead,
+        );
+        assert_eq!(
+            sim, par,
+            "parallel backend at workers={workers} diverged from sim"
+        );
+    }
+}
+
+/// At worker counts above one, two runs from the same seed reproduce the
+/// fingerprint and both JSONL exports byte-for-byte.
+#[test]
+fn parallel_backend_reruns_are_identical() {
+    let workload = SyntheticOps {
+        objects: 200,
+        ..SyntheticOps::default()
+    };
+    for workers in [2usize, 4] {
+        let a = run_fingerprint_runner(
+            BackendKind::Parallel,
+            workers,
+            0xE23,
+            &workload,
+            ProtocolKind::HalfmoonWrite,
+        );
+        let b = run_fingerprint_runner(
+            BackendKind::Parallel,
+            workers,
+            0xE23,
+            &workload,
+            ProtocolKind::HalfmoonWrite,
+        );
+        assert_eq!(a, b, "workers={workers}: rerun diverged");
+    }
+}
+
+/// Partitioned runs that actually exchange cross-partition envelopes
+/// produce the same merged results at every worker count, and rerun
+/// identically. Each partition runs its own single-shard log slice, then
+/// the partitions pass digests around a ring — so both the
+/// partition-local schedules and the envelope merge order are pinned.
+#[test]
+fn partitioned_messaging_is_worker_count_invariant() {
+    use hm_sharedlog::{LogConfig, SharedLog};
+
+    let run = |workers: usize| -> Vec<Vec<u64>> {
+        let mut runner = Runner::builder()
+            .backend(Backend::Parallel)
+            .seed(0xFEED)
+            .workers(workers)
+            .build();
+        runner.run_partitions(4, |p: Partition| -> PartitionFuture<Vec<u64>> {
+            let ctx = p.ctx();
+            let me = p.index();
+            let total = p.count();
+            Box::pin(async move {
+                let log: SharedLog<u64> = SharedLog::new(
+                    ctx.clone(),
+                    LatencyModel::uniform_test_model(),
+                    LogConfig::default(),
+                );
+                let mut handles = Vec::new();
+                for w in 0..4u64 {
+                    let l = log.clone();
+                    handles.push(ctx.spawn(async move {
+                        let tag = hm_common::Tag::new(
+                            hm_common::ids::TagKind::ObjectLog,
+                            ((me as u64) << 8) | w,
+                        );
+                        for i in 0..32u64 {
+                            l.append(hm_common::NodeId(w as u32), [tag], i).await;
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.await;
+                }
+                let digest = log.counters().log_appends ^ (ctx.now().as_nanos() as u64);
+                let par = ctx.as_par().expect("parallel ctx").clone();
+                par.send((me + 1) % total, digest.to_le_bytes().to_vec());
+                let (from, bytes) = par.recv().await;
+                let received = u64::from_le_bytes(bytes.try_into().expect("8-byte digest"));
+                vec![
+                    me as u64,
+                    digest,
+                    from as u64,
+                    received,
+                    ctx.now().as_nanos() as u64,
+                ]
+            })
+        })
+    };
+    let w1 = run(1);
+    assert_eq!(w1.len(), 4);
+    // Every partition received its ring predecessor's digest.
+    for p in 0..4usize {
+        assert_eq!(w1[p][2], ((p + 3) % 4) as u64);
+        assert_eq!(w1[p][3], w1[(p + 3) % 4][1]);
+    }
+    assert_eq!(w1, run(2), "workers=2 diverged from workers=1");
+    assert_eq!(w1, run(4), "workers=4 diverged from workers=1");
+    assert_eq!(run(2), run(2), "workers=2 rerun diverged");
+}
+
+/// The seeded chaos campaign — crashes, a replica outage, retry storms,
+/// recovery-forced flushes — reproduces byte-for-byte across backends and
+/// worker counts: sim, parallel at 2 workers, parallel at 4 workers, and
+/// a parallel rerun all agree on counters, flush stats, recovery stats,
+/// and the chaos injection journal.
+#[test]
+fn chaos_campaign_is_backend_and_worker_invariant() {
+    use halfmoon::{FaultPlan, ShardId};
+    use hm_runtime::chaos::ChaosDriver;
+
+    let run = |backend: BackendKind, workers: usize| {
+        let mut runner = Runner::builder()
+            .backend(backend)
+            .seed(0xBA7C)
+            .workers(workers)
+            .build();
+        let plan = FaultPlan::new()
+            .instance_faults(FaultPolicy::random(0.004, 60))
+            .node_recovery_delay(Duration::from_millis(300))
+            .seeded_node_crashes(
+                0xBA7C,
+                0.4,
+                Duration::from_millis(600),
+                Duration::from_secs(3),
+                8,
+            )
+            .fail_replica_at(
+                Duration::from_secs(1),
+                ShardId(0),
+                1,
+                Duration::from_millis(1000),
+            );
+        let client = Client::builder(runner.ctx())
+            .model(LatencyModel::calibrated())
+            .protocol_config(ProtocolConfig::uniform(ProtocolKind::HalfmoonRead))
+            .batching(16, Duration::from_micros(200))
+            .faults(plan)
+            .build();
+        let workload = SyntheticOps {
+            objects: 200,
+            ..SyntheticOps::default()
+        };
+        workload.populate(&client);
+        let runtime = Runtime::new(client.clone(), RuntimeConfig::default());
+        workload.register(&runtime);
+        let chaos = ChaosDriver::start(&runtime);
+        let gateway = Gateway::new(runtime);
+        let spec = LoadSpec {
+            rate_per_sec: 150.0,
+            duration: Duration::from_secs(3),
+            warmup: Duration::from_millis(500),
+            factory: workload.factory(),
+        };
+        let report = runner.block_on(async move { gateway.run_open_loop(spec).await });
+        assert!(chaos.injected() > 0, "campaign must actually bite");
+        (
+            report.completed,
+            client.log().counters(),
+            client.log().flush_stats(),
+            client.recovery_stats(),
+            chaos.events_jsonl(),
+        )
+    };
+    let sim = run(BackendKind::Sim, 1);
+    for workers in [2usize, 4] {
+        assert_eq!(
+            sim,
+            run(BackendKind::Parallel, workers),
+            "chaos campaign diverged on parallel backend at workers={workers}"
+        );
+    }
+    assert_eq!(
+        run(BackendKind::Parallel, 2),
+        run(BackendKind::Parallel, 2),
+        "chaos campaign rerun diverged"
+    );
 }
 
 /// The simulator's virtual time is decoupled from wall time: a simulated
