@@ -1058,6 +1058,113 @@ fn parallel_scaling(scale: f64) -> (Component, String) {
     )
 }
 
+/// Systematic model checking (DESIGN.md §19): exhausts every schedule ×
+/// crash placement of the smallest 2-node configuration for all four
+/// protocols, plus the unsafe baseline's counterexample configuration and
+/// the sleep-set headline configuration, timing the enumerations.
+///
+/// Coverage, not duration, is the workload, so `scale` does not apply:
+/// the explored trees are fixed-size and the per-cell run/node counts are
+/// exact — they land in the fingerprint, pinning the checker's coverage
+/// the way op counters pin the other components' simulated work. Three
+/// §4.4 claims are asserted here, so the bench is its own regression
+/// test: the fault-tolerant protocols exhaust their trees with zero
+/// violations, the unsafe baseline yields a replayable `ww-1s`
+/// counterexample, and pruning removes ≥ 50 % of the naive interleavings
+/// on the Halfmoon-read `xy-1s` row.
+fn model_check() -> (Component, String) {
+    use hm_runtime::mc::{explore_config, run_schedule, standard_configs, McConfig};
+
+    let start = Instant::now();
+    let fp = std::cell::Cell::new(0u64);
+    let cells: std::cell::RefCell<Vec<String>> = std::cell::RefCell::new(Vec::new());
+    let run_cell = |kind: ProtocolKind, cfg: &McConfig, naive: bool| {
+        let t0 = Instant::now();
+        let stats = explore_config(cfg, true, 1);
+        let pruned_wall = t0.elapsed();
+        let t0 = Instant::now();
+        let naive_stats = naive.then(|| explore_config(cfg, false, 1));
+        let naive_wall = t0.elapsed();
+        assert!(stats.complete, "{kind:?} {} must exhaust its tree", cfg.name);
+        for v in [
+            kind as u64,
+            stats.runs as u64,
+            stats.aborted as u64,
+            stats.nodes as u64,
+            stats.slept as u64,
+            stats.counterexamples.len() as u64,
+        ] {
+            fp.set(mix(fp.get(), v));
+        }
+        let naive_runs = naive_stats.as_ref().map_or(0, hm_substrate::explore::ExploreStats::executions);
+        if let Some(n) = &naive_stats {
+            fp.set(mix(fp.get(), n.runs as u64));
+            fp.set(mix(fp.get(), n.counterexamples.len() as u64));
+        }
+        cells.borrow_mut().push(format!(
+            "{{\"protocol\": \"{}\", \"config\": \"{}\", \"runs\": {}, \"aborted\": {}, \
+             \"nodes\": {}, \"slept\": {}, \"naive_runs\": {naive_runs}, \
+             \"counterexamples\": {}, \"wall_ms\": {:.3}, \"naive_wall_ms\": {:.3}}}",
+            kind.label(),
+            cfg.name,
+            stats.runs,
+            stats.aborted,
+            stats.nodes,
+            stats.slept,
+            stats.counterexamples.len(),
+            pruned_wall.as_secs_f64() * 1e3,
+            naive_wall.as_secs_f64() * 1e3,
+        ));
+        stats
+    };
+
+    for kind in [
+        ProtocolKind::Boki,
+        ProtocolKind::HalfmoonRead,
+        ProtocolKind::HalfmoonWrite,
+    ] {
+        let stats = run_cell(kind, &McConfig::minimal(kind), true);
+        assert!(
+            stats.counterexamples.is_empty(),
+            "{kind:?} wr-1s violated the §4.4 propositions"
+        );
+    }
+    // The unsafe baseline's §1 anomaly needs a crash point after a write
+    // took effect: ww-1s is the smallest configuration exhibiting it.
+    let unsafe_ww = standard_configs(ProtocolKind::Unsafe).remove(1);
+    let stats = run_cell(ProtocolKind::Unsafe, &unsafe_ww, true);
+    let cx = stats
+        .counterexamples
+        .first()
+        .expect("the unsafe baseline must yield a ww-1s counterexample");
+    let replay = run_schedule(&unsafe_ww, &cx.schedule);
+    assert_eq!(
+        replay.violations, cx.violations,
+        "counterexample schedule did not reproduce its violation"
+    );
+    fp.set(mix(fp.get(), replay.events as u64));
+    // Headline pruning row: disjoint keys under log-free reads.
+    let headline = standard_configs(ProtocolKind::HalfmoonRead).remove(2);
+    let stats = run_cell(ProtocolKind::HalfmoonRead, &headline, true);
+    assert!(
+        stats.counterexamples.is_empty(),
+        "hm-read xy-1s violated the §4.4 propositions"
+    );
+
+    let json = format!("{{\"cells\": [{}]}}", cells.borrow().join(", "));
+    (
+        Component {
+            name: "model_check",
+            wall: start.elapsed(),
+            // Each exploration run consumes its own Sim inside run_once.
+            polls: 0,
+            fingerprint: fp.get(),
+            alloc: Vec::new(),
+        },
+        json,
+    )
+}
+
 fn json_escape_free(s: &str) -> &str {
     // All strings we emit are static identifiers; assert rather than escape.
     assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
@@ -1089,6 +1196,8 @@ fn main() {
     components.push(lat_component);
     let (par_component, par_json) = parallel_scaling(scale);
     components.push(par_component);
+    let (mc_component, mc_json) = model_check();
+    components.push(mc_component);
 
     if let Some(path) = &trace_out {
         // Same seed and parameters as the untraced synthetic Halfmoon-read
@@ -1129,10 +1238,11 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"sim_core\",");
-    let _ = writeln!(json, "  \"schema_version\": 4,");
+    let _ = writeln!(json, "  \"schema_version\": 5,");
     let _ = writeln!(json, "  \"scale\": {scale},");
     let _ = writeln!(json, "  \"latency_anatomy\": {lat_json},");
     let _ = writeln!(json, "  \"parallel_scaling\": {par_json},");
+    let _ = writeln!(json, "  \"model_check\": {mc_json},");
     let _ = writeln!(json, "  \"total_wall_ms\": {:.3},", total.as_secs_f64() * 1e3);
     let _ = writeln!(json, "  \"work_fingerprint\": \"{fp:016x}\",");
     json.push_str("  \"components\": [\n");

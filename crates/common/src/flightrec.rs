@@ -13,6 +13,11 @@
 //! - `NodeCrashed` recovery exceeds the attempt budget
 //!   ([`FlightRecorder::recovery_budget`]).
 //!
+//! The model-checking harness (DESIGN.md §19) notes each explored run's
+//! serialized schedule into the incident log before auditing, so a
+//! violation dump carries its own replay recipe (`mc_schedule`) alongside
+//! the trace window.
+//!
 //! The dump is retained in memory ([`FlightRecorder::last_dump`]) and,
 //! when a dump path is configured, written to disk so a failing seeded run
 //! leaves a post-mortem artifact behind instead of just an assert message.

@@ -402,6 +402,13 @@ impl Env {
     // ------------------------------------------------------------------
 
     /// One crash point: returns `Err(Crashed)` if the fault policy fires.
+    ///
+    /// Crash points are numbered densely per execution attempt, which is
+    /// what makes them usable as choice points: under
+    /// [`FaultPolicy::explored`](crate::FaultPolicy::explored) the model
+    /// checker enumerates *every* crash point within its budget as a
+    /// survive/crash branch of the exploration tree (DESIGN.md §19),
+    /// rather than sampling them with a seeded coin as the chaos plans do.
     pub(crate) fn maybe_crash(&mut self) -> HmResult<()> {
         self.crash_point += 1;
         if self

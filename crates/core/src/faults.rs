@@ -21,12 +21,14 @@
 //! nothing until its events actually fire.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
 use hm_common::{InstanceId, NodeId};
 use hm_sharedlog::ShardId;
+use hm_substrate::explore::{Alt, ChoiceSource};
 use hm_substrate::Ctx;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -43,7 +45,6 @@ pub struct FaultPolicy {
     max_crashes: u32,
 }
 
-#[derive(Debug)]
 enum FaultMode {
     None,
     /// Crash with this probability at every crash point.
@@ -61,9 +62,76 @@ enum FaultMode {
     PerAttempt {
         prob: f64,
         max_point: u32,
-        pending: RefCell<std::collections::HashMap<InstanceId, u32>>,
+        pending: RefCell<HashMap<InstanceId, u32>>,
+    },
+    /// Delegate every crash point to a systematic [`ChoiceSource`]
+    /// (`hm_substrate::explore`): each `maybe_crash` call becomes an
+    /// explicit binary {survive, crash} choice node, so an explorer
+    /// enumerates *all* crash placements instead of sampling them. The
+    /// shared [`CrashFootprints`] table supplies the footprint both
+    /// alternatives carry (the effects of the interrupted/continuing op).
+    Explored {
+        source: Rc<dyn ChoiceSource>,
+        footprints: Rc<CrashFootprints>,
     },
 }
+
+impl fmt::Debug for FaultMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultMode::None => f.write_str("None"),
+            FaultMode::Random { prob } => f.debug_struct("Random").field("prob", prob).finish(),
+            FaultMode::At { points } => f.debug_struct("At").field("points", points).finish(),
+            FaultMode::PerAttempt {
+                prob, max_point, ..
+            } => f
+                .debug_struct("PerAttempt")
+                .field("prob", prob)
+                .field("max_point", max_point)
+                .finish_non_exhaustive(),
+            FaultMode::Explored { footprints, .. } => f
+                .debug_struct("Explored")
+                .field("footprints", footprints)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+/// Shared table of the resource footprint each instance's *next* crash
+/// choice should carry, updated by a model-checking harness as the
+/// instance moves from op to op. The footprint feeds the explorer's
+/// independence relation: a crash alternative with footprint `fp` only
+/// wakes sleeping actions whose footprints overlap `fp`. Instances with
+/// no entry default to `u64::MAX` — dependent on everything, which is
+/// always sound (it just forfeits pruning).
+#[derive(Debug, Default)]
+pub struct CrashFootprints {
+    map: RefCell<HashMap<InstanceId, u64>>,
+}
+
+impl CrashFootprints {
+    /// A fresh, empty table behind a shared handle.
+    #[must_use]
+    pub fn new() -> Rc<CrashFootprints> {
+        Rc::new(CrashFootprints::default())
+    }
+
+    /// Sets `instance`'s current crash-choice footprint.
+    pub fn set(&self, instance: InstanceId, footprint: u64) {
+        self.map.borrow_mut().insert(instance, footprint);
+    }
+
+    /// The current footprint for `instance` (`u64::MAX` if never set).
+    #[must_use]
+    pub fn get(&self, instance: InstanceId) -> u64 {
+        self.map.borrow().get(&instance).copied().unwrap_or(u64::MAX)
+    }
+}
+
+/// Tag bits distinguishing the survive/crash identities of one instance's
+/// crash choices (the low bits carry the truncated instance id).
+const SURVIVE_TAG: u64 = 1 << 40;
+const CRASH_TAG: u64 = 1 << 41;
 
 impl FaultPolicy {
     /// Never crash.
@@ -106,6 +174,31 @@ impl FaultPolicy {
             },
             injected: Cell::new(0),
             max_crashes,
+        }
+    }
+
+    /// Delegate every crash point to a systematic choice source: each
+    /// `Env::maybe_crash` consults `source` with a binary
+    /// {survive, crash} domain (site `"crash"`), making crash placement
+    /// part of an explorer's choice tree instead of an RNG draw. At most
+    /// `budget` crashes are injected per run — once spent, later crash
+    /// points are skipped without consulting the source, so they add no
+    /// tree nodes. With `budget == 0` the policy is consulted never and
+    /// the run explores pure scheduling nondeterminism.
+    ///
+    /// Both alternatives carry the instance's current [`CrashFootprints`]
+    /// entry; the harness updates the table as the instance enters each
+    /// op so the independence relation sees the op actually at risk.
+    #[must_use]
+    pub fn explored(
+        source: Rc<dyn ChoiceSource>,
+        budget: u32,
+        footprints: Rc<CrashFootprints>,
+    ) -> FaultPolicy {
+        FaultPolicy {
+            mode: FaultMode::Explored { source, footprints },
+            injected: Cell::new(0),
+            max_crashes: budget,
         }
     }
 
@@ -156,6 +249,15 @@ impl FaultPolicy {
                     }
                     _ => false,
                 }
+            }
+            FaultMode::Explored { source, footprints } => {
+                let fp = footprints.get(instance);
+                let who = instance.0 as u64 & (SURVIVE_TAG - 1);
+                let alts = [
+                    Alt::new(SURVIVE_TAG | who, fp),
+                    Alt::new(CRASH_TAG | who, fp),
+                ];
+                source.choose("crash", &alts) == 1
             }
         };
         if crash {

@@ -20,6 +20,14 @@
 //!   time, reorder overridden conditional writes immediately before the
 //!   next successful write to the same object; each read must then return
 //!   the latest preceding *effective* write.
+//!
+//! All checkers are *trace-invariant*: they judge per-instance program
+//! order and log (seqnum/timestamp) order, never the wall-clock
+//! interleaving of commuting operations on disjoint keys. This is a
+//! soundness requirement of the model checker's sleep-set pruning
+//! (DESIGN.md §19) — two executions that differ only by swapping
+//! independent adjacent actions must receive the same verdict, so the
+//! explorer may run just one of them.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};

@@ -71,7 +71,7 @@ pub use client::{
     finish_log_tag, init_log_tag, transition_log_tag, Client, ClientBuilder, Invoker,
     LocalBoxFuture, RecoveryStats,
 };
-pub use faults::{FaultEvent, FaultPlan, FaultPolicy, ScheduledFault};
+pub use faults::{CrashFootprints, FaultEvent, FaultPlan, FaultPolicy, ScheduledFault};
 pub use hm_sharedlog::{FlushStats, GlobalSeqNum, ReplayStats, ShardId, Topology};
 pub use env::{Env, InvocationSpec, ObjectMode};
 pub use gc::{GarbageCollector, GcStats};

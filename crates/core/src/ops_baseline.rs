@@ -109,6 +109,14 @@ impl Env {
     /// Unsafe write: the raw operation. A crash retry re-applies it — the
     /// §1 duplicate-update anomaly, observable via
     /// [`crate::history::Recorder`] raw-write events.
+    ///
+    /// Note the window: the raw-write event is recorded only *after* the
+    /// second crash point, so a crash between `put` and `record_event`
+    /// leaves the duplicate invisible to this attempt's history. The
+    /// anomaly therefore needs a later crash site — a successor op in the
+    /// same program — to surface, which is why the model checker's
+    /// exhaustive sweep (DESIGN.md §19) finds it on the two-op `ww-1s`
+    /// configuration but honestly reports the one-op `wr-1s` as passing.
     pub(crate) async fn unsafe_write(&mut self, key: &Key, value: Value) -> HmResult<()> {
         self.maybe_crash()?;
         self.set_trace_ctx();

@@ -264,6 +264,12 @@ impl std::fmt::Display for AuditReport {
 /// The client must have been built with `.recorder()`; auditing an
 /// unrecorded deployment is itself reported as a violation rather than a
 /// silent pass.
+///
+/// Beyond seeded chaos campaigns, this auditor is also the oracle for the
+/// systematic model checker ([`crate::mc`], DESIGN.md §19): every
+/// exhaustively explored interleaving ends in an `audit` call, so the
+/// "verified over all interleavings" claims in EXPERIMENTS.md are claims
+/// about exactly these checks.
 #[must_use]
 pub fn audit(client: &Client) -> AuditReport {
     let recovery = client.recovery_stats();

@@ -22,15 +22,22 @@
 //!   [`halfmoon::FaultPlan`]'s schedule on the virtual clock (node
 //!   crashes, replica outages, sequencer stalls, retry storms) and
 //!   [`chaos::audit`] verifies exactly-once execution afterwards.
+//! - [`mc`] — the systematic model checker: where [`chaos`] *samples*
+//!   schedules and crash points, [`mc::explore_config`] *enumerates* them
+//!   (DFS with sleep-set pruning over an explicit choice-point tree) and
+//!   checks the §4.4 propositions on every interleaving, returning any
+//!   violation as a replayable [`hm_substrate::explore::Schedule`].
 
 pub mod chaos;
 mod gateway;
 mod gc_driver;
+pub mod mc;
 mod metrics_driver;
 pub mod partition;
 mod runtime;
 
 pub use chaos::{audit, AuditReport, ChaosDriver};
+pub use mc::{explore_config, run_schedule, McConfig, McKey, McOutcome, OpSpec};
 pub use gateway::{Gateway, LoadReport, LoadSpec, RequestFactory};
 pub use partition::TenantPlan;
 pub use gc_driver::GcDriver;

@@ -22,6 +22,13 @@
 //!   Deterministic at every worker count; one partition is bit-identical
 //!   to [`sim`].
 //!
+//! Alongside [`RngSource`] sits [`explore::ChoiceSource`]: harnesses that
+//! route their nondeterminism through explicit choice points instead of
+//! RNG draws can have every schedule enumerated systematically by
+//! [`explore::Explorer`] (DFS with sleep-set partial-order pruning), with
+//! any explored path serialized as an [`explore::Schedule`] that replays
+//! byte-identically as a normal fixed-seed run.
+//!
 //! Entry points construct a [`Runner`] through [`Runner::builder`]:
 //!
 //! ```
@@ -51,6 +58,7 @@ use std::future::Future;
 use rand::rngs::SmallRng;
 
 mod ctx;
+pub mod explore;
 pub mod par;
 mod runner;
 pub mod sim;
@@ -59,6 +67,7 @@ mod util;
 pub mod wall;
 
 pub use ctx::{Ctx, JoinHandle, Sleep};
+pub use explore::{Alt, ChoiceSource, Explorer, Schedule};
 pub use par::{ParCtx, Partition, PartitionFuture, PartitionPolicy};
 pub use runner::{Runner, RunnerBuilder};
 pub use util::{join_all, timeout, TimedOut};

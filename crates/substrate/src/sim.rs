@@ -6,6 +6,12 @@
 //! upper layers and tests construct this type and never name `hm_sim`.
 //! Every method forwards directly; determinism and scheduling are exactly
 //! the simulator's.
+//!
+//! That determinism is load-bearing for more than reproducible benches:
+//! the systematic model checker ([`crate::explore`], DESIGN.md §19)
+//! replays counterexamples by rerunning the same seed with the same
+//! serialized decision vector, which is byte-identical only because equal
+//! seeds give bit-identical runs here.
 
 use std::future::Future;
 

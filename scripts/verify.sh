@@ -29,6 +29,11 @@
 # to the sim run (virtual-time line included) at 1 and 4 workers.
 # Core scaling: the full-scale run's parallel_scaling sweep must show a
 # ≥2x speedup at 4 workers — asserted only when the host has ≥4 cores.
+# Model-check smoke: the explore driver's --assert mode re-checks the
+# documented §4.4 claims — fault-tolerant protocols pass every
+# interleaving exhaustively, the unsafe baseline yields a replayable
+# ww-1s counterexample, and sleep-set pruning removes ≥50% of naive
+# interleavings on the hm-read xy-1s headline row.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -103,10 +108,16 @@ assert d["bench"] == "sim_core", d
 assert isinstance(d["total_wall_ms"], float) and d["total_wall_ms"] > 0.0, d
 assert len(d["work_fingerprint"]) == 16, d
 int(d["work_fingerprint"], 16)
-assert len(d["components"]) == 13, [c["name"] for c in d["components"]]
+assert len(d["components"]) == 14, [c["name"] for c in d["components"]]
 assert any(c["name"] == "recovery_cost" for c in d["components"]), d
 assert any(c["name"] == "latency_anatomy" for c in d["components"]), d
-assert d["schema_version"] == 4, d
+assert d["schema_version"] == 5, d
+assert any(c["name"] == "model_check" for c in d["components"]), d
+mc = d["model_check"]["cells"]
+assert len(mc) == 5, mc
+assert all(cell["runs"] > 0 for cell in mc), mc
+unsafe_ww = next(c for c in mc if c["protocol"] == "Unsafe" and c["config"] == "ww-1s")
+assert unsafe_ww["counterexamples"] > 0, unsafe_ww
 assert len(d["latency_anatomy"]["points"]) >= 3, d["latency_anatomy"]
 assert any(c["name"] == "append_batching" for c in d["components"]), d
 assert any(c["name"] == "hot_path_alloc" for c in d["components"]), d
@@ -206,7 +217,7 @@ python3 - "$tout" "$ttrace" <<'EOF'
 import json, sys
 d = json.load(open(sys.argv[1]))
 names = [c["name"] for c in d["components"]]
-assert len(names) == 14 and names[-1] == "synthetic_halfmoon_read_traced", names
+assert len(names) == 15 and names[-1] == "synthetic_halfmoon_read_traced", names
 
 t = json.load(open(sys.argv[2]))
 ev = t["traceEvents"]
@@ -289,5 +300,17 @@ if [ -z "$injected" ] || [ "$injected" -eq 0 ]; then
     echo "chaos smoke FAILED: no faults injected"; cat "$chaos_out"; exit 1
 fi
 echo "chaos smoke ok: $injected faults injected, auditor passed"
+
+echo "== model-check smoke: explore --assert (exhaustive §4.4 claims) =="
+mc_out="$(mktemp -t explore_assert.XXXXXX.txt)"
+trap 'rm -f "$out" "$aout" "$tout" "$ttrace" "$s1" "$s4" "$b16" "$chaos_out" "$mc_out"' EXIT
+cargo run --release -q -p hm-bench --bin explore -- --assert > "$mc_out"
+grep -q "assertions hold" "$mc_out" || {
+    echo "model-check smoke FAILED: explore --assert did not confirm the claims"
+    cat "$mc_out"; exit 1; }
+grep -q "VIOLATION" "$mc_out" || {
+    echo "model-check smoke FAILED: no unsafe-baseline violation surfaced"
+    cat "$mc_out"; exit 1; }
+echo "model-check smoke ok: FT protocols exhaustively pass; unsafe counterexample replays"
 
 echo "== verify OK =="
